@@ -1,0 +1,545 @@
+//! The append-only, structurally hashed AIG manager.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::lit::{Lit, Var};
+use crate::node::Node;
+
+/// An And-Inverter Graph manager.
+///
+/// Nodes are append-only and structurally hashed: calling [`Aig::and`] with
+/// fanins that already name an existing gate returns the existing literal.
+/// One- and two-level simplification rules are applied on construction, so
+/// the graph is *semi-canonical*: many (but not all) syntactically different
+/// formulas map to the same node, which is the zero-cost first tier of the
+/// paper's merge phase.
+///
+/// ```
+/// use cbq_aig::{Aig, Lit};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input().lit();
+/// let b = aig.add_input().lit();
+/// let f = aig.and(a, b);
+/// let g = aig.and(b, a); // structural hashing: same node
+/// assert_eq!(f, g);
+/// assert_eq!(aig.and(a, !a), Lit::FALSE);
+/// ```
+#[derive(Clone)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    strash: HashMap<(Lit, Lit), Var>,
+    inputs: Vec<Var>,
+    level: Vec<u32>,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aig {
+    /// Creates an empty manager containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node::Const],
+            strash: HashMap::new(),
+            inputs: Vec::new(),
+            level: vec![0],
+        }
+    }
+
+    /// Creates an empty manager with `n` inputs already added.
+    ///
+    /// ```
+    /// use cbq_aig::Aig;
+    /// let aig = Aig::with_inputs(8);
+    /// assert_eq!(aig.num_inputs(), 8);
+    /// ```
+    pub fn with_inputs(n: usize) -> Aig {
+        let mut aig = Aig::new();
+        for _ in 0..n {
+            aig.add_input();
+        }
+        aig
+    }
+
+    /// Adds a fresh primary input and returns its variable.
+    pub fn add_input(&mut self) -> Var {
+        let var = Var::from_index(self.nodes.len());
+        let index = u32::try_from(self.inputs.len()).expect("too many inputs");
+        self.nodes.push(Node::Input { index });
+        self.level.push(0);
+        self.inputs.push(var);
+        var
+    }
+
+    /// The inputs of this AIG, in creation order.
+    pub fn inputs(&self) -> &[Var] {
+        &self.inputs
+    }
+
+    /// The variable of the `index`-th input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_inputs()`.
+    pub fn input_var(&self, index: usize) -> Var {
+        self.inputs[index]
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Total number of nodes (constant + inputs + AND gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len()
+    }
+
+    /// The node a variable refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a node of this manager.
+    pub fn node(&self, var: Var) -> Node {
+        self.nodes[var.index()]
+    }
+
+    /// All nodes, indexable by [`Var::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Structural level (depth) of a node: 0 for constants/inputs,
+    /// `1 + max(level(fanins))` for AND gates.
+    pub fn node_level(&self, var: Var) -> u32 {
+        self.level[var.index()]
+    }
+
+    /// Whether `var` names a primary input.
+    pub fn is_input(&self, var: Var) -> bool {
+        self.nodes[var.index()].is_input()
+    }
+
+    /// If `var` is an input, its ordinal among the inputs.
+    pub fn input_index(&self, var: Var) -> Option<usize> {
+        match self.nodes[var.index()] {
+            Node::Input { index } => Some(index as usize),
+            _ => None,
+        }
+    }
+
+    fn try_two_level(&mut self, a: Lit, b: Lit) -> Option<Lit> {
+        // Two-level local rewriting rules (Brummayer & Biere style, safe
+        // subset). `a`/`b` are already non-constant and distinct vars.
+        let fan = |aig: &Aig, l: Lit| aig.nodes[l.var().index()].fanins();
+        if let Some((x, y)) = fan(self, a) {
+            if !a.is_complemented() {
+                // Contradiction: (x & y) & !x == 0.
+                if b == !x || b == !y {
+                    return Some(Lit::FALSE);
+                }
+                // Idempotence/subsumption: (x & y) & x == x & y.
+                if b == x || b == y {
+                    return Some(a);
+                }
+            } else {
+                // Substitution: !(x & y) & x == x & !y.
+                if b == x {
+                    return Some(self.and(x, !y));
+                }
+                if b == y {
+                    return Some(self.and(y, !x));
+                }
+            }
+        }
+        if let Some((u, v)) = fan(self, b) {
+            if !b.is_complemented() {
+                if a == !u || a == !v {
+                    return Some(Lit::FALSE);
+                }
+                if a == u || a == v {
+                    return Some(b);
+                }
+            } else {
+                if a == u {
+                    return Some(self.and(u, !v));
+                }
+                if a == v {
+                    return Some(self.and(v, !u));
+                }
+            }
+        }
+        // Both positive ANDs sharing a complemented fanin: contradiction.
+        if !a.is_complemented() && !b.is_complemented() {
+            if let (Some((x, y)), Some((u, v))) = (fan(self, a), fan(self, b)) {
+                if x == !u || x == !v || y == !u || y == !v {
+                    return Some(Lit::FALSE);
+                }
+            }
+        }
+        None
+    }
+
+    /// Conjunction of two literals, with structural hashing and local
+    /// simplification.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // One-level rules.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        if let Some(res) = self.try_two_level(a, b) {
+            return res;
+        }
+        // Normalise fanin order for semi-canonicity: f0 >= f1.
+        let (f0, f1) = if a.code() >= b.code() { (a, b) } else { (b, a) };
+        if let Some(&var) = self.strash.get(&(f0, f1)) {
+            return var.lit();
+        }
+        let var = Var::from_index(self.nodes.len());
+        self.nodes.push(Node::And { f0, f1 });
+        let lvl = 1 + self.level[f0.var().index()].max(self.level[f1.var().index()]);
+        self.level.push(lvl);
+        self.strash.insert((f0, f1), var);
+        var.lit()
+    }
+
+    /// Disjunction of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Exclusive or of two literals.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n = self.and(a, !b);
+        let p = self.and(!a, b);
+        self.or(n, p)
+    }
+
+    /// Equivalence (XNOR) of two literals.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(&mut self, a: Lit, b: Lit) -> Lit {
+        self.or(!a, b)
+    }
+
+    /// If-then-else multiplexer `c ? t : e`.
+    pub fn ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if t == e {
+            return t;
+        }
+        let pt = self.and(c, t);
+        let pe = self.and(!c, e);
+        self.or(pt, pe)
+    }
+
+    /// Conjunction of many literals (balanced tree).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::TRUE, Aig::and)
+    }
+
+    /// Disjunction of many literals (balanced tree).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Aig::or)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        lits: &[Lit],
+        unit: Lit,
+        mut op: impl FnMut(&mut Aig, Lit, Lit) -> Lit + Copy,
+    ) -> Lit {
+        match lits.len() {
+            0 => unit,
+            1 => lits[0],
+            n => {
+                let (lo, hi) = lits.split_at(n / 2);
+                let l = self.reduce_balanced(lo, unit, op);
+                let r = self.reduce_balanced(hi, unit, op);
+                op(self, l, r)
+            }
+        }
+    }
+
+    /// Evaluates `root` under a complete input assignment (indexed by input
+    /// ordinal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < self.num_inputs()`.
+    ///
+    /// ```
+    /// use cbq_aig::Aig;
+    /// let mut aig = Aig::new();
+    /// let a = aig.add_input().lit();
+    /// let b = aig.add_input().lit();
+    /// let f = aig.xor(a, b);
+    /// assert!(aig.eval(f, &[true, false]));
+    /// assert!(!aig.eval(f, &[true, true]));
+    /// ```
+    pub fn eval(&self, root: Lit, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.num_inputs(),
+            "assignment covers {} of {} inputs",
+            assignment.len(),
+            self.num_inputs()
+        );
+        let cone = self.collect_cone(&[root]);
+        let mut val: HashMap<Var, bool> = HashMap::with_capacity(cone.len());
+        for var in cone {
+            let v = match self.nodes[var.index()] {
+                Node::Const => false,
+                Node::Input { index } => assignment[index as usize],
+                Node::And { f0, f1 } => {
+                    let a = val[&f0.var()] ^ f0.is_complemented();
+                    let b = val[&f1.var()] ^ f1.is_complemented();
+                    a && b
+                }
+            };
+            val.insert(var, v);
+        }
+        val[&root.var()] ^ root.is_complemented()
+    }
+
+    /// Simultaneously substitutes variables by literals in the cone of `f`.
+    ///
+    /// This is the paper's *quantification by substitution (in-lining)*:
+    /// `∃y.(y ≡ δ) ∧ P(y)` becomes `P(δ)`, i.e. `compose(P, [(y, δ)])`.
+    /// Substitution is simultaneous: mapped-in literals are **not**
+    /// re-substituted.
+    ///
+    /// ```
+    /// use cbq_aig::Aig;
+    /// let mut aig = Aig::new();
+    /// let x = aig.add_input();
+    /// let y = aig.add_input();
+    /// let f = aig.and(x.lit(), y.lit());
+    /// let g = aig.compose(f, &[(y, !x.lit())]);
+    /// assert_eq!(g, cbq_aig::Lit::FALSE);
+    /// ```
+    pub fn compose(&mut self, f: Lit, map: &[(Var, Lit)]) -> Lit {
+        if map.is_empty() {
+            return f;
+        }
+        let subst: HashMap<Var, Lit> = map.iter().copied().collect();
+        let cone = self.collect_cone(&[f]);
+        let mut memo: HashMap<Var, Lit> = HashMap::with_capacity(cone.len());
+        for var in cone {
+            let new = match self.nodes[var.index()] {
+                Node::Const => Lit::FALSE,
+                Node::Input { .. } => subst.get(&var).copied().unwrap_or_else(|| var.lit()),
+                Node::And { f0, f1 } => {
+                    let a = memo[&f0.var()].xor_sign(f0.is_complemented());
+                    let b = memo[&f1.var()].xor_sign(f1.is_complemented());
+                    self.and(a, b)
+                }
+            };
+            // Non-input nodes can also be substitution targets (used by
+            // node-merge transformations), taking precedence over rebuild.
+            let new = subst.get(&var).copied().unwrap_or(new);
+            memo.insert(var, new);
+        }
+        memo[&f.var()].xor_sign(f.is_complemented())
+    }
+
+    /// The positive or negative cofactor of `f` with respect to `v`.
+    ///
+    /// ```
+    /// use cbq_aig::{Aig, Lit};
+    /// let mut aig = Aig::new();
+    /// let a = aig.add_input();
+    /// let b = aig.add_input();
+    /// let f = aig.and(a.lit(), b.lit());
+    /// assert_eq!(aig.cofactor(f, a, true), b.lit());
+    /// assert_eq!(aig.cofactor(f, a, false), Lit::FALSE);
+    /// ```
+    pub fn cofactor(&mut self, f: Lit, v: Var, value: bool) -> Lit {
+        let constant = if value { Lit::TRUE } else { Lit::FALSE };
+        self.compose(f, &[(v, constant)])
+    }
+
+    /// Both cofactors `(f|v=1, f|v=0)` of `f` with respect to `v`.
+    pub fn cofactors(&mut self, f: Lit, v: Var) -> (Lit, Lit) {
+        (self.cofactor(f, v, true), self.cofactor(f, v, false))
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig {{ inputs: {}, ands: {} }}",
+            self.num_inputs(),
+            self.num_ands()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_inputs() -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        (aig, a, b)
+    }
+
+    #[test]
+    fn one_level_rules() {
+        let (mut aig, a, b) = two_inputs();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::TRUE, b), b);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_is_commutative() {
+        let (mut aig, a, b) = two_inputs();
+        let f = aig.and(a, b);
+        let g = aig.and(b, a);
+        assert_eq!(f, g);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn two_level_contradiction_and_subsumption() {
+        let (mut aig, a, b) = two_inputs();
+        let ab = aig.and(a, b);
+        assert_eq!(aig.and(ab, !a), Lit::FALSE);
+        assert_eq!(aig.and(ab, a), ab);
+        // Substitution: !(a&b) & a == a & !b.
+        let expect = aig.and(a, !b);
+        assert_eq!(aig.and(!ab, a), expect);
+    }
+
+    #[test]
+    fn two_positive_ands_contradict() {
+        let (mut aig, a, b) = two_inputs();
+        let c = aig.add_input().lit();
+        let ab = aig.and(a, b);
+        let nac = aig.and(!a, c);
+        assert_eq!(aig.and(ab, nac), Lit::FALSE);
+    }
+
+    #[test]
+    fn derived_gates_truth_tables() {
+        let (mut aig, a, b) = two_inputs();
+        let x = aig.xor(a, b);
+        let o = aig.or(a, b);
+        let i = aig.iff(a, b);
+        let imp = aig.implies(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let asg = [va, vb];
+            assert_eq!(aig.eval(x, &asg), va ^ vb);
+            assert_eq!(aig.eval(o, &asg), va || vb);
+            assert_eq!(aig.eval(i, &asg), va == vb);
+            assert_eq!(aig.eval(imp, &asg), !va || vb);
+        }
+    }
+
+    #[test]
+    fn ite_truth_table() {
+        let mut aig = Aig::new();
+        let c = aig.add_input().lit();
+        let t = aig.add_input().lit();
+        let e = aig.add_input().lit();
+        let f = aig.ite(c, t, e);
+        for mask in 0..8u32 {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            let expect = if asg[0] { asg[1] } else { asg[2] };
+            assert_eq!(aig.eval(f, &asg), expect);
+        }
+    }
+
+    #[test]
+    fn many_input_reduction() {
+        let mut aig = Aig::new();
+        let lits: Vec<Lit> = (0..7).map(|_| aig.add_input().lit()).collect();
+        let all = aig.and_many(&lits);
+        let any = aig.or_many(&lits);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+        let all_true = vec![true; 7];
+        let mut one_false = all_true.clone();
+        one_false[3] = false;
+        assert!(aig.eval(all, &all_true));
+        assert!(!aig.eval(all, &one_false));
+        assert!(aig.eval(any, &one_false));
+        assert!(!aig.eval(any, &vec![false; 7]));
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion() {
+        let (mut aig, a, b) = two_inputs();
+        let c = aig.add_input().lit();
+        let f = {
+            let t = aig.and(a, b);
+            let e = aig.xor(b, c);
+            aig.or(t, e)
+        };
+        let (f1, f0) = aig.cofactors(f, a.var());
+        let shannon = {
+            let hi = aig.and(a, f1);
+            let lo = aig.and(!a, f0);
+            aig.or(hi, lo)
+        };
+        for mask in 0..8u32 {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(aig.eval(f, &asg), aig.eval(shannon, &asg));
+        }
+    }
+
+    #[test]
+    fn compose_is_simultaneous() {
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let y = aig.add_input();
+        let f = aig.xor(x.lit(), y.lit());
+        // Swap x and y simultaneously: xor is symmetric, result unchanged.
+        let g = aig.compose(f, &[(x, y.lit()), (y, x.lit())]);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn compose_on_internal_node() {
+        let (mut aig, a, b) = two_inputs();
+        let c = aig.add_input().lit();
+        let ab = aig.and(a, b);
+        let f = aig.or(ab, c);
+        // Replace the internal node (a & b) by constant true.
+        let g = aig.compose(f, &[(ab.var(), Lit::TRUE)]);
+        assert_eq!(g, Lit::TRUE);
+    }
+
+    #[test]
+    fn levels_track_depth() {
+        let (mut aig, a, b) = two_inputs();
+        let ab = aig.and(a, b);
+        let c = aig.add_input().lit();
+        let abc = aig.and(ab, c);
+        assert_eq!(aig.node_level(a.var()), 0);
+        assert_eq!(aig.node_level(ab.var()), 1);
+        assert_eq!(aig.node_level(abc.var()), 2);
+    }
+}

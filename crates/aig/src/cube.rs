@@ -1,0 +1,222 @@
+//! Cubes (partial assignments) over AIG variables.
+
+use std::fmt;
+
+use crate::aig::Aig;
+use crate::lit::{Lit, Var};
+
+/// A conjunction of literals over input variables — a partial assignment.
+///
+/// Used for initial-state sets, blocking cubes in all-solutions SAT
+/// enumeration, and counterexample steps.
+///
+/// ```
+/// use cbq_aig::{Aig, Cube};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let cube = Cube::new(vec![a.lit(), !b.lit()]);
+/// let f = cube.to_lit(&mut aig);
+/// assert!(aig.eval(f, &[true, false]));
+/// assert!(!aig.eval(f, &[true, true]));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Cube {
+    lits: Vec<Lit>,
+}
+
+impl Cube {
+    /// Creates a cube from literals, sorting and deduplicating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube is contradictory (contains both `l` and `!l`) or
+    /// mentions the constant.
+    pub fn new(mut lits: Vec<Lit>) -> Cube {
+        lits.sort_unstable();
+        lits.dedup();
+        for pair in lits.windows(2) {
+            assert!(
+                pair[0].var() != pair[1].var(),
+                "contradictory cube on {:?}",
+                pair[0].var()
+            );
+        }
+        assert!(
+            lits.iter().all(|l| !l.is_const()),
+            "constant literal in cube"
+        );
+        Cube { lits }
+    }
+
+    /// The empty cube (constant true).
+    pub fn empty() -> Cube {
+        Cube::default()
+    }
+
+    /// The literals of this cube in sorted order.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the cube is empty (constant true).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// The phase this cube requires of `v`, if constrained.
+    pub fn phase(&self, v: Var) -> Option<bool> {
+        self.lits
+            .iter()
+            .find(|l| l.var() == v)
+            .map(|l| !l.is_complemented())
+    }
+
+    /// Conjunction of the cube's literals as an AIG literal.
+    pub fn to_lit(&self, aig: &mut Aig) -> Lit {
+        aig.and_many(&self.lits)
+    }
+
+    /// Whether `assignment` (indexed by input ordinal) satisfies the cube.
+    pub fn matches(&self, aig: &Aig, assignment: &[bool]) -> bool {
+        self.lits.iter().all(|l| {
+            let idx = aig
+                .input_index(l.var())
+                .expect("cube literal on non-input variable");
+            assignment[idx] == !l.is_complemented()
+        })
+    }
+}
+
+impl FromIterator<Lit> for Cube {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Cube {
+        Cube::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete assignment to the inputs of an AIG, by input ordinal.
+///
+/// Thin wrapper used when replaying counterexample traces.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+impl Assignment {
+    /// Creates an assignment from per-input values.
+    pub fn new(values: Vec<bool>) -> Assignment {
+        Assignment { values }
+    }
+
+    /// All-false assignment for `n` inputs.
+    pub fn zeros(n: usize) -> Assignment {
+        Assignment {
+            values: vec![false; n],
+        }
+    }
+
+    /// The value of input ordinal `i`.
+    pub fn get(&self, i: usize) -> bool {
+        self.values[i]
+    }
+
+    /// Sets the value of input ordinal `i`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.values[i] = v;
+    }
+
+    /// The underlying values, indexed by input ordinal.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of inputs covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the assignment covers zero inputs.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl From<Vec<bool>> for Assignment {
+    fn from(values: Vec<bool>) -> Assignment {
+        Assignment::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_sorts_and_dedups() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = Cube::new(vec![b.lit(), a.lit(), b.lit()]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lits()[0].var(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory")]
+    fn contradictory_cube_panics() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let _ = Cube::new(vec![a.lit(), !a.lit()]);
+    }
+
+    #[test]
+    fn cube_phase_and_match() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = Cube::new(vec![a.lit(), !b.lit()]);
+        assert_eq!(c.phase(a), Some(true));
+        assert_eq!(c.phase(b), Some(false));
+        assert!(c.matches(&aig, &[true, false]));
+        assert!(!c.matches(&aig, &[false, false]));
+    }
+
+    #[test]
+    fn empty_cube_is_true() {
+        let mut aig = Aig::new();
+        let c = Cube::empty();
+        assert!(c.is_empty());
+        assert_eq!(c.to_lit(&mut aig), Lit::TRUE);
+        assert_eq!(format!("{c}"), "⊤");
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let mut asg = Assignment::zeros(3);
+        asg.set(1, true);
+        assert!(!asg.get(0));
+        assert!(asg.get(1));
+        assert_eq!(asg.values(), &[false, true, false]);
+        assert_eq!(asg.len(), 3);
+    }
+}

@@ -1,0 +1,300 @@
+//! Cone traversal, support computation, statistics and compaction.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::aig::Aig;
+use crate::lit::{Lit, Var};
+use crate::node::Node;
+
+/// Size/shape statistics of a cone, as reported by [`Aig::cone_stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConeStats {
+    /// Number of AND gates in the cone.
+    pub ands: usize,
+    /// Number of distinct primary inputs in the cone's support.
+    pub inputs: usize,
+    /// Maximum structural depth over the roots.
+    pub depth: u32,
+}
+
+impl Aig {
+    /// Returns the variables in the transitive fanin cone of `roots`
+    /// (including the roots, inputs and constant, if reached) in
+    /// topological order (ascending index).
+    pub fn collect_cone(&self, roots: &[Lit]) -> Vec<Var> {
+        let mut seen: HashSet<Var> = HashSet::new();
+        let mut stack: Vec<Var> = Vec::new();
+        for r in roots {
+            if seen.insert(r.var()) {
+                stack.push(r.var());
+            }
+        }
+        while let Some(v) = stack.pop() {
+            if let Node::And { f0, f1 } = self.node(v) {
+                for f in [f0, f1] {
+                    if seen.insert(f.var()) {
+                        stack.push(f.var());
+                    }
+                }
+            }
+        }
+        let mut cone: Vec<Var> = seen.into_iter().collect();
+        cone.sort_unstable();
+        cone
+    }
+
+    /// Number of AND gates in the cone of `root`.
+    ///
+    /// ```
+    /// use cbq_aig::Aig;
+    /// let mut aig = Aig::new();
+    /// let a = aig.add_input().lit();
+    /// let b = aig.add_input().lit();
+    /// let f = aig.xor(a, b);
+    /// assert_eq!(aig.cone_size(f), 3);
+    /// ```
+    pub fn cone_size(&self, root: Lit) -> usize {
+        self.cone_size_many(&[root])
+    }
+
+    /// Number of AND gates in the union of the cones of `roots`.
+    pub fn cone_size_many(&self, roots: &[Lit]) -> usize {
+        self.collect_cone(roots)
+            .iter()
+            .filter(|v| self.node(**v).is_and())
+            .count()
+    }
+
+    /// The set of input variables `root` structurally depends on.
+    pub fn support(&self, root: Lit) -> Vec<Var> {
+        self.support_many(&[root])
+    }
+
+    /// The union of the supports of `roots`, sorted by variable index.
+    pub fn support_many(&self, roots: &[Lit]) -> Vec<Var> {
+        self.collect_cone(roots)
+            .into_iter()
+            .filter(|v| self.is_input(*v))
+            .collect()
+    }
+
+    /// Whether `v` occurs in the structural support of `root`.
+    ///
+    /// Early-exits on first hit, so cheaper than [`Aig::support`] when the
+    /// answer is yes.
+    pub fn support_contains(&self, root: Lit, v: Var) -> bool {
+        let mut seen: HashSet<Var> = HashSet::new();
+        let mut stack = vec![root.var()];
+        seen.insert(root.var());
+        while let Some(n) = stack.pop() {
+            if n == v {
+                return true;
+            }
+            if let Node::And { f0, f1 } = self.node(n) {
+                for f in [f0, f1] {
+                    if f.var() == v {
+                        return true;
+                    }
+                    if seen.insert(f.var()) {
+                        stack.push(f.var());
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Counts how many AND gates in the cone of `roots` have `v` in their
+    /// fanin support — a cheap cost estimate for quantification scheduling.
+    pub fn occurrence_count(&self, roots: &[Lit], v: Var) -> usize {
+        let cone = self.collect_cone(roots);
+        let mut depends: HashSet<Var> = HashSet::new();
+        let mut count = 0;
+        for n in cone {
+            match self.node(n) {
+                Node::Input { .. } if n == v => {
+                    depends.insert(n);
+                }
+                Node::And { f0, f1 } => {
+                    if depends.contains(&f0.var()) || depends.contains(&f1.var()) {
+                        depends.insert(n);
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Aggregate statistics over the union cone of `roots`.
+    pub fn cone_stats(&self, roots: &[Lit]) -> ConeStats {
+        let cone = self.collect_cone(roots);
+        let mut stats = ConeStats::default();
+        for v in &cone {
+            match self.node(*v) {
+                Node::And { .. } => stats.ands += 1,
+                Node::Input { .. } => stats.inputs += 1,
+                Node::Const => {}
+            }
+        }
+        stats.depth = roots
+            .iter()
+            .map(|r| self.node_level(r.var()))
+            .max()
+            .unwrap_or(0);
+        stats
+    }
+
+    /// Fanout counts (within the cone of `roots`) for every node, indexed by
+    /// [`Var::index`]. Root references are **not** counted.
+    pub fn fanout_counts(&self, roots: &[Lit]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_nodes()];
+        for v in self.collect_cone(roots) {
+            if let Node::And { f0, f1 } = self.node(v) {
+                counts[f0.var().index()] += 1;
+                counts[f1.var().index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Garbage-collects the manager: produces a fresh AIG containing all
+    /// primary inputs (same ordinals) but only the AND gates reachable from
+    /// `roots`, plus the translation of each root.
+    ///
+    /// Dead nodes accumulated by cofactoring and rewriting are dropped;
+    /// input variables keep their *ordinals* (and, when every input was
+    /// created before any gate, their variable indices too).
+    ///
+    /// ```
+    /// use cbq_aig::Aig;
+    /// let mut aig = Aig::new();
+    /// let a = aig.add_input().lit();
+    /// let b = aig.add_input().lit();
+    /// let f = aig.and(a, b);
+    /// let _dead = aig.xor(f, a);
+    /// let (packed, roots) = aig.compact(&[f]);
+    /// assert_eq!(packed.num_ands(), 1);
+    /// assert_eq!(roots.len(), 1);
+    /// ```
+    pub fn compact(&self, roots: &[Lit]) -> (Aig, Vec<Lit>) {
+        let mut out = Aig::new();
+        let mut map: HashMap<Var, Lit> = HashMap::new();
+        map.insert(Var::CONST, Lit::FALSE);
+        // Recreate every input so ordinals are preserved.
+        for i in 0..self.num_inputs() {
+            let v = self.input_var(i);
+            let nv = out.add_input();
+            map.insert(v, nv.lit());
+        }
+        for v in self.collect_cone(roots) {
+            if let Node::And { f0, f1 } = self.node(v) {
+                let a = map[&f0.var()].xor_sign(f0.is_complemented());
+                let b = map[&f1.var()].xor_sign(f1.is_complemented());
+                let nl = out.and(a, b);
+                map.insert(v, nl);
+            }
+        }
+        let new_roots = roots
+            .iter()
+            .map(|r| map[&r.var()].xor_sign(r.is_complemented()))
+            .collect();
+        (out, new_roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cone_is_topological() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let f = aig.xor(a, b);
+        let cone = aig.collect_cone(&[f]);
+        for (i, v) in cone.iter().enumerate() {
+            if let Node::And { f0, f1 } = aig.node(*v) {
+                let pos0 = cone.iter().position(|x| *x == f0.var()).unwrap();
+                let pos1 = cone.iter().position(|x| *x == f1.var()).unwrap();
+                assert!(pos0 < i && pos1 < i);
+            }
+        }
+    }
+
+    #[test]
+    fn support_and_occurrence() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a.lit(), b.lit());
+        let f = aig.or(ab, c.lit());
+        assert_eq!(aig.support(f), vec![a, b, c]);
+        assert!(aig.support_contains(f, a));
+        assert!(!aig.support_contains(ab, c));
+        assert_eq!(aig.occurrence_count(&[f], a), 2); // ab and the or-gate
+        assert_eq!(aig.occurrence_count(&[f], c), 1);
+    }
+
+    #[test]
+    fn compact_drops_garbage_keeps_inputs() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let c = aig.add_input().lit();
+        let keep = aig.and(a, b);
+        let _dead1 = aig.xor(keep, c);
+        let _dead2 = aig.or(a, c);
+        let (packed, roots) = aig.compact(&[keep]);
+        assert_eq!(packed.num_inputs(), 3);
+        assert_eq!(packed.num_ands(), 1);
+        for (va, vb) in [(false, false), (true, false), (true, true)] {
+            assert_eq!(
+                aig.eval(keep, &[va, vb, false]),
+                packed.eval(roots[0], &[va, vb, false])
+            );
+        }
+    }
+
+    #[test]
+    fn compact_translates_complemented_roots() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let f = aig.and(a, b);
+        let (packed, roots) = aig.compact(&[!f]);
+        assert!(packed.eval(roots[0], &[false, true]));
+        assert!(!packed.eval(roots[0], &[true, true]));
+    }
+
+    #[test]
+    fn fanout_counts_within_cone() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let c = aig.add_input().lit();
+        let ab = aig.and(a, b);
+        let ac = aig.and(a, c);
+        let f = aig.and(ab, ac);
+        let counts = aig.fanout_counts(&[f]);
+        assert_eq!(counts[a.var().index()], 2);
+        assert_eq!(counts[ab.var().index()], 1);
+        assert_eq!(counts[ac.var().index()], 1);
+        assert_eq!(counts[f.var().index()], 0); // roots not counted
+    }
+
+    #[test]
+    fn cone_stats_shape() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let f = aig.xor(a, b);
+        let s = aig.cone_stats(&[f]);
+        assert_eq!(s.ands, 3);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.depth, 2);
+    }
+}

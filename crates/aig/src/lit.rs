@@ -1,0 +1,199 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A node index in an [`Aig`](crate::Aig).
+///
+/// Variable `0` is reserved for the constant-false node; inputs and AND
+/// nodes follow in creation order. Because the manager is append-only, the
+/// numeric order of variables is a topological order of the graph.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable of the constant-false node.
+    pub const CONST: Var = Var(0);
+
+    /// Creates a variable from its raw index.
+    ///
+    /// ```
+    /// use cbq_aig::Var;
+    /// assert_eq!(Var::from_index(3).index(), 3);
+    /// ```
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+
+    /// Raw index of this variable (usable as a slice index).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive-phase literal of this variable.
+    pub fn lit(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A possibly complemented edge to an AIG node.
+///
+/// Encoded AIGER-style as `2 * var + sign`, so [`Lit::FALSE`] is `0` and
+/// [`Lit::TRUE`] is `1`. Complementation ([`Not`]) is free.
+///
+/// ```
+/// use cbq_aig::{Lit, Var};
+/// let v = Var::from_index(4);
+/// let l = v.lit();
+/// assert!(!l.is_complemented());
+/// assert!((!l).is_complemented());
+/// assert_eq!(!!l, l);
+/// assert_eq!(l.var(), v);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from a variable and a complement flag.
+    pub fn new(var: Var, complemented: bool) -> Lit {
+        Lit((var.0 << 1) | complemented as u32)
+    }
+
+    /// Creates a literal from its raw AIGER code (`2 * var + sign`).
+    pub fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+
+    /// Raw AIGER code of this literal.
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The variable (node) this literal points to.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this is [`Lit::FALSE`] or [`Lit::TRUE`].
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// This literal with its complement bit forced to `sign`.
+    pub fn with_sign(self, sign: bool) -> Lit {
+        Lit((self.0 & !1) | sign as u32)
+    }
+
+    /// This literal complemented iff `flip` is true.
+    ///
+    /// ```
+    /// use cbq_aig::Lit;
+    /// let l = Lit::from_code(6);
+    /// assert_eq!(l.xor_sign(false), l);
+    /// assert_eq!(l.xor_sign(true), !l);
+    /// ```
+    pub fn xor_sign(self, flip: bool) -> Lit {
+        Lit(self.0 ^ flip as u32)
+    }
+
+    /// The positive-phase literal of the same variable.
+    pub fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl From<Var> for Lit {
+    fn from(v: Var) -> Lit {
+        v.lit()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "0")
+        } else if *self == Lit::TRUE {
+            write!(f, "1")
+        } else if self.is_complemented() {
+            write!(f, "!v{}", self.var().0)
+        } else {
+            write!(f, "v{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_literals() {
+        assert_eq!(Lit::FALSE.var(), Var::CONST);
+        assert_eq!(Lit::TRUE.var(), Var::CONST);
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert_eq!(!Lit::TRUE, Lit::FALSE);
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for code in 0..32 {
+            let l = Lit::from_code(code);
+            assert_eq!(l.code(), code);
+            assert_eq!(Lit::new(l.var(), l.is_complemented()), l);
+        }
+    }
+
+    #[test]
+    fn sign_manipulation() {
+        let l = Var::from_index(9).lit();
+        assert_eq!(l.with_sign(true), !l);
+        assert_eq!(l.with_sign(false), l);
+        assert_eq!((!l).abs(), l);
+        assert_eq!(l.xor_sign(true).xor_sign(true), l);
+    }
+
+    #[test]
+    fn ordering_groups_phases() {
+        let a = Var::from_index(2).lit();
+        assert!(a < !a);
+        assert!(!a < Var::from_index(3).lit());
+    }
+}

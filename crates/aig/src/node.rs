@@ -1,0 +1,64 @@
+//! AIG node representation.
+
+use crate::lit::Lit;
+
+/// A node in an [`Aig`](crate::Aig).
+///
+/// The manager stores exactly one [`Node::Const`] (at variable 0), one
+/// [`Node::Input`] per primary input, and structurally hashed
+/// [`Node::And`] gates whose fanins satisfy `f0 >= f1` (by literal code) —
+/// the "semi-canonicity" the paper's merge phase exploits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant-false node (variable 0).
+    Const,
+    /// A primary input; `index` is its ordinal among inputs.
+    Input {
+        /// Ordinal of this input in creation order.
+        index: u32,
+    },
+    /// A two-input AND gate over possibly complemented edges.
+    And {
+        /// First fanin; `f0.code() >= f1.code()` is an invariant.
+        f0: Lit,
+        /// Second fanin.
+        f1: Lit,
+    },
+}
+
+impl Node {
+    /// Whether this node is an AND gate.
+    pub fn is_and(&self) -> bool {
+        matches!(self, Node::And { .. })
+    }
+
+    /// Whether this node is a primary input.
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input { .. })
+    }
+
+    /// The fanins of an AND node, if any.
+    pub fn fanins(&self) -> Option<(Lit, Lit)> {
+        match *self {
+            Node::And { f0, f1 } => Some((f0, f1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn kind_predicates() {
+        let a = Var::from_index(1).lit();
+        let b = Var::from_index(2).lit();
+        assert!(Node::And { f0: b, f1: a }.is_and());
+        assert!(!Node::Const.is_and());
+        assert!(Node::Input { index: 0 }.is_input());
+        assert_eq!(Node::And { f0: b, f1: a }.fanins(), Some((b, a)));
+        assert_eq!(Node::Const.fanins(), None);
+    }
+}

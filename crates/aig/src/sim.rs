@@ -1,0 +1,255 @@
+//! 64-way parallel bit-vector simulation.
+//!
+//! Because the manager is append-only, node indices are a topological
+//! order: whole-graph simulation is a single linear pass. Sweeping engines
+//! use the resulting per-node *signatures* to seed candidate equivalence
+//! classes, and feed SAT counterexamples back in as fresh patterns to
+//! refine them.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::aig::Aig;
+use crate::lit::{Lit, Var};
+use crate::node::Node;
+
+/// A parallel simulator holding `words * 64` patterns for every node.
+///
+/// ```
+/// use cbq_aig::{Aig, sim::BitSim};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input().lit();
+/// let b = aig.add_input().lit();
+/// let f = aig.and(a, b);
+/// let mut sim = BitSim::new(&aig, 1);
+/// sim.set_input_word(&aig, 0, 0, 0b1100);
+/// sim.set_input_word(&aig, 1, 0, 0b1010);
+/// sim.run(&aig);
+/// assert_eq!(sim.lit_word(f, 0) & 0b1111, 0b1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BitSim {
+    words: usize,
+    vals: Vec<u64>,
+}
+
+impl BitSim {
+    /// Creates a simulator with `words` 64-bit pattern words per node, all
+    /// zero.
+    pub fn new(aig: &Aig, words: usize) -> BitSim {
+        assert!(words > 0, "need at least one simulation word");
+        BitSim {
+            words,
+            vals: vec![0; aig.num_nodes() * words],
+        }
+    }
+
+    /// Creates a simulator with uniformly random input patterns and runs it.
+    pub fn random(aig: &Aig, words: usize, seed: u64) -> BitSim {
+        let mut sim = BitSim::new(aig, words);
+        sim.randomize_inputs(aig, seed);
+        sim.run(aig);
+        sim
+    }
+
+    /// Number of 64-bit words per node.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Total number of patterns (`words * 64`).
+    pub fn num_patterns(&self) -> usize {
+        self.words * 64
+    }
+
+    /// Fills every input with fresh random patterns (deterministic in
+    /// `seed`).
+    pub fn randomize_inputs(&mut self, aig: &Aig, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for v in aig.inputs() {
+            for w in 0..self.words {
+                let word: u64 = rng.gen();
+                self.vals[v.index() * self.words + w] = word;
+            }
+        }
+    }
+
+    /// Sets one pattern word of input number `input_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input or word index is out of range.
+    pub fn set_input_word(&mut self, aig: &Aig, input_index: usize, word: usize, value: u64) {
+        let v = aig.input_var(input_index);
+        assert!(word < self.words);
+        self.vals[v.index() * self.words + word] = value;
+    }
+
+    /// Injects a single concrete input assignment into pattern bit
+    /// `bit` (counted across all words), leaving other patterns untouched.
+    ///
+    /// Used to replay SAT counterexamples so a future [`BitSim::run`] will
+    /// distinguish nodes the counterexample separates.
+    pub fn set_pattern(&mut self, aig: &Aig, bit: usize, assignment: &[bool]) {
+        assert!(bit < self.num_patterns());
+        let (word, off) = (bit / 64, bit % 64);
+        for (i, v) in aig.inputs().iter().enumerate() {
+            let idx = v.index() * self.words + word;
+            let mask = 1u64 << off;
+            if assignment.get(i).copied().unwrap_or(false) {
+                self.vals[idx] |= mask;
+            } else {
+                self.vals[idx] &= !mask;
+            }
+        }
+    }
+
+    /// Re-evaluates every AND gate from the current input patterns.
+    ///
+    /// Grows internal storage if the AIG gained nodes since construction.
+    pub fn run(&mut self, aig: &Aig) {
+        self.vals.resize(aig.num_nodes() * self.words, 0);
+        for (idx, node) in aig.nodes().iter().enumerate() {
+            if let Node::And { f0, f1 } = *node {
+                for w in 0..self.words {
+                    let a = self.edge_word(f0, w);
+                    let b = self.edge_word(f1, w);
+                    self.vals[idx * self.words + w] = a & b;
+                }
+            }
+        }
+    }
+
+    fn edge_word(&self, l: Lit, w: usize) -> u64 {
+        let raw = self.vals[l.var().index() * self.words + w];
+        if l.is_complemented() {
+            !raw
+        } else {
+            raw
+        }
+    }
+
+    /// The pattern word `w` of literal `l` (complement applied).
+    pub fn lit_word(&self, l: Lit, w: usize) -> u64 {
+        self.edge_word(l, w)
+    }
+
+    /// The full signature of a literal as an owned vector of words.
+    pub fn signature(&self, l: Lit) -> Vec<u64> {
+        (0..self.words).map(|w| self.edge_word(l, w)).collect()
+    }
+
+    /// A phase-normalised signature: the signature of `l` or of `!l`,
+    /// whichever has bit 0 clear, together with the flag saying whether it
+    /// was complemented. Nodes that are equivalent *modulo complementation*
+    /// normalise to equal keys.
+    pub fn normalized_signature(&self, l: Lit) -> (Vec<u64>, bool) {
+        let flip = self.edge_word(l, 0) & 1 != 0;
+        (self.signature(l.xor_sign(flip)), flip)
+    }
+
+    /// True iff the signatures of `a` and `b` are identical.
+    pub fn same_signature(&self, a: Lit, b: Lit) -> bool {
+        (0..self.words).all(|w| self.edge_word(a, w) == self.edge_word(b, w))
+    }
+
+    /// Whether any simulated pattern distinguishes `a` from `b`; if so,
+    /// returns the bit index of one such pattern.
+    pub fn distinguishing_pattern(&self, a: Lit, b: Lit) -> Option<usize> {
+        for w in 0..self.words {
+            let diff = self.edge_word(a, w) ^ self.edge_word(b, w);
+            if diff != 0 {
+                return Some(w * 64 + diff.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Extracts the concrete input assignment of pattern bit `bit`.
+    pub fn pattern_assignment(&self, aig: &Aig, bit: usize) -> Vec<bool> {
+        let (word, off) = (bit / 64, bit % 64);
+        aig.inputs()
+            .iter()
+            .map(|v| (self.vals[v.index() * self.words + word] >> off) & 1 != 0)
+            .collect()
+    }
+
+    /// Value of variable `v` in pattern bit `bit` (no complement).
+    pub fn var_bit(&self, v: Var, bit: usize) -> bool {
+        let (word, off) = (bit / 64, bit % 64);
+        (self.vals[v.index() * self.words + word] >> off) & 1 != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_eval() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..4).map(|_| aig.add_input().lit()).collect();
+        let f = {
+            let x = aig.xor(ins[0], ins[1]);
+            let y = aig.and(ins[2], ins[3]);
+            aig.or(x, y)
+        };
+        let sim = BitSim::random(&aig, 2, 42);
+        for bit in [0usize, 1, 17, 63, 64, 100, 127] {
+            let asg = sim.pattern_assignment(&aig, bit);
+            let (word, off) = (bit / 64, bit % 64);
+            let simulated = (sim.lit_word(f, word) >> off) & 1 != 0;
+            assert_eq!(simulated, aig.eval(f, &asg), "pattern {bit}");
+        }
+    }
+
+    #[test]
+    fn constant_signature_is_all_zero() {
+        let mut aig = Aig::new();
+        let _ = aig.add_input();
+        let sim = BitSim::random(&aig, 2, 7);
+        assert_eq!(sim.signature(Lit::FALSE), vec![0, 0]);
+        assert_eq!(sim.signature(Lit::TRUE), vec![!0u64, !0u64]);
+    }
+
+    #[test]
+    fn counterexample_injection_distinguishes() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let f = aig.or(a, b);
+        let mut sim = BitSim::new(&aig, 1);
+        // All-zero patterns: f and a have identical (zero) signatures.
+        sim.run(&aig);
+        assert!(sim.same_signature(f, a));
+        // Inject the distinguishing assignment a=0, b=1 at bit 5.
+        sim.set_pattern(&aig, 5, &[false, true]);
+        sim.run(&aig);
+        assert!(!sim.same_signature(f, a));
+        assert_eq!(sim.distinguishing_pattern(f, a), Some(5));
+    }
+
+    #[test]
+    fn normalized_signature_merges_phases() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let f = aig.and(a, b);
+        let sim = BitSim::random(&aig, 2, 3);
+        let (sf, pf) = sim.normalized_signature(f);
+        let (sg, pg) = sim.normalized_signature(!f);
+        assert_eq!(sf, sg);
+        assert_ne!(pf, pg);
+    }
+
+    #[test]
+    fn grows_with_new_nodes() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let mut sim = BitSim::random(&aig, 1, 9);
+        let f = aig.and(a, b);
+        sim.run(&aig);
+        assert_eq!(sim.lit_word(f, 0), sim.lit_word(a, 0) & sim.lit_word(b, 0));
+    }
+}

@@ -1,0 +1,851 @@
+//! # cbq-bdd — reduced ordered binary decision diagrams
+//!
+//! A classic hash-consed ROBDD package in the CUDD/Kuehlmann–Krohm
+//! tradition, serving two roles in the reproduction of the DATE 2005
+//! paper:
+//!
+//! 1. **BDD sweeping** (merge-phase tier 2): candidate equivalences between
+//!    cofactor sub-circuits are confirmed by building *size-bounded* BDDs
+//!    bottom-up from the AIG ([`BddManager::from_aig`] with a node limit) —
+//!    two nodes with the same BDD are equivalent, canonically.
+//! 2. **Baseline model checker**: the canonical state-set representation
+//!    the paper argues against; backward reachability over BDDs uses
+//!    [`BddManager::vector_compose`] (functional pre-image) and
+//!    [`BddManager::exists`].
+//!
+//! All potentially exploding operations have `*_limited` variants that
+//! abort (returning `None`) once the manager exceeds a node budget —
+//! mirroring how sweeping keeps BDDs small and how the evaluation measures
+//! BDD blow-up.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbq_bdd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.and(x, y);
+//! let g = m.or(x, y);
+//! // canonical: xor == (x|y) & !(x&y)
+//! let nx = m.not(f);
+//! let h = m.and(g, nx);
+//! let x1 = m.xor(x, y);
+//! assert_eq!(h, x1);
+//! assert_eq!(m.sat_count(h), 4.0); // 2 of 4 over (x,y), times 2 for z
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cbq_aig::{Aig, Lit, Node, Var};
+
+/// A reference to a BDD node (index into the manager).
+///
+/// `BddRef::ZERO` and `BddRef::ONE` are the terminals.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    /// The constant-false BDD.
+    pub const ZERO: BddRef = BddRef(0);
+    /// The constant-true BDD.
+    pub const ONE: BddRef = BddRef(1);
+
+    /// Whether this is a terminal node.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BddRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BddRef::ZERO => write!(f, "⊥"),
+            BddRef::ONE => write!(f, "⊤"),
+            other => write!(f, "bdd{}", other.0),
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct BddNode {
+    level: u32,
+    hi: BddRef,
+    lo: BddRef,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A reduced ordered BDD manager with a fixed (but growable) number of
+/// levels.
+///
+/// Levels *are* the variable order: level 0 is the topmost decision.
+/// Callers map their own variables onto levels (e.g. an interleaved
+/// current/next-state order for model checking).
+#[derive(Clone)]
+pub struct BddManager {
+    nodes: Vec<BddNode>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    apply_cache: HashMap<(Op, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+    num_vars: usize,
+}
+
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+impl BddManager {
+    /// Creates a manager with `num_vars` levels.
+    pub fn new(num_vars: usize) -> BddManager {
+        BddManager {
+            nodes: vec![
+                BddNode {
+                    level: TERMINAL_LEVEL,
+                    hi: BddRef::ZERO,
+                    lo: BddRef::ZERO,
+                },
+                BddNode {
+                    level: TERMINAL_LEVEL,
+                    hi: BddRef::ONE,
+                    lo: BddRef::ONE,
+                },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of levels (variables).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of nodes ever created (including terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant-false BDD.
+    pub fn zero(&self) -> BddRef {
+        BddRef::ZERO
+    }
+
+    /// The constant-true BDD.
+    pub fn one(&self) -> BddRef {
+        BddRef::ONE
+    }
+
+    /// The projection function of `level`, growing the level count if
+    /// needed.
+    pub fn var(&mut self, level: u32) -> BddRef {
+        if level as usize >= self.num_vars {
+            self.num_vars = level as usize + 1;
+        }
+        self.mk(level, BddRef::ONE, BddRef::ZERO)
+    }
+
+    /// The level of the root decision of `f` (`None` for terminals).
+    pub fn root_level(&self, f: BddRef) -> Option<u32> {
+        let l = self.nodes[f.index()].level;
+        (l != TERMINAL_LEVEL).then_some(l)
+    }
+
+    fn level(&self, f: BddRef) -> u32 {
+        self.nodes[f.index()].level
+    }
+
+    fn hi(&self, f: BddRef) -> BddRef {
+        self.nodes[f.index()].hi
+    }
+
+    fn lo(&self, f: BddRef) -> BddRef {
+        self.nodes[f.index()].lo
+    }
+
+    fn mk(&mut self, level: u32, hi: BddRef, lo: BddRef) -> BddRef {
+        if hi == lo {
+            return hi;
+        }
+        debug_assert!(level < self.level(hi) && level < self.level(lo));
+        if let Some(&r) = self.unique.get(&(level, hi, lo)) {
+            return r;
+        }
+        let r = BddRef(u32::try_from(self.nodes.len()).expect("BDD node overflow"));
+        self.nodes.push(BddNode { level, hi, lo });
+        self.unique.insert((level, hi, lo), r);
+        r
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        if f == BddRef::ZERO {
+            return BddRef::ONE;
+        }
+        if f == BddRef::ONE {
+            return BddRef::ZERO;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let (level, hi, lo) = (self.level(f), self.hi(f), self.lo(f));
+        let nh = self.not(hi);
+        let nl = self.not(lo);
+        let r = self.mk(level, nh, nl);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    fn apply_terminal(op: Op, f: BddRef, g: BddRef) -> Option<BddRef> {
+        match op {
+            Op::And => {
+                if f == BddRef::ZERO || g == BddRef::ZERO {
+                    Some(BddRef::ZERO)
+                } else if f == BddRef::ONE {
+                    Some(g)
+                } else if g == BddRef::ONE || f == g {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            Op::Or => {
+                if f == BddRef::ONE || g == BddRef::ONE {
+                    Some(BddRef::ONE)
+                } else if f == BddRef::ZERO {
+                    Some(g)
+                } else if g == BddRef::ZERO || f == g {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    Some(BddRef::ZERO)
+                } else if f == BddRef::ZERO {
+                    Some(g)
+                } else if g == BddRef::ZERO {
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: BddRef, g: BddRef, limit: Option<usize>) -> Option<BddRef> {
+        if let Some(r) = Self::apply_terminal(op, f, g) {
+            return Some(r);
+        }
+        // Commutative ops: normalise the cache key.
+        let key = if f <= g { (op, f, g) } else { (op, g, f) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return Some(r);
+        }
+        if let Some(cap) = limit {
+            if self.nodes.len() > cap {
+                return None;
+            }
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let top = lf.min(lg);
+        let (fh, fl) = if lf == top {
+            (self.hi(f), self.lo(f))
+        } else {
+            (f, f)
+        };
+        let (gh, gl) = if lg == top {
+            (self.hi(g), self.lo(g))
+        } else {
+            (g, g)
+        };
+        let h = self.apply(op, fh, gh, limit)?;
+        let l = self.apply(op, fl, gl, limit)?;
+        let r = self.mk(top, h, l);
+        self.apply_cache.insert(key, r);
+        Some(r)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::And, f, g, None).expect("unlimited")
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::Or, f, g, None).expect("unlimited")
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::Xor, f, g, None).expect("unlimited")
+    }
+
+    /// Equivalence.
+    pub fn iff(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// If-then-else.
+    pub fn ite(&mut self, c: BddRef, t: BddRef, e: BddRef) -> BddRef {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let ce = self.and(nc, e);
+        self.or(ct, ce)
+    }
+
+    /// Conjunction that aborts with `None` if the manager would exceed
+    /// `cap` nodes.
+    pub fn and_limited(&mut self, f: BddRef, g: BddRef, cap: usize) -> Option<BddRef> {
+        self.apply(Op::And, f, g, Some(cap))
+    }
+
+    /// Disjunction with a node cap (see [`BddManager::and_limited`]).
+    pub fn or_limited(&mut self, f: BddRef, g: BddRef, cap: usize) -> Option<BddRef> {
+        self.apply(Op::Or, f, g, Some(cap))
+    }
+
+    /// The cofactor of `f` by `level = value`.
+    pub fn restrict(&mut self, f: BddRef, level: u32, value: bool) -> BddRef {
+        if f.is_const() || self.level(f) > level {
+            return f;
+        }
+        if self.level(f) == level {
+            return if value { self.hi(f) } else { self.lo(f) };
+        }
+        let (lvl, hi, lo) = (self.level(f), self.hi(f), self.lo(f));
+        let h = self.restrict(hi, level, value);
+        let l = self.restrict(lo, level, value);
+        self.mk(lvl, h, l)
+    }
+
+    /// Existential quantification of the (sorted or unsorted) `levels`.
+    pub fn exists(&mut self, f: BddRef, levels: &[u32]) -> BddRef {
+        self.exists_limited(f, levels, usize::MAX).expect("unlimited")
+    }
+
+    /// Existential quantification with a node cap.
+    pub fn exists_limited(&mut self, f: BddRef, levels: &[u32], cap: usize) -> Option<BddRef> {
+        let mut sorted: Vec<u32> = levels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = HashMap::new();
+        self.exists_rec(f, &sorted, cap, &mut memo)
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: BddRef,
+        levels: &[u32],
+        cap: usize,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> Option<BddRef> {
+        if f.is_const() {
+            return Some(f);
+        }
+        let lvl = self.level(f);
+        // Quantified levels strictly above the root are irrelevant.
+        let rest: &[u32] = {
+            let pos = levels.partition_point(|&l| l < lvl);
+            &levels[pos..]
+        };
+        if rest.is_empty() {
+            return Some(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Some(r);
+        }
+        if self.nodes.len() > cap {
+            return None;
+        }
+        let (hi, lo) = (self.hi(f), self.lo(f));
+        let h = self.exists_rec(hi, rest, cap, memo)?;
+        let l = self.exists_rec(lo, rest, cap, memo)?;
+        let r = if rest.first() == Some(&lvl) {
+            self.apply(Op::Or, h, l, Some(cap))?
+        } else {
+            self.mk(lvl, h, l)
+        };
+        memo.insert(f, r);
+        Some(r)
+    }
+
+    /// Universal quantification of `levels`.
+    pub fn forall(&mut self, f: BddRef, levels: &[u32]) -> BddRef {
+        let nf = self.not(f);
+        let e = self.exists(nf, levels);
+        self.not(e)
+    }
+
+    /// The relational product `∃ levels. f ∧ g`, computed without building
+    /// the full conjunction first (classical and-exists).
+    pub fn and_exists(&mut self, f: BddRef, g: BddRef, levels: &[u32]) -> BddRef {
+        let mut sorted: Vec<u32> = levels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut memo = HashMap::new();
+        self.and_exists_rec(f, g, &sorted, &mut memo)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: BddRef,
+        g: BddRef,
+        levels: &[u32],
+        memo: &mut HashMap<(BddRef, BddRef), BddRef>,
+    ) -> BddRef {
+        if f == BddRef::ZERO || g == BddRef::ZERO {
+            return BddRef::ZERO;
+        }
+        if f == BddRef::ONE && g == BddRef::ONE {
+            return BddRef::ONE;
+        }
+        let key = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let top = lf.min(lg);
+        if top == TERMINAL_LEVEL {
+            // Both terminal (handled above except f/g = ONE mix).
+            return Self::apply_terminal(Op::And, f, g).expect("terminals");
+        }
+        let rest: &[u32] = {
+            let pos = levels.partition_point(|&l| l < top);
+            &levels[pos..]
+        };
+        if rest.is_empty() {
+            // No quantified level below: plain conjunction.
+            let r = self.and(f, g);
+            memo.insert(key, r);
+            return r;
+        }
+        let (fh, fl) = if lf == top {
+            (self.hi(f), self.lo(f))
+        } else {
+            (f, f)
+        };
+        let (gh, gl) = if lg == top {
+            (self.hi(g), self.lo(g))
+        } else {
+            (g, g)
+        };
+        let r = if rest.first() == Some(&top) {
+            let h = self.and_exists_rec(fh, gh, rest, memo);
+            if h == BddRef::ONE {
+                BddRef::ONE
+            } else {
+                let l = self.and_exists_rec(fl, gl, rest, memo);
+                self.or(h, l)
+            }
+        } else {
+            let h = self.and_exists_rec(fh, gh, rest, memo);
+            let l = self.and_exists_rec(fl, gl, rest, memo);
+            self.mk(top, h, l)
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    /// Simultaneous functional substitution: every level in `subst` is
+    /// replaced by the corresponding BDD (vector compose). Levels not in
+    /// `subst` remain decision variables.
+    ///
+    /// This is the BDD analogue of AIG pre-image in-lining:
+    /// `Pre(F)(s,i) = F[s ← δ(s,i)]`.
+    pub fn vector_compose(&mut self, f: BddRef, subst: &HashMap<u32, BddRef>) -> BddRef {
+        let mut memo = HashMap::new();
+        self.vcompose_rec(f, subst, &mut memo)
+    }
+
+    fn vcompose_rec(
+        &mut self,
+        f: BddRef,
+        subst: &HashMap<u32, BddRef>,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lvl, hi, lo) = (self.level(f), self.hi(f), self.lo(f));
+        let h = self.vcompose_rec(hi, subst, memo);
+        let l = self.vcompose_rec(lo, subst, memo);
+        let c = match subst.get(&lvl) {
+            Some(&g) => g,
+            None => self.var(lvl),
+        };
+        let r = self.ite(c, h, l);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Number of satisfying assignments over all [`BddManager::num_vars`]
+    /// levels, as `f64` (exact for small counts).
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        let mut memo: HashMap<BddRef, f64> = HashMap::new();
+        let frac = self.count_rec(f, &mut memo);
+        frac * 2f64.powi(self.num_vars as i32)
+    }
+
+    /// The fraction of assignments satisfying `f` (between 0 and 1).
+    fn count_rec(&self, f: BddRef, memo: &mut HashMap<BddRef, f64>) -> f64 {
+        if f == BddRef::ZERO {
+            return 0.0;
+        }
+        if f == BddRef::ONE {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let h = self.count_rec(self.hi(f), memo);
+        let l = self.count_rec(self.lo(f), memo);
+        let c = 0.5 * (h + l);
+        memo.insert(f, c);
+        c
+    }
+
+    /// One satisfying assignment (by level), if any; unconstrained levels
+    /// are `None`.
+    pub fn one_sat(&self, f: BddRef) -> Option<Vec<Option<bool>>> {
+        if f == BddRef::ZERO {
+            return None;
+        }
+        let mut out = vec![None; self.num_vars];
+        let mut cur = f;
+        while cur != BddRef::ONE {
+            let lvl = self.level(cur) as usize;
+            if self.hi(cur) != BddRef::ZERO {
+                out[lvl] = Some(true);
+                cur = self.hi(cur);
+            } else {
+                out[lvl] = Some(false);
+                cur = self.lo(cur);
+            }
+        }
+        Some(out)
+    }
+
+    /// Evaluates `f` under a complete assignment by level.
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let lvl = self.level(cur) as usize;
+            cur = if assignment[lvl] {
+                self.hi(cur)
+            } else {
+                self.lo(cur)
+            };
+        }
+        cur == BddRef::ONE
+    }
+
+    /// Number of decision nodes in the sub-DAG rooted at `f`.
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            stack.push(self.hi(n));
+            stack.push(self.lo(n));
+        }
+        seen.len()
+    }
+
+    /// Builds the BDD of an AIG cone bottom-up, mapping each AIG input
+    /// variable to the level given by `var_level`. Aborts with `None` if
+    /// the manager grows beyond `cap` nodes (pass `usize::MAX` for
+    /// unlimited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cone references an input missing from `var_level`.
+    pub fn from_aig(
+        &mut self,
+        aig: &Aig,
+        root: Lit,
+        var_level: &HashMap<Var, u32>,
+        cap: usize,
+    ) -> Option<BddRef> {
+        let mut memo: HashMap<Var, BddRef> = HashMap::new();
+        for v in aig.collect_cone(&[root]) {
+            let b = match aig.node(v) {
+                Node::Const => BddRef::ZERO,
+                Node::Input { .. } => {
+                    let lvl = *var_level
+                        .get(&v)
+                        .expect("AIG input missing from the level map");
+                    self.var(lvl)
+                }
+                Node::And { f0, f1 } => {
+                    let a = Self::edge(&memo, self, f0);
+                    let b = Self::edge(&memo, self, f1);
+                    self.apply(Op::And, a, b, Some(cap))?
+                }
+            };
+            memo.insert(v, b);
+        }
+        let r = memo[&root.var()];
+        Some(if root.is_complemented() {
+            self.not(r)
+        } else {
+            r
+        })
+    }
+
+    fn edge(memo: &HashMap<Var, BddRef>, me: &mut BddManager, l: Lit) -> BddRef {
+        let b = memo[&l.var()];
+        if l.is_complemented() {
+            me.not(b)
+        } else {
+            b
+        }
+    }
+
+    /// Dumps `f` into an AIG as a multiplexer tree over `level_lit`
+    /// (the AIG literal to use for each level).
+    pub fn to_aig(&self, aig: &mut Aig, f: BddRef, level_lit: &[Lit]) -> Lit {
+        let mut memo: HashMap<BddRef, Lit> = HashMap::new();
+        self.to_aig_rec(aig, f, level_lit, &mut memo)
+    }
+
+    fn to_aig_rec(
+        &self,
+        aig: &mut Aig,
+        f: BddRef,
+        level_lit: &[Lit],
+        memo: &mut HashMap<BddRef, Lit>,
+    ) -> Lit {
+        if f == BddRef::ZERO {
+            return Lit::FALSE;
+        }
+        if f == BddRef::ONE {
+            return Lit::TRUE;
+        }
+        if let Some(&l) = memo.get(&f) {
+            return l;
+        }
+        let c = level_lit[self.level(f) as usize];
+        let h = self.to_aig_rec(aig, self.hi(f), level_lit, memo);
+        let l = self.to_aig_rec(aig, self.lo(f), level_lit, memo);
+        let r = aig.ite(c, h, l);
+        memo.insert(f, r);
+        r
+    }
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BddManager {{ vars: {}, nodes: {} }}",
+            self.num_vars,
+            self.nodes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_constants() {
+        let mut m = BddManager::new(2);
+        let x = m.var(0);
+        let nx = m.not(x);
+        assert_eq!(m.and(x, nx), BddRef::ZERO);
+        assert_eq!(m.or(x, nx), BddRef::ONE);
+        assert_eq!(m.not(BddRef::ZERO), BddRef::ONE);
+    }
+
+    #[test]
+    fn canonicity_merges_equivalent_builds() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        // (x & y) | (x & z) == x & (y | z)
+        let a1 = m.and(x, y);
+        let a2 = m.and(x, z);
+        let lhs = m.or(a1, a2);
+        let o = m.or(y, z);
+        let rhs = m.and(x, o);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn restrict_is_cofactor() {
+        let mut m = BddManager::new(2);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        let f_x1 = m.restrict(f, 0, true);
+        let ny = m.not(y);
+        assert_eq!(f_x1, ny);
+        assert_eq!(m.restrict(f, 0, false), y);
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        assert_eq!(m.exists(f, &[0]), y);
+        assert_eq!(m.forall(f, &[0]), BddRef::ZERO);
+        let g = m.or(x, y);
+        assert_eq!(m.exists(g, &[0]), BddRef::ONE);
+        assert_eq!(m.forall(g, &[0]), y);
+        // Quantifying everything yields a constant.
+        assert_eq!(m.exists(f, &[0, 1]), BddRef::ONE);
+    }
+
+    #[test]
+    fn and_exists_matches_composition() {
+        let mut m = BddManager::new(4);
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let w = m.var(3);
+        let f = m.ite(x, y, z);
+        let g = m.ite(y, z, w);
+        let plain = {
+            let c = m.and(f, g);
+            m.exists(c, &[1, 2])
+        };
+        assert_eq!(m.and_exists(f, g, &[1, 2]), plain);
+    }
+
+    #[test]
+    fn vector_compose_substitutes() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let f = m.and(x, y);
+        // x := z, y := !z  =>  f == 0
+        let nz = m.not(z);
+        let subst = HashMap::from([(0u32, z), (1u32, nz)]);
+        assert_eq!(m.vector_compose(f, &subst), BddRef::ZERO);
+        // x := y  => f == y (idempotent conjunction)
+        let subst2 = HashMap::from([(0u32, y)]);
+        assert_eq!(m.vector_compose(f, &subst2), y);
+    }
+
+    #[test]
+    fn sat_count_and_one_sat() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        assert_eq!(m.sat_count(f), 4.0); // 2 over (x,y) * 2 for z
+        let asg = m.one_sat(f).unwrap();
+        let concrete: Vec<bool> = asg.iter().map(|o| o.unwrap_or(false)).collect();
+        assert!(m.eval(f, &concrete));
+        assert_eq!(m.one_sat(BddRef::ZERO), None);
+    }
+
+    #[test]
+    fn from_aig_agrees_with_eval() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = {
+            let x = aig.xor(a.lit(), b.lit());
+            aig.or(x, c.lit())
+        };
+        let mut m = BddManager::new(3);
+        let map = HashMap::from([(a, 0u32), (b, 1u32), (c, 2u32)]);
+        let bf = m.from_aig(&aig, f, &map, usize::MAX).unwrap();
+        for mask in 0..8u32 {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(aig.eval(f, &asg), m.eval(bf, &asg), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn from_aig_respects_cap() {
+        // A wide xor chain grows the BDD; a tiny cap must abort it.
+        let mut aig = Aig::new();
+        let mut f = Lit::FALSE;
+        let mut map = HashMap::new();
+        for i in 0..16 {
+            let v = aig.add_input();
+            map.insert(v, i as u32);
+            f = aig.xor(f, v.lit());
+        }
+        let mut m = BddManager::new(16);
+        assert_eq!(m.from_aig(&aig, f, &map, 4), None);
+        assert!(m.from_aig(&aig, f, &map, usize::MAX).is_some());
+    }
+
+    #[test]
+    fn to_aig_roundtrip() {
+        let mut m = BddManager::new(3);
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let t = m.xor(y, z);
+        let f = m.ite(x, t, y);
+        let mut aig = Aig::new();
+        let lits: Vec<Lit> = (0..3).map(|_| aig.add_input().lit()).collect();
+        let g = m.to_aig(&mut aig, f, &lits);
+        for mask in 0..8u32 {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(m.eval(f, &asg), aig.eval(g, &asg));
+        }
+    }
+
+    #[test]
+    fn ordering_sensitivity_shows_in_size() {
+        // f = (x0&x1) | (x2&x3) | (x4&x5): good order pairs adjacent vars.
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..6).map(|_| aig.add_input()).collect();
+        let mut f = Lit::FALSE;
+        for i in 0..3 {
+            let t = aig.and(vars[2 * i].lit(), vars[2 * i + 1].lit());
+            f = aig.or(f, t);
+        }
+        let good: HashMap<Var, u32> = vars.iter().enumerate().map(|(i, v)| (*v, i as u32)).collect();
+        // Bad order: x0,x2,x4 first then x1,x3,x5.
+        let bad: HashMap<Var, u32> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let lvl = if i % 2 == 0 { i / 2 } else { 3 + i / 2 };
+                (*v, lvl as u32)
+            })
+            .collect();
+        let mut m1 = BddManager::new(6);
+        let g = m1.from_aig(&aig, f, &good, usize::MAX).unwrap();
+        let mut m2 = BddManager::new(6);
+        let b = m2.from_aig(&aig, f, &bad, usize::MAX).unwrap();
+        assert!(m1.size(g) < m2.size(b), "{} vs {}", m1.size(g), m2.size(b));
+    }
+}

@@ -1,0 +1,41 @@
+//! E5 / Table 3 — don't-care optimisation passes (ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_bench::preimage_workload;
+use cbq_cnf::AigCnf;
+use cbq_core::{exists_many, QuantConfig};
+use cbq_ckt::generators;
+use cbq_synth::OptConfig;
+
+fn bench_dcopt(c: &mut Criterion) {
+    let net = generators::arbiter(6);
+    let (aig0, pre, pis) = preimage_workload(&net, 1);
+    let mut g = c.benchmark_group("e5-dcopt");
+    g.sample_size(10);
+    let configs: [(&str, QuantConfig); 3] = [
+        ("merge-only", QuantConfig::merge_only()),
+        ("with-input-dc", QuantConfig::full()),
+        ("with-odc", {
+            let mut cfg = QuantConfig::full();
+            cfg.opt = OptConfig {
+                use_odc: true,
+                ..OptConfig::default()
+            };
+            cfg
+        }),
+    ];
+    for (label, cfg) in configs {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut aig = aig0.clone();
+                let mut cnf = AigCnf::new();
+                exists_many(&mut aig, pre, &pis, &mut cnf, &cfg).lit
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dcopt);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E8 / Table 5 — circuit quantification as SAT pre-image preprocessing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_bench::{hybrid_run, preimage_workload};
+use cbq_ckt::generators;
+
+fn bench_hybrid(c: &mut Criterion) {
+    let net = generators::arbiter(8);
+    let (aig0, pre, pis) = preimage_workload(&net, 1);
+    let mut g = c.benchmark_group("e8-hybrid");
+    g.sample_size(10);
+    for frac in [0.0f64, 0.25, 0.5, 1.0] {
+        g.bench_function(format!("prequant-{:.0}pct", frac * 100.0), |b| {
+            b.iter(|| hybrid_run(&aig0, pre, &pis, frac))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E3 / Fig. 1 — forward vs backward merge order across similarity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_bench::order_run;
+use cbq_cec::MergeOrder;
+
+fn bench_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3-order");
+    g.sample_size(10);
+    for rate in [0.0f64, 0.1, 0.5] {
+        for order in [MergeOrder::Forward, MergeOrder::Backward] {
+            g.bench_function(format!("{order:?}-mut{rate:.1}"), |b| {
+                b.iter(|| order_run(rate, order, 150))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_order);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E7 / Fig. 3 — partial quantification under growth budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_bench::{partial_run, preimage_workload};
+use cbq_ckt::generators;
+
+fn bench_partial(c: &mut Criterion) {
+    let net = generators::arbiter(8);
+    let (aig0, pre, pis) = preimage_workload(&net, 1);
+    let mut g = c.benchmark_group("e7-partial");
+    g.sample_size(10);
+    for budget in [Some(1.0f64), Some(1.5), Some(4.0), None] {
+        let label = budget.map_or("inf".to_string(), |b| format!("{b:.1}x"));
+        g.bench_function(label, |b| {
+            b.iter(|| partial_run(&aig0, pre, &pis, budget))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partial);
+criterion_main!(benches);

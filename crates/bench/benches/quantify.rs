@@ -1,0 +1,38 @@
+//! E1 / Table 1 — circuit-based quantification vs naive vs BDD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_bench::preimage_workload;
+use cbq_cnf::AigCnf;
+use cbq_core::{exists_bdd, exists_many, QuantConfig};
+use cbq_ckt::generators;
+
+fn bench_quantify(c: &mut Criterion) {
+    let net = generators::arbiter(6);
+    let (aig0, pre, pis) = preimage_workload(&net, 1);
+    let mut g = c.benchmark_group("e1-quantify");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("naive", QuantConfig::naive()),
+        ("merge", QuantConfig::merge_only()),
+        ("full", QuantConfig::full()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut aig = aig0.clone();
+                let mut cnf = AigCnf::new();
+                exists_many(&mut aig, pre, &pis, &mut cnf, &cfg).lit
+            })
+        });
+    }
+    g.bench_function("bdd", |b| {
+        b.iter(|| {
+            let mut aig = aig0.clone();
+            exists_bdd(&mut aig, pre, &pis, usize::MAX)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantify);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 / Table 2 — fresh solver per check vs one shared clause database.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_aig::{Aig, Lit};
+use cbq_bench::{candidate_pairs, satmerge_run};
+use cbq_ckt::random::{mutate_function, random_function};
+
+fn bench_satmerge(c: &mut Criterion) {
+    let mut aig = Aig::new();
+    let ins: Vec<Lit> = (0..12).map(|_| aig.add_input().lit()).collect();
+    let f = random_function(&mut aig, &ins, 300, 7);
+    let g = mutate_function(&mut aig, f, 0.08, 8);
+    let pairs = candidate_pairs(&aig, f, g, 4, 9);
+    let mut grp = c.benchmark_group("e2-satmerge");
+    grp.sample_size(10);
+    grp.bench_function("fresh-per-check", |b| {
+        b.iter(|| satmerge_run(&aig, &pairs, false))
+    });
+    grp.bench_function("shared-database", |b| {
+        b.iter(|| satmerge_run(&aig, &pairs, true))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_satmerge);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 / Fig. 2 — merge-tier effectiveness (strash / BDD sweep / SAT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_bench::preimage_workload;
+use cbq_cec::{sweep, SweepConfig};
+use cbq_cnf::AigCnf;
+use cbq_ckt::generators;
+
+fn bench_tiers(c: &mut Criterion) {
+    let net = generators::fifo_ctrl(4);
+    let (aig0, pre, pis) = preimage_workload(&net, 1);
+    let v = pis[0];
+    let mut g = c.benchmark_group("e4-tiers");
+    g.sample_size(10);
+    for (label, use_bdd, use_sat) in [
+        ("bdd-only", true, false),
+        ("sat-only", false, true),
+        ("bdd+sat", true, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut aig = aig0.clone();
+                let (f1, f0) = aig.cofactors(pre, v);
+                let mut cnf = AigCnf::new();
+                let cfg = SweepConfig {
+                    use_bdd_sweep: use_bdd,
+                    use_sat,
+                    ..SweepConfig::default()
+                };
+                sweep(&mut aig, &[f1, f0], &mut cnf, &cfg).stats
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E6 / Table 4 — UMC engine comparison on a safe and an unsafe circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_ckt::generators;
+use cbq_mc::{BddUmc, Bmc, CircuitUmc, KInduction};
+
+fn bench_umc(c: &mut Criterion) {
+    let safe = generators::token_ring(8);
+    let buggy = generators::token_ring_bug(8);
+    let mut g = c.benchmark_group("e6-umc");
+    g.sample_size(10);
+    for (tag, net) in [("safe", &safe), ("buggy", &buggy)] {
+        g.bench_function(format!("circuit-umc-{tag}"), |b| {
+            b.iter(|| CircuitUmc::default().check(net).verdict)
+        });
+        g.bench_function(format!("bdd-umc-{tag}"), |b| {
+            b.iter(|| BddUmc::default().check(net).verdict)
+        });
+        g.bench_function(format!("bmc-{tag}"), |b| {
+            b.iter(|| Bmc { max_depth: 12 }.check(net).verdict)
+        });
+        g.bench_function(format!("kind-{tag}"), |b| {
+            b.iter(|| {
+                KInduction {
+                    max_k: 12,
+                    simple_path: true,
+                }
+                .check(net)
+                .verdict
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_umc);
+criterion_main!(benches);

@@ -1,0 +1,675 @@
+//! # cbq-bench — the evaluation harness
+//!
+//! One module per experiment of `DESIGN.md` §3 (E1–E8). Each experiment
+//! exposes a `*_table()` function that regenerates the corresponding
+//! table/figure as a [`Table`] of printed rows; the `report` binary
+//! dispatches on experiment ids, and the Criterion benches in `benches/`
+//! time the same kernels.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_aig::sim::BitSim;
+use cbq_cec::{sweep, MergeOrder, SweepConfig};
+use cbq_cnf::AigCnf;
+use cbq_ckt::generators;
+use cbq_ckt::random::similar_pair;
+use cbq_ckt::Network;
+use cbq_core::{exists_bdd, exists_many, QuantConfig};
+use cbq_mc::ganai::all_solutions_exists;
+use cbq_mc::preimage::preimage_formula;
+use cbq_mc::{BddUmc, Bmc, CircuitUmc, KInduction, Verdict};
+use cbq_synth::OptConfig;
+
+/// A printable table of experiment results.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (experiment id and claim).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8))?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+fn ms(start: Instant) -> String {
+    format!("{:.1}", start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The circuits whose one-step pre-image formulas drive the
+/// quantification experiments.
+pub fn quant_workloads() -> Vec<Network> {
+    vec![
+        generators::arbiter(8),
+        generators::fifo_ctrl(4),
+        generators::mutex(),
+        generators::token_ring_bug(8),
+        generators::counter_bug(10, 512),
+        generators::shift_ones(10),
+    ]
+}
+
+/// Builds the raw pre-image formula (over state and inputs) of a
+/// network's bad states, iterated `steps` times with full quantification
+/// in between (the realistic workload of backward reachability).
+pub fn preimage_workload(net: &Network, steps: usize) -> (Aig, Lit, Vec<Var>) {
+    let mut aig = net.aig().clone();
+    let pis: Vec<Var> = net.primary_inputs().to_vec();
+    let mut cnf = AigCnf::new();
+    let mut target = net.bad();
+    for _ in 0..steps {
+        let q = exists_many(&mut aig, target, &pis, &mut cnf, &QuantConfig::full());
+        target = preimage_formula(&mut aig, net, q.lit);
+    }
+    (aig, target, pis)
+}
+
+/// The canonical-blow-up workload: product bit `bit` of an `n×m` array
+/// multiplier, with the first `quantify` x-operand bits to eliminate.
+/// Multiplier middle bits have exponential BDDs under any order but
+/// linear AIGs — the paper's motivating asymmetry.
+pub fn multiplier_workload(n: usize, m: usize, bit: usize, quantify: usize) -> (Aig, Lit, Vec<Var>) {
+    let mut aig = Aig::new();
+    let xv: Vec<Var> = (0..n).map(|_| aig.add_input()).collect();
+    let yv: Vec<Var> = (0..m).map(|_| aig.add_input()).collect();
+    let xs: Vec<Lit> = xv.iter().map(|v| v.lit()).collect();
+    let ys: Vec<Lit> = yv.iter().map(|v| v.lit()).collect();
+    let prod = cbq_ckt::arith::multiplier(&mut aig, &xs, &ys);
+    (aig, prod[bit], xv[..quantify].to_vec())
+}
+
+/// A factorisation workload for the enumeration experiment: the
+/// predicate `x * y == target` over `n`-bit operands, quantifying `y`.
+/// `∃y` has one "solution region" per divisor — all-solutions SAT needs
+/// one cofactor per region, while circuit quantification handles it
+/// symbolically.
+pub fn factor_workload(n: usize, target: u64) -> (Aig, Lit, Vec<Var>) {
+    let mut aig = Aig::new();
+    let xv: Vec<Var> = (0..n).map(|_| aig.add_input()).collect();
+    let yv: Vec<Var> = (0..n).map(|_| aig.add_input()).collect();
+    let xs: Vec<Lit> = xv.iter().map(|v| v.lit()).collect();
+    let ys: Vec<Lit> = yv.iter().map(|v| v.lit()).collect();
+    let prod = cbq_ckt::arith::multiplier(&mut aig, &xs, &ys);
+    let eq_bits: Vec<Lit> = prod
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.xor_sign((target >> i) & 1 == 0))
+        .collect();
+    let f = aig.and_many(&eq_bits);
+    (aig, f, yv)
+}
+
+// ---------------------------------------------------------------------
+// E1 / Table 1 — quantification compaction
+// ---------------------------------------------------------------------
+
+/// E1: AIG sizes after quantifying all inputs from a pre-image formula,
+/// for naive / merge-only / merge+opt, plus the BDD size baseline.
+pub fn e1_table() -> Table {
+    let mut t = Table::new(
+        "E1 / Table 1 — quantification compaction (AND gates; BDD nodes)",
+        &["circuit", "pre", "vars", "naive", "merge", "merge+opt", "bdd", "ms(full)"],
+    );
+    let mut workloads: Vec<(String, Aig, Lit, Vec<Var>)> = quant_workloads()
+        .into_iter()
+        .map(|net| {
+            let (aig, pre, pis) = preimage_workload(&net, 1);
+            (net.name().to_string(), aig, pre, pis)
+        })
+        .collect();
+    let (maig, mf, mvars) = multiplier_workload(7, 7, 8, 3);
+    workloads.push(("mult7x7.b8".to_string(), maig, mf, mvars));
+    for (name, aig0, pre, pis) in workloads {
+        let mut row = vec![
+            name,
+            aig0.cone_size(pre).to_string(),
+            pis.len().to_string(),
+        ];
+        for cfg in [
+            QuantConfig::naive(),
+            QuantConfig::merge_only(),
+            QuantConfig::full(),
+        ] {
+            let mut aig = aig0.clone();
+            let mut cnf = AigCnf::new();
+            let start = Instant::now();
+            let res = exists_many(&mut aig, pre, &pis, &mut cnf, &cfg);
+            let size = aig.cone_size(res.lit);
+            if cfg.use_merge && cfg.use_opt {
+                row.push(size.to_string());
+                let mut aig_b = aig0.clone();
+                let bdd = exists_bdd(&mut aig_b, pre, &pis, 2_000_000)
+                    .map(|(_, s)| s.to_string())
+                    .unwrap_or_else(|| ">cap".to_string());
+                row.push(bdd);
+                row.push(ms(start));
+            } else {
+                row.push(size.to_string());
+            }
+        }
+        t.push(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E2 / Table 2 — factorised SAT-merge on one clause database
+// ---------------------------------------------------------------------
+
+/// Candidate merge pairs of two functions' cones, by simulation
+/// signature (phase-normalised).
+pub fn candidate_pairs(aig: &Aig, f: Lit, g: Lit, words: usize, seed: u64) -> Vec<(Lit, Lit)> {
+    let sim = BitSim::random(aig, words, seed);
+    let mut groups: std::collections::HashMap<Vec<u64>, Vec<Lit>> = Default::default();
+    for v in aig.collect_cone(&[f, g]) {
+        if v == Var::CONST {
+            continue;
+        }
+        let (sig, flip) = sim.normalized_signature(v.lit());
+        groups.entry(sig).or_default().push(v.lit().xor_sign(flip));
+    }
+    let mut pairs = Vec::new();
+    for (_, mut members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+        let repr = members[0];
+        for m in &members[1..] {
+            pairs.push((repr, *m));
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// E2 kernel: proves a list of candidate pairs either with a fresh solver
+/// per check or on one shared database. Returns
+/// `(proved, conflicts, decisions, encoded_gates)`.
+pub fn satmerge_run(
+    aig: &Aig,
+    pairs: &[(Lit, Lit)],
+    shared: bool,
+) -> (usize, u64, u64, u64) {
+    let mut proved = 0usize;
+    let mut conflicts = 0u64;
+    let mut decisions = 0u64;
+    let mut encoded = 0u64;
+    let mut shared_cnf = AigCnf::new();
+    for (a, b) in pairs {
+        if shared {
+            if shared_cnf.prove_equiv(aig, *a, *b, None).is_equiv() {
+                proved += 1;
+            }
+        } else {
+            let mut cnf = AigCnf::new();
+            if cnf.prove_equiv(aig, *a, *b, None).is_equiv() {
+                proved += 1;
+            }
+            conflicts += cnf.solver().stats().conflicts;
+            decisions += cnf.solver().stats().decisions;
+            encoded += cnf.stats().encoded_ands;
+        }
+    }
+    if shared {
+        conflicts = shared_cnf.solver().stats().conflicts;
+        decisions = shared_cnf.solver().stats().decisions;
+        encoded = shared_cnf.stats().encoded_ands;
+    }
+    (proved, conflicts, decisions, encoded)
+}
+
+/// E2: per-check fresh solvers vs the paper's shared clause database.
+pub fn e2_table() -> Table {
+    let mut t = Table::new(
+        "E2 / Table 2 — factorised SAT-merge (shared clause database)",
+        &["gates", "pairs", "mode", "proved", "conflicts", "decisions", "encoded", "ms"],
+    );
+    for ops in [30usize, 80, 160] {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..12).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, ops, 0.08, 7);
+        let pairs = candidate_pairs(&aig, f, g, 4, 9);
+        for shared in [false, true] {
+            let start = Instant::now();
+            let (proved, conflicts, decisions, encoded) = satmerge_run(&aig, &pairs, shared);
+            t.push(vec![
+                ops.to_string(),
+                pairs.len().to_string(),
+                if shared { "shared" } else { "fresh" }.to_string(),
+                proved.to_string(),
+                conflicts.to_string(),
+                decisions.to_string(),
+                encoded.to_string(),
+                ms(start),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E3 / Fig. 1 — forward vs backward merge order vs similarity
+// ---------------------------------------------------------------------
+
+/// E3 kernel: sweeps a cofactor-like pair at the given mutation rate with
+/// the given order; returns (sat checks, skipped points, merged, ms).
+pub fn order_run(rate: f64, order: MergeOrder, ops: usize) -> (u64, u64, usize, f64) {
+    let mut aig = Aig::new();
+    let ins: Vec<Lit> = (0..12).map(|_| aig.add_input().lit()).collect();
+    let (f, g) = similar_pair(&mut aig, &ins, ops, rate, 21);
+    let mut cnf = AigCnf::new();
+    let cfg = SweepConfig {
+        use_bdd_sweep: false,
+        order,
+        ..SweepConfig::default()
+    };
+    let start = Instant::now();
+    let res = sweep(&mut aig, &[f, g], &mut cnf, &cfg);
+    (
+        res.stats.sat_checks,
+        res.stats.skipped_out_of_cone,
+        res.stats.merged_sat,
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E3: the two orders across a similarity sweep.
+pub fn e3_table() -> Table {
+    let mut t = Table::new(
+        "E3 / Fig. 1 — merge order vs cofactor similarity (80-op pairs)",
+        &["mutation", "order", "sat checks", "skipped", "merged", "ms"],
+    );
+    for rate in [0.0, 0.02, 0.05, 0.1, 0.2, 0.5] {
+        for order in [MergeOrder::Forward, MergeOrder::Backward] {
+            let (checks, skipped, merged, time) = order_run(rate, order, 80);
+            t.push(vec![
+                format!("{rate:.2}"),
+                format!("{order:?}"),
+                checks.to_string(),
+                skipped.to_string(),
+                merged.to_string(),
+                format!("{time:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E4 / Fig. 2 — merge-tier effectiveness
+// ---------------------------------------------------------------------
+
+/// E4: which tier (structural sharing / BDD sweeping / SAT) discovers the
+/// merge points, and how the load shifts when the BDD cap shrinks.
+pub fn e4_table() -> Table {
+    let mut t = Table::new(
+        "E4 / Fig. 2 — merge tiers (structural / BDD sweep / SAT)",
+        &["workload", "bdd cap", "shared(strash)", "classes", "bdd", "sat", "cex"],
+    );
+    // Cofactor pairs from real pre-images plus two synthetic pairs with
+    // plentiful compare points.
+    let mut workloads: Vec<(String, Aig, Lit, Lit)> = Vec::new();
+    for net in quant_workloads() {
+        let (mut aig, pre, pis) = preimage_workload(&net, 1);
+        let Some(v) = pis.iter().find(|v| aig.support_contains(pre, **v)) else {
+            continue;
+        };
+        let (f1, f0) = aig.cofactors(pre, *v);
+        workloads.push((net.name().to_string(), aig, f1, f0));
+    }
+    for (ops, rate, seed) in [(60usize, 0.05f64, 31u64), (120, 0.1, 32)] {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..12).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, ops, rate, seed);
+        workloads.push((format!("pair{ops}@{rate}"), aig, f, g));
+    }
+    for (name, aig0, f1, f0) in workloads {
+        let shared = {
+            let c1: std::collections::HashSet<Var> =
+                aig0.collect_cone(&[f1]).into_iter().collect();
+            aig0.collect_cone(&[f0])
+                .into_iter()
+                .filter(|x| c1.contains(x))
+                .count()
+        };
+        for (cap_label, use_bdd, cap) in [("2000", true, 2000usize), ("40", true, 40), ("off", false, 0)] {
+            let mut aig = aig0.clone();
+            let mut cnf = AigCnf::new();
+            let cfg = SweepConfig {
+                use_bdd_sweep: use_bdd,
+                bdd_cap: cap,
+                ..SweepConfig::default()
+            };
+            let res = sweep(&mut aig, &[f1, f0], &mut cnf, &cfg);
+            t.push(vec![
+                name.clone(),
+                cap_label.to_string(),
+                shared.to_string(),
+                res.stats.classes_initial.to_string(),
+                res.stats.merged_bdd.to_string(),
+                res.stats.merged_sat.to_string(),
+                res.stats.sat_cex.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E5 / Table 3 — don't-care optimisation ablation
+// ---------------------------------------------------------------------
+
+/// E5: sizes after quantification with the optimisation passes toggled.
+pub fn e5_table() -> Table {
+    let mut t = Table::new(
+        "E5 / Table 3 — DC-based optimisation ablation (AND gates)",
+        &["circuit", "merge only", "+input DC", "+ODC", "const", "merges", "odc"],
+    );
+    for net in quant_workloads() {
+        let (aig0, pre, pis) = preimage_workload(&net, 1);
+        let merge_only = {
+            let mut aig = aig0.clone();
+            let mut cnf = AigCnf::new();
+            let res = exists_many(&mut aig, pre, &pis, &mut cnf, &QuantConfig::merge_only());
+            aig.cone_size(res.lit)
+        };
+        let (dc_size, dc_stats) = {
+            let mut aig = aig0.clone();
+            let mut cnf = AigCnf::new();
+            let res = exists_many(&mut aig, pre, &pis, &mut cnf, &QuantConfig::full());
+            (aig.cone_size(res.lit), res.stats.opt)
+        };
+        let (odc_size, odc_stats) = {
+            let mut aig = aig0.clone();
+            let mut cnf = AigCnf::new();
+            let mut cfg = QuantConfig::full();
+            cfg.opt = OptConfig {
+                use_odc: true,
+                ..OptConfig::default()
+            };
+            let res = exists_many(&mut aig, pre, &pis, &mut cnf, &cfg);
+            (aig.cone_size(res.lit), res.stats.opt)
+        };
+        t.push(vec![
+            net.name().to_string(),
+            merge_only.to_string(),
+            dc_size.to_string(),
+            odc_size.to_string(),
+            (dc_stats.const_applied + odc_stats.const_applied).to_string(),
+            (dc_stats.merge_applied + odc_stats.merge_applied).to_string(),
+            odc_stats.odc_applied.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6 / Table 4 — UMC engine comparison
+// ---------------------------------------------------------------------
+
+/// The suite for the engine-comparison table.
+pub fn umc_suite() -> Vec<Network> {
+    vec![
+        generators::token_ring(10),
+        generators::bounded_counter_gap(6, 20, 50),
+        generators::gray_counter(10),
+        generators::arbiter(7),
+        generators::mutex(),
+        generators::lfsr(10, &[0, 2, 3, 5]),
+        generators::fifo_ctrl(4),
+        generators::token_ring_bug(8),
+        generators::mutex_bug(),
+        generators::shift_ones(8),
+        generators::counter_bug(8, 60),
+    ]
+}
+
+fn verdict_cell(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe { iterations } => format!("safe@{iterations}"),
+        Verdict::Unsafe { trace } => format!("cex@{}", trace.len() - 1),
+        Verdict::Unknown { .. } => "unknown".to_string(),
+    }
+}
+
+/// E6: verdict, effort and representation peaks for all four engines.
+pub fn e6_table() -> Table {
+    let mut t = Table::new(
+        "E6 / Table 4 — UMC comparison (circuit vs BDD vs BMC vs k-induction)",
+        &[
+            "circuit", "circ-umc", "nodes", "ms", "bdd-umc", "nodes", "ms", "bmc", "ms",
+            "k-ind", "ms",
+        ],
+    );
+    for net in umc_suite() {
+        let mut row = vec![net.name().to_string()];
+        let start = Instant::now();
+        let c = CircuitUmc::default().check(&net);
+        row.push(verdict_cell(&c.verdict));
+        row.push(c.stats.peak_nodes.to_string());
+        row.push(ms(start));
+        let start = Instant::now();
+        let b = BddUmc::default().check(&net);
+        row.push(verdict_cell(&b.verdict));
+        row.push(b.stats.peak_nodes.to_string());
+        row.push(ms(start));
+        let start = Instant::now();
+        let m = Bmc { max_depth: 80 }.check(&net);
+        row.push(verdict_cell(&m.verdict));
+        row.push(ms(start));
+        let start = Instant::now();
+        let k = KInduction { max_k: 40, simple_path: true }.check(&net);
+        row.push(verdict_cell(&k.verdict));
+        row.push(ms(start));
+        t.push(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E7 / Fig. 3 — partial quantification budget sweep
+// ---------------------------------------------------------------------
+
+/// E7 kernel: quantify a pre-image under a growth budget; returns
+/// (residual vars, result size, ms).
+pub fn partial_run(aig0: &Aig, pre: Lit, pis: &[Var], budget: Option<f64>) -> (usize, usize, f64) {
+    let mut aig = aig0.clone();
+    let mut cnf = AigCnf::new();
+    let cfg = match budget {
+        Some(b) => QuantConfig::full().with_budget(b),
+        None => QuantConfig::full(),
+    };
+    let start = Instant::now();
+    let res = exists_many(&mut aig, pre, pis, &mut cnf, &cfg);
+    (
+        res.remaining.len(),
+        aig.cone_size(res.lit),
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E7: residuals and sizes across the abort-budget sweep.
+pub fn e7_table() -> Table {
+    let mut t = Table::new(
+        "E7 / Fig. 3 — partial quantification budget sweep",
+        &["workload", "budget", "residual", "size", "ms"],
+    );
+    let mut workloads: Vec<(String, Aig, Lit, Vec<Var>)> = Vec::new();
+    for net in [generators::arbiter(8), generators::fifo_ctrl(4)] {
+        let (aig, pre, pis) = preimage_workload(&net, 1);
+        workloads.push((net.name().to_string(), aig, pre, pis));
+    }
+    // The growth-prone workload: multiplier middle bits (cofactors by
+    // operand bits share little).
+    let (maig, mf, mvars) = multiplier_workload(6, 6, 7, 4);
+    workloads.push(("mult6x6.b7".to_string(), maig, mf, mvars));
+    for (name, aig0, pre, pis) in workloads {
+        for budget in [Some(0.8), Some(1.0), Some(1.25), Some(1.5), Some(2.0), Some(4.0), None] {
+            let (residual, size, time) = partial_run(&aig0, pre, &pis, budget);
+            t.push(vec![
+                name.clone(),
+                budget.map_or("∞".to_string(), |b| format!("{b:.2}x")),
+                residual.to_string(),
+                size.to_string(),
+                format!("{time:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E8 / Table 5 — hybrid with all-solutions SAT pre-image
+// ---------------------------------------------------------------------
+
+/// E8 kernel: pre-quantify `frac` of the inputs with the circuit engine,
+/// enumerate the rest by circuit cofactoring. Returns
+/// (decision vars, cofactor rounds, result size, ms).
+pub fn hybrid_run(aig0: &Aig, pre: Lit, pis: &[Var], frac: f64) -> (usize, usize, usize, f64) {
+    let mut aig = aig0.clone();
+    let mut cnf = AigCnf::new();
+    let split = ((pis.len() as f64) * frac).round() as usize;
+    let (first, rest) = pis.split_at(split);
+    let start = Instant::now();
+    let q = exists_many(&mut aig, pre, first, &mut cnf, &QuantConfig::full());
+    let (lit, stats) =
+        all_solutions_exists(&mut aig, q.lit, rest, &mut cnf, 100_000).expect("converges");
+    (
+        rest.len(),
+        stats.cofactors,
+        aig.cone_size(lit),
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E8: SAT pre-image effort as a function of pre-quantified fraction.
+pub fn e8_table() -> Table {
+    let mut t = Table::new(
+        "E8 / Table 5 — circuit quantification as preprocessing for SAT pre-image",
+        &["workload", "prequant", "decision vars", "cofactors", "size", "ms"],
+    );
+    let mut workloads: Vec<(String, Aig, Lit, Vec<Var>)> = Vec::new();
+    for net in [generators::arbiter(8), generators::fifo_ctrl(4)] {
+        let (aig, pre, pis) = preimage_workload(&net, 1);
+        workloads.push((net.name().to_string(), aig, pre, pis));
+    }
+    // Enumeration-heavy workload: ∃y. (x*y == 60) — one cofactor per
+    // divisor region for the pure SAT method.
+    let (faig, ff, fvars) = factor_workload(6, 60);
+    workloads.push(("factor60".to_string(), faig, ff, fvars));
+    for (name, aig0, pre, pis) in workloads {
+        for frac in [0.0, 0.25, 0.5, 1.0] {
+            let (vars, rounds, size, time) = hybrid_run(&aig0, pre, &pis, frac);
+            t.push(vec![
+                name.clone(),
+                format!("{:.0}%", frac * 100.0),
+                vars.to_string(),
+                rounds.to_string(),
+                size.to_string(),
+                format!("{time:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
+/// Runs one experiment by id (`"e1"` … `"e8"`).
+pub fn run_experiment(id: &str) -> Option<Table> {
+    match id {
+        "e1" => Some(e1_table()),
+        "e2" => Some(e2_table()),
+        "e3" => Some(e3_table()),
+        "e4" => Some(e4_table()),
+        "e5" => Some(e5_table()),
+        "e6" => Some(e6_table()),
+        "e7" => Some(e7_table()),
+        "e8" => Some(e8_table()),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_pairs_are_plausible() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..8).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, 40, 0.05, 1);
+        let pairs = candidate_pairs(&aig, f, g, 4, 3);
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn satmerge_modes_prove_the_same_pairs() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..8).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, 30, 0.1, 5);
+        let pairs = candidate_pairs(&aig, f, g, 4, 7);
+        assert!(!pairs.is_empty());
+        let (p1, ..) = satmerge_run(&aig, &pairs, false);
+        let (p2, ..) = satmerge_run(&aig, &pairs, true);
+        assert_eq!(p1, p2);
+        assert!(p1 > 0);
+    }
+
+    #[test]
+    fn small_experiment_kernels_run() {
+        // Smoke-test the kernels on tiny instances (full tables are the
+        // report binary's job).
+        let net = generators::mutex();
+        let (aig0, pre, pis) = preimage_workload(&net, 1);
+        let (r, s, _) = partial_run(&aig0, pre, &pis, Some(1.5));
+        assert!(r <= pis.len());
+        assert!(s > 0 || pre.is_const());
+        let (v, _, _, _) = hybrid_run(&aig0, pre, &pis, 0.5);
+        assert_eq!(v, pis.len() - 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Random combinational workloads with controlled similarity.
+//!
+//! Experiment E3 of the evaluation studies the forward vs backward merge
+//! orders as a function of *cofactor similarity*. These helpers generate a
+//! random function and a mutated copy whose fraction of perturbed gates is
+//! the similarity knob.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cbq_aig::{Aig, Lit};
+
+/// Builds a random `num_gates`-gate function over `inputs`, deterministic
+/// in `seed`. Gates pick two random existing literals (with random
+/// phases) and AND them; the last gate is the root.
+pub fn random_function(aig: &mut Aig, inputs: &[Lit], num_gates: usize, seed: u64) -> Lit {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<Lit> = inputs.to_vec();
+    assert!(pool.len() >= 2, "need at least two inputs");
+    let mut root = pool[0];
+    for _ in 0..num_gates {
+        let a = pool[rng.gen_range(0..pool.len())].xor_sign(rng.gen());
+        let b = pool[rng.gen_range(0..pool.len())].xor_sign(rng.gen());
+        let g = if rng.gen_bool(0.3) {
+            aig.xor(a, b)
+        } else {
+            aig.and(a, b)
+        };
+        pool.push(g);
+        root = g;
+    }
+    root
+}
+
+/// Rebuilds `root`'s cone, flipping the phase of roughly
+/// `mutation_rate` of the AND gates — producing a function that agrees
+/// with the original on most of its internal nodes.
+///
+/// `mutation_rate = 0.0` returns a function structurally identical to
+/// `root` (the copy re-hashes onto the same nodes); higher rates produce
+/// increasingly dissimilar functions.
+pub fn mutate_function(aig: &mut Aig, root: Lit, mutation_rate: f64, seed: u64) -> Lit {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cone = aig.collect_cone(&[root]);
+    let mut memo: std::collections::HashMap<cbq_aig::Var, Lit> = std::collections::HashMap::new();
+    for v in cone {
+        let rebuilt = match aig.node(v) {
+            cbq_aig::Node::Const => Lit::FALSE,
+            cbq_aig::Node::Input { .. } => v.lit(),
+            cbq_aig::Node::And { f0, f1 } => {
+                let a = memo[&f0.var()].xor_sign(f0.is_complemented());
+                let b = memo[&f1.var()].xor_sign(f1.is_complemented());
+                let g = aig.and(a, b);
+                if rng.gen_bool(mutation_rate) {
+                    !g
+                } else {
+                    g
+                }
+            }
+        };
+        memo.insert(v, rebuilt);
+    }
+    memo[&root.var()].xor_sign(root.is_complemented())
+}
+
+/// Generates a *pair* of functions with controlled similarity, the
+/// workload of the merge-order experiment (E3) and the factorised
+/// SAT-merge experiment (E2).
+///
+/// An abstract three-operand expression DAG is emitted twice with
+/// different associativity (`op(op(a,b),c)` vs `op(a,op(b,c))`), so the
+/// two emissions are *functionally equivalent but structurally distinct*
+/// at every unmutated operator — exactly the situation of two cofactors
+/// of the same function. With probability `mutation_rate` an operator's
+/// second emission complements one operand, making that subtree (and
+/// everything above it) genuinely different.
+pub fn similar_pair(
+    aig: &mut Aig,
+    inputs: &[Lit],
+    num_ops: usize,
+    mutation_rate: f64,
+    seed: u64,
+) -> (Lit, Lit) {
+    assert!(inputs.len() >= 3, "need at least three inputs");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool_a: Vec<Lit> = inputs.to_vec();
+    let mut pool_b: Vec<Lit> = inputs.to_vec();
+    let mut root_a = inputs[0];
+    let mut root_b = inputs[0];
+    for _ in 0..num_ops {
+        // Chain through the most recent result so every operator stays in
+        // the roots' cones (and thus becomes a compare point).
+        let i = pool_a.len() - 1;
+        let j = rng.gen_range(0..pool_a.len());
+        let k = rng.gen_range(0..pool_a.len());
+        let pa = rng.gen::<bool>();
+        let pb = rng.gen::<bool>();
+        let pc = rng.gen::<bool>();
+        let is_and = rng.gen_bool(0.6);
+        let mutate = rng.gen_bool(mutation_rate);
+        let (a1, b1, c1) = (
+            pool_a[i].xor_sign(pa),
+            pool_a[j].xor_sign(pb),
+            pool_a[k].xor_sign(pc),
+        );
+        let (a2, b2, mut c2) = (
+            pool_b[i].xor_sign(pa),
+            pool_b[j].xor_sign(pb),
+            pool_b[k].xor_sign(pc),
+        );
+        if mutate {
+            c2 = !c2;
+        }
+        let (ra, rb) = if is_and {
+            let t1 = aig.and(a1, b1);
+            let l = aig.and(t1, c1);
+            let t2 = aig.and(b2, c2);
+            let r = aig.and(a2, t2);
+            (l, r)
+        } else {
+            let t1 = aig.xor(a1, b1);
+            let l = aig.xor(t1, c1);
+            let t2 = aig.xor(b2, c2);
+            let r = aig.xor(a2, t2);
+            (l, r)
+        };
+        pool_a.push(ra);
+        pool_b.push(rb);
+        root_a = ra;
+        root_b = rb;
+    }
+    (root_a, root_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_pair_zero_mutation_is_equivalent() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, 30, 0.0, 5);
+        for mask in 0..64u32 {
+            let asg: Vec<bool> = (0..6).map(|i| (mask >> i) & 1 != 0).collect();
+            assert_eq!(aig.eval(f, &asg), aig.eval(g, &asg), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn similar_pair_emissions_are_structurally_distinct() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, 30, 0.0, 5);
+        // Equivalent but (almost surely) not the same node.
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn similar_pair_high_mutation_differs() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| aig.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut aig, &ins, 30, 0.9, 5);
+        let differs = (0..64u32).any(|mask| {
+            let asg: Vec<bool> = (0..6).map(|i| (mask >> i) & 1 != 0).collect();
+            aig.eval(f, &asg) != aig.eval(g, &asg)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn random_function_is_deterministic() {
+        let mut a1 = Aig::new();
+        let ins1: Vec<Lit> = (0..6).map(|_| a1.add_input().lit()).collect();
+        let f1 = random_function(&mut a1, &ins1, 40, 7);
+        let mut a2 = Aig::new();
+        let ins2: Vec<Lit> = (0..6).map(|_| a2.add_input().lit()).collect();
+        let f2 = random_function(&mut a2, &ins2, 40, 7);
+        for mask in 0..64u32 {
+            let asg: Vec<bool> = (0..6).map(|i| (mask >> i) & 1 != 0).collect();
+            assert_eq!(a1.eval(f1, &asg), a2.eval(f2, &asg));
+        }
+    }
+
+    #[test]
+    fn zero_mutation_is_identity() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..5).map(|_| aig.add_input().lit()).collect();
+        let f = random_function(&mut aig, &ins, 30, 3);
+        let g = mutate_function(&mut aig, f, 0.0, 11);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn high_mutation_changes_function() {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..5).map(|_| aig.add_input().lit()).collect();
+        let f = random_function(&mut aig, &ins, 30, 3);
+        let g = mutate_function(&mut aig, f, 0.8, 11);
+        let differs = (0..32u32).any(|mask| {
+            let asg: Vec<bool> = (0..5).map(|i| (mask >> i) & 1 != 0).collect();
+            aig.eval(f, &asg) != aig.eval(g, &asg)
+        });
+        assert!(differs);
+    }
+}

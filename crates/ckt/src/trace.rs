@@ -1,0 +1,103 @@
+//! Counterexample traces and their replay.
+
+use std::fmt;
+
+use crate::network::Network;
+
+/// A finite input trace from the initial state, used as a counterexample
+/// witness: step `t` applies `inputs[t]` to the state reached after `t`
+/// steps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    inputs: Vec<Vec<bool>>,
+}
+
+impl Trace {
+    /// Creates a trace from per-step primary-input vectors.
+    pub fn new(inputs: Vec<Vec<bool>>) -> Trace {
+        Trace { inputs }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the trace has zero steps (bad in the initial state).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The input vectors, step by step.
+    pub fn inputs(&self) -> &[Vec<bool>] {
+        &self.inputs
+    }
+
+    /// Replays the trace on `net` and returns the visited states
+    /// (length `len() + 1`, starting at the initial state) and whether
+    /// `bad` fired at any visited step.
+    ///
+    /// The counterexample is valid iff this returns `true`: `bad` must hold
+    /// in some visited state (checked with the inputs applied there, or
+    /// with all-zero inputs in the final state).
+    pub fn replay(&self, net: &Network) -> (Vec<Vec<bool>>, bool) {
+        let mut states = vec![net.initial_state()];
+        let mut hit = false;
+        for step_inputs in &self.inputs {
+            let cur = states.last().expect("non-empty");
+            let (next, bad) = net.step(cur, step_inputs);
+            hit |= bad;
+            states.push(next);
+        }
+        // Bad may hold in the final state under all-zero inputs.
+        let zeros = vec![false; net.num_inputs()];
+        let (_, bad_final) = net.step(states.last().expect("non-empty"), &zeros);
+        (states, hit || bad_final)
+    }
+
+    /// Whether this trace is a genuine counterexample for `net`.
+    pub fn validates(&self, net: &Network) -> bool {
+        self.replay(net).1
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace of {} steps:", self.inputs.len())?;
+        for (t, step) in self.inputs.iter().enumerate() {
+            let bits: String = step.iter().map(|b| if *b { '1' } else { '0' }).collect();
+            writeln!(f, "  step {t}: {bits}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    #[test]
+    fn replay_detects_bad() {
+        // Toggler: bad when the bit is 1, reached after one step.
+        let mut b = Network::builder("toggler");
+        let s = b.add_latch(false);
+        let n = !s.lit();
+        b.set_next(s, n);
+        let net = b.build(s.lit());
+        let t = Trace::new(vec![vec![]]);
+        let (states, hit) = t.replay(&net);
+        assert!(hit);
+        assert_eq!(states.len(), 2);
+        assert!(t.validates(&net));
+    }
+
+    #[test]
+    fn empty_trace_checks_initial_state() {
+        let mut b = Network::builder("bad-init");
+        let s = b.add_latch(true);
+        b.set_next(s, s.lit());
+        let net = b.build(s.lit());
+        assert!(Trace::default().validates(&net));
+    }
+}

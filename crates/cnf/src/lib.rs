@@ -1,0 +1,396 @@
+//! # cbq-cnf — incremental Tseitin bridge between AIGs and the SAT solver
+//!
+//! The paper's SAT-merge routine is built "on top of ZChaff: we load the
+//! clause database once and for-all, and we factorize several checks
+//! together within a single ZChaff run". [`AigCnf`] reproduces exactly that
+//! workflow:
+//!
+//! * AIG nodes are encoded to CNF **lazily** ([`AigCnf::ensure`]): each AND
+//!   gate contributes its three Tseitin clauses the first time a check
+//!   needs its cone, and never again;
+//! * checks are issued as **assumption-based solves** on the shared
+//!   database ([`AigCnf::solve_under`]), so nothing needs to be retracted
+//!   between checks and everything the solver learns is kept;
+//! * equivalence and implication proofs ([`AigCnf::prove_equiv`],
+//!   [`AigCnf::prove_implies`]) return concrete counterexample input
+//!   assignments that the sweeping engines feed back into simulation.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbq_aig::Aig;
+//! use cbq_cnf::{AigCnf, EquivResult};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input().lit();
+//! let b = aig.add_input().lit();
+//! let f = aig.xor(a, b);
+//! let or = aig.or(a, b);
+//! let nand = !aig.and(a, b);
+//! let g = aig.and(or, nand); // xor, written differently
+//!
+//! let mut cnf = AigCnf::new();
+//! assert_eq!(cnf.prove_equiv(&aig, f, g, None), EquivResult::Equiv);
+//! match cnf.prove_equiv(&aig, f, or, None) {
+//!     EquivResult::NotEquiv(cex) => {
+//!         assert_ne!(aig.eval(f, &cex), aig.eval(or, &cex));
+//!     }
+//!     other => panic!("expected counterexample, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cbq_aig::{Aig, Lit, Node, Var};
+use cbq_sat::{SatLit, SatResult, SatVar, Solver};
+
+/// Outcome of an equivalence or implication proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The two functions are equivalent (or the implication holds).
+    Equiv,
+    /// A distinguishing input assignment, indexed by input ordinal.
+    NotEquiv(Vec<bool>),
+    /// The conflict budget ran out before a verdict.
+    Unknown,
+}
+
+impl EquivResult {
+    /// Whether the proof succeeded.
+    pub fn is_equiv(&self) -> bool {
+        matches!(self, EquivResult::Equiv)
+    }
+}
+
+/// Counters for the bridge, exposed by [`AigCnf::stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AigCnfStats {
+    /// AND gates encoded into CNF so far.
+    pub encoded_ands: u64,
+    /// Assumption-based solver calls issued.
+    pub checks: u64,
+}
+
+/// An incremental AIG-to-CNF bridge over one persistent [`Solver`].
+///
+/// The bridge is tied to a single growing [`Aig`]: because the manager is
+/// append-only and nodes are immutable, the mapping from AIG variables to
+/// SAT variables never invalidates.
+#[derive(Debug, Default)]
+pub struct AigCnf {
+    solver: Solver,
+    map: Vec<Option<SatVar>>,
+    stats: AigCnfStats,
+}
+
+impl AigCnf {
+    /// Creates an empty bridge.
+    pub fn new() -> AigCnf {
+        AigCnf::default()
+    }
+
+    /// Read access to the underlying solver (e.g. for statistics).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Mutable access to the underlying solver, for advanced uses such as
+    /// adding blocking clauses during all-solutions enumeration.
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Bridge statistics.
+    pub fn stats(&self) -> AigCnfStats {
+        self.stats
+    }
+
+    /// Sets the conflict budget for subsequent checks (`None` = unlimited).
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.solver.set_conflict_budget(budget);
+    }
+
+    fn var_for(&mut self, v: Var) -> SatVar {
+        if self.map.len() <= v.index() {
+            self.map.resize(v.index() + 1, None);
+        }
+        match self.map[v.index()] {
+            Some(sv) => sv,
+            None => {
+                let sv = self.solver.new_var();
+                self.map[v.index()] = Some(sv);
+                sv
+            }
+        }
+    }
+
+    /// Returns the SAT literal already associated with `l`, if its node has
+    /// been encoded.
+    pub fn sat_lit(&self, l: Lit) -> Option<SatLit> {
+        self.map
+            .get(l.var().index())
+            .copied()
+            .flatten()
+            .map(|sv| sv.lit(!l.is_complemented()))
+    }
+
+    /// Encodes the cone of `l` (lazily — already-encoded nodes are skipped)
+    /// and returns the SAT literal for `l`.
+    pub fn ensure(&mut self, aig: &Aig, l: Lit) -> SatLit {
+        for v in aig.collect_cone(&[l]) {
+            if self.map.get(v.index()).copied().flatten().is_some() {
+                continue;
+            }
+            match aig.node(v) {
+                Node::Const => {
+                    let sv = self.var_for(v);
+                    self.solver.add_clause(&[sv.neg()]);
+                }
+                Node::Input { .. } => {
+                    let _ = self.var_for(v);
+                }
+                Node::And { f0, f1 } => {
+                    let a = self
+                        .sat_lit(f0)
+                        .expect("fanin encoded before gate (topological order)");
+                    let b = self
+                        .sat_lit(f1)
+                        .expect("fanin encoded before gate (topological order)");
+                    let c = self.var_for(v).pos();
+                    // c <-> a & b
+                    self.solver.add_clause(&[!c, a]);
+                    self.solver.add_clause(&[!c, b]);
+                    self.solver.add_clause(&[c, !a, !b]);
+                    self.stats.encoded_ands += 1;
+                }
+            }
+        }
+        self.sat_lit(l).expect("root encoded")
+    }
+
+    /// Solves the shared database under the conjunction of `lits`
+    /// (each encoded on demand, then assumed).
+    pub fn solve_under(&mut self, aig: &Aig, lits: &[Lit]) -> SatResult {
+        let mut assumptions = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if l == Lit::FALSE {
+                return SatResult::Unsat;
+            }
+            if l == Lit::TRUE {
+                continue;
+            }
+            assumptions.push(self.ensure(aig, l));
+        }
+        self.stats.checks += 1;
+        self.solver.solve_with(&assumptions)
+    }
+
+    /// Permanently asserts `l` (adds it as a unit clause).
+    ///
+    /// Used by engines that constrain the whole enumeration, e.g. blocking
+    /// already-covered state cubes.
+    pub fn assert_lit(&mut self, aig: &Aig, l: Lit) -> bool {
+        if l == Lit::TRUE {
+            return true;
+        }
+        if l == Lit::FALSE {
+            return self.solver.add_clause(&[]);
+        }
+        let sl = self.ensure(aig, l);
+        self.solver.add_clause(&[sl])
+    }
+
+    /// Extracts the model's values for every AIG input (unconstrained
+    /// inputs default to `false`).
+    ///
+    /// Only meaningful immediately after a [`SatResult::Sat`] answer.
+    pub fn model_inputs(&self, aig: &Aig) -> Vec<bool> {
+        aig.inputs()
+            .iter()
+            .map(|v| {
+                self.map
+                    .get(v.index())
+                    .copied()
+                    .flatten()
+                    .and_then(|sv| self.solver.value(sv))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Proves `a ≡ b` on the shared database, or produces a distinguishing
+    /// input assignment.
+    ///
+    /// Issues (at most) two assumption-based solves — `a ∧ ¬b` and
+    /// `¬a ∧ b` — so no clause is ever added or retracted for the check
+    /// itself; the database stays clean for the next check.
+    pub fn prove_equiv(&mut self, aig: &Aig, a: Lit, b: Lit, budget: Option<u64>) -> EquivResult {
+        if a == b {
+            return EquivResult::Equiv;
+        }
+        self.solver.set_conflict_budget(budget);
+        let r = self.check_diff(aig, a, b);
+        self.solver.set_conflict_budget(None);
+        r
+    }
+
+    fn check_diff(&mut self, aig: &Aig, a: Lit, b: Lit) -> EquivResult {
+        match self.solve_under(aig, &[a, !b]) {
+            SatResult::Sat => return EquivResult::NotEquiv(self.model_inputs(aig)),
+            SatResult::Unknown => return EquivResult::Unknown,
+            SatResult::Unsat => {}
+        }
+        match self.solve_under(aig, &[!a, b]) {
+            SatResult::Sat => EquivResult::NotEquiv(self.model_inputs(aig)),
+            SatResult::Unknown => EquivResult::Unknown,
+            SatResult::Unsat => EquivResult::Equiv,
+        }
+    }
+
+    /// Proves `a → b`, or produces an input assignment with `a ∧ ¬b`.
+    pub fn prove_implies(&mut self, aig: &Aig, a: Lit, b: Lit, budget: Option<u64>) -> EquivResult {
+        self.solver.set_conflict_budget(budget);
+        let r = match self.solve_under(aig, &[a, !b]) {
+            SatResult::Sat => EquivResult::NotEquiv(self.model_inputs(aig)),
+            SatResult::Unknown => EquivResult::Unknown,
+            SatResult::Unsat => EquivResult::Equiv,
+        };
+        self.solver.set_conflict_budget(None);
+        r
+    }
+
+    /// Checks whether `l` is constant `value` over all inputs.
+    pub fn prove_constant(
+        &mut self,
+        aig: &Aig,
+        l: Lit,
+        value: bool,
+        budget: Option<u64>,
+    ) -> EquivResult {
+        let target = if value { Lit::TRUE } else { Lit::FALSE };
+        if l == target {
+            return EquivResult::Equiv;
+        }
+        self.solver.set_conflict_budget(budget);
+        let probe = if value { !l } else { l };
+        let r = match self.solve_under(aig, &[probe]) {
+            SatResult::Sat => EquivResult::NotEquiv(self.model_inputs(aig)),
+            SatResult::Unknown => EquivResult::Unknown,
+            SatResult::Unsat => EquivResult::Equiv,
+        };
+        self.solver.set_conflict_budget(None);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Aig, Vec<Lit>) {
+        let mut aig = Aig::new();
+        let ins = (0..4).map(|_| aig.add_input().lit()).collect();
+        (aig, ins)
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        let (mut aig, ins) = setup();
+        let t = aig.or(ins[0], !ins[0]);
+        assert_eq!(t, Lit::TRUE);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.solve_under(&aig, &[Lit::TRUE]), SatResult::Sat);
+        assert_eq!(cnf.solve_under(&aig, &[Lit::FALSE]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let (mut aig, ins) = setup();
+        let f = aig.and(ins[0], !ins[1]);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.solve_under(&aig, &[f]), SatResult::Sat);
+        let m = cnf.model_inputs(&aig);
+        assert!(aig.eval(f, &m));
+    }
+
+    #[test]
+    fn equivalence_of_demorgan() {
+        let (mut aig, ins) = setup();
+        let lhs = !aig.and(ins[0], ins[1]);
+        let na = !ins[0];
+        let nb = !ins[1];
+        let rhs = aig.or(na, nb);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.prove_equiv(&aig, lhs, rhs, None), EquivResult::Equiv);
+    }
+
+    #[test]
+    fn counterexample_is_concrete() {
+        let (mut aig, ins) = setup();
+        let f = aig.and(ins[0], ins[1]);
+        let g = aig.or(ins[0], ins[1]);
+        let mut cnf = AigCnf::new();
+        match cnf.prove_equiv(&aig, f, g, None) {
+            EquivResult::NotEquiv(cex) => {
+                assert_ne!(aig.eval(f, &cex), aig.eval(g, &cex));
+            }
+            other => panic!("expected NotEquiv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_and_constant() {
+        let (mut aig, ins) = setup();
+        let f = aig.and(ins[0], ins[1]);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.prove_implies(&aig, f, ins[0], None), EquivResult::Equiv);
+        assert!(!cnf.prove_implies(&aig, ins[0], f, None).is_equiv());
+        let t = aig.or(ins[2], !ins[2]);
+        assert_eq!(cnf.prove_constant(&aig, t, true, None), EquivResult::Equiv);
+        assert!(!cnf.prove_constant(&aig, ins[3], true, None).is_equiv());
+    }
+
+    #[test]
+    fn database_is_shared_across_checks() {
+        let (mut aig, ins) = setup();
+        let f = aig.and(ins[0], ins[1]);
+        let mut cnf = AigCnf::new();
+        let _ = cnf.prove_equiv(&aig, f, ins[0], None);
+        let encoded_before = cnf.stats().encoded_ands;
+        assert!(encoded_before > 0);
+        // Same cone again: nothing new must be encoded.
+        let _ = cnf.prove_implies(&aig, f, ins[1], None);
+        let _ = cnf.prove_equiv(&aig, f, ins[1], None);
+        assert_eq!(cnf.stats().encoded_ands, encoded_before);
+        assert!(cnf.stats().checks >= 3);
+    }
+
+    #[test]
+    fn assert_lit_constrains_future_checks() {
+        let (mut aig, ins) = setup();
+        let mut cnf = AigCnf::new();
+        assert!(cnf.assert_lit(&aig, ins[0]));
+        assert_eq!(cnf.solve_under(&aig, &[!ins[0]]), SatResult::Unsat);
+        assert_eq!(cnf.solve_under(&aig, &[ins[1]]), SatResult::Sat);
+    }
+
+    #[test]
+    fn budget_propagates_to_unknown() {
+        // Build a moderately hard miter and give it one conflict.
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..12).map(|_| aig.add_input().lit()).collect();
+        let mut parity = Lit::FALSE;
+        for &x in &xs {
+            parity = aig.xor(parity, x);
+        }
+        let mut parity_rev = Lit::FALSE;
+        for &x in xs.iter().rev() {
+            parity_rev = aig.xor(parity_rev, x);
+        }
+        let mut cnf = AigCnf::new();
+        let r = cnf.prove_equiv(&aig, parity, !parity_rev, Some(1));
+        // Either it finds a cex within one conflict or gives up; never Equiv.
+        assert!(matches!(r, EquivResult::Unknown | EquivResult::NotEquiv(_)));
+    }
+}

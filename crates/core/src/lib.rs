@@ -1,0 +1,617 @@
+//! # cbq-core — circuit-based quantifier elimination
+//!
+//! The primary contribution of the DATE 2005 paper, reproduced in full.
+//! Given a function *F* represented as an AIG and a variable *v*,
+//! existential quantification is computed by cofactoring:
+//!
+//! ```text
+//! ∃v. F  =  F|v=1  ∨  F|v=0
+//! ```
+//!
+//! which in the worst case doubles the circuit — so each quantification is
+//! followed by the two phases of the paper:
+//!
+//! 1. a **merge phase** ([`cbq_cec::sweep`]) that maximises sub-circuit
+//!    sharing between the two cofactors via structural hashing, BDD
+//!    sweeping, and factorised incremental SAT checks;
+//! 2. an **optimisation phase** ([`cbq_synth::optimize_disjunction`]) that
+//!    simplifies each cofactor under the input/observability don't-cares
+//!    provided by the other.
+//!
+//! Multi-variable quantification ([`exists_many`]) schedules variables
+//! cheapest-first and supports the paper's **partial quantification**
+//! (Section 4): a variable whose elimination would exceed a growth budget
+//! is *aborted* and returned as residual, so that downstream SAT-based
+//! engines (all-solutions pre-image, BMC, induction) see fewer decision
+//! variables while the representation stays small.
+//!
+//! [`substitute`] exposes *quantification by substitution (in-lining)*
+//! (Section 3): `∃y. (y ≡ δ) ∧ P(y) = P(δ)`, the transformation backward
+//! reachability uses to eliminate every next-state variable for free.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbq_aig::Aig;
+//! use cbq_cnf::AigCnf;
+//! use cbq_core::{exists_many, QuantConfig};
+//!
+//! let mut aig = Aig::new();
+//! let x = aig.add_input();
+//! let y = aig.add_input();
+//! let z = aig.add_input();
+//! // F = (x & y) | (!x & z): ∃x.F = y | z.
+//! let t = aig.and(x.lit(), y.lit());
+//! let e = aig.and(!x.lit(), z.lit());
+//! let f = aig.or(t, e);
+//! let mut cnf = AigCnf::new();
+//! let res = exists_many(&mut aig, f, &[x], &mut cnf, &QuantConfig::default());
+//! assert!(res.remaining.is_empty());
+//! let expect = aig.or(y.lit(), z.lit());
+//! assert_eq!(res.lit, expect);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_bdd::BddManager;
+use cbq_cec::{sweep, SweepConfig, SweepStats};
+use cbq_cnf::AigCnf;
+use cbq_synth::{optimize_disjunction, restrash, OptConfig, OptStats};
+
+/// Order in which [`exists_many`] eliminates variables.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum VarOrder {
+    /// Re-estimate costs after each elimination and pick the variable with
+    /// the fewest dependent AND gates first.
+    #[default]
+    CheapestFirst,
+    /// Eliminate in the order given by the caller.
+    AsGiven,
+}
+
+/// Configuration of the quantification engine.
+///
+/// The default configuration is the paper's full flow: merge and
+/// optimisation phases enabled, cheapest-first scheduling, no abort
+/// budget.
+#[derive(Clone, Debug)]
+pub struct QuantConfig {
+    /// Merge-phase configuration (tiers, order, budgets).
+    pub sweep: SweepConfig,
+    /// Optimisation-phase configuration (don't-care passes).
+    pub opt: OptConfig,
+    /// Run the merge phase (disable only for ablation experiments).
+    pub use_merge: bool,
+    /// Run the optimisation phase.
+    pub use_opt: bool,
+    /// Partial quantification: abort a variable if the result cone would
+    /// exceed `factor ×` the size before quantifying it. `None` never
+    /// aborts.
+    pub growth_budget: Option<f64>,
+    /// Variable scheduling policy.
+    pub order: VarOrder,
+}
+
+impl Default for QuantConfig {
+    fn default() -> QuantConfig {
+        QuantConfig::full()
+    }
+}
+
+impl QuantConfig {
+    /// The configuration used by the paper's main flow: merge and
+    /// optimisation enabled, no abort budget.
+    pub fn full() -> QuantConfig {
+        QuantConfig {
+            sweep: SweepConfig::default(),
+            opt: OptConfig::default(),
+            use_merge: true,
+            use_opt: true,
+            growth_budget: None,
+            order: VarOrder::CheapestFirst,
+        }
+    }
+
+    /// Naive cofactor disjunction: no merge, no optimisation (the
+    /// ablation baseline of experiment E1).
+    pub fn naive() -> QuantConfig {
+        QuantConfig {
+            use_merge: false,
+            use_opt: false,
+            ..QuantConfig::full()
+        }
+    }
+
+    /// Merge phase only.
+    pub fn merge_only() -> QuantConfig {
+        QuantConfig {
+            use_merge: true,
+            use_opt: false,
+            ..QuantConfig::full()
+        }
+    }
+
+    /// Partial quantification with the given growth factor.
+    pub fn with_budget(mut self, factor: f64) -> QuantConfig {
+        self.growth_budget = Some(factor);
+        self
+    }
+}
+
+/// Per-variable record of one elimination attempt.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct VarQuantRecord {
+    /// The eliminated (or aborted) variable.
+    pub var: Var,
+    /// Cone size of the function before this elimination.
+    pub size_before: usize,
+    /// Cone size of the naive disjunction `F₁ ∨ F₀` (after structural
+    /// hashing only).
+    pub size_naive: usize,
+    /// Cone size after the merge phase.
+    pub size_merged: usize,
+    /// Cone size after the optimisation phase (== final size if kept).
+    pub size_opt: usize,
+    /// Whether the elimination was aborted by the growth budget.
+    pub aborted: bool,
+}
+
+/// Aggregate statistics of an [`exists_many`] run.
+#[derive(Clone, Debug, Default)]
+pub struct QuantStats {
+    /// Variables successfully eliminated.
+    pub quantified: usize,
+    /// Variables aborted (residual).
+    pub aborted: usize,
+    /// Cone size of the input function.
+    pub nodes_before: usize,
+    /// Cone size of the result.
+    pub nodes_after: usize,
+    /// Merge-phase counters accumulated over all variables.
+    pub sweep: SweepStats,
+    /// Optimisation-phase counters accumulated over all variables.
+    pub opt: OptStats,
+    /// One record per attempted variable, in elimination order.
+    pub per_var: Vec<VarQuantRecord>,
+}
+
+/// Result of [`exists_many`].
+#[derive(Clone, Debug)]
+pub struct QuantResult {
+    /// The (possibly partially) quantified function.
+    pub lit: Lit,
+    /// Variables the growth budget refused to eliminate. The meaning of
+    /// the result is `∃ remaining. lit`.
+    pub remaining: Vec<Var>,
+    /// What happened.
+    pub stats: QuantStats,
+}
+
+/// Existentially quantifies a single variable; `None` if aborted by the
+/// growth budget.
+///
+/// See [`exists_many`] for the multi-variable driver.
+pub fn exists_one(
+    aig: &mut Aig,
+    f: Lit,
+    v: Var,
+    cnf: &mut AigCnf,
+    cfg: &QuantConfig,
+) -> (Option<Lit>, VarQuantRecord) {
+    let (res, record, _sweep, _opt) = exists_one_full(aig, f, v, cnf, cfg);
+    (res, record)
+}
+
+/// Like [`exists_one`], additionally returning the merge- and
+/// optimisation-phase statistics of this variable's elimination.
+pub fn exists_one_full(
+    aig: &mut Aig,
+    f: Lit,
+    v: Var,
+    cnf: &mut AigCnf,
+    cfg: &QuantConfig,
+) -> (Option<Lit>, VarQuantRecord, SweepStats, OptStats) {
+    let size_before = aig.cone_size(f);
+    let mut sweep_stats = SweepStats::default();
+    let mut opt_stats = OptStats::default();
+    let mut record = VarQuantRecord {
+        var: v,
+        size_before,
+        size_naive: size_before,
+        size_merged: size_before,
+        size_opt: size_before,
+        aborted: false,
+    };
+    if !aig.support_contains(f, v) {
+        return (Some(f), record, sweep_stats, opt_stats);
+    }
+    let (f1, f0) = aig.cofactors(f, v);
+    let naive = aig.or(f1, f0);
+    record.size_naive = aig.cone_size(naive);
+    if naive.is_const() || f1 == f0 {
+        record.size_merged = record.size_naive;
+        record.size_opt = record.size_naive;
+        return (Some(naive), record, sweep_stats, opt_stats);
+    }
+
+    let (m1, m0) = if cfg.use_merge {
+        let swept = sweep(aig, &[f1, f0], cnf, &cfg.sweep);
+        sweep_stats = swept.stats;
+        (swept.roots[0], swept.roots[1])
+    } else {
+        (f1, f0)
+    };
+    let merged = aig.or(m1, m0);
+    record.size_merged = aig.cone_size(merged);
+
+    let result = if cfg.use_opt {
+        let (o1, o0, stats) = optimize_disjunction(aig, m1, m0, cnf, &cfg.opt);
+        opt_stats = stats;
+        aig.or(o1, o0)
+    } else {
+        merged
+    };
+    let result = restrash(aig, &[result])[0];
+    record.size_opt = aig.cone_size(result);
+
+    if let Some(factor) = cfg.growth_budget {
+        let cap = (size_before as f64 * factor).ceil() as usize;
+        if record.size_opt > cap {
+            record.aborted = true;
+            return (None, record, sweep_stats, opt_stats);
+        }
+    }
+    (Some(result), record, sweep_stats, opt_stats)
+}
+
+fn accumulate_sweep(total: &mut SweepStats, s: SweepStats) {
+    total.classes_initial += s.classes_initial;
+    total.merged_bdd += s.merged_bdd;
+    total.merged_sat += s.merged_sat;
+    total.refuted_bdd += s.refuted_bdd;
+    total.sat_checks += s.sat_checks;
+    total.sat_cex += s.sat_cex;
+    total.sat_unknown += s.sat_unknown;
+    total.skipped_out_of_cone += s.skipped_out_of_cone;
+    total.rounds += s.rounds;
+}
+
+fn accumulate_opt(total: &mut OptStats, s: OptStats) {
+    total.const_applied += s.const_applied;
+    total.merge_applied += s.merge_applied;
+    total.odc_applied += s.odc_applied;
+    total.checks += s.checks;
+    total.rejected += s.rejected;
+}
+
+/// Existentially quantifies `vars` from `f`, scheduling cheap variables
+/// first and aborting expensive ones when a growth budget is set
+/// (partial quantification, Section 4 of the paper).
+///
+/// Aborted variables are retried once after all others (their cost may
+/// have collapsed); whatever still exceeds the budget is returned in
+/// [`QuantResult::remaining`].
+pub fn exists_many(
+    aig: &mut Aig,
+    f: Lit,
+    vars: &[Var],
+    cnf: &mut AigCnf,
+    cfg: &QuantConfig,
+) -> QuantResult {
+    let mut stats = QuantStats {
+        nodes_before: aig.cone_size(f),
+        ..QuantStats::default()
+    };
+    let mut current = f;
+    let mut pending: Vec<Var> = vars.to_vec();
+    let mut remaining: Vec<Var> = Vec::new();
+    let mut passes = 0;
+    while !pending.is_empty() && passes < 2 {
+        passes += 1;
+        let mut next_round: Vec<Var> = Vec::new();
+        while !pending.is_empty() {
+            let idx = match cfg.order {
+                VarOrder::AsGiven => 0,
+                VarOrder::CheapestFirst => {
+                    let mut best = 0;
+                    let mut best_cost = usize::MAX;
+                    for (i, v) in pending.iter().enumerate() {
+                        let cost = aig.occurrence_count(&[current], *v);
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best = i;
+                        }
+                    }
+                    best
+                }
+            };
+            let v = pending.remove(idx);
+            let (res, record, sw, op) = exists_one_full(aig, current, v, cnf, cfg);
+            accumulate_sweep(&mut stats.sweep, sw);
+            accumulate_opt(&mut stats.opt, op);
+            stats.per_var.push(record);
+            match res {
+                Some(nf) => {
+                    current = nf;
+                    stats.quantified += 1;
+                }
+                None => next_round.push(v),
+            }
+        }
+        if passes == 2 || next_round.is_empty() {
+            remaining = next_round;
+            break;
+        }
+        pending = next_round;
+    }
+    stats.aborted = remaining.len();
+    stats.nodes_after = aig.cone_size(current);
+    QuantResult {
+        lit: current,
+        remaining,
+        stats,
+    }
+}
+
+/// Quantification by substitution (in-lining, Section 3):
+/// `∃y.(y ≡ δ) ∧ P(y)` becomes `P(δ)`.
+///
+/// `defs` maps each quantified variable to its definition; the
+/// substitution is simultaneous.
+pub fn substitute(aig: &mut Aig, f: Lit, defs: &[(Var, Lit)]) -> Lit {
+    aig.compose(f, defs)
+}
+
+/// BDD-based quantifier elimination (the canonical baseline of
+/// experiment E1): builds the BDD of `f`, quantifies, converts back.
+///
+/// Returns `None` if the BDD exceeds `cap` nodes; on success also reports
+/// the peak BDD node count of the quantified result.
+pub fn exists_bdd(
+    aig: &mut Aig,
+    f: Lit,
+    vars: &[Var],
+    cap: usize,
+) -> Option<(Lit, usize)> {
+    let support = aig.support(f);
+    let var_level: HashMap<Var, u32> = support
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as u32))
+        .collect();
+    let mut mgr = BddManager::new(support.len());
+    let b = mgr.from_aig(aig, f, &var_level, cap)?;
+    let levels: Vec<u32> = vars
+        .iter()
+        .filter_map(|v| var_level.get(v).copied())
+        .collect();
+    let q = mgr.exists_limited(b, &levels, cap)?;
+    let size = mgr.size(q);
+    let mut level_lit = vec![Lit::FALSE; support.len()];
+    for (v, lvl) in &var_level {
+        level_lit[*lvl as usize] = v.lit();
+    }
+    let lit = mgr.to_aig(aig, q, &level_lit);
+    Some((lit, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_exists_check(
+        aig: &mut Aig,
+        f: Lit,
+        vars: &[Var],
+        result: Lit,
+        n_inputs: usize,
+    ) -> bool {
+        // ∃vars.f == result, checked by enumeration over all inputs.
+        let var_idx: Vec<usize> = vars.iter().map(|v| aig.input_index(*v).unwrap()).collect();
+        for mask in 0..1u32 << n_inputs {
+            let mut asg: Vec<bool> = (0..n_inputs).map(|i| (mask >> i) & 1 != 0).collect();
+            let mut any = false;
+            for sub in 0..1u32 << var_idx.len() {
+                for (j, &vi) in var_idx.iter().enumerate() {
+                    asg[vi] = (sub >> j) & 1 != 0;
+                }
+                if aig.eval(f, &asg) {
+                    any = true;
+                    break;
+                }
+            }
+            // Result must not depend on the quantified vars; evaluate with
+            // the last assignment (they are irrelevant if correct).
+            if aig.eval(result, &asg) != any {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn single_variable_mux() {
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let y = aig.add_input();
+        let z = aig.add_input();
+        let f = {
+            let t = aig.and(x.lit(), y.lit());
+            let e = aig.and(!x.lit(), z.lit());
+            aig.or(t, e)
+        };
+        let mut cnf = AigCnf::new();
+        let (res, record) = exists_one(&mut aig, f, x, &mut cnf, &QuantConfig::full());
+        let res = res.unwrap();
+        assert!(!record.aborted);
+        assert!(exhaustive_exists_check(&mut aig, f, &[x], res, 3));
+        assert!(!aig.support_contains(res, x));
+    }
+
+    #[test]
+    fn variable_not_in_support_is_free() {
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let y = aig.add_input();
+        let z = aig.add_input();
+        let f = aig.and(y.lit(), z.lit());
+        let mut cnf = AigCnf::new();
+        let (res, _) = exists_one(&mut aig, f, x, &mut cnf, &QuantConfig::full());
+        assert_eq!(res.unwrap(), f);
+    }
+
+    #[test]
+    fn tautology_collapse() {
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let y = aig.add_input();
+        let f = aig.xor(x.lit(), y.lit());
+        let mut cnf = AigCnf::new();
+        let res = exists_many(&mut aig, f, &[x], &mut cnf, &QuantConfig::full());
+        assert_eq!(res.lit, Lit::TRUE);
+    }
+
+    #[test]
+    fn multi_variable_agrees_with_semantics() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..5).map(|_| aig.add_input()).collect();
+        let f = {
+            let t1 = aig.and(vars[0].lit(), vars[1].lit());
+            let t2 = aig.xor(vars[2].lit(), vars[3].lit());
+            let t3 = aig.and(t2, vars[4].lit());
+            let o = aig.or(t1, t3);
+            let guard = aig.implies(vars[0].lit(), vars[4].lit());
+            aig.and(o, guard)
+        };
+        let mut cnf = AigCnf::new();
+        let res = exists_many(
+            &mut aig,
+            f,
+            &[vars[1], vars[3]],
+            &mut cnf,
+            &QuantConfig::full(),
+        );
+        assert!(res.remaining.is_empty());
+        assert!(exhaustive_exists_check(
+            &mut aig,
+            f,
+            &[vars[1], vars[3]],
+            res.lit,
+            5
+        ));
+        assert!(!aig.support_contains(res.lit, vars[1]));
+        assert!(!aig.support_contains(res.lit, vars[3]));
+    }
+
+    #[test]
+    fn naive_config_still_correct() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..4).map(|_| aig.add_input()).collect();
+        let f = {
+            let t = aig.xor(vars[0].lit(), vars[1].lit());
+            let u = aig.and(t, vars[2].lit());
+            aig.or(u, vars[3].lit())
+        };
+        let mut cnf = AigCnf::new();
+        let res = exists_many(
+            &mut aig,
+            f,
+            &[vars[0], vars[2]],
+            &mut cnf,
+            &QuantConfig::naive(),
+        );
+        assert!(exhaustive_exists_check(
+            &mut aig,
+            f,
+            &[vars[0], vars[2]],
+            res.lit,
+            4
+        ));
+    }
+
+    #[test]
+    fn growth_budget_aborts_and_reports_residuals() {
+        // A function where quantifying any variable roughly doubles the
+        // cone: an xor chain.
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..8).map(|_| aig.add_input()).collect();
+        // Use a function whose cofactors share little: random-ish mix.
+        let mut f = Lit::FALSE;
+        for w in vars.chunks(2) {
+            let t = aig.xor(w[0].lit(), w[1].lit());
+            let u = aig.and(t, f.xor_sign(false));
+            f = aig.or(u, t);
+        }
+        let mut cnf = AigCnf::new();
+        let tight = QuantConfig::naive().with_budget(0.01);
+        let res = exists_many(&mut aig, f, &[vars[0], vars[2]], &mut cnf, &tight);
+        // With an absurdly tight budget, something must abort — and the
+        // result must still be sound: ∃remaining. lit == ∃vars. f.
+        if !res.remaining.is_empty() {
+            assert_eq!(res.stats.aborted, res.remaining.len());
+            // Finish the job without a budget and compare against direct
+            // quantification.
+            let finished = exists_many(&mut aig, res.lit, &res.remaining, &mut cnf, &QuantConfig::full());
+            assert!(exhaustive_exists_check(
+                &mut aig,
+                f,
+                &[vars[0], vars[2]],
+                finished.lit,
+                8
+            ));
+        }
+    }
+
+    #[test]
+    fn substitute_inlines_definitions() {
+        let mut aig = Aig::new();
+        let y = aig.add_input();
+        let s = aig.add_input();
+        let i = aig.add_input();
+        // P(y) = y & s ; y := s ^ i  =>  P = (s^i) & s = s & !i
+        let p = aig.and(y.lit(), s.lit());
+        let delta = aig.xor(s.lit(), i.lit());
+        let inlined = substitute(&mut aig, p, &[(y, delta)]);
+        let expect = aig.and(s.lit(), !i.lit());
+        assert!(!aig.support_contains(inlined, y));
+        for mask in 0..8u32 {
+            let asg = [(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0];
+            assert_eq!(aig.eval(inlined, &asg), aig.eval(expect, &asg));
+        }
+    }
+
+    #[test]
+    fn bdd_baseline_agrees() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..4).map(|_| aig.add_input()).collect();
+        let f = {
+            let t = aig.and(vars[0].lit(), vars[1].lit());
+            let u = aig.xor(vars[2].lit(), vars[3].lit());
+            aig.or(t, u)
+        };
+        let (blit, _size) = exists_bdd(&mut aig, f, &[vars[1]], usize::MAX).unwrap();
+        let mut cnf = AigCnf::new();
+        let circ = exists_many(&mut aig, f, &[vars[1]], &mut cnf, &QuantConfig::full());
+        // Both methods must produce semantically equal results.
+        assert!(cnf.prove_equiv(&aig, blit, circ.lit, None).is_equiv());
+    }
+
+    #[test]
+    fn quantifying_all_support_gives_constant() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..3).map(|_| aig.add_input()).collect();
+        let f = {
+            let t = aig.and(vars[0].lit(), vars[1].lit());
+            aig.and(t, vars[2].lit())
+        };
+        let mut cnf = AigCnf::new();
+        let res = exists_many(&mut aig, f, &vars, &mut cnf, &QuantConfig::full());
+        assert_eq!(res.lit, Lit::TRUE); // f is satisfiable
+        let res2 = exists_many(&mut aig, Lit::FALSE, &vars, &mut cnf, &QuantConfig::full());
+        assert_eq!(res2.lit, Lit::FALSE);
+    }
+}

@@ -1,0 +1,227 @@
+//! Bounded model checking (Biere, Cimatti, Clarke, Fujita, Zhu — DAC
+//! 1999, reference [1] of the paper).
+//!
+//! The transition system is unrolled *functionally*: frame `t`'s state
+//! bits are AIG functions of the initial constants and the input frames
+//! `i₀ … i_{t-1}`, so no next-state variables ever exist — the circuit
+//! analogue of in-lining. Each depth is one assumption-based SAT call on
+//! the shared clause database.
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_cnf::AigCnf;
+use cbq_ckt::{Network, Trace};
+use cbq_sat::SatResult;
+
+use crate::verdict::{McRun, Verdict};
+
+/// Incremental functional unroller, shared by BMC and the base case of
+/// k-induction.
+#[derive(Debug)]
+pub(crate) struct Unroller {
+    pub aig: Aig,
+    pub cnf: AigCnf,
+    /// Current-frame state functions (over initial constants and input
+    /// frames created so far).
+    state: Vec<Lit>,
+    /// Fresh input variables per frame.
+    frame_inputs: Vec<Vec<Var>>,
+    /// `bad` literal per unrolled frame.
+    bads: Vec<Lit>,
+}
+
+impl Unroller {
+    pub fn new(net: &Network) -> Unroller {
+        let aig = net.aig().clone();
+        let state = net
+            .latches()
+            .iter()
+            .map(|l| if l.init { Lit::TRUE } else { Lit::FALSE })
+            .collect();
+        Unroller {
+            aig,
+            cnf: AigCnf::new(),
+            state,
+            frame_inputs: Vec::new(),
+            bads: Vec::new(),
+        }
+    }
+
+    /// Ensures frames `0..=depth` exist and returns `bad` at `depth`.
+    pub fn bad_at(&mut self, net: &Network, depth: usize) -> Lit {
+        while self.bads.len() <= depth {
+            let t = self.bads.len();
+            // Fresh inputs for frame t.
+            let fresh: Vec<Var> = net
+                .primary_inputs()
+                .iter()
+                .map(|_| self.aig.add_input())
+                .collect();
+            let mut subst: Vec<(Var, Lit)> = net
+                .latches()
+                .iter()
+                .zip(&self.state)
+                .map(|(l, s)| (l.var, *s))
+                .collect();
+            subst.extend(
+                net.primary_inputs()
+                    .iter()
+                    .zip(&fresh)
+                    .map(|(pi, f)| (*pi, f.lit())),
+            );
+            let bad_t = self.aig.compose(net.bad(), &subst);
+            let next_state: Vec<Lit> = net
+                .latches()
+                .iter()
+                .map(|l| self.aig.compose(l.next, &subst))
+                .collect();
+            self.bads.push(bad_t);
+            self.frame_inputs.push(fresh);
+            self.state = next_state;
+            let _ = t;
+        }
+        self.bads[depth]
+    }
+
+    /// Solves `bad` at exactly `depth`.
+    pub fn check_depth(&mut self, net: &Network, depth: usize) -> SatResult {
+        let bad = self.bad_at(net, depth);
+        self.cnf.solve_under(&self.aig, &[bad])
+    }
+
+    /// Extracts the trace for a satisfiable `depth` query (model must be
+    /// current).
+    pub fn extract_trace(&self, net: &Network, depth: usize) -> Trace {
+        let model = self.cnf.model_inputs(&self.aig);
+        let inputs = (0..=depth)
+            .map(|t| {
+                self.frame_inputs[t]
+                    .iter()
+                    .map(|v| model[self.aig.input_index(*v).expect("frame input")])
+                    .collect()
+            })
+            .collect();
+        let _ = net;
+        Trace::new(inputs)
+    }
+}
+
+/// Bounded model checker: searches for counterexamples of increasing
+/// depth up to `max_depth`.
+///
+/// Returns `Unsafe` with a minimal-depth trace, or `Unknown` (BMC alone
+/// can never prove safety).
+#[derive(Clone, Debug)]
+pub struct Bmc {
+    /// Maximum unrolling depth (inclusive).
+    pub max_depth: usize,
+}
+
+impl Default for Bmc {
+    fn default() -> Bmc {
+        Bmc { max_depth: 64 }
+    }
+}
+
+/// Statistics of a [`Bmc`] run.
+#[derive(Clone, Debug, Default)]
+pub struct BmcStats {
+    /// Deepest frame unrolled.
+    pub depth_reached: usize,
+    /// Total nodes in the unrolled AIG.
+    pub unrolled_nodes: usize,
+    /// SAT checks issued (one per depth).
+    pub sat_checks: u64,
+}
+
+impl Bmc {
+    /// Runs BMC on `net`.
+    pub fn check(&self, net: &Network) -> McRun<BmcStats> {
+        let mut u = Unroller::new(net);
+        let mut stats = BmcStats::default();
+        for d in 0..=self.max_depth {
+            stats.depth_reached = d;
+            match u.check_depth(net, d) {
+                SatResult::Sat => {
+                    let trace = u.extract_trace(net, d);
+                    stats.unrolled_nodes = u.aig.num_nodes();
+                    stats.sat_checks = u.cnf.stats().checks;
+                    return McRun {
+                        verdict: Verdict::Unsafe { trace },
+                        stats,
+                    };
+                }
+                SatResult::Unsat => {}
+                SatResult::Unknown => {
+                    stats.unrolled_nodes = u.aig.num_nodes();
+                    stats.sat_checks = u.cnf.stats().checks;
+                    return McRun {
+                        verdict: Verdict::Unknown {
+                            reason: format!("solver budget at depth {d}"),
+                        },
+                        stats,
+                    };
+                }
+            }
+        }
+        stats.unrolled_nodes = u.aig.num_nodes();
+        stats.sat_checks = u.cnf.stats().checks;
+        McRun {
+            verdict: Verdict::Unknown {
+                reason: format!("no counterexample up to depth {}", self.max_depth),
+            },
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn finds_minimal_depth_counterexamples() {
+        for (net, depth) in [
+            (generators::counter_bug(5, 7), 7),
+            (generators::token_ring_bug(5), 3),
+            (generators::mutex_bug(), 2),
+            (generators::shift_ones(4), 4),
+        ] {
+            let run = Bmc::default().check(&net);
+            match run.verdict {
+                Verdict::Unsafe { trace } => {
+                    assert_eq!(trace.len(), depth + 1, "{}", net.name());
+                    assert!(trace.validates(&net), "{}", net.name());
+                }
+                other => panic!("{} expected unsafe, got {other}", net.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn safe_circuit_is_unknown() {
+        let run = Bmc { max_depth: 20 }.check(&generators::token_ring(4));
+        assert!(matches!(run.verdict, Verdict::Unknown { .. }));
+        assert_eq!(run.stats.depth_reached, 20);
+    }
+
+    #[test]
+    fn bound_below_bug_depth_misses_it() {
+        let run = Bmc { max_depth: 5 }.check(&generators::counter_bug(5, 7));
+        assert!(matches!(run.verdict, Verdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn bad_at_initial_state() {
+        // Latch initialised to 1 with bad = latch: depth-0 cex.
+        let mut b = cbq_ckt::Network::builder("badinit");
+        let s = b.add_latch(true);
+        b.set_next(s, s.lit());
+        let net = b.build(s.lit());
+        let run = Bmc::default().check(&net);
+        match run.verdict {
+            Verdict::Unsafe { trace } => assert_eq!(trace.len(), 1),
+            other => panic!("expected unsafe, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Explicit-state breadth-first search — the ground-truth oracle used by
+//! integration tests and property-based cross-checks on small circuits.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cbq_ckt::{Network, Trace};
+
+/// Exhaustive BFS over the reachable state space (all inputs per step).
+///
+/// Returns the shortest counterexample trace, or `None` if the bad states
+/// are unreachable.
+///
+/// # Panics
+///
+/// Panics if the network has more than `max_inputs` primary inputs
+/// (default sanity bound 12) or if more than `max_states` states are
+/// visited.
+pub fn shortest_counterexample(
+    net: &Network,
+    max_inputs: usize,
+    max_states: usize,
+) -> Option<Trace> {
+    let ni = net.num_inputs();
+    assert!(ni <= max_inputs, "too many inputs for explicit search");
+    let mut parent: HashMap<Vec<bool>, (Vec<bool>, Vec<bool>)> = HashMap::new();
+    let mut seen: HashSet<Vec<bool>> = HashSet::new();
+    let mut queue = VecDeque::new();
+    let init = net.initial_state();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    while let Some(state) = queue.pop_front() {
+        assert!(seen.len() <= max_states, "state bound exceeded");
+        for mask in 0..(1u64 << ni) {
+            let inputs: Vec<bool> = (0..ni).map(|i| (mask >> i) & 1 != 0).collect();
+            let (next, bad) = net.step(&state, &inputs);
+            if bad {
+                // Reconstruct the input sequence leading to `state`, then
+                // append the firing inputs.
+                let mut seq = vec![inputs];
+                let mut cur = state.clone();
+                while let Some((prev, step_inputs)) = parent.get(&cur) {
+                    seq.push(step_inputs.clone());
+                    cur = prev.clone();
+                }
+                seq.reverse();
+                return Some(Trace::new(seq));
+            }
+            if seen.insert(next.clone()) {
+                parent.insert(next.clone(), (state.clone(), inputs));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Convenience wrapper: `Some(depth)` of the shortest counterexample.
+pub fn shortest_cex_depth(net: &Network, max_inputs: usize, max_states: usize) -> Option<usize> {
+    shortest_counterexample(net, max_inputs, max_states).map(|t| t.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn agrees_with_known_depths() {
+        assert_eq!(
+            shortest_cex_depth(&generators::counter_bug(4, 5), 8, 1 << 12),
+            Some(5)
+        );
+        assert_eq!(
+            shortest_cex_depth(&generators::token_ring(4), 8, 1 << 12),
+            None
+        );
+    }
+
+    #[test]
+    fn returned_trace_replays() {
+        let net = generators::token_ring_bug(5);
+        let t = shortest_counterexample(&net, 8, 1 << 12).unwrap();
+        assert!(t.validates(&net));
+        assert_eq!(t.len(), 4); // depth 3 + firing step
+    }
+}

@@ -1,0 +1,199 @@
+//! All-solutions SAT quantification by circuit cofactoring
+//! (Ganai, Gupta, Ashar — ICCAD 2004, reference [2] of the paper).
+//!
+//! `∃vars. F` is computed by enumeration on a SAT solver: each satisfying
+//! assignment is generalised to the *circuit cofactor* of `F` by the
+//! assignment's values on `vars` — a whole sub-space of solutions — which
+//! is added to the running disjunction and blocked. Section 4 of the
+//! paper proposes running **partial circuit quantification first**, so
+//! the enumeration sees far fewer decision variables; that hybrid is
+//! [`hybrid_exists`].
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_cnf::AigCnf;
+use cbq_core::{exists_many, QuantConfig};
+use cbq_sat::SatResult;
+
+/// Counters for an all-solutions enumeration.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GanaiStats {
+    /// Enumeration rounds (= SAT models generalised to cofactors).
+    pub cofactors: usize,
+    /// Variables eliminated by the SAT enumeration.
+    pub enumerated_vars: usize,
+    /// Variables already eliminated by circuit quantification (hybrid).
+    pub prequantified_vars: usize,
+    /// Residual variables the circuit engine aborted on (hybrid).
+    pub residual_vars: usize,
+}
+
+/// Computes `∃vars. f` by all-solutions enumeration with circuit
+/// cofactoring. Returns `None` if `max_rounds` is exhausted.
+///
+/// Every round solves `f ∧ ¬R` (with `R` the accumulated result circuit),
+/// generalises the model to the cofactor `f[vars ← model(vars)]`, and
+/// disjoins it into `R` — covering many assignments per SAT call.
+pub fn all_solutions_exists(
+    aig: &mut Aig,
+    f: Lit,
+    vars: &[Var],
+    cnf: &mut AigCnf,
+    max_rounds: usize,
+) -> Option<(Lit, GanaiStats)> {
+    let mut stats = GanaiStats {
+        enumerated_vars: vars.len(),
+        ..GanaiStats::default()
+    };
+    if vars.is_empty() {
+        return Some((f, stats));
+    }
+    let mut result = Lit::FALSE;
+    for _ in 0..max_rounds {
+        match cnf.solve_under(aig, &[f, !result]) {
+            SatResult::Unsat => return Some((result, stats)),
+            SatResult::Unknown => return None,
+            SatResult::Sat => {
+                let model = cnf.model_inputs(aig);
+                let bindings: Vec<(Var, Lit)> = vars
+                    .iter()
+                    .map(|v| {
+                        let idx = aig.input_index(*v).expect("quantified var is an input");
+                        let value = model[idx];
+                        (*v, if value { Lit::TRUE } else { Lit::FALSE })
+                    })
+                    .collect();
+                let cofactor = aig.compose(f, &bindings);
+                result = aig.or(result, cofactor);
+                stats.cofactors += 1;
+            }
+        }
+    }
+    None
+}
+
+/// The paper's Section 4 hybrid: partial circuit-based quantification
+/// first (cheap variables eliminated, expensive ones aborted under the
+/// growth budget), then all-solutions SAT enumeration of the residuals.
+///
+/// With `quant_cfg.growth_budget = None` this degenerates to pure circuit
+/// quantification; with `quant_cfg` set to a zero budget it degenerates to
+/// pure SAT enumeration.
+pub fn hybrid_exists(
+    aig: &mut Aig,
+    f: Lit,
+    vars: &[Var],
+    cnf: &mut AigCnf,
+    quant_cfg: &QuantConfig,
+    max_rounds: usize,
+) -> Option<(Lit, GanaiStats)> {
+    let q = exists_many(aig, f, vars, cnf, quant_cfg);
+    let pre_done = vars.len() - q.remaining.len();
+    let (lit, mut stats) =
+        all_solutions_exists(aig, q.lit, &q.remaining, cnf, max_rounds)?;
+    stats.prequantified_vars = pre_done;
+    stats.residual_vars = q.remaining.len();
+    stats.enumerated_vars = q.remaining.len();
+    Some((lit, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exists_oracle(aig: &mut Aig, f: Lit, vars: &[Var], n_inputs: usize, result: Lit) -> bool {
+        let idx: Vec<usize> = vars.iter().map(|v| aig.input_index(*v).unwrap()).collect();
+        for mask in 0..1u32 << n_inputs {
+            let mut asg: Vec<bool> = (0..n_inputs).map(|i| (mask >> i) & 1 != 0).collect();
+            let mut any = false;
+            for sub in 0..1u32 << idx.len() {
+                for (j, &vi) in idx.iter().enumerate() {
+                    asg[vi] = (sub >> j) & 1 != 0;
+                }
+                if aig.eval(f, &asg) {
+                    any = true;
+                    break;
+                }
+            }
+            if aig.eval(result, &asg) != any {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn enumeration_matches_semantics() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..5).map(|_| aig.add_input()).collect();
+        let f = {
+            let t = aig.xor(vars[0].lit(), vars[1].lit());
+            let u = aig.and(t, vars[2].lit());
+            let w = aig.and(vars[3].lit(), !vars[4].lit());
+            aig.or(u, w)
+        };
+        let mut cnf = AigCnf::new();
+        let (res, stats) =
+            all_solutions_exists(&mut aig, f, &vars[..2], &mut cnf, 64).unwrap();
+        assert!(exists_oracle(&mut aig, f, &vars[..2], 5, res));
+        assert!(stats.cofactors >= 1);
+    }
+
+    #[test]
+    fn cofactoring_covers_many_solutions_per_round() {
+        // ∃x. (x ∨ y₁ ∨ … ∨ y₈): one cofactor with x=1 already covers
+        // everything — enumeration must converge in O(1) rounds, far fewer
+        // than the 2⁸ minterms.
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let ys: Vec<Lit> = (0..8).map(|_| aig.add_input().lit()).collect();
+        let mut f = x.lit();
+        for y in ys {
+            f = aig.or(f, y);
+        }
+        let mut cnf = AigCnf::new();
+        let (res, stats) = all_solutions_exists(&mut aig, f, &[x], &mut cnf, 64).unwrap();
+        assert_eq!(res, Lit::TRUE);
+        assert!(stats.cofactors <= 2, "took {} rounds", stats.cofactors);
+    }
+
+    #[test]
+    fn empty_vars_is_identity() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let mut cnf = AigCnf::new();
+        let (res, _) = all_solutions_exists(&mut aig, a, &[], &mut cnf, 4).unwrap();
+        assert_eq!(res, a);
+    }
+
+    #[test]
+    fn unsatisfiable_f_yields_false() {
+        let mut aig = Aig::new();
+        let v = aig.add_input();
+        let mut cnf = AigCnf::new();
+        let (res, stats) =
+            all_solutions_exists(&mut aig, Lit::FALSE, &[v], &mut cnf, 4).unwrap();
+        assert_eq!(res, Lit::FALSE);
+        assert_eq!(stats.cofactors, 0);
+    }
+
+    #[test]
+    fn hybrid_reduces_enumerated_vars() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..6).map(|_| aig.add_input()).collect();
+        let f = {
+            let t = aig.and(vars[0].lit(), vars[1].lit());
+            let u = aig.xor(vars[2].lit(), vars[3].lit());
+            let w = aig.or(t, u);
+            let g = aig.implies(vars[4].lit(), vars[5].lit());
+            aig.and(w, g)
+        };
+        let mut cnf = AigCnf::new();
+        let cfg = QuantConfig::full();
+        let (res, stats) =
+            hybrid_exists(&mut aig, f, &vars[..3], &mut cnf, &cfg, 64).unwrap();
+        // Full budget: everything prequantified, nothing enumerated.
+        assert_eq!(stats.prequantified_vars, 3);
+        assert_eq!(stats.residual_vars, 0);
+        assert!(exists_oracle(&mut aig, f, &vars[..3], 6, res));
+    }
+}

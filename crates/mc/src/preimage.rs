@@ -1,0 +1,58 @@
+//! Shared pre-image construction (Section 3 of the paper).
+//!
+//! "Pre-image adopts quantification by substitution (also called
+//! in-lining): ∃y.(y ≡ δ) ∧ P(y) = P(δ). … in backward reachability, the
+//! transition relation is a conjunction of next state variables defined in
+//! terms of current state variables" — so every next-state variable is
+//! eliminated for free, and only the primary inputs remain to be
+//! quantified by circuit-based quantification.
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_ckt::Network;
+
+/// The *raw* pre-image formula of a state set `target(s)`:
+/// `target[s ← δ(s, i)]`, a function of current state `s` and primary
+/// inputs `i`. No input quantification is performed.
+pub fn preimage_formula(aig: &mut Aig, net: &Network, target: Lit) -> Lit {
+    let defs: Vec<(Var, Lit)> = net.next_state_defs();
+    aig.compose(target, &defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn preimage_of_counter_value() {
+        // For the free counter with enable: pre(count==k) contains
+        // (count==k-1, en) and (count==k, !en).
+        let net = generators::counter_bug(4, 3);
+        let mut aig = net.aig().clone();
+        // target: count == 3
+        let latches = net.latch_vars();
+        let target = {
+            let bits: Vec<Lit> = latches
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v.lit().xor_sign(!(3u64 >> i & 1 == 1)))
+                .collect();
+            aig.and_many(&bits)
+        };
+        let pre = preimage_formula(&mut aig, &net, target);
+        // state=2 (0b010), en=1 -> in pre-image
+        let mk_asg = |count: u64, en: bool| -> Vec<bool> {
+            let mut asg = vec![false; aig.num_inputs()];
+            for (i, v) in latches.iter().enumerate() {
+                asg[aig.input_index(*v).unwrap()] = (count >> i) & 1 == 1;
+            }
+            let pi = net.primary_inputs()[0];
+            asg[aig.input_index(pi).unwrap()] = en;
+            asg
+        };
+        assert!(aig.eval(pre, &mk_asg(2, true)));
+        assert!(aig.eval(pre, &mk_asg(3, false)));
+        assert!(!aig.eval(pre, &mk_asg(2, false)));
+        assert!(!aig.eval(pre, &mk_asg(1, true)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Verdicts returned by every engine.
+
+use std::fmt;
+
+use cbq_ckt::Trace;
+
+/// Outcome of a model-checking run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The bad states are unreachable; `iterations` is the number of
+    /// fixpoint iterations (or the inductive depth) that proved it.
+    Safe {
+        /// Iterations/depth at which the proof closed.
+        iterations: usize,
+    },
+    /// A concrete counterexample trace was found.
+    Unsafe {
+        /// The witness trace (replayable on the network).
+        trace: Trace,
+    },
+    /// The engine gave up (bound exhausted, representation blow-up, …).
+    Unknown {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Whether the verdict proves the property.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe { .. })
+    }
+
+    /// Whether the verdict refutes the property.
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe { .. })
+    }
+
+    /// The counterexample, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            Verdict::Unsafe { trace } => Some(trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe { iterations } => write!(f, "safe (after {iterations} iterations)"),
+            Verdict::Unsafe { trace } => write!(f, "unsafe (cex of {} steps)", trace.len()),
+            Verdict::Unknown { reason } => write!(f, "unknown ({reason})"),
+        }
+    }
+}
+
+/// A verdict bundled with engine-specific statistics.
+#[derive(Clone, Debug)]
+pub struct McRun<S> {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Engine statistics.
+    pub stats: S,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_and_display() {
+        let safe = Verdict::Safe { iterations: 3 };
+        assert!(safe.is_safe());
+        assert!(!safe.is_unsafe());
+        assert!(safe.trace().is_none());
+        assert!(format!("{safe}").contains("safe"));
+        let unsafe_v = Verdict::Unsafe {
+            trace: Trace::new(vec![vec![true]]),
+        };
+        assert!(unsafe_v.is_unsafe());
+        assert_eq!(unsafe_v.trace().unwrap().len(), 1);
+        let unk = Verdict::Unknown {
+            reason: "bound".into(),
+        };
+        assert!(!unk.is_safe() && !unk.is_unsafe());
+    }
+}

@@ -1,0 +1,153 @@
+//! DIMACS CNF reading and writing (used by tests and tooling).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::solver::Solver;
+use crate::types::{SatLit, SatVar};
+
+/// A CNF formula in memory: clause list over 0-based variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<SatLit>>,
+}
+
+impl Cnf {
+    /// Loads this CNF into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c);
+        }
+        s
+    }
+}
+
+/// Error parsing a DIMACS file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+fn err(message: impl Into<String>) -> ParseDimacsError {
+    ParseDimacsError {
+        message: message.into(),
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on missing/invalid headers or literals out
+/// of the declared range.
+///
+/// ```
+/// use cbq_sat::dimacs::parse_dimacs;
+/// let cnf = parse_dimacs("p cnf 2 2\n1 -2 0\n2 0\n")?;
+/// assert_eq!(cnf.num_vars, 2);
+/// assert_eq!(cnf.clauses.len(), 2);
+/// # Ok::<(), cbq_sat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut declared_clauses = 0usize;
+    let mut clauses = Vec::new();
+    let mut current: Vec<SatLit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(err("header must be `p cnf <vars> <clauses>`"));
+            }
+            num_vars = Some(parts[1].parse().map_err(|_| err("bad var count"))?);
+            declared_clauses = parts[2].parse().map_err(|_| err("bad clause count"))?;
+            continue;
+        }
+        let nv = num_vars.ok_or_else(|| err("clause before header"))?;
+        for tok in line.split_whitespace() {
+            let n: i64 = tok.parse().map_err(|_| err(format!("bad literal `{tok}`")))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let v = n.unsigned_abs() as usize;
+                if v > nv {
+                    return Err(err(format!("literal {n} out of range")));
+                }
+                current.push(SatVar::from_index(v - 1).lit(n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    let num_vars = num_vars.ok_or_else(|| err("missing header"))?;
+    if declared_clauses != clauses.len() {
+        return Err(err(format!(
+            "header declares {declared_clauses} clauses, found {}",
+            clauses.len()
+        )));
+    }
+    Ok(Cnf { num_vars, clauses })
+}
+
+/// Serialises a CNF to DIMACS text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for l in c {
+            let n = l.var().index() as i64 + 1;
+            let n = if l.is_negative() { -n } else { n };
+            out.push_str(&format!("{n} "));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SatResult;
+
+    #[test]
+    fn roundtrip() {
+        let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        let text = write_dimacs(&cnf);
+        let cnf2 = parse_dimacs(&text).unwrap();
+        assert_eq!(cnf, cnf2);
+    }
+
+    #[test]
+    fn solves_parsed_instance() {
+        let cnf = parse_dimacs("p cnf 2 3\n1 0\n-1 2 0\n-2 -1 0\n").unwrap();
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_dimacs("1 2 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n5 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 2\n1 0\n").is_err());
+        assert!(parse_dimacs("p dnf 1 0\n").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # cbq-sat — a CDCL SAT solver with an incremental interface
+//!
+//! The DATE 2005 paper builds its merge and optimisation phases on
+//! *factorised* SAT checks: "we load the clause database once and for-all,
+//! and we factorize several checks together within a single ZChaff run".
+//! This crate provides the solver that makes that workflow possible: a
+//! conflict-driven clause-learning (CDCL) solver in the ZChaff/MiniSat
+//! lineage with
+//!
+//! * two-watched-literal propagation,
+//! * first-UIP conflict analysis with clause minimisation,
+//! * VSIDS variable activities and phase saving,
+//! * Luby-sequence restarts and activity-based learnt-clause reduction,
+//! * **incremental solving under assumptions** ([`Solver::solve_with`]):
+//!   the clause database (including learnt clauses) persists across calls,
+//!   so successive equivalence checks share everything already derived,
+//! * failed-assumption extraction ([`Solver::failed_assumptions`]) and
+//!   conflict budgets ([`Solver::set_conflict_budget`]) for abortable
+//!   checks.
+//!
+//! ## Example
+//!
+//! ```
+//! use cbq_sat::{Solver, SatResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a.pos(), b.pos()]);
+//! s.add_clause(&[a.neg(), b.pos()]);
+//! assert_eq!(s.solve(), SatResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! // The same database, incrementally, under an assumption:
+//! assert_eq!(s.solve_with(&[b.neg()]), SatResult::Unsat);
+//! assert_eq!(s.solve(), SatResult::Sat); // still satisfiable overall
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod solver;
+mod types;
+
+pub mod dimacs;
+pub mod reference;
+
+pub use crate::solver::{Solver, SolverStats};
+pub use crate::types::{Lbool, SatLit, SatResult, SatVar};

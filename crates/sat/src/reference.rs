@@ -1,0 +1,77 @@
+//! A tiny reference solver (exhaustive enumeration) used to cross-check
+//! the CDCL solver in tests and property-based tests.
+//!
+//! Only suitable for small variable counts (exponential), but its
+//! simplicity makes it an effective oracle.
+
+use crate::types::SatLit;
+
+/// Exhaustively decides satisfiability of a clause list over `num_vars`
+/// variables.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24` (would enumerate more than 16M assignments).
+///
+/// ```
+/// use cbq_sat::SatVar;
+/// use cbq_sat::reference::brute_force_sat;
+/// let v0 = SatVar::from_index(0);
+/// assert!(brute_force_sat(1, &[vec![v0.pos()]]).is_some());
+/// assert!(brute_force_sat(1, &[vec![v0.pos()], vec![v0.neg()]]).is_none());
+/// ```
+pub fn brute_force_sat(num_vars: usize, clauses: &[Vec<SatLit>]) -> Option<Vec<bool>> {
+    assert!(num_vars <= 24, "reference solver limited to 24 variables");
+    for mask in 0u64..(1u64 << num_vars) {
+        let assignment: Vec<bool> = (0..num_vars).map(|i| (mask >> i) & 1 != 0).collect();
+        if clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] ^ l.is_negative())
+        }) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Counts satisfying assignments by exhaustive enumeration.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24`.
+pub fn brute_force_count(num_vars: usize, clauses: &[Vec<SatLit>]) -> u64 {
+    assert!(num_vars <= 24, "reference solver limited to 24 variables");
+    let mut count = 0;
+    for mask in 0u64..(1u64 << num_vars) {
+        let assignment: Vec<bool> = (0..num_vars).map(|i| (mask >> i) & 1 != 0).collect();
+        if clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] ^ l.is_negative())
+        }) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SatVar;
+
+    #[test]
+    fn counts_xor() {
+        let a = SatVar::from_index(0);
+        let b = SatVar::from_index(1);
+        // (a | b) & (!a | !b) == xor
+        let clauses = vec![vec![a.pos(), b.pos()], vec![a.neg(), b.neg()]];
+        assert_eq!(brute_force_count(2, &clauses), 2);
+    }
+
+    #[test]
+    fn model_is_checked() {
+        let a = SatVar::from_index(0);
+        let m = brute_force_sat(2, &[vec![a.neg()]]).unwrap();
+        assert!(!m[0]);
+    }
+}

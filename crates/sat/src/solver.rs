@@ -1,0 +1,1037 @@
+//! The CDCL solver.
+
+use crate::types::{Lbool, SatLit, SatResult, SatVar};
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<SatLit>,
+    activity: f64,
+    learnt: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Watcher {
+    cref: usize,
+    blocker: SatLit,
+}
+
+/// Aggregate counters exposed by [`Solver::stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted: u64,
+    /// Number of `solve`/`solve_with` calls.
+    pub solves: u64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESTART_BASE: u64 = 100;
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+/// The solver is fully incremental: clauses may be added between calls to
+/// [`Solver::solve`]/[`Solver::solve_with`], and everything learnt in one
+/// call benefits later calls — the property the paper's factorised
+/// SAT-merge depends on.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<Lbool>,
+    phase: Vec<bool>,
+    reason: Vec<Option<usize>>,
+    level: Vec<u32>,
+    activity: Vec<f64>,
+    heap: Vec<u32>,
+    heap_pos: Vec<i32>,
+    var_inc: f64,
+    cla_inc: f64,
+    trail: Vec<SatLit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    seen: Vec<bool>,
+    ok: bool,
+    num_learnts: usize,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+    failed: Vec<SatLit>,
+    model: Vec<Lbool>,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            activity: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            seen: Vec::new(),
+            ok: true,
+            num_learnts: 0,
+            max_learnts: 4000.0,
+            conflict_budget: None,
+            failed: Vec::new(),
+            model: Vec::new(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Adds a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar::from_index(self.assigns.len());
+        self.assigns.push(Lbool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.heap_pos.push(-1);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v.0);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses added so far, minus any that
+    /// were satisfied at level 0 on addition.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt).count()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Sets (or clears) the per-call conflict budget. A call that exceeds
+    /// it returns [`SatResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Whether the clause database has been proven unsatisfiable outright.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    fn lit_value(&self, l: SatLit) -> Lbool {
+        let a = self.assigns[l.var().index()];
+        if l.is_negative() {
+            a.negate()
+        } else {
+            a
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Adds a clause. Returns `false` if the database became trivially
+    /// unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (internal use only) or if a literal
+    /// names an unknown variable.
+    pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<SatLit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {l:?}");
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                Lbool::True => return true, // already satisfied
+                Lbool::False => {}          // drop falsified literal
+                Lbool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<SatLit>, learnt: bool) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[w0.code()].push(Watcher { cref, blocker: w1 });
+        self.watches[w1.code()].push(Watcher { cref, blocker: w0 });
+        if learnt {
+            self.num_learnts += 1;
+            self.stats.learnts = self.num_learnts as u64;
+        }
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+        });
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, l: SatLit, reason: Option<usize>) {
+        debug_assert_eq!(self.lit_value(l), Lbool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = Lbool::from_bool(!l.is_negative());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause reference, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let falsified = !p;
+            let mut ws = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == Lbool::True {
+                    i += 1;
+                    continue;
+                }
+                // Normalise: falsified literal at position 1.
+                // Normalise: falsified literal at position 1.
+                let first = {
+                    let clause = &mut self.clauses[w.cref];
+                    if clause.lits[0] == falsified {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], falsified, "stale watcher");
+                    clause.lits[0]
+                };
+                // If the other watched literal is already true the clause is
+                // satisfied; this must be decided *before* moving watches.
+                if self.lit_value(first) == Lbool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch among the tail literals.
+                let found_new = {
+                    let clause = &mut self.clauses[w.cref];
+                    let mut found = None;
+                    for k in 2..clause.lits.len() {
+                        let l = clause.lits[k];
+                        let val = {
+                            let a = self.assigns[l.var().index()];
+                            if l.is_negative() {
+                                a.negate()
+                            } else {
+                                a
+                            }
+                        };
+                        if val != Lbool::False {
+                            clause.lits.swap(1, k);
+                            found = Some(l);
+                            break;
+                        }
+                    }
+                    found
+                };
+                if let Some(l) = found_new {
+                    // Move watch to l.
+                    self.watches[l.code()].push(Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.lit_value(first) == Lbool::False {
+                    // Conflict: restore the remaining watchers and bail.
+                    self.watches[falsified.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.unchecked_enqueue(first, Some(w.cref));
+                i += 1;
+            }
+            self.watches[falsified.code()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v] >= 0 {
+            self.heap_up(self.heap_pos[v] as usize);
+        }
+    }
+
+    fn bump_clause(&mut self, cref: usize) {
+        let c = &mut self.clauses[cref];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: usize) -> (Vec<SatLit>, usize) {
+        let mut learnt: Vec<SatLit> = vec![SatLit::from_code(0)]; // placeholder
+        let mut counter = 0usize;
+        let mut p: Option<SatLit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<SatLit> = self.clauses[confl].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in &lits[skip..] {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] as usize >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.unwrap();
+
+        // Cheap clause minimisation: drop literals implied by the rest.
+        let mut minimized = vec![learnt[0]];
+        for &q in &learnt[1..] {
+            let keep = match self.reason[q.var().index()] {
+                None => true,
+                Some(r) => {
+                    let lits = &self.clauses[r].lits;
+                    !lits[1..].iter().all(|&l| {
+                        self.seen[l.var().index()] || self.level[l.var().index()] == 0
+                    })
+                }
+            };
+            if keep {
+                minimized.push(q);
+            }
+        }
+        // Clear the seen flags of the kept tail.
+        for &q in &learnt[1..] {
+            self.seen[q.var().index()] = false;
+        }
+        let learnt = minimized;
+
+        // Backtrack level: highest level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            self.level[learnt[max_i].var().index()] as usize
+        };
+        let mut learnt = learnt;
+        if learnt.len() > 1 {
+            // Put a literal of the backtrack level at position 1 (second watch).
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+        }
+        (learnt, bt)
+    }
+
+    /// Computes the subset of assumptions responsible for falsifying the
+    /// assumption `p`; stores the failed assumptions (including `p`) in
+    /// `self.failed`.
+    fn analyze_final(&mut self, p: SatLit) {
+        self.failed.clear();
+        self.failed.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    if self.level[v] > 0 {
+                        // `q` is an assumption pseudo-decision on the trail.
+                        self.failed.push(q);
+                    }
+                }
+                Some(r) => {
+                    let lits = self.clauses[r].lits.clone();
+                    for l in &lits[1..] {
+                        if self.level[l.var().index()] > 0 {
+                            self.seen[l.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    fn backtrack(&mut self, target: usize) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.phase[v] = !l.is_negative();
+            self.assigns[v] = Lbool::Undef;
+            self.reason[v] = None;
+            if self.heap_pos[v] < 0 {
+                self.heap_insert(v as u32);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target);
+        self.qhead = bound;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<SatVar> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v as usize] == Lbool::Undef {
+                return Some(SatVar(v));
+            }
+        }
+        None
+    }
+
+    /// Reduces the learnt-clause database, keeping the most active half.
+    /// Reasons of current assignments and binary clauses are protected.
+    fn reduce_db(&mut self) {
+        let locked: Vec<bool> = {
+            let mut locked = vec![false; self.clauses.len()];
+            for v in 0..self.num_vars() {
+                if self.assigns[v] != Lbool::Undef {
+                    if let Some(r) = self.reason[v] {
+                        locked[r] = true;
+                    }
+                }
+            }
+            locked
+        };
+        let mut learnt_refs: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && !locked[i] && self.clauses[i].lits.len() > 2)
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let to_delete: std::collections::HashSet<usize> =
+            learnt_refs[..learnt_refs.len() / 2].iter().copied().collect();
+        if to_delete.is_empty() {
+            return;
+        }
+        // Compact the arena, remapping crefs in reasons and watches.
+        let mut remap: Vec<Option<usize>> = vec![None; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - to_delete.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if to_delete.contains(&i) {
+                self.num_learnts -= 1;
+                self.stats.deleted += 1;
+                continue;
+            }
+            remap[i] = Some(new_clauses.len());
+            new_clauses.push(c);
+        }
+        self.clauses = new_clauses;
+        for r in &mut self.reason {
+            if let Some(old) = *r {
+                *r = remap[old];
+                debug_assert!(r.is_some(), "deleted a locked clause");
+            }
+        }
+        for wl in &mut self.watches {
+            wl.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            let w0 = c.lits[0];
+            let w1 = c.lits[1];
+            self.watches[w0.code()].push(Watcher {
+                cref: i,
+                blocker: w1,
+            });
+            self.watches[w1.code()].push(Watcher {
+                cref: i,
+                blocker: w0,
+            });
+        }
+        self.stats.learnts = self.num_learnts as u64;
+    }
+
+    /// Solves the current database with no assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under `assumptions`. On [`SatResult::Unsat`],
+    /// [`Solver::failed_assumptions`] holds a subset of the assumptions
+    /// sufficient for unsatisfiability.
+    pub fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.stats.solves += 1;
+        self.failed.clear();
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restarts = 0u64;
+        loop {
+            let limit = RESTART_BASE * luby(2, restarts);
+            match self.search(limit, assumptions, budget_start) {
+                Some(r) => {
+                    self.backtrack(0);
+                    return r;
+                }
+                None => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        assumptions: &[SatLit],
+        budget_start: u64,
+    ) -> Option<SatResult> {
+        let mut local_conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                local_conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SatResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                #[cfg(test)]
+                self.check_watches_dbg("after-analyze-backtrack");
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.attach_clause(learnt.clone(), true);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                #[cfg(test)]
+                self.check_watches_dbg("after-attach-learnt");
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        self.backtrack(0);
+                        return Some(SatResult::Unknown);
+                    }
+                }
+            } else {
+                if local_conflicts >= conflict_limit {
+                    self.backtrack(0);
+                    return None; // restart
+                }
+                if self.num_learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                    #[cfg(test)]
+                    self.check_watches_dbg("after-reduce-db");
+                }
+                // Place assumptions as pseudo-decisions, then branch.
+                let mut decided = false;
+                while self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.lit_value(p) {
+                        Lbool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Lbool::False => {
+                            self.analyze_final(p);
+                            return Some(SatResult::Unsat);
+                        }
+                        Lbool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                            decided = true;
+                            break;
+                        }
+                    }
+                }
+                if decided {
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assigns.clone();
+                        return Some(SatResult::Sat);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let l = v.lit(self.phase[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a [`SatResult::Sat`] answer.
+    ///
+    /// Returns `None` for variables the model leaves unconstrained or if no
+    /// model is available.
+    pub fn value(&self, v: SatVar) -> Option<bool> {
+        self.model.get(v.index()).and_then(|l| l.to_bool())
+    }
+
+    /// The model value of a literal after a [`SatResult::Sat`] answer.
+    pub fn value_lit(&self, l: SatLit) -> Option<bool> {
+        self.value(l.var()).map(|b| b ^ l.is_negative())
+    }
+
+    /// After an [`SatResult::Unsat`] answer from [`Solver::solve_with`]:
+    /// a subset of the assumptions sufficient for unsatisfiability
+    /// (empty if the database alone is unsatisfiable).
+    pub fn failed_assumptions(&self) -> &[SatLit] {
+        &self.failed
+    }
+
+    // ------------------------------------------------------------------
+    // Indexed max-heap ordered by VSIDS activity.
+    // ------------------------------------------------------------------
+
+    fn heap_less(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn heap_insert(&mut self, v: u32) {
+        debug_assert!(self.heap_pos[v as usize] < 0);
+        self.heap_pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.heap_pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(v, self.heap[parent]) {
+                self.heap[i] = self.heap[parent];
+                self.heap_pos[self.heap[i] as usize] = i as i32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.heap_pos[v as usize] = i as i32;
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        let v = self.heap[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            if self.heap_less(self.heap[child], v) {
+                self.heap[i] = self.heap[child];
+                self.heap_pos[self.heap[i] as usize] = i as i32;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.heap_pos[v as usize] = i as i32;
+    }
+}
+
+/// The reluctant-doubling (Luby) sequence scaled by powers of `y`:
+/// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+fn luby(y: u64, mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    y.pow(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<SatVar> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[v[0].pos()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert!(!s.add_clause(&[v[0].neg()]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(!s.is_ok());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        let _ = vars(&mut s, 3);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn tautology_is_skipped() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[v[0].pos(), v[0].neg()]));
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause(&[v[0].pos()]);
+        s.add_clause(&[v[0].neg(), v[1].pos()]);
+        s.add_clause(&[v[1].neg(), v[2].pos()]);
+        s.add_clause(&[v[2].neg(), v[3].pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for x in v {
+            assert_eq!(s.value(x), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one_is_unsat() {
+        // 2 pigeons, 1 hole.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].pos()]);
+        s.add_clause(&[v[1].pos()]);
+        s.add_clause(&[v[0].neg(), v[1].neg()]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_php43_is_unsat() {
+        // 4 pigeons in 3 holes: forces real conflict analysis.
+        let mut s = Solver::new();
+        let p = 4;
+        let h = 3;
+        let v: Vec<Vec<SatVar>> = (0..p).map(|_| vars(&mut s, h)).collect();
+        for i in 0..p {
+            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..h {
+            for i1 in 0..p {
+                for i2 in (i1 + 1)..p {
+                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_are_non_destructive() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].pos(), v[1].pos()]);
+        assert_eq!(s.solve_with(&[v[0].neg(), v[1].neg()]), SatResult::Unsat);
+        assert!(!s.failed_assumptions().is_empty());
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.solve_with(&[v[0].neg()]), SatResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn failed_assumptions_are_a_core() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0].neg(), v[1].neg()]);
+        // v2 is irrelevant to the conflict.
+        assert_eq!(
+            s.solve_with(&[v[2].pos(), v[0].pos(), v[1].pos()]),
+            SatResult::Unsat
+        );
+        let core = s.failed_assumptions();
+        assert!(core.iter().all(|l| l.var() != v[2]));
+        assert!(!core.is_empty());
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard instance with a budget of 1 conflict.
+        let mut s = Solver::new();
+        let p = 6;
+        let h = 5;
+        let v: Vec<Vec<SatVar>> = (0..p).map(|_| vars(&mut s, h)).collect();
+        for i in 0..p {
+            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..h {
+            for i1 in 0..p {
+                for i2 in (i1 + 1)..p {
+                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0].pos(), v[1].pos(), v[2].pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[v[0].neg()]);
+        s.add_clause(&[v[1].neg()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(v[2]), Some(true));
+        s.add_clause(&[v[2].neg()]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(2, i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn model_respects_all_clauses() {
+        // Random-ish 3-SAT instance, verified against the model.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 8);
+        let clauses: Vec<Vec<SatLit>> = vec![
+            vec![v[0].pos(), v[1].neg(), v[2].pos()],
+            vec![v[3].neg(), v[4].pos(), v[5].neg()],
+            vec![v[6].pos(), v[7].pos(), v[0].neg()],
+            vec![v[1].pos(), v[3].pos(), v[5].pos()],
+            vec![v[2].neg(), v[4].neg(), v[6].neg()],
+            vec![v[7].neg(), v[1].pos(), v[4].pos()],
+        ];
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.value_lit(l) == Some(true)),
+                "clause {c:?} not satisfied"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+impl Solver {
+    fn check_watches_dbg(&self, tag: &str) {
+        self.check_watches(tag);
+    }
+}
+
+#[cfg(test)]
+mod invariant_tests {
+    use super::*;
+
+    impl Solver {
+        pub(super) fn check_watches(&self, tag: &str) {
+            for (code, wl) in self.watches.iter().enumerate() {
+                let l = SatLit::from_code(code);
+                for w in wl {
+                    let c = &self.clauses[w.cref];
+                    assert!(
+                        c.lits[0] == l || c.lits[1] == l,
+                        "{tag}: stale watcher for {:?} on clause {:?}",
+                        l,
+                        c.lits
+                    );
+                }
+            }
+            for (i, c) in self.clauses.iter().enumerate() {
+                for &wlit in &c.lits[..2] {
+                    let n = self.watches[wlit.code()].iter().filter(|w| w.cref == i).count();
+                    assert_eq!(n, 1, "{tag}: clause {i} {:?} watch count {n} on {:?}", c.lits, wlit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn watch_invariant_php65() {
+        let mut s = Solver::new();
+        let p = 6;
+        let h = 5;
+        let v: Vec<Vec<SatVar>> = (0..p).map(|_| (0..h).map(|_| s.new_var()).collect()).collect();
+        for i in 0..p {
+            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..h {
+            for i1 in 0..p {
+                for i2 in (i1 + 1)..p {
+                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
+                }
+            }
+        }
+        s.check_watches("after-load");
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        s.check_watches("after-unknown");
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,200 @@
+//! Core value types of the SAT solver.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A SAT variable (0-based index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatVar(pub(crate) u32);
+
+impl SatVar {
+    /// Creates a variable from its raw index.
+    pub fn from_index(index: usize) -> SatVar {
+        SatVar(u32::try_from(index).expect("SAT variable index overflow"))
+    }
+
+    /// Raw index, usable to index slices.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> SatLit {
+        SatLit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn neg(self) -> SatLit {
+        SatLit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given polarity
+    /// (`true` → positive).
+    pub fn lit(self, positive: bool) -> SatLit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Debug for SatVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A SAT literal: variable plus polarity, encoded as `2 * var + negated`.
+///
+/// ```
+/// use cbq_sat::SatVar;
+/// let v = SatVar::from_index(3);
+/// assert_eq!(!v.pos(), v.neg());
+/// assert!(v.neg().is_negative());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatLit(pub(crate) u32);
+
+impl SatLit {
+    /// The variable of this literal.
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    /// Whether this is the negative-polarity literal.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Raw code (`2 * var + negated`), usable to index watch lists.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a literal from its raw code.
+    pub fn from_code(code: usize) -> SatLit {
+        SatLit(u32::try_from(code).expect("SAT literal code overflow"))
+    }
+
+    /// This literal negated iff `flip`.
+    pub fn xor_sign(self, flip: bool) -> SatLit {
+        SatLit(self.0 ^ flip as u32)
+    }
+}
+
+impl Not for SatLit {
+    type Output = SatLit;
+
+    fn not(self) -> SatLit {
+        SatLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for SatLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+/// A three-valued Boolean, as used for partial assignments.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Lbool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl Lbool {
+    /// Converts from a concrete Boolean.
+    pub fn from_bool(b: bool) -> Lbool {
+        if b {
+            Lbool::True
+        } else {
+            Lbool::False
+        }
+    }
+
+    /// The concrete value if assigned.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Lbool::True => Some(true),
+            Lbool::False => Some(false),
+            Lbool::Undef => None,
+        }
+    }
+
+    /// Negation (keeps `Undef`).
+    pub fn negate(self) -> Lbool {
+        match self {
+            Lbool::True => Lbool::False,
+            Lbool::False => Lbool::True,
+            Lbool::Undef => Lbool::Undef,
+        }
+    }
+}
+
+/// Outcome of a [`Solver`](crate::Solver) run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query the model).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether this result is [`SatResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SatResult::Sat
+    }
+
+    /// Whether this result is [`SatResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SatResult::Unsat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = SatVar::from_index(5);
+        assert_eq!(v.pos().code(), 10);
+        assert_eq!(v.neg().code(), 11);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(v.pos().xor_sign(true), v.neg());
+    }
+
+    #[test]
+    fn lbool_algebra() {
+        assert_eq!(Lbool::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Lbool::Undef.to_bool(), None);
+        assert_eq!(Lbool::True.negate(), Lbool::False);
+        assert_eq!(Lbool::Undef.negate(), Lbool::Undef);
+    }
+
+    #[test]
+    fn result_predicates() {
+        assert!(SatResult::Sat.is_sat());
+        assert!(SatResult::Unsat.is_unsat());
+        assert!(!SatResult::Unknown.is_sat());
+        assert!(!SatResult::Unknown.is_unsat());
+    }
+}

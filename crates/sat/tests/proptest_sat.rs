@@ -1,0 +1,129 @@
+//! Property-based cross-checks of the CDCL solver against the exhaustive
+//! reference oracle.
+
+use proptest::prelude::*;
+
+use cbq_sat::reference::{brute_force_count, brute_force_sat};
+use cbq_sat::{SatLit, SatResult, SatVar, Solver};
+
+/// A random clause over `nvars` variables with 1..=4 literals.
+fn clause_strategy(nvars: usize) -> impl Strategy<Value = Vec<SatLit>> {
+    prop::collection::vec((0..nvars, any::<bool>()), 1..=4).prop_map(|lits| {
+        lits.into_iter()
+            .map(|(v, pos)| SatVar::from_index(v).lit(pos))
+            .collect()
+    })
+}
+
+fn cnf_strategy(nvars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<SatLit>>> {
+    prop::collection::vec(clause_strategy(nvars), 0..=max_clauses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The CDCL verdict agrees with exhaustive enumeration, and SAT models
+    /// satisfy every clause.
+    #[test]
+    fn cdcl_agrees_with_brute_force(clauses in cnf_strategy(8, 40)) {
+        let nvars = 8;
+        let mut s = Solver::new();
+        let vars: Vec<SatVar> = (0..nvars).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let expected = brute_force_sat(nvars, &clauses);
+        match s.solve() {
+            SatResult::Sat => {
+                prop_assert!(expected.is_some(), "CDCL said SAT, oracle says UNSAT");
+                for c in &clauses {
+                    prop_assert!(
+                        c.iter().any(|&l| {
+                            let v = s.value(l.var()).unwrap_or(false);
+                            v ^ l.is_negative()
+                        }),
+                        "model does not satisfy {c:?}"
+                    );
+                }
+            }
+            SatResult::Unsat => prop_assert!(expected.is_none(), "CDCL said UNSAT, oracle found a model"),
+            SatResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+        let _ = vars;
+    }
+
+    /// Solving under assumptions equals solving with the assumptions added
+    /// as unit clauses — and never damages the underlying database.
+    #[test]
+    fn assumptions_match_units(
+        clauses in cnf_strategy(6, 24),
+        assum in prop::collection::vec((0..6usize, any::<bool>()), 0..=3),
+    ) {
+        let nvars = 6;
+        let mut incremental = Solver::new();
+        let mut oracle_clauses = clauses.clone();
+        for _ in 0..nvars {
+            incremental.new_var();
+        }
+        for c in &clauses {
+            incremental.add_clause(c);
+        }
+        // Deduplicate assumption variables to avoid contradictory pairs.
+        let mut seen = std::collections::HashSet::new();
+        let assumptions: Vec<SatLit> = assum
+            .into_iter()
+            .filter(|(v, _)| seen.insert(*v))
+            .map(|(v, pos)| SatVar::from_index(v).lit(pos))
+            .collect();
+        for &a in &assumptions {
+            oracle_clauses.push(vec![a]);
+        }
+        let expected = brute_force_sat(nvars, &oracle_clauses).is_some();
+        let before = brute_force_sat(nvars, &clauses).is_some();
+        let got = incremental.solve_with(&assumptions);
+        prop_assert_eq!(got.is_sat(), expected);
+        // The database itself must be untouched by the assumptions.
+        let after = incremental.solve();
+        prop_assert_eq!(after.is_sat(), before);
+    }
+
+    /// `failed_assumptions` is a genuine core: re-solving with just the
+    /// core is still UNSAT.
+    #[test]
+    fn failed_assumptions_are_sound(
+        clauses in cnf_strategy(6, 24),
+        assum in prop::collection::vec((0..6usize, any::<bool>()), 1..=4),
+    ) {
+        let nvars = 6;
+        let mut s = Solver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let assumptions: Vec<SatLit> = assum
+            .into_iter()
+            .filter(|(v, _)| seen.insert(*v))
+            .map(|(v, pos)| SatVar::from_index(v).lit(pos))
+            .collect();
+        if s.solve_with(&assumptions) == SatResult::Unsat {
+            let core: Vec<SatLit> = s.failed_assumptions().to_vec();
+            prop_assert!(core.iter().all(|l| assumptions.contains(l)),
+                "core {:?} not a subset of assumptions {:?}", core, assumptions);
+            prop_assert_eq!(s.solve_with(&core), SatResult::Unsat);
+        }
+    }
+}
+
+#[test]
+fn model_count_oracle_sanity() {
+    // xor chain over 4 vars has 8 models.
+    let v: Vec<SatVar> = (0..4).map(SatVar::from_index).collect();
+    let clauses = vec![
+        vec![v[0].pos(), v[1].pos(), v[2].pos(), v[3].pos()],
+        vec![v[0].neg(), v[1].neg()],
+    ];
+    assert!(brute_force_count(4, &clauses) > 0);
+}

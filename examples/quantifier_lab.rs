@@ -1,0 +1,89 @@
+//! A tour of the quantification engine's knobs: merge-only vs the full
+//! flow, forward vs backward SAT-merge orders, and partial quantification
+//! under shrinking growth budgets — the levers of Sections 2 and 4.
+//!
+//! Run with: `cargo run --example quantifier_lab`
+
+use cbq::ckt::generators;
+use cbq::ckt::random::similar_pair;
+use cbq::mc::preimage::preimage_formula;
+use cbq::prelude::*;
+use cbq::quant::exists_many;
+
+fn main() {
+    // -------------------------------------------------------------
+    // 1. Ablation on a realistic pre-image formula.
+    // -------------------------------------------------------------
+    let net = generators::fifo_ctrl(3);
+    let mut aig = net.aig().clone();
+    let pre = preimage_formula(&mut aig, &net, net.bad());
+    let pis: Vec<Var> = net.primary_inputs().to_vec();
+    println!("== fifo_ctrl(3) pre-image, eliminating {} inputs ==", pis.len());
+    for (label, cfg) in [
+        ("naive", QuantConfig::naive()),
+        ("merge-only", QuantConfig::merge_only()),
+        ("merge+opt", QuantConfig::full()),
+    ] {
+        let mut cnf = AigCnf::new();
+        let res = exists_many(&mut aig, pre, &pis, &mut cnf, &cfg);
+        println!(
+            "  {:<11} {:>5} AND gates (sat checks: {})",
+            label,
+            aig.cone_size(res.lit),
+            res.stats.sweep.sat_checks
+        );
+    }
+
+    // -------------------------------------------------------------
+    // 2. Forward vs backward merge order vs cofactor similarity.
+    // -------------------------------------------------------------
+    println!("\n== SAT-merge order on cofactor pairs of varying similarity ==");
+    println!("  {:<12} {:>16} {:>16}", "mutation", "forward checks", "backward checks");
+    for rate in [0.0, 0.05, 0.2, 0.5] {
+        let mut a = Aig::new();
+        let ins: Vec<Lit> = (0..10).map(|_| a.add_input().lit()).collect();
+        let (f, g) = similar_pair(&mut a, &ins, 60, rate, 42);
+        let mut checks = Vec::new();
+        for order in [MergeOrder::Forward, MergeOrder::Backward] {
+            let mut cnf = AigCnf::new();
+            let cfg = SweepConfig {
+                use_bdd_sweep: false,
+                order,
+                ..SweepConfig::default()
+            };
+            let res = sweep(&mut a.clone(), &[f, g], &mut cnf, &cfg);
+            checks.push(res.stats.sat_checks);
+        }
+        println!("  {:<12.2} {:>16} {:>16}", rate, checks[0], checks[1]);
+    }
+
+    // -------------------------------------------------------------
+    // 3. Partial quantification budget sweep.
+    // -------------------------------------------------------------
+    println!("\n== partial quantification budget sweep (arbiter(6) pre-image) ==");
+    let net = generators::arbiter(6);
+    let mut aig = net.aig().clone();
+    let pre = preimage_formula(&mut aig, &net, net.bad());
+    let pis: Vec<Var> = net.primary_inputs().to_vec();
+    println!("  {:<10} {:>10} {:>10}", "budget", "residuals", "size");
+    for budget in [1.0, 1.25, 1.5, 2.0, 4.0, f64::INFINITY] {
+        let cfg = if budget.is_finite() {
+            QuantConfig::full().with_budget(budget)
+        } else {
+            QuantConfig::full()
+        };
+        let mut cnf = AigCnf::new();
+        let res = exists_many(&mut aig, pre, &pis, &mut cnf, &cfg);
+        println!(
+            "  {:<10} {:>10} {:>10}",
+            if budget.is_finite() {
+                format!("{budget:.2}x")
+            } else {
+                "∞".to_string()
+            },
+            res.remaining.len(),
+            aig.cone_size(res.lit)
+        );
+    }
+    println!("\ndone ✓");
+}

@@ -1,0 +1,257 @@
+//! `cbq` — command-line front end for the circuit-based quantification
+//! stack.
+//!
+//! ```text
+//! cbq gen <family> [N [K]]            emit a benchmark circuit as ASCII AIGER
+//! cbq info <file.aag>                 print circuit statistics
+//! cbq check <file.aag> [--engine E] [--max N]
+//!                                     model-check (E: circuit | forward |
+//!                                     bdd | bdd-forward | bmc | kind)
+//! cbq quantify <file.aag> [--mode M]  eliminate all inputs of output 0 of a
+//!                                     combinational file (M: naive | merge |
+//!                                     full | bdd)
+//! cbq dot <file.aag>                  emit Graphviz for the bad-state cone
+//! ```
+
+use std::process::ExitCode;
+
+use cbq::ckt::io::{read_network, write_network};
+use cbq::ckt::{generators, Network};
+use cbq::mc::{BddDirection, BddUmc, Bmc, CircuitUmc, ForwardCircuitUmc, KInduction, Verdict};
+use cbq::prelude::*;
+use cbq::quant::{exists_bdd, exists_many};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("quantify") => cmd_quantify(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        _ => {
+            eprintln!("usage: cbq <gen|info|check|quantify|dot> ...  (see --help in source)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_num(args: &[String], i: usize, default: u64) -> u64 {
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let Some(family) = args.first() else {
+        eprintln!("usage: cbq gen <family> [N [K]]");
+        eprintln!("families: counter, counter-bug, gap, gray, ring, ring-bug, arbiter, arbiter-bug, lfsr, fifo, mutex, mutex-bug, shift");
+        return ExitCode::from(2);
+    };
+    let n = parse_num(args, 1, 8) as usize;
+    let k = parse_num(args, 2, 0);
+    let net = match family.as_str() {
+        "counter" => generators::bounded_counter(n, if k == 0 { (1 << n) as u64 - 2 } else { k }),
+        "counter-bug" => generators::counter_bug(n, if k == 0 { 10 } else { k }),
+        "gap" => generators::bounded_counter_gap(n, k.max(2), k.max(2) + 10),
+        "gray" => generators::gray_counter(n),
+        "ring" => generators::token_ring(n),
+        "ring-bug" => generators::token_ring_bug(n.max(4)),
+        "arbiter" => generators::arbiter(n),
+        "arbiter-bug" => generators::arbiter_bug(n),
+        "lfsr" => generators::lfsr(n, &[0, 2, 3]),
+        "fifo" => generators::fifo_ctrl(n.min(8)),
+        "mutex" => generators::mutex(),
+        "mutex-bug" => generators::mutex_bug(),
+        "shift" => generators::shift_ones(n),
+        other => {
+            eprintln!("unknown family `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", write_network(&net));
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    read_network(&text, path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cbq info <file.aag>");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(net) => {
+            let aig = net.aig();
+            let mut roots: Vec<Lit> = net.latches().iter().map(|l| l.next).collect();
+            roots.push(net.bad());
+            let stats = aig.cone_stats(&roots);
+            println!("name     : {}", net.name());
+            println!("latches  : {}", net.num_latches());
+            println!("inputs   : {}", net.num_inputs());
+            println!("and gates: {}", stats.ands);
+            println!("depth    : {}", stats.depth);
+            println!("initial  : {}", net.initial_cube());
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cbq check <file.aag> [--engine E] [--max N]");
+        return ExitCode::from(2);
+    };
+    let net = match load(path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = flag_value(args, "--engine").unwrap_or("circuit");
+    let max = flag_value(args, "--max")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(64);
+    let start = std::time::Instant::now();
+    let verdict = match engine {
+        "circuit" => CircuitUmc::default().check(&net).verdict,
+        "forward" => ForwardCircuitUmc::default().check(&net).verdict,
+        "bdd" => BddUmc::default().check(&net).verdict,
+        "bdd-forward" => BddUmc {
+            direction: BddDirection::Forward,
+            ..BddUmc::default()
+        }
+        .check(&net)
+        .verdict,
+        "bmc" => Bmc { max_depth: max }.check(&net).verdict,
+        "kind" => KInduction {
+            max_k: max,
+            simple_path: true,
+        }
+        .check(&net)
+        .verdict,
+        other => {
+            eprintln!("unknown engine `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = start.elapsed();
+    println!("{verdict}   [{engine}, {:.1} ms]", elapsed.as_secs_f64() * 1e3);
+    if let Verdict::Unsafe { trace } = &verdict {
+        print!("{trace}");
+        println!(
+            "trace replay: {}",
+            if trace.validates(&net) { "valid" } else { "INVALID" }
+        );
+    }
+    match verdict {
+        Verdict::Safe { .. } => ExitCode::SUCCESS,
+        Verdict::Unsafe { .. } => ExitCode::from(1),
+        Verdict::Unknown { .. } => ExitCode::from(3),
+    }
+}
+
+fn cmd_quantify(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cbq quantify <file.aag> [--mode naive|merge|full|bdd]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = match cbq::aig::io::parse_aag(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Combinational file: quantify all inputs of output 0. Sequential
+    // file: quantify the primary inputs out of the bad-state function.
+    let (mut aig, in_vars, f) = match file.build() {
+        Ok((aig, in_vars, outs)) => {
+            let Some(&f) = outs.first() else {
+                eprintln!("error: file has no outputs");
+                return ExitCode::FAILURE;
+            };
+            (aig, in_vars, f)
+        }
+        Err(_) => match read_network(&text, path) {
+            Ok(net) => (net.aig().clone(), net.primary_inputs().to_vec(), net.bad()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let mode = flag_value(args, "--mode").unwrap_or("full");
+    println!("before : {} AND gates, {} inputs", aig.cone_size(f), in_vars.len());
+    let start = std::time::Instant::now();
+    let (label, lit) = match mode {
+        "bdd" => match exists_bdd(&mut aig, f, &in_vars, usize::MAX) {
+            Some((l, nodes)) => {
+                println!("bdd    : {nodes} decision nodes");
+                ("bdd", l)
+            }
+            None => {
+                eprintln!("bdd blow-up");
+                return ExitCode::FAILURE;
+            }
+        },
+        m => {
+            let cfg = match m {
+                "naive" => QuantConfig::naive(),
+                "merge" => QuantConfig::merge_only(),
+                "full" => QuantConfig::full(),
+                other => {
+                    eprintln!("unknown mode `{other}`");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut cnf = AigCnf::new();
+            let res = exists_many(&mut aig, f, &in_vars, &mut cnf, &cfg);
+            (m, res.lit)
+        }
+    };
+    println!(
+        "after  : {} AND gates  [{label}, {:.1} ms]",
+        aig.cone_size(lit),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_dot(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cbq dot <file.aag>");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(net) => {
+            print!("{}", cbq::aig::io::write_dot(net.aig(), &[net.bad()]));
+            ExitCode::SUCCESS
+        }
+    }
+}

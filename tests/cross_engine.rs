@@ -1,0 +1,143 @@
+//! Cross-engine integration tests: every model-checking engine must agree
+//! with the explicit-state oracle — verdict *and* minimal counterexample
+//! depth — on the whole benchmark suite.
+
+use cbq::ckt::generators;
+use cbq::ckt::Network;
+use cbq::mc::explicit;
+use cbq::prelude::*;
+
+fn suite() -> Vec<Network> {
+    vec![
+        generators::bounded_counter(4, 9),
+        generators::bounded_counter_gap(4, 5, 11),
+        generators::gray_counter(4),
+        generators::token_ring(5),
+        generators::token_ring_bug(5),
+        generators::arbiter(4),
+        generators::arbiter_bug(4),
+        generators::lfsr(5, &[0, 2]),
+        generators::fifo_ctrl(2),
+        generators::mutex(),
+        generators::mutex_bug(),
+        generators::shift_ones(4),
+        generators::counter_bug(4, 6),
+    ]
+}
+
+fn oracle(net: &Network) -> Option<usize> {
+    explicit::shortest_cex_depth(net, 10, 1 << 16)
+}
+
+fn assert_agrees(net: &Network, verdict: &Verdict, engine: &str, exact_depth: bool) {
+    match (oracle(net), verdict) {
+        (None, Verdict::Safe { .. }) => {}
+        (Some(depth), Verdict::Unsafe { trace }) => {
+            assert!(
+                trace.validates(net),
+                "{engine} on {}: trace does not replay",
+                net.name()
+            );
+            if exact_depth {
+                assert_eq!(
+                    trace.len(),
+                    depth + 1,
+                    "{engine} on {}: non-minimal counterexample",
+                    net.name()
+                );
+            }
+        }
+        (expected, got) => panic!(
+            "{engine} on {}: oracle says {expected:?}, engine says {got}",
+            net.name()
+        ),
+    }
+}
+
+#[test]
+fn circuit_umc_matches_oracle() {
+    for net in suite() {
+        let run = CircuitUmc::default().check(&net);
+        assert_agrees(&net, &run.verdict, "circuit-umc", true);
+    }
+}
+
+#[test]
+fn bdd_umc_backward_matches_oracle() {
+    for net in suite() {
+        let run = BddUmc::default().check(&net);
+        assert_agrees(&net, &run.verdict, "bdd-umc-backward", true);
+    }
+}
+
+#[test]
+fn bdd_umc_forward_matches_oracle() {
+    use cbq::mc::BddDirection;
+    for net in suite() {
+        let run = BddUmc {
+            direction: BddDirection::Forward,
+            ..BddUmc::default()
+        }
+        .check(&net);
+        assert_agrees(&net, &run.verdict, "bdd-umc-forward", true);
+    }
+}
+
+#[test]
+fn bmc_finds_every_bug_at_minimal_depth() {
+    for net in suite() {
+        if let Some(depth) = oracle(&net) {
+            let run = Bmc { max_depth: depth + 2 }.check(&net);
+            assert_agrees(&net, &run.verdict, "bmc", true);
+        }
+    }
+}
+
+#[test]
+fn k_induction_matches_oracle() {
+    for net in suite() {
+        let run = KInduction {
+            max_k: 40,
+            simple_path: true,
+        }
+        .check(&net);
+        assert_agrees(&net, &run.verdict, "k-induction", true);
+    }
+}
+
+#[test]
+fn circuit_umc_with_tight_budget_and_enumeration_matches_oracle() {
+    use cbq::mc::ResidualPolicy;
+    for net in suite() {
+        let engine = CircuitUmc {
+            quant: QuantConfig::full().with_budget(1.1),
+            residual: ResidualPolicy::Enumerate { max_rounds: 4096 },
+            ..CircuitUmc::default()
+        };
+        let run = engine.check(&net);
+        assert_agrees(&net, &run.verdict, "circuit-umc-partial", true);
+    }
+}
+
+#[test]
+fn forward_circuit_umc_matches_oracle() {
+    use cbq::mc::ForwardCircuitUmc;
+    for net in suite() {
+        let run = ForwardCircuitUmc::default().check(&net);
+        assert_agrees(&net, &run.verdict, "forward-circuit-umc", true);
+    }
+}
+
+#[test]
+fn naive_quantification_engine_matches_oracle() {
+    // Ablation: even with merge and optimisation disabled, the traversal
+    // must stay sound and complete.
+    for net in suite() {
+        let engine = CircuitUmc {
+            quant: QuantConfig::naive(),
+            ..CircuitUmc::default()
+        };
+        let run = engine.check(&net);
+        assert_agrees(&net, &run.verdict, "circuit-umc-naive", true);
+    }
+}
