@@ -486,7 +486,7 @@ mod tests {
         assert!(aig.eval(all, &all_true));
         assert!(!aig.eval(all, &one_false));
         assert!(aig.eval(any, &one_false));
-        assert!(!aig.eval(any, &vec![false; 7]));
+        assert!(!aig.eval(any, &[false; 7]));
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Cube {
             let idx = aig
                 .input_index(l.var())
                 .expect("cube literal on non-input variable");
-            assignment[idx] == !l.is_complemented()
+            assignment[idx] != l.is_complemented()
         })
     }
 }

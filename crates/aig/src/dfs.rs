@@ -115,11 +115,11 @@ impl Aig {
                 Node::Input { .. } if n == v => {
                     depends.insert(n);
                 }
-                Node::And { f0, f1 } => {
-                    if depends.contains(&f0.var()) || depends.contains(&f1.var()) {
-                        depends.insert(n);
-                        count += 1;
-                    }
+                Node::And { f0, f1 }
+                    if depends.contains(&f0.var()) || depends.contains(&f1.var()) =>
+                {
+                    depends.insert(n);
+                    count += 1;
                 }
                 _ => {}
             }

@@ -284,10 +284,7 @@ pub fn write_dot(aig: &Aig, roots: &[Lit]) -> String {
                 ));
             }
             Node::And { f0, f1 } => {
-                out.push_str(&format!(
-                    "  n{} [label=\"∧\", shape=circle];\n",
-                    v.index()
-                ));
+                out.push_str(&format!("  n{} [label=\"∧\", shape=circle];\n", v.index()));
                 for f in [f0, f1] {
                     let style = if f.is_complemented() {
                         " [style=dashed]"

@@ -339,7 +339,8 @@ impl BddManager {
 
     /// Existential quantification of the (sorted or unsorted) `levels`.
     pub fn exists(&mut self, f: BddRef, levels: &[u32]) -> BddRef {
-        self.exists_limited(f, levels, usize::MAX).expect("unlimited")
+        self.exists_limited(f, levels, usize::MAX)
+            .expect("unlimited")
     }
 
     /// Existential quantification with a node cap.
@@ -832,7 +833,11 @@ mod tests {
             let t = aig.and(vars[2 * i].lit(), vars[2 * i + 1].lit());
             f = aig.or(f, t);
         }
-        let good: HashMap<Var, u32> = vars.iter().enumerate().map(|(i, v)| (*v, i as u32)).collect();
+        let good: HashMap<Var, u32> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, i as u32))
+            .collect();
         // Bad order: x0,x2,x4 first then x1,x3,x5.
         let bad: HashMap<Var, u32> = vars
             .iter()

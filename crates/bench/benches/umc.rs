@@ -1,35 +1,23 @@
-//! E6 / Table 4 — UMC engine comparison on a safe and an unsafe circuit.
+//! E6 / Table 4 — UMC engine comparison on a safe and an unsafe circuit,
+//! driven through the engine registry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use cbq_ckt::generators;
-use cbq_mc::{BddUmc, Bmc, CircuitUmc, KInduction};
+use cbq_mc::{registry, Budget};
 
 fn bench_umc(c: &mut Criterion) {
     let safe = generators::token_ring(8);
     let buggy = generators::token_ring_bug(8);
+    let budget = Budget::unlimited().with_steps(12);
     let mut g = c.benchmark_group("e6-umc");
     g.sample_size(10);
     for (tag, net) in [("safe", &safe), ("buggy", &buggy)] {
-        g.bench_function(format!("circuit-umc-{tag}"), |b| {
-            b.iter(|| CircuitUmc::default().check(net).verdict)
-        });
-        g.bench_function(format!("bdd-umc-{tag}"), |b| {
-            b.iter(|| BddUmc::default().check(net).verdict)
-        });
-        g.bench_function(format!("bmc-{tag}"), |b| {
-            b.iter(|| Bmc { max_depth: 12 }.check(net).verdict)
-        });
-        g.bench_function(format!("kind-{tag}"), |b| {
-            b.iter(|| {
-                KInduction {
-                    max_k: 12,
-                    simple_path: true,
-                }
-                .check(net)
-                .verdict
-            })
-        });
+        for spec in registry() {
+            g.bench_function(format!("{}-{tag}", spec.name), |b| {
+                b.iter(|| (spec.build)().check(net, &budget).verdict)
+            });
+        }
     }
     g.finish();
 }

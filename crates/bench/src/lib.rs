@@ -11,17 +11,17 @@
 use std::fmt;
 use std::time::Instant;
 
-use cbq_aig::{Aig, Lit, Var};
 use cbq_aig::sim::BitSim;
+use cbq_aig::{Aig, Lit, Var};
 use cbq_cec::{sweep, MergeOrder, SweepConfig};
-use cbq_cnf::AigCnf;
 use cbq_ckt::generators;
 use cbq_ckt::random::similar_pair;
 use cbq_ckt::Network;
+use cbq_cnf::AigCnf;
 use cbq_core::{exists_bdd, exists_many, QuantConfig};
 use cbq_mc::ganai::all_solutions_exists;
 use cbq_mc::preimage::preimage_formula;
-use cbq_mc::{BddUmc, Bmc, CircuitUmc, KInduction, Verdict};
+use cbq_mc::{registry, Budget, Verdict};
 use cbq_synth::OptConfig;
 
 /// A printable table of experiment results.
@@ -110,7 +110,12 @@ pub fn preimage_workload(net: &Network, steps: usize) -> (Aig, Lit, Vec<Var>) {
 /// multiplier, with the first `quantify` x-operand bits to eliminate.
 /// Multiplier middle bits have exponential BDDs under any order but
 /// linear AIGs — the paper's motivating asymmetry.
-pub fn multiplier_workload(n: usize, m: usize, bit: usize, quantify: usize) -> (Aig, Lit, Vec<Var>) {
+pub fn multiplier_workload(
+    n: usize,
+    m: usize,
+    bit: usize,
+    quantify: usize,
+) -> (Aig, Lit, Vec<Var>) {
     let mut aig = Aig::new();
     let xv: Vec<Var> = (0..n).map(|_| aig.add_input()).collect();
     let yv: Vec<Var> = (0..m).map(|_| aig.add_input()).collect();
@@ -150,7 +155,16 @@ pub fn factor_workload(n: usize, target: u64) -> (Aig, Lit, Vec<Var>) {
 pub fn e1_table() -> Table {
     let mut t = Table::new(
         "E1 / Table 1 — quantification compaction (AND gates; BDD nodes)",
-        &["circuit", "pre", "vars", "naive", "merge", "merge+opt", "bdd", "ms(full)"],
+        &[
+            "circuit",
+            "pre",
+            "vars",
+            "naive",
+            "merge",
+            "merge+opt",
+            "bdd",
+            "ms(full)",
+        ],
     );
     let mut workloads: Vec<(String, Aig, Lit, Vec<Var>)> = quant_workloads()
         .into_iter()
@@ -162,11 +176,7 @@ pub fn e1_table() -> Table {
     let (maig, mf, mvars) = multiplier_workload(7, 7, 8, 3);
     workloads.push(("mult7x7.b8".to_string(), maig, mf, mvars));
     for (name, aig0, pre, pis) in workloads {
-        let mut row = vec![
-            name,
-            aig0.cone_size(pre).to_string(),
-            pis.len().to_string(),
-        ];
+        let mut row = vec![name, aig0.cone_size(pre).to_string(), pis.len().to_string()];
         for cfg in [
             QuantConfig::naive(),
             QuantConfig::merge_only(),
@@ -228,11 +238,7 @@ pub fn candidate_pairs(aig: &Aig, f: Lit, g: Lit, words: usize, seed: u64) -> Ve
 /// E2 kernel: proves a list of candidate pairs either with a fresh solver
 /// per check or on one shared database. Returns
 /// `(proved, conflicts, decisions, encoded_gates)`.
-pub fn satmerge_run(
-    aig: &Aig,
-    pairs: &[(Lit, Lit)],
-    shared: bool,
-) -> (usize, u64, u64, u64) {
+pub fn satmerge_run(aig: &Aig, pairs: &[(Lit, Lit)], shared: bool) -> (usize, u64, u64, u64) {
     let mut proved = 0usize;
     let mut conflicts = 0u64;
     let mut decisions = 0u64;
@@ -265,7 +271,16 @@ pub fn satmerge_run(
 pub fn e2_table() -> Table {
     let mut t = Table::new(
         "E2 / Table 2 — factorised SAT-merge (shared clause database)",
-        &["gates", "pairs", "mode", "proved", "conflicts", "decisions", "encoded", "ms"],
+        &[
+            "gates",
+            "pairs",
+            "mode",
+            "proved",
+            "conflicts",
+            "decisions",
+            "encoded",
+            "ms",
+        ],
     );
     for ops in [30usize, 80, 160] {
         let mut aig = Aig::new();
@@ -347,7 +362,15 @@ pub fn e3_table() -> Table {
 pub fn e4_table() -> Table {
     let mut t = Table::new(
         "E4 / Fig. 2 — merge tiers (structural / BDD sweep / SAT)",
-        &["workload", "bdd cap", "shared(strash)", "classes", "bdd", "sat", "cex"],
+        &[
+            "workload",
+            "bdd cap",
+            "shared(strash)",
+            "classes",
+            "bdd",
+            "sat",
+            "cex",
+        ],
     );
     // Cofactor pairs from real pre-images plus two synthetic pairs with
     // plentiful compare points.
@@ -368,14 +391,17 @@ pub fn e4_table() -> Table {
     }
     for (name, aig0, f1, f0) in workloads {
         let shared = {
-            let c1: std::collections::HashSet<Var> =
-                aig0.collect_cone(&[f1]).into_iter().collect();
+            let c1: std::collections::HashSet<Var> = aig0.collect_cone(&[f1]).into_iter().collect();
             aig0.collect_cone(&[f0])
                 .into_iter()
                 .filter(|x| c1.contains(x))
                 .count()
         };
-        for (cap_label, use_bdd, cap) in [("2000", true, 2000usize), ("40", true, 40), ("off", false, 0)] {
+        for (cap_label, use_bdd, cap) in [
+            ("2000", true, 2000usize),
+            ("40", true, 40),
+            ("off", false, 0),
+        ] {
             let mut aig = aig0.clone();
             let mut cnf = AigCnf::new();
             let cfg = SweepConfig {
@@ -406,7 +432,15 @@ pub fn e4_table() -> Table {
 pub fn e5_table() -> Table {
     let mut t = Table::new(
         "E5 / Table 3 — DC-based optimisation ablation (AND gates)",
-        &["circuit", "merge only", "+input DC", "+ODC", "const", "merges", "odc"],
+        &[
+            "circuit",
+            "merge only",
+            "+input DC",
+            "+ODC",
+            "const",
+            "merges",
+            "odc",
+        ],
     );
     for net in quant_workloads() {
         let (aig0, pre, pis) = preimage_workload(&net, 1);
@@ -471,39 +505,41 @@ fn verdict_cell(v: &Verdict) -> String {
     match v {
         Verdict::Safe { iterations } => format!("safe@{iterations}"),
         Verdict::Unsafe { trace } => format!("cex@{}", trace.len() - 1),
+        Verdict::Bounded { resource, .. } => format!("bounded({resource})"),
         Verdict::Unknown { .. } => "unknown".to_string(),
     }
 }
 
-/// E6: verdict, effort and representation peaks for all four engines.
+/// The per-engine, per-circuit budget of the comparison table: generous
+/// enough for every suite member, tight enough that a regression shows
+/// up as `bounded(...)` instead of a stalled report.
+pub fn e6_budget() -> Budget {
+    Budget::unlimited().with_timeout(std::time::Duration::from_secs(30))
+}
+
+/// E6: verdict, effort, and representation peaks for every registered
+/// engine — the registry *is* the comparison.
 pub fn e6_table() -> Table {
-    let mut t = Table::new(
-        "E6 / Table 4 — UMC comparison (circuit vs BDD vs BMC vs k-induction)",
-        &[
-            "circuit", "circ-umc", "nodes", "ms", "bdd-umc", "nodes", "ms", "bmc", "ms",
-            "k-ind", "ms",
-        ],
-    );
+    let mut header = vec!["circuit".to_string()];
+    for spec in registry() {
+        header.push(spec.name.to_string());
+        header.push("nodes".to_string());
+        header.push("ms".to_string());
+    }
+    let mut t = Table {
+        title: "E6 / Table 4 — UMC comparison across the engine registry".to_string(),
+        header,
+        rows: Vec::new(),
+    };
+    let budget = e6_budget();
     for net in umc_suite() {
         let mut row = vec![net.name().to_string()];
-        let start = Instant::now();
-        let c = CircuitUmc::default().check(&net);
-        row.push(verdict_cell(&c.verdict));
-        row.push(c.stats.peak_nodes.to_string());
-        row.push(ms(start));
-        let start = Instant::now();
-        let b = BddUmc::default().check(&net);
-        row.push(verdict_cell(&b.verdict));
-        row.push(b.stats.peak_nodes.to_string());
-        row.push(ms(start));
-        let start = Instant::now();
-        let m = Bmc { max_depth: 80 }.check(&net);
-        row.push(verdict_cell(&m.verdict));
-        row.push(ms(start));
-        let start = Instant::now();
-        let k = KInduction { max_k: 40, simple_path: true }.check(&net);
-        row.push(verdict_cell(&k.verdict));
-        row.push(ms(start));
+        for spec in registry() {
+            let run = (spec.build)().check(&net, &budget);
+            row.push(verdict_cell(&run.verdict));
+            row.push(run.stats.peak_nodes.to_string());
+            row.push(format!("{:.1}", run.stats.elapsed.as_secs_f64() * 1e3));
+        }
         t.push(row);
     }
     t
@@ -547,7 +583,15 @@ pub fn e7_table() -> Table {
     let (maig, mf, mvars) = multiplier_workload(6, 6, 7, 4);
     workloads.push(("mult6x6.b7".to_string(), maig, mf, mvars));
     for (name, aig0, pre, pis) in workloads {
-        for budget in [Some(0.8), Some(1.0), Some(1.25), Some(1.5), Some(2.0), Some(4.0), None] {
+        for budget in [
+            Some(0.8),
+            Some(1.0),
+            Some(1.25),
+            Some(1.5),
+            Some(2.0),
+            Some(4.0),
+            None,
+        ] {
             let (residual, size, time) = partial_run(&aig0, pre, &pis, budget);
             t.push(vec![
                 name.clone(),
@@ -589,7 +633,14 @@ pub fn hybrid_run(aig0: &Aig, pre: Lit, pis: &[Var], frac: f64) -> (usize, usize
 pub fn e8_table() -> Table {
     let mut t = Table::new(
         "E8 / Table 5 — circuit quantification as preprocessing for SAT pre-image",
-        &["workload", "prequant", "decision vars", "cofactors", "size", "ms"],
+        &[
+            "workload",
+            "prequant",
+            "decision vars",
+            "cofactors",
+            "size",
+            "ms",
+        ],
     );
     let mut workloads: Vec<(String, Aig, Lit, Vec<Var>)> = Vec::new();
     for net in [generators::arbiter(8), generators::fifo_ctrl(4)] {
@@ -658,6 +709,23 @@ mod tests {
         let (p2, ..) = satmerge_run(&aig, &pairs, true);
         assert_eq!(p1, p2);
         assert!(p1 > 0);
+    }
+
+    #[test]
+    fn registry_engines_complete_the_e6_kernel() {
+        // One tiny circuit through every registered engine, budgeted the
+        // same way as the full table.
+        let net = generators::mutex();
+        for spec in registry() {
+            let run = (spec.build)().check(&net, &Budget::unlimited().with_steps(100));
+            assert_eq!(run.stats.engine, spec.name);
+            assert!(
+                !run.verdict.is_unsafe(),
+                "{}: mutex is safe, got {}",
+                spec.name,
+                run.verdict
+            );
+        }
     }
 
     #[test]

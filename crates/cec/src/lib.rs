@@ -147,7 +147,13 @@ pub fn miter(aig: &mut Aig, a: Lit, b: Lit) -> Lit {
 /// Full combinational equivalence check between two literals: sweeping
 /// first (which shrinks and shares the cones), then a final SAT proof on
 /// the swept roots.
-pub fn check_equiv(aig: &mut Aig, a: Lit, b: Lit, cnf: &mut AigCnf, cfg: &SweepConfig) -> EquivResult {
+pub fn check_equiv(
+    aig: &mut Aig,
+    a: Lit,
+    b: Lit,
+    cnf: &mut AigCnf,
+    cfg: &SweepConfig,
+) -> EquivResult {
     let swept = sweep(aig, &[a, b], cnf, cfg);
     if swept.roots[0] == swept.roots[1] {
         return EquivResult::Equiv;
@@ -451,10 +457,7 @@ pub fn apply_merges(aig: &mut Aig, roots: &[Lit], merges: &HashMap<Var, Lit>) ->
         };
         memo.insert(v, rebuilt);
     }
-    roots
-        .iter()
-        .map(|r| resolve(&memo, merges, *r))
-        .collect()
+    roots.iter().map(|r| resolve(&memo, merges, *r)).collect()
 }
 
 /// Resolves an edge through merges (on original variables) and then the
@@ -625,8 +628,7 @@ mod tests {
         assert_eq!(res_f.roots[0], res_f.roots[1]);
         // Backward either skipped points or issued no more checks than forward.
         assert!(
-            res_b.stats.skipped_out_of_cone > 0
-                || res_b.stats.sat_checks <= res_f.stats.sat_checks
+            res_b.stats.skipped_out_of_cone > 0 || res_b.stats.sat_checks <= res_f.stats.sat_checks
         );
     }
 
@@ -646,10 +648,7 @@ mod tests {
         let (a, b, x1, x2) = xor_two_ways(&mut aig);
         let mut cnf = AigCnf::new();
         let m_eq = miter(&mut aig, x1, x2);
-        assert_eq!(
-            cnf.solve_under(&aig, &[m_eq]),
-            cbq_sat::SatResult::Unsat
-        );
+        assert_eq!(cnf.solve_under(&aig, &[m_eq]), cbq_sat::SatResult::Unsat);
         let m_diff = miter(&mut aig, a, b);
         assert_eq!(cnf.solve_under(&aig, &[m_diff]), cbq_sat::SatResult::Sat);
     }

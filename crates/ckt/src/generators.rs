@@ -47,10 +47,7 @@ fn word_dec(aig: &mut Aig, word: &[Lit]) -> Vec<Lit> {
 
 /// Bitwise multiplexer `sel ? a : b`.
 fn word_mux(aig: &mut Aig, sel: Lit, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| aig.ite(sel, *x, *y))
-        .collect()
+    a.iter().zip(b).map(|(x, y)| aig.ite(sel, *x, *y)).collect()
 }
 
 /// "At least two of `xs`" (quadratic, fine for ring sizes).
@@ -87,7 +84,10 @@ fn parity(aig: &mut Aig, xs: &[Lit]) -> Lit {
 ///
 /// Panics unless `1 <= bound < 2^n`.
 pub fn bounded_counter(n: usize, bound: u64) -> Network {
-    assert!(n < 63 && bound >= 1 && bound < (1 << n), "bound out of range");
+    assert!(
+        n < 63 && bound >= 1 && bound < (1 << n),
+        "bound out of range"
+    );
     let mut b = Network::builder(format!("bcnt{n}_{bound}"));
     let s = b.add_latch_word(n, 0);
     let aig = b.aig_mut();
@@ -153,7 +153,7 @@ pub fn counter_bug(n: usize, k: u64) -> Network {
 /// alternates every step, and the phase latch tracks it. Safe and
 /// 1-inductive — `bad = (parity(gray) ≠ phase)`.
 pub fn gray_counter(n: usize) -> Network {
-    assert!(n >= 1 && n < 63);
+    assert!((1..63).contains(&n));
     let mut b = Network::builder(format!("gray{n}"));
     let s = b.add_latch_word(n, 0);
     let p = b.add_latch(false);
@@ -298,7 +298,7 @@ pub fn lfsr(n: usize, taps: &[usize]) -> Network {
 /// occupancy counter, with push/pop guarded by full/empty.
 /// `bad = (count > 2^k)` — safe thanks to the full guard.
 pub fn fifo_ctrl(k: usize) -> Network {
-    assert!(k >= 1 && k <= 16);
+    assert!((1..=16).contains(&k));
     let mut b = Network::builder(format!("fifo{k}"));
     let wptr = b.add_latch_word(k, 0);
     let rptr = b.add_latch_word(k, 0);
@@ -498,7 +498,10 @@ mod tests {
 
     #[test]
     fn bounded_counter_gap_is_safe() {
-        assert_eq!(explicit_check(&bounded_counter_gap(4, 6, 13), 1 << 12), None);
+        assert_eq!(
+            explicit_check(&bounded_counter_gap(4, 6, 13), 1 << 12),
+            None
+        );
     }
 
     #[test]

@@ -133,8 +133,7 @@ mod tests {
             let mut s1 = net.initial_state();
             let mut s2 = back.initial_state();
             for t in 0..20usize {
-                let inputs: Vec<bool> =
-                    (0..net.num_inputs()).map(|i| (t + i) % 3 == 0).collect();
+                let inputs: Vec<bool> = (0..net.num_inputs()).map(|i| (t + i) % 3 == 0).collect();
                 let (n1, b1) = net.step(&s1, &inputs);
                 let (n2, b2) = back.step(&s2, &inputs);
                 assert_eq!(b1, b2, "bad mismatch at step {t}");

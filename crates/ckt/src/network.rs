@@ -194,7 +194,9 @@ impl NetworkBuilder {
     /// Adds `n` latches with reset values from `init` (little-endian bit
     /// `i` of `init`).
     pub fn add_latch_word(&mut self, n: usize, init: u64) -> Vec<Var> {
-        (0..n).map(|i| self.add_latch((init >> i) & 1 != 0)).collect()
+        (0..n)
+            .map(|i| self.add_latch((init >> i) & 1 != 0))
+            .collect()
     }
 
     /// Adds `n` primary inputs.

@@ -368,7 +368,7 @@ mod tests {
 
     #[test]
     fn assert_lit_constrains_future_checks() {
-        let (mut aig, ins) = setup();
+        let (aig, ins) = setup();
         let mut cnf = AigCnf::new();
         assert!(cnf.assert_lit(&aig, ins[0]));
         assert_eq!(cnf.solve_under(&aig, &[!ins[0]]), SatResult::Unsat);

@@ -371,12 +371,7 @@ pub fn substitute(aig: &mut Aig, f: Lit, defs: &[(Var, Lit)]) -> Lit {
 ///
 /// Returns `None` if the BDD exceeds `cap` nodes; on success also reports
 /// the peak BDD node count of the quantified result.
-pub fn exists_bdd(
-    aig: &mut Aig,
-    f: Lit,
-    vars: &[Var],
-    cap: usize,
-) -> Option<(Lit, usize)> {
+pub fn exists_bdd(aig: &mut Aig, f: Lit, vars: &[Var], cap: usize) -> Option<(Lit, usize)> {
     let support = aig.support(f);
     let var_level: HashMap<Var, u32> = support
         .iter()
@@ -555,7 +550,13 @@ mod tests {
             assert_eq!(res.stats.aborted, res.remaining.len());
             // Finish the job without a budget and compare against direct
             // quantification.
-            let finished = exists_many(&mut aig, res.lit, &res.remaining, &mut cnf, &QuantConfig::full());
+            let finished = exists_many(
+                &mut aig,
+                res.lit,
+                &res.remaining,
+                &mut cnf,
+                &QuantConfig::full(),
+            );
             assert!(exhaustive_exists_check(
                 &mut aig,
                 f,

@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use cbq_bdd::{BddManager, BddRef};
 use cbq_ckt::{Network, Trace};
 
-use crate::verdict::{McRun, Verdict};
+use crate::engine::{Budget, Engine, Meter};
+use crate::verdict::{McRun, McStats, Verdict};
 
 /// Traversal direction for [`BddUmc`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -85,13 +86,35 @@ impl Levels {
     }
 }
 
-impl BddUmc {
-    /// Runs BDD reachability on `net`.
-    pub fn check(&self, net: &Network) -> McRun<BddUmcStats> {
+impl Engine for BddUmc {
+    fn name(&self) -> &'static str {
         match self.direction {
-            BddDirection::Backward => self.check_backward(net),
-            BddDirection::Forward => self.check_forward(net),
+            BddDirection::Backward => "bdd",
+            BddDirection::Forward => "bdd-forward",
         }
+    }
+
+    /// Runs BDD reachability on `net` within `budget`.
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
+        match self.direction {
+            BddDirection::Backward => self.check_backward(net, &meter),
+            BddDirection::Forward => self.check_forward(net, &meter),
+        }
+    }
+}
+
+impl BddUmc {
+    /// Bundles the typed stats into the uniform run record.
+    fn finish(&self, verdict: Verdict, stats: BddUmcStats, meter: &Meter) -> McRun {
+        let common = McStats {
+            engine: self.name(),
+            iterations: stats.iterations,
+            peak_nodes: stats.peak_nodes,
+            sat_checks: 0,
+            elapsed: meter.elapsed(),
+        };
+        McRun::new(verdict, common).with_detail(stats)
     }
 
     fn build_common(
@@ -126,15 +149,18 @@ impl BddUmc {
         Some((bad, deltas, init))
     }
 
-    fn check_backward(&self, net: &Network) -> McRun<BddUmcStats> {
+    fn check_backward(&self, net: &Network, meter: &Meter) -> McRun {
         let lv = Levels {
             num_latches: net.num_latches(),
             num_inputs: net.num_inputs(),
         };
         let mut mgr = BddManager::new(lv.num_latches + lv.num_inputs);
         let mut stats = BddUmcStats::default();
+        if let Some(bounded) = meter.exceeded(0, mgr.num_nodes(), 0) {
+            return self.finish(bounded, stats, meter);
+        }
         let Some((bad, deltas, init)) = self.build_common(net, &mut mgr, &lv) else {
-            return self.blowup(stats, &mgr);
+            return self.blowup(stats, &mgr, meter);
         };
         let subst: HashMap<u32, BddRef> = deltas
             .iter()
@@ -147,7 +173,7 @@ impl BddUmc {
         // counterexample input extraction.
         let mut raws: Vec<BddRef> = vec![bad];
         let Some(f0) = mgr.exists_limited(bad, &input_levels, self.node_cap) else {
-            return self.blowup(stats, &mgr);
+            return self.blowup(stats, &mgr, meter);
         };
         let mut frontier = f0;
         let mut frontiers = vec![f0];
@@ -156,26 +182,24 @@ impl BddUmc {
         if mgr.and(frontier, init) != mgr.zero() {
             let trace = extract_trace(net, &mut mgr, &lv, &raws, 0);
             stats.peak_nodes = mgr.num_nodes();
-            return McRun {
-                verdict: Verdict::Unsafe { trace },
-                stats,
-            };
+            return self.finish(Verdict::Unsafe { trace }, stats, meter);
         }
         for iter in 1..=self.max_iterations {
+            if let Some(bounded) = meter.exceeded(iter - 1, mgr.num_nodes(), 0) {
+                stats.peak_nodes = mgr.num_nodes();
+                return self.finish(bounded, stats, meter);
+            }
             stats.iterations = iter;
             let pre_raw = mgr.vector_compose(frontier, &subst);
             let Some(pre) = mgr.exists_limited(pre_raw, &input_levels, self.node_cap) else {
-                return self.blowup(stats, &mgr);
+                return self.blowup(stats, &mgr, meter);
             };
             let nr = mgr.not(reached);
             let new = mgr.and(pre, nr);
             if new == mgr.zero() {
                 stats.reached_size = mgr.size(reached);
                 stats.peak_nodes = mgr.num_nodes();
-                return McRun {
-                    verdict: Verdict::Safe { iterations: iter },
-                    stats,
-                };
+                return self.finish(Verdict::Safe { iterations: iter }, stats, meter);
             }
             raws.push(pre_raw);
             frontiers.push(new);
@@ -183,35 +207,33 @@ impl BddUmc {
             if mgr.and(new, init) != mgr.zero() {
                 let trace = extract_trace(net, &mut mgr, &lv, &raws, iter);
                 stats.peak_nodes = mgr.num_nodes();
-                return McRun {
-                    verdict: Verdict::Unsafe { trace },
-                    stats,
-                };
+                return self.finish(Verdict::Unsafe { trace }, stats, meter);
             }
             reached = mgr.or(reached, new);
             frontier = new;
             if mgr.num_nodes() > self.node_cap {
-                return self.blowup(stats, &mgr);
+                return self.blowup(stats, &mgr, meter);
             }
         }
         stats.peak_nodes = mgr.num_nodes();
-        McRun {
-            verdict: Verdict::Unknown {
-                reason: format!("iteration bound {} reached", self.max_iterations),
-            },
-            stats,
-        }
+        let verdict = Verdict::Unknown {
+            reason: format!("iteration bound {} reached", self.max_iterations),
+        };
+        self.finish(verdict, stats, meter)
     }
 
-    fn check_forward(&self, net: &Network) -> McRun<BddUmcStats> {
+    fn check_forward(&self, net: &Network, meter: &Meter) -> McRun {
         let lv = Levels {
             num_latches: net.num_latches(),
             num_inputs: net.num_inputs(),
         };
         let mut mgr = BddManager::new(2 * lv.num_latches + lv.num_inputs);
         let mut stats = BddUmcStats::default();
+        if let Some(bounded) = meter.exceeded(0, mgr.num_nodes(), 0) {
+            return self.finish(bounded, stats, meter);
+        }
         let Some((bad, deltas, init)) = self.build_common(net, &mut mgr, &lv) else {
-            return self.blowup(stats, &mgr);
+            return self.blowup(stats, &mgr, meter);
         };
         // Monolithic transition relation T(s, i, s') = ∧ⱼ s'ⱼ ≡ δⱼ.
         let mut trans = mgr.one();
@@ -220,7 +242,7 @@ impl BddUmc {
             let eq = mgr.iff(nv, *d);
             trans = mgr.and(trans, eq);
             if mgr.num_nodes() > self.node_cap {
-                return self.blowup(stats, &mgr);
+                return self.blowup(stats, &mgr, meter);
             }
         }
         // Quantify s and i in the relational product; then rename s' → s.
@@ -238,16 +260,16 @@ impl BddUmc {
         let mut frontiers = vec![init];
         stats.frontier_sizes.push(mgr.size(init));
         for iter in 0..=self.max_iterations {
+            if let Some(bounded) = meter.exceeded(iter, mgr.num_nodes(), 0) {
+                stats.peak_nodes = mgr.num_nodes();
+                return self.finish(bounded, stats, meter);
+            }
             stats.iterations = iter;
             // Counterexample: a reached state fires bad under some input.
             if mgr.and(frontier, bad) != mgr.zero() {
-                let trace =
-                    extract_forward_trace(net, &mut mgr, &lv, &frontiers, bad, trans, iter);
+                let trace = extract_forward_trace(net, &mut mgr, &lv, &frontiers, bad, trans, iter);
                 stats.peak_nodes = mgr.num_nodes();
-                return McRun {
-                    verdict: Verdict::Unsafe { trace },
-                    stats,
-                };
+                return self.finish(Verdict::Unsafe { trace }, stats, meter);
             }
             let img = mgr.and_exists(trans, frontier, &cur_and_inputs);
             let img = mgr.vector_compose(img, &rename);
@@ -256,36 +278,35 @@ impl BddUmc {
             if new == mgr.zero() {
                 stats.reached_size = mgr.size(reached);
                 stats.peak_nodes = mgr.num_nodes();
-                return McRun {
-                    verdict: Verdict::Safe { iterations: iter + 1 },
+                return self.finish(
+                    Verdict::Safe {
+                        iterations: iter + 1,
+                    },
                     stats,
-                };
+                    meter,
+                );
             }
             frontiers.push(new);
             stats.frontier_sizes.push(mgr.size(new));
             reached = mgr.or(reached, new);
             frontier = new;
             if mgr.num_nodes() > self.node_cap {
-                return self.blowup(stats, &mgr);
+                return self.blowup(stats, &mgr, meter);
             }
         }
         stats.peak_nodes = mgr.num_nodes();
-        McRun {
-            verdict: Verdict::Unknown {
-                reason: format!("iteration bound {} reached", self.max_iterations),
-            },
-            stats,
-        }
+        let verdict = Verdict::Unknown {
+            reason: format!("iteration bound {} reached", self.max_iterations),
+        };
+        self.finish(verdict, stats, meter)
     }
 
-    fn blowup(&self, mut stats: BddUmcStats, mgr: &BddManager) -> McRun<BddUmcStats> {
+    fn blowup(&self, mut stats: BddUmcStats, mgr: &BddManager, meter: &Meter) -> McRun {
         stats.peak_nodes = mgr.num_nodes();
-        McRun {
-            verdict: Verdict::Unknown {
-                reason: format!("BDD blow-up beyond {} nodes", self.node_cap),
-            },
-            stats,
-        }
+        let verdict = Verdict::Unknown {
+            reason: format!("BDD blow-up beyond {} nodes", self.node_cap),
+        };
+        self.finish(verdict, stats, meter)
     }
 }
 
@@ -397,7 +418,7 @@ mod tests {
                 generators::gray_counter(4),
                 generators::mutex(),
             ] {
-                let run = eng.check(&net);
+                let run = eng.check(&net, &Budget::unlimited());
                 assert!(
                     run.verdict.is_safe(),
                     "{} {:?}: got {}",
@@ -418,7 +439,7 @@ mod tests {
                 (generators::shift_ones(4), 4),
                 (generators::counter_bug(4, 5), 5),
             ] {
-                let run = eng.check(&net);
+                let run = eng.check(&net, &Budget::unlimited());
                 match &run.verdict {
                     Verdict::Unsafe { trace } => {
                         assert!(
@@ -447,15 +468,27 @@ mod tests {
             node_cap: 50,
             ..BddUmc::default()
         };
-        let run = eng.check(&generators::fifo_ctrl(3));
+        let run = eng.check(&generators::fifo_ctrl(3), &Budget::unlimited());
         assert!(matches!(run.verdict, Verdict::Unknown { .. }));
     }
 
     #[test]
     fn stats_are_populated() {
-        let run = BddUmc::default().check(&generators::token_ring(4));
+        let run = BddUmc::default().check(&generators::token_ring(4), &Budget::unlimited());
         assert!(run.stats.iterations >= 1);
         assert!(run.stats.peak_nodes > 0);
-        assert!(!run.stats.frontier_sizes.is_empty());
+        let detail = run.detail::<BddUmcStats>().expect("typed stats");
+        assert!(!detail.frontier_sizes.is_empty());
+    }
+
+    #[test]
+    fn node_budget_is_bounded_not_unknown() {
+        // Unlike the engine's own node_cap (an internal give-up, hence
+        // Unknown), a caller-imposed node budget reports Bounded.
+        let run = BddUmc::default().check(
+            &generators::fifo_ctrl(3),
+            &Budget::unlimited().with_nodes(10),
+        );
+        assert!(run.verdict.is_bounded(), "got {}", run.verdict);
     }
 }

@@ -8,11 +8,12 @@
 //! the shared clause database.
 
 use cbq_aig::{Aig, Lit, Var};
-use cbq_cnf::AigCnf;
 use cbq_ckt::{Network, Trace};
+use cbq_cnf::AigCnf;
 use cbq_sat::SatResult;
 
-use crate::verdict::{McRun, Verdict};
+use crate::engine::{Budget, Engine, Meter};
+use crate::verdict::{McRun, McStats, Verdict};
 
 /// Incremental functional unroller, shared by BMC and the base case of
 /// k-induction.
@@ -133,44 +134,59 @@ pub struct BmcStats {
     pub sat_checks: u64,
 }
 
-impl Bmc {
-    /// Runs BMC on `net`.
-    pub fn check(&self, net: &Network) -> McRun<BmcStats> {
+/// Bundles the typed stats into the uniform run record.
+fn finish(verdict: Verdict, stats: BmcStats, meter: &Meter) -> McRun {
+    let common = McStats {
+        engine: "bmc",
+        iterations: stats.depth_reached,
+        peak_nodes: stats.unrolled_nodes,
+        sat_checks: stats.sat_checks,
+        elapsed: meter.elapsed(),
+    };
+    McRun::new(verdict, common).with_detail(stats)
+}
+
+impl Engine for Bmc {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    /// Runs BMC on `net` within `budget` (`max_steps` caps the depth).
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
         let mut u = Unroller::new(net);
         let mut stats = BmcStats::default();
         for d in 0..=self.max_depth {
+            if let Some(bounded) = meter.exceeded(d, u.aig.num_nodes(), u.cnf.stats().checks) {
+                stats.unrolled_nodes = u.aig.num_nodes();
+                stats.sat_checks = u.cnf.stats().checks;
+                return finish(bounded, stats, &meter);
+            }
             stats.depth_reached = d;
             match u.check_depth(net, d) {
                 SatResult::Sat => {
                     let trace = u.extract_trace(net, d);
                     stats.unrolled_nodes = u.aig.num_nodes();
                     stats.sat_checks = u.cnf.stats().checks;
-                    return McRun {
-                        verdict: Verdict::Unsafe { trace },
-                        stats,
-                    };
+                    return finish(Verdict::Unsafe { trace }, stats, &meter);
                 }
                 SatResult::Unsat => {}
                 SatResult::Unknown => {
                     stats.unrolled_nodes = u.aig.num_nodes();
                     stats.sat_checks = u.cnf.stats().checks;
-                    return McRun {
-                        verdict: Verdict::Unknown {
-                            reason: format!("solver budget at depth {d}"),
-                        },
-                        stats,
+                    let verdict = Verdict::Unknown {
+                        reason: format!("solver budget at depth {d}"),
                     };
+                    return finish(verdict, stats, &meter);
                 }
             }
         }
         stats.unrolled_nodes = u.aig.num_nodes();
         stats.sat_checks = u.cnf.stats().checks;
-        McRun {
-            verdict: Verdict::Unknown {
-                reason: format!("no counterexample up to depth {}", self.max_depth),
-            },
-            stats,
-        }
+        let verdict = Verdict::Unknown {
+            reason: format!("no counterexample up to depth {}", self.max_depth),
+        };
+        finish(verdict, stats, &meter)
     }
 }
 
@@ -187,7 +203,7 @@ mod tests {
             (generators::mutex_bug(), 2),
             (generators::shift_ones(4), 4),
         ] {
-            let run = Bmc::default().check(&net);
+            let run = Bmc::default().check(&net, &Budget::unlimited());
             match run.verdict {
                 Verdict::Unsafe { trace } => {
                     assert_eq!(trace.len(), depth + 1, "{}", net.name());
@@ -200,14 +216,26 @@ mod tests {
 
     #[test]
     fn safe_circuit_is_unknown() {
-        let run = Bmc { max_depth: 20 }.check(&generators::token_ring(4));
+        let run = Bmc { max_depth: 20 }.check(&generators::token_ring(4), &Budget::unlimited());
         assert!(matches!(run.verdict, Verdict::Unknown { .. }));
-        assert_eq!(run.stats.depth_reached, 20);
+        assert_eq!(run.detail::<BmcStats>().unwrap().depth_reached, 20);
+        assert_eq!(run.stats.iterations, 20);
+    }
+
+    #[test]
+    fn depth_budget_bounds_the_search() {
+        // The bug sits at depth 7; a 3-step budget must trip first.
+        let run = Bmc::default().check(
+            &generators::counter_bug(5, 7),
+            &Budget::unlimited().with_steps(3),
+        );
+        assert!(run.verdict.is_bounded(), "got {}", run.verdict);
+        assert!(run.stats.iterations <= 3);
     }
 
     #[test]
     fn bound_below_bug_depth_misses_it() {
-        let run = Bmc { max_depth: 5 }.check(&generators::counter_bug(5, 7));
+        let run = Bmc { max_depth: 5 }.check(&generators::counter_bug(5, 7), &Budget::unlimited());
         assert!(matches!(run.verdict, Verdict::Unknown { .. }));
     }
 
@@ -218,7 +246,7 @@ mod tests {
         let s = b.add_latch(true);
         b.set_next(s, s.lit());
         let net = b.build(s.lit());
-        let run = Bmc::default().check(&net);
+        let run = Bmc::default().check(&net, &Budget::unlimited());
         match run.verdict {
             Verdict::Unsafe { trace } => assert_eq!(trace.len(), 1),
             other => panic!("expected unsafe, got {other}"),

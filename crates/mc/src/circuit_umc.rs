@@ -2,14 +2,15 @@
 //! sets and circuit-based quantification (Section 3).
 
 use cbq_aig::{Aig, Lit, Var};
-use cbq_cnf::AigCnf;
 use cbq_ckt::{Network, Trace};
+use cbq_cnf::AigCnf;
 use cbq_core::{exists_many, QuantConfig};
 use cbq_sat::SatResult;
 
+use crate::engine::{Budget, Engine, Meter};
 use crate::ganai::all_solutions_exists;
 use crate::preimage::preimage_formula;
-use crate::verdict::{McRun, Verdict};
+use crate::verdict::{McRun, McStats, Verdict};
 
 /// How to finish quantification when partial quantification aborts some
 /// input variables (Section 4: "it accepts effective quantification and
@@ -77,12 +78,33 @@ pub struct CircuitUmcStats {
     pub ganai_cofactors: usize,
 }
 
-impl CircuitUmc {
-    /// Runs backward reachability on `net`.
-    pub fn check(&self, net: &Network) -> McRun<CircuitUmcStats> {
+/// Bundles the typed stats into the uniform run record.
+fn finish(verdict: Verdict, stats: CircuitUmcStats, meter: &Meter) -> McRun {
+    let common = McStats {
+        engine: "circuit",
+        iterations: stats.iterations,
+        peak_nodes: stats.peak_nodes,
+        sat_checks: stats.sat_checks,
+        elapsed: meter.elapsed(),
+    };
+    McRun::new(verdict, common).with_detail(stats)
+}
+
+impl Engine for CircuitUmc {
+    fn name(&self) -> &'static str {
+        "circuit"
+    }
+
+    /// Runs backward reachability on `net` within `budget`.
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
         let mut aig = net.aig().clone();
         let mut cnf = AigCnf::new();
         let mut stats = CircuitUmcStats::default();
+        if let Some(bounded) = meter.exceeded(0, aig.num_nodes(), 0) {
+            stats.peak_nodes = aig.num_nodes();
+            return finish(bounded, stats, &meter);
+        }
         let pis: Vec<Var> = net.primary_inputs().to_vec();
         let init_lit = net.initial_cube().to_lit(&mut aig);
 
@@ -97,13 +119,16 @@ impl CircuitUmc {
             let trace = self.extract_trace(&mut aig, net, &mut cnf, &frontiers, 0);
             stats.sat_checks = cnf.stats().checks;
             stats.peak_nodes = aig.num_nodes();
-            return McRun {
-                verdict: Verdict::Unsafe { trace },
-                stats,
-            };
+            return finish(Verdict::Unsafe { trace }, stats, &meter);
         }
 
         for iter in 1..=self.max_iterations {
+            if let Some(bounded) = meter.exceeded(iter - 1, aig.num_nodes(), cnf.stats().checks) {
+                stats.sat_checks = cnf.stats().checks;
+                stats.reached_size = aig.cone_size(reached);
+                stats.peak_nodes = aig.num_nodes();
+                return finish(bounded, stats, &meter);
+            }
             stats.iterations = iter;
             // Pre-image: in-line the next-state functions, then quantify
             // the primary inputs by circuit-based quantification.
@@ -115,10 +140,7 @@ impl CircuitUmc {
                 stats.sat_checks = cnf.stats().checks;
                 stats.reached_size = aig.cone_size(reached);
                 stats.peak_nodes = aig.num_nodes();
-                return McRun {
-                    verdict: Verdict::Safe { iterations: iter },
-                    stats,
-                };
+                return finish(Verdict::Safe { iterations: iter }, stats, &meter);
             }
             frontiers.push(new);
             stats.frontier_sizes.push(aig.cone_size(new));
@@ -126,10 +148,7 @@ impl CircuitUmc {
                 let trace = self.extract_trace(&mut aig, net, &mut cnf, &frontiers, iter);
                 stats.sat_checks = cnf.stats().checks;
                 stats.peak_nodes = aig.num_nodes();
-                return McRun {
-                    verdict: Verdict::Unsafe { trace },
-                    stats,
-                };
+                return finish(Verdict::Unsafe { trace }, stats, &meter);
             }
             reached = aig.or(reached, new);
             frontier = new;
@@ -137,14 +156,14 @@ impl CircuitUmc {
         stats.sat_checks = cnf.stats().checks;
         stats.reached_size = aig.cone_size(reached);
         stats.peak_nodes = aig.num_nodes();
-        McRun {
-            verdict: Verdict::Unknown {
-                reason: format!("iteration bound {} reached", self.max_iterations),
-            },
-            stats,
-        }
+        let verdict = Verdict::Unknown {
+            reason: format!("iteration bound {} reached", self.max_iterations),
+        };
+        finish(verdict, stats, &meter)
     }
+}
 
+impl CircuitUmc {
     /// Quantifies the primary inputs out of `f`, honouring the partial
     /// quantification budget and the residual policy.
     fn quantify(
@@ -239,7 +258,7 @@ mod tests {
     use cbq_ckt::generators;
 
     fn check_safe(net: &Network) {
-        let run = CircuitUmc::default().check(net);
+        let run = CircuitUmc::default().check(net, &Budget::unlimited());
         assert!(
             run.verdict.is_safe(),
             "{} should be safe, got {}",
@@ -249,10 +268,14 @@ mod tests {
     }
 
     fn check_unsafe(net: &Network, expected_depth: Option<usize>) {
-        let run = CircuitUmc::default().check(net);
+        let run = CircuitUmc::default().check(net, &Budget::unlimited());
         match &run.verdict {
             Verdict::Unsafe { trace } => {
-                assert!(trace.validates(net), "{}: trace does not replay", net.name());
+                assert!(
+                    trace.validates(net),
+                    "{}: trace does not replay",
+                    net.name()
+                );
                 if let Some(d) = expected_depth {
                     assert_eq!(trace.len(), d + 1, "{}: unexpected cex length", net.name());
                 }
@@ -280,7 +303,7 @@ mod tests {
     fn deep_backward_fixpoint_iteration_count() {
         // The gap circuit converges in exactly gap+1 backward iterations.
         let net = generators::bounded_counter_gap(4, 6, 12);
-        let run = CircuitUmc::default().check(&net);
+        let run = CircuitUmc::default().check(&net, &Budget::unlimited());
         match run.verdict {
             Verdict::Safe { iterations } => assert_eq!(iterations, 12 - 6 + 1),
             other => panic!("expected safe, got {other}"),
@@ -330,7 +353,7 @@ mod tests {
             residual: ResidualPolicy::Enumerate { max_rounds: 128 },
             ..CircuitUmc::default()
         };
-        let run = tight.check(&net);
+        let run = tight.check(&net, &Budget::unlimited());
         match run.verdict {
             Verdict::Unsafe { trace } => assert!(trace.validates(&net)),
             other => panic!("expected unsafe, got {other}"),
@@ -340,16 +363,33 @@ mod tests {
             residual: ResidualPolicy::Naive,
             ..CircuitUmc::default()
         };
-        let run2 = naive.check(&net);
+        let run2 = naive.check(&net, &Budget::unlimited());
         assert!(run2.verdict.is_unsafe());
     }
 
     #[test]
     fn stats_are_populated() {
-        let run = CircuitUmc::default().check(&generators::token_ring(4));
+        let run = CircuitUmc::default().check(&generators::token_ring(4), &Budget::unlimited());
         assert!(run.stats.iterations >= 1);
-        assert!(!run.stats.frontier_sizes.is_empty());
         assert!(run.stats.sat_checks > 0);
         assert!(run.stats.peak_nodes > 0);
+        let detail = run.detail::<CircuitUmcStats>().expect("typed stats");
+        assert!(!detail.frontier_sizes.is_empty());
+        assert_eq!(detail.iterations, run.stats.iterations);
+    }
+
+    #[test]
+    fn step_budget_bounds_the_traversal() {
+        // The gap circuit needs 7 backward iterations; 2 are not enough.
+        let net = generators::bounded_counter_gap(4, 6, 12);
+        let run = CircuitUmc::default().check(&net, &Budget::unlimited().with_steps(2));
+        match run.verdict {
+            Verdict::Bounded { resource, limit } => {
+                assert_eq!(resource, crate::Resource::Steps);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected bounded, got {other}"),
+        }
+        assert!(run.stats.iterations <= 2);
     }
 }

@@ -1,0 +1,296 @@
+//! The unified engine API: the [`Engine`] trait, resource [`Budget`]s,
+//! and the name-based engine registry.
+//!
+//! Every model checker in this crate — circuit-based backward and forward
+//! reachability, BDD reachability in both directions, BMC, k-induction,
+//! and the [`crate::Portfolio`] combinator — implements the same
+//! polymorphic entry point:
+//!
+//! ```text
+//! fn check(&self, net: &Network, budget: &Budget) -> McRun
+//! ```
+//!
+//! A [`Budget`] carries optional step, node, SAT-check, and wall-clock
+//! limits; exhausting any of them yields [`Verdict::Bounded`] — the
+//! paper's "abort on growth budget" philosophy lifted from the
+//! quantification kernel to whole traversals. Engines are constructible
+//! by registry name (`<dyn Engine>::by_name("circuit")`), which is what
+//! the CLI, the benchmark harness, and the cross-engine tests dispatch
+//! through.
+
+use std::time::{Duration, Instant};
+
+use cbq_ckt::Network;
+
+use crate::bdd_umc::{BddDirection, BddUmc};
+use crate::bmc::Bmc;
+use crate::circuit_umc::CircuitUmc;
+use crate::forward_umc::ForwardCircuitUmc;
+use crate::induction::KInduction;
+use crate::portfolio::Portfolio;
+use crate::verdict::{McRun, Resource, Verdict};
+
+/// Resource limits for one [`Engine::check`] call.
+///
+/// All limits are optional; [`Budget::unlimited`] (also `Default`)
+/// imposes none. A limit of zero is legal and forces an immediate
+/// [`Verdict::Bounded`] — engines must never hang on a tiny budget.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum engine steps: fixpoint iterations, BMC depth frames, or
+    /// induction depths, depending on the engine.
+    pub max_steps: Option<usize>,
+    /// Maximum nodes in the working representation (AIG or BDD).
+    pub max_nodes: Option<usize>,
+    /// Maximum assumption-based SAT checks.
+    pub max_sat_checks: Option<u64>,
+    /// Wall-clock deadline, relative to the start of the call.
+    pub timeout: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Caps engine steps (iterations / depth).
+    pub fn with_steps(mut self, steps: usize) -> Budget {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Caps working-representation nodes.
+    pub fn with_nodes(mut self, nodes: usize) -> Budget {
+        self.max_nodes = Some(nodes);
+        self
+    }
+
+    /// Caps SAT checks.
+    pub fn with_sat_checks(mut self, checks: u64) -> Budget {
+        self.max_sat_checks = Some(checks);
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Budget {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// A running budget: captures the start instant and answers "is any
+/// limit exhausted?" at engine-chosen safepoints.
+#[derive(Clone, Debug)]
+pub struct Meter {
+    start: Instant,
+    budget: Budget,
+}
+
+impl Meter {
+    /// Starts metering `budget` now.
+    pub fn start(budget: &Budget) -> Meter {
+        Meter {
+            start: Instant::now(),
+            budget: budget.clone(),
+        }
+    }
+
+    /// Time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Checks the spend against every limit; `Some(Bounded)` as soon as
+    /// one is exhausted. `steps` counts *completed* units, so a limit of
+    /// `k` permits exactly `k` units and trips before the `k+1`-th.
+    pub fn exceeded(&self, steps: usize, nodes: usize, sat_checks: u64) -> Option<Verdict> {
+        let trip = |resource, limit| Some(Verdict::Bounded { resource, limit });
+        match self.budget.max_steps {
+            Some(limit) if steps >= limit => return trip(Resource::Steps, limit as u64),
+            _ => {}
+        }
+        match self.budget.max_nodes {
+            Some(limit) if nodes > limit => return trip(Resource::Nodes, limit as u64),
+            _ => {}
+        }
+        match self.budget.max_sat_checks {
+            Some(limit) if sat_checks >= limit => return trip(Resource::SatChecks, limit),
+            _ => {}
+        }
+        match self.budget.timeout {
+            Some(limit) if self.start.elapsed() >= limit => {
+                return trip(Resource::WallClock, limit.as_millis() as u64)
+            }
+            _ => {}
+        }
+        None
+    }
+}
+
+/// The common interface of every unbounded model checker in this crate.
+///
+/// Implementations must honour `budget` at every iteration boundary:
+/// a zero budget returns [`Verdict::Bounded`] without doing unbounded
+/// work, never hangs.
+pub trait Engine {
+    /// The engine's registry name (`"circuit"`, `"bmc"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Model-checks `net` within `budget`.
+    fn check(&self, net: &Network, budget: &Budget) -> McRun;
+}
+
+/// A registry entry: metadata plus a default-configuration constructor.
+pub struct EngineSpec {
+    /// Registry name, accepted by [`by_name`] and `cbq check --engine`.
+    pub name: &'static str,
+    /// One-line description for `cbq engines` and `--help`.
+    pub summary: &'static str,
+    /// Whether the engine settles every property given enough budget
+    /// (BMC, for one, can only refute).
+    pub complete: bool,
+    /// Whether reported counterexamples are guaranteed minimal-depth.
+    pub minimal_cex: bool,
+    /// Builds the engine in its default configuration.
+    pub build: fn() -> Box<dyn Engine>,
+}
+
+/// Every registered engine, in presentation order.
+pub fn registry() -> &'static [EngineSpec] {
+    const REGISTRY: &[EngineSpec] = &[
+        EngineSpec {
+            name: "circuit",
+            summary: "backward reachability on AIG state sets (the paper's engine)",
+            complete: true,
+            minimal_cex: true,
+            build: || Box::new(CircuitUmc::default()),
+        },
+        EngineSpec {
+            name: "forward",
+            summary: "forward reachability with circuit-based image computation",
+            complete: true,
+            minimal_cex: true,
+            build: || Box::new(ForwardCircuitUmc::default()),
+        },
+        EngineSpec {
+            name: "bdd",
+            summary: "backward BDD reachability (the canonical baseline)",
+            complete: true,
+            minimal_cex: true,
+            build: || Box::new(BddUmc::default()),
+        },
+        EngineSpec {
+            name: "bdd-forward",
+            summary: "forward BDD reachability over a monolithic transition relation",
+            complete: true,
+            minimal_cex: true,
+            build: || {
+                Box::new(BddUmc {
+                    direction: BddDirection::Forward,
+                    ..BddUmc::default()
+                })
+            },
+        },
+        EngineSpec {
+            name: "bmc",
+            summary: "bounded model checking (refutation only)",
+            complete: false,
+            minimal_cex: true,
+            build: || Box::new(Bmc::default()),
+        },
+        EngineSpec {
+            name: "kind",
+            summary: "k-induction with simple-path strengthening",
+            complete: true,
+            minimal_cex: true,
+            build: || Box::new(KInduction::default()),
+        },
+        EngineSpec {
+            name: "portfolio",
+            summary: "budget-sliced sequence: bmc, kind, circuit, bdd",
+            complete: true,
+            minimal_cex: true,
+            build: || Box::new(Portfolio::standard()),
+        },
+    ];
+    REGISTRY
+}
+
+/// Builds the engine registered under `name`, if any.
+pub fn by_name(name: &str) -> Option<Box<dyn Engine>> {
+    registry()
+        .iter()
+        .find(|spec| spec.name == name)
+        .map(|spec| (spec.build)())
+}
+
+/// All registered engine names, in presentation order.
+pub fn engine_names() -> Vec<&'static str> {
+    registry().iter().map(|spec| spec.name).collect()
+}
+
+impl dyn Engine {
+    /// Builds the engine registered under `name` — the canonical entry
+    /// point: `<dyn Engine>::by_name("portfolio")`.
+    pub fn by_name(name: &str) -> Option<Box<dyn Engine>> {
+        by_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn registry_names_are_unique_and_buildable() {
+        let names = engine_names();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+        for spec in registry() {
+            let engine = (spec.build)();
+            assert_eq!(engine.name(), spec.name);
+        }
+        assert!(by_name("no-such-engine").is_none());
+    }
+
+    #[test]
+    fn dyn_dispatch_works_through_the_registry() {
+        let net = generators::mutex();
+        let engine = <dyn Engine>::by_name("circuit").expect("registered");
+        let run = engine.check(&net, &Budget::unlimited());
+        assert!(run.verdict.is_safe());
+        assert_eq!(run.stats.engine, "circuit");
+        assert!(run.stats.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn meter_trips_each_axis() {
+        let m = Meter::start(&Budget::unlimited().with_steps(2));
+        assert!(m.exceeded(1, 0, 0).is_none());
+        assert!(matches!(
+            m.exceeded(2, 0, 0),
+            Some(Verdict::Bounded {
+                resource: Resource::Steps,
+                limit: 2
+            })
+        ));
+        let m = Meter::start(&Budget::unlimited().with_nodes(100));
+        assert!(m.exceeded(9, 100, 0).is_none());
+        assert!(m.exceeded(9, 101, 0).is_some());
+        let m = Meter::start(&Budget::unlimited().with_sat_checks(5));
+        assert!(m.exceeded(0, 0, 4).is_none());
+        assert!(m.exceeded(0, 0, 5).is_some());
+        let m = Meter::start(&Budget::unlimited().with_timeout(Duration::ZERO));
+        assert!(matches!(
+            m.exceeded(0, 0, 0),
+            Some(Verdict::Bounded {
+                resource: Resource::WallClock,
+                ..
+            })
+        ));
+    }
+}

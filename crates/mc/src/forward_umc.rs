@@ -11,14 +11,15 @@
 //! matters much more here.
 
 use cbq_aig::{Aig, Lit, Var};
-use cbq_cnf::AigCnf;
 use cbq_ckt::{Network, Trace};
+use cbq_cnf::AigCnf;
 use cbq_core::{exists_many, QuantConfig};
 use cbq_sat::SatResult;
 
 use crate::circuit_umc::ResidualPolicy;
+use crate::engine::{Budget, Engine, Meter};
 use crate::ganai::all_solutions_exists;
-use crate::verdict::{McRun, Verdict};
+use crate::verdict::{McRun, McStats, Verdict};
 
 /// Forward-reachability model checker over AIG state sets.
 #[derive(Clone, Debug)]
@@ -56,12 +57,38 @@ pub struct ForwardCircuitUmcStats {
     pub ganai_cofactors: usize,
 }
 
-impl ForwardCircuitUmc {
-    /// Runs forward reachability on `net`.
-    pub fn check(&self, net: &Network) -> McRun<ForwardCircuitUmcStats> {
+/// Bundles the typed stats into the uniform run record.
+fn finish(
+    verdict: Verdict,
+    stats: ForwardCircuitUmcStats,
+    sat_checks: u64,
+    meter: &Meter,
+) -> McRun {
+    let common = McStats {
+        engine: "forward",
+        iterations: stats.iterations,
+        peak_nodes: stats.peak_nodes,
+        sat_checks,
+        elapsed: meter.elapsed(),
+    };
+    McRun::new(verdict, common).with_detail(stats)
+}
+
+impl Engine for ForwardCircuitUmc {
+    fn name(&self) -> &'static str {
+        "forward"
+    }
+
+    /// Runs forward reachability on `net` within `budget`.
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
         let mut aig = net.aig().clone();
         let mut cnf = AigCnf::new();
         let mut stats = ForwardCircuitUmcStats::default();
+        if let Some(bounded) = meter.exceeded(0, aig.num_nodes(), 0) {
+            stats.peak_nodes = aig.num_nodes();
+            return finish(bounded, stats, 0, &meter);
+        }
 
         // Fresh next-state variables and the transition relation
         // T(s, i, s') = ∧ⱼ (s'ⱼ ≡ δⱼ).
@@ -92,15 +119,18 @@ impl ForwardCircuitUmc {
         stats.frontier_sizes.push(aig.cone_size(init));
 
         for iter in 0..=self.max_iterations {
+            if let Some(bounded) = meter.exceeded(iter, aig.num_nodes(), cnf.stats().checks) {
+                stats.peak_nodes = aig.num_nodes();
+                let checks = cnf.stats().checks;
+                return finish(bounded, stats, checks, &meter);
+            }
             stats.iterations = iter;
             // Counterexample: a frontier state fires bad under some input.
             if cnf.solve_under(&aig, &[frontier, net.bad()]) == SatResult::Sat {
                 let trace = self.extract_trace(&mut aig, net, &mut cnf, &frontiers, iter);
                 stats.peak_nodes = aig.num_nodes();
-                return McRun {
-                    verdict: Verdict::Unsafe { trace },
-                    stats,
-                };
+                let checks = cnf.stats().checks;
+                return finish(Verdict::Unsafe { trace }, stats, checks, &meter);
             }
             // Image: ∃s,i. T ∧ frontier, then rename s' → s.
             let conj = aig.and(trans, frontier);
@@ -109,12 +139,15 @@ impl ForwardCircuitUmc {
             let new = aig.and(img, !reached);
             if cnf.solve_under(&aig, &[new]) == SatResult::Unsat {
                 stats.peak_nodes = aig.num_nodes();
-                return McRun {
-                    verdict: Verdict::Safe {
+                let checks = cnf.stats().checks;
+                return finish(
+                    Verdict::Safe {
                         iterations: iter + 1,
                     },
                     stats,
-                };
+                    checks,
+                    &meter,
+                );
             }
             frontiers.push(new);
             stats.frontier_sizes.push(aig.cone_size(new));
@@ -122,14 +155,15 @@ impl ForwardCircuitUmc {
             frontier = new;
         }
         stats.peak_nodes = aig.num_nodes();
-        McRun {
-            verdict: Verdict::Unknown {
-                reason: format!("iteration bound {} reached", self.max_iterations),
-            },
-            stats,
-        }
+        let checks = cnf.stats().checks;
+        let verdict = Verdict::Unknown {
+            reason: format!("iteration bound {} reached", self.max_iterations),
+        };
+        finish(verdict, stats, checks, &meter)
     }
+}
 
+impl ForwardCircuitUmc {
     fn quantify(
         &self,
         aig: &mut Aig,
@@ -226,13 +260,8 @@ mod tests {
             generators::mutex(),
             generators::lfsr(5, &[0, 2]),
         ] {
-            let run = ForwardCircuitUmc::default().check(&net);
-            assert!(
-                run.verdict.is_safe(),
-                "{}: got {}",
-                net.name(),
-                run.verdict
-            );
+            let run = ForwardCircuitUmc::default().check(&net, &Budget::unlimited());
+            assert!(run.verdict.is_safe(), "{}: got {}", net.name(), run.verdict);
         }
     }
 
@@ -244,7 +273,7 @@ mod tests {
             (generators::shift_ones(4), 4),
             (generators::counter_bug(4, 5), 5),
         ] {
-            let run = ForwardCircuitUmc::default().check(&net);
+            let run = ForwardCircuitUmc::default().check(&net, &Budget::unlimited());
             match &run.verdict {
                 Verdict::Unsafe { trace } => {
                     assert!(trace.validates(&net), "{}: bogus trace", net.name());
@@ -259,7 +288,8 @@ mod tests {
     fn forward_iterations_match_reachable_diameter() {
         // bounded_counter(3, 5): 5 reachable states (0..4), so the
         // frontier empties at iteration 5... plus the fixpoint check.
-        let run = ForwardCircuitUmc::default().check(&generators::bounded_counter(3, 5));
+        let run = ForwardCircuitUmc::default()
+            .check(&generators::bounded_counter(3, 5), &Budget::unlimited());
         match run.verdict {
             Verdict::Safe { iterations } => assert_eq!(iterations, 5),
             other => panic!("expected safe, got {other}"),
@@ -272,7 +302,7 @@ mod tests {
             residual: ResidualPolicy::Naive,
             ..ForwardCircuitUmc::default()
         };
-        let run = engine.check(&generators::token_ring(4));
+        let run = engine.check(&generators::token_ring(4), &Budget::unlimited());
         assert!(run.verdict.is_safe());
     }
 }

@@ -88,8 +88,7 @@ pub fn hybrid_exists(
 ) -> Option<(Lit, GanaiStats)> {
     let q = exists_many(aig, f, vars, cnf, quant_cfg);
     let pre_done = vars.len() - q.remaining.len();
-    let (lit, mut stats) =
-        all_solutions_exists(aig, q.lit, &q.remaining, cnf, max_rounds)?;
+    let (lit, mut stats) = all_solutions_exists(aig, q.lit, &q.remaining, cnf, max_rounds)?;
     stats.prequantified_vars = pre_done;
     stats.residual_vars = q.remaining.len();
     stats.enumerated_vars = q.remaining.len();
@@ -132,8 +131,7 @@ mod tests {
             aig.or(u, w)
         };
         let mut cnf = AigCnf::new();
-        let (res, stats) =
-            all_solutions_exists(&mut aig, f, &vars[..2], &mut cnf, 64).unwrap();
+        let (res, stats) = all_solutions_exists(&mut aig, f, &vars[..2], &mut cnf, 64).unwrap();
         assert!(exists_oracle(&mut aig, f, &vars[..2], 5, res));
         assert!(stats.cofactors >= 1);
     }
@@ -170,8 +168,7 @@ mod tests {
         let mut aig = Aig::new();
         let v = aig.add_input();
         let mut cnf = AigCnf::new();
-        let (res, stats) =
-            all_solutions_exists(&mut aig, Lit::FALSE, &[v], &mut cnf, 4).unwrap();
+        let (res, stats) = all_solutions_exists(&mut aig, Lit::FALSE, &[v], &mut cnf, 4).unwrap();
         assert_eq!(res, Lit::FALSE);
         assert_eq!(stats.cofactors, 0);
     }
@@ -189,8 +186,7 @@ mod tests {
         };
         let mut cnf = AigCnf::new();
         let cfg = QuantConfig::full();
-        let (res, stats) =
-            hybrid_exists(&mut aig, f, &vars[..3], &mut cnf, &cfg, 64).unwrap();
+        let (res, stats) = hybrid_exists(&mut aig, f, &vars[..3], &mut cnf, &cfg, 64).unwrap();
         // Full budget: everything prequantified, nothing enumerated.
         assert_eq!(stats.prequantified_vars, 3);
         assert_eq!(stats.residual_vars, 0);

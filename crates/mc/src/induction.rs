@@ -14,12 +14,13 @@
 //! method complete: `k` need never exceed the recurrence diameter.
 
 use cbq_aig::{Aig, Lit, Var};
-use cbq_cnf::AigCnf;
 use cbq_ckt::Network;
+use cbq_cnf::AigCnf;
 use cbq_sat::SatResult;
 
 use crate::bmc::Unroller;
-use crate::verdict::{McRun, Verdict};
+use crate::engine::{Budget, Engine, Meter};
+use crate::verdict::{McRun, McStats, Verdict};
 
 /// The k-induction engine.
 #[derive(Clone, Debug)]
@@ -65,7 +66,11 @@ struct StepUnroller {
 impl StepUnroller {
     fn new(net: &Network) -> StepUnroller {
         let mut aig = net.aig().clone();
-        let s0: Vec<Lit> = net.latches().iter().map(|_| aig.add_input().lit()).collect();
+        let s0: Vec<Lit> = net
+            .latches()
+            .iter()
+            .map(|_| aig.add_input().lit())
+            .collect();
         StepUnroller {
             aig,
             cnf: AigCnf::new(),
@@ -120,29 +125,48 @@ impl StepUnroller {
     }
 }
 
-impl KInduction {
-    /// Runs k-induction on `net`.
-    pub fn check(&self, net: &Network) -> McRun<KInductionStats> {
+/// Bundles the typed stats into the uniform run record.
+fn finish(verdict: Verdict, stats: KInductionStats, meter: &Meter) -> McRun {
+    let common = McStats {
+        engine: "kind",
+        iterations: stats.k,
+        peak_nodes: stats.unrolled_nodes,
+        sat_checks: stats.base_checks + stats.step_checks,
+        elapsed: meter.elapsed(),
+    };
+    McRun::new(verdict, common).with_detail(stats)
+}
+
+impl Engine for KInduction {
+    fn name(&self) -> &'static str {
+        "kind"
+    }
+
+    /// Runs k-induction on `net` within `budget` (`max_steps` caps `k`).
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
         let mut stats = KInductionStats::default();
         let mut base = Unroller::new(net);
         let mut step = StepUnroller::new(net);
         let mut step_pairs_done = 0usize;
         for k in 1..=self.max_k {
+            let nodes = base.aig.num_nodes() + step.aig.num_nodes();
+            let checks = base.cnf.stats().checks + step.cnf.stats().checks;
+            if let Some(bounded) = meter.exceeded(k - 1, nodes, checks) {
+                return self.conclude(bounded, stats, &base, &step, &meter);
+            }
             stats.k = k;
             // Base: any counterexample at depth k-1?
             match base.check_depth(net, k - 1) {
                 SatResult::Sat => {
                     let trace = base.extract_trace(net, k - 1);
-                    stats.base_checks = base.cnf.stats().checks;
-                    stats.step_checks = step.cnf.stats().checks;
-                    stats.unrolled_nodes = base.aig.num_nodes() + step.aig.num_nodes();
-                    return McRun {
-                        verdict: Verdict::Unsafe { trace },
-                        stats,
-                    };
+                    return self.conclude(Verdict::Unsafe { trace }, stats, &base, &step, &meter);
                 }
                 SatResult::Unknown => {
-                    return self.unknown(format!("base budget at k={k}"), stats, &base, &step);
+                    let verdict = Verdict::Unknown {
+                        reason: format!("base budget at k={k}"),
+                    };
+                    return self.conclude(verdict, stats, &base, &step, &meter);
                 }
                 SatResult::Unsat => {}
             }
@@ -159,43 +183,40 @@ impl KInduction {
             assumptions.push(bad_k);
             match step.cnf.solve_under(&step.aig, &assumptions) {
                 SatResult::Unsat => {
-                    stats.base_checks = base.cnf.stats().checks;
-                    stats.step_checks = step.cnf.stats().checks;
-                    stats.unrolled_nodes = base.aig.num_nodes() + step.aig.num_nodes();
-                    return McRun {
-                        verdict: Verdict::Safe { iterations: k },
-                        stats,
-                    };
+                    let verdict = Verdict::Safe { iterations: k };
+                    return self.conclude(verdict, stats, &base, &step, &meter);
                 }
                 SatResult::Unknown => {
-                    return self.unknown(format!("step budget at k={k}"), stats, &base, &step);
+                    let verdict = Verdict::Unknown {
+                        reason: format!("step budget at k={k}"),
+                    };
+                    return self.conclude(verdict, stats, &base, &step, &meter);
                 }
                 SatResult::Sat => {}
             }
             let _ = step_pairs_done;
         }
-        self.unknown(
-            format!("no proof or counterexample up to k={}", self.max_k),
-            stats,
-            &base,
-            &step,
-        )
+        let verdict = Verdict::Unknown {
+            reason: format!("no proof or counterexample up to k={}", self.max_k),
+        };
+        self.conclude(verdict, stats, &base, &step, &meter)
     }
+}
 
-    fn unknown(
+impl KInduction {
+    /// Fills the solver/unrolling counters and closes the run record.
+    fn conclude(
         &self,
-        reason: String,
+        verdict: Verdict,
         mut stats: KInductionStats,
         base: &Unroller,
         step: &StepUnroller,
-    ) -> McRun<KInductionStats> {
+        meter: &Meter,
+    ) -> McRun {
         stats.base_checks = base.cnf.stats().checks;
         stats.step_checks = step.cnf.stats().checks;
         stats.unrolled_nodes = base.aig.num_nodes() + step.aig.num_nodes();
-        McRun {
-            verdict: Verdict::Unknown { reason },
-            stats,
-        }
+        finish(verdict, stats, meter)
     }
 }
 
@@ -207,7 +228,7 @@ mod tests {
     #[test]
     fn proves_inductive_properties_quickly() {
         // The Gray-counter parity invariant is 1-inductive.
-        let run = KInduction::default().check(&generators::gray_counter(5));
+        let run = KInduction::default().check(&generators::gray_counter(5), &Budget::unlimited());
         match run.verdict {
             Verdict::Safe { iterations } => assert!(iterations <= 2, "k = {iterations}"),
             other => panic!("expected safe, got {other}"),
@@ -216,21 +237,24 @@ mod tests {
 
     #[test]
     fn proves_token_ring_with_simple_paths() {
-        let run = KInduction::default().check(&generators::token_ring(5));
+        let run = KInduction::default().check(&generators::token_ring(5), &Budget::unlimited());
         assert!(run.verdict.is_safe(), "got {}", run.verdict);
     }
 
     #[test]
     fn proves_bounded_counter() {
-        let run = KInduction { max_k: 24, simple_path: true }
-            .check(&generators::bounded_counter(4, 9));
+        let run = KInduction {
+            max_k: 24,
+            simple_path: true,
+        }
+        .check(&generators::bounded_counter(4, 9), &Budget::unlimited());
         assert!(run.verdict.is_safe(), "got {}", run.verdict);
     }
 
     #[test]
     fn finds_counterexamples_via_base_case() {
         let net = generators::mutex_bug();
-        let run = KInduction::default().check(&net);
+        let run = KInduction::default().check(&net, &Budget::unlimited());
         match run.verdict {
             Verdict::Unsafe { trace } => {
                 assert!(trace.validates(&net));
@@ -280,7 +304,7 @@ mod tests {
             max_k: 3,
             simple_path: false,
         }
-        .check(&deep_unreachable());
+        .check(&deep_unreachable(), &Budget::unlimited());
         assert!(
             matches!(run.verdict, Verdict::Unknown { .. }),
             "got {}",
@@ -292,7 +316,7 @@ mod tests {
             max_k: 10,
             simple_path: false,
         }
-        .check(&deep_unreachable());
+        .check(&deep_unreachable(), &Budget::unlimited());
         assert!(run2.verdict.is_safe(), "got {}", run2.verdict);
         assert_eq!(
             crate::explicit::shortest_cex_depth(&deep_unreachable(), 8, 1 << 12),
@@ -303,8 +327,8 @@ mod tests {
     #[test]
     fn counterexample_length_matches_bmc() {
         let net = generators::shift_ones(3);
-        let ind = KInduction::default().check(&net);
-        let bmc = crate::bmc::Bmc::default().check(&net);
+        let ind = KInduction::default().check(&net, &Budget::unlimited());
+        let bmc = crate::bmc::Bmc::default().check(&net, &Budget::unlimited());
         assert_eq!(
             ind.verdict.trace().map(cbq_ckt::Trace::len),
             bmc.verdict.trace().map(cbq_ckt::Trace::len)

@@ -24,22 +24,35 @@
 //!   the amount of decision (input) variables to be processed by SAT
 //!   based pre-image").
 //!
-//! All engines consume an immutable [`cbq_ckt::Network`] and return a
-//! [`Verdict`]; `Unsafe` verdicts carry a [`cbq_ckt::Trace`] that replays
-//! concretely on the network.
+//! Every engine implements the [`Engine`] trait — one polymorphic entry
+//! point `check(&self, net, budget) -> McRun` over an immutable
+//! [`cbq_ckt::Network`]. A [`Budget`] bounds steps, representation
+//! nodes, SAT checks, and wall-clock time; exhaustion yields
+//! [`Verdict::Bounded`] instead of a hang. `Unsafe` verdicts carry a
+//! [`cbq_ckt::Trace`] that replays concretely on the network, and every
+//! [`McRun`] holds a common [`McStats`] record with the engine-specific
+//! counters downcastable via [`McRun::detail`].
+//!
+//! Engines are also constructible by name through the registry —
+//! [`by_name`] / [`registry`] — which is how the CLI, benches, and
+//! cross-engine tests dispatch. [`Portfolio`] composes registered
+//! engines into a budget-sliced sequence.
 //!
 //! ## Example
 //!
 //! ```
 //! use cbq_ckt::generators;
-//! use cbq_mc::{CircuitUmc, Verdict};
+//! use cbq_mc::{Budget, CircuitUmc, Engine, Verdict};
 //!
 //! let net = generators::token_ring(4);
-//! let run = CircuitUmc::default().check(&net);
+//! let run = CircuitUmc::default().check(&net, &Budget::unlimited());
 //! assert!(matches!(run.verdict, Verdict::Safe { .. }));
 //!
+//! // The same engine, resolved from the registry and driven as a
+//! // trait object under a step budget:
+//! let engine = <dyn Engine>::by_name("circuit").expect("registered");
 //! let buggy = generators::token_ring_bug(4);
-//! let run = CircuitUmc::default().check(&buggy);
+//! let run = engine.check(&buggy, &Budget::unlimited().with_steps(64));
 //! match run.verdict {
 //!     Verdict::Unsafe { trace } => assert!(trace.validates(&buggy)),
 //!     other => panic!("expected a counterexample, got {other:?}"),
@@ -52,8 +65,10 @@
 mod bdd_umc;
 mod bmc;
 mod circuit_umc;
+mod engine;
 mod forward_umc;
 mod induction;
+mod portfolio;
 mod verdict;
 
 pub mod explicit;
@@ -63,6 +78,8 @@ pub mod preimage;
 pub use crate::bdd_umc::{BddDirection, BddUmc, BddUmcStats};
 pub use crate::bmc::{Bmc, BmcStats};
 pub use crate::circuit_umc::{CircuitUmc, CircuitUmcStats, ResidualPolicy};
+pub use crate::engine::{by_name, engine_names, registry, Budget, Engine, EngineSpec, Meter};
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
 pub use crate::induction::{KInduction, KInductionStats};
-pub use crate::verdict::{McRun, Verdict};
+pub use crate::portfolio::{Portfolio, PortfolioStats};
+pub use crate::verdict::{McRun, McStats, Resource, Verdict};

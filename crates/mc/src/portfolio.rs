@@ -1,0 +1,248 @@
+//! The portfolio engine: a budget-sliced sequence of member engines.
+//!
+//! The paper's Section 4 pitch is that circuit quantification and SAT
+//! pre-image are stronger *combined* than either alone; the portfolio
+//! expresses that as engine composition. Members run in order and the
+//! first conclusive verdict (safe or unsafe) wins. The caller's
+//! [`Budget`] is shared: cumulative axes (steps, SAT checks) hand each
+//! member whatever the previous members left over, the wall clock is
+//! divided among the members still to run (so an early member cannot
+//! starve the rest), and the node limit — a peak, not a sum, since each
+//! member builds and drops its own manager — passes through whole. The
+//! standard lineup — BMC for quick refutation, k-induction for quick
+//! proofs, then the circuit and BDD traversals — settles easy instances
+//! in the cheap engines and only pays for a full traversal when it must.
+
+use cbq_ckt::Network;
+
+use crate::bdd_umc::BddUmc;
+use crate::bmc::Bmc;
+use crate::circuit_umc::CircuitUmc;
+use crate::engine::{Budget, Engine, Meter};
+use crate::induction::KInduction;
+use crate::verdict::{McRun, McStats, Resource, Verdict};
+
+/// Runs member engines in sequence and returns the first conclusive
+/// verdict.
+pub struct Portfolio {
+    /// The member engines, in execution order.
+    pub members: Vec<Box<dyn Engine>>,
+}
+
+/// Per-member outcomes of a [`Portfolio`] run, attached as the run's
+/// detail record.
+#[derive(Clone, Debug)]
+pub struct PortfolioStats {
+    /// `(engine name, run)` for every member that executed, in order.
+    /// The winning member, if any, is last.
+    pub runs: Vec<(&'static str, McRun)>,
+}
+
+impl Portfolio {
+    /// A portfolio over the given members.
+    pub fn new(members: Vec<Box<dyn Engine>>) -> Portfolio {
+        Portfolio { members }
+    }
+
+    /// The standard lineup: `bmc`, `kind`, `circuit`, `bdd`, with member
+    /// depth caps tightened so the refutation-only stages finish fast.
+    pub fn standard() -> Portfolio {
+        Portfolio::new(vec![
+            Box::new(Bmc { max_depth: 32 }),
+            Box::new(KInduction {
+                max_k: 40,
+                simple_path: true,
+            }),
+            Box::new(CircuitUmc::default()),
+            Box::new(BddUmc::default()),
+        ])
+    }
+}
+
+impl Default for Portfolio {
+    fn default() -> Portfolio {
+        Portfolio::standard()
+    }
+}
+
+impl Engine for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
+        let mut stats = McStats {
+            engine: self.name(),
+            ..McStats::default()
+        };
+        let mut detail = PortfolioStats { runs: Vec::new() };
+        let finish = |verdict, mut stats: McStats, detail, meter: &Meter| {
+            stats.elapsed = meter.elapsed();
+            McRun::new(verdict, stats).with_detail::<PortfolioStats>(detail)
+        };
+        if self.members.is_empty() {
+            let verdict = Verdict::Unknown {
+                reason: "portfolio has no members".to_string(),
+            };
+            return finish(verdict, stats, detail, &meter);
+        }
+        // A zero budget bounds the portfolio before any member runs.
+        if let Some(verdict) = meter.exceeded(0, 0, 0) {
+            return finish(verdict, stats, detail, &meter);
+        }
+        let mut last_bounded: Option<Verdict> = None;
+        for (i, member) in self.members.iter().enumerate() {
+            let left = (self.members.len() - i) as u32;
+            let slice = Budget {
+                // Cumulative axes: whatever the caller's budget has left.
+                max_steps: budget.max_steps.map(|s| s.saturating_sub(stats.iterations)),
+                max_sat_checks: budget
+                    .max_sat_checks
+                    .map(|s| s.saturating_sub(stats.sat_checks)),
+                // Peak axis: each member builds and drops its own
+                // manager, so the caller's limit applies whole.
+                max_nodes: budget.max_nodes,
+                // Divide the remaining clock among the members still to
+                // run, so an early member cannot starve the rest.
+                timeout: budget
+                    .timeout
+                    .map(|t| t.saturating_sub(meter.elapsed()) / left),
+            };
+            let run = member.check(net, &slice);
+            // A member bounded on a cumulative axis consumed exactly its
+            // slice limit (engines trip at `spent >= limit`); its own
+            // iteration counter can sit one below that, which would
+            // over-grant the next member.
+            stats.iterations += match run.verdict {
+                Verdict::Bounded {
+                    resource: Resource::Steps,
+                    limit,
+                } => limit as usize,
+                _ => run.stats.iterations,
+            };
+            stats.sat_checks += match run.verdict {
+                Verdict::Bounded {
+                    resource: Resource::SatChecks,
+                    limit,
+                } => limit,
+                _ => run.stats.sat_checks,
+            };
+            stats.peak_nodes = stats.peak_nodes.max(run.stats.peak_nodes);
+            let conclusive = run.verdict.is_conclusive();
+            if run.verdict.is_bounded() {
+                last_bounded = Some(run.verdict.clone());
+            }
+            let verdict = run.verdict.clone();
+            detail.runs.push((member.name(), run));
+            if conclusive {
+                return finish(verdict, stats, detail, &meter);
+            }
+            // Stop once the caller's own budget is spent — this reports
+            // the limits the caller actually set, not a member's slice.
+            if let Some(bounded) =
+                meter.exceeded(stats.iterations, stats.peak_nodes, stats.sat_checks)
+            {
+                return finish(bounded, stats, detail, &meter);
+            }
+        }
+        // Nothing conclusive: report budget exhaustion if any member hit
+        // it — citing the caller's limit, not the member's slice — else
+        // the portfolio as a whole is stumped.
+        let verdict = match last_bounded {
+            Some(Verdict::Bounded { resource, limit }) => Verdict::Bounded {
+                resource,
+                limit: caller_limit(budget, resource).unwrap_or(limit),
+            },
+            _ => Verdict::Unknown {
+                reason: "no member engine was conclusive".to_string(),
+            },
+        };
+        finish(verdict, stats, detail, &meter)
+    }
+}
+
+/// The caller's own limit on `resource`, for rewriting a member's
+/// slice-derived `Bounded` verdict. Members are only ever bounded on
+/// axes the caller budgeted, so this is `Some` in practice.
+fn caller_limit(budget: &Budget, resource: Resource) -> Option<u64> {
+    match resource {
+        Resource::Steps => budget.max_steps.map(|s| s as u64),
+        Resource::Nodes => budget.max_nodes.map(|s| s as u64),
+        Resource::SatChecks => budget.max_sat_checks,
+        Resource::WallClock => budget.timeout.map(|t| t.as_millis() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn settles_safe_and_buggy_circuits() {
+        let portfolio = Portfolio::standard();
+        let run = portfolio.check(&generators::token_ring(5), &Budget::unlimited());
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
+        let detail = run.detail::<PortfolioStats>().expect("portfolio stats");
+        // BMC cannot prove safety, so a later member must have won.
+        assert!(detail.runs.len() >= 2);
+        assert!(detail.runs.last().unwrap().1.verdict.is_safe());
+
+        let buggy = generators::token_ring_bug(5);
+        let run = portfolio.check(&buggy, &Budget::unlimited());
+        match &run.verdict {
+            Verdict::Unsafe { trace } => {
+                assert!(trace.validates(&buggy));
+                assert_eq!(trace.len(), 4, "BMC member finds the minimal cex");
+            }
+            other => panic!("expected unsafe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_member_stats() {
+        let run = Portfolio::standard().check(&generators::mutex(), &Budget::unlimited());
+        assert!(run.stats.sat_checks > 0);
+        assert!(run.stats.peak_nodes > 0);
+        assert_eq!(run.stats.engine, "portfolio");
+    }
+
+    #[test]
+    fn zero_budget_is_bounded_immediately() {
+        let run = Portfolio::standard().check(
+            &generators::token_ring(5),
+            &Budget::unlimited().with_steps(0),
+        );
+        assert!(run.verdict.is_bounded(), "got {}", run.verdict);
+        assert!(run.detail::<PortfolioStats>().unwrap().runs.is_empty());
+    }
+
+    #[test]
+    fn small_step_budget_reaches_the_first_member_whole() {
+        // A 5-step budget must hand the BMC member enough depth frames
+        // to find the depth-3 bug (an even per-member split would give
+        // each of the four members one step and find nothing).
+        let buggy = generators::token_ring_bug(5);
+        let run = Portfolio::standard().check(&buggy, &Budget::unlimited().with_steps(5));
+        assert!(run.verdict.is_unsafe(), "got {}", run.verdict);
+    }
+
+    #[test]
+    fn node_budget_applies_per_member_not_divided() {
+        // The node axis is a peak: a limit that covers the largest
+        // single member must let the portfolio conclude.
+        let net = generators::mutex();
+        let generous = Portfolio::standard().check(&net, &Budget::unlimited());
+        let peak = generous.stats.peak_nodes;
+        assert!(generous.verdict.is_safe());
+        let run = Portfolio::standard().check(&net, &Budget::unlimited().with_nodes(peak));
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
+    }
+
+    #[test]
+    fn empty_portfolio_is_unknown() {
+        let run = Portfolio::new(Vec::new()).check(&generators::mutex(), &Budget::unlimited());
+        assert!(matches!(run.verdict, Verdict::Unknown { .. }));
+    }
+}

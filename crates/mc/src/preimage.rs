@@ -35,7 +35,7 @@ mod tests {
             let bits: Vec<Lit> = latches
                 .iter()
                 .enumerate()
-                .map(|(i, v)| v.lit().xor_sign(!(3u64 >> i & 1 == 1)))
+                .map(|(i, v)| v.lit().xor_sign(3u64 >> i & 1 != 1))
                 .collect();
             aig.and_many(&bits)
         };

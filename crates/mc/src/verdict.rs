@@ -1,8 +1,35 @@
-//! Verdicts returned by every engine.
+//! Verdicts, common statistics, and the run record every engine returns.
 
+use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use cbq_ckt::Trace;
+
+/// A resource class a [`crate::Budget`] can bound.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Resource {
+    /// Engine iterations / unrolling depth / induction depth.
+    Steps,
+    /// Representation nodes (AIG or BDD) in the working manager.
+    Nodes,
+    /// Assumption-based SAT checks issued.
+    SatChecks,
+    /// Wall-clock time.
+    WallClock,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Steps => write!(f, "step"),
+            Resource::Nodes => write!(f, "node"),
+            Resource::SatChecks => write!(f, "SAT-check"),
+            Resource::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
 
 /// Outcome of a model-checking run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,7 +45,18 @@ pub enum Verdict {
         /// The witness trace (replayable on the network).
         trace: Trace,
     },
-    /// The engine gave up (bound exhausted, representation blow-up, …).
+    /// A [`crate::Budget`] limit was exhausted before the engine could
+    /// conclude — the caller chose the bound, unlike [`Verdict::Unknown`]
+    /// where the engine itself gave up.
+    Bounded {
+        /// The resource whose budget ran out.
+        resource: Resource,
+        /// The budget value that was exhausted (milliseconds for
+        /// [`Resource::WallClock`], a count otherwise).
+        limit: u64,
+    },
+    /// The engine gave up (internal bound exhausted, representation
+    /// blow-up, incomplete method, …).
     Unknown {
         /// Human-readable reason.
         reason: String,
@@ -36,6 +74,16 @@ impl Verdict {
         matches!(self, Verdict::Unsafe { .. })
     }
 
+    /// Whether the verdict settles the property either way.
+    pub fn is_conclusive(&self) -> bool {
+        self.is_safe() || self.is_unsafe()
+    }
+
+    /// Whether a resource budget cut the run short.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self, Verdict::Bounded { .. })
+    }
+
     /// The counterexample, if any.
     pub fn trace(&self) -> Option<&Trace> {
         match self {
@@ -50,18 +98,84 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::Safe { iterations } => write!(f, "safe (after {iterations} iterations)"),
             Verdict::Unsafe { trace } => write!(f, "unsafe (cex of {} steps)", trace.len()),
+            Verdict::Bounded { resource, limit } => {
+                write!(f, "bounded ({resource} budget {limit} exhausted)")
+            }
             Verdict::Unknown { reason } => write!(f, "unknown ({reason})"),
         }
     }
 }
 
-/// A verdict bundled with engine-specific statistics.
-#[derive(Clone, Debug)]
-pub struct McRun<S> {
+/// The resource summary every engine reports, whatever its internals.
+///
+/// Engine-specific counters (frontier size profiles, cofactor counts, …)
+/// stay reachable through [`McRun::detail`].
+#[derive(Clone, Debug, Default)]
+pub struct McStats {
+    /// Registry name of the engine that produced the run.
+    pub engine: &'static str,
+    /// Fixpoint iterations, unrolling depth, or induction depth reached.
+    pub iterations: usize,
+    /// Peak node count of the working representation (AIG or BDD).
+    pub peak_nodes: usize,
+    /// Assumption-based SAT checks issued (0 for pure-BDD engines).
+    pub sat_checks: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// A verdict bundled with statistics: the uniform return value of
+/// [`crate::Engine::check`].
+#[derive(Clone)]
+pub struct McRun {
     /// The verdict.
     pub verdict: Verdict,
-    /// Engine statistics.
-    pub stats: S,
+    /// The common statistics record.
+    pub stats: McStats,
+    /// Engine-specific statistics, downcastable via [`McRun::detail`].
+    detail: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl McRun {
+    /// Bundles a verdict with the common statistics.
+    pub fn new(verdict: Verdict, stats: McStats) -> McRun {
+        McRun {
+            verdict,
+            stats,
+            detail: None,
+        }
+    }
+
+    /// Attaches an engine-specific statistics record.
+    pub fn with_detail<T: Any + Send + Sync>(mut self, detail: T) -> McRun {
+        self.detail = Some(Arc::new(detail));
+        self
+    }
+
+    /// The engine-specific statistics, if the run carries a `T`.
+    ///
+    /// ```
+    /// use cbq_ckt::generators;
+    /// use cbq_mc::{Budget, CircuitUmc, CircuitUmcStats, Engine};
+    ///
+    /// let run = CircuitUmc::default().check(&generators::mutex(), &Budget::unlimited());
+    /// let detail = run.detail::<CircuitUmcStats>().expect("circuit stats");
+    /// assert!(!detail.frontier_sizes.is_empty());
+    /// ```
+    pub fn detail<T: Any>(&self) -> Option<&T> {
+        self.detail.as_ref()?.downcast_ref()
+    }
+}
+
+// The detail payload is type-erased, so `Debug` is written by hand.
+impl fmt::Debug for McRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("McRun")
+            .field("verdict", &self.verdict)
+            .field("stats", &self.stats)
+            .field("has_detail", &self.detail.is_some())
+            .finish()
+    }
 }
 
 #[cfg(test)]
@@ -73,16 +187,37 @@ mod tests {
         let safe = Verdict::Safe { iterations: 3 };
         assert!(safe.is_safe());
         assert!(!safe.is_unsafe());
+        assert!(safe.is_conclusive());
         assert!(safe.trace().is_none());
         assert!(format!("{safe}").contains("safe"));
         let unsafe_v = Verdict::Unsafe {
             trace: Trace::new(vec![vec![true]]),
         };
         assert!(unsafe_v.is_unsafe());
+        assert!(unsafe_v.is_conclusive());
         assert_eq!(unsafe_v.trace().unwrap().len(), 1);
         let unk = Verdict::Unknown {
             reason: "bound".into(),
         };
-        assert!(!unk.is_safe() && !unk.is_unsafe());
+        assert!(!unk.is_safe() && !unk.is_unsafe() && !unk.is_conclusive());
+        let bounded = Verdict::Bounded {
+            resource: Resource::Steps,
+            limit: 4,
+        };
+        assert!(bounded.is_bounded() && !bounded.is_conclusive());
+        assert!(format!("{bounded}").contains("step budget 4"));
+    }
+
+    #[test]
+    fn detail_downcast() {
+        #[derive(Debug, PartialEq)]
+        struct Extra(u32);
+        let run =
+            McRun::new(Verdict::Safe { iterations: 1 }, McStats::default()).with_detail(Extra(7));
+        assert_eq!(run.detail::<Extra>(), Some(&Extra(7)));
+        assert!(run.detail::<String>().is_none());
+        let cloned = run.clone();
+        assert_eq!(cloned.detail::<Extra>(), Some(&Extra(7)));
+        assert!(format!("{cloned:?}").contains("has_detail"));
     }
 }

@@ -9,7 +9,7 @@ use cbq_ckt::Network;
 use cbq_cnf::AigCnf;
 use cbq_core::{exists_many, QuantConfig};
 use cbq_mc::ganai::all_solutions_exists;
-use cbq_mc::{explicit, BddUmc, Bmc, CircuitUmc, KInduction, Verdict};
+use cbq_mc::{explicit, BddUmc, Bmc, Budget, CircuitUmc, Engine, KInduction, Verdict};
 
 const N: usize = 6;
 
@@ -99,9 +99,9 @@ proptest! {
         let net = b.build(bad);
         let oracle = explicit::shortest_cex_depth(&net, 4, 1 << 10);
         let verdicts: Vec<(&str, Verdict)> = vec![
-            ("circuit", CircuitUmc::default().check(&net).verdict),
-            ("bdd", BddUmc::default().check(&net).verdict),
-            ("kind", KInduction { max_k: 20, simple_path: true }.check(&net).verdict),
+            ("circuit", CircuitUmc::default().check(&net, &Budget::unlimited()).verdict),
+            ("bdd", BddUmc::default().check(&net, &Budget::unlimited()).verdict),
+            ("kind", KInduction { max_k: 20, simple_path: true }.check(&net, &Budget::unlimited()).verdict),
         ];
         for (name, v) in &verdicts {
             match (oracle, v) {
@@ -118,7 +118,7 @@ proptest! {
             }
         }
         if let Some(d) = oracle {
-            let bmc = Bmc { max_depth: d + 1 }.check(&net);
+            let bmc = Bmc { max_depth: d + 1 }.check(&net, &Budget::unlimited());
             prop_assert!(bmc.verdict.is_unsafe());
         }
     }

@@ -84,7 +84,9 @@ pub fn parse_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
         }
         let nv = num_vars.ok_or_else(|| err("clause before header"))?;
         for tok in line.split_whitespace() {
-            let n: i64 = tok.parse().map_err(|_| err(format!("bad literal `{tok}`")))?;
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| err(format!("bad literal `{tok}`")))?;
             if n == 0 {
                 clauses.push(std::mem::take(&mut current));
             } else {

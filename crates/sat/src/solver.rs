@@ -391,9 +391,9 @@ impl Solver {
                 None => true,
                 Some(r) => {
                     let lits = &self.clauses[r].lits;
-                    !lits[1..].iter().all(|&l| {
-                        self.seen[l.var().index()] || self.level[l.var().index()] == 0
-                    })
+                    !lits[1..]
+                        .iter()
+                        .all(|&l| self.seen[l.var().index()] || self.level[l.var().index()] == 0)
                 }
             };
             if keep {
@@ -521,8 +521,10 @@ impl Solver {
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let to_delete: std::collections::HashSet<usize> =
-            learnt_refs[..learnt_refs.len() / 2].iter().copied().collect();
+        let to_delete: std::collections::HashSet<usize> = learnt_refs[..learnt_refs.len() / 2]
+            .iter()
+            .copied()
+            .collect();
         if to_delete.is_empty() {
             return;
         }
@@ -796,6 +798,9 @@ fn luby(y: u64, mut x: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    // The pigeonhole constructions read clearest with explicit indices.
+    #![allow(clippy::needless_range_loop)]
+
     use super::*;
 
     fn vars(s: &mut Solver, n: usize) -> Vec<SatVar> {
@@ -985,6 +990,9 @@ impl Solver {
 
 #[cfg(test)]
 mod invariant_tests {
+    // The pigeonhole construction reads clearest with explicit indices.
+    #![allow(clippy::needless_range_loop)]
+
     use super::*;
 
     impl Solver {
@@ -1003,8 +1011,15 @@ mod invariant_tests {
             }
             for (i, c) in self.clauses.iter().enumerate() {
                 for &wlit in &c.lits[..2] {
-                    let n = self.watches[wlit.code()].iter().filter(|w| w.cref == i).count();
-                    assert_eq!(n, 1, "{tag}: clause {i} {:?} watch count {n} on {:?}", c.lits, wlit);
+                    let n = self.watches[wlit.code()]
+                        .iter()
+                        .filter(|w| w.cref == i)
+                        .count();
+                    assert_eq!(
+                        n, 1,
+                        "{tag}: clause {i} {:?} watch count {n} on {:?}",
+                        c.lits, wlit
+                    );
                 }
             }
         }
@@ -1015,7 +1030,9 @@ mod invariant_tests {
         let mut s = Solver::new();
         let p = 6;
         let h = 5;
-        let v: Vec<Vec<SatVar>> = (0..p).map(|_| (0..h).map(|_| s.new_var()).collect()).collect();
+        let v: Vec<Vec<SatVar>> = (0..p)
+            .map(|_| (0..h).map(|_| s.new_var()).collect())
+            .collect();
         for i in 0..p {
             let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
             s.add_clause(&clause);

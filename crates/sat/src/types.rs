@@ -23,7 +23,9 @@ impl SatVar {
         SatLit(self.0 << 1)
     }
 
-    /// The negative literal of this variable.
+    /// The negative literal of this variable (MiniSat's `~x`; not a
+    /// numeric negation, hence no `std::ops::Neg` impl).
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> SatLit {
         SatLit((self.0 << 1) | 1)
     }

@@ -171,8 +171,7 @@ pub fn dc_simplify(
     let masked = |l: Lit| -> (Vec<u64>, bool) {
         // Normalise phase by the first care-bit value of the node.
         let mut flip = false;
-        'outer: for w in 0..words {
-            let c = care_sig[w];
+        'outer: for (w, &c) in care_sig.iter().enumerate().take(words) {
             if c != 0 {
                 let bit = c.trailing_zeros();
                 flip = (sim.lit_word(l, w) >> bit) & 1 != 0;

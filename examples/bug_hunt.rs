@@ -1,11 +1,12 @@
-//! Hunt for bugs: run all engines on intentionally broken circuits,
-//! validate every counterexample by concrete replay, and show that all
-//! methods agree on the minimal counterexample depth.
+//! Hunt for bugs: run every registered engine on intentionally broken
+//! circuits, validate each counterexample by concrete replay, and show
+//! that all engines agree on the minimal counterexample depth.
 //!
 //! Run with: `cargo run --example bug_hunt`
 
 use cbq::ckt::generators;
 use cbq::mc::explicit;
+use cbq::mc::registry;
 use cbq::prelude::*;
 
 fn main() {
@@ -16,41 +17,42 @@ fn main() {
         generators::shift_ones(5),
         generators::counter_bug(5, 11),
     ];
-    println!(
-        "{:<12} {:>8} {:>12} {:>10} {:>8} {:>10}",
-        "circuit", "oracle", "circuit-UMC", "BDD-UMC", "BMC", "induction"
-    );
     for net in &nets {
         let oracle = explicit::shortest_cex_depth(net, 8, 1 << 16).expect("bug exists");
-        let engines: [(&str, Verdict); 4] = [
-            ("circuit", CircuitUmc::default().check(net).verdict),
-            ("bdd", BddUmc::default().check(net).verdict),
-            ("bmc", Bmc::default().check(net).verdict),
-            ("induction", KInduction::default().check(net).verdict),
-        ];
-        let mut lens = Vec::new();
-        for (name, v) in engines {
-            let trace = v.trace().unwrap_or_else(|| {
-                panic!("{}: engine {name} missed the bug: {v}", net.name())
+        println!("{}  (oracle: cex of {} steps)", net.name(), oracle + 1);
+        for spec in registry() {
+            let run = (spec.build)().check(net, &Budget::unlimited());
+            let trace = run.verdict.trace().unwrap_or_else(|| {
+                panic!(
+                    "{}: engine {} missed the bug: {}",
+                    net.name(),
+                    spec.name,
+                    run.verdict
+                )
             });
             assert!(
                 trace.validates(net),
-                "{}: {name} produced a bogus trace",
-                net.name()
+                "{}: {} produced a bogus trace",
+                net.name(),
+                spec.name
             );
-            lens.push(trace.len());
+            if spec.minimal_cex {
+                assert_eq!(
+                    trace.len(),
+                    oracle + 1,
+                    "{}: {} counterexample is not minimal",
+                    net.name(),
+                    spec.name
+                );
+            }
+            println!(
+                "  {:<12} cex of {} steps  [{} iterations, {:.1} ms]",
+                spec.name,
+                trace.len(),
+                run.stats.iterations,
+                run.stats.elapsed.as_secs_f64() * 1e3
+            );
         }
-        println!(
-            "{:<12} {:>8} {:>12} {:>10} {:>8} {:>10}",
-            net.name(),
-            oracle + 1,
-            lens[0],
-            lens[1],
-            lens[2],
-            lens[3]
-        );
-        // Breadth-first engines must find minimal counterexamples.
-        assert!(lens.iter().all(|l| *l == oracle + 1));
     }
     println!("\nevery engine found and validated a minimal counterexample ✓");
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut aig = net.aig().clone();
     let pre = preimage_formula(&mut aig, &net, net.bad());
     let pis: Vec<Var> = net.primary_inputs().to_vec();
-    println!("== fifo_ctrl(3) pre-image, eliminating {} inputs ==", pis.len());
+    println!(
+        "== fifo_ctrl(3) pre-image, eliminating {} inputs ==",
+        pis.len()
+    );
     for (label, cfg) in [
         ("naive", QuantConfig::naive()),
         ("merge-only", QuantConfig::merge_only()),
@@ -38,7 +41,10 @@ fn main() {
     // 2. Forward vs backward merge order vs cofactor similarity.
     // -------------------------------------------------------------
     println!("\n== SAT-merge order on cofactor pairs of varying similarity ==");
-    println!("  {:<12} {:>16} {:>16}", "mutation", "forward checks", "backward checks");
+    println!(
+        "  {:<12} {:>16} {:>16}",
+        "mutation", "forward checks", "backward checks"
+    );
     for rate in [0.0, 0.05, 0.2, 0.5] {
         let mut a = Aig::new();
         let ins: Vec<Lit> = (0..10).map(|_| a.add_input().lit()).collect();

@@ -4,58 +4,139 @@
 //! ```text
 //! cbq gen <family> [N [K]]            emit a benchmark circuit as ASCII AIGER
 //! cbq info <file.aag>                 print circuit statistics
-//! cbq check <file.aag> [--engine E] [--max N]
-//!                                     model-check (E: circuit | forward |
-//!                                     bdd | bdd-forward | bmc | kind)
-//! cbq quantify <file.aag> [--mode M]  eliminate all inputs of output 0 of a
-//!                                     combinational file (M: naive | merge |
-//!                                     full | bdd)
+//! cbq check <file.aag> [--engine E] [budget flags]
+//!                                     model-check via the engine registry
+//! cbq engines                         list the registered engines
+//! cbq quantify <file.aag> [--mode M]  eliminate all inputs of output 0
 //! cbq dot <file.aag>                  emit Graphviz for the bad-state cone
 //! ```
+//!
+//! Every subcommand accepts `--help`/`-h`. Unknown flags, engines, or
+//! modes are errors (exit 2), never silent fallbacks.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cbq::ckt::io::{read_network, write_network};
 use cbq::ckt::{generators, Network};
-use cbq::mc::{BddDirection, BddUmc, Bmc, CircuitUmc, ForwardCircuitUmc, KInduction, Verdict};
+use cbq::mc::{engine_names, registry, Engine};
 use cbq::prelude::*;
 use cbq::quant::{exists_bdd, exists_many};
 
+const USAGE: &str = "cbq — circuit-based quantification (DATE 2005 reproduction)
+
+usage: cbq <command> [args]
+
+commands:
+  gen <family> [N [K]]     emit a benchmark circuit as ASCII AIGER
+  info <file.aag>          print circuit statistics
+  check <file.aag> [...]   model-check a circuit (see `cbq check --help`)
+  engines                  list the registered model-checking engines
+  quantify <file.aag> [..] quantify inputs out of a formula
+  dot <file.aag>           emit Graphviz for the bad-state cone
+
+run `cbq <command> --help` for per-command options";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    match it.next().map(String::as_str) {
+    match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("engines") => cmd_engines(&args[1..]),
         Some("quantify") => cmd_quantify(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
-        _ => {
-            eprintln!("usage: cbq <gen|info|check|quantify|dot> ...  (see --help in source)");
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn parse_num(args: &[String], i: usize, default: u64) -> u64 {
-    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// The `i`-th positional argument as a number; absent → `default`,
+/// present but non-numeric → an error (no silent fallback).
+fn parse_num(args: &[String], i: usize, default: u64) -> Result<u64, String> {
+    match args.get(i) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("expected a number, got `{s}`")),
+    }
 }
+
+/// Positional arguments plus `--flag value` pairs.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits `args` into positional arguments and `--flag value` pairs,
+/// rejecting flags outside `known`.
+fn parse_flags<'a>(args: &'a [String], known: &[&str]) -> Result<ParsedArgs<'a>, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            if !known.contains(&flag) {
+                return Err(format!(
+                    "unknown flag `--{flag}` (expected one of: {})",
+                    known
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag `--{flag}` needs a value"));
+            };
+            flags.push((flag, value.as_str()));
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn parse_count(flag: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("flag `--{flag}` needs a number, got `{value}`"))
+}
+
+const GEN_HELP: &str = "usage: cbq gen <family> [N [K]]
+
+Emits a benchmark circuit as ASCII AIGER on stdout.
+
+families: counter, counter-bug, gap, gray, ring, ring-bug, arbiter,
+          arbiter-bug, lfsr, fifo, mutex, mutex-bug, shift";
 
 fn cmd_gen(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{GEN_HELP}");
+        return ExitCode::SUCCESS;
+    }
     let Some(family) = args.first() else {
-        eprintln!("usage: cbq gen <family> [N [K]]");
-        eprintln!("families: counter, counter-bug, gap, gray, ring, ring-bug, arbiter, arbiter-bug, lfsr, fifo, mutex, mutex-bug, shift");
+        eprintln!("{GEN_HELP}");
         return ExitCode::from(2);
     };
-    let n = parse_num(args, 1, 8) as usize;
-    let k = parse_num(args, 2, 0);
+    let (n, k) = match (parse_num(args, 1, 8), parse_num(args, 2, 0)) {
+        (Ok(n), Ok(k)) => (n as usize, k),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}\n\n{GEN_HELP}");
+            return ExitCode::from(2);
+        }
+    };
     let net = match family.as_str() {
         "counter" => generators::bounded_counter(n, if k == 0 { (1 << n) as u64 - 2 } else { k }),
         "counter-bug" => generators::counter_bug(n, if k == 0 { 10 } else { k }),
@@ -71,7 +152,7 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         "mutex-bug" => generators::mutex_bug(),
         "shift" => generators::shift_ones(n),
         other => {
-            eprintln!("unknown family `{other}`");
+            eprintln!("unknown family `{other}`\n\n{GEN_HELP}");
             return ExitCode::from(2);
         }
     };
@@ -84,9 +165,17 @@ fn load(path: &str) -> Result<Network, String> {
     read_network(&text, path).map_err(|e| format!("{path}: {e}"))
 }
 
+const INFO_HELP: &str = "usage: cbq info <file.aag>
+
+Prints circuit statistics (latches, inputs, gates, depth, initial state).";
+
 fn cmd_info(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{INFO_HELP}");
+        return ExitCode::SUCCESS;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: cbq info <file.aag>");
+        eprintln!("{INFO_HELP}");
         return ExitCode::from(2);
     };
     match load(path) {
@@ -110,67 +199,178 @@ fn cmd_info(args: &[String]) -> ExitCode {
     }
 }
 
+const ENGINES_HELP: &str = "usage: cbq engines
+
+Lists the registered model-checking engines (`cbq check --engine <name>`).";
+
+fn cmd_engines(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{ENGINES_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    for spec in registry() {
+        let traits = match (spec.complete, spec.minimal_cex) {
+            (true, true) => "complete, minimal cex",
+            (true, false) => "complete",
+            (false, true) => "refutation only, minimal cex",
+            (false, false) => "refutation only",
+        };
+        println!("{:<12} {}  [{traits}]", spec.name, spec.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+fn check_help() -> String {
+    format!(
+        "usage: cbq check <file.aag> [--engine E] [--steps N] [--nodes N]
+                 [--sat-checks N] [--timeout-ms N]
+
+Model-checks the circuit's bad-state property.
+
+  --engine E       engine to run (default: circuit); one of: {}
+  --steps N        budget: at most N engine iterations / depth frames
+  --nodes N        budget: at most N representation nodes
+  --sat-checks N   budget: at most N SAT checks
+  --timeout-ms N   budget: wall-clock deadline in milliseconds
+
+exit code: 0 safe, 1 unsafe, 2 usage/input error, 3 unknown,
+           4 budget exhausted",
+        engine_names().join(", ")
+    )
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        eprintln!("usage: cbq check <file.aag> [--engine E] [--max N]");
-        return ExitCode::from(2);
-    };
-    let net = match load(path) {
-        Ok(n) => n,
+    if wants_help(args) {
+        println!("{}", check_help());
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(
+        args,
+        &[
+            "engine",
+            "steps",
+            "nodes",
+            "sat-checks",
+            "timeout-ms",
+            "max",
+        ],
+    ) {
+        Ok((positional, flags)) if positional.len() == 1 => (positional[0].to_string(), flags),
+        Ok((positional, _)) => {
+            eprintln!(
+                "expected exactly one <file.aag>, got {}\n\n{}",
+                positional.len(),
+                check_help()
+            );
+            return ExitCode::from(2);
+        }
         Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let engine = flag_value(args, "--engine").unwrap_or("circuit");
-    let max = flag_value(args, "--max")
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(64);
-    let start = std::time::Instant::now();
-    let verdict = match engine {
-        "circuit" => CircuitUmc::default().check(&net).verdict,
-        "forward" => ForwardCircuitUmc::default().check(&net).verdict,
-        "bdd" => BddUmc::default().check(&net).verdict,
-        "bdd-forward" => BddUmc {
-            direction: BddDirection::Forward,
-            ..BddUmc::default()
-        }
-        .check(&net)
-        .verdict,
-        "bmc" => Bmc { max_depth: max }.check(&net).verdict,
-        "kind" => KInduction {
-            max_k: max,
-            simple_path: true,
-        }
-        .check(&net)
-        .verdict,
-        other => {
-            eprintln!("unknown engine `{other}`");
+            eprintln!("error: {e}\n\n{}", check_help());
             return ExitCode::from(2);
         }
     };
-    let elapsed = start.elapsed();
-    println!("{verdict}   [{engine}, {:.1} ms]", elapsed.as_secs_f64() * 1e3);
-    if let Verdict::Unsafe { trace } = &verdict {
+    let (path, flags) = flags;
+    let mut engine_name = "circuit";
+    let mut budget = Budget::unlimited();
+    for (flag, value) in flags {
+        match flag {
+            "engine" => engine_name = value,
+            other => {
+                let n = match parse_count(other, value) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                budget = match other {
+                    // `--max` is the legacy spelling of `--steps`.
+                    "steps" | "max" => budget.with_steps(n as usize),
+                    "nodes" => budget.with_nodes(n as usize),
+                    "sat-checks" => budget.with_sat_checks(n),
+                    "timeout-ms" => budget.with_timeout(Duration::from_millis(n)),
+                    _ => unreachable!("parse_flags rejects unknown flags"),
+                };
+            }
+        }
+    }
+    let Some(engine) = <dyn Engine>::by_name(engine_name) else {
+        eprintln!(
+            "unknown engine `{engine_name}` (expected one of: {})",
+            engine_names().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    // Exit 2, not 1: for `check`, exit 1 means "counterexample found".
+    let net = match load(&path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = engine.check(&net, &budget);
+    println!(
+        "{}   [{}, {} iterations, {} peak nodes, {} SAT checks, {:.1} ms]",
+        run.verdict,
+        run.stats.engine,
+        run.stats.iterations,
+        run.stats.peak_nodes,
+        run.stats.sat_checks,
+        run.stats.elapsed.as_secs_f64() * 1e3
+    );
+    if let Verdict::Unsafe { trace } = &run.verdict {
         print!("{trace}");
         println!(
             "trace replay: {}",
-            if trace.validates(&net) { "valid" } else { "INVALID" }
+            if trace.validates(&net) {
+                "valid"
+            } else {
+                "INVALID"
+            }
         );
     }
-    match verdict {
+    match run.verdict {
         Verdict::Safe { .. } => ExitCode::SUCCESS,
         Verdict::Unsafe { .. } => ExitCode::from(1),
         Verdict::Unknown { .. } => ExitCode::from(3),
+        Verdict::Bounded { .. } => ExitCode::from(4),
     }
 }
 
+const QUANTIFY_HELP: &str = "usage: cbq quantify <file.aag> [--mode M]
+
+Eliminates all inputs of output 0 (combinational file) or the primary
+inputs of the bad-state cone (sequential file).
+
+  --mode M   naive | merge | full | bdd   (default: full)";
+
 fn cmd_quantify(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        eprintln!("usage: cbq quantify <file.aag> [--mode naive|merge|full|bdd]");
-        return ExitCode::from(2);
+    if wants_help(args) {
+        println!("{QUANTIFY_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let (path, mode) = match parse_flags(args, &["mode"]) {
+        Ok((positional, flags)) if positional.len() == 1 => {
+            let mode = flags
+                .iter()
+                .find(|(f, _)| *f == "mode")
+                .map_or("full", |(_, v)| *v);
+            (positional[0].to_string(), mode.to_string())
+        }
+        Ok((positional, _)) => {
+            eprintln!(
+                "expected exactly one <file.aag>, got {}\n\n{QUANTIFY_HELP}",
+                positional.len()
+            );
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{QUANTIFY_HELP}");
+            return ExitCode::from(2);
+        }
     };
-    let text = match std::fs::read_to_string(path) {
+    let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {path}: {e}");
@@ -194,7 +394,7 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
             };
             (aig, in_vars, f)
         }
-        Err(_) => match read_network(&text, path) {
+        Err(_) => match read_network(&text, &path) {
             Ok(net) => (net.aig().clone(), net.primary_inputs().to_vec(), net.bad()),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -202,14 +402,17 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
             }
         },
     };
-    let mode = flag_value(args, "--mode").unwrap_or("full");
-    println!("before : {} AND gates, {} inputs", aig.cone_size(f), in_vars.len());
+    println!(
+        "before : {} AND gates, {} inputs",
+        aig.cone_size(f),
+        in_vars.len()
+    );
     let start = std::time::Instant::now();
-    let (label, lit) = match mode {
+    let (label, lit) = match mode.as_str() {
         "bdd" => match exists_bdd(&mut aig, f, &in_vars, usize::MAX) {
             Some((l, nodes)) => {
                 println!("bdd    : {nodes} decision nodes");
-                ("bdd", l)
+                ("bdd".to_string(), l)
             }
             None => {
                 eprintln!("bdd blow-up");
@@ -222,13 +425,13 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
                 "merge" => QuantConfig::merge_only(),
                 "full" => QuantConfig::full(),
                 other => {
-                    eprintln!("unknown mode `{other}`");
+                    eprintln!("unknown mode `{other}` (expected naive, merge, full, or bdd)");
                     return ExitCode::from(2);
                 }
             };
             let mut cnf = AigCnf::new();
             let res = exists_many(&mut aig, f, &in_vars, &mut cnf, &cfg);
-            (m, res.lit)
+            (m.to_string(), res.lit)
         }
     };
     println!(
@@ -239,9 +442,17 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+const DOT_HELP: &str = "usage: cbq dot <file.aag>
+
+Emits Graphviz for the bad-state cone on stdout.";
+
 fn cmd_dot(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{DOT_HELP}");
+        return ExitCode::SUCCESS;
+    }
     let Some(path) = args.first() else {
-        eprintln!("usage: cbq dot <file.aag>");
+        eprintln!("{DOT_HELP}");
         return ExitCode::from(2);
     };
     match load(path) {

@@ -17,21 +17,30 @@
 //! | [`synth`] | `cbq-synth` | don't-care optimisation phase |
 //! | [`quant`] | `cbq-core` | **circuit-based quantifier elimination** |
 //! | [`ckt`] | `cbq-ckt` | sequential networks + benchmark generators |
-//! | [`mc`] | `cbq-mc` | UMC engines (circuit, BDD, BMC, induction, hybrid) |
+//! | [`mc`] | `cbq-mc` | UMC engines behind the unified `Engine`/`Budget` API |
 //!
 //! ## Quickstart
+//!
+//! Every model checker implements [`mc::Engine`] — `check(&net, &budget)`
+//! — and is constructible by registry name. A [`mc::Budget`] bounds
+//! steps, nodes, SAT checks, and wall-clock time; exhaustion yields
+//! `Verdict::Bounded` rather than a hang.
 //!
 //! ```
 //! use cbq::prelude::*;
 //!
 //! // Prove a token ring safe with the paper's engine.
 //! let net = cbq::ckt::generators::token_ring(4);
-//! let run = CircuitUmc::default().check(&net);
+//! let run = CircuitUmc::default().check(&net, &Budget::unlimited());
+//! assert!(run.verdict.is_safe());
+//!
+//! // Any engine by name, as a trait object, under a budget.
+//! let engine = <dyn Engine>::by_name("portfolio").expect("registered");
+//! let run = engine.check(&net, &Budget::unlimited().with_steps(256));
 //! assert!(run.verdict.is_safe());
 //! ```
 //!
-//! See `examples/` for richer scenarios and `DESIGN.md`/`EXPERIMENTS.md`
-//! for the experiment-by-experiment reproduction notes.
+//! See `examples/` for richer scenarios and `README.md` for the CLI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,7 +63,9 @@ pub mod prelude {
     pub use cbq_ckt::{Network, Trace};
     pub use cbq_cnf::{AigCnf, EquivResult};
     pub use cbq_core::{exists_many, exists_one, substitute, QuantConfig, QuantResult};
-    pub use cbq_mc::{Bmc, BddUmc, CircuitUmc, KInduction, McRun, Verdict};
+    pub use cbq_mc::{
+        BddUmc, Bmc, Budget, CircuitUmc, Engine, KInduction, McRun, McStats, Portfolio, Verdict,
+    };
     pub use cbq_sat::{SatLit, SatResult, SatVar, Solver};
     pub use cbq_synth::{dc_simplify, optimize_disjunction, OptConfig};
 }

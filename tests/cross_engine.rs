@@ -1,10 +1,11 @@
-//! Cross-engine integration tests: every model-checking engine must agree
-//! with the explicit-state oracle — verdict *and* minimal counterexample
-//! depth — on the whole benchmark suite.
+//! Cross-engine integration tests: every engine in the registry must
+//! agree with the explicit-state oracle — verdict *and* minimal
+//! counterexample depth — on the whole benchmark suite.
 
 use cbq::ckt::generators;
 use cbq::ckt::Network;
 use cbq::mc::explicit;
+use cbq::mc::registry;
 use cbq::prelude::*;
 
 fn suite() -> Vec<Network> {
@@ -29,9 +30,37 @@ fn oracle(net: &Network) -> Option<usize> {
     explicit::shortest_cex_depth(net, 10, 1 << 16)
 }
 
-fn assert_agrees(net: &Network, verdict: &Verdict, engine: &str, exact_depth: bool) {
-    match (oracle(net), verdict) {
+/// The suite paired with its (expensive) explicit-state oracle verdicts,
+/// computed once so per-engine sweeps don't redo the BFS.
+fn suite_with_oracle() -> Vec<(Network, Option<usize>)> {
+    suite()
+        .into_iter()
+        .map(|net| {
+            let expected = oracle(&net);
+            (net, expected)
+        })
+        .collect()
+}
+
+fn assert_agrees(
+    net: &Network,
+    expected: Option<usize>,
+    verdict: &Verdict,
+    engine: &str,
+    complete: bool,
+    exact_depth: bool,
+) {
+    match (expected, verdict) {
         (None, Verdict::Safe { .. }) => {}
+        (None, other) if !complete => {
+            // A refutation-only engine may fail to prove safety, but must
+            // never claim a counterexample on a safe circuit.
+            assert!(
+                !other.is_unsafe(),
+                "{engine} on {}: bogus counterexample on a safe circuit",
+                net.name()
+            );
+        }
         (Some(depth), Verdict::Unsafe { trace }) => {
             assert!(
                 trace.validates(net),
@@ -54,77 +83,56 @@ fn assert_agrees(net: &Network, verdict: &Verdict, engine: &str, exact_depth: bo
     }
 }
 
+/// The registry-driven agreement sweep: every registered engine, every
+/// suite circuit, one oracle.
 #[test]
-fn circuit_umc_matches_oracle() {
-    for net in suite() {
-        let run = CircuitUmc::default().check(&net);
-        assert_agrees(&net, &run.verdict, "circuit-umc", true);
-    }
-}
-
-#[test]
-fn bdd_umc_backward_matches_oracle() {
-    for net in suite() {
-        let run = BddUmc::default().check(&net);
-        assert_agrees(&net, &run.verdict, "bdd-umc-backward", true);
-    }
-}
-
-#[test]
-fn bdd_umc_forward_matches_oracle() {
-    use cbq::mc::BddDirection;
-    for net in suite() {
-        let run = BddUmc {
-            direction: BddDirection::Forward,
-            ..BddUmc::default()
-        }
-        .check(&net);
-        assert_agrees(&net, &run.verdict, "bdd-umc-forward", true);
-    }
-}
-
-#[test]
-fn bmc_finds_every_bug_at_minimal_depth() {
-    for net in suite() {
-        if let Some(depth) = oracle(&net) {
-            let run = Bmc { max_depth: depth + 2 }.check(&net);
-            assert_agrees(&net, &run.verdict, "bmc", true);
+fn every_registered_engine_matches_oracle() {
+    let nets = suite_with_oracle();
+    for spec in registry() {
+        let engine = (spec.build)();
+        for (net, expected) in &nets {
+            let run = engine.check(net, &Budget::unlimited());
+            assert_eq!(run.stats.engine, spec.name);
+            assert_agrees(
+                net,
+                *expected,
+                &run.verdict,
+                spec.name,
+                spec.complete,
+                spec.minimal_cex,
+            );
         }
     }
 }
 
+/// Engines constructed by name must be the engines the registry lists.
 #[test]
-fn k_induction_matches_oracle() {
-    for net in suite() {
-        let run = KInduction {
-            max_k: 40,
-            simple_path: true,
-        }
-        .check(&net);
-        assert_agrees(&net, &run.verdict, "k-induction", true);
+fn by_name_resolves_every_registered_engine() {
+    for spec in registry() {
+        let engine = <dyn Engine>::by_name(spec.name).expect("registered name resolves");
+        assert_eq!(engine.name(), spec.name);
     }
+    assert!(<dyn Engine>::by_name("not-an-engine").is_none());
 }
 
 #[test]
 fn circuit_umc_with_tight_budget_and_enumeration_matches_oracle() {
     use cbq::mc::ResidualPolicy;
-    for net in suite() {
+    for (net, expected) in suite_with_oracle() {
         let engine = CircuitUmc {
             quant: QuantConfig::full().with_budget(1.1),
             residual: ResidualPolicy::Enumerate { max_rounds: 4096 },
             ..CircuitUmc::default()
         };
-        let run = engine.check(&net);
-        assert_agrees(&net, &run.verdict, "circuit-umc-partial", true);
-    }
-}
-
-#[test]
-fn forward_circuit_umc_matches_oracle() {
-    use cbq::mc::ForwardCircuitUmc;
-    for net in suite() {
-        let run = ForwardCircuitUmc::default().check(&net);
-        assert_agrees(&net, &run.verdict, "forward-circuit-umc", true);
+        let run = engine.check(&net, &Budget::unlimited());
+        assert_agrees(
+            &net,
+            expected,
+            &run.verdict,
+            "circuit-umc-partial",
+            true,
+            true,
+        );
     }
 }
 
@@ -132,12 +140,19 @@ fn forward_circuit_umc_matches_oracle() {
 fn naive_quantification_engine_matches_oracle() {
     // Ablation: even with merge and optimisation disabled, the traversal
     // must stay sound and complete.
-    for net in suite() {
+    for (net, expected) in suite_with_oracle() {
         let engine = CircuitUmc {
             quant: QuantConfig::naive(),
             ..CircuitUmc::default()
         };
-        let run = engine.check(&net);
-        assert_agrees(&net, &run.verdict, "circuit-umc-naive", true);
+        let run = engine.check(&net, &Budget::unlimited());
+        assert_agrees(
+            &net,
+            expected,
+            &run.verdict,
+            "circuit-umc-naive",
+            true,
+            true,
+        );
     }
 }

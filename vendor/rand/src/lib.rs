@@ -1,0 +1,134 @@
+//! A minimal, dependency-free drop-in for the subset of the `rand` crate
+//! API this workspace uses (`SmallRng`, `Rng::{gen, gen_bool, gen_range}`,
+//! `SeedableRng::seed_from_u64`).
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched; this shim keeps the callers source-compatible.
+//! The generator is SplitMix64 — deterministic in the seed, statistically
+//! fine for the workloads here (randomised simulation patterns and random
+//! circuit synthesis), and explicitly **not** cryptographic.
+
+#![forbid(unsafe_code)]
+
+/// Types sampleable uniformly by [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The raw 64-bit generator step.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform draw from a non-empty half-open `usize` range.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(!range.is_empty(), "cannot sample an empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A small, fast, seedable generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl crate::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5..17);
+            assert!((5..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn gen_typed_draws() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _: u64 = rng.gen();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(rng.gen::<bool>())] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}
