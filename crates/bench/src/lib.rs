@@ -21,7 +21,8 @@ use cbq_cnf::AigCnf;
 use cbq_core::{exists_bdd, exists_many, QuantConfig};
 use cbq_mc::ganai::all_solutions_exists;
 use cbq_mc::preimage::preimage_formula;
-use cbq_mc::{registry, Budget, Verdict};
+use cbq_mc::sweep::SweepConfig as StateSweepConfig;
+use cbq_mc::{registry, Budget, CircuitUmc, CircuitUmcStats, Engine, Verdict};
 use cbq_synth::OptConfig;
 
 /// A printable table of experiment results.
@@ -501,7 +502,10 @@ pub fn umc_suite() -> Vec<Network> {
     ]
 }
 
-fn verdict_cell(v: &Verdict) -> String {
+/// A verdict as a table cell / comparison key: classification plus the
+/// count that must be stable across equivalent runs (fixpoint iteration
+/// or minimal counterexample depth), never the concrete trace inputs.
+pub fn verdict_cell(v: &Verdict) -> String {
     match v {
         Verdict::Safe { iterations } => format!("safe@{iterations}"),
         Verdict::Unsafe { trace } => format!("cex@{}", trace.len() - 1),
@@ -541,6 +545,117 @@ pub fn e6_table() -> Table {
             row.push(format!("{:.1}", run.stats.elapsed.as_secs_f64() * 1e3));
         }
         t.push(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6s — state-set sweeping ablation (frontier-size trajectory)
+// ---------------------------------------------------------------------
+
+/// Median of a size profile (0 for an empty one).
+pub fn median(sizes: &[usize]) -> usize {
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    sorted.get(sorted.len() / 2).copied().unwrap_or(0)
+}
+
+/// E6s kernel: one circuit-engine run with the given sweep setting.
+/// Returns (verdict, reached size, median frontier, peak nodes, ms).
+pub fn sweep_run(
+    net: &Network,
+    sweep: Option<StateSweepConfig>,
+    budget: &Budget,
+) -> (Verdict, usize, usize, usize, f64) {
+    let engine = CircuitUmc {
+        sweep,
+        ..CircuitUmc::default()
+    };
+    let start = Instant::now();
+    let run = engine.check(net, budget);
+    let detail = run.detail::<CircuitUmcStats>().expect("circuit stats");
+    (
+        run.verdict.clone(),
+        detail.reached_size,
+        median(&detail.frontier_sizes),
+        detail.peak_nodes,
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E6s: the frontier-size trajectory of the circuit engine with
+/// state-set sweeping on (eager) vs off, across the E6 suite. The claim:
+/// sweeping strictly shrinks the reached set and the median frontier on
+/// redundancy-heavy traversals while preserving every verdict.
+pub fn e6s_table() -> Table {
+    let mut t = Table::new(
+        "E6s — state-set sweeping ablation (circuit engine, AND gates)",
+        &[
+            "circuit",
+            "verdict",
+            "reached off",
+            "reached on",
+            "medfront off",
+            "medfront on",
+            "peak off",
+            "peak on",
+            "ms off",
+            "ms on",
+        ],
+    );
+    let budget = e6_budget();
+    for net in umc_suite() {
+        let (v_off, r_off, f_off, p_off, ms_off) = sweep_run(&net, None, &budget);
+        let (v_on, r_on, f_on, p_on, ms_on) =
+            sweep_run(&net, Some(StateSweepConfig::eager()), &budget);
+        let verdict = if verdict_cell(&v_off) == verdict_cell(&v_on) {
+            verdict_cell(&v_off)
+        } else {
+            format!("{} != {}", verdict_cell(&v_off), verdict_cell(&v_on))
+        };
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            r_off.to_string(),
+            r_on.to_string(),
+            f_off.to_string(),
+            f_on.to_string(),
+            p_off.to_string(),
+            p_on.to_string(),
+            format!("{ms_off:.1}"),
+            format!("{ms_on:.1}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Smoke — one tiny model per engine (the CI fail-fast run)
+// ---------------------------------------------------------------------
+
+/// Smoke: every registered engine on one tiny model under a tight
+/// budget — regressions in any engine (or in sweeping, which is on by
+/// default for the circuit engines) fail fast in CI.
+pub fn smoke_table() -> Table {
+    let mut t = Table::new(
+        "Smoke — every registered engine on one tiny model",
+        &["engine", "circuit", "verdict", "nodes", "ms"],
+    );
+    let budget = Budget::unlimited()
+        .with_steps(256)
+        .with_timeout(std::time::Duration::from_secs(10));
+    for spec in registry() {
+        for net in [generators::mutex(), generators::mutex_bug()] {
+            let start = Instant::now();
+            let run = (spec.build)().check(&net, &budget);
+            t.push(vec![
+                spec.name.to_string(),
+                net.name().to_string(),
+                verdict_cell(&run.verdict),
+                run.stats.peak_nodes.to_string(),
+                ms(start),
+            ]);
+        }
     }
     t
 }
@@ -667,7 +782,7 @@ pub fn e8_table() -> Table {
     t
 }
 
-/// Runs one experiment by id (`"e1"` … `"e8"`).
+/// Runs one experiment by id (`"e1"` … `"e8"`, `"e6s"`, `"smoke"`).
 pub fn run_experiment(id: &str) -> Option<Table> {
     match id {
         "e1" => Some(e1_table()),
@@ -676,14 +791,16 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e4" => Some(e4_table()),
         "e5" => Some(e5_table()),
         "e6" => Some(e6_table()),
+        "e6s" => Some(e6s_table()),
         "e7" => Some(e7_table()),
         "e8" => Some(e8_table()),
+        "smoke" => Some(smoke_table()),
         _ => None,
     }
 }
 
-/// All experiment ids in order.
-pub const EXPERIMENTS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+/// All experiment ids in report order (`smoke` is CI-only and excluded).
+pub const EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e7", "e8"];
 
 #[cfg(test)]
 mod tests {
@@ -726,6 +843,37 @@ mod tests {
                 run.verdict
             );
         }
+    }
+
+    #[test]
+    fn sweep_kernel_preserves_verdicts_on_a_tiny_model() {
+        let net = generators::mutex();
+        let budget = Budget::unlimited().with_steps(64);
+        let (v_off, ..) = sweep_run(&net, None, &budget);
+        let (v_on, reached_on, ..) = sweep_run(&net, Some(StateSweepConfig::eager()), &budget);
+        assert_eq!(verdict_cell(&v_off), verdict_cell(&v_on));
+        assert!(v_on.is_safe());
+        let _ = reached_on;
+        assert_eq!(median(&[]), 0);
+        assert_eq!(median(&[3, 1, 2]), 2);
+    }
+
+    #[test]
+    fn smoke_covers_every_engine() {
+        let t = smoke_table();
+        assert_eq!(t.rows.len(), registry().len() * 2);
+        for row in &t.rows {
+            // BMC legitimately reports unknown on the safe model; nobody
+            // may exhaust the smoke budget.
+            assert!(
+                !row[2].contains("bounded"),
+                "{}: smoke budget exhausted ({})",
+                row[0],
+                row[2]
+            );
+        }
+        assert!(t.rows.iter().any(|r| r[2].starts_with("safe")));
+        assert!(t.rows.iter().any(|r| r[2].starts_with("cex")));
     }
 
     #[test]

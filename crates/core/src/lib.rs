@@ -71,6 +71,33 @@ pub enum VarOrder {
     CheapestFirst,
     /// Eliminate in the order given by the caller.
     AsGiven,
+    /// Estimate every variable's fanin-support cost
+    /// ([`Aig::occurrence_count`]) once per pass, sort ascending, and keep
+    /// that order for the whole pass — `O(vars)` cost probes per pass
+    /// instead of [`VarOrder::CheapestFirst`]'s `O(vars²)`, at the price
+    /// of scheduling on slightly stale estimates.
+    StaticCost,
+}
+
+impl VarOrder {
+    /// Parses a CLI-facing name (`cheapest`, `static`, `given`).
+    pub fn from_name(name: &str) -> Option<VarOrder> {
+        match name {
+            "cheapest" => Some(VarOrder::CheapestFirst),
+            "static" => Some(VarOrder::StaticCost),
+            "given" => Some(VarOrder::AsGiven),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name of this order.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VarOrder::CheapestFirst => "cheapest",
+            VarOrder::StaticCost => "static",
+            VarOrder::AsGiven => "given",
+        }
+    }
 }
 
 /// Configuration of the quantification engine.
@@ -94,6 +121,11 @@ pub struct QuantConfig {
     pub growth_budget: Option<f64>,
     /// Variable scheduling policy.
     pub order: VarOrder,
+    /// Interleaved re-sweeping: after an elimination, if the working cone
+    /// has grown past `factor ×` its size at the last sweep point, run the
+    /// merge phase on the whole cone before scheduling the next variable.
+    /// `None` disables it.
+    pub resweep_growth: Option<f64>,
 }
 
 impl Default for QuantConfig {
@@ -113,6 +145,7 @@ impl QuantConfig {
             use_opt: true,
             growth_budget: None,
             order: VarOrder::CheapestFirst,
+            resweep_growth: None,
         }
     }
 
@@ -138,6 +171,18 @@ impl QuantConfig {
     /// Partial quantification with the given growth factor.
     pub fn with_budget(mut self, factor: f64) -> QuantConfig {
         self.growth_budget = Some(factor);
+        self
+    }
+
+    /// Interleaved re-sweeping at the given growth factor.
+    pub fn with_resweep(mut self, factor: f64) -> QuantConfig {
+        self.resweep_growth = Some(factor);
+        self
+    }
+
+    /// The given variable scheduling policy.
+    pub fn with_order(mut self, order: VarOrder) -> QuantConfig {
+        self.order = order;
         self
     }
 }
@@ -175,6 +220,8 @@ pub struct QuantStats {
     pub sweep: SweepStats,
     /// Optimisation-phase counters accumulated over all variables.
     pub opt: OptStats,
+    /// Whole-cone sweeps triggered by [`QuantConfig::resweep_growth`].
+    pub interleaved_sweeps: usize,
     /// One record per attempted variable, in elimination order.
     pub per_var: Vec<VarQuantRecord>,
 }
@@ -292,6 +339,13 @@ fn accumulate_opt(total: &mut OptStats, s: OptStats) {
 /// first and aborting expensive ones when a growth budget is set
 /// (partial quantification, Section 4 of the paper).
 ///
+/// Scheduling follows [`QuantConfig::order`]: per-elimination cost
+/// re-estimation, a per-pass static fanin-support-cost order, or the
+/// caller's order. When [`QuantConfig::resweep_growth`] is set, the whole
+/// working cone is re-swept as soon as it outgrows the factor —
+/// interleaving compaction with elimination instead of letting
+/// intermediate blow-up compound.
+///
 /// Aborted variables are retried once after all others (their cost may
 /// have collapsed); whatever still exceeds the budget is returned in
 /// [`QuantResult::remaining`].
@@ -307,15 +361,26 @@ pub fn exists_many(
         ..QuantStats::default()
     };
     let mut current = f;
+    // Base size the interleaved-resweep growth factor is measured against.
+    let mut sweep_base = stats.nodes_before.max(1);
     let mut pending: Vec<Var> = vars.to_vec();
     let mut remaining: Vec<Var> = Vec::new();
     let mut passes = 0;
     while !pending.is_empty() && passes < 2 {
         passes += 1;
+        if cfg.order == VarOrder::StaticCost {
+            // One cost probe per variable per pass; stale-but-cheap.
+            let mut costed: Vec<(usize, Var)> = pending
+                .iter()
+                .map(|v| (aig.occurrence_count(&[current], *v), *v))
+                .collect();
+            costed.sort_unstable_by_key(|(cost, _)| *cost);
+            pending = costed.into_iter().map(|(_, v)| v).collect();
+        }
         let mut next_round: Vec<Var> = Vec::new();
         while !pending.is_empty() {
             let idx = match cfg.order {
-                VarOrder::AsGiven => 0,
+                VarOrder::AsGiven | VarOrder::StaticCost => 0,
                 VarOrder::CheapestFirst => {
                     let mut best = 0;
                     let mut best_cost = usize::MAX;
@@ -340,6 +405,16 @@ pub fn exists_many(
                     stats.quantified += 1;
                 }
                 None => next_round.push(v),
+            }
+            if let Some(factor) = cfg.resweep_growth {
+                let size = aig.cone_size(current);
+                if size as f64 > sweep_base as f64 * factor {
+                    let swept = sweep(aig, &[current], cnf, &cfg.sweep);
+                    accumulate_sweep(&mut stats.sweep, swept.stats);
+                    current = swept.roots[0];
+                    stats.interleaved_sweeps += 1;
+                    sweep_base = aig.cone_size(current).max(1);
+                }
             }
         }
         if passes == 2 || next_round.is_empty() {
@@ -565,6 +640,59 @@ mod tests {
                 8
             ));
         }
+    }
+
+    #[test]
+    fn static_cost_order_is_exact() {
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..6).map(|_| aig.add_input()).collect();
+        let f = {
+            let t1 = aig.and(vars[0].lit(), vars[1].lit());
+            let t2 = aig.xor(vars[2].lit(), vars[3].lit());
+            let t3 = aig.ite(vars[4].lit(), t1, t2);
+            aig.or(t3, vars[5].lit())
+        };
+        let mut cnf = AigCnf::new();
+        let cfg = QuantConfig::full().with_order(VarOrder::StaticCost);
+        let targets = [vars[0], vars[2], vars[4]];
+        let res = exists_many(&mut aig, f, &targets, &mut cnf, &cfg);
+        assert!(res.remaining.is_empty());
+        assert!(exhaustive_exists_check(&mut aig, f, &targets, res.lit, 6));
+    }
+
+    #[test]
+    fn var_order_names_round_trip() {
+        for order in [
+            VarOrder::CheapestFirst,
+            VarOrder::StaticCost,
+            VarOrder::AsGiven,
+        ] {
+            assert_eq!(VarOrder::from_name(order.name()), Some(order));
+        }
+        assert_eq!(VarOrder::from_name("nope"), None);
+    }
+
+    #[test]
+    fn interleaved_resweep_fires_and_stays_exact() {
+        // A function whose cofactors share little, so elimination grows
+        // the cone and a tight resweep factor must trigger.
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..8).map(|_| aig.add_input()).collect();
+        let mut f = Lit::FALSE;
+        for w in vars.chunks(2) {
+            let t = aig.xor(w[0].lit(), w[1].lit());
+            let u = aig.and(t, f);
+            f = aig.or(u, t);
+        }
+        let mut cnf = AigCnf::new();
+        // Naive elimination (no per-variable merging) + aggressive resweep.
+        let mut cfg = QuantConfig::naive().with_resweep(1.0);
+        cfg.order = VarOrder::StaticCost;
+        let targets = [vars[0], vars[2], vars[5]];
+        let res = exists_many(&mut aig, f, &targets, &mut cnf, &cfg);
+        assert!(res.remaining.is_empty());
+        assert!(res.stats.interleaved_sweeps > 0, "resweep never fired");
+        assert!(exhaustive_exists_check(&mut aig, f, &targets, res.lit, 8));
     }
 
     #[test]

@@ -418,14 +418,7 @@ mod tests {
                 generators::gray_counter(4),
                 generators::mutex(),
             ] {
-                let run = eng.check(&net, &Budget::unlimited());
-                assert!(
-                    run.verdict.is_safe(),
-                    "{} {:?}: got {}",
-                    net.name(),
-                    eng.direction,
-                    run.verdict
-                );
+                crate::testsupport::check_safe(&eng, &net);
             }
         }
     }
@@ -439,25 +432,7 @@ mod tests {
                 (generators::shift_ones(4), 4),
                 (generators::counter_bug(4, 5), 5),
             ] {
-                let run = eng.check(&net, &Budget::unlimited());
-                match &run.verdict {
-                    Verdict::Unsafe { trace } => {
-                        assert!(
-                            trace.validates(&net),
-                            "{} {:?}: trace does not replay",
-                            net.name(),
-                            eng.direction
-                        );
-                        assert_eq!(
-                            trace.len(),
-                            depth + 1,
-                            "{} {:?}: unexpected cex length",
-                            net.name(),
-                            eng.direction
-                        );
-                    }
-                    other => panic!("{} should be unsafe, got {other}", net.name()),
-                }
+                crate::testsupport::check_unsafe(&eng, &net, Some(depth));
             }
         }
     }

@@ -9,7 +9,7 @@ use cbq_sat::SatResult;
 
 use crate::engine::{Budget, Engine, Meter};
 use crate::ganai::all_solutions_exists;
-use crate::preimage::preimage_formula;
+use crate::sweep::{StateSetSweeper, SweepConfig as StateSweepConfig, SweepStats};
 use crate::verdict::{McRun, McStats, Verdict};
 
 /// How to finish quantification when partial quantification aborts some
@@ -39,12 +39,19 @@ pub enum ResidualPolicy {
 /// counter-example. In our implementation all state sets are represented
 /// and manipulated using AIGs instead of BDDs. Operations on AIGs, e.g.,
 /// equivalence, are performed using a SAT engine."
+///
+/// Between iterations the engine optionally runs the SAT-sweeping
+/// state-set compaction of [`crate::sweep`], which fraigs and
+/// garbage-collects the frontier/reached cones once the working manager
+/// outgrows its watermark.
 #[derive(Clone, Debug)]
 pub struct CircuitUmc {
     /// Quantification engine configuration (merge/optimise/budget).
     pub quant: QuantConfig,
     /// What to do with variables partial quantification aborts.
     pub residual: ResidualPolicy,
+    /// Between-iterations state-set sweeping; `None` disables it.
+    pub sweep: Option<StateSweepConfig>,
     /// Iteration bound (a safety net; reaching it yields `Unknown`).
     pub max_iterations: usize,
 }
@@ -54,6 +61,7 @@ impl Default for CircuitUmc {
         CircuitUmc {
             quant: QuantConfig::full(),
             residual: ResidualPolicy::Naive,
+            sweep: Some(StateSweepConfig::default()),
             max_iterations: 10_000,
         }
     }
@@ -64,18 +72,90 @@ impl Default for CircuitUmc {
 pub struct CircuitUmcStats {
     /// Backward iterations executed.
     pub iterations: usize,
-    /// AND-gate count of each frontier after quantification.
+    /// AND-gate count of each frontier after quantification (and, when
+    /// sweeping is enabled, after the iteration's sweep).
     pub frontier_sizes: Vec<usize>,
     /// AND-gate count of the final reached-set representation.
     pub reached_size: usize,
-    /// Total nodes allocated in the working AIG (monotone, a peak proxy).
+    /// Peak node count of the working AIG (with sweeping, garbage
+    /// collection makes this a true peak rather than a monotone total).
     pub peak_nodes: usize,
-    /// Assumption-based SAT checks issued (all purposes).
+    /// Assumption-based SAT checks issued (all purposes, including checks
+    /// on clause databases retired by sweeping).
     pub sat_checks: u64,
     /// Input variables aborted by partial quantification, total.
     pub quant_aborts: usize,
     /// Cofactors enumerated by the residual policy, total.
     pub ganai_cofactors: usize,
+    /// State-set sweeping counters.
+    pub sweep: SweepStats,
+}
+
+/// The remappable working state of one backward traversal: every literal
+/// and input variable that must survive a state-set sweep lives here, so
+/// the sweeper can rewrite them in one place.
+struct Traversal {
+    aig: Aig,
+    cnf: AigCnf,
+    pis: Vec<Var>,
+    latches: Vec<Var>,
+    /// Next-state functions, in latch order.
+    deltas: Vec<Lit>,
+    bad: Lit,
+    init: Lit,
+    reached: Lit,
+    frontier: Lit,
+    /// Every frontier in discovery order (needed for trace extraction).
+    frontiers: Vec<Lit>,
+}
+
+impl Traversal {
+    fn new(net: &Network) -> Traversal {
+        let mut aig = net.aig().clone();
+        let init = net.initial_cube().to_lit(&mut aig);
+        Traversal {
+            aig,
+            cnf: AigCnf::new(),
+            pis: net.primary_inputs().to_vec(),
+            latches: net.latch_vars(),
+            deltas: net.latches().iter().map(|l| l.next).collect(),
+            bad: net.bad(),
+            init,
+            reached: Lit::FALSE,
+            frontier: Lit::FALSE,
+            frontiers: Vec::new(),
+        }
+    }
+
+    /// Current next-state definition pairs `(latch var, δ)`.
+    fn defs(&self) -> Vec<(Var, Lit)> {
+        self.latches
+            .iter()
+            .copied()
+            .zip(self.deltas.iter().copied())
+            .collect()
+    }
+
+    /// The raw pre-image of `target`: quantification by substitution of
+    /// the next-state functions (Section 3 in-lining).
+    fn preimage(&mut self, target: Lit) -> Lit {
+        let defs = self.defs();
+        self.aig.compose(target, &defs)
+    }
+
+    /// Hands every live literal and input variable to the sweeper.
+    fn sweep(&mut self, sweeper: &mut StateSetSweeper) -> bool {
+        let mut lits: Vec<&mut Lit> = vec![
+            &mut self.bad,
+            &mut self.init,
+            &mut self.reached,
+            &mut self.frontier,
+        ];
+        lits.extend(self.deltas.iter_mut());
+        lits.extend(self.frontiers.iter_mut());
+        let vars: Vec<&mut Var> = self.pis.iter_mut().chain(self.latches.iter_mut()).collect();
+        sweeper.run_if_due(&mut self.aig, &mut self.cnf, lits, vars)
+    }
 }
 
 /// Bundles the typed stats into the uniform run record.
@@ -98,83 +178,101 @@ impl Engine for CircuitUmc {
     /// Runs backward reachability on `net` within `budget`.
     fn check(&self, net: &Network, budget: &Budget) -> McRun {
         let meter = Meter::start(budget);
-        let mut aig = net.aig().clone();
-        let mut cnf = AigCnf::new();
         let mut stats = CircuitUmcStats::default();
-        if let Some(bounded) = meter.exceeded(0, aig.num_nodes(), 0) {
-            stats.peak_nodes = aig.num_nodes();
-            return finish(bounded, stats, &meter);
-        }
-        let pis: Vec<Var> = net.primary_inputs().to_vec();
-        let init_lit = net.initial_cube().to_lit(&mut aig);
-
-        // F₀ = ∃i. bad(s, i)
-        let mut frontier = self.quantify(&mut aig, net.bad(), &pis, &mut cnf, &mut stats);
-        let mut frontiers: Vec<Lit> = vec![frontier];
-        let mut reached = frontier;
-        stats.frontier_sizes.push(aig.cone_size(frontier));
-
-        // Is the initial state already bad?
-        if cnf.solve_under(&aig, &[frontier, init_lit]) == SatResult::Sat {
-            let trace = self.extract_trace(&mut aig, net, &mut cnf, &frontiers, 0);
-            stats.sat_checks = cnf.stats().checks;
-            stats.peak_nodes = aig.num_nodes();
-            return finish(Verdict::Unsafe { trace }, stats, &meter);
-        }
-
-        for iter in 1..=self.max_iterations {
-            if let Some(bounded) = meter.exceeded(iter - 1, aig.num_nodes(), cnf.stats().checks) {
-                stats.sat_checks = cnf.stats().checks;
-                stats.reached_size = aig.cone_size(reached);
-                stats.peak_nodes = aig.num_nodes();
-                return finish(bounded, stats, &meter);
-            }
-            stats.iterations = iter;
-            // Pre-image: in-line the next-state functions, then quantify
-            // the primary inputs by circuit-based quantification.
-            let pre_raw = preimage_formula(&mut aig, net, frontier);
-            let pre = self.quantify(&mut aig, pre_raw, &pis, &mut cnf, &mut stats);
-            // New states this iteration.
-            let new = aig.and(pre, !reached);
-            if cnf.solve_under(&aig, &[new]) == SatResult::Unsat {
-                stats.sat_checks = cnf.stats().checks;
-                stats.reached_size = aig.cone_size(reached);
-                stats.peak_nodes = aig.num_nodes();
-                return finish(Verdict::Safe { iterations: iter }, stats, &meter);
-            }
-            frontiers.push(new);
-            stats.frontier_sizes.push(aig.cone_size(new));
-            if cnf.solve_under(&aig, &[new, init_lit]) == SatResult::Sat {
-                let trace = self.extract_trace(&mut aig, net, &mut cnf, &frontiers, iter);
-                stats.sat_checks = cnf.stats().checks;
-                stats.peak_nodes = aig.num_nodes();
-                return finish(Verdict::Unsafe { trace }, stats, &meter);
-            }
-            reached = aig.or(reached, new);
-            frontier = new;
-        }
-        stats.sat_checks = cnf.stats().checks;
-        stats.reached_size = aig.cone_size(reached);
-        stats.peak_nodes = aig.num_nodes();
-        let verdict = Verdict::Unknown {
-            reason: format!("iteration bound {} reached", self.max_iterations),
-        };
+        let verdict = self.traverse(net, &meter, &mut stats);
         finish(verdict, stats, &meter)
     }
 }
 
 impl CircuitUmc {
+    fn traverse(&self, net: &Network, meter: &Meter, stats: &mut CircuitUmcStats) -> Verdict {
+        let mut t = Traversal::new(net);
+        let mut sweeper = self.sweep.clone().map(StateSetSweeper::new);
+        stats.peak_nodes = t.aig.num_nodes();
+        if let Some(bounded) = meter.exceeded(0, t.aig.num_nodes(), 0) {
+            return self.seal(bounded, stats, &mut t, &sweeper);
+        }
+
+        // F₀ = ∃i. bad(s, i)
+        let bad = t.bad;
+        t.frontier = self.quantify(&mut t, bad, stats);
+        t.frontiers.push(t.frontier);
+        t.reached = t.frontier;
+        stats.frontier_sizes.push(t.aig.cone_size(t.frontier));
+
+        // Is the initial state already bad?
+        if t.cnf.solve_under(&t.aig, &[t.frontier, t.init]) == SatResult::Sat {
+            let trace = self.extract_trace(&mut t, net, 0);
+            return self.seal(Verdict::Unsafe { trace }, stats, &mut t, &sweeper);
+        }
+        stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
+        if let Some(sw) = &mut sweeper {
+            if t.sweep(sw) {
+                *stats.frontier_sizes.last_mut().expect("F0 recorded") =
+                    t.aig.cone_size(t.frontier);
+            }
+        }
+
+        for iter in 1..=self.max_iterations {
+            let spent = retired_checks(&sweeper) + t.cnf.stats().checks;
+            if let Some(bounded) = meter.exceeded(iter - 1, t.aig.num_nodes(), spent) {
+                return self.seal(bounded, stats, &mut t, &sweeper);
+            }
+            stats.iterations = iter;
+            // Pre-image: in-line the next-state functions, then quantify
+            // the primary inputs by circuit-based quantification.
+            let pre_raw = t.preimage(t.frontier);
+            let pre = self.quantify(&mut t, pre_raw, stats);
+            // New states this iteration.
+            let new = t.aig.and(pre, !t.reached);
+            if t.cnf.solve_under(&t.aig, &[new]) == SatResult::Unsat {
+                return self.seal(Verdict::Safe { iterations: iter }, stats, &mut t, &sweeper);
+            }
+            t.frontiers.push(new);
+            stats.frontier_sizes.push(t.aig.cone_size(new));
+            if t.cnf.solve_under(&t.aig, &[new, t.init]) == SatResult::Sat {
+                let trace = self.extract_trace(&mut t, net, iter);
+                return self.seal(Verdict::Unsafe { trace }, stats, &mut t, &sweeper);
+            }
+            t.reached = t.aig.or(t.reached, new);
+            t.frontier = new;
+            stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
+            if let Some(sw) = &mut sweeper {
+                // Re-record the frontier post-sweep: the trajectory should
+                // reflect what the next iteration actually costs.
+                if t.sweep(sw) {
+                    *stats.frontier_sizes.last_mut().expect("frontier recorded") =
+                        t.aig.cone_size(t.frontier);
+                }
+            }
+        }
+        let verdict = Verdict::Unknown {
+            reason: format!("iteration bound {} reached", self.max_iterations),
+        };
+        self.seal(verdict, stats, &mut t, &sweeper)
+    }
+
+    /// Final bookkeeping shared by every exit path.
+    fn seal(
+        &self,
+        verdict: Verdict,
+        stats: &mut CircuitUmcStats,
+        t: &mut Traversal,
+        sweeper: &Option<StateSetSweeper>,
+    ) -> Verdict {
+        stats.sat_checks = retired_checks(sweeper) + t.cnf.stats().checks;
+        stats.reached_size = t.aig.cone_size(t.reached);
+        stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
+        if let Some(sw) = sweeper {
+            stats.sweep = sw.stats;
+        }
+        verdict
+    }
+
     /// Quantifies the primary inputs out of `f`, honouring the partial
     /// quantification budget and the residual policy.
-    fn quantify(
-        &self,
-        aig: &mut Aig,
-        f: Lit,
-        pis: &[Var],
-        cnf: &mut AigCnf,
-        stats: &mut CircuitUmcStats,
-    ) -> Lit {
-        let q = exists_many(aig, f, pis, cnf, &self.quant);
+    fn quantify(&self, t: &mut Traversal, f: Lit, stats: &mut CircuitUmcStats) -> Lit {
+        let q = exists_many(&mut t.aig, f, &t.pis, &mut t.cnf, &self.quant);
         if q.remaining.is_empty() {
             return q.lit;
         }
@@ -182,17 +280,18 @@ impl CircuitUmc {
         match self.residual {
             ResidualPolicy::Naive => {
                 let naive = QuantConfig::naive();
-                exists_many(aig, q.lit, &q.remaining, cnf, &naive).lit
+                exists_many(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, &naive).lit
             }
             ResidualPolicy::Enumerate { max_rounds } => {
-                match all_solutions_exists(aig, q.lit, &q.remaining, cnf, max_rounds) {
+                match all_solutions_exists(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, max_rounds)
+                {
                     Some((lit, gstats)) => {
                         stats.ganai_cofactors += gstats.cofactors;
                         lit
                     }
                     None => {
                         let naive = QuantConfig::naive();
-                        exists_many(aig, q.lit, &q.remaining, cnf, &naive).lit
+                        exists_many(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, &naive).lit
                     }
                 }
             }
@@ -202,52 +301,48 @@ impl CircuitUmc {
     /// Walks a counterexample forward: from the initial state, at each
     /// level find an input leading into the next (closer-to-bad)
     /// frontier, finishing with an input that fires `bad` itself.
-    fn extract_trace(
-        &self,
-        aig: &mut Aig,
-        net: &Network,
-        cnf: &mut AigCnf,
-        frontiers: &[Lit],
-        level: usize,
-    ) -> Trace {
+    fn extract_trace(&self, t: &mut Traversal, net: &Network, level: usize) -> Trace {
         let mut inputs_seq: Vec<Vec<bool>> = Vec::with_capacity(level + 1);
         let mut state = net.initial_state();
         for l in (0..level).rev() {
-            let target = frontiers[l];
-            let pre_raw = preimage_formula(aig, net, target);
-            let cube = state_cube(aig, net, &state);
-            let r = cnf.solve_under(aig, &[pre_raw, cube]);
+            let target = t.frontiers[l];
+            let pre_raw = t.preimage(target);
+            let cube = state_cube(&mut t.aig, &t.latches, &state);
+            let r = t.cnf.solve_under(&t.aig, &[pre_raw, cube]);
             debug_assert_eq!(r, SatResult::Sat, "trace step must be satisfiable");
-            let inputs = extract_pi_values(aig, net, cnf);
+            let inputs = extract_pi_values(&t.aig, &t.pis, &t.cnf);
             let (next, _) = net.step(&state, &inputs);
             inputs_seq.push(inputs);
             state = next;
         }
         // Final step: fire bad from the current state.
-        let cube = state_cube(aig, net, &state);
-        let r = cnf.solve_under(aig, &[net.bad(), cube]);
+        let cube = state_cube(&mut t.aig, &t.latches, &state);
+        let r = t.cnf.solve_under(&t.aig, &[t.bad, cube]);
         debug_assert_eq!(r, SatResult::Sat, "bad must fire at trace end");
-        inputs_seq.push(extract_pi_values(aig, net, cnf));
+        inputs_seq.push(extract_pi_values(&t.aig, &t.pis, &t.cnf));
         Trace::new(inputs_seq)
     }
 }
 
+/// SAT checks spent on clause databases the sweeper already retired.
+fn retired_checks(sweeper: &Option<StateSetSweeper>) -> u64 {
+    sweeper.as_ref().map_or(0, |s| s.stats.retired_sat_checks)
+}
+
 /// The conjunction of latch literals pinning `state`.
-fn state_cube(aig: &mut Aig, net: &Network, state: &[bool]) -> Lit {
-    let lits: Vec<Lit> = net
-        .latches()
+fn state_cube(aig: &mut Aig, latches: &[Var], state: &[bool]) -> Lit {
+    let lits: Vec<Lit> = latches
         .iter()
         .zip(state)
-        .map(|(l, v)| l.var.lit().xor_sign(!v))
+        .map(|(l, v)| l.lit().xor_sign(!v))
         .collect();
     aig.and_many(&lits)
 }
 
 /// Reads the primary-input values from the current SAT model.
-fn extract_pi_values(aig: &Aig, net: &Network, cnf: &AigCnf) -> Vec<bool> {
+fn extract_pi_values(aig: &Aig, pis: &[Var], cnf: &AigCnf) -> Vec<bool> {
     let model = cnf.model_inputs(aig);
-    net.primary_inputs()
-        .iter()
+    pis.iter()
         .map(|v| model[aig.input_index(*v).expect("PI is an input")])
         .collect()
 }
@@ -255,48 +350,22 @@ fn extract_pi_values(aig: &Aig, net: &Network, cnf: &AigCnf) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testsupport::{check_safe, check_unsafe};
     use cbq_ckt::generators;
-
-    fn check_safe(net: &Network) {
-        let run = CircuitUmc::default().check(net, &Budget::unlimited());
-        assert!(
-            run.verdict.is_safe(),
-            "{} should be safe, got {}",
-            net.name(),
-            run.verdict
-        );
-    }
-
-    fn check_unsafe(net: &Network, expected_depth: Option<usize>) {
-        let run = CircuitUmc::default().check(net, &Budget::unlimited());
-        match &run.verdict {
-            Verdict::Unsafe { trace } => {
-                assert!(
-                    trace.validates(net),
-                    "{}: trace does not replay",
-                    net.name()
-                );
-                if let Some(d) = expected_depth {
-                    assert_eq!(trace.len(), d + 1, "{}: unexpected cex length", net.name());
-                }
-            }
-            other => panic!("{} should be unsafe, got {other}", net.name()),
-        }
-    }
 
     #[test]
     fn safe_token_ring() {
-        check_safe(&generators::token_ring(6));
+        check_safe(&CircuitUmc::default(), &generators::token_ring(6));
     }
 
     #[test]
     fn safe_bounded_counter() {
-        check_safe(&generators::bounded_counter(4, 9));
+        check_safe(&CircuitUmc::default(), &generators::bounded_counter(4, 9));
     }
 
     #[test]
     fn safe_gray_counter() {
-        check_safe(&generators::gray_counter(4));
+        check_safe(&CircuitUmc::default(), &generators::gray_counter(4));
     }
 
     #[test]
@@ -312,37 +381,45 @@ mod tests {
 
     #[test]
     fn safe_lfsr() {
-        check_safe(&generators::lfsr(5, &[0, 2]));
+        check_safe(&CircuitUmc::default(), &generators::lfsr(5, &[0, 2]));
     }
 
     #[test]
     fn safe_arbiter() {
-        check_safe(&generators::arbiter(4));
+        check_safe(&CircuitUmc::default(), &generators::arbiter(4));
     }
 
     #[test]
     fn safe_mutex() {
-        check_safe(&generators::mutex());
+        check_safe(&CircuitUmc::default(), &generators::mutex());
     }
 
     #[test]
     fn unsafe_token_ring_bug() {
-        check_unsafe(&generators::token_ring_bug(5), Some(3));
+        check_unsafe(
+            &CircuitUmc::default(),
+            &generators::token_ring_bug(5),
+            Some(3),
+        );
     }
 
     #[test]
     fn unsafe_mutex_bug() {
-        check_unsafe(&generators::mutex_bug(), Some(2));
+        check_unsafe(&CircuitUmc::default(), &generators::mutex_bug(), Some(2));
     }
 
     #[test]
     fn unsafe_shift_ones() {
-        check_unsafe(&generators::shift_ones(4), Some(4));
+        check_unsafe(&CircuitUmc::default(), &generators::shift_ones(4), Some(4));
     }
 
     #[test]
     fn unsafe_counter_bug() {
-        check_unsafe(&generators::counter_bug(4, 6), Some(6));
+        check_unsafe(
+            &CircuitUmc::default(),
+            &generators::counter_bug(4, 6),
+            Some(6),
+        );
     }
 
     #[test]
@@ -391,5 +468,71 @@ mod tests {
             other => panic!("expected bounded, got {other}"),
         }
         assert!(run.stats.iterations <= 2);
+    }
+
+    /// Structural verdict comparison: concrete counterexample inputs may
+    /// legitimately differ between runs (different SAT models), but the
+    /// classification and the minimal depth must not.
+    fn verdict_key(v: &Verdict) -> String {
+        match v {
+            Verdict::Safe { iterations } => format!("safe@{iterations}"),
+            Verdict::Unsafe { trace } => format!("cex@{}", trace.len()),
+            other => format!("{other}"),
+        }
+    }
+
+    #[test]
+    fn sweeping_and_plain_traversals_agree() {
+        // Same verdicts with sweeping forced on every iteration, forced
+        // off, and gc-less; the eager sweep must not grow the state sets.
+        for net in [
+            generators::token_ring(5),
+            generators::bounded_counter_gap(4, 6, 12),
+            generators::token_ring_bug(5),
+            generators::counter_bug(4, 6),
+        ] {
+            let plain = CircuitUmc {
+                sweep: None,
+                ..CircuitUmc::default()
+            };
+            let eager = CircuitUmc {
+                sweep: Some(StateSweepConfig::eager()),
+                ..CircuitUmc::default()
+            };
+            let merge_only = CircuitUmc {
+                sweep: Some(StateSweepConfig {
+                    gc: false,
+                    ..StateSweepConfig::eager()
+                }),
+                ..CircuitUmc::default()
+            };
+            let rp = plain.check(&net, &Budget::unlimited());
+            let re = eager.check(&net, &Budget::unlimited());
+            let rm = merge_only.check(&net, &Budget::unlimited());
+            let key = verdict_key(&rp.verdict);
+            assert_eq!(
+                key,
+                verdict_key(&re.verdict),
+                "{}: sweep changed verdict",
+                net.name()
+            );
+            assert_eq!(
+                key,
+                verdict_key(&rm.verdict),
+                "{}: gc-less sweep changed verdict",
+                net.name()
+            );
+            let de = re.detail::<CircuitUmcStats>().expect("stats");
+            assert!(de.sweep.runs > 0, "{}: eager sweep never ran", net.name());
+            let dp = rp.detail::<CircuitUmcStats>().expect("stats");
+            assert!(
+                de.reached_size <= dp.reached_size,
+                "{}: sweeping grew the reached set",
+                net.name()
+            );
+            if let Verdict::Unsafe { trace } = &re.verdict {
+                assert!(trace.validates(&net), "{}: swept trace bogus", net.name());
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@
 use std::time::{Duration, Instant};
 
 use cbq_ckt::Network;
+use cbq_core::VarOrder;
 
 use crate::bdd_umc::{BddDirection, BddUmc};
 use crate::bmc::Bmc;
@@ -28,6 +29,7 @@ use crate::circuit_umc::CircuitUmc;
 use crate::forward_umc::ForwardCircuitUmc;
 use crate::induction::KInduction;
 use crate::portfolio::Portfolio;
+use crate::sweep::SweepConfig as StateSweepConfig;
 use crate::verdict::{McRun, Resource, Verdict};
 
 /// Resource limits for one [`Engine::check`] call.
@@ -141,6 +143,10 @@ pub trait Engine {
     fn check(&self, net: &Network, budget: &Budget) -> McRun;
 }
 
+/// A tuning-aware constructor: builds an engine with [`EngineTuning`]
+/// applied (see [`EngineSpec::tune`]).
+pub type TunedBuild = fn(&EngineTuning) -> Box<dyn Engine>;
+
 /// A registry entry: metadata plus a default-configuration constructor.
 pub struct EngineSpec {
     /// Registry name, accepted by [`by_name`] and `cbq check --engine`.
@@ -150,10 +156,15 @@ pub struct EngineSpec {
     /// Whether the engine settles every property given enough budget
     /// (BMC, for one, can only refute).
     pub complete: bool,
-    /// Whether reported counterexamples are guaranteed minimal-depth.
+    /// Whether reported counterexamples are guaranteed minimal-cex.
     pub minimal_cex: bool,
     /// Builds the engine in its default configuration.
     pub build: fn() -> Box<dyn Engine>,
+    /// Builds the engine with [`EngineTuning`] applied, for engines that
+    /// honour it (`None` for engines with no quantifier or sweep to
+    /// tune). Keeping the hook on the spec means the registry is the
+    /// single source of which engines are tunable.
+    pub tune: Option<TunedBuild>,
 }
 
 /// Every registered engine, in presentation order.
@@ -165,6 +176,14 @@ pub fn registry() -> &'static [EngineSpec] {
             complete: true,
             minimal_cex: true,
             build: || Box::new(CircuitUmc::default()),
+            tune: Some(|tuning| {
+                let mut engine = CircuitUmc::default();
+                engine.sweep = tuning.sweep_of(engine.sweep);
+                if let Some(order) = tuning.quant_order {
+                    engine.quant.order = order;
+                }
+                Box::new(engine)
+            }),
         },
         EngineSpec {
             name: "forward",
@@ -172,6 +191,14 @@ pub fn registry() -> &'static [EngineSpec] {
             complete: true,
             minimal_cex: true,
             build: || Box::new(ForwardCircuitUmc::default()),
+            tune: Some(|tuning| {
+                let mut engine = ForwardCircuitUmc::default();
+                engine.sweep = tuning.sweep_of(engine.sweep);
+                if let Some(order) = tuning.quant_order {
+                    engine.quant.order = order;
+                }
+                Box::new(engine)
+            }),
         },
         EngineSpec {
             name: "bdd",
@@ -179,6 +206,7 @@ pub fn registry() -> &'static [EngineSpec] {
             complete: true,
             minimal_cex: true,
             build: || Box::new(BddUmc::default()),
+            tune: None,
         },
         EngineSpec {
             name: "bdd-forward",
@@ -191,6 +219,7 @@ pub fn registry() -> &'static [EngineSpec] {
                     ..BddUmc::default()
                 })
             },
+            tune: None,
         },
         EngineSpec {
             name: "bmc",
@@ -198,6 +227,7 @@ pub fn registry() -> &'static [EngineSpec] {
             complete: false,
             minimal_cex: true,
             build: || Box::new(Bmc::default()),
+            tune: None,
         },
         EngineSpec {
             name: "kind",
@@ -205,6 +235,7 @@ pub fn registry() -> &'static [EngineSpec] {
             complete: true,
             minimal_cex: true,
             build: || Box::new(KInduction::default()),
+            tune: None,
         },
         EngineSpec {
             name: "portfolio",
@@ -212,6 +243,7 @@ pub fn registry() -> &'static [EngineSpec] {
             complete: true,
             minimal_cex: true,
             build: || Box::new(Portfolio::standard()),
+            tune: None,
         },
     ];
     REGISTRY
@@ -223,6 +255,54 @@ pub fn by_name(name: &str) -> Option<Box<dyn Engine>> {
         .iter()
         .find(|spec| spec.name == name)
         .map(|spec| (spec.build)())
+}
+
+/// CLI-facing knobs layered over a registry default build
+/// (`cbq check --sweep ... --quant-order ...`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineTuning {
+    /// Force state-set sweeping on (with the default
+    /// [`StateSweepConfig`]) or off; `None` keeps the engine default.
+    pub sweep: Option<bool>,
+    /// Quantification variable-scheduling policy; `None` keeps the
+    /// engine default.
+    pub quant_order: Option<VarOrder>,
+}
+
+impl EngineTuning {
+    /// Whether this tuning changes nothing.
+    pub fn is_default(&self) -> bool {
+        *self == EngineTuning::default()
+    }
+
+    /// Applies the sweep override to an engine's default sweep setting.
+    fn sweep_of(&self, default: Option<StateSweepConfig>) -> Option<StateSweepConfig> {
+        match self.sweep {
+            None => default,
+            Some(false) => None,
+            Some(true) => Some(StateSweepConfig::default()),
+        }
+    }
+}
+
+/// Whether the engine registered under `name` honours [`EngineTuning`]
+/// (the circuit-based traversals do; BDD/BMC/induction have no
+/// quantifier or sweep to tune). Driven by [`EngineSpec::tune`].
+pub fn supports_tuning(name: &str) -> bool {
+    registry()
+        .iter()
+        .any(|spec| spec.name == name && spec.tune.is_some())
+}
+
+/// Builds the engine registered under `name` with `tuning` applied via
+/// its [`EngineSpec::tune`] hook. Engines without a hook are built in
+/// their default configuration.
+pub fn by_name_tuned(name: &str, tuning: &EngineTuning) -> Option<Box<dyn Engine>> {
+    let spec = registry().iter().find(|spec| spec.name == name)?;
+    Some(match spec.tune {
+        Some(tune) => tune(tuning),
+        None => (spec.build)(),
+    })
 }
 
 /// All registered engine names, in presentation order.
@@ -265,6 +345,27 @@ mod tests {
         assert!(run.verdict.is_safe());
         assert_eq!(run.stats.engine, "circuit");
         assert!(run.stats.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn tuned_builds_apply_sweep_and_order() {
+        let tuning = EngineTuning {
+            sweep: Some(false),
+            quant_order: Some(VarOrder::StaticCost),
+        };
+        for name in ["circuit", "forward"] {
+            assert!(supports_tuning(name));
+            let engine = by_name_tuned(name, &tuning).expect("registered");
+            let net = generators::mutex();
+            let run = engine.check(&net, &Budget::unlimited());
+            assert!(run.verdict.is_safe());
+        }
+        // Non-tunable engines still build (tuning is a no-op for them).
+        assert!(!supports_tuning("bmc"));
+        assert!(by_name_tuned("bmc", &tuning).is_some());
+        assert!(by_name_tuned("no-such-engine", &tuning).is_none());
+        assert!(EngineTuning::default().is_default());
+        assert!(!tuning.is_default());
     }
 
     #[test]

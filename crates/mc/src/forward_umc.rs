@@ -8,7 +8,9 @@
 //! quantification machinery far harder than pre-image and demonstrates
 //! that the circuit representation supports both directions; the
 //! residual policy (naive completion or all-solutions enumeration)
-//! matters much more here.
+//! matters much more here, and so does the between-iterations state-set
+//! sweep ([`crate::sweep`]) — image computation churns through far more
+//! temporary nodes per step.
 
 use cbq_aig::{Aig, Lit, Var};
 use cbq_ckt::{Network, Trace};
@@ -19,6 +21,7 @@ use cbq_sat::SatResult;
 use crate::circuit_umc::ResidualPolicy;
 use crate::engine::{Budget, Engine, Meter};
 use crate::ganai::all_solutions_exists;
+use crate::sweep::{StateSetSweeper, SweepConfig as StateSweepConfig, SweepStats};
 use crate::verdict::{McRun, McStats, Verdict};
 
 /// Forward-reachability model checker over AIG state sets.
@@ -28,6 +31,8 @@ pub struct ForwardCircuitUmc {
     pub quant: QuantConfig,
     /// Residual-variable policy (see [`ResidualPolicy`]).
     pub residual: ResidualPolicy,
+    /// Between-iterations state-set sweeping; `None` disables it.
+    pub sweep: Option<StateSweepConfig>,
     /// Iteration bound.
     pub max_iterations: usize,
 }
@@ -37,6 +42,7 @@ impl Default for ForwardCircuitUmc {
         ForwardCircuitUmc {
             quant: QuantConfig::full(),
             residual: ResidualPolicy::Enumerate { max_rounds: 10_000 },
+            sweep: Some(StateSweepConfig::default()),
             max_iterations: 10_000,
         }
     }
@@ -49,12 +55,99 @@ pub struct ForwardCircuitUmcStats {
     pub iterations: usize,
     /// AND-gate count of each frontier (over current-state vars).
     pub frontier_sizes: Vec<usize>,
-    /// Total nodes allocated in the working AIG.
+    /// Peak node count of the working AIG.
     pub peak_nodes: usize,
     /// Input/state variables aborted by partial quantification, total.
     pub quant_aborts: usize,
     /// Cofactors enumerated by the residual policy, total.
     pub ganai_cofactors: usize,
+    /// State-set sweeping counters.
+    pub sweep: SweepStats,
+}
+
+/// The remappable working state of one forward traversal (see the
+/// backward twin in `circuit_umc.rs`).
+struct Traversal {
+    aig: Aig,
+    cnf: AigCnf,
+    pis: Vec<Var>,
+    latches: Vec<Var>,
+    /// Fresh next-state variables `s'`, in latch order.
+    next_vars: Vec<Var>,
+    /// Next-state functions δ, in latch order (trace extraction needs
+    /// them to constrain predecessors).
+    deltas: Vec<Lit>,
+    /// The transition relation `∧ⱼ (s'ⱼ ≡ δⱼ)`.
+    trans: Lit,
+    bad: Lit,
+    reached: Lit,
+    frontier: Lit,
+    frontiers: Vec<Lit>,
+}
+
+impl Traversal {
+    fn new(net: &Network) -> Traversal {
+        let mut aig = net.aig().clone();
+        let next_vars: Vec<Var> = net.latches().iter().map(|_| aig.add_input()).collect();
+        let trans = {
+            let eqs: Vec<Lit> = net
+                .latches()
+                .iter()
+                .zip(&next_vars)
+                .map(|(l, nv)| aig.iff(nv.lit(), l.next))
+                .collect();
+            aig.and_many(&eqs)
+        };
+        let init = net.initial_cube().to_lit(&mut aig);
+        Traversal {
+            aig,
+            cnf: AigCnf::new(),
+            pis: net.primary_inputs().to_vec(),
+            latches: net.latch_vars(),
+            next_vars,
+            deltas: net.latches().iter().map(|l| l.next).collect(),
+            trans,
+            bad: net.bad(),
+            reached: init,
+            frontier: init,
+            frontiers: vec![init],
+        }
+    }
+
+    /// Variables eliminated per image: current latches + primary inputs.
+    fn elim_vars(&self) -> Vec<Var> {
+        let mut elim = self.latches.clone();
+        elim.extend_from_slice(&self.pis);
+        elim
+    }
+
+    /// The renaming `s' → s` applied after quantification.
+    fn rename(&self) -> Vec<(Var, Lit)> {
+        self.next_vars
+            .iter()
+            .zip(&self.latches)
+            .map(|(nv, l)| (*nv, l.lit()))
+            .collect()
+    }
+
+    /// Hands every live literal and input variable to the sweeper.
+    fn sweep(&mut self, sweeper: &mut StateSetSweeper) -> bool {
+        let mut lits: Vec<&mut Lit> = vec![
+            &mut self.trans,
+            &mut self.bad,
+            &mut self.reached,
+            &mut self.frontier,
+        ];
+        lits.extend(self.deltas.iter_mut());
+        lits.extend(self.frontiers.iter_mut());
+        let vars: Vec<&mut Var> = self
+            .pis
+            .iter_mut()
+            .chain(self.latches.iter_mut())
+            .chain(self.next_vars.iter_mut())
+            .collect();
+        sweeper.run_if_due(&mut self.aig, &mut self.cnf, lits, vars)
+    }
 }
 
 /// Bundles the typed stats into the uniform run record.
@@ -82,112 +175,125 @@ impl Engine for ForwardCircuitUmc {
     /// Runs forward reachability on `net` within `budget`.
     fn check(&self, net: &Network, budget: &Budget) -> McRun {
         let meter = Meter::start(budget);
-        let mut aig = net.aig().clone();
-        let mut cnf = AigCnf::new();
         let mut stats = ForwardCircuitUmcStats::default();
-        if let Some(bounded) = meter.exceeded(0, aig.num_nodes(), 0) {
-            stats.peak_nodes = aig.num_nodes();
-            return finish(bounded, stats, 0, &meter);
-        }
-
-        // Fresh next-state variables and the transition relation
-        // T(s, i, s') = ∧ⱼ (s'ⱼ ≡ δⱼ).
-        let next_vars: Vec<Var> = net.latches().iter().map(|_| aig.add_input()).collect();
-        let trans = {
-            let eqs: Vec<Lit> = net
-                .latches()
-                .iter()
-                .zip(&next_vars)
-                .map(|(l, nv)| aig.iff(nv.lit(), l.next))
-                .collect();
-            aig.and_many(&eqs)
-        };
-        // Variables to eliminate per image: current latches + inputs.
-        let mut elim: Vec<Var> = net.latch_vars();
-        elim.extend_from_slice(net.primary_inputs());
-        // Renaming s' → s after quantification.
-        let rename: Vec<(Var, Lit)> = next_vars
-            .iter()
-            .zip(net.latches())
-            .map(|(nv, l)| (*nv, l.var.lit()))
-            .collect();
-
-        let init = net.initial_cube().to_lit(&mut aig);
-        let mut reached = init;
-        let mut frontier = init;
-        let mut frontiers = vec![init];
-        stats.frontier_sizes.push(aig.cone_size(init));
-
-        for iter in 0..=self.max_iterations {
-            if let Some(bounded) = meter.exceeded(iter, aig.num_nodes(), cnf.stats().checks) {
-                stats.peak_nodes = aig.num_nodes();
-                let checks = cnf.stats().checks;
-                return finish(bounded, stats, checks, &meter);
-            }
-            stats.iterations = iter;
-            // Counterexample: a frontier state fires bad under some input.
-            if cnf.solve_under(&aig, &[frontier, net.bad()]) == SatResult::Sat {
-                let trace = self.extract_trace(&mut aig, net, &mut cnf, &frontiers, iter);
-                stats.peak_nodes = aig.num_nodes();
-                let checks = cnf.stats().checks;
-                return finish(Verdict::Unsafe { trace }, stats, checks, &meter);
-            }
-            // Image: ∃s,i. T ∧ frontier, then rename s' → s.
-            let conj = aig.and(trans, frontier);
-            let img_next = self.quantify(&mut aig, conj, &elim, &mut cnf, &mut stats);
-            let img = aig.compose(img_next, &rename);
-            let new = aig.and(img, !reached);
-            if cnf.solve_under(&aig, &[new]) == SatResult::Unsat {
-                stats.peak_nodes = aig.num_nodes();
-                let checks = cnf.stats().checks;
-                return finish(
-                    Verdict::Safe {
-                        iterations: iter + 1,
-                    },
-                    stats,
-                    checks,
-                    &meter,
-                );
-            }
-            frontiers.push(new);
-            stats.frontier_sizes.push(aig.cone_size(new));
-            reached = aig.or(reached, new);
-            frontier = new;
-        }
-        stats.peak_nodes = aig.num_nodes();
-        let checks = cnf.stats().checks;
-        let verdict = Verdict::Unknown {
-            reason: format!("iteration bound {} reached", self.max_iterations),
-        };
-        finish(verdict, stats, checks, &meter)
+        let (verdict, sat_checks) = self.traverse(net, &meter, &mut stats);
+        finish(verdict, stats, sat_checks, &meter)
     }
 }
 
 impl ForwardCircuitUmc {
+    fn traverse(
+        &self,
+        net: &Network,
+        meter: &Meter,
+        stats: &mut ForwardCircuitUmcStats,
+    ) -> (Verdict, u64) {
+        let mut t = Traversal::new(net);
+        let mut sweeper = self.sweep.clone().map(StateSetSweeper::new);
+        stats.peak_nodes = t.aig.num_nodes();
+        let seal = |stats: &mut ForwardCircuitUmcStats,
+                    t: &Traversal,
+                    sweeper: &Option<StateSetSweeper>|
+         -> u64 {
+            stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
+            let retired = sweeper.as_ref().map_or(0, |s| s.stats.retired_sat_checks);
+            if let Some(sw) = sweeper {
+                stats.sweep = sw.stats;
+            }
+            retired + t.cnf.stats().checks
+        };
+        if let Some(bounded) = meter.exceeded(0, t.aig.num_nodes(), 0) {
+            let checks = seal(stats, &t, &sweeper);
+            return (bounded, checks);
+        }
+        stats.frontier_sizes.push(t.aig.cone_size(t.frontier));
+
+        for iter in 0..=self.max_iterations {
+            let retired = sweeper.as_ref().map_or(0, |s| s.stats.retired_sat_checks);
+            let spent = retired + t.cnf.stats().checks;
+            if let Some(bounded) = meter.exceeded(iter, t.aig.num_nodes(), spent) {
+                let checks = seal(stats, &t, &sweeper);
+                return (bounded, checks);
+            }
+            stats.iterations = iter;
+            // Counterexample: a frontier state fires bad under some input.
+            if t.cnf.solve_under(&t.aig, &[t.frontier, t.bad]) == SatResult::Sat {
+                let trace = self.extract_trace(&mut t, iter);
+                let checks = seal(stats, &t, &sweeper);
+                return (Verdict::Unsafe { trace }, checks);
+            }
+            // Image: ∃s,i. T ∧ frontier, then rename s' → s.
+            let conj = t.aig.and(t.trans, t.frontier);
+            let elim = t.elim_vars();
+            let img_next = self.quantify(&mut t, conj, &elim, stats);
+            let rename = t.rename();
+            let img = t.aig.compose(img_next, &rename);
+            let new = t.aig.and(img, !t.reached);
+            if t.cnf.solve_under(&t.aig, &[new]) == SatResult::Unsat {
+                let checks = seal(stats, &t, &sweeper);
+                return (
+                    Verdict::Safe {
+                        iterations: iter + 1,
+                    },
+                    checks,
+                );
+            }
+            t.frontiers.push(new);
+            t.reached = t.aig.or(t.reached, new);
+            t.frontier = new;
+            stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
+            if let Some(sw) = &mut sweeper {
+                t.sweep(sw);
+            }
+            stats.frontier_sizes.push(t.aig.cone_size(t.frontier));
+        }
+        let checks = seal(stats, &t, &sweeper);
+        let verdict = Verdict::Unknown {
+            reason: format!("iteration bound {} reached", self.max_iterations),
+        };
+        (verdict, checks)
+    }
+
     fn quantify(
         &self,
-        aig: &mut Aig,
+        t: &mut Traversal,
         f: Lit,
         vars: &[Var],
-        cnf: &mut AigCnf,
         stats: &mut ForwardCircuitUmcStats,
     ) -> Lit {
-        let q = exists_many(aig, f, vars, cnf, &self.quant);
+        let q = exists_many(&mut t.aig, f, vars, &mut t.cnf, &self.quant);
         if q.remaining.is_empty() {
             return q.lit;
         }
         stats.quant_aborts += q.remaining.len();
         match self.residual {
             ResidualPolicy::Naive => {
-                exists_many(aig, q.lit, &q.remaining, cnf, &QuantConfig::naive()).lit
+                exists_many(
+                    &mut t.aig,
+                    q.lit,
+                    &q.remaining,
+                    &mut t.cnf,
+                    &QuantConfig::naive(),
+                )
+                .lit
             }
             ResidualPolicy::Enumerate { max_rounds } => {
-                match all_solutions_exists(aig, q.lit, &q.remaining, cnf, max_rounds) {
+                match all_solutions_exists(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, max_rounds)
+                {
                     Some((lit, g)) => {
                         stats.ganai_cofactors += g.cofactors;
                         lit
                     }
-                    None => exists_many(aig, q.lit, &q.remaining, cnf, &QuantConfig::naive()).lit,
+                    None => {
+                        exists_many(
+                            &mut t.aig,
+                            q.lit,
+                            &q.remaining,
+                            &mut t.cnf,
+                            &QuantConfig::naive(),
+                        )
+                        .lit
+                    }
                 }
             }
         }
@@ -195,60 +301,47 @@ impl ForwardCircuitUmc {
 
     /// Walks the counterexample backwards through the forward frontiers,
     /// then emits the input sequence in forward order.
-    fn extract_trace(
-        &self,
-        aig: &mut Aig,
-        net: &Network,
-        cnf: &mut AigCnf,
-        frontiers: &[Lit],
-        level: usize,
-    ) -> Trace {
+    fn extract_trace(&self, t: &mut Traversal, level: usize) -> Trace {
         // Concrete final state (in frontier `level`) plus the bad input.
-        let r = cnf.solve_under(aig, &[frontiers[level], net.bad()]);
+        let r = t.cnf.solve_under(&t.aig, &[t.frontiers[level], t.bad]);
         debug_assert_eq!(r, SatResult::Sat);
-        let model = cnf.model_inputs(aig);
-        let mut states_rev = vec![read_state(aig, net, &model)];
-        let mut inputs_rev = vec![read_inputs(aig, net, &model)];
+        let model = t.cnf.model_inputs(&t.aig);
+        let mut states_rev = vec![read_vars(&t.aig, &t.latches, &model)];
+        let mut inputs_rev = vec![read_vars(&t.aig, &t.pis, &model)];
         for l in (0..level).rev() {
             let target = states_rev.last().expect("non-empty").clone();
             // Predecessor: F_l(s) ∧ (δ(s,i) == target).
             let eq = {
-                let eqs: Vec<Lit> = net
-                    .latches()
+                let eqs: Vec<Lit> = t
+                    .deltas
                     .iter()
                     .zip(&target)
-                    .map(|(latch, v)| latch.next.xor_sign(!v))
+                    .map(|(delta, v)| delta.xor_sign(!v))
                     .collect();
-                aig.and_many(&eqs)
+                t.aig.and_many(&eqs)
             };
-            let r = cnf.solve_under(aig, &[frontiers[l], eq]);
+            let r = t.cnf.solve_under(&t.aig, &[t.frontiers[l], eq]);
             debug_assert_eq!(r, SatResult::Sat, "predecessor must exist");
-            let model = cnf.model_inputs(aig);
-            states_rev.push(read_state(aig, net, &model));
-            inputs_rev.push(read_inputs(aig, net, &model));
+            let model = t.cnf.model_inputs(&t.aig);
+            states_rev.push(read_vars(&t.aig, &t.latches, &model));
+            inputs_rev.push(read_vars(&t.aig, &t.pis, &model));
         }
         inputs_rev.reverse();
         Trace::new(inputs_rev)
     }
 }
 
-fn read_state(aig: &Aig, net: &Network, model: &[bool]) -> Vec<bool> {
-    net.latches()
-        .iter()
-        .map(|l| model[aig.input_index(l.var).expect("latch input")])
-        .collect()
-}
-
-fn read_inputs(aig: &Aig, net: &Network, model: &[bool]) -> Vec<bool> {
-    net.primary_inputs()
-        .iter()
-        .map(|v| model[aig.input_index(*v).expect("PI input")])
+/// Reads the model values of a list of input variables, in order.
+fn read_vars(aig: &Aig, vars: &[Var], model: &[bool]) -> Vec<bool> {
+    vars.iter()
+        .map(|v| model[aig.input_index(*v).expect("sequential var is an input")])
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testsupport::{check_safe, check_unsafe};
     use cbq_ckt::generators;
 
     #[test]
@@ -260,8 +353,7 @@ mod tests {
             generators::mutex(),
             generators::lfsr(5, &[0, 2]),
         ] {
-            let run = ForwardCircuitUmc::default().check(&net, &Budget::unlimited());
-            assert!(run.verdict.is_safe(), "{}: got {}", net.name(), run.verdict);
+            check_safe(&ForwardCircuitUmc::default(), &net);
         }
     }
 
@@ -273,14 +365,7 @@ mod tests {
             (generators::shift_ones(4), 4),
             (generators::counter_bug(4, 5), 5),
         ] {
-            let run = ForwardCircuitUmc::default().check(&net, &Budget::unlimited());
-            match &run.verdict {
-                Verdict::Unsafe { trace } => {
-                    assert!(trace.validates(&net), "{}: bogus trace", net.name());
-                    assert_eq!(trace.len(), depth + 1, "{}: non-minimal", net.name());
-                }
-                other => panic!("{}: expected unsafe, got {other}", net.name()),
-            }
+            check_unsafe(&ForwardCircuitUmc::default(), &net, Some(depth));
         }
     }
 
@@ -304,5 +389,34 @@ mod tests {
         };
         let run = engine.check(&generators::token_ring(4), &Budget::unlimited());
         assert!(run.verdict.is_safe());
+    }
+
+    #[test]
+    fn eager_sweeping_agrees_forward() {
+        for net in [generators::token_ring(4), generators::shift_ones(4)] {
+            let plain = ForwardCircuitUmc {
+                sweep: None,
+                ..ForwardCircuitUmc::default()
+            };
+            let eager = ForwardCircuitUmc {
+                sweep: Some(StateSweepConfig::eager()),
+                ..ForwardCircuitUmc::default()
+            };
+            let rp = plain.check(&net, &Budget::unlimited());
+            let re = eager.check(&net, &Budget::unlimited());
+            // Concrete cex inputs may differ; classification and minimal
+            // depth must not.
+            match (&rp.verdict, &re.verdict) {
+                (Verdict::Unsafe { trace: a }, Verdict::Unsafe { trace: b }) => {
+                    assert_eq!(a.len(), b.len(), "{}: cex depth changed", net.name());
+                }
+                (a, b) => assert_eq!(a, b, "{}: sweep changed verdict", net.name()),
+            }
+            let de = re.detail::<ForwardCircuitUmcStats>().expect("stats");
+            assert!(de.sweep.runs > 0, "{}: eager sweep never ran", net.name());
+            if let Verdict::Unsafe { trace } = &re.verdict {
+                assert!(trace.validates(&net), "{}: swept trace bogus", net.name());
+            }
+        }
     }
 }

@@ -33,6 +33,12 @@
 //! [`McRun`] holds a common [`McStats`] record with the engine-specific
 //! counters downcastable via [`McRun::detail`].
 //!
+//! Between iterations the circuit-based traversals run the [`sweep`]
+//! subsystem — SAT-sweeping (fraiging) plus garbage collection of the
+//! frontier/reached cones — so state-set representations shrink instead
+//! of growing monotonically; `--sweep`/`--quant-order` style tuning is
+//! exposed through [`EngineTuning`] / [`by_name_tuned`].
+//!
 //! Engines are also constructible by name through the registry —
 //! [`by_name`] / [`registry`] — which is how the CLI, benches, and
 //! cross-engine tests dispatch. [`Portfolio`] composes registered
@@ -69,16 +75,22 @@ mod engine;
 mod forward_umc;
 mod induction;
 mod portfolio;
+#[cfg(test)]
+mod testsupport;
 mod verdict;
 
 pub mod explicit;
 pub mod ganai;
 pub mod preimage;
+pub mod sweep;
 
 pub use crate::bdd_umc::{BddDirection, BddUmc, BddUmcStats};
 pub use crate::bmc::{Bmc, BmcStats};
 pub use crate::circuit_umc::{CircuitUmc, CircuitUmcStats, ResidualPolicy};
-pub use crate::engine::{by_name, engine_names, registry, Budget, Engine, EngineSpec, Meter};
+pub use crate::engine::{
+    by_name, by_name_tuned, engine_names, registry, supports_tuning, Budget, Engine, EngineSpec,
+    EngineTuning, Meter,
+};
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
 pub use crate::induction::{KInduction, KInductionStats};
 pub use crate::portfolio::{Portfolio, PortfolioStats};

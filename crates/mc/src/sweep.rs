@@ -1,0 +1,330 @@
+//! SAT-sweeping state-set compaction between reachability iterations.
+//!
+//! The paper keeps individual quantification results small through its
+//! merge and optimisation phases, but a *traversal* accumulates state: the
+//! reached set is a growing disjunction of frontiers, the working manager
+//! keeps every dead cofactor ever built, and redundancy **across**
+//! iterations (a frontier re-deriving logic an earlier frontier already
+//! contains) is invisible to the per-quantification passes. This module
+//! closes that gap with a fraig-then-collect pipeline run between
+//! backward (or forward) iterations:
+//!
+//! 1. **Simulation-guided candidate classes** — [`cbq_aig::sim::BitSim`]
+//!    signatures group the live cones into equivalence candidates;
+//! 2. **Assumption-based SAT confirmation** — candidates are proven or
+//!    refuted on the shared clause database ([`cbq_cnf::AigCnf`]), with
+//!    counterexamples refining the classes (both via [`cbq_cec::sweep`]);
+//! 3. **Node merging with structural rehash** — proven merges are applied
+//!    and the cones rebuilt over the strashed manager;
+//! 4. **Garbage collection** — the manager is rebuilt around the live
+//!    roots ([`cbq_aig::Aig::compact`]), actually reclaiming the nodes
+//!    that `peak_nodes` used to count forever.
+//!
+//! Because collection produces a *fresh* manager, every literal and input
+//! variable an engine holds must be remapped; [`StateSetSweeper::run`]
+//! takes them by mutable reference and rewrites them in place. The SAT
+//! bridge is re-created as well (its node↔variable map is tied to the old
+//! manager); the checks spent on retired bridges are accumulated in
+//! [`SweepStats::retired_sat_checks`] so engine totals stay monotone.
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_cec::{sweep as fraig, SweepConfig as FraigConfig};
+use cbq_cnf::AigCnf;
+
+/// Configuration of the between-iterations state-set sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The fraiging tiers (simulation words, BDD sweep, SAT budget).
+    pub fraig: FraigConfig,
+    /// Trigger a sweep once the manager grows past
+    /// `growth_factor ×` its size after the previous sweep.
+    pub growth_factor: f64,
+    /// Never trigger below this many manager nodes (sweeping a tiny
+    /// graph costs more than it reclaims).
+    pub min_nodes: usize,
+    /// Garbage-collect the manager after merging (rebuilds a fresh AIG
+    /// holding only live cones and resets the SAT bridge).
+    pub gc: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            fraig: FraigConfig {
+                // Confirmation checks should never dominate an iteration:
+                // an undecided candidate pair is simply left unmerged.
+                sat_budget: Some(20_000),
+                ..FraigConfig::default()
+            },
+            growth_factor: 1.5,
+            min_nodes: 256,
+            gc: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A configuration that sweeps at *every* opportunity — used by the
+    /// compaction experiments and tests; too eager for production runs.
+    pub fn eager() -> SweepConfig {
+        SweepConfig {
+            growth_factor: 1.0,
+            min_nodes: 0,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// Per-run counters of a [`StateSetSweeper`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Sweeps executed.
+    pub runs: usize,
+    /// Equivalences proven and merged (BDD + SAT tiers), total.
+    pub merged: usize,
+    /// Manager nodes before each sweep, summed.
+    pub nodes_before: usize,
+    /// Manager nodes after each sweep, summed.
+    pub nodes_after: usize,
+    /// Live AND gates (union cone of all roots) before each sweep, summed.
+    pub live_before: usize,
+    /// Live AND gates after each sweep, summed.
+    pub live_after: usize,
+    /// SAT checks spent on clause databases retired by garbage
+    /// collection (add the live bridge's count for an engine total).
+    pub retired_sat_checks: u64,
+    /// SAT bridges re-created by garbage collection.
+    pub cnf_resets: usize,
+}
+
+impl SweepStats {
+    /// Manager nodes reclaimed by garbage collection, total.
+    pub fn reclaimed(&self) -> usize {
+        self.nodes_before.saturating_sub(self.nodes_after)
+    }
+}
+
+/// Drives state-set sweeping across the iterations of one traversal.
+///
+/// The engine calls [`StateSetSweeper::run_if_due`] at each iteration
+/// boundary with every literal and input variable it still needs; the
+/// sweeper fires only when the manager has outgrown its watermark.
+///
+/// ```
+/// use cbq_aig::Aig;
+/// use cbq_cnf::AigCnf;
+/// use cbq_mc::sweep::{StateSetSweeper, SweepConfig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input().lit();
+/// let b = aig.add_input().lit();
+/// // Two structurally different builds of a ^ b, plus garbage.
+/// let x1 = aig.xor(a, b);
+/// let or = aig.or(a, b);
+/// let nand = !aig.and(a, b);
+/// let mut x2 = aig.and(or, nand);
+/// let _dead = aig.and(x1, a);
+/// let mut x1 = x1;
+///
+/// let mut cnf = AigCnf::new();
+/// let mut sweeper = StateSetSweeper::new(SweepConfig::eager());
+/// sweeper.run(&mut aig, &mut cnf, vec![&mut x1, &mut x2], vec![]);
+/// assert_eq!(x1, x2); // merged
+/// assert_eq!(aig.num_ands(), 3); // one xor cone, garbage collected
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateSetSweeper {
+    cfg: SweepConfig,
+    /// Manager size right after the previous sweep (or the first `due`
+    /// probe); growth is measured against this.
+    watermark: Option<usize>,
+    /// What happened so far.
+    pub stats: SweepStats,
+}
+
+impl StateSetSweeper {
+    /// Creates a sweeper; nothing happens until the manager crosses the
+    /// growth threshold.
+    pub fn new(cfg: SweepConfig) -> StateSetSweeper {
+        StateSetSweeper {
+            cfg,
+            watermark: None,
+            stats: SweepStats::default(),
+        }
+    }
+
+    /// Whether the manager has outgrown the watermark enough to justify a
+    /// sweep. The first call records the baseline (so with a growth factor
+    /// above 1 it never fires immediately).
+    pub fn due(&mut self, aig: &Aig) -> bool {
+        let nodes = aig.num_nodes();
+        let mark = *self.watermark.get_or_insert(nodes);
+        nodes >= self.cfg.min_nodes && nodes as f64 >= mark as f64 * self.cfg.growth_factor
+    }
+
+    /// Runs the sweep if [`StateSetSweeper::due`]; returns whether it ran.
+    pub fn run_if_due(
+        &mut self,
+        aig: &mut Aig,
+        cnf: &mut AigCnf,
+        lits: Vec<&mut Lit>,
+        vars: Vec<&mut Var>,
+    ) -> bool {
+        if !self.due(aig) {
+            return false;
+        }
+        self.run(aig, cnf, lits, vars);
+        true
+    }
+
+    /// Unconditionally sweeps: fraigs the union cone of `lits`, applies
+    /// the proven merges, and (if configured) garbage-collects the
+    /// manager. All `lits` are rewritten to their post-sweep form and all
+    /// `vars` (which must be primary inputs) to their post-collection
+    /// variables; the SAT bridge is replaced when the manager is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `vars` is not an input of `aig`.
+    pub fn run(
+        &mut self,
+        aig: &mut Aig,
+        cnf: &mut AigCnf,
+        mut lits: Vec<&mut Lit>,
+        mut vars: Vec<&mut Var>,
+    ) {
+        let roots: Vec<Lit> = lits.iter().map(|l| **l).collect();
+        self.stats.runs += 1;
+        self.stats.nodes_before += aig.num_nodes();
+        self.stats.live_before += aig.cone_size_many(&roots);
+
+        let swept = fraig(aig, &roots, cnf, &self.cfg.fraig);
+        self.stats.merged += swept.stats.merged_bdd + swept.stats.merged_sat;
+        let mut new_roots = swept.roots;
+
+        if self.cfg.gc {
+            // Input *ordinals* survive compaction; variable indices do not.
+            let ordinals: Vec<usize> = vars
+                .iter()
+                .map(|v| aig.input_index(**v).expect("sweep var must be an input"))
+                .collect();
+            let (packed, packed_roots) = aig.compact(&new_roots);
+            self.stats.retired_sat_checks += cnf.stats().checks;
+            self.stats.cnf_resets += 1;
+            *cnf = AigCnf::new();
+            *aig = packed;
+            new_roots = packed_roots;
+            for (slot, ord) in vars.iter_mut().zip(ordinals) {
+                **slot = aig.input_var(ord);
+            }
+        }
+        for (slot, lit) in lits.iter_mut().zip(&new_roots) {
+            **slot = *lit;
+        }
+        self.stats.nodes_after += aig.num_nodes();
+        self.stats.live_after += aig.cone_size_many(&new_roots);
+        self.watermark = Some(aig.num_nodes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pair of equivalent-but-structurally-different functions plus
+    /// dead logic, for exercising both the merge and the collection.
+    fn redundant_setup() -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..4).map(|_| aig.add_input().lit()).collect();
+        let f = {
+            let x = aig.xor(ins[0], ins[1]);
+            aig.or(x, ins[2])
+        };
+        let g = {
+            // Mux re-derivation of the same xor: strashing misses it.
+            let or = aig.or(ins[0], ins[1]);
+            let nand = !aig.and(ins[0], ins[1]);
+            let x = aig.and(or, nand);
+            aig.or(x, ins[2])
+        };
+        let _dead = aig.xor(f, ins[3]);
+        (aig, f, g)
+    }
+
+    #[test]
+    fn sweep_merges_and_collects() {
+        let (mut aig, mut f, mut g) = redundant_setup();
+        let nodes_before = aig.num_nodes();
+        let mut cnf = AigCnf::new();
+        let mut sweeper = StateSetSweeper::new(SweepConfig::eager());
+        sweeper.run(&mut aig, &mut cnf, vec![&mut f, &mut g], vec![]);
+        assert_eq!(f, g, "equivalent roots must merge");
+        assert!(aig.num_nodes() < nodes_before, "gc must reclaim nodes");
+        assert_eq!(sweeper.stats.runs, 1);
+        assert!(sweeper.stats.merged >= 1);
+        assert!(sweeper.stats.reclaimed() > 0);
+        assert_eq!(sweeper.stats.cnf_resets, 1);
+    }
+
+    #[test]
+    fn sweep_preserves_semantics_and_remaps_vars() {
+        let (mut aig, mut f, mut g) = redundant_setup();
+        let reference = aig.clone();
+        let (rf, rg) = (f, g);
+        let mut v2 = aig.input_var(2);
+        let mut cnf = AigCnf::new();
+        let mut sweeper = StateSetSweeper::new(SweepConfig::eager());
+        sweeper.run(&mut aig, &mut cnf, vec![&mut f, &mut g], vec![&mut v2]);
+        assert_eq!(aig.input_index(v2), Some(2), "ordinal must survive");
+        for mask in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| (mask >> i) & 1 != 0).collect();
+            assert_eq!(reference.eval(rf, &asg), aig.eval(f, &asg));
+            assert_eq!(reference.eval(rg, &asg), aig.eval(g, &asg));
+        }
+    }
+
+    #[test]
+    fn gc_disabled_keeps_manager_and_bridge() {
+        let (mut aig, mut f, mut g) = redundant_setup();
+        let mut cnf = AigCnf::new();
+        let cfg = SweepConfig {
+            gc: false,
+            ..SweepConfig::eager()
+        };
+        let mut sweeper = StateSetSweeper::new(cfg);
+        sweeper.run(&mut aig, &mut cnf, vec![&mut f, &mut g], vec![]);
+        assert_eq!(f, g);
+        assert_eq!(sweeper.stats.cnf_resets, 0);
+        // Live size still shrinks even though the manager is kept.
+        assert!(sweeper.stats.live_after <= sweeper.stats.live_before);
+    }
+
+    #[test]
+    fn due_respects_watermark_and_floor() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let _f = aig.and(a, b);
+        let mut sweeper = StateSetSweeper::new(SweepConfig {
+            growth_factor: 2.0,
+            min_nodes: 0,
+            ..SweepConfig::default()
+        });
+        assert!(!sweeper.due(&aig), "first probe only sets the baseline");
+        assert!(!sweeper.due(&aig), "no growth yet");
+        let mut last = aig.and(a, b);
+        for _ in 0..8 {
+            let x = aig.add_input().lit();
+            last = aig.xor(last, x);
+        }
+        assert!(sweeper.due(&aig), "manager more than doubled");
+        let floor = StateSetSweeper::new(SweepConfig {
+            growth_factor: 1.0,
+            min_nodes: 1_000_000,
+            ..SweepConfig::default()
+        });
+        let mut floor = floor;
+        assert!(!floor.due(&aig));
+        assert!(!floor.due(&aig), "below the node floor");
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared assertions for the engine test modules: run an engine on a
+//! network and check the verdict (and, for counterexamples, that the
+//! trace replays and has the expected minimal depth).
+
+use cbq_ckt::Network;
+
+use crate::engine::{Budget, Engine};
+use crate::verdict::Verdict;
+
+/// Asserts that `engine` proves `net` safe.
+pub(crate) fn check_safe(engine: &dyn Engine, net: &Network) {
+    let run = engine.check(net, &Budget::unlimited());
+    assert!(
+        run.verdict.is_safe(),
+        "{} on {}: should be safe, got {}",
+        engine.name(),
+        net.name(),
+        run.verdict
+    );
+}
+
+/// Asserts that `engine` refutes `net` with a replayable trace of the
+/// given depth (when `expected_depth` is set).
+pub(crate) fn check_unsafe(engine: &dyn Engine, net: &Network, expected_depth: Option<usize>) {
+    let run = engine.check(net, &Budget::unlimited());
+    match &run.verdict {
+        Verdict::Unsafe { trace } => {
+            assert!(
+                trace.validates(net),
+                "{} on {}: trace does not replay",
+                engine.name(),
+                net.name()
+            );
+            if let Some(d) = expected_depth {
+                assert_eq!(
+                    trace.len(),
+                    d + 1,
+                    "{} on {}: unexpected cex length",
+                    engine.name(),
+                    net.name()
+                );
+            }
+        }
+        other => panic!(
+            "{} on {}: should be unsafe, got {other}",
+            engine.name(),
+            net.name()
+        ),
+    }
+}

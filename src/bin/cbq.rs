@@ -19,9 +19,9 @@ use std::time::Duration;
 
 use cbq::ckt::io::{read_network, write_network};
 use cbq::ckt::{generators, Network};
-use cbq::mc::{engine_names, registry, Engine};
+use cbq::mc::{by_name_tuned, engine_names, registry, supports_tuning, EngineTuning};
 use cbq::prelude::*;
-use cbq::quant::{exists_bdd, exists_many};
+use cbq::quant::{exists_bdd, exists_many, VarOrder};
 
 const USAGE: &str = "cbq — circuit-based quantification (DATE 2005 reproduction)
 
@@ -222,12 +222,17 @@ fn cmd_engines(args: &[String]) -> ExitCode {
 
 fn check_help() -> String {
     format!(
-        "usage: cbq check <file.aag> [--engine E] [--steps N] [--nodes N]
+        "usage: cbq check <file.aag> [--engine E] [--sweep on|off]
+                 [--quant-order O] [--steps N] [--nodes N]
                  [--sat-checks N] [--timeout-ms N]
 
 Model-checks the circuit's bad-state property.
 
   --engine E       engine to run (default: circuit); one of: {}
+  --sweep on|off   state-set sweeping between iterations
+                   (circuit/forward engines; default: on)
+  --quant-order O  quantification variable order: cheapest | static | given
+                   (circuit/forward engines; default: cheapest)
   --steps N        budget: at most N engine iterations / depth frames
   --nodes N        budget: at most N representation nodes
   --sat-checks N   budget: at most N SAT checks
@@ -248,6 +253,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
         args,
         &[
             "engine",
+            "sweep",
+            "quant-order",
             "steps",
             "nodes",
             "sat-checks",
@@ -272,9 +279,27 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let (path, flags) = flags;
     let mut engine_name = "circuit";
     let mut budget = Budget::unlimited();
+    let mut tuning = EngineTuning::default();
     for (flag, value) in flags {
         match flag {
             "engine" => engine_name = value,
+            "sweep" => match value {
+                "on" => tuning.sweep = Some(true),
+                "off" => tuning.sweep = Some(false),
+                other => {
+                    eprintln!("flag `--sweep` expects `on` or `off`, got `{other}`");
+                    return ExitCode::from(2);
+                }
+            },
+            "quant-order" => match VarOrder::from_name(value) {
+                Some(order) => tuning.quant_order = Some(order),
+                None => {
+                    eprintln!(
+                        "flag `--quant-order` expects cheapest, static, or given, got `{value}`"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 let n = match parse_count(other, value) {
                     Ok(n) => n,
@@ -294,7 +319,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(engine) = <dyn Engine>::by_name(engine_name) else {
+    if !tuning.is_default() && !supports_tuning(engine_name) {
+        eprintln!(
+            "note: engine `{engine_name}` ignores --sweep/--quant-order \
+             (only circuit and forward honour them)"
+        );
+    }
+    let Some(engine) = by_name_tuned(engine_name, &tuning) else {
         eprintln!(
             "unknown engine `{engine_name}` (expected one of: {})",
             engine_names().join(", ")
@@ -338,25 +369,34 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
-const QUANTIFY_HELP: &str = "usage: cbq quantify <file.aag> [--mode M]
+const QUANTIFY_HELP: &str = "usage: cbq quantify <file.aag> [--mode M] [--order O]
 
 Eliminates all inputs of output 0 (combinational file) or the primary
 inputs of the bad-state cone (sequential file).
 
-  --mode M   naive | merge | full | bdd   (default: full)";
+  --mode M    naive | merge | full | bdd      (default: full)
+  --order O   cheapest | static | given       (default: cheapest)";
 
 fn cmd_quantify(args: &[String]) -> ExitCode {
     if wants_help(args) {
         println!("{QUANTIFY_HELP}");
         return ExitCode::SUCCESS;
     }
-    let (path, mode) = match parse_flags(args, &["mode"]) {
+    let (path, mode, order_name) = match parse_flags(args, &["mode", "order"]) {
         Ok((positional, flags)) if positional.len() == 1 => {
             let mode = flags
                 .iter()
                 .find(|(f, _)| *f == "mode")
                 .map_or("full", |(_, v)| *v);
-            (positional[0].to_string(), mode.to_string())
+            let order = flags
+                .iter()
+                .find(|(f, _)| *f == "order")
+                .map_or("cheapest", |(_, v)| *v);
+            (
+                positional[0].to_string(),
+                mode.to_string(),
+                order.to_string(),
+            )
         }
         Ok((positional, _)) => {
             eprintln!(
@@ -370,6 +410,15 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Validate --order up front, whatever the mode; the BDD baseline has
+    // no variable schedule, so there the flag is noted and ignored.
+    let Some(order) = VarOrder::from_name(&order_name) else {
+        eprintln!("unknown order `{order_name}` (expected cheapest, static, or given)");
+        return ExitCode::from(2);
+    };
+    if mode == "bdd" && order != VarOrder::CheapestFirst {
+        eprintln!("note: mode `bdd` quantifies inside the decision diagram and ignores --order");
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -420,7 +469,7 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
             }
         },
         m => {
-            let cfg = match m {
+            let mut cfg = match m {
                 "naive" => QuantConfig::naive(),
                 "merge" => QuantConfig::merge_only(),
                 "full" => QuantConfig::full(),
@@ -429,6 +478,7 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            cfg.order = order;
             let mut cnf = AigCnf::new();
             let res = exists_many(&mut aig, f, &in_vars, &mut cnf, &cfg);
             (m.to_string(), res.lit)

@@ -1,7 +1,11 @@
 //! Cross-engine integration tests: every engine in the registry must
 //! agree with the explicit-state oracle — verdict *and* minimal
-//! counterexample depth — on the whole benchmark suite.
+//! counterexample depth — on the whole benchmark suite. Counterexample
+//! traces are additionally replayed on the bit-parallel simulator
+//! ([`cbq::aig::sim::BitSim`]), an independent evaluation path from
+//! [`Trace::validates`]'s `Network::step`.
 
+use cbq::aig::sim::BitSim;
 use cbq::ckt::generators;
 use cbq::ckt::Network;
 use cbq::mc::explicit;
@@ -42,6 +46,31 @@ fn suite_with_oracle() -> Vec<(Network, Option<usize>)> {
         .collect()
 }
 
+/// Replays `trace` on the bit-parallel simulator: drive each step's full
+/// input assignment through one [`BitSim`] pattern, read the next state
+/// off the latch `next` literals, and report whether `bad` ever fired
+/// (checking the final state under all-zero inputs, mirroring
+/// [`Trace::replay`]).
+fn replays_on_sim(net: &Network, trace: &Trace) -> bool {
+    let aig = net.aig();
+    let mut sim = BitSim::new(aig, 1);
+    let bit = |sim: &BitSim, l: Lit| sim.lit_word(l, 0) & 1 != 0;
+    let mut state = net.initial_state();
+    let mut fired = false;
+    for step_inputs in trace.inputs() {
+        let asg = net.assignment(&state, step_inputs);
+        sim.set_pattern(aig, 0, &asg);
+        sim.run(aig);
+        fired |= bit(&sim, net.bad());
+        state = net.latches().iter().map(|l| bit(&sim, l.next)).collect();
+    }
+    let zeros = vec![false; net.num_inputs()];
+    let asg = net.assignment(&state, &zeros);
+    sim.set_pattern(aig, 0, &asg);
+    sim.run(aig);
+    fired || bit(&sim, net.bad())
+}
+
 fn assert_agrees(
     net: &Network,
     expected: Option<usize>,
@@ -65,6 +94,11 @@ fn assert_agrees(
             assert!(
                 trace.validates(net),
                 "{engine} on {}: trace does not replay",
+                net.name()
+            );
+            assert!(
+                replays_on_sim(net, trace),
+                "{engine} on {}: trace does not violate the property on the simulator",
                 net.name()
             );
             if exact_depth {
@@ -103,6 +137,19 @@ fn every_registered_engine_matches_oracle() {
             );
         }
     }
+}
+
+/// The simulator replay is not vacuous: it rejects a trace that never
+/// drives the circuit into a bad state, and accepts a genuine one.
+#[test]
+fn sim_replay_distinguishes_real_from_bogus_traces() {
+    let net = generators::counter_bug(4, 6);
+    // Never asserting the enable keeps the counter at zero: no violation.
+    let bogus = Trace::new(vec![vec![false]; 3]);
+    assert!(!replays_on_sim(&net, &bogus));
+    let run = CircuitUmc::default().check(&net, &Budget::unlimited());
+    let trace = run.verdict.trace().expect("counter_bug is unsafe");
+    assert!(replays_on_sim(&net, trace));
 }
 
 /// Engines constructed by name must be the engines the registry lists.

@@ -1,0 +1,109 @@
+//! The acceptance criterion of the state-set sweeping subsystem: with
+//! sweeping enabled, the circuit engine's `reached_size` and median
+//! `frontier_sizes` strictly decrease versus `--sweep off` on several E6
+//! bench models, while the verdict (classification and minimal
+//! counterexample depth) is preserved everywhere.
+
+use cbq::ckt::generators;
+use cbq::ckt::Network;
+use cbq::mc::sweep::SweepConfig;
+use cbq::mc::CircuitUmcStats;
+use cbq::prelude::*;
+use cbq_bench::{median, verdict_cell};
+
+/// E6 suite members with multi-step traversals or redundancy-heavy
+/// frontiers — the workloads sweeping exists for. (The one-iteration
+/// safe models converge before any cross-iteration redundancy builds
+/// up; they are covered by the no-regression sweep below.)
+fn compaction_models() -> Vec<Network> {
+    vec![
+        generators::bounded_counter_gap(6, 20, 50),
+        generators::gray_counter(10),
+        generators::token_ring_bug(8),
+        generators::shift_ones(8),
+    ]
+}
+
+fn run(net: &Network, sweep: Option<SweepConfig>) -> (Verdict, CircuitUmcStats) {
+    let engine = CircuitUmc {
+        sweep,
+        ..CircuitUmc::default()
+    };
+    let run = engine.check(net, &Budget::unlimited());
+    let detail = run
+        .detail::<CircuitUmcStats>()
+        .expect("circuit stats")
+        .clone();
+    (run.verdict, detail)
+}
+
+#[test]
+fn sweeping_strictly_shrinks_state_sets_on_e6_models() {
+    let mut strict_wins = 0;
+    for net in compaction_models() {
+        let (v_off, d_off) = run(&net, None);
+        let (v_on, d_on) = run(&net, Some(SweepConfig::eager()));
+        assert_eq!(
+            verdict_cell(&v_off),
+            verdict_cell(&v_on),
+            "{}: sweeping changed the verdict",
+            net.name()
+        );
+        if let Verdict::Unsafe { trace } = &v_on {
+            assert!(trace.validates(&net), "{}: swept trace bogus", net.name());
+        }
+        assert_eq!(
+            d_off.frontier_sizes.len(),
+            d_on.frontier_sizes.len(),
+            "{}: sweeping changed the iteration structure",
+            net.name()
+        );
+        assert!(d_on.sweep.runs > 0, "{}: eager sweep never ran", net.name());
+        let (m_off, m_on) = (median(&d_off.frontier_sizes), median(&d_on.frontier_sizes));
+        assert!(
+            d_on.reached_size <= d_off.reached_size && m_on <= m_off,
+            "{}: sweeping grew a state set (reached {} -> {}, median frontier {} -> {})",
+            net.name(),
+            d_off.reached_size,
+            d_on.reached_size,
+            m_off,
+            m_on
+        );
+        if d_on.reached_size < d_off.reached_size && m_on < m_off {
+            strict_wins += 1;
+        }
+    }
+    assert!(
+        strict_wins >= 3,
+        "sweeping strictly shrank both metrics on only {strict_wins} models (need 3)"
+    );
+}
+
+#[test]
+fn sweeping_never_regresses_one_iteration_models() {
+    // The fast-converging safe members of the E6 suite: sweeping must
+    // keep their verdicts and never grow their state sets.
+    for net in [
+        generators::token_ring(10),
+        generators::arbiter(7),
+        generators::mutex(),
+        generators::lfsr(10, &[0, 2, 3, 5]),
+        generators::fifo_ctrl(4),
+    ] {
+        let (v_off, d_off) = run(&net, None);
+        let (v_on, d_on) = run(&net, Some(SweepConfig::eager()));
+        assert_eq!(verdict_cell(&v_off), verdict_cell(&v_on), "{}", net.name());
+        assert!(
+            d_on.reached_size <= d_off.reached_size,
+            "{}: reached grew {} -> {}",
+            net.name(),
+            d_off.reached_size,
+            d_on.reached_size
+        );
+        assert!(
+            median(&d_on.frontier_sizes) <= median(&d_off.frontier_sizes),
+            "{}: median frontier grew",
+            net.name()
+        );
+    }
+}

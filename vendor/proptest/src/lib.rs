@@ -1,0 +1,586 @@
+//! A minimal, dependency-free drop-in for the subset of the `proptest`
+//! crate API this workspace uses: the [`proptest!`] macro (with
+//! `#![proptest_config(...)]`, `pat in strategy` and `ident: type`
+//! arguments), [`prop_oneof!`], [`prop_assert!`]/[`prop_assert_eq!`],
+//! `any::<T>()`, integer-range strategies, tuple strategies,
+//! `prop::collection::vec`, and `.prop_map`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `proptest` cannot be fetched; this shim keeps the property suites
+//! source-compatible and runnable offline. Differences from the real
+//! crate, by design:
+//!
+//! * **Fixed seeds.** Every test's pattern stream is seeded from a hash
+//!   of its module path and name — runs are fully reproducible, there is
+//!   no persistence file, and a failure always reproduces by re-running
+//!   the test.
+//! * **No shrinking.** A failing case reports the exact generated input
+//!   (all values are `Debug`) instead of a minimised one.
+//! * **Uniform generation.** `any::<T>()` draws uniformly; there is no
+//!   bias toward edge cases, so suites should (and do) also keep a few
+//!   deterministic unit tests for boundary values.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategies: how values are generated.
+pub mod strategy {
+    use super::*;
+
+    /// A value generator. The real crate's `Strategy` builds shrinkable
+    /// value trees; this shim generates plain values.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: fmt::Debug + Clone;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug + Clone,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe generation, for [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut SmallRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut SmallRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug + Clone> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug + Clone,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: fmt::Debug + Clone> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let arm = rng.gen_range(0..self.arms.len());
+            self.arms[arm].generate(rng)
+        }
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut SmallRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample an empty range");
+            let span = (hi - lo) as u64 + 1;
+            lo + (rng.next_u64() % span) as usize
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S0 / 0);
+    tuple_strategy!(S0 / 0, S1 / 1);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+    tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+    tuple_strategy!(
+        S0 / 0,
+        S1 / 1,
+        S2 / 2,
+        S3 / 3,
+        S4 / 4,
+        S5 / 5,
+        S6 / 6,
+        S7 / 7
+    );
+}
+
+/// `any::<T>()` and the types it supports.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Types with a canonical uniform strategy.
+    pub trait Arbitrary: fmt::Debug + Clone {
+        /// Draws one uniform value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! uint_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    uint_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical uniform strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// An inclusive size band for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `size.into()` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The runner, its configuration, and test-case errors.
+pub mod test_runner {
+    use super::*;
+
+    /// Runner configuration (only `cases` is honoured by the shim).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a test case failed.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with the given reason.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            }
+        }
+    }
+
+    /// The result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic seed from the test's full name (FNV-1a).
+    fn seed_of(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Drives one property: generates `config.cases` inputs from a
+    /// fixed-seed stream and runs the test closure on each.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: SmallRng,
+        name: String,
+    }
+
+    impl TestRunner {
+        /// A runner whose pattern stream is seeded from `name`.
+        pub fn new(config: ProptestConfig, name: &str) -> TestRunner {
+            TestRunner {
+                config,
+                rng: SmallRng::seed_from_u64(seed_of(name)),
+                name: name.to_string(),
+            }
+        }
+
+        /// Runs the property; panics (like an ordinary failed test) on
+        /// the first failing case, printing the generated input.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: strategy::Strategy,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let shown = value.clone();
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {case} of {name} failed: {e}\ninput: {shown:#?}",
+                        name = self.name
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {case} of {name} panicked\ninput: {shown:#?}",
+                            name = self.name
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]`, any number of `#[test]` functions whose
+/// arguments are `pat in strategy` or `ident: type` (the latter meaning
+/// `any::<type>()`), and bodies that may use `?` / `prop_assert!` /
+/// early `return Err(...)` with [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ($config:expr; ) => {};
+    ($config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(@args ($config), $name, [], $body, $($args)*);
+        }
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_case {
+    // All arguments munched: build the runner over the strategy tuple.
+    (@args ($config:expr), $name:ident, [$(($pat:pat, $strat:expr))+], $body:block, ) => {{
+        let config: $crate::test_runner::ProptestConfig = $config;
+        let mut runner = $crate::test_runner::TestRunner::new(
+            config,
+            concat!(module_path!(), "::", stringify!($name)),
+        );
+        runner.run(&($($strat,)+), |($($pat,)+)| {
+            $body
+            ::core::result::Result::Ok(())
+        });
+    }};
+    // `pat in strategy` argument.
+    (@args ($config:expr), $name:ident, [$($done:tt)*], $body:block,
+        $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(@args ($config), $name,
+            [$($done)* ($pat, $strat)], $body, $($rest)*)
+    };
+    (@args ($config:expr), $name:ident, [$($done:tt)*], $body:block,
+        $pat:pat in $strat:expr) => {
+        $crate::__proptest_case!(@args ($config), $name,
+            [$($done)* ($pat, $strat)], $body, )
+    };
+    // `ident: type` argument, meaning `any::<type>()`.
+    (@args ($config:expr), $name:ident, [$($done:tt)*], $body:block,
+        $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(@args ($config), $name,
+            [$($done)* ($id, $crate::arbitrary::any::<$ty>())], $body, $($rest)*)
+    };
+    (@args ($config:expr), $name:ident, [$($done:tt)*], $body:block,
+        $id:ident : $ty:ty) => {
+        $crate::__proptest_case!(@args ($config), $name,
+            [$($done)* ($id, $crate::arbitrary::any::<$ty>())], $body, )
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a property; failure aborts the case with a
+/// [`test_runner::TestCaseError`] instead of a panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        use crate::strategy::Strategy;
+        let mut r1 = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::SmallRng::seed_from_u64(42);
+        use rand::SeedableRng;
+        let s = crate::collection::vec(0..10usize, 1..=8);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Both argument forms, ranges, tuples, oneof, and vec work.
+        #[test]
+        fn shim_machinery_works(
+            xs in prop::collection::vec((0..5usize, any::<bool>()), 0..=4),
+            n in 1..=3usize,
+            flag: bool,
+        ) {
+            prop_assert!(xs.len() <= 4);
+            prop_assert!((1..=3).contains(&n));
+            let _ = flag;
+            for (v, _) in &xs {
+                prop_assert!(*v < 5, "range strategy out of bounds: {}", v);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_cover_all_arms(ops in prop::collection::vec(
+            prop_oneof![
+                (0..3usize).prop_map(|v| ("a", v)),
+                (3..6usize).prop_map(|v| ("b", v)),
+            ],
+            1..=16,
+        )) {
+            for (tag, v) in &ops {
+                match *tag {
+                    "a" => prop_assert!(*v < 3),
+                    _ => prop_assert!((3..6).contains(v)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "shim::fails");
+        runner.run(&(0..10usize,), |(v,)| {
+            prop_assert!(v > 100, "generated {} which is never above 100", v);
+            Ok(())
+        });
+    }
+}
