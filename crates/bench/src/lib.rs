@@ -22,7 +22,10 @@ use cbq_core::{exists_bdd, exists_many, QuantConfig};
 use cbq_mc::ganai::all_solutions_exists;
 use cbq_mc::preimage::preimage_formula;
 use cbq_mc::sweep::SweepConfig as StateSweepConfig;
-use cbq_mc::{registry, Budget, CircuitUmc, CircuitUmcStats, Engine, Verdict};
+use cbq_mc::{
+    registry, Budget, CircuitUmc, CircuitUmcStats, Engine, PartitionConfig, PartitionCount,
+    PartitionStats, Verdict,
+};
 use cbq_synth::OptConfig;
 
 /// A printable table of experiment results.
@@ -630,6 +633,89 @@ pub fn e6s_table() -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E6p — partitioned vs monolithic state sets (circuit engine)
+// ---------------------------------------------------------------------
+
+/// E6p kernel: one circuit-engine run at the given partition count.
+/// Returns (verdict, reached size, partition stats, ms).
+pub fn partition_run(
+    net: &Network,
+    count: PartitionCount,
+    budget: &Budget,
+) -> (Verdict, usize, PartitionStats, f64) {
+    // with_count(Fixed(1)) keeps the watermark off: genuinely monolithic.
+    let engine = CircuitUmc {
+        partition: PartitionConfig::with_count(count),
+        ..CircuitUmc::default()
+    };
+    let start = Instant::now();
+    let run = engine.check(net, budget);
+    let detail = run.detail::<CircuitUmcStats>().expect("circuit stats");
+    (
+        run.verdict.clone(),
+        detail.reached_size,
+        detail.partitions.clone(),
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E6p: the partitioned state-set ablation across the E6 suite — the
+/// circuit engine monolithic (`x1`) vs partitioned (`x4`) vs one
+/// partition per core (`auto`). The claims: verdicts (and fixpoint
+/// iterations / cex depths) are identical at every partition count, and
+/// on redundancy-heavy models the largest per-partition state cone stays
+/// strictly below the monolithic reached-set representation.
+pub fn e6p_table() -> Table {
+    let mut t = Table::new(
+        "E6p — partitioned state sets (circuit engine, AND gates)",
+        &[
+            "circuit",
+            "verdict",
+            "reached x1",
+            "maxcone x1",
+            "maxcone x4",
+            "parts",
+            "splits",
+            "prunes",
+            "ms x1",
+            "ms x4",
+            "ms auto",
+        ],
+    );
+    let budget = e6_budget();
+    for net in umc_suite() {
+        let (v1, reached1, p1, ms1) = partition_run(&net, PartitionCount::Fixed(1), &budget);
+        let (v4, _, p4, ms4) = partition_run(&net, PartitionCount::Fixed(4), &budget);
+        let (va, _, _, msa) = partition_run(&net, PartitionCount::Auto, &budget);
+        let verdict =
+            if verdict_cell(&v1) == verdict_cell(&v4) && verdict_cell(&v1) == verdict_cell(&va) {
+                verdict_cell(&v1)
+            } else {
+                format!(
+                    "{} != {} != {}",
+                    verdict_cell(&v1),
+                    verdict_cell(&v4),
+                    verdict_cell(&va)
+                )
+            };
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            reached1.to_string(),
+            p1.max_cone.to_string(),
+            p4.max_cone.to_string(),
+            p4.trajectory.last().copied().unwrap_or(1).to_string(),
+            p4.splits.to_string(),
+            p4.prunes.to_string(),
+            format!("{ms1:.1}"),
+            format!("{ms4:.1}"),
+            format!("{msa:.1}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Smoke — one tiny model per engine (the CI fail-fast run)
 // ---------------------------------------------------------------------
 
@@ -792,6 +878,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e5" => Some(e5_table()),
         "e6" => Some(e6_table()),
         "e6s" => Some(e6s_table()),
+        "e6p" => Some(e6p_table()),
         "e7" => Some(e7_table()),
         "e8" => Some(e8_table()),
         "smoke" => Some(smoke_table()),
@@ -800,7 +887,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
 }
 
 /// All experiment ids in report order (`smoke` is CI-only and excluded).
-pub const EXPERIMENTS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e7", "e8"];
+pub const EXPERIMENTS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e7", "e8"];
 
 #[cfg(test)]
 mod tests {

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use cbq_aig::sim::BitSim;
 use cbq_aig::{Aig, Lit, Node, Var};
@@ -85,6 +86,10 @@ pub struct SweepConfig {
     pub order: MergeOrder,
     /// Maximum simulate–check–refine rounds.
     pub max_rounds: usize,
+    /// Cooperative cancellation: once this instant passes, the candidate
+    /// loop stops issuing new checks and applies the merges proven so far
+    /// (a sweep result is always sound, however early it stops).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SweepConfig {
@@ -98,7 +103,15 @@ impl Default for SweepConfig {
             sat_budget: None,
             order: MergeOrder::Forward,
             max_rounds: 16,
+            deadline: None,
         }
+    }
+}
+
+impl SweepConfig {
+    /// Whether the cooperative deadline has passed.
+    fn past_deadline(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
     }
 }
 
@@ -363,7 +376,14 @@ impl<'a> Sweeper<'a> {
             first = false;
             let mut progress = false;
             let mut pending_pairs = 0usize;
+            let mut cancelled = false;
             for class in classes {
+                // Cooperative cancellation between candidate classes: stop
+                // issuing checks, keep the merges already proven.
+                if self.cfg.past_deadline() {
+                    cancelled = true;
+                    break;
+                }
                 let class = if use_bdd {
                     let unresolved = self.bdd_tier(&class);
                     if unresolved.len() < class.len() {
@@ -404,6 +424,10 @@ impl<'a> Sweeper<'a> {
                         pending_pairs += 1;
                         continue;
                     }
+                    if self.cfg.past_deadline() {
+                        cancelled = true;
+                        break;
+                    }
                     if self.sat_tier_pair(repr, member) {
                         self.record_merge(member, repr);
                         self.stats.merged_sat += 1;
@@ -413,7 +437,7 @@ impl<'a> Sweeper<'a> {
                     }
                 }
             }
-            if !progress || pending_pairs == 0 {
+            if cancelled || !progress || pending_pairs == 0 {
                 break;
             }
         }

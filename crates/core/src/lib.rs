@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use cbq_aig::{Aig, Lit, Var};
 use cbq_bdd::BddManager;
@@ -126,6 +127,16 @@ pub struct QuantConfig {
     /// merge phase on the whole cone before scheduling the next variable.
     /// `None` disables it.
     pub resweep_growth: Option<f64>,
+    /// Cooperative cancellation: once this wall-clock instant passes, the
+    /// inner elimination loop stops scheduling further variables and
+    /// returns whatever is left as residual. Engines derive it from their
+    /// budget deadline so one huge quantification can no longer overshoot
+    /// the traversal's time budget unnoticed.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation on manager size: once the working AIG
+    /// holds more than this many nodes, remaining variables are aborted
+    /// (per-partition node budgets of the partitioned traversals).
+    pub node_limit: Option<usize>,
 }
 
 impl Default for QuantConfig {
@@ -146,6 +157,8 @@ impl QuantConfig {
             growth_budget: None,
             order: VarOrder::CheapestFirst,
             resweep_growth: None,
+            deadline: None,
+            node_limit: None,
         }
     }
 
@@ -184,6 +197,34 @@ impl QuantConfig {
     pub fn with_order(mut self, order: VarOrder) -> QuantConfig {
         self.order = order;
         self
+    }
+
+    /// Cooperative wall-clock cancellation at the given instant; also
+    /// propagated to the merge-phase candidate loop.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> QuantConfig {
+        self.deadline = deadline;
+        self.sweep.deadline = deadline;
+        self
+    }
+
+    /// Cooperative node-count cancellation at the given manager size.
+    pub fn with_node_limit(mut self, limit: Option<usize>) -> QuantConfig {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Whether a cooperative cancellation limit has been crossed (the
+    /// check [`exists_many`] runs between variable eliminations).
+    pub fn out_of_budget(&self, aig: &Aig) -> bool {
+        if let Some(limit) = self.node_limit {
+            if aig.num_nodes() > limit {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
     }
 }
 
@@ -379,6 +420,20 @@ pub fn exists_many(
         }
         let mut next_round: Vec<Var> = Vec::new();
         while !pending.is_empty() {
+            // Cooperative cancellation between eliminations: a deadline or
+            // node-limit crossing aborts every variable still scheduled
+            // (they come back as residuals, exactly like growth aborts).
+            if cfg.out_of_budget(aig) {
+                next_round.append(&mut pending);
+                remaining = next_round;
+                stats.aborted = remaining.len();
+                stats.nodes_after = aig.cone_size(current);
+                return QuantResult {
+                    lit: current,
+                    remaining,
+                    stats,
+                };
+            }
             let idx = match cfg.order {
                 VarOrder::AsGiven | VarOrder::StaticCost => 0,
                 VarOrder::CheapestFirst => {

@@ -1,16 +1,19 @@
 //! The paper's traversal routine: backward reachability with AIG state
-//! sets and circuit-based quantification (Section 3).
+//! sets and circuit-based quantification (Section 3), generalised to the
+//! partitioned state-set representation of [`crate::stateset`].
 
-use cbq_aig::{Aig, Lit, Var};
+use cbq_aig::{Lit, Var};
 use cbq_ckt::{Network, Trace};
-use cbq_cnf::AigCnf;
 use cbq_core::{exists_many, QuantConfig};
 use cbq_sat::SatResult;
 
 use crate::engine::{Budget, Engine, Meter};
 use crate::ganai::all_solutions_exists;
-use crate::sweep::{StateSetSweeper, SweepConfig as StateSweepConfig, SweepStats};
-use crate::verdict::{McRun, McStats, Verdict};
+use crate::stateset::{
+    read_vars, state_cube, Partition, PartitionConfig, PartitionStats, StateSet,
+};
+use crate::sweep::{SweepConfig as StateSweepConfig, SweepStats};
+use crate::verdict::{McRun, McStats, Resource, Verdict};
 
 /// How to finish quantification when partial quantification aborts some
 /// input variables (Section 4: "it accepts effective quantification and
@@ -31,7 +34,7 @@ pub enum ResidualPolicy {
 }
 
 /// Backward-reachability model checker over AIG state sets — the paper's
-/// engine.
+/// engine, on the partitioned [`StateSet`] representation.
 ///
 /// "Given an invariant property P we start reachability from its
 /// complement and we terminate as soon as no newly reached states are
@@ -40,10 +43,13 @@ pub enum ResidualPolicy {
 /// and manipulated using AIGs instead of BDDs. Operations on AIGs, e.g.,
 /// equivalence, are performed using a SAT engine."
 ///
-/// Between iterations the engine optionally runs the SAT-sweeping
-/// state-set compaction of [`crate::sweep`], which fraigs and
-/// garbage-collects the frontier/reached cones once the working manager
-/// outgrows its watermark.
+/// With the default [`PartitionConfig`] (one partition) the traversal is
+/// the paper's monolithic routine. With `--partitions N|auto` the state
+/// set is tiled into window-disjoint partitions, each owning its own AIG
+/// manager and clause database, and every iteration's pre-image,
+/// quantification, and sweep runs in parallel across partitions —
+/// verdicts, fixpoint iteration counts, and minimal counterexample
+/// depths are identical for any partition count.
 #[derive(Clone, Debug)]
 pub struct CircuitUmc {
     /// Quantification engine configuration (merge/optimise/budget).
@@ -52,6 +58,8 @@ pub struct CircuitUmc {
     pub residual: ResidualPolicy,
     /// Between-iterations state-set sweeping; `None` disables it.
     pub sweep: Option<StateSweepConfig>,
+    /// Partitioned state-set configuration (default: monolithic).
+    pub partition: PartitionConfig,
     /// Iteration bound (a safety net; reaching it yields `Unknown`).
     pub max_iterations: usize,
 }
@@ -62,6 +70,7 @@ impl Default for CircuitUmc {
             quant: QuantConfig::full(),
             residual: ResidualPolicy::Naive,
             sweep: Some(StateSweepConfig::default()),
+            partition: PartitionConfig::default(),
             max_iterations: 10_000,
         }
     }
@@ -72,89 +81,118 @@ impl Default for CircuitUmc {
 pub struct CircuitUmcStats {
     /// Backward iterations executed.
     pub iterations: usize,
-    /// AND-gate count of each frontier after quantification (and, when
-    /// sweeping is enabled, after the iteration's sweep).
+    /// AND-gate count of each frontier after quantification and merge
+    /// (summed over partitions).
     pub frontier_sizes: Vec<usize>,
-    /// AND-gate count of the final reached-set representation.
+    /// AND-gate count of the final reached-set representation (summed
+    /// over partitions).
     pub reached_size: usize,
-    /// Peak node count of the working AIG (with sweeping, garbage
-    /// collection makes this a true peak rather than a monotone total).
+    /// Peak node count of the working AIG managers (summed over
+    /// partitions; with sweeping, garbage collection makes this a true
+    /// peak rather than a monotone total).
     pub peak_nodes: usize,
-    /// Assumption-based SAT checks issued (all purposes, including checks
-    /// on clause databases retired by sweeping).
+    /// Assumption-based SAT checks issued (all partitions, all purposes,
+    /// including checks on clause databases retired by sweeping).
     pub sat_checks: u64,
     /// Input variables aborted by partial quantification, total.
     pub quant_aborts: usize,
     /// Cofactors enumerated by the residual policy, total.
     pub ganai_cofactors: usize,
-    /// State-set sweeping counters.
+    /// State-set sweeping counters (all partitions).
     pub sweep: SweepStats,
+    /// Partition lifecycle counters (trajectory, max cone, prunes,
+    /// splits).
+    pub partitions: PartitionStats,
 }
 
-/// The remappable working state of one backward traversal: every literal
-/// and input variable that must survive a state-set sweep lives here, so
-/// the sweeper can rewrite them in one place.
-struct Traversal {
-    aig: Aig,
-    cnf: AigCnf,
-    pis: Vec<Var>,
-    latches: Vec<Var>,
-    /// Next-state functions, in latch order.
-    deltas: Vec<Lit>,
-    bad: Lit,
-    init: Lit,
-    reached: Lit,
-    frontier: Lit,
-    /// Every frontier in discovery order (needed for trace extraction).
-    frontiers: Vec<Lit>,
+/// Result of quantifying one partition's pre-image/image, with the
+/// residual policy applied. `complete == false` means a cooperative
+/// budget cancellation interrupted the quantification — the literal
+/// still carries un-eliminated variables and must not be used as a
+/// frontier (the worker reports [`Verdict::Bounded`] instead).
+pub(crate) struct PartQuant {
+    pub lit: Lit,
+    pub aborts: usize,
+    pub cofactors: usize,
+    pub complete: bool,
 }
 
-impl Traversal {
-    fn new(net: &Network) -> Traversal {
-        let mut aig = net.aig().clone();
-        let init = net.initial_cube().to_lit(&mut aig);
-        Traversal {
-            aig,
-            cnf: AigCnf::new(),
-            pis: net.primary_inputs().to_vec(),
-            latches: net.latch_vars(),
-            deltas: net.latches().iter().map(|l| l.next).collect(),
-            bad: net.bad(),
-            init,
-            reached: Lit::FALSE,
-            frontier: Lit::FALSE,
-            frontiers: Vec::new(),
+/// Quantifies `vars` out of `f` inside partition `p`, honouring the
+/// partial-quantification growth budget, the partition's cooperative
+/// deadline/node budget, and the residual policy. Shared by the backward
+/// and forward engines.
+pub(crate) fn quantify_in_partition(
+    p: &mut Partition,
+    f: Lit,
+    vars: &[Var],
+    quant: &QuantConfig,
+    residual: ResidualPolicy,
+) -> PartQuant {
+    let deadline = match (quant.deadline, p.deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let mut cfg = quant.clone().with_deadline(deadline);
+    if cfg.node_limit.is_none() {
+        cfg.node_limit = p.node_limit;
+    }
+    let q = exists_many(&mut p.aig, f, vars, &mut p.cnf, &cfg);
+    let mut out = PartQuant {
+        lit: q.lit,
+        aborts: 0,
+        cofactors: 0,
+        complete: true,
+    };
+    if q.remaining.is_empty() {
+        return out;
+    }
+    out.aborts = q.remaining.len();
+    if cfg.out_of_budget(&p.aig) {
+        // Cooperative cancellation, not a growth abort: leave the
+        // residual variables unprocessed and let the worker go Bounded.
+        out.complete = false;
+        return out;
+    }
+    let naive = || QuantConfig::naive().with_deadline(deadline);
+    match residual {
+        ResidualPolicy::Naive => {
+            let q2 = exists_many(&mut p.aig, q.lit, &q.remaining, &mut p.cnf, &naive());
+            out.lit = q2.lit;
+            out.complete = q2.remaining.is_empty();
+        }
+        ResidualPolicy::Enumerate { max_rounds } => {
+            match all_solutions_exists(&mut p.aig, q.lit, &q.remaining, &mut p.cnf, max_rounds) {
+                Some((lit, gstats)) => {
+                    out.cofactors = gstats.cofactors;
+                    out.lit = lit;
+                }
+                None => {
+                    let q2 = exists_many(&mut p.aig, q.lit, &q.remaining, &mut p.cnf, &naive());
+                    out.lit = q2.lit;
+                    out.complete = q2.remaining.is_empty();
+                }
+            }
         }
     }
+    out
+}
 
-    /// Current next-state definition pairs `(latch var, δ)`.
-    fn defs(&self) -> Vec<(Var, Lit)> {
-        self.latches
-            .iter()
-            .copied()
-            .zip(self.deltas.iter().copied())
-            .collect()
-    }
+/// One partition worker's contribution to an iteration.
+struct PartStep {
+    image: Lit,
+    bounded: Option<Verdict>,
+    aborts: usize,
+    cofactors: usize,
+}
 
-    /// The raw pre-image of `target`: quantification by substitution of
-    /// the next-state functions (Section 3 in-lining).
-    fn preimage(&mut self, target: Lit) -> Lit {
-        let defs = self.defs();
-        self.aig.compose(target, &defs)
-    }
-
-    /// Hands every live literal and input variable to the sweeper.
-    fn sweep(&mut self, sweeper: &mut StateSetSweeper) -> bool {
-        let mut lits: Vec<&mut Lit> = vec![
-            &mut self.bad,
-            &mut self.init,
-            &mut self.reached,
-            &mut self.frontier,
-        ];
-        lits.extend(self.deltas.iter_mut());
-        lits.extend(self.frontiers.iter_mut());
-        let vars: Vec<&mut Var> = self.pis.iter_mut().chain(self.latches.iter_mut()).collect();
-        sweeper.run_if_due(&mut self.aig, &mut self.cnf, lits, vars)
+impl PartStep {
+    fn empty() -> PartStep {
+        PartStep {
+            image: Lit::FALSE,
+            bounded: None,
+            aborts: 0,
+            cofactors: 0,
+        }
     }
 }
 
@@ -186,170 +224,188 @@ impl Engine for CircuitUmc {
 
 impl CircuitUmc {
     fn traverse(&self, net: &Network, meter: &Meter, stats: &mut CircuitUmcStats) -> Verdict {
-        let mut t = Traversal::new(net);
-        let mut sweeper = self.sweep.clone().map(StateSetSweeper::new);
-        stats.peak_nodes = t.aig.num_nodes();
-        if let Some(bounded) = meter.exceeded(0, t.aig.num_nodes(), 0) {
-            return self.seal(bounded, stats, &mut t, &sweeper);
+        let mut ss = StateSet::new_backward(
+            net,
+            self.partition.clone(),
+            self.sweep.clone(),
+            meter.deadline(),
+            meter.node_limit(),
+        );
+        stats.peak_nodes = ss.total_nodes();
+        if let Some(bounded) = meter.exceeded(0, ss.total_nodes(), 0) {
+            return self.seal(bounded, stats, &ss);
         }
 
-        // F₀ = ∃i. bad(s, i)
-        let bad = t.bad;
-        t.frontier = self.quantify(&mut t, bad, stats);
-        t.frontiers.push(t.frontier);
-        t.reached = t.frontier;
-        stats.frontier_sizes.push(t.aig.cone_size(t.frontier));
-
-        // Is the initial state already bad?
-        if t.cnf.solve_under(&t.aig, &[t.frontier, t.init]) == SatResult::Sat {
-            let trace = self.extract_trace(&mut t, net, 0);
-            return self.seal(Verdict::Unsafe { trace }, stats, &mut t, &sweeper);
-        }
-        stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
-        if let Some(sw) = &mut sweeper {
-            if t.sweep(sw) {
-                *stats.frontier_sizes.last_mut().expect("F0 recorded") =
-                    t.aig.cone_size(t.frontier);
+        // F₀ = ∃i. bad(s, i), computed on the seed partition before the
+        // state space is tiled.
+        {
+            let p = &mut ss.parts[0];
+            let bad = p.bad;
+            let pis = p.pis.clone();
+            let q = quantify_in_partition(p, bad, &pis, &self.quant, self.residual);
+            stats.quant_aborts += q.aborts;
+            stats.ganai_cofactors += q.cofactors;
+            if !q.complete {
+                let bounded = meter
+                    .exceeded(0, ss.total_nodes(), ss.total_sat_checks())
+                    .unwrap_or(Verdict::Bounded {
+                        resource: Resource::WallClock,
+                        limit: 0,
+                    });
+                return self.seal(bounded, stats, &ss);
+            }
+            let p = &mut ss.parts[0];
+            p.frontier = q.lit;
+            p.frontier_parts = vec![q.lit];
+            p.frontiers.push(q.lit);
+            p.reached = q.lit;
+            // Is the initial state already bad?
+            if p.cnf.solve_under(&p.aig, &[p.frontier, p.init]) == SatResult::Sat {
+                let trace = self.extract_trace(&mut ss, net, 0);
+                return self.seal(Verdict::Unsafe { trace }, stats, &ss);
             }
         }
+        stats.frontier_sizes.push(ss.frontier_size());
+        stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
+        if ss.parts[0].sweep_if_due(&mut []) {
+            *stats.frontier_sizes.last_mut().expect("F0 recorded") = ss.frontier_size();
+        }
+        ss.split_to_target();
+        ss.record_iteration();
 
         for iter in 1..=self.max_iterations {
-            let spent = retired_checks(&sweeper) + t.cnf.stats().checks;
-            if let Some(bounded) = meter.exceeded(iter - 1, t.aig.num_nodes(), spent) {
-                return self.seal(bounded, stats, &mut t, &sweeper);
+            let spent = ss.total_sat_checks();
+            if let Some(bounded) = meter.exceeded(iter - 1, ss.total_nodes(), spent) {
+                return self.seal(bounded, stats, &ss);
             }
             stats.iterations = iter;
-            // Pre-image: in-line the next-state functions, then quantify
-            // the primary inputs by circuit-based quantification.
-            let pre_raw = t.preimage(t.frontier);
-            let pre = self.quantify(&mut t, pre_raw, stats);
-            // New states this iteration.
-            let new = t.aig.and(pre, !t.reached);
-            if t.cnf.solve_under(&t.aig, &[new]) == SatResult::Unsat {
-                return self.seal(Verdict::Safe { iterations: iter }, stats, &mut t, &sweeper);
+            // Per-partition pre-image + input quantification + sweep,
+            // in parallel across the partitions' private managers.
+            let steps: Vec<PartStep> = ss.par_map(|_, p| self.partition_step(p, iter, meter));
+            for step in &steps {
+                stats.quant_aborts += step.aborts;
+                stats.ganai_cofactors += step.cofactors;
             }
-            t.frontiers.push(new);
-            stats.frontier_sizes.push(t.aig.cone_size(new));
-            if t.cnf.solve_under(&t.aig, &[new, t.init]) == SatResult::Sat {
-                let trace = self.extract_trace(&mut t, net, iter);
-                return self.seal(Verdict::Unsafe { trace }, stats, &mut t, &sweeper);
+            if let Some(bounded) = steps.iter().find_map(|s| s.bounded.clone()) {
+                return self.seal(bounded, stats, &ss);
             }
-            t.reached = t.aig.or(t.reached, new);
-            t.frontier = new;
-            stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
-            if let Some(sw) = &mut sweeper {
-                // Re-record the frontier post-sweep: the trajectory should
-                // reflect what the next iteration actually costs.
-                if t.sweep(sw) {
-                    *stats.frontier_sizes.last_mut().expect("frontier recorded") =
-                        t.aig.cone_size(t.frontier);
-                }
+            // Deterministic merge: redistribute images onto windows,
+            // subtract reached, detect fixpoint / counterexample.
+            let images: Vec<Lit> = steps.iter().map(|s| s.image).collect();
+            let outcome = ss.merge_images(&images, true);
+            if !outcome.any_new {
+                return self.seal(Verdict::Safe { iterations: iter }, stats, &ss);
             }
+            stats.frontier_sizes.push(ss.frontier_size());
+            if outcome.cex_partition.is_some() {
+                let trace = self.extract_trace(&mut ss, net, iter);
+                return self.seal(Verdict::Unsafe { trace }, stats, &ss);
+            }
+            ss.prune_and_resplit();
+            stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
         }
         let verdict = Verdict::Unknown {
             reason: format!("iteration bound {} reached", self.max_iterations),
         };
-        self.seal(verdict, stats, &mut t, &sweeper)
+        self.seal(verdict, stats, &ss)
+    }
+
+    /// One partition's share of a backward iteration: pre-image by
+    /// in-lining, input quantification, and the partition-local sweep.
+    fn partition_step(&self, p: &mut Partition, iter: usize, meter: &Meter) -> PartStep {
+        if let Some(bounded) = meter.exceeded(iter - 1, p.aig.num_nodes(), 0) {
+            return PartStep {
+                bounded: Some(bounded),
+                ..PartStep::empty()
+            };
+        }
+        if p.frontier == Lit::FALSE {
+            return PartStep::empty();
+        }
+        let pre_raw = p.preimage(p.frontier);
+        let pis = p.pis.clone();
+        let q = quantify_in_partition(p, pre_raw, &pis, &self.quant, self.residual);
+        if !q.complete {
+            let bounded =
+                meter
+                    .exceeded(iter - 1, p.aig.num_nodes(), 0)
+                    .unwrap_or(Verdict::Bounded {
+                        resource: Resource::WallClock,
+                        limit: 0,
+                    });
+            return PartStep {
+                bounded: Some(bounded),
+                aborts: q.aborts,
+                cofactors: q.cofactors,
+                ..PartStep::empty()
+            };
+        }
+        let mut extra = [q.lit];
+        p.sweep_if_due(&mut extra);
+        PartStep {
+            image: extra[0],
+            bounded: None,
+            aborts: q.aborts,
+            cofactors: q.cofactors,
+        }
     }
 
     /// Final bookkeeping shared by every exit path.
-    fn seal(
-        &self,
-        verdict: Verdict,
-        stats: &mut CircuitUmcStats,
-        t: &mut Traversal,
-        sweeper: &Option<StateSetSweeper>,
-    ) -> Verdict {
-        stats.sat_checks = retired_checks(sweeper) + t.cnf.stats().checks;
-        stats.reached_size = t.aig.cone_size(t.reached);
-        stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
-        if let Some(sw) = sweeper {
-            stats.sweep = sw.stats;
-        }
+    fn seal(&self, verdict: Verdict, stats: &mut CircuitUmcStats, ss: &StateSet) -> Verdict {
+        stats.sat_checks = ss.total_sat_checks();
+        stats.reached_size = ss.reached_size();
+        stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
+        stats.sweep = ss.aggregate_sweep();
+        stats.partitions = ss.stats.clone();
         verdict
     }
 
-    /// Quantifies the primary inputs out of `f`, honouring the partial
-    /// quantification budget and the residual policy.
-    fn quantify(&self, t: &mut Traversal, f: Lit, stats: &mut CircuitUmcStats) -> Lit {
-        let q = exists_many(&mut t.aig, f, &t.pis, &mut t.cnf, &self.quant);
-        if q.remaining.is_empty() {
-            return q.lit;
-        }
-        stats.quant_aborts += q.remaining.len();
-        match self.residual {
-            ResidualPolicy::Naive => {
-                let naive = QuantConfig::naive();
-                exists_many(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, &naive).lit
-            }
-            ResidualPolicy::Enumerate { max_rounds } => {
-                match all_solutions_exists(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, max_rounds)
-                {
-                    Some((lit, gstats)) => {
-                        stats.ganai_cofactors += gstats.cofactors;
-                        lit
-                    }
-                    None => {
-                        let naive = QuantConfig::naive();
-                        exists_many(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, &naive).lit
-                    }
-                }
-            }
-        }
-    }
-
     /// Walks a counterexample forward: from the initial state, at each
-    /// level find an input leading into the next (closer-to-bad)
-    /// frontier, finishing with an input that fires `bad` itself.
-    fn extract_trace(&self, t: &mut Traversal, net: &Network, level: usize) -> Trace {
+    /// level find a partition (in index order) and an input leading into
+    /// its share of the next (closer-to-bad) frontier, finishing with an
+    /// input that fires `bad` itself.
+    fn extract_trace(&self, ss: &mut StateSet, net: &Network, level: usize) -> Trace {
         let mut inputs_seq: Vec<Vec<bool>> = Vec::with_capacity(level + 1);
         let mut state = net.initial_state();
         for l in (0..level).rev() {
-            let target = t.frontiers[l];
-            let pre_raw = t.preimage(target);
-            let cube = state_cube(&mut t.aig, &t.latches, &state);
-            let r = t.cnf.solve_under(&t.aig, &[pre_raw, cube]);
-            debug_assert_eq!(r, SatResult::Sat, "trace step must be satisfiable");
-            let inputs = extract_pi_values(&t.aig, &t.pis, &t.cnf);
-            let (next, _) = net.step(&state, &inputs);
-            inputs_seq.push(inputs);
-            state = next;
+            let mut found = false;
+            for idx in 0..ss.parts.len() {
+                let p = &mut ss.parts[idx];
+                if p.frontiers.len() <= l || p.frontiers[l] == Lit::FALSE {
+                    continue;
+                }
+                let target = p.frontiers[l];
+                let pre_raw = p.preimage(target);
+                let cube = state_cube(&mut p.aig, &p.latches, &state);
+                if p.cnf.solve_under(&p.aig, &[pre_raw, cube]) == SatResult::Sat {
+                    let inputs = read_vars(&p.aig, &p.pis, &p.cnf);
+                    let (next, _) = net.step(&state, &inputs);
+                    inputs_seq.push(inputs);
+                    state = next;
+                    found = true;
+                    break;
+                }
+            }
+            debug_assert!(found, "trace step must be satisfiable in some partition");
+            if !found {
+                break;
+            }
         }
-        // Final step: fire bad from the current state.
-        let cube = state_cube(&mut t.aig, &t.latches, &state);
-        let r = t.cnf.solve_under(&t.aig, &[t.bad, cube]);
+        // Final step: fire bad from the current state (bad is a global
+        // function; any partition's view works).
+        let p = &mut ss.parts[0];
+        let cube = state_cube(&mut p.aig, &p.latches, &state);
+        let r = p.cnf.solve_under(&p.aig, &[p.bad, cube]);
         debug_assert_eq!(r, SatResult::Sat, "bad must fire at trace end");
-        inputs_seq.push(extract_pi_values(&t.aig, &t.pis, &t.cnf));
+        inputs_seq.push(read_vars(&p.aig, &p.pis, &p.cnf));
         Trace::new(inputs_seq)
     }
-}
-
-/// SAT checks spent on clause databases the sweeper already retired.
-fn retired_checks(sweeper: &Option<StateSetSweeper>) -> u64 {
-    sweeper.as_ref().map_or(0, |s| s.stats.retired_sat_checks)
-}
-
-/// The conjunction of latch literals pinning `state`.
-fn state_cube(aig: &mut Aig, latches: &[Var], state: &[bool]) -> Lit {
-    let lits: Vec<Lit> = latches
-        .iter()
-        .zip(state)
-        .map(|(l, v)| l.lit().xor_sign(!v))
-        .collect();
-    aig.and_many(&lits)
-}
-
-/// Reads the primary-input values from the current SAT model.
-fn extract_pi_values(aig: &Aig, pis: &[Var], cnf: &AigCnf) -> Vec<bool> {
-    let model = cnf.model_inputs(aig);
-    pis.iter()
-        .map(|v| model[aig.input_index(*v).expect("PI is an input")])
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stateset::{PartitionCount, SplitPolicy};
     use crate::testsupport::{check_safe, check_unsafe};
     use cbq_ckt::generators;
 
@@ -453,6 +509,8 @@ mod tests {
         let detail = run.detail::<CircuitUmcStats>().expect("typed stats");
         assert!(!detail.frontier_sizes.is_empty());
         assert_eq!(detail.iterations, run.stats.iterations);
+        assert!(!detail.partitions.trajectory.is_empty());
+        assert!(detail.partitions.trajectory.iter().all(|&n| n == 1));
     }
 
     #[test]
@@ -532,6 +590,52 @@ mod tests {
             );
             if let Verdict::Unsafe { trace } = &re.verdict {
                 assert!(trace.validates(&net), "{}: swept trace bogus", net.name());
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_traversals_agree_with_monolithic() {
+        // Window-disjoint partitioning is exact: identical verdicts and
+        // fixpoint iterations / cex depths for any partition count, under
+        // both split policies.
+        for net in [
+            generators::token_ring(5),
+            generators::bounded_counter_gap(4, 6, 12),
+            generators::gray_counter(4),
+            generators::token_ring_bug(5),
+            generators::counter_bug(4, 6),
+        ] {
+            let mono = CircuitUmc::default().check(&net, &Budget::unlimited());
+            let key = verdict_key(&mono.verdict);
+            for policy in [SplitPolicy::LatchCofactor, SplitPolicy::FrontierOrigin] {
+                let engine = CircuitUmc {
+                    partition: PartitionConfig {
+                        split: policy,
+                        ..PartitionConfig::with_count(PartitionCount::Fixed(3))
+                    },
+                    ..CircuitUmc::default()
+                };
+                let run = engine.check(&net, &Budget::unlimited());
+                assert_eq!(
+                    key,
+                    verdict_key(&run.verdict),
+                    "{} ({policy:?}): partitioning changed the verdict",
+                    net.name()
+                );
+                if let Verdict::Unsafe { trace } = &run.verdict {
+                    assert!(
+                        trace.validates(&net),
+                        "{} ({policy:?}): partitioned trace bogus",
+                        net.name()
+                    );
+                }
+                let detail = run.detail::<CircuitUmcStats>().expect("stats");
+                assert!(
+                    detail.partitions.trajectory.iter().any(|&n| n > 1),
+                    "{} ({policy:?}): never actually partitioned",
+                    net.name()
+                );
             }
         }
     }

@@ -29,6 +29,7 @@ use crate::circuit_umc::CircuitUmc;
 use crate::forward_umc::ForwardCircuitUmc;
 use crate::induction::KInduction;
 use crate::portfolio::Portfolio;
+use crate::stateset::{PartitionConfig, PartitionCount, SplitPolicy};
 use crate::sweep::SweepConfig as StateSweepConfig;
 use crate::verdict::{McRun, Resource, Verdict};
 
@@ -103,6 +104,19 @@ impl Meter {
         self.start.elapsed()
     }
 
+    /// The absolute wall-clock deadline of this run, if the budget set a
+    /// timeout — engines hand it to the quantification/sweep kernels for
+    /// cooperative cancellation.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.budget.timeout.map(|t| self.start + t)
+    }
+
+    /// The budget's node cap, handed to partition workers as their
+    /// per-partition quantification node limit.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.budget.max_nodes
+    }
+
     /// Checks the spend against every limit; `Some(Bounded)` as soon as
     /// one is exhausted. `steps` counts *completed* units, so a limit of
     /// `k` permits exactly `k` units and trips before the `k+1`-th.
@@ -172,13 +186,14 @@ pub fn registry() -> &'static [EngineSpec] {
     const REGISTRY: &[EngineSpec] = &[
         EngineSpec {
             name: "circuit",
-            summary: "backward reachability on AIG state sets (the paper's engine)",
+            summary: "backward reachability on partitioned AIG state sets (the paper's engine)",
             complete: true,
             minimal_cex: true,
             build: || Box::new(CircuitUmc::default()),
             tune: Some(|tuning| {
                 let mut engine = CircuitUmc::default();
                 engine.sweep = tuning.sweep_of(engine.sweep);
+                engine.partition = tuning.partition_of(engine.partition);
                 if let Some(order) = tuning.quant_order {
                     engine.quant.order = order;
                 }
@@ -194,6 +209,7 @@ pub fn registry() -> &'static [EngineSpec] {
             tune: Some(|tuning| {
                 let mut engine = ForwardCircuitUmc::default();
                 engine.sweep = tuning.sweep_of(engine.sweep);
+                engine.partition = tuning.partition_of(engine.partition);
                 if let Some(order) = tuning.quant_order {
                     engine.quant.order = order;
                 }
@@ -267,6 +283,13 @@ pub struct EngineTuning {
     /// Quantification variable-scheduling policy; `None` keeps the
     /// engine default.
     pub quant_order: Option<VarOrder>,
+    /// Initial partition count of the state set (`cbq check
+    /// --partitions N|auto`); `None` keeps the engine default
+    /// (monolithic).
+    pub partitions: Option<PartitionCount>,
+    /// Partition split policy (`cbq check --split latch|origin`); `None`
+    /// keeps the engine default.
+    pub split: Option<SplitPolicy>,
 }
 
 impl EngineTuning {
@@ -282,6 +305,19 @@ impl EngineTuning {
             Some(false) => None,
             Some(true) => Some(StateSweepConfig::default()),
         }
+    }
+
+    /// Applies the partitioning overrides to an engine's default
+    /// partition configuration.
+    fn partition_of(&self, default: PartitionConfig) -> PartitionConfig {
+        let mut cfg = match self.partitions {
+            None => default,
+            Some(count) => PartitionConfig::with_count(count),
+        };
+        if let Some(split) = self.split {
+            cfg.split = split;
+        }
+        cfg
     }
 }
 
@@ -352,6 +388,8 @@ mod tests {
         let tuning = EngineTuning {
             sweep: Some(false),
             quant_order: Some(VarOrder::StaticCost),
+            partitions: Some(PartitionCount::Fixed(2)),
+            split: Some(SplitPolicy::LatchCofactor),
         };
         for name in ["circuit", "forward"] {
             assert!(supports_tuning(name));

@@ -1,5 +1,6 @@
 //! Forward reachability with circuit-based quantification — an extension
-//! beyond the paper's backward traversal.
+//! beyond the paper's backward traversal, on the partitioned
+//! [`StateSet`] representation.
 //!
 //! Backward pre-image enjoys free next-state elimination by in-lining;
 //! forward **image** does not: `Img(R)(s') = ∃s,i. T(s,i,s') ∧ R(s)`
@@ -10,21 +11,21 @@
 //! residual policy (naive completion or all-solutions enumeration)
 //! matters much more here, and so does the between-iterations state-set
 //! sweep ([`crate::sweep`]) — image computation churns through far more
-//! temporary nodes per step.
+//! temporary nodes per step. Partitioning pays off accordingly: each
+//! partition images its own window in its own manager, in parallel.
 
-use cbq_aig::{Aig, Lit, Var};
+use cbq_aig::Lit;
 use cbq_ckt::{Network, Trace};
-use cbq_cnf::AigCnf;
-use cbq_core::{exists_many, QuantConfig};
+use cbq_core::QuantConfig;
 use cbq_sat::SatResult;
 
-use crate::circuit_umc::ResidualPolicy;
+use crate::circuit_umc::{quantify_in_partition, ResidualPolicy};
 use crate::engine::{Budget, Engine, Meter};
-use crate::ganai::all_solutions_exists;
-use crate::sweep::{StateSetSweeper, SweepConfig as StateSweepConfig, SweepStats};
-use crate::verdict::{McRun, McStats, Verdict};
+use crate::stateset::{read_vars, Partition, PartitionConfig, PartitionStats, StateSet};
+use crate::sweep::{SweepConfig as StateSweepConfig, SweepStats};
+use crate::verdict::{McRun, McStats, Resource, Verdict};
 
-/// Forward-reachability model checker over AIG state sets.
+/// Forward-reachability model checker over partitioned AIG state sets.
 #[derive(Clone, Debug)]
 pub struct ForwardCircuitUmc {
     /// Quantification engine configuration.
@@ -33,6 +34,8 @@ pub struct ForwardCircuitUmc {
     pub residual: ResidualPolicy,
     /// Between-iterations state-set sweeping; `None` disables it.
     pub sweep: Option<StateSweepConfig>,
+    /// Partitioned state-set configuration (default: monolithic).
+    pub partition: PartitionConfig,
     /// Iteration bound.
     pub max_iterations: usize,
 }
@@ -43,6 +46,7 @@ impl Default for ForwardCircuitUmc {
             quant: QuantConfig::full(),
             residual: ResidualPolicy::Enumerate { max_rounds: 10_000 },
             sweep: Some(StateSweepConfig::default()),
+            partition: PartitionConfig::default(),
             max_iterations: 10_000,
         }
     }
@@ -53,100 +57,40 @@ impl Default for ForwardCircuitUmc {
 pub struct ForwardCircuitUmcStats {
     /// Forward iterations executed.
     pub iterations: usize,
-    /// AND-gate count of each frontier (over current-state vars).
+    /// AND-gate count of each frontier (over current-state vars, summed
+    /// over partitions).
     pub frontier_sizes: Vec<usize>,
-    /// Peak node count of the working AIG.
+    /// Peak node count of the working AIG managers (summed over
+    /// partitions).
     pub peak_nodes: usize,
     /// Input/state variables aborted by partial quantification, total.
     pub quant_aborts: usize,
     /// Cofactors enumerated by the residual policy, total.
     pub ganai_cofactors: usize,
-    /// State-set sweeping counters.
+    /// State-set sweeping counters (all partitions).
     pub sweep: SweepStats,
+    /// Partition lifecycle counters.
+    pub partitions: PartitionStats,
 }
 
-/// The remappable working state of one forward traversal (see the
-/// backward twin in `circuit_umc.rs`).
-struct Traversal {
-    aig: Aig,
-    cnf: AigCnf,
-    pis: Vec<Var>,
-    latches: Vec<Var>,
-    /// Fresh next-state variables `s'`, in latch order.
-    next_vars: Vec<Var>,
-    /// Next-state functions δ, in latch order (trace extraction needs
-    /// them to constrain predecessors).
-    deltas: Vec<Lit>,
-    /// The transition relation `∧ⱼ (s'ⱼ ≡ δⱼ)`.
-    trans: Lit,
-    bad: Lit,
-    reached: Lit,
-    frontier: Lit,
-    frontiers: Vec<Lit>,
+/// One partition worker's contribution to a forward iteration.
+struct FwdStep {
+    image: Lit,
+    cex: bool,
+    bounded: Option<Verdict>,
+    aborts: usize,
+    cofactors: usize,
 }
 
-impl Traversal {
-    fn new(net: &Network) -> Traversal {
-        let mut aig = net.aig().clone();
-        let next_vars: Vec<Var> = net.latches().iter().map(|_| aig.add_input()).collect();
-        let trans = {
-            let eqs: Vec<Lit> = net
-                .latches()
-                .iter()
-                .zip(&next_vars)
-                .map(|(l, nv)| aig.iff(nv.lit(), l.next))
-                .collect();
-            aig.and_many(&eqs)
-        };
-        let init = net.initial_cube().to_lit(&mut aig);
-        Traversal {
-            aig,
-            cnf: AigCnf::new(),
-            pis: net.primary_inputs().to_vec(),
-            latches: net.latch_vars(),
-            next_vars,
-            deltas: net.latches().iter().map(|l| l.next).collect(),
-            trans,
-            bad: net.bad(),
-            reached: init,
-            frontier: init,
-            frontiers: vec![init],
+impl FwdStep {
+    fn empty() -> FwdStep {
+        FwdStep {
+            image: Lit::FALSE,
+            cex: false,
+            bounded: None,
+            aborts: 0,
+            cofactors: 0,
         }
-    }
-
-    /// Variables eliminated per image: current latches + primary inputs.
-    fn elim_vars(&self) -> Vec<Var> {
-        let mut elim = self.latches.clone();
-        elim.extend_from_slice(&self.pis);
-        elim
-    }
-
-    /// The renaming `s' → s` applied after quantification.
-    fn rename(&self) -> Vec<(Var, Lit)> {
-        self.next_vars
-            .iter()
-            .zip(&self.latches)
-            .map(|(nv, l)| (*nv, l.lit()))
-            .collect()
-    }
-
-    /// Hands every live literal and input variable to the sweeper.
-    fn sweep(&mut self, sweeper: &mut StateSetSweeper) -> bool {
-        let mut lits: Vec<&mut Lit> = vec![
-            &mut self.trans,
-            &mut self.bad,
-            &mut self.reached,
-            &mut self.frontier,
-        ];
-        lits.extend(self.deltas.iter_mut());
-        lits.extend(self.frontiers.iter_mut());
-        let vars: Vec<&mut Var> = self
-            .pis
-            .iter_mut()
-            .chain(self.latches.iter_mut())
-            .chain(self.next_vars.iter_mut())
-            .collect();
-        sweeper.run_if_due(&mut self.aig, &mut self.cnf, lits, vars)
     }
 }
 
@@ -188,49 +132,51 @@ impl ForwardCircuitUmc {
         meter: &Meter,
         stats: &mut ForwardCircuitUmcStats,
     ) -> (Verdict, u64) {
-        let mut t = Traversal::new(net);
-        let mut sweeper = self.sweep.clone().map(StateSetSweeper::new);
-        stats.peak_nodes = t.aig.num_nodes();
-        let seal = |stats: &mut ForwardCircuitUmcStats,
-                    t: &Traversal,
-                    sweeper: &Option<StateSetSweeper>|
-         -> u64 {
-            stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
-            let retired = sweeper.as_ref().map_or(0, |s| s.stats.retired_sat_checks);
-            if let Some(sw) = sweeper {
-                stats.sweep = sw.stats;
-            }
-            retired + t.cnf.stats().checks
-        };
-        if let Some(bounded) = meter.exceeded(0, t.aig.num_nodes(), 0) {
-            let checks = seal(stats, &t, &sweeper);
+        let mut ss = StateSet::new_forward(
+            net,
+            self.partition.clone(),
+            self.sweep.clone(),
+            meter.deadline(),
+            meter.node_limit(),
+        );
+        stats.peak_nodes = ss.total_nodes();
+        if let Some(bounded) = meter.exceeded(0, ss.total_nodes(), 0) {
+            let checks = self.seal(stats, &ss);
             return (bounded, checks);
         }
-        stats.frontier_sizes.push(t.aig.cone_size(t.frontier));
+        ss.split_to_target();
+        ss.record_iteration();
+        stats.frontier_sizes.push(ss.frontier_size());
 
         for iter in 0..=self.max_iterations {
-            let retired = sweeper.as_ref().map_or(0, |s| s.stats.retired_sat_checks);
-            let spent = retired + t.cnf.stats().checks;
-            if let Some(bounded) = meter.exceeded(iter, t.aig.num_nodes(), spent) {
-                let checks = seal(stats, &t, &sweeper);
+            let spent = ss.total_sat_checks();
+            if let Some(bounded) = meter.exceeded(iter, ss.total_nodes(), spent) {
+                let checks = self.seal(stats, &ss);
                 return (bounded, checks);
             }
             stats.iterations = iter;
-            // Counterexample: a frontier state fires bad under some input.
-            if t.cnf.solve_under(&t.aig, &[t.frontier, t.bad]) == SatResult::Sat {
-                let trace = self.extract_trace(&mut t, iter);
-                let checks = seal(stats, &t, &sweeper);
+            // Per-partition bad check + image + quantification + sweep,
+            // in parallel across the partitions' private managers.
+            let steps: Vec<FwdStep> = ss.par_map(|_, p| self.partition_step(p, iter, meter));
+            for step in &steps {
+                stats.quant_aborts += step.aborts;
+                stats.ganai_cofactors += step.cofactors;
+            }
+            if let Some(bounded) = steps.iter().find_map(|s| s.bounded.clone()) {
+                let checks = self.seal(stats, &ss);
+                return (bounded, checks);
+            }
+            // Counterexample: a frontier state fires bad under some input
+            // (lowest partition index, for determinism).
+            if let Some(t) = steps.iter().position(|s| s.cex) {
+                let trace = self.extract_trace(&mut ss, iter, t);
+                let checks = self.seal(stats, &ss);
                 return (Verdict::Unsafe { trace }, checks);
             }
-            // Image: ∃s,i. T ∧ frontier, then rename s' → s.
-            let conj = t.aig.and(t.trans, t.frontier);
-            let elim = t.elim_vars();
-            let img_next = self.quantify(&mut t, conj, &elim, stats);
-            let rename = t.rename();
-            let img = t.aig.compose(img_next, &rename);
-            let new = t.aig.and(img, !t.reached);
-            if t.cnf.solve_under(&t.aig, &[new]) == SatResult::Unsat {
-                let checks = seal(stats, &t, &sweeper);
+            let images: Vec<Lit> = steps.iter().map(|s| s.image).collect();
+            let outcome = ss.merge_images(&images, false);
+            if !outcome.any_new {
+                let checks = self.seal(stats, &ss);
                 return (
                     Verdict::Safe {
                         iterations: iter + 1,
@@ -238,109 +184,129 @@ impl ForwardCircuitUmc {
                     checks,
                 );
             }
-            t.frontiers.push(new);
-            t.reached = t.aig.or(t.reached, new);
-            t.frontier = new;
-            stats.peak_nodes = stats.peak_nodes.max(t.aig.num_nodes());
-            if let Some(sw) = &mut sweeper {
-                t.sweep(sw);
-            }
-            stats.frontier_sizes.push(t.aig.cone_size(t.frontier));
+            ss.prune_and_resplit();
+            stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
+            stats.frontier_sizes.push(ss.frontier_size());
         }
-        let checks = seal(stats, &t, &sweeper);
+        let checks = self.seal(stats, &ss);
         let verdict = Verdict::Unknown {
             reason: format!("iteration bound {} reached", self.max_iterations),
         };
         (verdict, checks)
     }
 
-    fn quantify(
-        &self,
-        t: &mut Traversal,
-        f: Lit,
-        vars: &[Var],
-        stats: &mut ForwardCircuitUmcStats,
-    ) -> Lit {
-        let q = exists_many(&mut t.aig, f, vars, &mut t.cnf, &self.quant);
-        if q.remaining.is_empty() {
-            return q.lit;
+    /// One partition's share of a forward iteration: the bad-intersection
+    /// check, then image = quantify + rename, then the local sweep.
+    fn partition_step(&self, p: &mut Partition, iter: usize, meter: &Meter) -> FwdStep {
+        if let Some(bounded) = meter.exceeded(iter, p.aig.num_nodes(), 0) {
+            return FwdStep {
+                bounded: Some(bounded),
+                ..FwdStep::empty()
+            };
         }
-        stats.quant_aborts += q.remaining.len();
-        match self.residual {
-            ResidualPolicy::Naive => {
-                exists_many(
-                    &mut t.aig,
-                    q.lit,
-                    &q.remaining,
-                    &mut t.cnf,
-                    &QuantConfig::naive(),
-                )
-                .lit
-            }
-            ResidualPolicy::Enumerate { max_rounds } => {
-                match all_solutions_exists(&mut t.aig, q.lit, &q.remaining, &mut t.cnf, max_rounds)
-                {
-                    Some((lit, g)) => {
-                        stats.ganai_cofactors += g.cofactors;
-                        lit
-                    }
-                    None => {
-                        exists_many(
-                            &mut t.aig,
-                            q.lit,
-                            &q.remaining,
-                            &mut t.cnf,
-                            &QuantConfig::naive(),
-                        )
-                        .lit
-                    }
-                }
-            }
+        if p.frontier == Lit::FALSE {
+            return FwdStep::empty();
+        }
+        if p.cnf.solve_under(&p.aig, &[p.frontier, p.bad]) == SatResult::Sat {
+            return FwdStep {
+                cex: true,
+                ..FwdStep::empty()
+            };
+        }
+        // Image: ∃s,i. T ∧ frontier, then rename s' → s.
+        let conj = p.aig.and(p.trans, p.frontier);
+        let elim = p.elim_vars();
+        let q = quantify_in_partition(p, conj, &elim, &self.quant, self.residual);
+        if !q.complete {
+            let bounded = meter
+                .exceeded(iter, p.aig.num_nodes(), 0)
+                .unwrap_or(Verdict::Bounded {
+                    resource: Resource::WallClock,
+                    limit: 0,
+                });
+            return FwdStep {
+                bounded: Some(bounded),
+                aborts: q.aborts,
+                cofactors: q.cofactors,
+                ..FwdStep::empty()
+            };
+        }
+        let rename = p.rename();
+        let img = p.aig.compose(q.lit, &rename);
+        let mut extra = [img];
+        p.sweep_if_due(&mut extra);
+        FwdStep {
+            image: extra[0],
+            cex: false,
+            bounded: None,
+            aborts: q.aborts,
+            cofactors: q.cofactors,
         }
     }
 
-    /// Walks the counterexample backwards through the forward frontiers,
-    /// then emits the input sequence in forward order.
-    fn extract_trace(&self, t: &mut Traversal, level: usize) -> Trace {
-        // Concrete final state (in frontier `level`) plus the bad input.
-        let r = t.cnf.solve_under(&t.aig, &[t.frontiers[level], t.bad]);
-        debug_assert_eq!(r, SatResult::Sat);
-        let model = t.cnf.model_inputs(&t.aig);
-        let mut states_rev = vec![read_vars(&t.aig, &t.latches, &model)];
-        let mut inputs_rev = vec![read_vars(&t.aig, &t.pis, &model)];
+    /// Final bookkeeping shared by every exit path; returns the SAT-check
+    /// total for the common stats record.
+    fn seal(&self, stats: &mut ForwardCircuitUmcStats, ss: &StateSet) -> u64 {
+        stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
+        stats.sweep = ss.aggregate_sweep();
+        stats.partitions = ss.stats.clone();
+        ss.total_sat_checks()
+    }
+
+    /// Walks the counterexample backwards through the forward frontiers
+    /// (searching partitions in index order at each level), then emits
+    /// the input sequence in forward order.
+    fn extract_trace(&self, ss: &mut StateSet, level: usize, t0: usize) -> Trace {
+        // Concrete final state (in partition t0's frontier) plus the bad
+        // input.
+        let (mut states_rev, mut inputs_rev) = {
+            let p = &mut ss.parts[t0];
+            let r = p.cnf.solve_under(&p.aig, &[p.frontiers[level], p.bad]);
+            debug_assert_eq!(r, SatResult::Sat);
+            (
+                vec![read_vars(&p.aig, &p.latches, &p.cnf)],
+                vec![read_vars(&p.aig, &p.pis, &p.cnf)],
+            )
+        };
         for l in (0..level).rev() {
             let target = states_rev.last().expect("non-empty").clone();
-            // Predecessor: F_l(s) ∧ (δ(s,i) == target).
-            let eq = {
-                let eqs: Vec<Lit> = t
-                    .deltas
-                    .iter()
-                    .zip(&target)
-                    .map(|(delta, v)| delta.xor_sign(!v))
-                    .collect();
-                t.aig.and_many(&eqs)
-            };
-            let r = t.cnf.solve_under(&t.aig, &[t.frontiers[l], eq]);
-            debug_assert_eq!(r, SatResult::Sat, "predecessor must exist");
-            let model = t.cnf.model_inputs(&t.aig);
-            states_rev.push(read_vars(&t.aig, &t.latches, &model));
-            inputs_rev.push(read_vars(&t.aig, &t.pis, &model));
+            let mut found = false;
+            for idx in 0..ss.parts.len() {
+                let p = &mut ss.parts[idx];
+                if p.frontiers.len() <= l || p.frontiers[l] == Lit::FALSE {
+                    continue;
+                }
+                // Predecessor: F_l(s) ∧ (δ(s,i) == target).
+                let eq = {
+                    let eqs: Vec<Lit> = p
+                        .deltas
+                        .iter()
+                        .zip(&target)
+                        .map(|(delta, v)| delta.xor_sign(!v))
+                        .collect();
+                    p.aig.and_many(&eqs)
+                };
+                if p.cnf.solve_under(&p.aig, &[p.frontiers[l], eq]) == SatResult::Sat {
+                    states_rev.push(read_vars(&p.aig, &p.latches, &p.cnf));
+                    inputs_rev.push(read_vars(&p.aig, &p.pis, &p.cnf));
+                    found = true;
+                    break;
+                }
+            }
+            debug_assert!(found, "predecessor must exist in some partition");
+            if !found {
+                break;
+            }
         }
         inputs_rev.reverse();
         Trace::new(inputs_rev)
     }
 }
 
-/// Reads the model values of a list of input variables, in order.
-fn read_vars(aig: &Aig, vars: &[Var], model: &[bool]) -> Vec<bool> {
-    vars.iter()
-        .map(|v| model[aig.input_index(*v).expect("sequential var is an input")])
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stateset::{PartitionCount, SplitPolicy};
     use crate::testsupport::{check_safe, check_unsafe};
     use cbq_ckt::generators;
 
@@ -416,6 +382,51 @@ mod tests {
             assert!(de.sweep.runs > 0, "{}: eager sweep never ran", net.name());
             if let Verdict::Unsafe { trace } = &re.verdict {
                 assert!(trace.validates(&net), "{}: swept trace bogus", net.name());
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_forward_agrees_with_monolithic() {
+        for net in [
+            generators::bounded_counter(3, 5),
+            generators::token_ring(4),
+            generators::token_ring_bug(5),
+            generators::counter_bug(4, 5),
+        ] {
+            let mono = ForwardCircuitUmc::default().check(&net, &Budget::unlimited());
+            for policy in [SplitPolicy::LatchCofactor, SplitPolicy::FrontierOrigin] {
+                let engine = ForwardCircuitUmc {
+                    partition: PartitionConfig {
+                        split: policy,
+                        ..PartitionConfig::with_count(PartitionCount::Fixed(3))
+                    },
+                    ..ForwardCircuitUmc::default()
+                };
+                let run = engine.check(&net, &Budget::unlimited());
+                match (&mono.verdict, &run.verdict) {
+                    (Verdict::Unsafe { trace: a }, Verdict::Unsafe { trace: b }) => {
+                        assert_eq!(
+                            a.len(),
+                            b.len(),
+                            "{} ({policy:?}): cex depth changed",
+                            net.name()
+                        );
+                        assert!(b.validates(&net), "{}: partitioned trace bogus", net.name());
+                    }
+                    (a, b) => assert_eq!(
+                        a,
+                        b,
+                        "{} ({policy:?}): partitioning changed the verdict",
+                        net.name()
+                    ),
+                }
+                let detail = run.detail::<ForwardCircuitUmcStats>().expect("stats");
+                assert!(
+                    detail.partitions.trajectory.iter().any(|&n| n > 1),
+                    "{} ({policy:?}): never actually partitioned",
+                    net.name()
+                );
             }
         }
     }

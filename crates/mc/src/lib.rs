@@ -33,10 +33,17 @@
 //! [`McRun`] holds a common [`McStats`] record with the engine-specific
 //! counters downcastable via [`McRun::detail`].
 //!
-//! Between iterations the circuit-based traversals run the [`sweep`]
-//! subsystem — SAT-sweeping (fraiging) plus garbage collection of the
-//! frontier/reached cones — so state-set representations shrink instead
-//! of growing monotonically; `--sweep`/`--quant-order` style tuning is
+//! The circuit-based traversals run on the partitioned [`stateset`]
+//! subsystem: a [`StateSet`] is a disjunction of partitions, each owning
+//! its own AIG manager and clause database, tiled over the state space
+//! by latch-cofactor windows (or divided by frontier-of-origin), with
+//! per-partition pre-image/image + quantification + sweep executed in
+//! parallel via `std::thread::scope` and re-joined by a deterministic
+//! index-ordered merge. Between iterations each partition runs the
+//! [`sweep`] subsystem — SAT-sweeping (fraiging) plus garbage collection
+//! of the frontier/reached cones — so state-set representations shrink
+//! instead of growing monotonically;
+//! `--sweep`/`--quant-order`/`--partitions`/`--split` style tuning is
 //! exposed through [`EngineTuning`] / [`by_name_tuned`].
 //!
 //! Engines are also constructible by name through the registry —
@@ -82,6 +89,7 @@ mod verdict;
 pub mod explicit;
 pub mod ganai;
 pub mod preimage;
+pub mod stateset;
 pub mod sweep;
 
 pub use crate::bdd_umc::{BddDirection, BddUmc, BddUmcStats};
@@ -94,4 +102,5 @@ pub use crate::engine::{
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
 pub use crate::induction::{KInduction, KInductionStats};
 pub use crate::portfolio::{Portfolio, PortfolioStats};
+pub use crate::stateset::{PartitionConfig, PartitionCount, PartitionStats, SplitPolicy, StateSet};
 pub use crate::verdict::{McRun, McStats, Resource, Verdict};

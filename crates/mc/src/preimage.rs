@@ -21,7 +21,132 @@ pub fn preimage_formula(aig: &mut Aig, net: &Network, target: Lit) -> Lit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbq_ckt::generators;
+    use cbq_ckt::random::random_function;
+    use cbq_ckt::{generators, Network};
+
+    /// Exhaustively checks `preimage_formula` against the definition:
+    /// `pre(s, i) == target(δ(s, i))` for every complete assignment.
+    fn check_preimage_semantics(net: &Network) {
+        let mut aig = net.aig().clone();
+        let latches = net.latch_vars();
+        let pis = net.primary_inputs().to_vec();
+        let n_in = aig.num_inputs();
+        assert!(n_in <= 10, "exhaustive check needs a small network");
+        // Targets over the latches: each single latch, their conjunction,
+        // and their parity (exercises shared and disjoint cones).
+        let mut targets: Vec<Lit> = latches.iter().map(|v| v.lit()).collect();
+        let latch_lits: Vec<Lit> = latches.iter().map(|v| v.lit()).collect();
+        targets.push(aig.and_many(&latch_lits));
+        let mut parity = Lit::FALSE;
+        for l in &latch_lits {
+            parity = aig.xor(parity, *l);
+        }
+        targets.push(parity);
+        for &target in &targets {
+            let pre = preimage_formula(&mut aig, net, target);
+            for mask in 0..1u32 << n_in {
+                let asg: Vec<bool> = (0..n_in).map(|i| mask >> i & 1 != 0).collect();
+                let state: Vec<bool> = latches
+                    .iter()
+                    .map(|v| asg[aig.input_index(*v).unwrap()])
+                    .collect();
+                let inputs: Vec<bool> = pis
+                    .iter()
+                    .map(|v| asg[aig.input_index(*v).unwrap()])
+                    .collect();
+                let (next, _) = net.step(&state, &inputs);
+                // Evaluate the target at the successor state (the input
+                // values are irrelevant to a latch-only target).
+                let mut asg_next = asg.clone();
+                for (v, nv) in latches.iter().zip(&next) {
+                    asg_next[aig.input_index(*v).unwrap()] = *nv;
+                }
+                assert_eq!(
+                    aig.eval(pre, &asg),
+                    aig.eval(target, &asg_next),
+                    "{}: pre-image disagrees with enumeration at mask {mask:#b}",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    /// A random sequential network: every next-state function and the bad
+    /// output are random functions over the latches and inputs.
+    fn random_network(n_latches: usize, n_inputs: usize, gates: usize, seed: u64) -> Network {
+        let mut b = Network::builder(format!("rnd{seed}"));
+        let latches: Vec<Var> = (0..n_latches).map(|i| b.add_latch(i % 2 == 0)).collect();
+        let inputs: Vec<Var> = (0..n_inputs).map(|_| b.add_input()).collect();
+        let pool: Vec<Lit> = latches.iter().chain(&inputs).map(|v| v.lit()).collect();
+        for (k, l) in latches.iter().enumerate() {
+            let next = random_function(b.aig_mut(), &pool, gates, seed.wrapping_add(k as u64));
+            b.set_next(*l, next);
+        }
+        let bad = random_function(b.aig_mut(), &pool, gates, seed.wrapping_add(97));
+        b.build(bad)
+    }
+
+    #[test]
+    fn preimage_matches_truth_table_on_random_networks() {
+        for seed in [3u64, 17, 41, 1009] {
+            check_preimage_semantics(&random_network(3, 2, 12, seed));
+            check_preimage_semantics(&random_network(4, 1, 20, seed.wrapping_mul(31)));
+        }
+    }
+
+    #[test]
+    fn preimage_with_constant_next_state_functions() {
+        // Latches stuck at 1, stuck at 0, and a live one: substitution
+        // must collapse the constant positions.
+        let mut b = Network::builder("const-next");
+        let l0 = b.add_latch(false);
+        let l1 = b.add_latch(true);
+        let l2 = b.add_latch(false);
+        let i0 = b.add_input();
+        b.set_next(l0, Lit::TRUE);
+        b.set_next(l1, Lit::FALSE);
+        let live = b.aig_mut().xor(l2.lit(), i0.lit());
+        b.set_next(l2, live);
+        let bad = b.aig_mut().and(l0.lit(), l1.lit());
+        let net = b.build(bad);
+        check_preimage_semantics(&net);
+        // Directly: pre(l0 ∧ ¬l1) is TRUE (the constants always land
+        // there), pre(¬l0) is FALSE.
+        let mut aig = net.aig().clone();
+        let latches = net.latch_vars();
+        let t = {
+            let l0 = latches[0].lit();
+            let l1 = latches[1].lit();
+            aig.and(l0, !l1)
+        };
+        assert_eq!(preimage_formula(&mut aig, &net, t), Lit::TRUE);
+        assert_eq!(
+            preimage_formula(&mut aig, &net, !latches[0].lit()),
+            Lit::FALSE
+        );
+    }
+
+    #[test]
+    fn preimage_with_duplicated_next_state_functions() {
+        // Two latches sharing one next-state function: after one step
+        // they are equal, so pre(l0 ≠ l1) must be FALSE and
+        // pre(l0 == l1) must be TRUE.
+        let mut b = Network::builder("dup-next");
+        let l0 = b.add_latch(false);
+        let l1 = b.add_latch(true);
+        let i0 = b.add_input();
+        let shared = b.aig_mut().xor(l0.lit(), i0.lit());
+        b.set_next(l0, shared);
+        b.set_next(l1, shared);
+        let bad = b.aig_mut().and(l0.lit(), l1.lit());
+        let net = b.build(bad);
+        check_preimage_semantics(&net);
+        let mut aig = net.aig().clone();
+        let latches = net.latch_vars();
+        let diff = aig.xor(latches[0].lit(), latches[1].lit());
+        assert_eq!(preimage_formula(&mut aig, &net, diff), Lit::FALSE);
+        assert_eq!(preimage_formula(&mut aig, &net, !diff), Lit::TRUE);
+    }
 
     #[test]
     fn preimage_of_counter_value() {

@@ -1,0 +1,1021 @@
+//! Partitioned state sets: the disjunctive, parallel state-set
+//! representation of the circuit-based traversals.
+//!
+//! The paper manipulates one monolithic AIG state set inside one shared
+//! manager — every pre-image, quantification pass, and sweep serialises
+//! on one cone and one clause database. This module splits the traversal
+//! state into a [`StateSet`]: a disjunction of [`Partition`]s, each
+//! owning its **own AIG manager and clause database** plus the mapping
+//! from network latches to partition input variables, so the expensive
+//! per-iteration work (pre-image/image, `exists_many`, sweeping) runs
+//! **in parallel across partitions** with `std::thread::scope`.
+//!
+//! # Partition lifecycle: split → image → sweep → prune → merge
+//!
+//! * **split** — a partition is divided either *by latch cofactor*
+//!   ([`SplitPolicy::LatchCofactor`]): the window cube is extended by the
+//!   latch with the best balance score, producing two window-disjoint
+//!   partitions; or *by frontier-of-origin*
+//!   ([`SplitPolicy::FrontierOrigin`]): the frontier's disjuncts are
+//!   divided between two same-window siblings. Splitting triggers
+//!   eagerly at construction (up to `--partitions N|auto`) and again
+//!   whenever a partition's state cone outgrows
+//!   [`PartitionConfig::resplit_watermark`].
+//! * **image** — each partition computes its pre-image (or image) and
+//!   quantification independently, in parallel, inside its own manager.
+//! * **sweep** — the per-partition [`StateSetSweeper`] fraigs and
+//!   garbage-collects each manager independently (still inside the
+//!   worker threads).
+//! * **prune** — same-window sibling frontiers that are SAT-provably
+//!   contained in the union of their siblings are dropped.
+//! * **merge** — deterministic, index-ordered: every quantified image is
+//!   cofactored onto every window, moved across managers by
+//!   ordinal-stable cone export/import, conjoined with the window cube,
+//!   and subtracted against the target's reached set.
+//!
+//! # Exactness
+//!
+//! With latch-cofactor windows the partitions tile the state space, so
+//! the union of partition frontiers/reached sets equals the monolithic
+//! sets **exactly** at every iteration: verdicts, fixpoint iteration
+//! counts, and minimal counterexample depths are identical for any
+//! partition count. Frontier-of-origin siblings replicate their window's
+//! reached set, which preserves the same invariant.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cbq_aig::{Aig, Lit, Node, Var};
+use cbq_ckt::Network;
+use cbq_cnf::AigCnf;
+use cbq_sat::SatResult;
+
+use crate::sweep::{StateSetSweeper, SweepConfig as StateSweepConfig, SweepStats};
+
+/// How many partitions a traversal starts with.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PartitionCount {
+    /// Exactly this many partitions (1 = the monolithic traversal).
+    Fixed(usize),
+    /// One partition per available CPU core.
+    Auto,
+}
+
+impl PartitionCount {
+    /// Parses a CLI-facing value: `auto` or a positive number.
+    pub fn from_name(name: &str) -> Option<PartitionCount> {
+        if name == "auto" {
+            return Some(PartitionCount::Auto);
+        }
+        name.parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .map(PartitionCount::Fixed)
+    }
+
+    /// Resolves the count against the machine's parallelism.
+    pub fn resolve(&self) -> usize {
+        match self {
+            PartitionCount::Fixed(n) => (*n).max(1),
+            PartitionCount::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// How an oversized partition is divided.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Extend the window cube by the latch whose cofactors have the best
+    /// balance score (smallest larger half), producing two
+    /// window-disjoint partitions.
+    LatchCofactor,
+    /// Divide the frontier's disjuncts-of-origin between two same-window
+    /// siblings (falls back to the latch split when the frontier has
+    /// fewer than two disjuncts).
+    FrontierOrigin,
+}
+
+impl SplitPolicy {
+    /// Parses a CLI-facing name (`latch`, `origin`).
+    pub fn from_name(name: &str) -> Option<SplitPolicy> {
+        match name {
+            "latch" => Some(SplitPolicy::LatchCofactor),
+            "origin" => Some(SplitPolicy::FrontierOrigin),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name of this policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SplitPolicy::LatchCofactor => "latch",
+            SplitPolicy::FrontierOrigin => "origin",
+        }
+    }
+}
+
+/// Configuration of the partitioned state-set representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Initial partition count (`Fixed(1)` = monolithic).
+    pub count: PartitionCount,
+    /// Split policy for the initial split and watermark re-splits.
+    pub split: SplitPolicy,
+    /// Re-split a partition whose state cone (reached ∪ frontier AND
+    /// gates) outgrows this many nodes; `None` disables re-splitting.
+    pub resplit_watermark: Option<usize>,
+    /// Hard cap on the total partition count.
+    pub max_partitions: usize,
+    /// SAT-prune same-window sibling frontiers contained in the union of
+    /// their siblings.
+    pub prune: bool,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> PartitionConfig {
+        PartitionConfig {
+            count: PartitionCount::Fixed(1),
+            split: SplitPolicy::LatchCofactor,
+            resplit_watermark: None,
+            max_partitions: 64,
+            prune: true,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A configuration starting at `count` partitions, with watermark
+    /// re-splitting enabled (the `cbq check --partitions` behaviour).
+    /// An explicit count of 1 stays genuinely monolithic: no watermark,
+    /// never self-partitions.
+    pub fn with_count(count: PartitionCount) -> PartitionConfig {
+        let resplit_watermark = match count {
+            PartitionCount::Fixed(1) => None,
+            _ => Some(4096),
+        };
+        PartitionConfig {
+            count,
+            resplit_watermark,
+            ..PartitionConfig::default()
+        }
+    }
+}
+
+/// Per-run counters of a partitioned traversal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Partition count after each iteration.
+    pub trajectory: Vec<usize>,
+    /// Largest per-partition state cone (reached ∪ frontier AND gates)
+    /// observed at any iteration boundary.
+    pub max_cone: usize,
+    /// Sibling frontiers pruned as contained in their window's union.
+    pub prunes: usize,
+    /// Splits performed (initial and watermark-triggered).
+    pub splits: usize,
+}
+
+/// One disjunct of a [`StateSet`]: a self-contained share of the
+/// traversal state inside its own AIG manager and clause database.
+pub struct Partition {
+    /// The partition-private AIG manager.
+    pub aig: Aig,
+    /// The partition-private incremental SAT bridge.
+    pub cnf: AigCnf,
+    /// Primary-input variables, in network order.
+    pub pis: Vec<Var>,
+    /// Latch variables, in network order (the latch-to-partition-input
+    /// mapping; ordinals are stable across splits and GC).
+    pub latches: Vec<Var>,
+    /// Fresh next-state variables `s'` (forward traversals only).
+    pub next_vars: Vec<Var>,
+    /// Next-state functions δ, in latch order.
+    pub deltas: Vec<Lit>,
+    /// The transition relation `∧ⱼ (s'ⱼ ≡ δⱼ)` (forward traversals;
+    /// [`Lit::TRUE`] for backward ones, which in-line instead).
+    pub trans: Lit,
+    /// The bad-state function.
+    pub bad: Lit,
+    /// The initial-state cube.
+    pub init: Lit,
+    /// The window cube as (latch ordinal, value) pairs; empty = the whole
+    /// state space.
+    pub window: Vec<(usize, bool)>,
+    /// The window cube as a literal of this manager.
+    pub window_lit: Lit,
+    /// States reached within this partition's window.
+    pub reached: Lit,
+    /// The active frontier (window-restricted).
+    pub frontier: Lit,
+    /// The frontier's disjuncts of origin (one per merged image piece) —
+    /// the unit [`SplitPolicy::FrontierOrigin`] divides.
+    pub frontier_parts: Vec<Lit>,
+    /// Every frontier in discovery order (trace extraction walks them).
+    pub frontiers: Vec<Lit>,
+    /// Cooperative wall-clock cancellation for quantification and sweeps.
+    pub deadline: Option<Instant>,
+    /// Cooperative per-partition node budget for quantification.
+    pub node_limit: Option<usize>,
+    sweeper: Option<StateSetSweeper>,
+}
+
+impl Partition {
+    fn seed(
+        net: &Network,
+        forward: bool,
+        sweep: Option<StateSweepConfig>,
+        deadline: Option<Instant>,
+        node_limit: Option<usize>,
+    ) -> Partition {
+        let mut aig = net.aig().clone();
+        let (next_vars, trans) = if forward {
+            let next_vars: Vec<Var> = net.latches().iter().map(|_| aig.add_input()).collect();
+            let eqs: Vec<Lit> = net
+                .latches()
+                .iter()
+                .zip(&next_vars)
+                .map(|(l, nv)| aig.iff(nv.lit(), l.next))
+                .collect();
+            let trans = aig.and_many(&eqs);
+            (next_vars, trans)
+        } else {
+            (Vec::new(), Lit::TRUE)
+        };
+        let init = net.initial_cube().to_lit(&mut aig);
+        let (reached, frontier, frontiers, parts) = if forward {
+            (init, init, vec![init], vec![init])
+        } else {
+            (Lit::FALSE, Lit::FALSE, Vec::new(), Vec::new())
+        };
+        let mut sweeper = sweep.map(StateSetSweeper::new);
+        if let Some(sw) = &mut sweeper {
+            sw.set_deadline(deadline);
+        }
+        Partition {
+            aig,
+            cnf: AigCnf::new(),
+            pis: net.primary_inputs().to_vec(),
+            latches: net.latch_vars(),
+            next_vars,
+            deltas: net.latches().iter().map(|l| l.next).collect(),
+            trans,
+            bad: net.bad(),
+            init,
+            window: Vec::new(),
+            window_lit: Lit::TRUE,
+            reached,
+            frontier,
+            frontier_parts: parts,
+            frontiers,
+            deadline,
+            node_limit,
+            sweeper,
+        }
+    }
+
+    /// A twin for splitting: same manager image, fresh clause database and
+    /// fresh sweeper (so SAT-check and sweep counters are not double
+    /// counted across siblings).
+    fn clone_for_split(&self) -> Partition {
+        Partition {
+            aig: self.aig.clone(),
+            cnf: AigCnf::new(),
+            pis: self.pis.clone(),
+            latches: self.latches.clone(),
+            next_vars: self.next_vars.clone(),
+            deltas: self.deltas.clone(),
+            trans: self.trans,
+            bad: self.bad,
+            init: self.init,
+            window: self.window.clone(),
+            window_lit: self.window_lit,
+            reached: self.reached,
+            frontier: self.frontier,
+            frontier_parts: self.frontier_parts.clone(),
+            frontiers: self.frontiers.clone(),
+            deadline: self.deadline,
+            node_limit: self.node_limit,
+            sweeper: self.sweeper.as_ref().map(|s| {
+                let mut fresh = StateSetSweeper::new(s.config().clone());
+                fresh.set_deadline(self.deadline);
+                fresh
+            }),
+        }
+    }
+
+    /// Restricts every state cone to `latch ordinal == value`, extending
+    /// the window cube.
+    fn restrict(&mut self, ord: usize, value: bool) {
+        let v = self.latches[ord];
+        let wlit = v.lit().xor_sign(!value);
+        self.window.push((ord, value));
+        self.window_lit = self.aig.and(self.window_lit, wlit);
+        let restrict_lit = |aig: &mut Aig, l: Lit| {
+            let cof = aig.cofactor(l, v, value);
+            aig.and(cof, wlit)
+        };
+        self.frontier = restrict_lit(&mut self.aig, self.frontier);
+        self.reached = restrict_lit(&mut self.aig, self.reached);
+        for slot in self
+            .frontier_parts
+            .iter_mut()
+            .chain(self.frontiers.iter_mut())
+        {
+            *slot = restrict_lit(&mut self.aig, *slot);
+        }
+    }
+
+    /// The raw pre-image of `target`: quantification by substitution of
+    /// the next-state functions (Section 3 in-lining).
+    pub fn preimage(&mut self, target: Lit) -> Lit {
+        let defs: Vec<(Var, Lit)> = self
+            .latches
+            .iter()
+            .copied()
+            .zip(self.deltas.iter().copied())
+            .collect();
+        self.aig.compose(target, &defs)
+    }
+
+    /// Variables eliminated per forward image: current latches + inputs.
+    pub fn elim_vars(&self) -> Vec<Var> {
+        let mut elim = self.latches.clone();
+        elim.extend_from_slice(&self.pis);
+        elim
+    }
+
+    /// The forward renaming `s' → s` applied after quantification.
+    pub fn rename(&self) -> Vec<(Var, Lit)> {
+        self.next_vars
+            .iter()
+            .zip(&self.latches)
+            .map(|(nv, l)| (*nv, l.lit()))
+            .collect()
+    }
+
+    /// AND gates of this partition's state cone (reached ∪ frontier).
+    pub fn state_cone(&self) -> usize {
+        self.aig.cone_size_many(&[self.reached, self.frontier])
+    }
+
+    /// Runs the partition's sweeper if due, remapping every partition
+    /// literal/variable plus the caller's `extra` literals. Returns
+    /// whether a sweep ran.
+    pub fn sweep_if_due(&mut self, extra: &mut [Lit]) -> bool {
+        let Some(mut sweeper) = self.sweeper.take() else {
+            return false;
+        };
+        let mut lits: Vec<&mut Lit> = vec![
+            &mut self.trans,
+            &mut self.bad,
+            &mut self.init,
+            &mut self.window_lit,
+            &mut self.reached,
+            &mut self.frontier,
+        ];
+        lits.extend(self.deltas.iter_mut());
+        lits.extend(self.frontiers.iter_mut());
+        lits.extend(self.frontier_parts.iter_mut());
+        lits.extend(extra.iter_mut());
+        let vars: Vec<&mut Var> = self
+            .pis
+            .iter_mut()
+            .chain(self.latches.iter_mut())
+            .chain(self.next_vars.iter_mut())
+            .collect();
+        let ran = sweeper.run_if_due(&mut self.aig, &mut self.cnf, lits, vars);
+        self.sweeper = Some(sweeper);
+        ran
+    }
+
+    /// SAT checks issued by this partition, including checks on clause
+    /// databases its sweeper already retired.
+    pub fn sat_checks(&self) -> u64 {
+        let retired = self
+            .sweeper
+            .as_ref()
+            .map_or(0, |s| s.stats.retired_sat_checks);
+        retired + self.cnf.stats().checks
+    }
+
+    /// This partition's sweeping counters (zeroed when sweeping is off).
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.sweeper
+            .as_ref()
+            .map_or_else(SweepStats::default, |s| s.stats)
+    }
+}
+
+/// Outcome of one [`StateSet::merge_images`] call.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    /// Whether any partition gained new states (false = global fixpoint).
+    pub any_new: bool,
+    /// Lowest-index partition whose new frontier intersects the initial
+    /// states, if any (backward traversals' counterexample signal).
+    pub cex_partition: Option<usize>,
+}
+
+/// A disjunctive set of [`Partition`]s — the traversal state of the
+/// partitioned circuit engines.
+pub struct StateSet {
+    /// The partitions, in deterministic index order. The represented set
+    /// is the union of the partitions' sets.
+    pub parts: Vec<Partition>,
+    /// Lifecycle counters.
+    pub stats: PartitionStats,
+    cfg: PartitionConfig,
+}
+
+impl StateSet {
+    /// A backward-traversal state set: one seed partition with empty
+    /// reached/frontier sets (the engine installs F₀ before splitting).
+    pub fn new_backward(
+        net: &Network,
+        cfg: PartitionConfig,
+        sweep: Option<StateSweepConfig>,
+        deadline: Option<Instant>,
+        node_limit: Option<usize>,
+    ) -> StateSet {
+        StateSet {
+            parts: vec![Partition::seed(net, false, sweep, deadline, node_limit)],
+            stats: PartitionStats::default(),
+            cfg,
+        }
+    }
+
+    /// A forward-traversal state set: one seed partition whose frontier
+    /// and reached set are the initial states, plus transition relation
+    /// and next-state variables.
+    pub fn new_forward(
+        net: &Network,
+        cfg: PartitionConfig,
+        sweep: Option<StateSweepConfig>,
+        deadline: Option<Instant>,
+        node_limit: Option<usize>,
+    ) -> StateSet {
+        StateSet {
+            parts: vec![Partition::seed(net, true, sweep, deadline, node_limit)],
+            stats: PartitionStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configured initial partition count, resolved against the
+    /// machine.
+    pub fn target_count(&self) -> usize {
+        self.cfg.count.resolve().min(self.cfg.max_partitions)
+    }
+
+    /// Splits the largest partitions until the configured initial count
+    /// is reached (or no partition can split further).
+    pub fn split_to_target(&mut self) {
+        let target = self.target_count();
+        while self.parts.len() < target {
+            // Candidates in descending state-cone order (ties: lowest
+            // index); take the first that actually splits.
+            let mut order: Vec<(usize, usize)> = self
+                .parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.state_cone()))
+                .collect();
+            order.sort_by_key(|&(i, size)| (std::cmp::Reverse(size), i));
+            if !order.into_iter().any(|(i, _)| self.split_partition(i)) {
+                break;
+            }
+        }
+    }
+
+    /// Splits partition `idx` according to the configured policy; returns
+    /// whether a split happened.
+    pub fn split_partition(&mut self, idx: usize) -> bool {
+        if self.parts.len() >= self.cfg.max_partitions {
+            return false;
+        }
+        let done = match self.cfg.split {
+            SplitPolicy::FrontierOrigin if self.parts[idx].frontier_parts.len() >= 2 => {
+                self.split_by_origin(idx)
+            }
+            _ => {
+                // Latch-splitting one member of a same-window sibling
+                // group would leave the other siblings on the parent
+                // window — overlapping windows that duplicate every
+                // subsequent image step. Refuse instead.
+                let has_siblings = self
+                    .parts
+                    .iter()
+                    .enumerate()
+                    .any(|(j, q)| j != idx && q.window == self.parts[idx].window);
+                if has_siblings {
+                    return false;
+                }
+                self.split_by_latch(idx)
+            }
+        };
+        if done {
+            self.stats.splits += 1;
+        }
+        done
+    }
+
+    /// Latch-cofactor split: picks the unused latch with the best balance
+    /// score over the partition's state cone and extends the window.
+    fn split_by_latch(&mut self, idx: usize) -> bool {
+        let ord = {
+            let p = &mut self.parts[idx];
+            let used: Vec<usize> = p.window.iter().map(|(o, _)| *o).collect();
+            let state = p.aig.or(p.frontier, p.reached);
+            let mut best: Option<(usize, usize)> = None;
+            for ord in 0..p.latches.len() {
+                if used.contains(&ord) {
+                    continue;
+                }
+                let v = p.latches[ord];
+                if !p.aig.support_contains(state, v) {
+                    continue;
+                }
+                let (c1, c0) = p.aig.cofactors(state, v);
+                let score = p.aig.cone_size(c1).max(p.aig.cone_size(c0));
+                if best.is_none_or(|(s, _)| score < s) {
+                    best = Some((score, ord));
+                }
+            }
+            match best {
+                Some((_, ord)) => ord,
+                // State cone ignores every unused latch: split on the
+                // first free ordinal anyway (content lands on one side).
+                None => match (0..p.latches.len()).find(|o| !used.contains(o)) {
+                    Some(ord) => ord,
+                    None => return false,
+                },
+            }
+        };
+        let mut child = self.parts[idx].clone_for_split();
+        self.parts[idx].restrict(ord, false);
+        child.restrict(ord, true);
+        self.parts.push(child);
+        true
+    }
+
+    /// Frontier-of-origin split: divides the frontier disjuncts between
+    /// the partition and a new same-window sibling (which replicates the
+    /// window's reached set, preserving exact subtraction).
+    fn split_by_origin(&mut self, idx: usize) -> bool {
+        if self.parts[idx].frontier_parts.len() < 2 {
+            return false;
+        }
+        let mut child = self.parts[idx].clone_for_split();
+        let mid = self.parts[idx].frontier_parts.len().div_ceil(2);
+        let give = self.parts[idx].frontier_parts.split_off(mid);
+        {
+            let p = &mut self.parts[idx];
+            p.frontier = p.aig.or_many(&p.frontier_parts);
+            if let Some(last) = p.frontiers.last_mut() {
+                *last = p.frontier;
+            }
+        }
+        child.frontier_parts = give;
+        child.frontier = child.aig.or_many(&child.frontier_parts);
+        if let Some(last) = child.frontiers.last_mut() {
+            *last = child.frontier;
+        }
+        self.parts.push(child);
+        true
+    }
+
+    /// Runs `f` over every partition — in parallel via `thread::scope`
+    /// when more than one partition and more than one core are available,
+    /// batched so no more than `available_parallelism` workers run at
+    /// once (watermark re-splitting can push the partition count well
+    /// past the core count). Results are returned in partition index
+    /// order regardless of thread completion order (the determinism
+    /// guard).
+    pub fn par_map<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Partition) -> R + Sync,
+    {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if self.parts.len() <= 1 || cores <= 1 {
+            return self
+                .parts
+                .iter_mut()
+                .enumerate()
+                .map(|(i, p)| f(i, p))
+                .collect();
+        }
+        let f = &f;
+        let mut results = Vec::with_capacity(self.parts.len());
+        let mut base = 0;
+        for chunk in self.parts.chunks_mut(cores) {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunk
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(off, p)| scope.spawn(move || f(base + off, p)))
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("partition worker panicked"));
+                }
+            });
+            base += cores;
+        }
+        results
+    }
+
+    /// The deterministic merge step: redistributes the per-partition
+    /// quantified images (`images[i]` lives in partition `i`'s manager,
+    /// over latch variables) onto every window, subtracts each target's
+    /// reached set, installs the new frontiers, and reports fixpoint /
+    /// counterexample signals. Index-ordered throughout, so repeated runs
+    /// produce identical frontiers and stats.
+    ///
+    /// `detect_init_cex` enables the backward traversals' counterexample
+    /// scan (does any new frontier intersect the initial states?);
+    /// forward traversals detect counterexamples against `bad` instead
+    /// and pass `false`.
+    pub fn merge_images(&mut self, images: &[Lit], detect_init_cex: bool) -> MergeOutcome {
+        let n = self.parts.len();
+        debug_assert_eq!(images.len(), n);
+        // Distinct windows in first-occurrence (index) order.
+        let mut windows: Vec<Vec<(usize, bool)>> = Vec::new();
+        let mut window_of: Vec<usize> = Vec::with_capacity(n);
+        for p in &self.parts {
+            let id = match windows.iter().position(|w| *w == p.window) {
+                Some(id) => id,
+                None => {
+                    windows.push(p.window.clone());
+                    windows.len() - 1
+                }
+            };
+            window_of.push(id);
+        }
+        // Phase 1: cofactor every image onto every window and export the
+        // cones (ordinal-stable, so they import into any sibling).
+        let mut pieces: Vec<Vec<ConeExport>> = vec![Vec::new(); windows.len()];
+        for (s, &image) in images.iter().enumerate() {
+            if image == Lit::FALSE {
+                continue;
+            }
+            let src = &mut self.parts[s];
+            for (w_id, w) in windows.iter().enumerate() {
+                let map: Vec<(Var, Lit)> = w
+                    .iter()
+                    .map(|(ord, val)| {
+                        (src.latches[*ord], if *val { Lit::TRUE } else { Lit::FALSE })
+                    })
+                    .collect();
+                let cof = src.aig.compose(image, &map);
+                if cof == Lit::FALSE {
+                    continue;
+                }
+                pieces[w_id].push(export_cone(&src.aig, cof));
+            }
+        }
+        // Phase 2: per target (index order), import its window's pieces,
+        // restrict, subtract reached, and take its round-robin share of
+        // the active frontier (same-window siblings divide the pieces;
+        // the share assignment depends only on the piece index, so it is
+        // identical across runs).
+        let mut group_size = vec![0usize; windows.len()];
+        for &w in &window_of {
+            group_size[w] += 1;
+        }
+        let mut group_pos = vec![0usize; windows.len()];
+        let mut any_new = false;
+        for (t, &w_id) in window_of.iter().enumerate() {
+            let pos = group_pos[w_id];
+            group_pos[w_id] += 1;
+            let m = group_size[w_id];
+            let p = &mut self.parts[t];
+            let old_reached = p.reached;
+            let mut new_all: Vec<Lit> = Vec::new();
+            let mut share: Vec<Lit> = Vec::new();
+            for (j, exp) in pieces[w_id].iter().enumerate() {
+                let piece = import_cone(&mut p.aig, exp);
+                let piece = p.aig.and(piece, p.window_lit);
+                let fresh = p.aig.and(piece, !old_reached);
+                if fresh == Lit::FALSE {
+                    continue;
+                }
+                new_all.push(fresh);
+                if j % m == pos {
+                    share.push(fresh);
+                }
+            }
+            let mut front = p.aig.or_many(&share);
+            if front != Lit::FALSE && p.cnf.solve_under(&p.aig, &[front]) == SatResult::Unsat {
+                front = Lit::FALSE;
+            }
+            if front == Lit::FALSE {
+                share.clear();
+            }
+            p.frontier = front;
+            p.frontier_parts = share;
+            p.frontiers.push(front);
+            if !new_all.is_empty() {
+                let add = p.aig.or_many(&new_all);
+                p.reached = p.aig.or(old_reached, add);
+            }
+            any_new |= front != Lit::FALSE;
+        }
+        // Counterexample signal: lowest-index partition whose new
+        // frontier intersects the initial states.
+        let mut cex_partition = None;
+        if detect_init_cex {
+            for t in 0..n {
+                let p = &mut self.parts[t];
+                if p.frontier != Lit::FALSE
+                    && p.cnf.solve_under(&p.aig, &[p.frontier, p.init]) == SatResult::Sat
+                {
+                    cex_partition = Some(t);
+                    break;
+                }
+            }
+        }
+        MergeOutcome {
+            any_new,
+            cex_partition,
+        }
+    }
+
+    /// The post-merge lifecycle step: prunes contained sibling frontiers,
+    /// re-splits partitions past the watermark, and records the
+    /// trajectory/max-cone statistics.
+    pub fn prune_and_resplit(&mut self) {
+        if self.cfg.prune {
+            self.prune_contained();
+        }
+        if let Some(watermark) = self.cfg.resplit_watermark {
+            let mut idx = 0;
+            while idx < self.parts.len() {
+                if self.parts.len() >= self.cfg.max_partitions {
+                    break;
+                }
+                if self.parts[idx].state_cone() > watermark {
+                    self.split_partition(idx);
+                }
+                idx += 1;
+            }
+        }
+        self.record_iteration();
+    }
+
+    /// Prunes same-window sibling frontiers that are SAT-provably
+    /// contained in the union of their (still active) siblings. Later
+    /// siblings are checked first, so of two identical siblings exactly
+    /// one survives.
+    fn prune_contained(&mut self) {
+        let mut groups: HashMap<Vec<(usize, bool)>, Vec<usize>> = HashMap::new();
+        for (i, p) in self.parts.iter().enumerate() {
+            groups.entry(p.window.clone()).or_default().push(i);
+        }
+        let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+        group_list.sort_unstable();
+        for group in group_list {
+            if group.len() < 2 {
+                continue;
+            }
+            for pos in (0..group.len()).rev() {
+                let t = group[pos];
+                if self.parts[t].frontier == Lit::FALSE {
+                    continue;
+                }
+                let exports: Vec<ConeExport> = group
+                    .iter()
+                    .filter(|&&q| q != t && self.parts[q].frontier != Lit::FALSE)
+                    .map(|&q| export_cone(&self.parts[q].aig, self.parts[q].frontier))
+                    .collect();
+                if exports.is_empty() {
+                    continue;
+                }
+                let p = &mut self.parts[t];
+                let lits: Vec<Lit> = exports.iter().map(|e| import_cone(&mut p.aig, e)).collect();
+                let union = p.aig.or_many(&lits);
+                let excess = p.aig.and(p.frontier, !union);
+                if excess == Lit::FALSE || p.cnf.solve_under(&p.aig, &[excess]) == SatResult::Unsat
+                {
+                    p.frontier = Lit::FALSE;
+                    p.frontier_parts.clear();
+                    if let Some(last) = p.frontiers.last_mut() {
+                        *last = Lit::FALSE;
+                    }
+                    self.stats.prunes += 1;
+                }
+            }
+        }
+    }
+
+    /// Records the per-iteration partition statistics.
+    pub fn record_iteration(&mut self) {
+        self.stats.trajectory.push(self.parts.len());
+        let max = self.parts.iter().map(|p| p.state_cone()).max().unwrap_or(0);
+        self.stats.max_cone = self.stats.max_cone.max(max);
+    }
+
+    /// Total nodes across every partition manager.
+    pub fn total_nodes(&self) -> usize {
+        self.parts.iter().map(|p| p.aig.num_nodes()).sum()
+    }
+
+    /// Total SAT checks across every partition (live + retired bridges).
+    pub fn total_sat_checks(&self) -> u64 {
+        self.parts.iter().map(|p| p.sat_checks()).sum()
+    }
+
+    /// Summed AND-gate count of the partition frontiers.
+    pub fn frontier_size(&self) -> usize {
+        self.parts.iter().map(|p| p.aig.cone_size(p.frontier)).sum()
+    }
+
+    /// Summed AND-gate count of the partition reached sets.
+    pub fn reached_size(&self) -> usize {
+        self.parts.iter().map(|p| p.aig.cone_size(p.reached)).sum()
+    }
+
+    /// Sweeping counters folded across every partition, in index order.
+    pub fn aggregate_sweep(&self) -> SweepStats {
+        let mut total = SweepStats::default();
+        for p in &self.parts {
+            total.absorb(&p.sweep_stats());
+        }
+        total
+    }
+}
+
+/// A manager-independent serialisation of one cone. Inputs are identified
+/// by their **ordinal**, which every partition manager preserves across
+/// clones, splits, and GC compactions — so a cone exported from one
+/// partition imports into any other with identical semantics.
+#[derive(Clone, Debug)]
+pub struct ConeExport {
+    nodes: Vec<ExportNode>,
+    root_idx: usize,
+    root_neg: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+enum ExportNode {
+    Const,
+    Input(usize),
+    And(usize, bool, usize, bool),
+}
+
+/// Serialises the cone of `root` out of `aig`.
+pub fn export_cone(aig: &Aig, root: Lit) -> ConeExport {
+    let cone = aig.collect_cone(&[root]);
+    let mut idx_of: HashMap<Var, usize> = HashMap::with_capacity(cone.len());
+    let mut nodes = Vec::with_capacity(cone.len());
+    for v in cone {
+        let node = match aig.node(v) {
+            Node::Const => ExportNode::Const,
+            Node::Input { .. } => {
+                ExportNode::Input(aig.input_index(v).expect("input has an ordinal"))
+            }
+            Node::And { f0, f1 } => ExportNode::And(
+                idx_of[&f0.var()],
+                f0.is_complemented(),
+                idx_of[&f1.var()],
+                f1.is_complemented(),
+            ),
+        };
+        idx_of.insert(v, nodes.len());
+        nodes.push(node);
+    }
+    ConeExport {
+        nodes,
+        root_idx: idx_of[&root.var()],
+        root_neg: root.is_complemented(),
+    }
+}
+
+/// Rebuilds an exported cone inside `aig` (structural hashing dedups any
+/// part that already exists) and returns the translated root.
+pub fn import_cone(aig: &mut Aig, exp: &ConeExport) -> Lit {
+    let mut lits: Vec<Lit> = Vec::with_capacity(exp.nodes.len());
+    for node in &exp.nodes {
+        let l = match *node {
+            ExportNode::Const => Lit::FALSE,
+            ExportNode::Input(ord) => aig.input_var(ord).lit(),
+            ExportNode::And(a, na, b, nb) => {
+                let la = lits[a].xor_sign(na);
+                let lb = lits[b].xor_sign(nb);
+                aig.and(la, lb)
+            }
+        };
+        lits.push(l);
+    }
+    lits[exp.root_idx].xor_sign(exp.root_neg)
+}
+
+/// The conjunction of latch literals pinning `state` (trace extraction).
+pub(crate) fn state_cube(aig: &mut Aig, latches: &[Var], state: &[bool]) -> Lit {
+    let lits: Vec<Lit> = latches
+        .iter()
+        .zip(state)
+        .map(|(l, v)| l.lit().xor_sign(!v))
+        .collect();
+    aig.and_many(&lits)
+}
+
+/// Reads the model values of a list of input variables, in order.
+pub(crate) fn read_vars(aig: &Aig, vars: &[Var], cnf: &AigCnf) -> Vec<bool> {
+    let model = cnf.model_inputs(aig);
+    vars.iter()
+        .map(|v| model[aig.input_index(*v).expect("sequential var is an input")])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn cone_export_round_trips_across_managers() {
+        let mut a = Aig::new();
+        let ins: Vec<Lit> = (0..4).map(|_| a.add_input().lit()).collect();
+        let f = {
+            let x = a.xor(ins[0], ins[1]);
+            let y = a.and(x, !ins[2]);
+            a.or(y, ins[3])
+        };
+        let exp = export_cone(&a, f);
+        let mut b = Aig::with_inputs(4);
+        let g = import_cone(&mut b, &exp);
+        for mask in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| (mask >> i) & 1 != 0).collect();
+            assert_eq!(a.eval(f, &asg), b.eval(g, &asg));
+        }
+        // Constants survive too.
+        let c = import_cone(&mut b, &export_cone(&a, Lit::TRUE));
+        assert_eq!(c, Lit::TRUE);
+    }
+
+    #[test]
+    fn latch_split_tiles_the_state_space() {
+        let net = generators::token_ring(4);
+        let mut ss = StateSet::new_backward(
+            &net,
+            PartitionConfig::with_count(PartitionCount::Fixed(4)),
+            None,
+            None,
+            None,
+        );
+        // Install a frontier so the split has something to balance.
+        let p = &mut ss.parts[0];
+        let bad = p.bad;
+        let f0 = p.preimage(bad);
+        p.frontier = f0;
+        p.frontier_parts = vec![f0];
+        p.frontiers.push(f0);
+        p.reached = f0;
+        ss.split_to_target();
+        assert_eq!(ss.parts.len(), 4);
+        // Window cubes must be pairwise disjoint: two distinct windows
+        // always disagree on some shared latch ordinal.
+        for i in 0..ss.parts.len() {
+            for j in i + 1..ss.parts.len() {
+                let wi = &ss.parts[i].window;
+                let wj = &ss.parts[j].window;
+                let disjoint = wi
+                    .iter()
+                    .any(|(o, v)| wj.iter().any(|(o2, v2)| o == o2 && v != v2));
+                assert!(disjoint, "windows {wi:?} and {wj:?} overlap");
+            }
+        }
+        assert_eq!(ss.stats.splits, 3);
+    }
+
+    #[test]
+    fn partition_counts_parse() {
+        assert_eq!(
+            PartitionCount::from_name("4"),
+            Some(PartitionCount::Fixed(4))
+        );
+        assert_eq!(
+            PartitionCount::from_name("auto"),
+            Some(PartitionCount::Auto)
+        );
+        assert_eq!(PartitionCount::from_name("0"), None);
+        assert_eq!(PartitionCount::from_name("many"), None);
+        assert_eq!(PartitionCount::Fixed(3).resolve(), 3);
+        assert!(PartitionCount::Auto.resolve() >= 1);
+        assert_eq!(
+            SplitPolicy::from_name("latch"),
+            Some(SplitPolicy::LatchCofactor)
+        );
+        assert_eq!(
+            SplitPolicy::from_name("origin"),
+            Some(SplitPolicy::FrontierOrigin)
+        );
+        assert_eq!(SplitPolicy::from_name("x"), None);
+        assert_eq!(SplitPolicy::LatchCofactor.name(), "latch");
+        assert_eq!(SplitPolicy::FrontierOrigin.name(), "origin");
+    }
+}

@@ -27,6 +27,8 @@
 //! manager); the checks spent on retired bridges are accumulated in
 //! [`SweepStats::retired_sat_checks`] so engine totals stay monotone.
 
+use std::time::Instant;
+
 use cbq_aig::{Aig, Lit, Var};
 use cbq_cec::{sweep as fraig, SweepConfig as FraigConfig};
 use cbq_cnf::AigCnf;
@@ -45,6 +47,11 @@ pub struct SweepConfig {
     /// Garbage-collect the manager after merging (rebuilds a fresh AIG
     /// holding only live cones and resets the SAT bridge).
     pub gc: bool,
+    /// Per-traversal budget deadline: a sweep that would start after this
+    /// instant is skipped entirely, and the fraig candidate loop stops
+    /// early once it passes (cooperative cancellation, so a sweep can
+    /// never push an engine far past its wall-clock budget).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SweepConfig {
@@ -59,6 +66,7 @@ impl Default for SweepConfig {
             growth_factor: 1.5,
             min_nodes: 256,
             gc: true,
+            deadline: None,
         }
     }
 }
@@ -101,6 +109,19 @@ impl SweepStats {
     /// Manager nodes reclaimed by garbage collection, total.
     pub fn reclaimed(&self) -> usize {
         self.nodes_before.saturating_sub(self.nodes_after)
+    }
+
+    /// Accumulates another counter record into this one (used to fold the
+    /// per-partition sweepers of a partitioned traversal into one total).
+    pub fn absorb(&mut self, other: &SweepStats) {
+        self.runs += other.runs;
+        self.merged += other.merged;
+        self.nodes_before += other.nodes_before;
+        self.nodes_after += other.nodes_after;
+        self.live_before += other.live_before;
+        self.live_after += other.live_after;
+        self.retired_sat_checks += other.retired_sat_checks;
+        self.cnf_resets += other.cnf_resets;
     }
 }
 
@@ -162,7 +183,21 @@ impl StateSetSweeper {
         nodes >= self.cfg.min_nodes && nodes as f64 >= mark as f64 * self.cfg.growth_factor
     }
 
+    /// The sweeper's configuration (partition splitting clones it into
+    /// fresh, zero-counter sweepers for the new siblings).
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// Sets the cooperative cancellation deadline (both the skip check and
+    /// the fraig candidate loop honour it).
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.cfg.deadline = deadline;
+        self.cfg.fraig.deadline = deadline;
+    }
+
     /// Runs the sweep if [`StateSetSweeper::due`]; returns whether it ran.
+    /// A sweep that would start past the configured deadline is skipped.
     pub fn run_if_due(
         &mut self,
         aig: &mut Aig,
@@ -170,6 +205,11 @@ impl StateSetSweeper {
         lits: Vec<&mut Lit>,
         vars: Vec<&mut Var>,
     ) -> bool {
+        if let Some(deadline) = self.cfg.deadline {
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
         if !self.due(aig) {
             return false;
         }

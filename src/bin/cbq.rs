@@ -19,7 +19,10 @@ use std::time::Duration;
 
 use cbq::ckt::io::{read_network, write_network};
 use cbq::ckt::{generators, Network};
-use cbq::mc::{by_name_tuned, engine_names, registry, supports_tuning, EngineTuning};
+use cbq::mc::{
+    by_name_tuned, engine_names, registry, supports_tuning, CircuitUmcStats, EngineTuning,
+    ForwardCircuitUmcStats, McRun, PartitionCount, PartitionStats, SplitPolicy,
+};
 use cbq::prelude::*;
 use cbq::quant::{exists_bdd, exists_many, VarOrder};
 
@@ -76,23 +79,34 @@ fn parse_num(args: &[String], i: usize, default: u64) -> Result<u64, String> {
     }
 }
 
-/// Positional arguments plus `--flag value` pairs.
-type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+/// Positional arguments, `--flag value` pairs, and valueless switches.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>, Vec<&'a str>);
 
-/// Splits `args` into positional arguments and `--flag value` pairs,
-/// rejecting flags outside `known`.
-fn parse_flags<'a>(args: &'a [String], known: &[&str]) -> Result<ParsedArgs<'a>, String> {
+/// Splits `args` into positional arguments, `--flag value` pairs, and
+/// valueless `--switch` flags, rejecting anything outside
+/// `known`/`known_switch`.
+fn parse_flags<'a>(
+    args: &'a [String],
+    known: &[&str],
+    known_switch: &[&str],
+) -> Result<ParsedArgs<'a>, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
+    let mut switches = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(flag) = arg.strip_prefix("--") {
+            if known_switch.contains(&flag) {
+                switches.push(flag);
+                continue;
+            }
             if !known.contains(&flag) {
                 return Err(format!(
                     "unknown flag `--{flag}` (expected one of: {})",
                     known
                         .iter()
                         .map(|f| format!("--{f}"))
+                        .chain(known_switch.iter().map(|f| format!("--{f}")))
                         .collect::<Vec<_>>()
                         .join(", ")
                 ));
@@ -105,7 +119,7 @@ fn parse_flags<'a>(args: &'a [String], known: &[&str]) -> Result<ParsedArgs<'a>,
             positional.push(arg.as_str());
         }
     }
-    Ok((positional, flags))
+    Ok((positional, flags, switches))
 }
 
 fn parse_count(flag: &str, value: &str) -> Result<u64, String> {
@@ -223,20 +237,28 @@ fn cmd_engines(args: &[String]) -> ExitCode {
 fn check_help() -> String {
     format!(
         "usage: cbq check <file.aag> [--engine E] [--sweep on|off]
-                 [--quant-order O] [--steps N] [--nodes N]
-                 [--sat-checks N] [--timeout-ms N]
+                 [--quant-order O] [--partitions N|auto] [--split P]
+                 [--steps N] [--nodes N] [--sat-checks N]
+                 [--timeout-ms N] [--json]
 
 Model-checks the circuit's bad-state property.
 
-  --engine E       engine to run (default: circuit); one of: {}
-  --sweep on|off   state-set sweeping between iterations
-                   (circuit/forward engines; default: on)
-  --quant-order O  quantification variable order: cheapest | static | given
-                   (circuit/forward engines; default: cheapest)
-  --steps N        budget: at most N engine iterations / depth frames
-  --nodes N        budget: at most N representation nodes
-  --sat-checks N   budget: at most N SAT checks
-  --timeout-ms N   budget: wall-clock deadline in milliseconds
+  --engine E         engine to run (default: circuit); one of: {}
+  --sweep on|off     state-set sweeping between iterations
+                     (circuit/forward engines; default: on)
+  --quant-order O    quantification variable order: cheapest | static | given
+                     (circuit/forward engines; default: cheapest)
+  --partitions N     partitioned state set: start with N partitions
+                     (`auto` = one per CPU core), per-partition image
+                     computation in parallel (circuit/forward engines;
+                     default: 1 = monolithic)
+  --split P          partition split policy: latch | origin
+                     (default: latch = window cofactor by balance score)
+  --steps N          budget: at most N engine iterations / depth frames
+  --nodes N          budget: at most N representation nodes
+  --sat-checks N     budget: at most N SAT checks
+  --timeout-ms N     budget: wall-clock deadline in milliseconds
+  --json             emit the run record as one JSON object on stdout
 
 exit code: 0 safe, 1 unsafe, 2 usage/input error, 3 unknown,
            4 budget exhausted",
@@ -255,15 +277,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "engine",
             "sweep",
             "quant-order",
+            "partitions",
+            "split",
             "steps",
             "nodes",
             "sat-checks",
             "timeout-ms",
             "max",
         ],
+        &["json"],
     ) {
-        Ok((positional, flags)) if positional.len() == 1 => (positional[0].to_string(), flags),
-        Ok((positional, _)) => {
+        Ok((positional, flags, switches)) if positional.len() == 1 => {
+            (positional[0].to_string(), flags, switches)
+        }
+        Ok((positional, ..)) => {
             eprintln!(
                 "expected exactly one <file.aag>, got {}\n\n{}",
                 positional.len(),
@@ -276,7 +303,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (path, flags) = flags;
+    let (path, flags, switches) = flags;
+    let json = switches.contains(&"json");
     let mut engine_name = "circuit";
     let mut budget = Budget::unlimited();
     let mut tuning = EngineTuning::default();
@@ -297,6 +325,22 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     eprintln!(
                         "flag `--quant-order` expects cheapest, static, or given, got `{value}`"
                     );
+                    return ExitCode::from(2);
+                }
+            },
+            "partitions" => match PartitionCount::from_name(value) {
+                Some(count) => tuning.partitions = Some(count),
+                None => {
+                    eprintln!(
+                        "flag `--partitions` expects a positive number or `auto`, got `{value}`"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "split" => match SplitPolicy::from_name(value) {
+                Some(policy) => tuning.split = Some(policy),
+                None => {
+                    eprintln!("flag `--split` expects `latch` or `origin`, got `{value}`");
                     return ExitCode::from(2);
                 }
             },
@@ -321,8 +365,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     if !tuning.is_default() && !supports_tuning(engine_name) {
         eprintln!(
-            "note: engine `{engine_name}` ignores --sweep/--quant-order \
+            "note: engine `{engine_name}` ignores --sweep/--quant-order/--partitions/--split \
              (only circuit and forward honour them)"
+        );
+    }
+    if tuning.split.is_some() && tuning.partitions.is_none() {
+        eprintln!(
+            "note: --split has no effect without --partitions \
+             (the default single partition never splits)"
         );
     }
     let Some(engine) = by_name_tuned(engine_name, &tuning) else {
@@ -341,25 +391,29 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
     let run = engine.check(&net, &budget);
-    println!(
-        "{}   [{}, {} iterations, {} peak nodes, {} SAT checks, {:.1} ms]",
-        run.verdict,
-        run.stats.engine,
-        run.stats.iterations,
-        run.stats.peak_nodes,
-        run.stats.sat_checks,
-        run.stats.elapsed.as_secs_f64() * 1e3
-    );
-    if let Verdict::Unsafe { trace } = &run.verdict {
-        print!("{trace}");
+    if json {
+        println!("{}", run_to_json(&run));
+    } else {
         println!(
-            "trace replay: {}",
-            if trace.validates(&net) {
-                "valid"
-            } else {
-                "INVALID"
-            }
+            "{}   [{}, {} iterations, {} peak nodes, {} SAT checks, {:.1} ms]",
+            run.verdict,
+            run.stats.engine,
+            run.stats.iterations,
+            run.stats.peak_nodes,
+            run.stats.sat_checks,
+            run.stats.elapsed.as_secs_f64() * 1e3
         );
+        if let Verdict::Unsafe { trace } = &run.verdict {
+            print!("{trace}");
+            println!(
+                "trace replay: {}",
+                if trace.validates(&net) {
+                    "valid"
+                } else {
+                    "INVALID"
+                }
+            );
+        }
     }
     match run.verdict {
         Verdict::Safe { .. } => ExitCode::SUCCESS,
@@ -367,6 +421,93 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Verdict::Unknown { .. } => ExitCode::from(3),
         Verdict::Bounded { .. } => ExitCode::from(4),
     }
+}
+
+/// Minimal JSON string escaping (engine names and human-readable
+/// reasons; no exotic content).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_usize_list(xs: &[usize]) -> String {
+    let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn partition_json(p: &PartitionStats) -> String {
+    format!(
+        "{{\"trajectory\":{},\"final\":{},\"max_cone\":{},\"prunes\":{},\"splits\":{}}}",
+        json_usize_list(&p.trajectory),
+        p.trajectory.last().copied().unwrap_or(1),
+        p.max_cone,
+        p.prunes,
+        p.splits
+    )
+}
+
+/// The `McRun` common stats record — plus the circuit engines'
+/// per-partition detail when present — as one JSON object on stdout
+/// (`cbq check --json`, the bench-tooling interface).
+fn run_to_json(run: &McRun) -> String {
+    let verdict = match &run.verdict {
+        Verdict::Safe { iterations } => {
+            format!("\"verdict\":\"safe\",\"proved_at\":{iterations}")
+        }
+        Verdict::Unsafe { trace } => {
+            format!("\"verdict\":\"unsafe\",\"cex_depth\":{}", trace.len() - 1)
+        }
+        Verdict::Bounded { resource, limit } => format!(
+            "\"verdict\":\"bounded\",\"resource\":{},\"limit\":{limit}",
+            json_str(&resource.to_string())
+        ),
+        Verdict::Unknown { reason } => {
+            format!("\"verdict\":\"unknown\",\"reason\":{}", json_str(reason))
+        }
+    };
+    let mut detail = String::new();
+    if let Some(d) = run.detail::<CircuitUmcStats>() {
+        detail = format!(
+            ",\"frontier_sizes\":{},\"reached_size\":{},\"quant_aborts\":{},\
+             \"ganai_cofactors\":{},\"sweep_runs\":{},\"partitions\":{}",
+            json_usize_list(&d.frontier_sizes),
+            d.reached_size,
+            d.quant_aborts,
+            d.ganai_cofactors,
+            d.sweep.runs,
+            partition_json(&d.partitions)
+        );
+    } else if let Some(d) = run.detail::<ForwardCircuitUmcStats>() {
+        detail = format!(
+            ",\"frontier_sizes\":{},\"quant_aborts\":{},\"ganai_cofactors\":{},\
+             \"sweep_runs\":{},\"partitions\":{}",
+            json_usize_list(&d.frontier_sizes),
+            d.quant_aborts,
+            d.ganai_cofactors,
+            d.sweep.runs,
+            partition_json(&d.partitions)
+        );
+    }
+    format!(
+        "{{{verdict},\"engine\":{},\"iterations\":{},\"peak_nodes\":{},\
+         \"sat_checks\":{},\"elapsed_ms\":{:.3}{detail}}}",
+        json_str(run.stats.engine),
+        run.stats.iterations,
+        run.stats.peak_nodes,
+        run.stats.sat_checks,
+        run.stats.elapsed.as_secs_f64() * 1e3
+    )
 }
 
 const QUANTIFY_HELP: &str = "usage: cbq quantify <file.aag> [--mode M] [--order O]
@@ -382,8 +523,8 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
         println!("{QUANTIFY_HELP}");
         return ExitCode::SUCCESS;
     }
-    let (path, mode, order_name) = match parse_flags(args, &["mode", "order"]) {
-        Ok((positional, flags)) if positional.len() == 1 => {
+    let (path, mode, order_name) = match parse_flags(args, &["mode", "order"], &[]) {
+        Ok((positional, flags, _)) if positional.len() == 1 => {
             let mode = flags
                 .iter()
                 .find(|(f, _)| *f == "mode")
@@ -398,7 +539,7 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
                 order.to_string(),
             )
         }
-        Ok((positional, _)) => {
+        Ok((positional, ..)) => {
             eprintln!(
                 "expected exactly one <file.aag>, got {}\n\n{QUANTIFY_HELP}",
                 positional.len()

@@ -80,6 +80,49 @@ fn tiny_sat_budget_never_hangs() {
 }
 
 #[test]
+fn tight_timeouts_cancel_cooperatively_and_promptly() {
+    // The deadline is threaded into the exists_many elimination loop and
+    // the sweep candidate loop, so even circuits whose single
+    // quantification is expensive return Bounded quickly instead of
+    // finishing the pass first. Partition workers report Bounded too.
+    use cbq::mc::{CircuitUmc, ForwardCircuitUmc, PartitionConfig, PartitionCount};
+    let net = generators::arbiter(7);
+    for timeout_ms in [1u64, 20] {
+        for parts in [1usize, 4] {
+            let budget = Budget::unlimited().with_timeout(Duration::from_millis(timeout_ms));
+            let circuit = CircuitUmc {
+                partition: PartitionConfig::with_count(PartitionCount::Fixed(parts)),
+                ..CircuitUmc::default()
+            };
+            let start = Instant::now();
+            let run = circuit.check(&net, &budget);
+            assert!(
+                !run.verdict.is_conclusive() || run.verdict.is_safe(),
+                "bogus verdict under a tight deadline: {}",
+                run.verdict
+            );
+            assert!(
+                start.elapsed() < Duration::from_secs(20),
+                "circuit x{parts}: {timeout_ms}ms deadline overshot to {:?}",
+                start.elapsed()
+            );
+            let forward = ForwardCircuitUmc {
+                partition: PartitionConfig::with_count(PartitionCount::Fixed(parts)),
+                ..ForwardCircuitUmc::default()
+            };
+            let start = Instant::now();
+            let run = forward.check(&net, &budget);
+            assert!(!run.verdict.is_unsafe(), "bogus cex: {}", run.verdict);
+            assert!(
+                start.elapsed() < Duration::from_secs(20),
+                "forward x{parts}: {timeout_ms}ms deadline overshot to {:?}",
+                start.elapsed()
+            );
+        }
+    }
+}
+
+#[test]
 fn generous_budget_leaves_verdicts_intact() {
     let safe = generators::mutex();
     let buggy = generators::mutex_bug();

@@ -5,12 +5,14 @@
 //! ([`cbq::aig::sim::BitSim`]), an independent evaluation path from
 //! [`Trace::validates`]'s `Network::step`.
 
-use cbq::aig::sim::BitSim;
 use cbq::ckt::generators;
 use cbq::ckt::Network;
 use cbq::mc::explicit;
 use cbq::mc::registry;
 use cbq::prelude::*;
+
+mod common;
+use common::replays_on_sim;
 
 fn suite() -> Vec<Network> {
     vec![
@@ -44,31 +46,6 @@ fn suite_with_oracle() -> Vec<(Network, Option<usize>)> {
             (net, expected)
         })
         .collect()
-}
-
-/// Replays `trace` on the bit-parallel simulator: drive each step's full
-/// input assignment through one [`BitSim`] pattern, read the next state
-/// off the latch `next` literals, and report whether `bad` ever fired
-/// (checking the final state under all-zero inputs, mirroring
-/// [`Trace::replay`]).
-fn replays_on_sim(net: &Network, trace: &Trace) -> bool {
-    let aig = net.aig();
-    let mut sim = BitSim::new(aig, 1);
-    let bit = |sim: &BitSim, l: Lit| sim.lit_word(l, 0) & 1 != 0;
-    let mut state = net.initial_state();
-    let mut fired = false;
-    for step_inputs in trace.inputs() {
-        let asg = net.assignment(&state, step_inputs);
-        sim.set_pattern(aig, 0, &asg);
-        sim.run(aig);
-        fired |= bit(&sim, net.bad());
-        state = net.latches().iter().map(|l| bit(&sim, l.next)).collect();
-    }
-    let zeros = vec![false; net.num_inputs()];
-    let asg = net.assignment(&state, &zeros);
-    sim.set_pattern(aig, 0, &asg);
-    sim.run(aig);
-    fired || bit(&sim, net.bad())
 }
 
 fn assert_agrees(
@@ -177,6 +154,28 @@ fn circuit_umc_with_tight_budget_and_enumeration_matches_oracle() {
             expected,
             &run.verdict,
             "circuit-umc-partial",
+            true,
+            true,
+        );
+    }
+}
+
+#[test]
+fn partitioned_circuit_umc_matches_oracle() {
+    // The partitioned state set against the explicit-state oracle:
+    // verdicts and minimal cex depths must survive 4-way partitioning.
+    use cbq::mc::{PartitionConfig, PartitionCount};
+    for (net, expected) in suite_with_oracle() {
+        let engine = CircuitUmc {
+            partition: PartitionConfig::with_count(PartitionCount::Fixed(4)),
+            ..CircuitUmc::default()
+        };
+        let run = engine.check(&net, &Budget::unlimited());
+        assert_agrees(
+            &net,
+            expected,
+            &run.verdict,
+            "circuit-umc-partitioned",
             true,
             true,
         );
