@@ -1,6 +1,6 @@
 //! Cone traversal, support computation, statistics and compaction.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::aig::Aig;
 use crate::lit::{Lit, Var};
@@ -179,28 +179,48 @@ impl Aig {
     /// assert_eq!(roots.len(), 1);
     /// ```
     pub fn compact(&self, roots: &[Lit]) -> (Aig, Vec<Lit>) {
+        let (out, new_roots, _) = self.compact_with_map(roots);
+        (out, new_roots)
+    }
+
+    /// Like [`Aig::compact`], additionally returning the translation of
+    /// every old variable: `map[old_var.index()]` is the literal of the
+    /// new manager computing the same function (`None` for dead nodes).
+    ///
+    /// This is what lets an incremental SAT bridge carry its
+    /// node↔variable map — and therefore its whole learnt-clause
+    /// database — across a garbage collection instead of re-encoding.
+    pub fn compact_with_map(&self, roots: &[Lit]) -> (Aig, Vec<Lit>, Vec<Option<Lit>>) {
         let mut out = Aig::new();
-        let mut map: HashMap<Var, Lit> = HashMap::new();
-        map.insert(Var::CONST, Lit::FALSE);
+        let mut map: Vec<Option<Lit>> = vec![None; self.num_nodes()];
+        map[Var::CONST.index()] = Some(Lit::FALSE);
         // Recreate every input so ordinals are preserved.
         for i in 0..self.num_inputs() {
             let v = self.input_var(i);
             let nv = out.add_input();
-            map.insert(v, nv.lit());
+            map[v.index()] = Some(nv.lit());
         }
         for v in self.collect_cone(roots) {
             if let Node::And { f0, f1 } = self.node(v) {
-                let a = map[&f0.var()].xor_sign(f0.is_complemented());
-                let b = map[&f1.var()].xor_sign(f1.is_complemented());
+                let a = map[f0.var().index()]
+                    .expect("fanin mapped")
+                    .xor_sign(f0.is_complemented());
+                let b = map[f1.var().index()]
+                    .expect("fanin mapped")
+                    .xor_sign(f1.is_complemented());
                 let nl = out.and(a, b);
-                map.insert(v, nl);
+                map[v.index()] = Some(nl);
             }
         }
         let new_roots = roots
             .iter()
-            .map(|r| map[&r.var()].xor_sign(r.is_complemented()))
+            .map(|r| {
+                map[r.var().index()]
+                    .expect("root mapped")
+                    .xor_sign(r.is_complemented())
+            })
             .collect();
-        (out, new_roots)
+        (out, new_roots, map)
     }
 }
 

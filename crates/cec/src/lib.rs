@@ -12,10 +12,13 @@
 //!    refute candidate equivalences canonically (Kuehlmann & Krohm,
 //!    DAC 1997).
 //! 3. **SAT checks** — remaining compare points go to the shared-database
-//!    incremental solver ([`cbq_cnf::AigCnf`]); counterexamples are fed
-//!    back into parallel simulation to refine the candidate classes
-//!    (fraiging), and proven equivalences are *learnt* as clauses,
-//!    "simplifying successive equivalence checks".
+//!    incremental solver ([`cbq_cnf::AigCnf`]) as assumption queries on
+//!    one persistent arena solver; counterexamples are fed back into
+//!    parallel simulation to refine the candidate classes (fraiging), and
+//!    proven equivalences are *learnt* as activation-guarded clauses
+//!    ([`cbq_cnf::AigCnf::learn_equiv`]), "simplifying successive
+//!    equivalence checks" — and surviving any number of sweeps until the
+//!    bridge retires the cone generation.
 //!
 //! Both the **forward** (inputs-first, sweeping-like) and **backward**
 //! (outputs-first, early-exit) processing orders of the paper are
@@ -271,10 +274,10 @@ impl<'a> Sweeper<'a> {
         // member == repr  <=>  member.var() == repr.xor_sign(member phase)
         self.merges
             .insert(member.var(), repr.xor_sign(member.is_complemented()));
-        // Learn the equivalence in the solver so later checks get simpler.
+        // Learn the equivalence in the solver so later checks get simpler;
+        // the guarded form dies with the cone generation it refers to.
         if let (Some(ms), Some(rs)) = (self.cnf.sat_lit(member), self.cnf.sat_lit(repr)) {
-            self.cnf.solver_mut().add_clause(&[!ms, rs]);
-            self.cnf.solver_mut().add_clause(&[ms, !rs]);
+            self.cnf.learn_equiv(ms, rs);
         }
     }
 

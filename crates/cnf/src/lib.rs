@@ -13,7 +13,15 @@
 //!   between checks and everything the solver learns is kept;
 //! * equivalence and implication proofs ([`AigCnf::prove_equiv`],
 //!   [`AigCnf::prove_implies`]) return concrete counterexample input
-//!   assignments that the sweeping engines feed back into simulation.
+//!   assignments that the sweeping engines feed back into simulation;
+//! * every cone generation is tagged with an **activation literal**
+//!   (assumed on each solve), so when a sweep garbage-collects the AIG
+//!   manager the bridge **retires** the dead cones by asserting the
+//!   negated activator ([`AigCnf::retire_cones`]) instead of discarding
+//!   the solver — learnt clauses, variable activities, and phases survive
+//!   across GCs, reachability iterations, and partition re-splits. The
+//!   pre-activation behaviour (throw the solver away) is kept as
+//!   [`CnfLifetime::Rebuild`] for ablation.
 //!
 //! ## Example
 //!
@@ -43,7 +51,7 @@
 #![warn(missing_docs)]
 
 use cbq_aig::{Aig, Lit, Node, Var};
-use cbq_sat::{SatLit, SatResult, SatVar, Solver};
+use cbq_sat::{SatLit, SatResult, Solver, SolverStats};
 
 /// Outcome of an equivalence or implication proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,30 +72,252 @@ impl EquivResult {
 }
 
 /// Counters for the bridge, exposed by [`AigCnf::stats`].
+///
+/// All counters are monotone across [`AigCnf::retire_cones`], whichever
+/// [`CnfLifetime`] is configured, so engine totals never go backwards.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct AigCnfStats {
-    /// AND gates encoded into CNF so far.
+    /// AND gates encoded into CNF so far (all generations).
     pub encoded_ands: u64,
     /// Assumption-based solver calls issued.
     pub checks: u64,
+    /// Cone generations retired ([`AigCnf::retire_cones`] calls,
+    /// including migrations that hit the memory-pressure valve).
+    pub retirements: u64,
+    /// Cone clauses disabled by retirement, total.
+    pub clauses_retired: u64,
+    /// Map migrations across manager compactions ([`AigCnf::migrate`]
+    /// calls that kept the encoding alive).
+    pub migrations: u64,
+    /// Learnt clauses alive in the solver at migration instants, summed —
+    /// i.e. how much derived work *survived* garbage collections (always 0
+    /// under [`CnfLifetime::Rebuild`], which destroys it instead).
+    pub learnts_retained: u64,
+}
+
+impl AigCnfStats {
+    /// Accumulates another counter record into this one (used to fold
+    /// per-partition bridges into one engine total).
+    pub fn absorb(&mut self, other: &AigCnfStats) {
+        self.encoded_ands += other.encoded_ands;
+        self.checks += other.checks;
+        self.retirements += other.retirements;
+        self.clauses_retired += other.clauses_retired;
+        self.migrations += other.migrations;
+        self.learnts_retained += other.learnts_retained;
+    }
+}
+
+/// What [`AigCnf::retire_cones`] does with the solver state.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum CnfLifetime {
+    /// Tag each cone generation with an activation literal and retire it
+    /// by asserting the negated activator: learnt clauses survive.
+    #[default]
+    Activation,
+    /// Replace the solver wholesale (the pre-activation behaviour, kept
+    /// as the ablation baseline): all learnt clauses are lost.
+    Rebuild,
 }
 
 /// An incremental AIG-to-CNF bridge over one persistent [`Solver`].
 ///
 /// The bridge is tied to a single growing [`Aig`]: because the manager is
 /// append-only and nodes are immutable, the mapping from AIG variables to
-/// SAT variables never invalidates.
+/// SAT variables never invalidates. When the manager *is* replaced (sweep
+/// garbage collection), [`AigCnf::retire_cones`] ends the current cone
+/// generation — under the default [`CnfLifetime::Activation`] the solver
+/// and everything it has learnt persist.
 #[derive(Debug, Default)]
 pub struct AigCnf {
     solver: Solver,
-    map: Vec<Option<SatVar>>,
+    /// AIG variable index → the SAT literal computing that node's
+    /// *positive* literal (phase-carrying, so map migration across a
+    /// compaction can absorb complemented translations).
+    map: Vec<Option<SatLit>>,
     stats: AigCnfStats,
+    /// Solver counters rolled up from solvers discarded by
+    /// [`CnfLifetime::Rebuild`] retirements, so
+    /// [`AigCnf::solver_stats`] stays monotone in both modes.
+    retired_solver: SolverStats,
+    lifetime: CnfLifetime,
+    /// The current generation's activation literal (lazily created with
+    /// the generation's first guarded clause; `Activation` mode only).
+    act: Option<SatLit>,
+    /// Guarded clauses added in the current generation.
+    gen_clauses: u64,
 }
 
 impl AigCnf {
-    /// Creates an empty bridge.
+    /// Creates an empty bridge with the default
+    /// [`CnfLifetime::Activation`].
     pub fn new() -> AigCnf {
         AigCnf::default()
+    }
+
+    /// Creates an empty bridge with the given lifetime policy.
+    pub fn with_lifetime(lifetime: CnfLifetime) -> AigCnf {
+        AigCnf {
+            lifetime,
+            ..AigCnf::default()
+        }
+    }
+
+    /// The configured lifetime policy.
+    pub fn lifetime(&self) -> CnfLifetime {
+        self.lifetime
+    }
+
+    /// The current generation's activation literal, created on first use.
+    /// In [`CnfLifetime::Rebuild`] mode clauses are unguarded and no
+    /// activator exists.
+    fn activator(&mut self) -> Option<SatLit> {
+        if self.lifetime == CnfLifetime::Rebuild {
+            return None;
+        }
+        if self.act.is_none() {
+            self.act = Some(self.solver.new_var().pos());
+        }
+        self.act
+    }
+
+    /// Adds `clause` guarded by the current activation literal (or
+    /// unguarded in `Rebuild` mode) and counts it against the generation.
+    fn add_guarded(&mut self, clause: &[SatLit]) -> bool {
+        self.gen_clauses += 1;
+        match self.activator() {
+            Some(act) => {
+                let mut guarded = Vec::with_capacity(clause.len() + 1);
+                guarded.push(!act);
+                guarded.extend_from_slice(clause);
+                self.solver.add_clause(&guarded)
+            }
+            None => self.solver.add_clause(clause),
+        }
+    }
+
+    /// Ends the current cone generation: the node↔variable map is cleared
+    /// (the caller's AIG manager was replaced wholesale) and the cone
+    /// clauses are disabled. Under [`CnfLifetime::Activation`] this
+    /// asserts the negated activation literal on the *persistent* solver —
+    /// the retired variables are released from branching and the now-
+    /// satisfied clauses purged from the arena, while every
+    /// generation-independent learnt clause, activity, and phase survives.
+    /// Under [`CnfLifetime::Rebuild`] the solver is replaced (stats carry
+    /// over either way).
+    ///
+    /// For a *compaction* of the same manager (sweep GC), prefer
+    /// [`AigCnf::migrate`], which keeps the encoding itself alive.
+    pub fn retire_cones(&mut self) {
+        self.stats.retirements += 1;
+        self.stats.clauses_retired += self.gen_clauses;
+        self.gen_clauses = 0;
+        match self.lifetime {
+            CnfLifetime::Activation => {
+                if let Some(act) = self.act.take() {
+                    self.solver.add_clause(&[!act]);
+                    // Dead-generation variables must never be branched on
+                    // again (their clauses are satisfied, so any value
+                    // works — but walking them costs every later solve).
+                    for sl in self.map.iter().flatten() {
+                        self.solver.set_decision(sl.var(), false);
+                    }
+                    self.solver.set_decision(act.var(), false);
+                    // Reclaim the satisfied clauses (arena compaction).
+                    self.solver.purge_satisfied();
+                }
+            }
+            CnfLifetime::Rebuild => {
+                // Keep the discarded solver's effort on the books (its
+                // arena is gone, so that gauge resets).
+                let mut snap = self.solver.stats();
+                snap.arena_words = 0;
+                self.retired_solver.absorb(&snap);
+                self.solver = Solver::new();
+                self.act = None;
+            }
+        }
+        self.map.clear();
+    }
+
+    /// Solver-core counters, monotone across retirements in both lifetime
+    /// modes (a rebuild's discarded solver stays on the books).
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut s = self.retired_solver;
+        s.absorb(&self.solver.stats());
+        s
+    }
+
+    /// Carries the encoding across a **compaction** of the same manager:
+    /// `old_to_new[old_var.index()]` is the new manager's literal for each
+    /// surviving node (as produced by `Aig::compact_with_map`), and
+    /// `new_num_nodes` the new manager's node count. Surviving nodes keep
+    /// their SAT variables, so *all* clauses — Tseitin cones, learnt
+    /// equivalences, and everything CDCL derived — stay live and
+    /// immediately apply to post-GC checks; nothing is re-encoded.
+    ///
+    /// Orphaned variables (dead cones) keep their clauses until the
+    /// memory-pressure valve trips: once the solver carries more than
+    /// ~4× the live variables, the whole generation is retired via
+    /// [`AigCnf::retire_cones`] (re-encoding from scratch, bounded
+    /// memory). Under [`CnfLifetime::Rebuild`] every migration degrades
+    /// to a retirement — that is exactly the ablation baseline.
+    pub fn migrate(&mut self, old_to_new: &[Option<Lit>], new_num_nodes: usize) {
+        if self.lifetime == CnfLifetime::Rebuild {
+            self.retire_cones();
+            return;
+        }
+        let mut new_map: Vec<Option<SatLit>> = vec![None; new_num_nodes];
+        let mut live = 0usize;
+        // Variables whose old node has NO image in the new manager — a
+        // genuinely dead cone. Only these may have their clauses deleted:
+        // an old node that still maps somewhere (even as a strash-collision
+        // loser or a constant) can appear in the Tseitin clauses of a
+        // *surviving* representative, whose definition must stay intact.
+        let mut dead = vec![false; self.solver.num_vars()];
+        let mut any_dead = false;
+        for (old_idx, entry) in self.map.iter().enumerate() {
+            let Some(sl) = entry else { continue };
+            let Some(new_lit) = old_to_new.get(old_idx).copied().flatten() else {
+                self.solver.set_decision(sl.var(), false);
+                dead[sl.var().index()] = true;
+                any_dead = true;
+                continue;
+            };
+            if new_lit.is_const() {
+                // Semantically constant: clauses stay (they keep the var
+                // consistently defined), branching on it is pointless.
+                self.solver.set_decision(sl.var(), false);
+                continue;
+            }
+            let slot = &mut new_map[new_lit.var().index()];
+            // Strash collisions map two equivalent old nodes onto one new
+            // node; either encoding is sound, keep the first. The loser
+            // keeps its clauses (a surviving parent may reference it) but
+            // is released from branching — propagation still completes it
+            // bottom-up from the shared inputs.
+            if slot.is_none() {
+                *slot = Some(sl.xor_sign(new_lit.is_complemented()));
+                live += 1;
+            } else {
+                self.solver.set_decision(sl.var(), false);
+            }
+        }
+        if self.solver.num_vars() > 4 * live + 1024 {
+            // Mostly orphans: reclaim via a full retirement instead.
+            self.retire_cones();
+            return;
+        }
+        // Dead-cone clauses are definitional extensions — satisfiable
+        // under any assignment of the surviving variables — so deleting
+        // them changes no verdict, and stops every later solve from
+        // propagating through the garbage cones.
+        if any_dead {
+            self.solver.purge_referencing(&dead);
+        }
+        self.map = new_map;
+        self.stats.migrations += 1;
+        self.stats.learnts_retained += self.solver.stats().learnts;
     }
 
     /// Read access to the underlying solver (e.g. for statistics).
@@ -111,18 +341,16 @@ impl AigCnf {
         self.solver.set_conflict_budget(budget);
     }
 
-    fn var_for(&mut self, v: Var) -> SatVar {
+    /// Allocates a fresh SAT variable for AIG variable `v` and records its
+    /// positive literal in the map.
+    fn fresh_lit(&mut self, v: Var) -> SatLit {
         if self.map.len() <= v.index() {
             self.map.resize(v.index() + 1, None);
         }
-        match self.map[v.index()] {
-            Some(sv) => sv,
-            None => {
-                let sv = self.solver.new_var();
-                self.map[v.index()] = Some(sv);
-                sv
-            }
-        }
+        debug_assert!(self.map[v.index()].is_none());
+        let sl = self.solver.new_var().pos();
+        self.map[v.index()] = Some(sl);
+        sl
     }
 
     /// Returns the SAT literal already associated with `l`, if its node has
@@ -132,23 +360,29 @@ impl AigCnf {
             .get(l.var().index())
             .copied()
             .flatten()
-            .map(|sv| sv.lit(!l.is_complemented()))
+            .map(|sl| sl.xor_sign(l.is_complemented()))
     }
 
     /// Encodes the cone of `l` (lazily — already-encoded nodes are skipped)
     /// and returns the SAT literal for `l`.
     pub fn ensure(&mut self, aig: &Aig, l: Lit) -> SatLit {
+        // A mapped root implies its whole cone is encoded (encoding is
+        // all-or-nothing per cone and migration preserves closed cones),
+        // so repeated checks skip the cone walk entirely.
+        if let Some(sl) = self.sat_lit(l) {
+            return sl;
+        }
         for v in aig.collect_cone(&[l]) {
             if self.map.get(v.index()).copied().flatten().is_some() {
                 continue;
             }
             match aig.node(v) {
                 Node::Const => {
-                    let sv = self.var_for(v);
-                    self.solver.add_clause(&[sv.neg()]);
+                    let sl = self.fresh_lit(v);
+                    self.add_guarded(&[!sl]);
                 }
                 Node::Input { .. } => {
-                    let _ = self.var_for(v);
+                    let _ = self.fresh_lit(v);
                 }
                 Node::And { f0, f1 } => {
                     let a = self
@@ -157,11 +391,11 @@ impl AigCnf {
                     let b = self
                         .sat_lit(f1)
                         .expect("fanin encoded before gate (topological order)");
-                    let c = self.var_for(v).pos();
+                    let c = self.fresh_lit(v);
                     // c <-> a & b
-                    self.solver.add_clause(&[!c, a]);
-                    self.solver.add_clause(&[!c, b]);
-                    self.solver.add_clause(&[c, !a, !b]);
+                    self.add_guarded(&[!c, a]);
+                    self.add_guarded(&[!c, b]);
+                    self.add_guarded(&[c, !a, !b]);
                     self.stats.encoded_ands += 1;
                 }
             }
@@ -170,9 +404,10 @@ impl AigCnf {
     }
 
     /// Solves the shared database under the conjunction of `lits`
-    /// (each encoded on demand, then assumed).
+    /// (each encoded on demand, then assumed). The current generation's
+    /// activation literal is assumed implicitly.
     pub fn solve_under(&mut self, aig: &Aig, lits: &[Lit]) -> SatResult {
-        let mut assumptions = Vec::with_capacity(lits.len());
+        let mut assumptions = Vec::with_capacity(lits.len() + 1);
         for &l in lits {
             if l == Lit::FALSE {
                 return SatResult::Unsat;
@@ -182,11 +417,17 @@ impl AigCnf {
             }
             assumptions.push(self.ensure(aig, l));
         }
+        if let Some(act) = self.act {
+            assumptions.insert(0, act);
+        }
         self.stats.checks += 1;
         self.solver.solve_with(&assumptions)
     }
 
-    /// Permanently asserts `l` (adds it as a unit clause).
+    /// Asserts `l` for the lifetime of the current cone generation (a unit
+    /// clause under the generation's activation guard; plain unit in
+    /// `Rebuild` mode — either way it dies with [`AigCnf::retire_cones`],
+    /// exactly like the cones it constrains).
     ///
     /// Used by engines that constrain the whole enumeration, e.g. blocking
     /// already-covered state cubes.
@@ -195,10 +436,28 @@ impl AigCnf {
             return true;
         }
         if l == Lit::FALSE {
-            return self.solver.add_clause(&[]);
+            // The *generation* is unsatisfiable: guard the empty clause so
+            // a later retirement can recover the solver.
+            self.gen_clauses += 1;
+            return match self.activator() {
+                Some(act) => {
+                    self.solver.add_clause(&[!act]);
+                    false
+                }
+                None => self.solver.add_clause(&[]),
+            };
         }
         let sl = self.ensure(aig, l);
-        self.solver.add_clause(&[sl])
+        self.add_guarded(&[sl])
+    }
+
+    /// Learns `a ≡ b` as clauses on the shared database, guarded by the
+    /// current activation literal — the sweeping engines call this for
+    /// every proven merge so later checks simplify, and retirement cleans
+    /// the equivalences up together with the cones they refer to.
+    pub fn learn_equiv(&mut self, a: SatLit, b: SatLit) {
+        self.add_guarded(&[!a, b]);
+        self.add_guarded(&[a, !b]);
     }
 
     /// Extracts the model's values for every AIG input (unconstrained
@@ -213,7 +472,7 @@ impl AigCnf {
                     .get(v.index())
                     .copied()
                     .flatten()
-                    .and_then(|sv| self.solver.value(sv))
+                    .and_then(|sl| self.solver.value_lit(sl))
                     .unwrap_or(false)
             })
             .collect()
@@ -373,6 +632,137 @@ mod tests {
         assert!(cnf.assert_lit(&aig, ins[0]));
         assert_eq!(cnf.solve_under(&aig, &[!ins[0]]), SatResult::Unsat);
         assert_eq!(cnf.solve_under(&aig, &[ins[1]]), SatResult::Sat);
+    }
+
+    /// A pair of structurally different parity cones — SAT proofs on them
+    /// generate real conflicts, hence learnt clauses.
+    fn parity_pair(n: usize) -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new();
+        let xs: Vec<Lit> = (0..n).map(|_| aig.add_input().lit()).collect();
+        let mut fwd = Lit::FALSE;
+        for &x in &xs {
+            fwd = aig.xor(fwd, x);
+        }
+        let mut rev = Lit::FALSE;
+        for &x in xs.iter().rev() {
+            rev = aig.xor(rev, x);
+        }
+        (aig, fwd, rev)
+    }
+
+    #[test]
+    fn migration_keeps_learnts_and_stays_correct() {
+        // A sweep GC compacts the manager; the bridge migrates its map, so
+        // every SAT variable — and every learnt clause — stays live.
+        let (aig, fwd, rev) = parity_pair(10);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.lifetime(), CnfLifetime::Activation);
+        assert_eq!(cnf.prove_equiv(&aig, fwd, rev, None), EquivResult::Equiv);
+        let learnts_before = cnf.solver().stats().learnts;
+        assert!(learnts_before > 0, "equivalence proof learnt nothing");
+        let encoded_before = cnf.stats().encoded_ands;
+
+        let (aig2, roots2, var_map) = aig.compact_with_map(&[fwd, rev]);
+        cnf.migrate(&var_map, aig2.num_nodes());
+        assert_eq!(cnf.stats().migrations, 1);
+        assert_eq!(cnf.stats().retirements, 0);
+        assert_eq!(cnf.stats().learnts_retained, learnts_before);
+        assert_eq!(
+            cnf.solver().stats().learnts,
+            learnts_before,
+            "solver lost learnt clauses across the migration"
+        );
+
+        // Post-GC checks hit the migrated encoding: nothing re-encodes.
+        assert_eq!(
+            cnf.prove_equiv(&aig2, roots2[0], roots2[1], None),
+            EquivResult::Equiv
+        );
+        assert_eq!(
+            cnf.stats().encoded_ands,
+            encoded_before,
+            "migrated cones were re-encoded"
+        );
+        // And satisfiable queries still produce sound models.
+        assert_eq!(cnf.solve_under(&aig2, &[roots2[0]]), SatResult::Sat);
+        let m = cnf.model_inputs(&aig2);
+        assert!(aig2.eval(roots2[0], &m));
+    }
+
+    #[test]
+    fn retirement_releases_and_purges_the_dead_generation() {
+        // A wholesale manager replacement: retirement disables the cones,
+        // releases their variables from branching, and purges the
+        // now-satisfied clauses from the arena.
+        let (aig, fwd, rev) = parity_pair(10);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.prove_equiv(&aig, fwd, rev, None), EquivResult::Equiv);
+        let conflicts_before = cnf.solver().stats().conflicts;
+        cnf.retire_cones();
+        assert_eq!(cnf.stats().retirements, 1);
+        assert!(cnf.stats().clauses_retired > 0);
+        let s = cnf.solver().stats();
+        assert!(s.purged > 0, "no satisfied clause was purged: {s:?}");
+        assert!(s.released_vars > 0, "dead variables still branchable");
+        assert_eq!(s.conflicts, conflicts_before, "retirement must not search");
+
+        // The same checks on a fresh manager re-encode and still prove.
+        let (aig2, fwd2, rev2) = parity_pair(10);
+        assert_eq!(cnf.prove_equiv(&aig2, fwd2, rev2, None), EquivResult::Equiv);
+        assert_eq!(cnf.solve_under(&aig2, &[fwd2]), SatResult::Sat);
+        let m = cnf.model_inputs(&aig2);
+        assert!(aig2.eval(fwd2, &m));
+    }
+
+    #[test]
+    fn rebuild_lifetime_discards_learnts() {
+        let (aig, fwd, rev) = parity_pair(8);
+        let mut cnf = AigCnf::with_lifetime(CnfLifetime::Rebuild);
+        assert_eq!(cnf.prove_equiv(&aig, fwd, rev, None), EquivResult::Equiv);
+        let checks_before = cnf.stats().checks;
+        cnf.retire_cones();
+        assert_eq!(cnf.stats().retirements, 1);
+        assert_eq!(cnf.stats().learnts_retained, 0);
+        assert_eq!(cnf.solver().stats().learnts, 0, "rebuild keeps no learnts");
+        assert_eq!(cnf.stats().checks, checks_before, "stats stay monotone");
+        let (aig2, fwd2, rev2) = parity_pair(8);
+        assert_eq!(cnf.prove_equiv(&aig2, fwd2, rev2, None), EquivResult::Equiv);
+    }
+
+    #[test]
+    fn retired_generation_constraints_do_not_leak() {
+        let (mut aig, ins) = setup();
+        let mut cnf = AigCnf::new();
+        // Constrain generation 0 so that ins[0] must hold…
+        assert!(cnf.assert_lit(&aig, ins[0]));
+        assert_eq!(cnf.solve_under(&aig, &[!ins[0]]), SatResult::Unsat);
+        // …and even make the generation unsatisfiable outright.
+        assert!(!cnf.assert_lit(&aig, Lit::FALSE));
+        assert_eq!(cnf.solve_under(&aig, &[ins[1]]), SatResult::Unsat);
+        // Retirement lifts both: the next generation is unconstrained.
+        cnf.retire_cones();
+        assert_eq!(cnf.solve_under(&aig, &[!ins[0]]), SatResult::Sat);
+        let f = aig.and(ins[0], ins[1]);
+        assert_eq!(cnf.prove_implies(&aig, f, ins[0], None), EquivResult::Equiv);
+    }
+
+    #[test]
+    fn learn_equiv_simplifies_and_retires_cleanly() {
+        let (mut aig, ins) = setup();
+        let f = aig.xor(ins[0], ins[1]);
+        let or = aig.or(ins[0], ins[1]);
+        let nand = !aig.and(ins[0], ins[1]);
+        let g = aig.and(or, nand);
+        let mut cnf = AigCnf::new();
+        assert_eq!(cnf.prove_equiv(&aig, f, g, None), EquivResult::Equiv);
+        let (sf, sg) = (cnf.sat_lit(f).unwrap(), cnf.sat_lit(g).unwrap());
+        cnf.learn_equiv(sf, sg);
+        // The learnt equivalence must not contradict anything…
+        assert_eq!(cnf.solve_under(&aig, &[f]), SatResult::Sat);
+        // …and must die with its generation.
+        cnf.retire_cones();
+        assert_eq!(cnf.solve_under(&aig, &[f, !g]), SatResult::Unsat);
+        assert_eq!(cnf.solve_under(&aig, &[f]), SatResult::Sat);
     }
 
     #[test]

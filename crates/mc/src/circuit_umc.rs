@@ -4,8 +4,9 @@
 
 use cbq_aig::{Lit, Var};
 use cbq_ckt::{Network, Trace};
+use cbq_cnf::AigCnfStats;
 use cbq_core::{exists_many, QuantConfig};
-use cbq_sat::SatResult;
+use cbq_sat::{SatResult, SolverStats};
 
 use crate::engine::{Budget, Engine, Meter};
 use crate::ganai::all_solutions_exists;
@@ -103,6 +104,12 @@ pub struct CircuitUmcStats {
     /// Partition lifecycle counters (trajectory, max cone, prunes,
     /// splits).
     pub partitions: PartitionStats,
+    /// SAT-bridge counters (all partitions): encodings, checks, cone
+    /// retirements, learnt clauses retained across GCs.
+    pub cnf: AigCnfStats,
+    /// Solver-core counters (all partitions): conflicts, restarts, arena
+    /// bytes, LBD histogram, reductions.
+    pub solver: SolverStats,
 }
 
 /// Result of quantifying one partition's pre-image/image, with the
@@ -357,6 +364,8 @@ impl CircuitUmc {
         stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
         stats.sweep = ss.aggregate_sweep();
         stats.partitions = ss.stats.clone();
+        stats.cnf = ss.aggregate_cnf();
+        stats.solver = ss.aggregate_solver();
         verdict
     }
 

@@ -16,8 +16,9 @@
 
 use cbq_aig::Lit;
 use cbq_ckt::{Network, Trace};
+use cbq_cnf::AigCnfStats;
 use cbq_core::QuantConfig;
-use cbq_sat::SatResult;
+use cbq_sat::{SatResult, SolverStats};
 
 use crate::circuit_umc::{quantify_in_partition, ResidualPolicy};
 use crate::engine::{Budget, Engine, Meter};
@@ -71,6 +72,12 @@ pub struct ForwardCircuitUmcStats {
     pub sweep: SweepStats,
     /// Partition lifecycle counters.
     pub partitions: PartitionStats,
+    /// SAT-bridge counters (all partitions): encodings, checks, cone
+    /// retirements, learnt clauses retained across GCs.
+    pub cnf: AigCnfStats,
+    /// Solver-core counters (all partitions): conflicts, restarts, arena
+    /// bytes, LBD histogram, reductions.
+    pub solver: SolverStats,
 }
 
 /// One partition worker's contribution to a forward iteration.
@@ -250,6 +257,8 @@ impl ForwardCircuitUmc {
         stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
         stats.sweep = ss.aggregate_sweep();
         stats.partitions = ss.stats.clone();
+        stats.cnf = ss.aggregate_cnf();
+        stats.solver = ss.aggregate_solver();
         ss.total_sat_checks()
     }
 

@@ -47,8 +47,8 @@ use std::time::Instant;
 
 use cbq_aig::{Aig, Lit, Node, Var};
 use cbq_ckt::Network;
-use cbq_cnf::AigCnf;
-use cbq_sat::SatResult;
+use cbq_cnf::{AigCnf, AigCnfStats, CnfLifetime};
+use cbq_sat::{SatResult, SolverStats};
 
 use crate::sweep::{StateSetSweeper, SweepConfig as StateSweepConfig, SweepStats};
 
@@ -249,13 +249,18 @@ impl Partition {
         } else {
             (Lit::FALSE, Lit::FALSE, Vec::new(), Vec::new())
         };
+        // The sweeper's GC decides what a retirement does to the clause
+        // database, so the bridge is created with the sweeper's lifetime.
+        let lifetime = sweep
+            .as_ref()
+            .map_or(CnfLifetime::default(), |cfg| cfg.lifetime);
         let mut sweeper = sweep.map(StateSetSweeper::new);
         if let Some(sw) = &mut sweeper {
             sw.set_deadline(deadline);
         }
         Partition {
             aig,
-            cnf: AigCnf::new(),
+            cnf: AigCnf::with_lifetime(lifetime),
             pis: net.primary_inputs().to_vec(),
             latches: net.latch_vars(),
             next_vars,
@@ -281,7 +286,7 @@ impl Partition {
     fn clone_for_split(&self) -> Partition {
         Partition {
             aig: self.aig.clone(),
-            cnf: AigCnf::new(),
+            cnf: AigCnf::with_lifetime(self.cnf.lifetime()),
             pis: self.pis.clone(),
             latches: self.latches.clone(),
             next_vars: self.next_vars.clone(),
@@ -390,14 +395,11 @@ impl Partition {
         ran
     }
 
-    /// SAT checks issued by this partition, including checks on clause
-    /// databases its sweeper already retired.
+    /// SAT checks issued by this partition. The bridge's counters are
+    /// monotone across sweep-GC retirements, so no separate retired-check
+    /// bookkeeping exists any more.
     pub fn sat_checks(&self) -> u64 {
-        let retired = self
-            .sweeper
-            .as_ref()
-            .map_or(0, |s| s.stats.retired_sat_checks);
-        retired + self.cnf.stats().checks
+        self.cnf.stats().checks
     }
 
     /// This partition's sweeping counters (zeroed when sweeping is off).
@@ -843,6 +845,25 @@ impl StateSet {
         let mut total = SweepStats::default();
         for p in &self.parts {
             total.absorb(&p.sweep_stats());
+        }
+        total
+    }
+
+    /// SAT-bridge counters folded across every partition.
+    pub fn aggregate_cnf(&self) -> AigCnfStats {
+        let mut total = AigCnfStats::default();
+        for p in &self.parts {
+            total.absorb(&p.cnf.stats());
+        }
+        total
+    }
+
+    /// Solver-core counters (conflicts, arena bytes, LBD histogram, …)
+    /// folded across every partition's persistent solver.
+    pub fn aggregate_solver(&self) -> SolverStats {
+        let mut total = SolverStats::default();
+        for p in &self.parts {
+            total.absorb(&p.cnf.solver_stats());
         }
         total
     }

@@ -23,15 +23,21 @@
 //! Because collection produces a *fresh* manager, every literal and input
 //! variable an engine holds must be remapped; [`StateSetSweeper::run`]
 //! takes them by mutable reference and rewrites them in place. The SAT
-//! bridge is re-created as well (its node↔variable map is tied to the old
-//! manager); the checks spent on retired bridges are accumulated in
-//! [`SweepStats::retired_sat_checks`] so engine totals stay monotone.
+//! bridge is **not** re-created: [`cbq_cnf::AigCnf::migrate`] carries the
+//! node↔variable map across the compaction, so surviving cones keep
+//! their SAT variables and the solver — learnt clauses, variable
+//! activities, phases, and every counter — outlives the collection with
+//! nothing re-encoded; orphaned cones are released and purged, and under
+//! memory pressure the whole generation is retired by asserting the
+//! negated activation literal instead. (The old throw-the-solver-away
+//! behaviour is available as [`cbq_cnf::CnfLifetime::Rebuild`] via
+//! [`SweepConfig::lifetime`], kept for the ablation experiments.)
 
 use std::time::Instant;
 
 use cbq_aig::{Aig, Lit, Var};
 use cbq_cec::{sweep as fraig, SweepConfig as FraigConfig};
-use cbq_cnf::AigCnf;
+use cbq_cnf::{AigCnf, CnfLifetime};
 
 /// Configuration of the between-iterations state-set sweep.
 #[derive(Clone, Debug)]
@@ -45,8 +51,16 @@ pub struct SweepConfig {
     /// graph costs more than it reclaims).
     pub min_nodes: usize,
     /// Garbage-collect the manager after merging (rebuilds a fresh AIG
-    /// holding only live cones and resets the SAT bridge).
+    /// holding only live cones and retires the SAT bridge's cone
+    /// generation).
     pub gc: bool,
+    /// What a GC does to the clause database: the default
+    /// [`CnfLifetime::Activation`] retires dead cones via their
+    /// activation literal and keeps everything the solver learnt;
+    /// [`CnfLifetime::Rebuild`] throws the solver away (ablation
+    /// baseline). Consumed by the partition seeding code, which creates
+    /// each partition's bridge with this lifetime.
+    pub lifetime: CnfLifetime,
     /// Per-traversal budget deadline: a sweep that would start after this
     /// instant is skipped entirely, and the fraig candidate loop stops
     /// early once it passes (cooperative cancellation, so a sweep can
@@ -66,6 +80,7 @@ impl Default for SweepConfig {
             growth_factor: 1.5,
             min_nodes: 256,
             gc: true,
+            lifetime: CnfLifetime::default(),
             deadline: None,
         }
     }
@@ -98,11 +113,11 @@ pub struct SweepStats {
     pub live_before: usize,
     /// Live AND gates after each sweep, summed.
     pub live_after: usize,
-    /// SAT checks spent on clause databases retired by garbage
-    /// collection (add the live bridge's count for an engine total).
-    pub retired_sat_checks: u64,
-    /// SAT bridges re-created by garbage collection.
-    pub cnf_resets: usize,
+    /// SAT-bridge hand-offs at garbage collection: map migrations that
+    /// kept the encoding alive, or full activation-literal retirements
+    /// when the memory-pressure valve tripped (the bridge itself always
+    /// persists; see [`cbq_cnf::AigCnf::migrate`]).
+    pub cnf_gcs: usize,
 }
 
 impl SweepStats {
@@ -120,8 +135,7 @@ impl SweepStats {
         self.nodes_after += other.nodes_after;
         self.live_before += other.live_before;
         self.live_after += other.live_after;
-        self.retired_sat_checks += other.retired_sat_checks;
-        self.cnf_resets += other.cnf_resets;
+        self.cnf_gcs += other.cnf_gcs;
     }
 }
 
@@ -248,10 +262,13 @@ impl StateSetSweeper {
                 .iter()
                 .map(|v| aig.input_index(**v).expect("sweep var must be an input"))
                 .collect();
-            let (packed, packed_roots) = aig.compact(&new_roots);
-            self.stats.retired_sat_checks += cnf.stats().checks;
-            self.stats.cnf_resets += 1;
-            *cnf = AigCnf::new();
+            let (packed, packed_roots, var_map) = aig.compact_with_map(&new_roots);
+            // Carry the bridge across the compaction: surviving cones keep
+            // their SAT variables, so the solver's learnt clauses stay
+            // live and nothing re-encodes (under the rebuild-lifetime
+            // ablation this degrades to the old fresh-bridge behaviour).
+            cnf.migrate(&var_map, packed.num_nodes());
+            self.stats.cnf_gcs += 1;
             *aig = packed;
             new_roots = packed_roots;
             for (slot, ord) in vars.iter_mut().zip(ordinals) {
@@ -303,7 +320,68 @@ mod tests {
         assert_eq!(sweeper.stats.runs, 1);
         assert!(sweeper.stats.merged >= 1);
         assert!(sweeper.stats.reclaimed() > 0);
-        assert_eq!(sweeper.stats.cnf_resets, 1);
+        assert_eq!(sweeper.stats.cnf_gcs, 1);
+        assert_eq!(
+            cnf.stats().migrations + cnf.stats().retirements,
+            1,
+            "the GC must hand the bridge across exactly once"
+        );
+    }
+
+    #[test]
+    fn learnt_clauses_persist_across_gc() {
+        // Two structurally different parity cones checked under a tiny
+        // conflict budget: the equivalence stays undecided (no merge, so
+        // both cones survive the GC) but the conflicts spent have learnt
+        // real clauses over the surviving cones — and with map migration
+        // those clauses must outlive the garbage collection.
+        let mut aig = Aig::new();
+        let ins: Vec<Lit> = (0..10).map(|_| aig.add_input().lit()).collect();
+        let mut f = Lit::FALSE;
+        for &x in &ins {
+            f = aig.xor(f, x);
+        }
+        let mut g = Lit::FALSE;
+        for &x in ins.iter().rev() {
+            g = aig.xor(g, x);
+        }
+        let _dead = aig.and(f, ins[0]);
+        let mut cnf = AigCnf::new();
+        let mut cfg = SweepConfig::eager();
+        cfg.fraig.use_bdd_sweep = false;
+        cfg.fraig.sat_budget = Some(5); // Unknown → no merge, learnts stay
+        let mut sweeper = StateSetSweeper::new(cfg);
+        let (mut f, mut g) = (f, g);
+        let nodes_before = aig.num_nodes();
+        sweeper.run(&mut aig, &mut cnf, vec![&mut f, &mut g], vec![]);
+        assert_ne!(f, g, "budgeted check must stay undecided");
+        assert!(
+            aig.num_nodes() < nodes_before,
+            "gc must reclaim the dead node"
+        );
+        assert_eq!(sweeper.stats.cnf_gcs, 1, "gc must have run");
+        assert!(
+            cnf.stats().learnts_retained > 0,
+            "no learnt clause survived the sweep GC: {:?}",
+            cnf.stats()
+        );
+        assert!(
+            cnf.solver().stats().learnts > 0,
+            "solver lost its learnt database across GC"
+        );
+        let encoded = cnf.stats().encoded_ands;
+        // The persistent solver still answers correctly on the migrated
+        // cones — and without re-encoding anything.
+        assert_eq!(cnf.solve_under(&aig, &[f]), cbq_sat::SatResult::Sat);
+        assert_eq!(
+            cnf.prove_equiv(&aig, f, g, None),
+            cbq_cnf::EquivResult::Equiv
+        );
+        assert_eq!(
+            cnf.stats().encoded_ands,
+            encoded,
+            "migrated cones re-encoded"
+        );
     }
 
     #[test]
@@ -334,7 +412,7 @@ mod tests {
         let mut sweeper = StateSetSweeper::new(cfg);
         sweeper.run(&mut aig, &mut cnf, vec![&mut f, &mut g], vec![]);
         assert_eq!(f, g);
-        assert_eq!(sweeper.stats.cnf_resets, 0);
+        assert_eq!(sweeper.stats.cnf_gcs, 0);
         // Live size still shrinks even though the manager is kept.
         assert!(sweeper.stats.live_after <= sweeper.stats.live_before);
     }

@@ -1,0 +1,222 @@
+//! The contiguous clause arena backing the CDCL solver.
+//!
+//! Every clause — problem or learnt — lives in one flat `Vec<u32>`:
+//! two header words (length/flags and the LBD glue score) followed by the
+//! literal codes. Clauses are addressed by a typed [`CRef`] (the word
+//! offset of the header), so watcher lists and reason slots are plain
+//! `u32`s instead of fat pointers, clause access is a single slice index,
+//! and the whole database is one allocation that the reduce-DB pass
+//! compacts in place. This is the layout of MiniSat's `ClauseAllocator`
+//! (and of its Rust ports), traded against the seed solver's
+//! `Vec<Vec<SatLit>>`-per-clause representation.
+//!
+//! Layout of one clause at offset `c`:
+//!
+//! ```text
+//! data[c]     = len << 2 | learnt << 1 | dead
+//! data[c + 1] = lbd            (0 for problem clauses)
+//! data[c + 2 ..= c + 1 + len]  = literal codes
+//! ```
+
+use crate::types::SatLit;
+
+/// A typed reference into the [`ClauseArena`]: the word offset of the
+/// clause header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CRef(pub(crate) u32);
+
+impl CRef {
+    /// The raw word offset (diagnostics only).
+    pub fn offset(self) -> u32 {
+        self.0
+    }
+}
+
+const HEADER_WORDS: usize = 2;
+const LEARNT_BIT: u32 = 0b10;
+const DEAD_BIT: u32 = 0b01;
+
+/// The flat clause store. See the [module docs](self) for the layout.
+#[derive(Clone, Debug, Default)]
+pub struct ClauseArena {
+    data: Vec<u32>,
+    /// Words occupied by clauses marked dead (reclaimable by compaction).
+    wasted: usize,
+}
+
+impl ClauseArena {
+    /// An empty arena.
+    pub fn new() -> ClauseArena {
+        ClauseArena::default()
+    }
+
+    /// Total words allocated (headers + literals of live *and* dead
+    /// clauses; compaction reclaims the dead ones).
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Words occupied by dead clauses awaiting compaction.
+    pub fn wasted(&self) -> usize {
+        self.wasted
+    }
+
+    /// Total bytes of the arena storage.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Whether the arena holds no clauses at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Allocates a clause and returns its reference.
+    pub fn alloc(&mut self, lits: &[SatLit], learnt: bool, lbd: u32) -> CRef {
+        debug_assert!(lits.len() >= 2, "unit clauses live on the trail");
+        let c = CRef(u32::try_from(self.data.len()).expect("clause arena overflow"));
+        let flags = if learnt { LEARNT_BIT } else { 0 };
+        self.data.push((lits.len() as u32) << 2 | flags);
+        self.data.push(lbd);
+        self.data.extend(lits.iter().map(|l| l.0));
+        c
+    }
+
+    /// Number of literals of clause `c`.
+    pub fn len(&self, c: CRef) -> usize {
+        (self.data[c.0 as usize] >> 2) as usize
+    }
+
+    /// Whether `c` is a learnt clause.
+    pub fn is_learnt(&self, c: CRef) -> bool {
+        self.data[c.0 as usize] & LEARNT_BIT != 0
+    }
+
+    /// Whether `c` has been marked dead (pending compaction).
+    pub fn is_dead(&self, c: CRef) -> bool {
+        self.data[c.0 as usize] & DEAD_BIT != 0
+    }
+
+    /// Marks `c` dead; the storage is reclaimed by [`ClauseArena::compact`].
+    pub fn mark_dead(&mut self, c: CRef) {
+        debug_assert!(!self.is_dead(c));
+        self.data[c.0 as usize] |= DEAD_BIT;
+        self.wasted += HEADER_WORDS + self.len(c);
+    }
+
+    /// The glue (LBD) score of clause `c`.
+    pub fn lbd(&self, c: CRef) -> u32 {
+        self.data[c.0 as usize + 1]
+    }
+
+    /// Updates the glue score of clause `c` (only ever lowered, when a
+    /// conflict re-derives the clause through fewer decision levels).
+    pub fn set_lbd(&mut self, c: CRef, lbd: u32) {
+        self.data[c.0 as usize + 1] = lbd;
+    }
+
+    /// The `i`-th literal of clause `c`.
+    pub fn lit(&self, c: CRef, i: usize) -> SatLit {
+        SatLit(self.data[c.0 as usize + HEADER_WORDS + i])
+    }
+
+    /// Copies the literals of clause `c` into a fresh vector (conflict
+    /// analysis needs them while mutating the solver).
+    pub fn lits_vec(&self, c: CRef) -> Vec<SatLit> {
+        (0..self.len(c)).map(|i| self.lit(c, i)).collect()
+    }
+
+    /// Swaps literals `i` and `j` of clause `c`.
+    pub fn swap_lits(&mut self, c: CRef, i: usize, j: usize) {
+        let base = c.0 as usize + HEADER_WORDS;
+        self.data.swap(base + i, base + j);
+    }
+
+    /// Compacts the arena: every clause not marked dead is copied front-
+    /// to-back into the same store, and its old header slot is overwritten
+    /// with the forwarding offset. Returns an [`ArenaRemap`] that
+    /// translates pre-compaction references of *live* clauses; dead
+    /// references must not be looked up.
+    pub fn compact(&mut self) -> ArenaRemap {
+        let mut fresh: Vec<u32> = Vec::with_capacity(self.data.len() - self.wasted);
+        let mut at = 0usize;
+        while at < self.data.len() {
+            let header = self.data[at];
+            let len = (header >> 2) as usize;
+            let total = HEADER_WORDS + len;
+            if header & DEAD_BIT == 0 {
+                let new_off = fresh.len() as u32;
+                fresh.extend_from_slice(&self.data[at..at + total]);
+                // Forwarding address, read back via `ArenaRemap::forward`.
+                self.data[at] = new_off;
+            }
+            at += total;
+        }
+        debug_assert_eq!(at, self.data.len(), "arena walk misaligned");
+        let old = std::mem::replace(&mut self.data, fresh);
+        self.wasted = 0;
+        ArenaRemap { forwarding: old }
+    }
+}
+
+/// The forwarding table produced by [`ClauseArena::compact`]: old header
+/// slots of live clauses hold their new offsets.
+pub struct ArenaRemap {
+    forwarding: Vec<u32>,
+}
+
+impl ArenaRemap {
+    /// The post-compaction reference of a clause that was live at `c`.
+    pub fn forward(&self, c: CRef) -> CRef {
+        CRef(self.forwarding[c.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SatVar;
+
+    fn lits(codes: &[usize]) -> Vec<SatLit> {
+        codes.iter().map(|&c| SatLit::from_code(c)).collect()
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut a = ClauseArena::new();
+        let c1 = a.alloc(&lits(&[0, 3]), false, 0);
+        let c2 = a.alloc(&lits(&[2, 5, 7]), true, 2);
+        assert_eq!(a.len(c1), 2);
+        assert_eq!(a.len(c2), 3);
+        assert!(!a.is_learnt(c1));
+        assert!(a.is_learnt(c2));
+        assert_eq!(a.lbd(c2), 2);
+        assert_eq!(a.lit(c2, 1), SatVar::from_index(2).neg());
+        a.set_lbd(c2, 1);
+        assert_eq!(a.lbd(c2), 1);
+        a.swap_lits(c2, 0, 2);
+        assert_eq!(a.lit(c2, 0), SatLit::from_code(7));
+        assert_eq!(a.words(), 4 + 5);
+    }
+
+    #[test]
+    fn compaction_forwards_live_clauses() {
+        let mut a = ClauseArena::new();
+        let c1 = a.alloc(&lits(&[0, 3]), false, 0);
+        let c2 = a.alloc(&lits(&[2, 5, 7]), true, 3);
+        let c3 = a.alloc(&lits(&[1, 4]), true, 1);
+        a.mark_dead(c2);
+        assert!(a.is_dead(c2));
+        assert_eq!(a.wasted(), 5);
+        let before = a.words();
+        let remap = a.compact();
+        assert_eq!(a.wasted(), 0);
+        assert!(a.words() < before);
+        let n1 = remap.forward(c1);
+        let n3 = remap.forward(c3);
+        assert_eq!(a.lits_vec(n1), lits(&[0, 3]));
+        assert_eq!(a.lits_vec(n3), lits(&[1, 4]));
+        assert!(a.is_learnt(n3));
+        assert_eq!(a.lbd(n3), 1);
+    }
+}

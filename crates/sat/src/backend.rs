@@ -1,0 +1,157 @@
+//! The [`SatBackend`] trait: the minimal incremental-solving surface the
+//! rest of the stack (and the `cbq sat` tool) programs against.
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`crate::Solver`] — the production arena-based CDCL solver;
+//! * [`crate::reference::ReferenceSolver`] — exhaustive enumeration,
+//!   kept as a differential oracle for tests and for cross-checking small
+//!   instances (`cbq sat --backend reference`).
+
+use crate::reference::ReferenceSolver;
+use crate::solver::Solver;
+use crate::types::{SatLit, SatResult, SatVar};
+
+/// The incremental interface shared by every solver backend.
+///
+/// ```
+/// use cbq_sat::{SatBackend, SatResult, Solver};
+/// use cbq_sat::reference::ReferenceSolver;
+///
+/// fn tiny_check<B: SatBackend>(s: &mut B) -> SatResult {
+///     let a = s.new_var();
+///     let b = s.new_var();
+///     s.add_clause(&[a.pos(), b.pos()]);
+///     s.solve_with(&[a.neg(), b.neg()])
+/// }
+/// assert_eq!(tiny_check(&mut Solver::new()), SatResult::Unsat);
+/// assert_eq!(tiny_check(&mut ReferenceSolver::new()), SatResult::Unsat);
+/// ```
+pub trait SatBackend {
+    /// Adds a fresh variable.
+    fn new_var(&mut self) -> SatVar;
+
+    /// Number of variables.
+    fn num_vars(&self) -> usize;
+
+    /// Adds a clause; `false` if the database became trivially
+    /// unsatisfiable.
+    fn add_clause(&mut self, lits: &[SatLit]) -> bool;
+
+    /// Solves under the given assumptions.
+    fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult;
+
+    /// Solves with no assumptions.
+    fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Model value of `v` after a [`SatResult::Sat`] answer.
+    fn value(&self, v: SatVar) -> Option<bool>;
+
+    /// Sets (or clears) the per-call conflict budget; backends without a
+    /// notion of conflicts may ignore it.
+    fn set_conflict_budget(&mut self, budget: Option<u64>);
+}
+
+impl SatBackend for Solver {
+    fn new_var(&mut self) -> SatVar {
+        Solver::new_var(self)
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn add_clause(&mut self, lits: &[SatLit]) -> bool {
+        Solver::add_clause(self, lits)
+    }
+
+    fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult {
+        Solver::solve_with(self, assumptions)
+    }
+
+    fn value(&self, v: SatVar) -> Option<bool> {
+        Solver::value(self, v)
+    }
+
+    fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        Solver::set_conflict_budget(self, budget)
+    }
+}
+
+impl SatBackend for ReferenceSolver {
+    fn new_var(&mut self) -> SatVar {
+        ReferenceSolver::new_var(self)
+    }
+
+    fn num_vars(&self) -> usize {
+        ReferenceSolver::num_vars(self)
+    }
+
+    fn add_clause(&mut self, lits: &[SatLit]) -> bool {
+        ReferenceSolver::add_clause(self, lits)
+    }
+
+    fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult {
+        ReferenceSolver::solve_with(self, assumptions)
+    }
+
+    fn value(&self, v: SatVar) -> Option<bool> {
+        ReferenceSolver::value(self, v)
+    }
+
+    fn set_conflict_budget(&mut self, _budget: Option<u64>) {
+        // Enumeration has no conflicts to bound; the variable-count cap
+        // already keeps every call finite.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The pigeonhole construction reads clearest with explicit indices.
+    #![allow(clippy::needless_range_loop)]
+
+    use super::*;
+
+    fn load_php32<B: SatBackend>(s: &mut B) {
+        let v: Vec<Vec<SatVar>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &v {
+            let clause: Vec<SatLit> = row.iter().map(|x| x.pos()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let mut cdcl = Solver::new();
+        let mut oracle = ReferenceSolver::new();
+        load_php32(&mut cdcl);
+        load_php32(&mut oracle);
+        assert_eq!(cdcl.num_vars(), oracle.num_vars());
+        assert_eq!(SatBackend::solve(&mut cdcl), SatResult::Unsat);
+        assert_eq!(SatBackend::solve(&mut oracle), SatResult::Unsat);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut backends: Vec<Box<dyn SatBackend>> =
+            vec![Box::new(Solver::new()), Box::new(ReferenceSolver::new())];
+        for b in &mut backends {
+            let a = b.new_var();
+            b.add_clause(&[a.pos()]);
+            assert_eq!(b.solve(), SatResult::Sat);
+            assert_eq!(b.value(a), Some(true));
+            assert_eq!(b.solve_with(&[a.neg()]), SatResult::Unsat);
+        }
+    }
+}

@@ -7,16 +7,26 @@
 //! conflict-driven clause-learning (CDCL) solver in the ZChaff/MiniSat
 //! lineage with
 //!
+//! * a **contiguous `u32` clause arena** ([`arena::ClauseArena`]): every
+//!   clause is a header-plus-literals run addressed by a typed
+//!   [`arena::CRef`], watcher lists carry `CRef` + blocker literal, and
+//!   reduce-DB compacts the arena in place instead of freeing per-clause
+//!   `Vec`s,
 //! * two-watched-literal propagation,
 //! * first-UIP conflict analysis with clause minimisation,
-//! * VSIDS variable activities and phase saving,
-//! * Luby-sequence restarts and activity-based learnt-clause reduction,
+//! * VSIDS variable activities, saved-phase **and target-phase**
+//!   branching polarity (alternating restarts replay the deepest trail
+//!   seen so far),
+//! * **LBD (glue) scoring at learn time** with glue-tiered learnt-clause
+//!   reduction (glue ≤ 2 is never deleted) and Luby-sequence restarts,
 //! * **incremental solving under assumptions** ([`Solver::solve_with`]):
 //!   the clause database (including learnt clauses) persists across calls,
 //!   so successive equivalence checks share everything already derived,
 //! * failed-assumption extraction ([`Solver::failed_assumptions`]) and
-//!   conflict budgets ([`Solver::set_conflict_budget`]) for abortable
-//!   checks.
+//!   **per-call** conflict budgets ([`Solver::set_conflict_budget`]) for
+//!   abortable checks,
+//! * a [`SatBackend`] trait with the exhaustive
+//!   [`reference::ReferenceSolver`] as a differential oracle.
 //!
 //! ## Example
 //!
@@ -38,11 +48,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod solver;
 mod types;
 
+pub mod arena;
 pub mod dimacs;
 pub mod reference;
 
-pub use crate::solver::{Solver, SolverStats};
+pub use crate::backend::SatBackend;
+pub use crate::solver::{Solver, SolverStats, LBD_BUCKETS};
 pub use crate::types::{Lbool, SatLit, SatResult, SatVar};

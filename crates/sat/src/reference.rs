@@ -2,9 +2,84 @@
 //! the CDCL solver in tests and property-based tests.
 //!
 //! Only suitable for small variable counts (exponential), but its
-//! simplicity makes it an effective oracle.
+//! simplicity makes it an effective oracle. [`ReferenceSolver`] wraps the
+//! enumeration behind the same incremental surface as the CDCL solver
+//! (see [`crate::SatBackend`]), so differential tests and the
+//! `cbq sat --backend reference` tool can drive either interchangeably.
 
-use crate::types::SatLit;
+use crate::types::{SatLit, SatResult, SatVar};
+
+/// Variable-count ceiling of the exhaustive oracle (2²⁴ assignments).
+pub const MAX_ORACLE_VARS: usize = 24;
+
+/// An incremental facade over [`brute_force_sat`]: stores the clause
+/// list, re-enumerates on every solve. Returns [`SatResult::Unknown`]
+/// beyond [`MAX_ORACLE_VARS`] variables instead of taking exponential
+/// forever.
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<SatLit>>,
+    model: Option<Vec<bool>>,
+}
+
+impl ReferenceSolver {
+    /// An empty oracle.
+    pub fn new() -> ReferenceSolver {
+        ReferenceSolver::default()
+    }
+
+    /// Adds a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Stores a clause. An empty clause makes the database unsatisfiable;
+    /// mirrors [`crate::Solver::add_clause`]'s return convention.
+    pub fn add_clause(&mut self, lits: &[SatLit]) -> bool {
+        self.clauses.push(lits.to_vec());
+        !lits.is_empty()
+    }
+
+    /// Decides the stored clause set under `assumptions` by enumeration.
+    pub fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult {
+        self.model = None;
+        if self.num_vars > MAX_ORACLE_VARS {
+            return SatResult::Unknown;
+        }
+        let mut all = self.clauses.clone();
+        all.extend(assumptions.iter().map(|&l| vec![l]));
+        match brute_force_sat(self.num_vars, &all) {
+            Some(model) => {
+                self.model = Some(model);
+                SatResult::Sat
+            }
+            None => SatResult::Unsat,
+        }
+    }
+
+    /// Solves with no assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Model value of `v` after a [`SatResult::Sat`] answer.
+    pub fn value(&self, v: SatVar) -> Option<bool> {
+        self.model.as_ref().and_then(|m| m.get(v.index()).copied())
+    }
+}
 
 /// Exhaustively decides satisfiability of a clause list over `num_vars`
 /// variables.
@@ -73,5 +148,28 @@ mod tests {
         let a = SatVar::from_index(0);
         let m = brute_force_sat(2, &[vec![a.neg()]]).unwrap();
         assert!(!m[0]);
+    }
+
+    #[test]
+    fn incremental_facade_matches_enumeration() {
+        let mut s = ReferenceSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[a.pos(), b.pos()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.solve_with(&[a.neg(), b.neg()]), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Sat); // assumptions non-destructive
+        assert!(s.value(a).is_some() || s.value(b).is_some());
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!(s.num_clauses(), 1);
+    }
+
+    #[test]
+    fn oracle_declines_oversized_instances() {
+        let mut s = ReferenceSolver::new();
+        for _ in 0..MAX_ORACLE_VARS + 1 {
+            s.new_var();
+        }
+        assert_eq!(s.solve(), SatResult::Unknown);
     }
 }

@@ -1,19 +1,38 @@
-//! The CDCL solver.
+//! The CDCL solver, built on the flat clause arena of [`crate::arena`].
+//!
+//! Differences from a textbook MiniSat that matter to the rest of the
+//! stack:
+//!
+//! * **Arena clause storage** — clauses are `u32` runs in one contiguous
+//!   [`ClauseArena`]; watcher lists carry `CRef` + blocker literal, and
+//!   reduce-DB compacts the arena in place (remapping reasons, rebuilding
+//!   watches) instead of freeing per-clause allocations.
+//! * **LBD (glue) scoring** — each learnt clause's "literal block
+//!   distance" is computed at learn time and lowered whenever a conflict
+//!   re-derives the clause through fewer decision levels; reduce-DB is
+//!   glue-tiered: clauses with LBD ≤ 2 are kept unconditionally, the rest
+//!   are sorted by glue and the worst half deleted.
+//! * **Saved-phase + target-phase polarity** — branching replays the last
+//!   polarity of each variable (phase saving); on alternating restarts it
+//!   instead replays the polarity of the deepest trail seen this call
+//!   (target phase), which re-approaches the most satisfying region found
+//!   so far.
+//! * **Per-call conflict budgets** — [`Solver::set_conflict_budget`]
+//!   bounds each `solve`/`solve_with` call independently: every call gets
+//!   the full budget, nothing leaks from earlier calls.
 
+use crate::arena::{CRef, ClauseArena};
 use crate::types::{Lbool, SatLit, SatResult, SatVar};
-
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<SatLit>,
-    activity: f64,
-    learnt: bool,
-}
 
 #[derive(Copy, Clone, Debug)]
 struct Watcher {
-    cref: usize,
+    cref: CRef,
     blocker: SatLit,
 }
+
+/// Number of buckets of [`SolverStats::lbd_hist`]: bucket `i` counts
+/// learnt clauses of LBD `i + 1`, the last bucket everything at or above.
+pub const LBD_BUCKETS: usize = 8;
 
 /// Aggregate counters exposed by [`Solver::stats`].
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -32,11 +51,50 @@ pub struct SolverStats {
     pub deleted: u64,
     /// Number of `solve`/`solve_with` calls.
     pub solves: u64,
+    /// Reduce-DB (arena compaction) rounds executed.
+    pub reduces: u64,
+    /// Clauses purged as satisfied at level 0 ([`Solver::purge_satisfied`]).
+    pub purged: u64,
+    /// Variables released from branching ([`Solver::set_decision`]).
+    pub released_vars: u64,
+    /// Current clause-arena size in `u32` words (headers + literals).
+    pub arena_words: u64,
+    /// Learn-time LBD histogram: bucket `i` counts clauses learnt with
+    /// LBD `i + 1`; the last bucket collects everything at or above
+    /// [`LBD_BUCKETS`].
+    pub lbd_hist: [u64; LBD_BUCKETS],
+}
+
+impl SolverStats {
+    /// Current clause-arena size in bytes.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_words * std::mem::size_of::<u32>() as u64
+    }
+
+    /// Accumulates another counter record into this one (used to fold the
+    /// per-partition solvers of a partitioned traversal into one total).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnts += other.learnts;
+        self.deleted += other.deleted;
+        self.solves += other.solves;
+        self.reduces += other.reduces;
+        self.purged += other.purged;
+        self.released_vars += other.released_vars;
+        self.arena_words += other.arena_words;
+        for (slot, n) in self.lbd_hist.iter_mut().zip(other.lbd_hist.iter()) {
+            *slot += n;
+        }
+    }
 }
 
 const VAR_DECAY: f64 = 0.95;
-const CLA_DECAY: f64 = 0.999;
 const RESTART_BASE: u64 = 100;
+/// Learnt clauses with LBD at or below this glue tier are never deleted.
+const GLUE_KEEP: u32 = 2;
 
 /// A conflict-driven clause-learning SAT solver.
 ///
@@ -47,25 +105,32 @@ const RESTART_BASE: u64 = 100;
 /// SAT-merge depends on.
 #[derive(Clone, Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    ca: ClauseArena,
+    clauses: Vec<CRef>,
+    learnts: Vec<CRef>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<Lbool>,
     phase: Vec<bool>,
-    reason: Vec<Option<usize>>,
+    decision: Vec<bool>,
+    target_phase: Vec<bool>,
+    best_trail: usize,
+    use_target: bool,
+    reason: Vec<Option<CRef>>,
     level: Vec<u32>,
     activity: Vec<f64>,
     heap: Vec<u32>,
     heap_pos: Vec<i32>,
     var_inc: f64,
-    cla_inc: f64,
     trail: Vec<SatLit>,
     trail_lim: Vec<usize>,
     qhead: usize,
     seen: Vec<bool>,
+    lbd_stamp: Vec<u64>,
+    lbd_token: u64,
     ok: bool,
-    num_learnts: usize,
     max_learnts: f64,
     conflict_budget: Option<u64>,
+    call_conflicts: u64,
     failed: Vec<SatLit>,
     model: Vec<Lbool>,
     stats: SolverStats,
@@ -81,25 +146,32 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Solver {
         Solver {
+            ca: ClauseArena::new(),
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             phase: Vec::new(),
+            decision: Vec::new(),
+            target_phase: Vec::new(),
+            best_trail: 0,
+            use_target: false,
             reason: Vec::new(),
             level: Vec::new(),
             activity: Vec::new(),
             heap: Vec::new(),
             heap_pos: Vec::new(),
             var_inc: 1.0,
-            cla_inc: 1.0,
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
             seen: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_token: 0,
             ok: true,
-            num_learnts: 0,
             max_learnts: 4000.0,
             conflict_budget: None,
+            call_conflicts: 0,
             failed: Vec::new(),
             model: Vec::new(),
             stats: SolverStats::default(),
@@ -111,11 +183,14 @@ impl Solver {
         let v = SatVar::from_index(self.assigns.len());
         self.assigns.push(Lbool::Undef);
         self.phase.push(false);
+        self.decision.push(true);
+        self.target_phase.push(false);
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(0.0);
         self.heap_pos.push(-1);
         self.seen.push(false);
+        self.lbd_stamp.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap_insert(v.0);
@@ -130,15 +205,19 @@ impl Solver {
     /// Number of problem (non-learnt) clauses added so far, minus any that
     /// were satisfied at level 0 on addition.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt).count()
+        self.clauses.len()
     }
 
-    /// Solver statistics.
+    /// Solver statistics (arena size sampled at call time).
     pub fn stats(&self) -> SolverStats {
-        self.stats
+        let mut s = self.stats;
+        s.arena_words = self.ca.words() as u64;
+        s
     }
 
-    /// Sets (or clears) the per-call conflict budget. A call that exceeds
+    /// Sets (or clears) the per-call conflict budget. Each subsequent
+    /// `solve`/`solve_with` call gets the *full* budget — conflicts spent
+    /// by one call never count against the next — and a call that exceeds
     /// it returns [`SatResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
@@ -203,32 +282,30 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(simplified, false);
+                self.attach_clause(&simplified, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<SatLit>, learnt: bool) -> usize {
+    fn attach_clause(&mut self, lits: &[SatLit], learnt: bool, lbd: u32) -> CRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len();
+        let cref = self.ca.alloc(lits, learnt, lbd);
         let w0 = lits[0];
         let w1 = lits[1];
         self.watches[w0.code()].push(Watcher { cref, blocker: w1 });
         self.watches[w1.code()].push(Watcher { cref, blocker: w0 });
         if learnt {
-            self.num_learnts += 1;
-            self.stats.learnts = self.num_learnts as u64;
+            self.learnts.push(cref);
+            self.stats.learnts = self.learnts.len() as u64;
+            self.stats.lbd_hist[(lbd.max(1) as usize - 1).min(LBD_BUCKETS - 1)] += 1;
+        } else {
+            self.clauses.push(cref);
         }
-        self.clauses.push(Clause {
-            lits,
-            activity: 0.0,
-            learnt,
-        });
         cref
     }
 
-    fn unchecked_enqueue(&mut self, l: SatLit, reason: Option<usize>) {
+    fn unchecked_enqueue(&mut self, l: SatLit, reason: Option<CRef>) {
         debug_assert_eq!(self.lit_value(l), Lbool::Undef);
         let v = l.var().index();
         self.assigns[v] = Lbool::from_bool(!l.is_negative());
@@ -238,7 +315,7 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause reference, if any.
-    fn propagate(&mut self) -> Option<usize> {
+    fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -253,14 +330,12 @@ impl Solver {
                     continue;
                 }
                 // Normalise: falsified literal at position 1.
-                // Normalise: falsified literal at position 1.
                 let first = {
-                    let clause = &mut self.clauses[w.cref];
-                    if clause.lits[0] == falsified {
-                        clause.lits.swap(0, 1);
+                    if self.ca.lit(w.cref, 0) == falsified {
+                        self.ca.swap_lits(w.cref, 0, 1);
                     }
-                    debug_assert_eq!(clause.lits[1], falsified, "stale watcher");
-                    clause.lits[0]
+                    debug_assert_eq!(self.ca.lit(w.cref, 1), falsified, "stale watcher");
+                    self.ca.lit(w.cref, 0)
                 };
                 // If the other watched literal is already true the clause is
                 // satisfied; this must be decided *before* moving watches.
@@ -271,20 +346,12 @@ impl Solver {
                 }
                 // Look for a replacement watch among the tail literals.
                 let found_new = {
-                    let clause = &mut self.clauses[w.cref];
+                    let len = self.ca.len(w.cref);
                     let mut found = None;
-                    for k in 2..clause.lits.len() {
-                        let l = clause.lits[k];
-                        let val = {
-                            let a = self.assigns[l.var().index()];
-                            if l.is_negative() {
-                                a.negate()
-                            } else {
-                                a
-                            }
-                        };
-                        if val != Lbool::False {
-                            clause.lits.swap(1, k);
+                    for k in 2..len {
+                        let l = self.ca.lit(w.cref, k);
+                        if self.lit_value(l) != Lbool::False {
+                            self.ca.swap_lits(w.cref, 1, k);
                             found = Some(l);
                             break;
                         }
@@ -328,31 +395,39 @@ impl Solver {
         }
     }
 
-    fn bump_clause(&mut self, cref: usize) {
-        let c = &mut self.clauses[cref];
-        if !c.learnt {
-            return;
-        }
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+    /// The LBD ("glue") of a literal set: distinct decision levels above 0.
+    fn compute_lbd(&mut self, lits: &[SatLit]) -> u32 {
+        self.lbd_token += 1;
+        let mut glue = 0;
+        for &l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if lvl > 0 && self.lbd_stamp[lvl] != self.lbd_token {
+                self.lbd_stamp[lvl] = self.lbd_token;
+                glue += 1;
             }
-            self.cla_inc *= 1e-20;
         }
+        glue
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
     /// literal first) and the backtrack level.
-    fn analyze(&mut self, confl: usize) -> (Vec<SatLit>, usize) {
+    fn analyze(&mut self, confl: CRef) -> (Vec<SatLit>, usize) {
         let mut learnt: Vec<SatLit> = vec![SatLit::from_code(0)]; // placeholder
         let mut counter = 0usize;
         let mut p: Option<SatLit> = None;
         let mut confl = confl;
         let mut index = self.trail.len();
         loop {
-            self.bump_clause(confl);
-            let lits: Vec<SatLit> = self.clauses[confl].lits.clone();
+            let lits: Vec<SatLit> = self.ca.lits_vec(confl);
+            // Lower the stored glue of a learnt antecedent when the
+            // current assignment re-derives it through fewer levels
+            // (reusing the literal vector materialised for resolution).
+            if self.ca.is_learnt(confl) {
+                let glue = self.compute_lbd(&lits);
+                if glue < self.ca.lbd(confl) {
+                    self.ca.set_lbd(confl, glue);
+                }
+            }
             let skip = usize::from(p.is_some());
             for &q in &lits[skip..] {
                 let v = q.var().index();
@@ -390,10 +465,11 @@ impl Solver {
             let keep = match self.reason[q.var().index()] {
                 None => true,
                 Some(r) => {
-                    let lits = &self.clauses[r].lits;
-                    !lits[1..]
-                        .iter()
-                        .all(|&l| self.seen[l.var().index()] || self.level[l.var().index()] == 0)
+                    let len = self.ca.len(r);
+                    !(1..len).all(|i| {
+                        let l = self.ca.lit(r, i);
+                        self.seen[l.var().index()] || self.level[l.var().index()] == 0
+                    })
                 }
             };
             if keep {
@@ -404,9 +480,10 @@ impl Solver {
         for &q in &learnt[1..] {
             self.seen[q.var().index()] = false;
         }
-        let learnt = minimized;
+        let mut learnt = minimized;
 
-        // Backtrack level: highest level among learnt[1..].
+        // Backtrack level: highest level among learnt[1..], whose literal
+        // must sit at position 1 (second watch).
         let bt = if learnt.len() == 1 {
             0
         } else {
@@ -416,19 +493,9 @@ impl Solver {
                     max_i = i;
                 }
             }
-            self.level[learnt[max_i].var().index()] as usize
-        };
-        let mut learnt = learnt;
-        if learnt.len() > 1 {
-            // Put a literal of the backtrack level at position 1 (second watch).
-            let mut max_i = 1;
-            for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
-                    max_i = i;
-                }
-            }
             learnt.swap(1, max_i);
-        }
+            self.level[learnt[1].var().index()] as usize
+        };
         (learnt, bt)
     }
 
@@ -456,8 +523,8 @@ impl Solver {
                     }
                 }
                 Some(r) => {
-                    let lits = self.clauses[r].lits.clone();
-                    for l in &lits[1..] {
+                    for k in 1..self.ca.len(r) {
+                        let l = self.ca.lit(r, k);
                         if self.level[l.var().index()] > 0 {
                             self.seen[l.var().index()] = true;
                         }
@@ -480,7 +547,7 @@ impl Solver {
             self.phase[v] = !l.is_negative();
             self.assigns[v] = Lbool::Undef;
             self.reason[v] = None;
-            if self.heap_pos[v] < 0 {
+            if self.decision[v] && self.heap_pos[v] < 0 {
                 self.heap_insert(v as u32);
             }
         }
@@ -491,78 +558,230 @@ impl Solver {
 
     fn pick_branch_var(&mut self) -> Option<SatVar> {
         while let Some(v) = self.heap_pop() {
-            if self.assigns[v as usize] == Lbool::Undef {
+            if self.assigns[v as usize] == Lbool::Undef && self.decision[v as usize] {
                 return Some(SatVar(v));
             }
         }
         None
     }
 
-    /// Reduces the learnt-clause database, keeping the most active half.
-    /// Reasons of current assignments and binary clauses are protected.
-    fn reduce_db(&mut self) {
-        let locked: Vec<bool> = {
-            let mut locked = vec![false; self.clauses.len()];
-            for v in 0..self.num_vars() {
-                if self.assigns[v] != Lbool::Undef {
-                    if let Some(r) = self.reason[v] {
-                        locked[r] = true;
-                    }
-                }
-            }
-            locked
-        };
-        let mut learnt_refs: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learnt && !locked[i] && self.clauses[i].lits.len() > 2)
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let to_delete: std::collections::HashSet<usize> = learnt_refs[..learnt_refs.len() / 2]
-            .iter()
-            .copied()
-            .collect();
-        if to_delete.is_empty() {
+    /// Includes or excludes `v` from branching. Released (non-decision)
+    /// variables may be left unassigned by a [`SatResult::Sat`] answer,
+    /// so the caller must guarantee one of two invariants for every
+    /// released variable: either all its clauses are already satisfied at
+    /// level 0 (a retired cone generation), or its value is fully
+    /// determined by unit propagation once the decision variables are
+    /// assigned — e.g. a Tseitin-defined node whose definition clauses
+    /// stay intact and whose fanin chain grounds out in decision
+    /// variables (a migrated bridge's strash-collision losers and
+    /// constant-mapped nodes). Anything weaker can make a `Sat` answer
+    /// unsound.
+    pub fn set_decision(&mut self, v: SatVar, decision: bool) {
+        let i = v.index();
+        if self.decision[i] == decision {
             return;
         }
-        // Compact the arena, remapping crefs in reasons and watches.
-        let mut remap: Vec<Option<usize>> = vec![None; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len() - to_delete.len());
-        for (i, c) in self.clauses.drain(..).enumerate() {
-            if to_delete.contains(&i) {
-                self.num_learnts -= 1;
-                self.stats.deleted += 1;
-                continue;
+        self.decision[i] = decision;
+        if decision {
+            if self.heap_pos[i] < 0 {
+                self.heap_insert(i as u32);
             }
-            remap[i] = Some(new_clauses.len());
-            new_clauses.push(c);
+        } else {
+            self.stats.released_vars += 1;
         }
-        self.clauses = new_clauses;
-        for r in &mut self.reason {
-            if let Some(old) = *r {
-                *r = remap[old];
-                debug_assert!(r.is_some(), "deleted a locked clause");
+        // A released variable still in the heap is skipped lazily by
+        // `pick_branch_var`.
+    }
+
+    /// Deletes every clause satisfied at level 0 (problem and learnt) and
+    /// compacts the arena — the memory-reclamation half of retiring a
+    /// cone generation: once its activation literal is asserted false,
+    /// all its clauses are permanently satisfied and purgeable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (must be at decision level 0).
+    pub fn purge_satisfied(&mut self) {
+        assert_eq!(self.decision_level(), 0, "purge only at level 0");
+        if !self.ok {
+            return;
+        }
+        let purge_list =
+            |ca: &mut ClauseArena, list: &mut Vec<CRef>, assigns: &[Lbool], purged: &mut u64| {
+                list.retain(|&c| {
+                    let satisfied = (0..ca.len(c)).any(|i| {
+                        let l = ca.lit(c, i);
+                        let a = assigns[l.var().index()];
+                        (if l.is_negative() { a.negate() } else { a }) == Lbool::True
+                    });
+                    if satisfied {
+                        ca.mark_dead(c);
+                        *purged += 1;
+                    }
+                    !satisfied
+                });
+            };
+        let mut purged = 0u64;
+        purge_list(&mut self.ca, &mut self.clauses, &self.assigns, &mut purged);
+        purge_list(&mut self.ca, &mut self.learnts, &self.assigns, &mut purged);
+        if purged == 0 {
+            return;
+        }
+        self.stats.purged += purged;
+        // Level-0 reasons may point at purged clauses; they are never
+        // consulted again (conflict analysis skips level-0 literals), so
+        // drop them before compaction instead of remapping dead refs.
+        for v in 0..self.num_vars() {
+            if self.assigns[v] != Lbool::Undef && self.level[v] == 0 {
+                self.reason[v] = None;
+            }
+        }
+        self.compact_arena();
+        self.stats.learnts = self.learnts.len() as u64;
+    }
+
+    /// Deletes every clause referencing a variable marked in `dead`
+    /// (problem and learnt) and compacts the arena. Sound when the marked
+    /// variables' constraints are *definitional extensions* — satisfiable
+    /// under any assignment of the surviving variables — which is exactly
+    /// what a retired/orphaned Tseitin cone is: removing such clauses
+    /// changes no verdict of any query over the surviving variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search (must be at decision level 0).
+    pub fn purge_referencing(&mut self, dead: &[bool]) {
+        assert_eq!(self.decision_level(), 0, "purge only at level 0");
+        if !self.ok {
+            return;
+        }
+        let purge_list = |ca: &mut ClauseArena, list: &mut Vec<CRef>, purged: &mut u64| {
+            list.retain(|&c| {
+                let orphaned = (0..ca.len(c)).any(|i| {
+                    dead.get(ca.lit(c, i).var().index())
+                        .copied()
+                        .unwrap_or(false)
+                });
+                if orphaned {
+                    ca.mark_dead(c);
+                    *purged += 1;
+                }
+                !orphaned
+            });
+        };
+        let mut purged = 0u64;
+        purge_list(&mut self.ca, &mut self.clauses, &mut purged);
+        purge_list(&mut self.ca, &mut self.learnts, &mut purged);
+        if purged == 0 {
+            return;
+        }
+        self.stats.purged += purged;
+        // Level-0 reasons may point at purged clauses; they are never
+        // consulted again (conflict analysis skips level-0 literals).
+        for v in 0..self.num_vars() {
+            if self.assigns[v] != Lbool::Undef && self.level[v] == 0 {
+                self.reason[v] = None;
+            }
+        }
+        self.compact_arena();
+        self.stats.learnts = self.learnts.len() as u64;
+    }
+
+    /// Compacts the arena and remaps clause lists, reasons, and watches.
+    /// Every dead clause must already be out of the lists and reasons.
+    fn compact_arena(&mut self) {
+        let remap = self.ca.compact();
+        for c in &mut self.clauses {
+            *c = remap.forward(*c);
+        }
+        for c in &mut self.learnts {
+            *c = remap.forward(*c);
+        }
+        for r in self.reason.iter_mut() {
+            if let Some(c) = *r {
+                *r = Some(remap.forward(c));
             }
         }
         for wl in &mut self.watches {
             wl.clear();
         }
-        for (i, c) in self.clauses.iter().enumerate() {
-            let w0 = c.lits[0];
-            let w1 = c.lits[1];
-            self.watches[w0.code()].push(Watcher {
-                cref: i,
-                blocker: w1,
-            });
-            self.watches[w1.code()].push(Watcher {
-                cref: i,
-                blocker: w0,
-            });
+        for i in 0..self.clauses.len() + self.learnts.len() {
+            let cref = if i < self.clauses.len() {
+                self.clauses[i]
+            } else {
+                self.learnts[i - self.clauses.len()]
+            };
+            let w0 = self.ca.lit(cref, 0);
+            let w1 = self.ca.lit(cref, 1);
+            self.watches[w0.code()].push(Watcher { cref, blocker: w1 });
+            self.watches[w1.code()].push(Watcher { cref, blocker: w0 });
         }
-        self.stats.learnts = self.num_learnts as u64;
+    }
+
+    /// The branching polarity of `v`: the saved phase, or — on
+    /// target-phase restarts — the polarity `v` had on the deepest trail
+    /// seen this call.
+    fn branch_polarity(&self, v: usize) -> bool {
+        if self.use_target {
+            self.target_phase[v]
+        } else {
+            self.phase[v]
+        }
+    }
+
+    /// Records the current (deepest-so-far) trail as the target phase.
+    fn save_target_phase(&mut self) {
+        for &l in &self.trail {
+            self.target_phase[l.var().index()] = !l.is_negative();
+        }
+    }
+
+    /// Glue-tiered learnt-database reduction with arena compaction.
+    ///
+    /// Clauses that are reasons of current assignments, binary, or of glue
+    /// LBD ≤ 2 are kept unconditionally; the remainder is sorted by glue
+    /// and the worst half marked dead. The arena is then compacted and
+    /// every live reference (clause lists, reasons, watches) remapped.
+    fn reduce_db(&mut self) {
+        let locked: Vec<bool> = {
+            let mut locked = vec![false; self.learnts.len()];
+            // Learnt reasons are identified by a pass over the list (the
+            // list is small relative to the trail at reduce time).
+            let reasons: std::collections::HashSet<CRef> = (0..self.num_vars())
+                .filter(|&v| self.assigns[v] != Lbool::Undef)
+                .filter_map(|v| self.reason[v])
+                .collect();
+            for (i, &c) in self.learnts.iter().enumerate() {
+                if reasons.contains(&c) {
+                    locked[i] = true;
+                }
+            }
+            locked
+        };
+        let mut candidates: Vec<CRef> = self
+            .learnts
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| !locked[i] && self.ca.len(c) > 2 && self.ca.lbd(c) > GLUE_KEEP)
+            .map(|(_, &c)| c)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // Worst glue first; ties delete the older (lower-offset) clause.
+        candidates.sort_unstable_by_key(|&c| (std::cmp::Reverse(self.ca.lbd(c)), c));
+        for &c in &candidates[..candidates.len() / 2] {
+            self.ca.mark_dead(c);
+            self.stats.deleted += 1;
+        }
+        if self.ca.wasted() == 0 {
+            return;
+        }
+        // Drop dead references, compact the arena, and remap the rest.
+        self.learnts.retain(|&c| !self.ca.is_dead(c));
+        self.compact_arena();
+        self.stats.learnts = self.learnts.len() as u64;
+        self.stats.reduces += 1;
     }
 
     /// Solves the current database with no assumptions.
@@ -576,6 +795,9 @@ impl Solver {
     pub fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult {
         self.stats.solves += 1;
         self.failed.clear();
+        self.call_conflicts = 0;
+        self.best_trail = 0;
+        self.use_target = false;
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -584,11 +806,10 @@ impl Solver {
             self.ok = false;
             return SatResult::Unsat;
         }
-        let budget_start = self.stats.conflicts;
         let mut restarts = 0u64;
         loop {
             let limit = RESTART_BASE * luby(2, restarts);
-            match self.search(limit, assumptions, budget_start) {
+            match self.search(limit, assumptions) {
                 Some(r) => {
                     self.backtrack(0);
                     return r;
@@ -596,21 +817,19 @@ impl Solver {
                 None => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    // Alternate saved-phase and target-phase restarts.
+                    self.use_target = restarts % 2 == 1 && self.best_trail > 0;
                 }
             }
         }
     }
 
-    fn search(
-        &mut self,
-        conflict_limit: u64,
-        assumptions: &[SatLit],
-        budget_start: u64,
-    ) -> Option<SatResult> {
+    fn search(&mut self, conflict_limit: u64, assumptions: &[SatLit]) -> Option<SatResult> {
         let mut local_conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                self.call_conflicts += 1;
                 local_conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
@@ -623,26 +842,32 @@ impl Solver {
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
-                    let cref = self.attach_clause(learnt.clone(), true);
-                    self.bump_clause(cref);
+                    let lbd = self.compute_lbd(&learnt);
+                    let cref = self.attach_clause(&learnt, true, lbd);
                     self.unchecked_enqueue(learnt[0], Some(cref));
                 }
                 #[cfg(test)]
                 self.check_watches_dbg("after-attach-learnt");
                 self.var_inc /= VAR_DECAY;
-                self.cla_inc /= CLA_DECAY;
                 if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= budget {
+                    if self.call_conflicts >= budget {
                         self.backtrack(0);
                         return Some(SatResult::Unknown);
                     }
                 }
             } else {
+                // Record the target phase on *geometric* trail improvements
+                // only: an exact record would copy the trail on every new
+                // depth, which is quadratic on instances with long trails.
+                if self.trail.len() >= self.best_trail + self.best_trail / 8 + 16 {
+                    self.best_trail = self.trail.len();
+                    self.save_target_phase();
+                }
                 if local_conflicts >= conflict_limit {
                     self.backtrack(0);
                     return None; // restart
                 }
-                if self.num_learnts as f64 > self.max_learnts {
+                if self.learnts.len() as f64 > self.max_learnts {
                     self.reduce_db();
                     self.max_learnts *= 1.3;
                     #[cfg(test)]
@@ -678,7 +903,7 @@ impl Solver {
                     }
                     Some(v) => {
                         self.stats.decisions += 1;
-                        let l = v.lit(self.phase[v.index()]);
+                        let l = v.lit(self.branch_polarity(v.index()));
                         self.trail_lim.push(self.trail.len());
                         self.unchecked_enqueue(l, None);
                     }
@@ -807,6 +1032,22 @@ mod tests {
         (0..n).map(|_| s.new_var()).collect()
     }
 
+    pub(super) fn pigeonhole(s: &mut Solver, p: usize, h: usize) -> Vec<Vec<SatVar>> {
+        let v: Vec<Vec<SatVar>> = (0..p).map(|_| vars(s, h)).collect();
+        for i in 0..p {
+            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..h {
+            for i1 in 0..p {
+                for i2 in (i1 + 1)..p {
+                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
+                }
+            }
+        }
+        v
+    }
+
     #[test]
     fn trivial_sat_and_unsat() {
         let mut s = Solver::new();
@@ -864,20 +1105,7 @@ mod tests {
     fn pigeonhole_php43_is_unsat() {
         // 4 pigeons in 3 holes: forces real conflict analysis.
         let mut s = Solver::new();
-        let p = 4;
-        let h = 3;
-        let v: Vec<Vec<SatVar>> = (0..p).map(|_| vars(&mut s, h)).collect();
-        for i in 0..p {
-            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
-            s.add_clause(&clause);
-        }
-        for j in 0..h {
-            for i1 in 0..p {
-                for i2 in (i1 + 1)..p {
-                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 4, 3);
         assert_eq!(s.solve(), SatResult::Unsat);
         assert!(s.stats().conflicts > 0);
     }
@@ -913,24 +1141,29 @@ mod tests {
     fn conflict_budget_returns_unknown() {
         // A hard instance with a budget of 1 conflict.
         let mut s = Solver::new();
-        let p = 6;
-        let h = 5;
-        let v: Vec<Vec<SatVar>> = (0..p).map(|_| vars(&mut s, h)).collect();
-        for i in 0..p {
-            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
-            s.add_clause(&clause);
-        }
-        for j in 0..h {
-            for i1 in 0..p {
-                for i2 in (i1 + 1)..p {
-                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 6, 5);
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SatResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_is_per_call() {
+        // Every budgeted call gets the full budget: N calls at budget B
+        // must spend ~N×B conflicts in total, not B overall. (A leaking
+        // implementation would return Unknown instantly from call 2 on.)
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        s.set_conflict_budget(Some(5));
+        for _ in 0..3 {
+            assert_eq!(s.solve(), SatResult::Unknown);
+        }
+        assert!(
+            s.stats().conflicts >= 15,
+            "calls shared one budget: only {} conflicts spent",
+            s.stats().conflicts
+        );
     }
 
     #[test]
@@ -979,6 +1212,55 @@ mod tests {
             );
         }
     }
+
+    #[test]
+    fn lbd_histogram_and_arena_counters_populate() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.arena_words > 0);
+        assert_eq!(st.arena_bytes(), st.arena_words * 4);
+        assert!(
+            st.lbd_hist.iter().sum::<u64>() > 0,
+            "no learnt clause recorded a glue score"
+        );
+    }
+
+    #[test]
+    fn reduce_db_keeps_the_solver_sound() {
+        // Force many reductions with a tiny learnt cap, then cross-check
+        // the verdict on a known-UNSAT instance.
+        let mut s = Solver::new();
+        s.max_learnts = 8.0;
+        pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().reduces > 0, "reduce-DB never ran");
+        assert!(s.stats().deleted > 0);
+    }
+
+    #[test]
+    fn stats_absorb_sums_fields() {
+        let mut a = SolverStats {
+            conflicts: 3,
+            arena_words: 10,
+            ..SolverStats::default()
+        };
+        a.lbd_hist[0] = 2;
+        let mut b = SolverStats {
+            conflicts: 4,
+            arena_words: 5,
+            ..SolverStats::default()
+        };
+        b.lbd_hist[0] = 1;
+        b.lbd_hist[7] = 6;
+        a.absorb(&b);
+        assert_eq!(a.conflicts, 7);
+        assert_eq!(a.arena_words, 15);
+        assert_eq!(a.lbd_hist[0], 3);
+        assert_eq!(a.lbd_hist[7], 6);
+    }
 }
 
 #[cfg(test)]
@@ -990,35 +1272,41 @@ impl Solver {
 
 #[cfg(test)]
 mod invariant_tests {
-    // The pigeonhole construction reads clearest with explicit indices.
-    #![allow(clippy::needless_range_loop)]
-
     use super::*;
 
     impl Solver {
         pub(super) fn check_watches(&self, tag: &str) {
+            let all: Vec<CRef> = self
+                .clauses
+                .iter()
+                .chain(self.learnts.iter())
+                .copied()
+                .collect();
             for (code, wl) in self.watches.iter().enumerate() {
                 let l = SatLit::from_code(code);
                 for w in wl {
-                    let c = &self.clauses[w.cref];
                     assert!(
-                        c.lits[0] == l || c.lits[1] == l,
+                        self.ca.lit(w.cref, 0) == l || self.ca.lit(w.cref, 1) == l,
                         "{tag}: stale watcher for {:?} on clause {:?}",
                         l,
-                        c.lits
+                        self.ca.lits_vec(w.cref)
                     );
                 }
             }
-            for (i, c) in self.clauses.iter().enumerate() {
-                for &wlit in &c.lits[..2] {
+            for &cref in &all {
+                for i in 0..2 {
+                    let wlit = self.ca.lit(cref, i);
                     let n = self.watches[wlit.code()]
                         .iter()
-                        .filter(|w| w.cref == i)
+                        .filter(|w| w.cref == cref)
                         .count();
                     assert_eq!(
-                        n, 1,
-                        "{tag}: clause {i} {:?} watch count {n} on {:?}",
-                        c.lits, wlit
+                        n,
+                        1,
+                        "{tag}: clause {:?} {:?} watch count {n} on {:?}",
+                        cref,
+                        self.ca.lits_vec(cref),
+                        wlit
                     );
                 }
             }
@@ -1028,27 +1316,22 @@ mod invariant_tests {
     #[test]
     fn watch_invariant_php65() {
         let mut s = Solver::new();
-        let p = 6;
-        let h = 5;
-        let v: Vec<Vec<SatVar>> = (0..p)
-            .map(|_| (0..h).map(|_| s.new_var()).collect())
-            .collect();
-        for i in 0..p {
-            let clause: Vec<SatLit> = (0..h).map(|j| v[i][j].pos()).collect();
-            s.add_clause(&clause);
-        }
-        for j in 0..h {
-            for i1 in 0..p {
-                for i2 in (i1 + 1)..p {
-                    s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
-                }
-            }
-        }
+        super::tests::pigeonhole(&mut s, 6, 5);
         s.check_watches("after-load");
         s.set_conflict_budget(Some(1));
         assert_eq!(s.solve(), SatResult::Unknown);
         s.check_watches("after-unknown");
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn watch_invariant_survives_reductions() {
+        let mut s = Solver::new();
+        s.max_learnts = 8.0;
+        super::tests::pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().reduces > 0);
+        s.check_watches("after-solve-with-reductions");
     }
 }

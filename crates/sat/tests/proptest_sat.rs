@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use cbq_sat::reference::{brute_force_count, brute_force_sat};
-use cbq_sat::{SatLit, SatResult, SatVar, Solver};
+use cbq_sat::reference::{brute_force_count, brute_force_sat, ReferenceSolver};
+use cbq_sat::{SatBackend, SatLit, SatResult, SatVar, Solver};
 
 /// A random clause over `nvars` variables with 1..=4 literals.
 fn clause_strategy(nvars: usize) -> impl Strategy<Value = Vec<SatLit>> {
@@ -85,6 +85,69 @@ proptest! {
         // The database itself must be untouched by the assumptions.
         let after = incremental.solve();
         prop_assert_eq!(after.is_sat(), before);
+    }
+
+    /// The arena solver and the reference backend agree through the
+    /// [`SatBackend`] trait across *incremental* clause batches — the
+    /// workload shape the activation-literal bridge produces (batches of
+    /// guarded clauses between assumption solves).
+    #[test]
+    fn backends_agree_incrementally(
+        batches in prop::collection::vec(cnf_strategy(7, 12), 1..=3),
+        assum in prop::collection::vec((0..7usize, any::<bool>()), 0..=2),
+    ) {
+        let nvars = 7;
+        let mut arena = Solver::new();
+        let mut oracle = ReferenceSolver::new();
+        for _ in 0..nvars {
+            SatBackend::new_var(&mut arena);
+            SatBackend::new_var(&mut oracle);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let assumptions: Vec<SatLit> = assum
+            .into_iter()
+            .filter(|(v, _)| seen.insert(*v))
+            .map(|(v, pos)| SatVar::from_index(v).lit(pos))
+            .collect();
+        for batch in &batches {
+            for c in batch {
+                SatBackend::add_clause(&mut arena, c);
+                SatBackend::add_clause(&mut oracle, c);
+            }
+            let a = SatBackend::solve(&mut arena);
+            let o = SatBackend::solve(&mut oracle);
+            prop_assert_eq!(a.is_sat(), o.is_sat(), "plain solve diverged");
+            let a = SatBackend::solve_with(&mut arena, &assumptions);
+            let o = SatBackend::solve_with(&mut oracle, &assumptions);
+            prop_assert_eq!(a.is_sat(), o.is_sat(), "assumption solve diverged");
+        }
+    }
+
+    /// Forcing tiny learnt caps (many reduce-DB rounds with arena
+    /// compaction) never changes a verdict.
+    #[test]
+    fn reductions_preserve_verdicts(clauses in cnf_strategy(8, 48)) {
+        let nvars = 8;
+        let mut s = Solver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let expected = brute_force_sat(nvars, &clauses).is_some();
+        prop_assert_eq!(s.solve().is_sat(), expected);
+        // Re-solve under each single-literal assumption: stresses the
+        // learnt database (and its reductions) across many related calls.
+        for v in 0..nvars {
+            for pos in [false, true] {
+                let a = SatVar::from_index(v).lit(pos);
+                let mut oracle_clauses = clauses.clone();
+                oracle_clauses.push(vec![a]);
+                let expect = brute_force_sat(nvars, &oracle_clauses).is_some();
+                prop_assert_eq!(s.solve_with(&[a]).is_sat(), expect);
+            }
+        }
     }
 
     /// `failed_assumptions` is a genuine core: re-solving with just the

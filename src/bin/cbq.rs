@@ -8,6 +8,7 @@
 //!                                     model-check via the engine registry
 //! cbq engines                         list the registered engines
 //! cbq quantify <file.aag> [--mode M]  eliminate all inputs of output 0
+//! cbq sat <file.cnf> [--backend B]    solve a DIMACS file, print SolverStats
 //! cbq dot <file.aag>                  emit Graphviz for the bad-state cone
 //! ```
 //!
@@ -19,12 +20,15 @@ use std::time::Duration;
 
 use cbq::ckt::io::{read_network, write_network};
 use cbq::ckt::{generators, Network};
+use cbq::cnf::AigCnfStats;
 use cbq::mc::{
     by_name_tuned, engine_names, registry, supports_tuning, CircuitUmcStats, EngineTuning,
     ForwardCircuitUmcStats, McRun, PartitionCount, PartitionStats, SplitPolicy,
 };
 use cbq::prelude::*;
 use cbq::quant::{exists_bdd, exists_many, VarOrder};
+use cbq::sat::reference::ReferenceSolver;
+use cbq::sat::{dimacs, SatBackend, SolverStats};
 
 const USAGE: &str = "cbq — circuit-based quantification (DATE 2005 reproduction)
 
@@ -36,6 +40,7 @@ commands:
   check <file.aag> [...]   model-check a circuit (see `cbq check --help`)
   engines                  list the registered model-checking engines
   quantify <file.aag> [..] quantify inputs out of a formula
+  sat <file.cnf> [...]     solve a DIMACS CNF file (see `cbq sat --help`)
   dot <file.aag>           emit Graphviz for the bad-state cone
 
 run `cbq <command> --help` for per-command options";
@@ -48,6 +53,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("engines") => cmd_engines(&args[1..]),
         Some("quantify") => cmd_quantify(&args[1..]),
+        Some("sat") => cmd_sat(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
@@ -480,23 +486,28 @@ fn run_to_json(run: &McRun) -> String {
     if let Some(d) = run.detail::<CircuitUmcStats>() {
         detail = format!(
             ",\"frontier_sizes\":{},\"reached_size\":{},\"quant_aborts\":{},\
-             \"ganai_cofactors\":{},\"sweep_runs\":{},\"partitions\":{}",
+             \"ganai_cofactors\":{},\"sweep_runs\":{},\"partitions\":{},\
+             \"solver\":{},\"cnf\":{}",
             json_usize_list(&d.frontier_sizes),
             d.reached_size,
             d.quant_aborts,
             d.ganai_cofactors,
             d.sweep.runs,
-            partition_json(&d.partitions)
+            partition_json(&d.partitions),
+            solver_json(&d.solver),
+            cnf_json(&d.cnf)
         );
     } else if let Some(d) = run.detail::<ForwardCircuitUmcStats>() {
         detail = format!(
             ",\"frontier_sizes\":{},\"quant_aborts\":{},\"ganai_cofactors\":{},\
-             \"sweep_runs\":{},\"partitions\":{}",
+             \"sweep_runs\":{},\"partitions\":{},\"solver\":{},\"cnf\":{}",
             json_usize_list(&d.frontier_sizes),
             d.quant_aborts,
             d.ganai_cofactors,
             d.sweep.runs,
-            partition_json(&d.partitions)
+            partition_json(&d.partitions),
+            solver_json(&d.solver),
+            cnf_json(&d.cnf)
         );
     }
     format!(
@@ -631,6 +642,183 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
         start.elapsed().as_secs_f64() * 1e3
     );
     ExitCode::SUCCESS
+}
+
+const SAT_HELP: &str = "usage: cbq sat <file.cnf> [--backend B] [--conflicts N] [--json]
+
+Solves a DIMACS CNF file and prints the verdict plus solver statistics.
+
+  --backend B     arena | reference       (default: arena)
+                  `arena` is the incremental CDCL solver on the clause
+                  arena; `reference` is the exhaustive differential
+                  oracle (UNKNOWN above 24 variables)
+  --conflicts N   per-call conflict budget (arena backend only; an
+                  exhausted budget prints UNKNOWN)
+  --json          emit the verdict and SolverStats as one JSON object
+
+exit code: 10 satisfiable, 20 unsatisfiable, 3 unknown,
+           2 usage/input error";
+
+fn json_u64_list(xs: &[u64]) -> String {
+    let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// The solver-core counters as a JSON object (shared by `cbq sat --json`
+/// and the `check --json` engine detail).
+fn solver_json(s: &SolverStats) -> String {
+    format!(
+        "{{\"solves\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
+         \"restarts\":{},\"learnts\":{},\"deleted\":{},\"reduces\":{},\
+         \"arena_bytes\":{},\"lbd_hist\":{}}}",
+        s.solves,
+        s.decisions,
+        s.propagations,
+        s.conflicts,
+        s.restarts,
+        s.learnts,
+        s.deleted,
+        s.reduces,
+        s.arena_bytes(),
+        json_u64_list(&s.lbd_hist)
+    )
+}
+
+/// The SAT-bridge counters as a JSON object (`check --json` detail).
+fn cnf_json(s: &AigCnfStats) -> String {
+    format!(
+        "{{\"encoded_ands\":{},\"checks\":{},\"migrations\":{},\"retirements\":{},\
+         \"clauses_retired\":{},\"learnts_retained\":{}}}",
+        s.encoded_ands,
+        s.checks,
+        s.migrations,
+        s.retirements,
+        s.clauses_retired,
+        s.learnts_retained
+    )
+}
+
+fn cmd_sat(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{SAT_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let (path, flags, switches) = match parse_flags(args, &["backend", "conflicts"], &["json"]) {
+        Ok((positional, flags, switches)) if positional.len() == 1 => {
+            (positional[0].to_string(), flags, switches)
+        }
+        Ok((positional, ..)) => {
+            eprintln!(
+                "expected exactly one <file.cnf>, got {}\n\n{SAT_HELP}",
+                positional.len()
+            );
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{SAT_HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = switches.contains(&"json");
+    let mut backend = "arena";
+    let mut conflicts: Option<u64> = None;
+    for (flag, value) in flags {
+        match flag {
+            "backend" => match value {
+                "arena" | "reference" => backend = value,
+                other => {
+                    eprintln!("flag `--backend` expects `arena` or `reference`, got `{other}`");
+                    return ExitCode::from(2);
+                }
+            },
+            "conflicts" => match parse_count(flag, value) {
+                Ok(n) => conflicts = Some(n),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => unreachable!("parse_flags rejects unknown flags"),
+        }
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cnf = match dimacs::parse_dimacs(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = std::time::Instant::now();
+    let (result, stats) = match backend {
+        "arena" => {
+            let mut solver = cnf.to_solver();
+            solver.set_conflict_budget(conflicts);
+            let r = SatBackend::solve(&mut solver);
+            (r, Some(solver.stats()))
+        }
+        _ => {
+            let mut solver = ReferenceSolver::new();
+            for _ in 0..cnf.num_vars {
+                solver.new_var();
+            }
+            for c in &cnf.clauses {
+                solver.add_clause(c);
+            }
+            (SatBackend::solve(&mut solver), None)
+        }
+    };
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let verdict = match result {
+        SatResult::Sat => "satisfiable",
+        SatResult::Unsat => "unsatisfiable",
+        SatResult::Unknown => "unknown",
+    };
+    if json {
+        let solver_field = stats
+            .as_ref()
+            .map(|s| format!(",\"solver\":{}", solver_json(s)))
+            .unwrap_or_default();
+        println!(
+            "{{\"verdict\":{},\"backend\":{},\"vars\":{},\"clauses\":{},\
+             \"elapsed_ms\":{elapsed_ms:.3}{solver_field}}}",
+            json_str(verdict),
+            json_str(backend),
+            cnf.num_vars,
+            cnf.clauses.len()
+        );
+    } else {
+        println!(
+            "{verdict}   [{backend}, {} vars, {} clauses, {elapsed_ms:.1} ms]",
+            cnf.num_vars,
+            cnf.clauses.len()
+        );
+        if let Some(s) = stats {
+            println!(
+                "solver   : {} conflicts, {} decisions, {} propagations, {} restarts",
+                s.conflicts, s.decisions, s.propagations, s.restarts
+            );
+            println!(
+                "database : {} learnts kept, {} deleted over {} reductions, arena {} bytes",
+                s.learnts,
+                s.deleted,
+                s.reduces,
+                s.arena_bytes()
+            );
+            println!("lbd hist : {}", json_u64_list(&s.lbd_hist));
+        }
+    }
+    match result {
+        SatResult::Sat => ExitCode::from(10),
+        SatResult::Unsat => ExitCode::from(20),
+        SatResult::Unknown => ExitCode::from(3),
+    }
 }
 
 const DOT_HELP: &str = "usage: cbq dot <file.aag>

@@ -123,6 +123,43 @@ fn tight_timeouts_cancel_cooperatively_and_promptly() {
 }
 
 #[test]
+fn sat_conflict_budget_applies_per_solve_call() {
+    // Regression: `set_conflict_budget` is documented as a *per-call*
+    // limit. A leaking implementation (budget measured against the
+    // cumulative conflict counter) would let the first call consume the
+    // whole budget and every later call return Unknown after zero work.
+    #![allow(clippy::needless_range_loop)]
+    use cbq::sat::{SatLit, SatResult, SatVar, Solver};
+    let mut s = Solver::new();
+    let (p, h) = (7, 6); // pigeonhole: far more than 5 conflicts to refute
+    let v: Vec<Vec<SatVar>> = (0..p)
+        .map(|_| (0..h).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &v {
+        let clause: Vec<SatLit> = row.iter().map(|x| x.pos()).collect();
+        s.add_clause(&clause);
+    }
+    for j in 0..h {
+        for i1 in 0..p {
+            for i2 in (i1 + 1)..p {
+                s.add_clause(&[v[i1][j].neg(), v[i2][j].neg()]);
+            }
+        }
+    }
+    s.set_conflict_budget(Some(5));
+    for call in 0..4 {
+        assert_eq!(s.solve(), SatResult::Unknown, "call {call}");
+    }
+    assert!(
+        s.stats().conflicts >= 20,
+        "budget leaked across calls: only {} conflicts spent over 4 calls",
+        s.stats().conflicts
+    );
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SatResult::Unsat);
+}
+
+#[test]
 fn generous_budget_leaves_verdicts_intact() {
     let safe = generators::mutex();
     let buggy = generators::mutex_bug();

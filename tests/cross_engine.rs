@@ -183,6 +183,73 @@ fn partitioned_circuit_umc_matches_oracle() {
 }
 
 #[test]
+fn activation_reuse_and_rebuild_lifetimes_match_oracle() {
+    // The solver ablation of the arena/activation PR: eager sweeping with
+    // the persistent activation-literal solver vs the old
+    // throw-the-solver-away rebuild — identical verdicts, iteration
+    // counts, and minimal cex depths on the whole suite, for both circuit
+    // engines. Only the activation runs may retain learnt clauses.
+    use cbq::cnf::CnfLifetime;
+    use cbq::mc::sweep::SweepConfig as StateSweepConfig;
+    use cbq::mc::{CircuitUmcStats, ForwardCircuitUmc, ForwardCircuitUmcStats};
+    let mut retained_total = 0;
+    for (net, expected) in suite_with_oracle() {
+        for lifetime in [CnfLifetime::Activation, CnfLifetime::Rebuild] {
+            let sweep = Some(StateSweepConfig {
+                lifetime,
+                ..StateSweepConfig::eager()
+            });
+            let run = CircuitUmc {
+                sweep: sweep.clone(),
+                ..CircuitUmc::default()
+            }
+            .check(&net, &Budget::unlimited());
+            assert_agrees(
+                &net,
+                expected,
+                &run.verdict,
+                "circuit-umc-lifetime",
+                true,
+                true,
+            );
+            let d = run.detail::<CircuitUmcStats>().expect("stats");
+            match lifetime {
+                CnfLifetime::Activation => retained_total += d.cnf.learnts_retained,
+                CnfLifetime::Rebuild => assert_eq!(
+                    d.cnf.learnts_retained,
+                    0,
+                    "{}: rebuild mode retained learnts",
+                    net.name()
+                ),
+            }
+            let run = ForwardCircuitUmc {
+                sweep,
+                ..ForwardCircuitUmc::default()
+            }
+            .check(&net, &Budget::unlimited());
+            assert_agrees(
+                &net,
+                expected,
+                &run.verdict,
+                "forward-umc-lifetime",
+                true,
+                true,
+            );
+            let d = run.detail::<ForwardCircuitUmcStats>().expect("stats");
+            if lifetime == CnfLifetime::Rebuild {
+                assert_eq!(d.cnf.learnts_retained, 0);
+            }
+        }
+    }
+    // Across the whole suite, at least one activation run must have
+    // carried learnt clauses over a sweep GC (the stat the PR is about).
+    assert!(
+        retained_total > 0,
+        "no learnt clause ever survived a sweep GC across the suite"
+    );
+}
+
+#[test]
 fn naive_quantification_engine_matches_oracle() {
     // Ablation: even with merge and optimisation disabled, the traversal
     // must stay sound and complete.
