@@ -23,8 +23,8 @@ use cbq_mc::ganai::all_solutions_exists;
 use cbq_mc::preimage::preimage_formula;
 use cbq_mc::sweep::SweepConfig as StateSweepConfig;
 use cbq_mc::{
-    registry, Budget, CircuitUmc, CircuitUmcStats, Engine, PartitionConfig, PartitionCount,
-    PartitionStats, Verdict,
+    registry, Bmc, Budget, CircuitUmc, CircuitUmcStats, Engine, Ic3, Ic3Stats, PartitionConfig,
+    PartitionCount, PartitionStats, Verdict,
 };
 use cbq_synth::OptConfig;
 
@@ -794,6 +794,102 @@ pub fn e6p_table() -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E6pdr — IC3/PDR vs the bounded and traversal engines
+// ---------------------------------------------------------------------
+
+/// E6pdr kernel: one IC3 run. Returns (verdict, frames, obligations,
+/// clauses learned, clauses pushed, generalization drops, ms).
+pub fn ic3_run(
+    net: &Network,
+    drop_literals: bool,
+    budget: &Budget,
+) -> (Verdict, usize, u64, u64, u64, u64, f64) {
+    let engine = Ic3 {
+        drop_literals,
+        ..Ic3::default()
+    };
+    let start = Instant::now();
+    let run = engine.check(net, budget);
+    let detail = run.detail::<Ic3Stats>().expect("ic3 stats");
+    (
+        run.verdict.clone(),
+        detail.frames,
+        detail.obligations,
+        detail.clauses,
+        detail.pushed,
+        detail.gen_drops,
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E6pdr: property-directed reachability across the E6 suite, against
+/// the circuit traversal and BMC. The claims: IC3 agrees with the
+/// circuit engine's verdict on every model (the `verdict` column prints
+/// a `!=` marker otherwise — counterexample depths are *not* compared,
+/// IC3 traces need not be minimal), it **proves the safe models BMC can
+/// never close** (the `bmc` column stays `unknown` there), and the
+/// literal-dropping generalization ablation (`ms nodrop`) shows what the
+/// unsat-core-only baseline costs.
+pub fn e6pdr_table() -> Table {
+    let mut t = Table::new(
+        "E6pdr — IC3/PDR vs circuit traversal and BMC (E6 suite)",
+        &[
+            "circuit",
+            "verdict",
+            "bmc",
+            "frames",
+            "obls",
+            "clauses",
+            "pushed",
+            "drops",
+            "ms circuit",
+            "ms ic3",
+            "ms nodrop",
+        ],
+    );
+    let budget = e6_budget();
+    for net in umc_suite() {
+        let start = Instant::now();
+        let circuit = CircuitUmc::default().check(&net, &budget);
+        let ms_circuit = start.elapsed().as_secs_f64() * 1e3;
+        let bmc = Bmc::default().check(&net, &budget);
+        let (v_ic3, frames, obls, clauses, pushed, drops, ms_ic3) = ic3_run(&net, true, &budget);
+        let (v_nodrop, _, _, _, _, _, ms_nodrop) = ic3_run(&net, false, &budget);
+        // Agreement on the classification (safe/unsafe), not the depth:
+        // IC3 counterexamples are genuine but need not be minimal. The
+        // ablation run must agree too — a generalization regression that
+        // flips the core-only verdict prints a `!=` marker here.
+        let agree = circuit.verdict.is_safe() == v_ic3.is_safe()
+            && circuit.verdict.is_unsafe() == v_ic3.is_unsafe()
+            && circuit.verdict.is_safe() == v_nodrop.is_safe()
+            && circuit.verdict.is_unsafe() == v_nodrop.is_unsafe();
+        let verdict = if agree {
+            verdict_cell(&v_ic3)
+        } else {
+            format!(
+                "{} != {}",
+                verdict_cell(&circuit.verdict),
+                verdict_cell(&v_ic3)
+            )
+        };
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            verdict_cell(&bmc.verdict),
+            frames.to_string(),
+            obls.to_string(),
+            clauses.to_string(),
+            pushed.to_string(),
+            drops.to_string(),
+            format!("{ms_circuit:.1}"),
+            format!("{ms_ic3:.1}"),
+            format!("{ms_nodrop:.1}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Smoke — one tiny model per engine (the CI fail-fast run)
 // ---------------------------------------------------------------------
 
@@ -958,6 +1054,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e6s" => Some(e6s_table()),
         "e6p" => Some(e6p_table()),
         "e6a" => Some(e6a_table()),
+        "e6pdr" => Some(e6pdr_table()),
         "e7" => Some(e7_table()),
         "e8" => Some(e8_table()),
         "smoke" => Some(smoke_table()),
@@ -966,8 +1063,8 @@ pub fn run_experiment(id: &str) -> Option<Table> {
 }
 
 /// All experiment ids in report order (`smoke` is CI-only and excluded).
-pub const EXPERIMENTS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e7", "e8",
+pub const EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e7", "e8",
 ];
 
 #[cfg(test)]
@@ -1042,6 +1139,17 @@ mod tests {
         }
         assert!(t.rows.iter().any(|r| r[2].starts_with("safe")));
         assert!(t.rows.iter().any(|r| r[2].starts_with("cex")));
+    }
+
+    #[test]
+    fn ic3_kernel_proves_and_refutes_tiny_models() {
+        let budget = Budget::unlimited().with_steps(100);
+        let (v, frames, _, clauses, _, _, _) = ic3_run(&generators::mutex(), true, &budget);
+        assert!(v.is_safe(), "mutex should be safe, got {v:?}");
+        assert!(frames >= 1);
+        let _ = clauses;
+        let (v, ..) = ic3_run(&generators::mutex_bug(), false, &budget);
+        assert!(v.is_unsafe(), "mutex_bug should be unsafe, got {v:?}");
     }
 
     #[test]

@@ -407,7 +407,55 @@ impl AigCnf {
     /// (each encoded on demand, then assumed). The current generation's
     /// activation literal is assumed implicitly.
     pub fn solve_under(&mut self, aig: &Aig, lits: &[Lit]) -> SatResult {
-        let mut assumptions = Vec::with_capacity(lits.len() + 1);
+        self.solve_under_assuming(aig, lits, &[])
+    }
+
+    /// Allocates a fresh solver-level guard literal for a caller-managed
+    /// clause group (IC3 frames, per-query strengthening clauses, …).
+    ///
+    /// The literal is released from branching immediately: it only ever
+    /// appears negated inside guarded clauses and positively as an
+    /// assumption, so the solver never needs to decide it — assuming it
+    /// activates the group, leaving it unassumed (or retiring it via
+    /// [`AigCnf::retire_guard`]) deactivates the group. This is the same
+    /// activation-literal mechanism the bridge uses for its own cone
+    /// generations, exposed so engines can run many independent guarded
+    /// lifetimes on one solver.
+    pub fn new_guard(&mut self) -> SatLit {
+        let g = self.solver.new_var().pos();
+        self.solver.set_decision(g.var(), false);
+        g
+    }
+
+    /// Adds a raw solver clause guarded by `guard` (the clause is active
+    /// only while `guard` is assumed). The literals must already be SAT
+    /// literals (e.g. from [`AigCnf::ensure`]); the clause is *not* tied
+    /// to the bridge's own cone generation and survives
+    /// [`AigCnf::retire_cones`] until its guard is retired.
+    pub fn add_guarded_by(&mut self, guard: SatLit, clause: &[SatLit]) -> bool {
+        let mut guarded = Vec::with_capacity(clause.len() + 1);
+        guarded.push(!guard);
+        guarded.extend_from_slice(clause);
+        self.solver.add_clause(&guarded)
+    }
+
+    /// Permanently retires a guard from [`AigCnf::new_guard`]: its
+    /// clauses become satisfied at level 0 and are reclaimed by the next
+    /// [`cbq_sat::Solver::purge_satisfied`] arena compaction.
+    pub fn retire_guard(&mut self, guard: SatLit) {
+        self.solver.add_clause(&[!guard]);
+    }
+
+    /// Like [`AigCnf::solve_under`], with raw SAT-literal assumptions
+    /// (guards from [`AigCnf::new_guard`], literals from
+    /// [`AigCnf::ensure`]) appended after the encoded `lits`. The current
+    /// cone generation's activation literal is assumed implicitly, and the
+    /// call counts as one check. On [`SatResult::Unsat`] the solver's
+    /// [`cbq_sat::Solver::failed_assumptions`] names a sufficient subset
+    /// of the assumptions — the hook IC3-style engines use for unsat-core
+    /// cube generalization.
+    pub fn solve_under_assuming(&mut self, aig: &Aig, lits: &[Lit], extra: &[SatLit]) -> SatResult {
+        let mut assumptions = Vec::with_capacity(lits.len() + extra.len() + 1);
         for &l in lits {
             if l == Lit::FALSE {
                 return SatResult::Unsat;
@@ -420,6 +468,7 @@ impl AigCnf {
         if let Some(act) = self.act {
             assumptions.insert(0, act);
         }
+        assumptions.extend_from_slice(extra);
         self.stats.checks += 1;
         self.solver.solve_with(&assumptions)
     }
@@ -763,6 +812,57 @@ mod tests {
         cnf.retire_cones();
         assert_eq!(cnf.solve_under(&aig, &[f, !g]), SatResult::Unsat);
         assert_eq!(cnf.solve_under(&aig, &[f]), SatResult::Sat);
+    }
+
+    #[test]
+    fn guards_gate_clauses_and_cores_name_assumptions() {
+        // Two independent guarded groups on one solver: each is active
+        // only while its guard is assumed, retirement kills it for good,
+        // and an UNSAT answer names the guilty assumptions.
+        let (aig, ins) = setup();
+        let mut cnf = AigCnf::new();
+        let a = cnf.ensure(&aig, ins[0]);
+        let b = cnf.ensure(&aig, ins[1]);
+        let g1 = cnf.new_guard();
+        let g2 = cnf.new_guard();
+        assert!(cnf.add_guarded_by(g1, &[a])); // g1 → ins[0]
+        assert!(cnf.add_guarded_by(g2, &[!a])); // g2 → ¬ins[0]
+                                                // Unguarded: both phases satisfiable.
+        assert_eq!(cnf.solve_under_assuming(&aig, &[], &[]), SatResult::Sat);
+        // Each guard alone constrains; both together are inconsistent.
+        assert_eq!(
+            cnf.solve_under_assuming(&aig, &[!ins[0]], &[g1]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            cnf.solve_under_assuming(&aig, &[ins[0]], &[g2]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            cnf.solve_under_assuming(&aig, &[], &[g1, g2, b]),
+            SatResult::Unsat
+        );
+        // The failed-assumption core blames the guards, not b.
+        let failed = cnf.solver().failed_assumptions();
+        assert!(failed.contains(&g1) || failed.contains(&g2));
+        assert!(!failed.contains(&b));
+        // Retiring g2 lifts its constraint even when "assumed"… nothing
+        // forces a retired guard true, so solve under g1 alone.
+        cnf.retire_guard(g2);
+        assert_eq!(cnf.solve_under_assuming(&aig, &[], &[g1]), SatResult::Sat);
+        assert_eq!(
+            cnf.solve_under_assuming(&aig, &[!ins[0]], &[g1]),
+            SatResult::Unsat
+        );
+        // …and cone retirement re-encodes nodes onto fresh variables
+        // without disturbing the surviving guard's clauses.
+        cnf.retire_cones();
+        let a2 = cnf.ensure(&aig, ins[0]);
+        assert_ne!(a2.var(), a.var(), "retirement must clear the node map");
+        assert_eq!(
+            cnf.solve_under_assuming(&aig, &[], &[g1, !a]),
+            SatResult::Unsat
+        );
     }
 
     #[test]

@@ -213,8 +213,12 @@ impl QuantConfig {
         self
     }
 
-    /// Whether a cooperative cancellation limit has been crossed (the
-    /// check [`exists_many`] runs between variable eliminations).
+    /// Whether a cooperative cancellation limit has been crossed — the
+    /// *exact* check: the node limit is compared and, when a deadline is
+    /// set, the clock is read on every call. Engines use it at coarse
+    /// boundaries (once per image, once per traversal iteration); hot
+    /// loops poll through a [`DeadlineGate`] instead, which amortises the
+    /// clock reads.
     pub fn out_of_budget(&self, aig: &Aig) -> bool {
         if let Some(limit) = self.node_limit {
             if aig.num_nodes() > limit {
@@ -225,6 +229,89 @@ impl QuantConfig {
             Some(deadline) => Instant::now() >= deadline,
             None => false,
         }
+    }
+
+    /// A fresh amortised budget poll for one quantification run (see
+    /// [`DeadlineGate`]).
+    pub fn deadline_gate(&self) -> DeadlineGate {
+        DeadlineGate::new(self)
+    }
+}
+
+/// Maximum polls a [`DeadlineGate`] answers between two clock reads: a
+/// passed deadline is noticed within this many cheap polls (the
+/// regression tolerance pinned by the tests).
+pub const DEADLINE_STRIDE: u32 = 16;
+
+/// Node-growth grain of the [`DeadlineGate`] amortisation: every
+/// `NODE_GRAIN` nodes of manager growth (or shrinkage) since the last
+/// poll buys one extra stride credit, so expensive eliminations force a
+/// clock read almost immediately while cheap no-op eliminations share
+/// one read per [`DEADLINE_STRIDE`] polls.
+const NODE_GRAIN: usize = 512;
+
+/// An amortised version of [`QuantConfig::out_of_budget`] for hot
+/// elimination loops.
+///
+/// The naive check reads `Instant::now()` on every poll; inside
+/// [`exists_many`] — which polls between every variable elimination, and
+/// is itself called once per partition per traversal iteration — those
+/// clock reads are pure overhead whenever the elimination was a cheap
+/// no-op (variable not in support, constant collapse). The gate strides
+/// the clock: node limits are still compared on every poll (one integer
+/// compare), but the wall clock is read only once enough *work credit*
+/// has accumulated — one credit per poll plus one per [`NODE_GRAIN`]
+/// nodes of manager-size change since the previous poll. A passed
+/// deadline is therefore noticed within at most [`DEADLINE_STRIDE`]
+/// cheap polls, and essentially immediately after any elimination that
+/// actually built nodes.
+#[derive(Clone, Debug)]
+pub struct DeadlineGate {
+    deadline: Option<Instant>,
+    node_limit: Option<usize>,
+    credit: u32,
+    last_nodes: usize,
+    expired: bool,
+}
+
+impl DeadlineGate {
+    /// A gate over `cfg`'s deadline and node limit. The first poll always
+    /// reads the clock (an already-expired deadline trips immediately).
+    pub fn new(cfg: &QuantConfig) -> DeadlineGate {
+        DeadlineGate {
+            deadline: cfg.deadline,
+            node_limit: cfg.node_limit,
+            credit: DEADLINE_STRIDE,
+            last_nodes: 0,
+            expired: false,
+        }
+    }
+
+    /// Whether a cooperative cancellation limit has been crossed, with
+    /// the clock read amortised as described on [`DeadlineGate`].
+    pub fn out_of_budget(&mut self, aig: &Aig) -> bool {
+        let nodes = aig.num_nodes();
+        if let Some(limit) = self.node_limit {
+            if nodes > limit {
+                return true;
+            }
+        }
+        if self.expired {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.credit = self
+            .credit
+            .saturating_add(1 + (nodes.abs_diff(self.last_nodes) / NODE_GRAIN) as u32);
+        self.last_nodes = nodes;
+        if self.credit < DEADLINE_STRIDE {
+            return false;
+        }
+        self.credit = 0;
+        self.expired = Instant::now() >= deadline;
+        self.expired
     }
 }
 
@@ -406,6 +493,7 @@ pub fn exists_many(
     let mut sweep_base = stats.nodes_before.max(1);
     let mut pending: Vec<Var> = vars.to_vec();
     let mut remaining: Vec<Var> = Vec::new();
+    let mut gate = cfg.deadline_gate();
     let mut passes = 0;
     while !pending.is_empty() && passes < 2 {
         passes += 1;
@@ -423,7 +511,8 @@ pub fn exists_many(
             // Cooperative cancellation between eliminations: a deadline or
             // node-limit crossing aborts every variable still scheduled
             // (they come back as residuals, exactly like growth aborts).
-            if cfg.out_of_budget(aig) {
+            // The gate amortises the clock reads against node growth.
+            if gate.out_of_budget(aig) {
                 next_round.append(&mut pending);
                 remaining = next_round;
                 stats.aborted = remaining.len();
@@ -748,6 +837,92 @@ mod tests {
         assert!(res.remaining.is_empty());
         assert!(res.stats.interleaved_sweeps > 0, "resweep never fired");
         assert!(exhaustive_exists_check(&mut aig, f, &targets, res.lit, 8));
+    }
+
+    #[test]
+    fn deadline_gate_fires_within_the_stride_tolerance() {
+        use std::time::Duration;
+        // Regression for the hot-path clock poll: an expired deadline
+        // must be noticed (a) immediately on the first poll, and (b)
+        // within DEADLINE_STRIDE cheap polls when it expires mid-run —
+        // never silently deferred by the amortisation.
+        let mut aig = Aig::new();
+        let _ = aig.add_input();
+        let mut expired = QuantConfig::full()
+            .with_deadline(Some(Instant::now()))
+            .deadline_gate();
+        assert!(
+            expired.out_of_budget(&aig),
+            "first poll must read the clock"
+        );
+        assert!(expired.out_of_budget(&aig), "expiry must latch");
+        // Mid-run expiry: the first poll reads the clock before the
+        // deadline, then the deadline passes; subsequent cheap polls must
+        // notice within the stride.
+        let soon =
+            QuantConfig::full().with_deadline(Some(Instant::now() + Duration::from_millis(2)));
+        let mut gate = soon.deadline_gate();
+        let _ = gate.out_of_budget(&aig);
+        std::thread::sleep(Duration::from_millis(5));
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            if gate.out_of_budget(&aig) {
+                break;
+            }
+            assert!(
+                polls <= DEADLINE_STRIDE,
+                "expired deadline not noticed within {DEADLINE_STRIDE} polls"
+            );
+        }
+        // Heavy node growth buys credits: a large manager-size change
+        // since the previous poll forces the clock read right away
+        // instead of waiting out the stride.
+        let mut big = Aig::new();
+        let ins: Vec<cbq_aig::Lit> = (0..12).map(|_| big.add_input().lit()).collect();
+        let mut f = ins[0];
+        while big.num_nodes() < 16 * 512 + 64 {
+            for w in ins.windows(2) {
+                let x = big.and(f, w[0]);
+                f = big.xor(x, w[1]);
+            }
+        }
+        let grow =
+            QuantConfig::full().with_deadline(Some(Instant::now() + Duration::from_millis(2)));
+        let mut gate = grow.deadline_gate();
+        let _ = gate.out_of_budget(&aig); // clock read on the tiny manager
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(
+            gate.out_of_budget(&big),
+            "a stride's worth of node growth must force the clock read"
+        );
+        // No deadline, no node limit: never out of budget, however often
+        // polled.
+        let mut free = QuantConfig::full().deadline_gate();
+        for _ in 0..100 {
+            assert!(!free.out_of_budget(&aig));
+        }
+        // Node limits stay exact (checked on every poll, unstrided).
+        let mut capped = QuantConfig::full().with_node_limit(Some(1)).deadline_gate();
+        assert!(capped.out_of_budget(&big));
+    }
+
+    #[test]
+    fn exists_many_still_honours_an_expired_deadline() {
+        // End-to-end: the gate inside exists_many aborts every pending
+        // variable when the deadline has already passed.
+        let mut aig = Aig::new();
+        let vars: Vec<Var> = (0..6).map(|_| aig.add_input()).collect();
+        let f = {
+            let t = aig.and(vars[0].lit(), vars[1].lit());
+            let u = aig.xor(vars[2].lit(), vars[3].lit());
+            aig.or(t, u)
+        };
+        let mut cnf = AigCnf::new();
+        let cfg = QuantConfig::full().with_deadline(Some(Instant::now()));
+        let res = exists_many(&mut aig, f, &vars[..4], &mut cnf, &cfg);
+        assert_eq!(res.remaining.len(), 4, "expired deadline must abort all");
+        assert_eq!(res.lit, f);
     }
 
     #[test]

@@ -275,7 +275,12 @@ impl CircuitUmc {
         stats.frontier_sizes.push(ss.frontier_size());
         stats.peak_nodes = stats.peak_nodes.max(ss.total_nodes());
         if ss.parts[0].sweep_if_due(&mut []) {
-            *stats.frontier_sizes.last_mut().expect("F0 recorded") = ss.frontier_size();
+            // Refresh the just-recorded F₀ entry; if a pathological exit
+            // path ever reaches here without one, simply skip instead of
+            // panicking on a stats detail.
+            if let Some(last) = stats.frontier_sizes.last_mut() {
+                *last = ss.frontier_size();
+            }
         }
         ss.split_to_target();
         ss.record_iteration();
@@ -288,7 +293,17 @@ impl CircuitUmc {
             stats.iterations = iter;
             // Per-partition pre-image + input quantification + sweep,
             // in parallel across the partitions' private managers.
-            let steps: Vec<PartStep> = ss.par_map(|_, p| self.partition_step(p, iter, meter));
+            let steps = ss.par_map(|_, p| self.partition_step(p, iter, meter));
+            if steps.iter().any(Option::is_none) {
+                let verdict = Verdict::Unknown {
+                    reason: format!(
+                        "partition worker panicked (partitions {:?})",
+                        ss.stats.worker_panics
+                    ),
+                };
+                return self.seal(verdict, stats, &ss);
+            }
+            let steps: Vec<PartStep> = steps.into_iter().flatten().collect();
             for step in &steps {
                 stats.quant_aborts += step.aborts;
                 stats.ganai_cofactors += step.cofactors;

@@ -3,7 +3,7 @@
 //!
 //! Every model checker in this crate — circuit-based backward and forward
 //! reachability, BDD reachability in both directions, BMC, k-induction,
-//! and the [`crate::Portfolio`] combinator — implements the same
+//! IC3/PDR, and the [`crate::Portfolio`] combinator — implements the same
 //! polymorphic entry point:
 //!
 //! ```text
@@ -27,6 +27,7 @@ use crate::bdd_umc::{BddDirection, BddUmc};
 use crate::bmc::Bmc;
 use crate::circuit_umc::CircuitUmc;
 use crate::forward_umc::ForwardCircuitUmc;
+use crate::ic3::Ic3;
 use crate::induction::KInduction;
 use crate::portfolio::Portfolio;
 use crate::stateset::{PartitionConfig, PartitionCount, SplitPolicy};
@@ -254,10 +255,31 @@ pub fn registry() -> &'static [EngineSpec] {
             tune: None,
         },
         EngineSpec {
-            name: "portfolio",
-            summary: "budget-sliced sequence: bmc, kind, circuit, bdd",
+            name: "ic3",
+            summary: "IC3/PDR: clause frames with relative-induction generalization",
             complete: true,
-            minimal_cex: true,
+            // IC3 counterexamples are genuine but need not be minimal.
+            minimal_cex: false,
+            build: || Box::new(Ic3::default()),
+            tune: Some(|tuning| {
+                let mut engine = Ic3::default();
+                if let Some(frames) = tuning.ic3_frames {
+                    engine.max_frames = frames;
+                }
+                if let Some(gen) = tuning.ic3_gen {
+                    engine.drop_literals = gen;
+                }
+                Box::new(engine)
+            }),
+        },
+        EngineSpec {
+            name: "portfolio",
+            summary: "budget-sliced sequence: bmc, kind, ic3, circuit, bdd",
+            complete: true,
+            // The BMC member finds minimal traces up to its depth cap,
+            // but deeper counterexamples can fall through to the IC3
+            // member, which guarantees validity, not minimality.
+            minimal_cex: false,
             build: || Box::new(Portfolio::standard()),
             tune: None,
         },
@@ -290,6 +312,13 @@ pub struct EngineTuning {
     /// Partition split policy (`cbq check --split latch|origin`); `None`
     /// keeps the engine default.
     pub split: Option<SplitPolicy>,
+    /// IC3 frame-count safety net (`cbq check --ic3-frames N`); `None`
+    /// keeps the engine default.
+    pub ic3_frames: Option<usize>,
+    /// IC3 literal-dropping generalization (`cbq check --ic3-gen
+    /// on|off`); `None` keeps the engine default (on). Off leaves only
+    /// the unsat-core shrink — the `e6pdr` ablation baseline.
+    pub ic3_gen: Option<bool>,
 }
 
 impl EngineTuning {
@@ -390,6 +419,8 @@ mod tests {
             quant_order: Some(VarOrder::StaticCost),
             partitions: Some(PartitionCount::Fixed(2)),
             split: Some(SplitPolicy::LatchCofactor),
+            ic3_frames: None,
+            ic3_gen: None,
         };
         for name in ["circuit", "forward"] {
             assert!(supports_tuning(name));
@@ -398,6 +429,16 @@ mod tests {
             let run = engine.check(&net, &Budget::unlimited());
             assert!(run.verdict.is_safe());
         }
+        // IC3 honours its own tuning fields through the same hook.
+        let ic3_tuning = EngineTuning {
+            ic3_frames: Some(3),
+            ic3_gen: Some(false),
+            ..EngineTuning::default()
+        };
+        assert!(supports_tuning("ic3"));
+        let engine = by_name_tuned("ic3", &ic3_tuning).expect("registered");
+        let run = engine.check(&generators::mutex(), &Budget::unlimited());
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
         // Non-tunable engines still build (tuning is a no-op for them).
         assert!(!supports_tuning("bmc"));
         assert!(by_name_tuned("bmc", &tuning).is_some());

@@ -164,7 +164,18 @@ impl ForwardCircuitUmc {
             stats.iterations = iter;
             // Per-partition bad check + image + quantification + sweep,
             // in parallel across the partitions' private managers.
-            let steps: Vec<FwdStep> = ss.par_map(|_, p| self.partition_step(p, iter, meter));
+            let steps = ss.par_map(|_, p| self.partition_step(p, iter, meter));
+            if steps.iter().any(Option::is_none) {
+                let verdict = Verdict::Unknown {
+                    reason: format!(
+                        "partition worker panicked (partitions {:?})",
+                        ss.stats.worker_panics
+                    ),
+                };
+                let checks = self.seal(stats, &ss);
+                return (verdict, checks);
+            }
+            let steps: Vec<FwdStep> = steps.into_iter().flatten().collect();
             for step in &steps {
                 stats.quant_aborts += step.aborts;
                 stats.ganai_cofactors += step.cofactors;

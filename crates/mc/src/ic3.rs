@@ -1,0 +1,689 @@
+//! IC3 / property-directed reachability (Bradley — VMCAI 2011; Eén,
+//! Mishchenko, Brayton — FMCAD 2011), on the incremental SAT core.
+//!
+//! Where the paper's engines manipulate *state sets* (circuit
+//! quantification, §3) or *unrollings* (BMC, k-induction), IC3 maintains
+//! a sequence of over-approximating **frames** `F₁ ⊇ F₂ ⊇ … ⊇ F_k` of
+//! the states reachable in at most `i` steps, each a conjunction of
+//! clauses over the latch variables. Bad states found in `F_k` spawn
+//! **proof obligations** that are recursively blocked by
+//! relative-induction queries; blocked cubes are **generalized** by
+//! unsat-core shrinking plus literal dropping, and clauses are
+//! **propagated** forward each time a frame is added. The run terminates
+//! at a frame fixpoint (`F_i = F_{i+1}` — an inductive invariant, the
+//! property is proved) or when an obligation chain reaches the initial
+//! state (a concrete counterexample trace).
+//!
+//! The implementation rides entirely on the PR-4 incremental SAT
+//! lifecycle:
+//!
+//! * one persistent [`cbq_cnf::AigCnf`] bridge encodes the next-state
+//!   cones lazily and keeps everything the solver learns across the
+//!   thousands of queries a run issues;
+//! * every frame is an activation-literal **guard generation**
+//!   ([`cbq_cnf::AigCnf::new_guard`]): frame clauses are added once,
+//!   guarded, and a query for `F_i` simply assumes the guards of frames
+//!   `i..=k` — no clause is ever retracted, and retired per-query
+//!   strengthening clauses are reclaimed by the arena's satisfied-clause
+//!   purge, exactly like retired cone generations;
+//! * cube generalization reads the solver's
+//!   [`cbq_sat::Solver::failed_assumptions`] unsat core — each cube
+//!   literal is passed as its own assumption, so the core names the
+//!   literals that matter.
+//!
+//! Transitions are expressed functionally (the crate's in-lining style):
+//! "the successor lies in cube `c`" is the conjunction of the next-state
+//! functions `δ` signed by `c`'s values, so no next-state variables or
+//! transition-relation clauses exist at all.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cbq_aig::{Aig, Lit, Var};
+use cbq_ckt::{Network, Trace};
+use cbq_cnf::{AigCnf, AigCnfStats};
+use cbq_sat::{SatLit, SatResult, SolverStats};
+
+use crate::engine::{Budget, Engine, Meter};
+use crate::verdict::{McRun, McStats, Verdict};
+
+/// The IC3/PDR engine.
+#[derive(Clone, Debug)]
+pub struct Ic3 {
+    /// Frame-count safety net; reaching it yields [`Verdict::Unknown`].
+    pub max_frames: usize,
+    /// Literal-dropping generalization after the unsat-core shrink (the
+    /// `down`-less MIC step). Off = core shrinking only, kept as the
+    /// `e6pdr` ablation baseline.
+    pub drop_literals: bool,
+}
+
+impl Default for Ic3 {
+    fn default() -> Ic3 {
+        Ic3 {
+            max_frames: 10_000,
+            drop_literals: true,
+        }
+    }
+}
+
+/// Statistics of an [`Ic3`] run.
+#[derive(Clone, Debug, Default)]
+pub struct Ic3Stats {
+    /// Frames opened (the final `k`).
+    pub frames: usize,
+    /// Proof obligations processed.
+    pub obligations: u64,
+    /// Blocking clauses learned (generalized cubes blocked).
+    pub clauses: u64,
+    /// Clauses moved forward by the propagation phase.
+    pub pushed: u64,
+    /// Cube literals dropped by generalization (unsat core + literal
+    /// dropping), total.
+    pub gen_drops: u64,
+    /// SAT-bridge counters (encodings, checks).
+    pub cnf: AigCnfStats,
+    /// Solver-core counters (conflicts, restarts, arena bytes, …).
+    pub solver: SolverStats,
+}
+
+/// A cube over latches: `(latch ordinal, value)` pairs, ordinal-sorted.
+type Cube = Vec<(usize, bool)>;
+
+/// One frame: its clause-guard literal and the cubes whose blocking
+/// clauses live at this level (delta encoding — a cube is recorded at
+/// the *highest* frame it is blocked at; `F_i` is the conjunction of all
+/// clauses recorded at levels `≥ i`).
+struct Frame {
+    act: SatLit,
+    cubes: Vec<Cube>,
+}
+
+/// A proof obligation: a concrete state to block, the inputs that step
+/// it into its parent obligation's state (or fire `bad` for the root),
+/// and the parent link for counterexample reconstruction.
+struct Obligation {
+    state: Vec<bool>,
+    inputs: Vec<bool>,
+    parent: Option<usize>,
+}
+
+/// Outcome of one relative-induction query.
+enum Rel {
+    /// A predecessor exists: its full latch state and the inputs driving
+    /// it into the queried cube.
+    Pred(Vec<bool>, Vec<bool>),
+    /// No predecessor; `keep[i]` marks the cube literals named by the
+    /// unsat core (the rest are droppable).
+    Blocked(Vec<bool>),
+    /// The solver gave up (defensive; IC3 sets no conflict budget).
+    Unknown,
+}
+
+/// What the obligation queue produced.
+enum BlockOutcome {
+    Blocked,
+    Cex(Trace),
+    Stopped(Verdict),
+}
+
+struct Ic3Run<'a> {
+    cfg: &'a Ic3,
+    aig: Aig,
+    cnf: AigCnf,
+    pis: Vec<Var>,
+    latches: Vec<Var>,
+    deltas: Vec<Lit>,
+    init_state: Vec<bool>,
+    init_lit: Lit,
+    bad: Lit,
+    frames: Vec<Frame>,
+    stats: Ic3Stats,
+    seq: u64,
+    retired_queries: u32,
+}
+
+/// Bundles the typed stats into the uniform run record.
+fn finish(verdict: Verdict, stats: Ic3Stats, peak_nodes: usize, meter: &Meter) -> McRun {
+    let common = McStats {
+        engine: "ic3",
+        iterations: stats.frames,
+        peak_nodes,
+        sat_checks: stats.cnf.checks,
+        elapsed: meter.elapsed(),
+    };
+    McRun::new(verdict, common).with_detail(stats)
+}
+
+impl Engine for Ic3 {
+    fn name(&self) -> &'static str {
+        "ic3"
+    }
+
+    /// Runs IC3 on `net` within `budget` (`max_steps` caps the frame
+    /// count).
+    fn check(&self, net: &Network, budget: &Budget) -> McRun {
+        let meter = Meter::start(budget);
+        let mut run = Ic3Run::new(self, net);
+        let verdict = run.solve(&meter);
+        run.stats.cnf = run.cnf.stats();
+        run.stats.solver = run.cnf.solver_stats();
+        let peak = run.aig.num_nodes();
+        finish(verdict, run.stats, peak, &meter)
+    }
+}
+
+impl<'a> Ic3Run<'a> {
+    fn new(cfg: &'a Ic3, net: &Network) -> Ic3Run<'a> {
+        let mut aig = net.aig().clone();
+        let init_lit = net.initial_cube().to_lit(&mut aig);
+        let mut cnf = AigCnf::new();
+        // Frame 0 is the initial states (queried through `init_lit`, not
+        // clauses); its guard exists only to keep indexing uniform.
+        let f0 = Frame {
+            act: cnf.new_guard(),
+            cubes: Vec::new(),
+        };
+        let f1 = Frame {
+            act: cnf.new_guard(),
+            cubes: Vec::new(),
+        };
+        Ic3Run {
+            cfg,
+            aig,
+            cnf,
+            pis: net.primary_inputs().to_vec(),
+            latches: net.latch_vars(),
+            deltas: net.latches().iter().map(|l| l.next).collect(),
+            init_state: net.initial_state(),
+            init_lit,
+            bad: net.bad(),
+            frames: vec![f0, f1],
+            stats: Ic3Stats::default(),
+            seq: 0,
+            retired_queries: 0,
+        }
+    }
+
+    /// The top frame index `k`.
+    fn top(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    /// Budget check at a query boundary; steps count *completed* frame
+    /// extensions, so a step limit of `n` allows frames `F₁ … F_{n+1}`.
+    fn budget_verdict(&self, meter: &Meter) -> Option<Verdict> {
+        meter.exceeded(
+            self.top() - 1,
+            self.aig.num_nodes(),
+            self.cnf.stats().checks,
+        )
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Model values of `vars` (all AIG inputs) after a SAT answer.
+    fn read(&self, vars: &[Var]) -> Vec<bool> {
+        let model = self.cnf.model_inputs(&self.aig);
+        vars.iter()
+            .map(|v| {
+                model[self
+                    .aig
+                    .input_index(*v)
+                    .expect("sequential var is an input")]
+            })
+            .collect()
+    }
+
+    /// The AIG literal asserting latch `ord == val`.
+    fn latch_lit(&self, ord: usize, val: bool) -> Lit {
+        self.latches[ord].lit().xor_sign(!val)
+    }
+
+    /// Whether `cube` excludes the (single, fully-specified) initial
+    /// state — i.e. some literal disagrees with the reset values.
+    fn excludes_init(&self, cube: &[(usize, bool)]) -> bool {
+        cube.iter().any(|&(ord, val)| self.init_state[ord] != val)
+    }
+
+    /// Restores init-exclusion after a core shrink: if every literal of
+    /// `cube` agrees with the reset state, re-adds a disagreeing literal
+    /// from `fallback` (which is known to exclude init).
+    fn fix_init_exclusion(&self, cube: &mut Cube, fallback: &[(usize, bool)]) {
+        if self.excludes_init(cube) {
+            return;
+        }
+        let lit = fallback
+            .iter()
+            .copied()
+            .find(|&(ord, val)| self.init_state[ord] != val)
+            .expect("fallback cube excludes the initial state");
+        cube.push(lit);
+        cube.sort_unstable_by_key(|&(ord, _)| ord);
+    }
+
+    /// The relative-induction query `SAT? [F_lvl ∧ ¬c ∧ c(δ)]` — can a
+    /// state of `F_lvl` outside `c` step into `c`? `lvl == 0` queries the
+    /// initial cube instead of frame clauses. The `¬c` strengthening
+    /// clause lives under a per-query guard retired immediately after;
+    /// each `c(δ)` conjunct is its own assumption so an UNSAT core names
+    /// the cube literals that matter.
+    ///
+    /// Guard variables are append-only: retirement reclaims the guarded
+    /// clause (arena purge) but the solver never frees variable slots,
+    /// so a run grows one released, never-branched variable per query —
+    /// a few machine words each. A reusable-guard pool is unsound here
+    /// (re-arming a retired guard would resurrect the previous query's
+    /// `¬c` clause), so true reclamation needs solver-side variable
+    /// recycling — on the ROADMAP, not worth the complexity at current
+    /// query volumes (thousands per run).
+    fn rel_query(&mut self, cube: &[(usize, bool)], lvl: usize) -> Rel {
+        let actq = self.cnf.new_guard();
+        let neg_cube: Vec<SatLit> = cube
+            .iter()
+            .map(|&(ord, val)| !self.cnf.ensure(&self.aig, self.latch_lit(ord, val)))
+            .collect();
+        self.cnf.add_guarded_by(actq, &neg_cube);
+        let mut extra = vec![actq];
+        if lvl == 0 {
+            let init = self.cnf.ensure(&self.aig, self.init_lit);
+            extra.push(init);
+        } else {
+            for j in lvl..self.frames.len() {
+                extra.push(self.frames[j].act);
+            }
+        }
+        let delta_sls: Vec<SatLit> = cube
+            .iter()
+            .map(|&(ord, val)| {
+                let succ = self.deltas[ord].xor_sign(!val);
+                self.cnf.ensure(&self.aig, succ)
+            })
+            .collect();
+        extra.extend_from_slice(&delta_sls);
+        let result = self.cnf.solve_under_assuming(&self.aig, &[], &extra);
+        let out = match result {
+            SatResult::Sat => Rel::Pred(self.read(&self.latches), self.read(&self.pis)),
+            SatResult::Unsat => {
+                let failed = self.cnf.solver().failed_assumptions();
+                let keep = delta_sls.iter().map(|sl| failed.contains(sl)).collect();
+                Rel::Blocked(keep)
+            }
+            SatResult::Unknown => Rel::Unknown,
+        };
+        self.cnf.retire_guard(actq);
+        self.retired_queries += 1;
+        if self.retired_queries.is_multiple_of(512) {
+            // Reclaim the retired per-query clauses from the arena.
+            self.cnf.solver_mut().purge_satisfied();
+        }
+        out
+    }
+
+    /// Shrinks a blocked cube: keep the unsat-core literals, restore
+    /// init-exclusion, then (optionally) try dropping each remaining
+    /// literal with a fresh relative-induction query at `lvl`.
+    fn generalize(&mut self, cube: &[(usize, bool)], keep: &[bool], lvl: usize) -> Cube {
+        let mut cur: Cube = cube
+            .iter()
+            .zip(keep)
+            .filter(|(_, k)| **k)
+            .map(|(c, _)| *c)
+            .collect();
+        self.fix_init_exclusion(&mut cur, cube);
+        if self.cfg.drop_literals {
+            let mut i = 0;
+            while i < cur.len() && cur.len() > 1 {
+                let mut cand = cur.clone();
+                cand.remove(i);
+                if !self.excludes_init(&cand) {
+                    i += 1;
+                    continue;
+                }
+                match self.rel_query(&cand, lvl) {
+                    Rel::Blocked(keep2) => {
+                        let mut next: Cube = cand
+                            .iter()
+                            .zip(&keep2)
+                            .filter(|(_, k)| **k)
+                            .map(|(c, _)| *c)
+                            .collect();
+                        self.fix_init_exclusion(&mut next, &cand);
+                        cur = next;
+                        i = 0;
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        self.stats.gen_drops += (cube.len() - cur.len()) as u64;
+        cur
+    }
+
+    /// Records `cube` as blocked at frame `lvl`: one guarded clause `¬c`
+    /// under the frame's activation literal, plus the delta-encoding
+    /// bookkeeping entry.
+    fn add_blocked(&mut self, cube: Cube, lvl: usize) {
+        let clause: Vec<SatLit> = cube
+            .iter()
+            .map(|&(ord, val)| !self.cnf.ensure(&self.aig, self.latch_lit(ord, val)))
+            .collect();
+        self.cnf.add_guarded_by(self.frames[lvl].act, &clause);
+        self.frames[lvl].cubes.push(cube);
+    }
+
+    /// Pushes a freshly blocked cube as far forward as relative induction
+    /// allows, starting from `lvl`; returns the frame it lands at.
+    fn push_forward(&mut self, cube: &[(usize, bool)], lvl: usize) -> usize {
+        let mut j = lvl;
+        while j < self.top() {
+            match self.rel_query(cube, j) {
+                Rel::Blocked(_) => j += 1,
+                _ => break,
+            }
+        }
+        j
+    }
+
+    /// Blocks one bad state at the top frame through the proof-obligation
+    /// priority queue (lowest frame first, FIFO within a frame).
+    fn block_state(&mut self, state: Vec<bool>, inputs: Vec<bool>, meter: &Meter) -> BlockOutcome {
+        let mut arena = vec![Obligation {
+            state,
+            inputs,
+            parent: None,
+        }];
+        let mut queue: BinaryHeap<Reverse<(usize, u64, usize)>> = BinaryHeap::new();
+        let top = self.top();
+        queue.push(Reverse((top, self.next_seq(), 0)));
+        while let Some(Reverse((lvl, _, idx))) = queue.pop() {
+            if let Some(bounded) = self.budget_verdict(meter) {
+                return BlockOutcome::Stopped(bounded);
+            }
+            self.stats.obligations += 1;
+            let cube: Cube = arena[idx]
+                .state
+                .iter()
+                .enumerate()
+                .map(|(ord, v)| (ord, *v))
+                .collect();
+            match self.rel_query(&cube, lvl - 1) {
+                Rel::Pred(pred, pred_inputs) => {
+                    if pred == self.init_state {
+                        return BlockOutcome::Cex(self.trace_from(&arena, idx, pred_inputs));
+                    }
+                    // A level-1 query assumes the init cube, so its model
+                    // is always the initial state and was handled above.
+                    debug_assert!(lvl >= 2, "non-initial predecessor below frame 1");
+                    arena.push(Obligation {
+                        state: pred,
+                        inputs: pred_inputs,
+                        parent: Some(idx),
+                    });
+                    let fresh = arena.len() - 1;
+                    queue.push(Reverse((lvl - 1, self.next_seq(), fresh)));
+                    queue.push(Reverse((lvl, self.next_seq(), idx)));
+                }
+                Rel::Blocked(keep) => {
+                    let generalized = self.generalize(&cube, &keep, lvl - 1);
+                    let landing = self.push_forward(&generalized, lvl);
+                    self.add_blocked(generalized, landing);
+                    self.stats.clauses += 1;
+                    if landing < top {
+                        queue.push(Reverse((landing + 1, self.next_seq(), idx)));
+                    }
+                }
+                Rel::Unknown => {
+                    return BlockOutcome::Stopped(Verdict::Unknown {
+                        reason: "solver gave up during obligation blocking".to_string(),
+                    })
+                }
+            }
+        }
+        BlockOutcome::Blocked
+    }
+
+    /// Reconstructs the counterexample trace from an obligation chain:
+    /// `init_inputs` steps the initial state into `arena[idx].state`, each
+    /// obligation's inputs step its state into its parent's, and the root
+    /// obligation's inputs fire `bad`.
+    fn trace_from(&self, arena: &[Obligation], start: usize, init_inputs: Vec<bool>) -> Trace {
+        let mut inputs = vec![init_inputs];
+        let mut idx = start;
+        loop {
+            inputs.push(arena[idx].inputs.clone());
+            match arena[idx].parent {
+                Some(parent) => idx = parent,
+                None => break,
+            }
+        }
+        Trace::new(inputs)
+    }
+
+    /// The propagation phase: after opening a new top frame, try to move
+    /// every recorded cube one frame forward. An emptied frame is the
+    /// fixpoint `F_i = F_{i+1}` — the property is proved.
+    fn propagate(&mut self, meter: &Meter) -> Result<Option<usize>, Verdict> {
+        for i in 1..self.top() {
+            let mut cubes = std::mem::take(&mut self.frames[i].cubes);
+            let mut kept = Vec::new();
+            while let Some(cube) = cubes.pop() {
+                if let Some(bounded) = self.budget_verdict(meter) {
+                    // Restore the bookkeeping before bailing out.
+                    kept.push(cube);
+                    kept.append(&mut cubes);
+                    self.frames[i].cubes = kept;
+                    return Err(bounded);
+                }
+                match self.rel_query(&cube, i) {
+                    Rel::Blocked(_) => {
+                        self.add_blocked(cube, i + 1);
+                        self.stats.pushed += 1;
+                    }
+                    _ => kept.push(cube),
+                }
+            }
+            self.frames[i].cubes = kept;
+            if self.frames[i].cubes.is_empty() {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    fn solve(&mut self, meter: &Meter) -> Verdict {
+        self.stats.frames = self.top();
+        if let Some(bounded) = meter.exceeded(0, self.aig.num_nodes(), 0) {
+            return bounded;
+        }
+        // Depth 0: can some input fire `bad` in the initial state?
+        match self
+            .cnf
+            .solve_under_assuming(&self.aig, &[self.init_lit, self.bad], &[])
+        {
+            SatResult::Sat => {
+                let trace = Trace::new(vec![self.read(&self.pis)]);
+                return Verdict::Unsafe { trace };
+            }
+            SatResult::Unknown => {
+                return Verdict::Unknown {
+                    reason: "solver gave up on the initial-state check".to_string(),
+                }
+            }
+            SatResult::Unsat => {}
+        }
+        loop {
+            // Blocking phase: clear every bad state out of F_k.
+            loop {
+                if let Some(bounded) = self.budget_verdict(meter) {
+                    return bounded;
+                }
+                let top_act = self.frames[self.top()].act;
+                match self
+                    .cnf
+                    .solve_under_assuming(&self.aig, &[self.bad], &[top_act])
+                {
+                    SatResult::Unsat => break,
+                    SatResult::Unknown => {
+                        return Verdict::Unknown {
+                            reason: "solver gave up on the bad-state check".to_string(),
+                        }
+                    }
+                    SatResult::Sat => {
+                        let state = self.read(&self.latches);
+                        let inputs = self.read(&self.pis);
+                        // `init ∧ bad` was refuted at depth 0.
+                        debug_assert_ne!(state, self.init_state);
+                        match self.block_state(state, inputs, meter) {
+                            BlockOutcome::Blocked => {}
+                            BlockOutcome::Cex(trace) => return Verdict::Unsafe { trace },
+                            BlockOutcome::Stopped(verdict) => return verdict,
+                        }
+                    }
+                }
+            }
+            // Extension: open F_{k+1} and propagate clauses forward.
+            if self.top() >= self.cfg.max_frames {
+                return Verdict::Unknown {
+                    reason: format!("frame bound {} reached", self.cfg.max_frames),
+                };
+            }
+            let act = self.cnf.new_guard();
+            self.frames.push(Frame {
+                act,
+                cubes: Vec::new(),
+            });
+            self.stats.frames = self.top();
+            match self.propagate(meter) {
+                Ok(Some(fix)) => return Verdict::Safe { iterations: fix },
+                Ok(None) => {}
+                Err(bounded) => return bounded,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{check_safe, check_unsafe};
+    use cbq_ckt::generators;
+
+    #[test]
+    fn proves_safe_circuits() {
+        for net in [
+            generators::token_ring(6),
+            generators::bounded_counter(4, 9),
+            generators::gray_counter(4),
+            generators::mutex(),
+            generators::arbiter(4),
+            generators::lfsr(5, &[0, 2]),
+        ] {
+            check_safe(&Ic3::default(), &net);
+        }
+    }
+
+    #[test]
+    fn proves_deep_gap_circuit_without_unrolling() {
+        // The gap circuit's bad region sits behind a long unreachable
+        // chain — BMC can never close it, IC3 converges on frames.
+        let net = generators::bounded_counter_gap(4, 6, 12);
+        let run = Ic3::default().check(&net, &Budget::unlimited());
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
+        let detail = run.detail::<Ic3Stats>().expect("ic3 stats");
+        assert!(detail.frames >= 1);
+        assert!(detail.clauses > 0);
+    }
+
+    #[test]
+    fn finds_counterexamples_with_valid_traces() {
+        // IC3 counterexamples are genuine but not necessarily minimal, so
+        // no depth is pinned here (the cross-engine suite replays them).
+        for net in [
+            generators::token_ring_bug(5),
+            generators::mutex_bug(),
+            generators::shift_ones(4),
+            generators::counter_bug(4, 6),
+        ] {
+            check_unsafe(&Ic3::default(), &net, None);
+        }
+    }
+
+    #[test]
+    fn bad_at_initial_state_is_a_one_step_trace() {
+        let mut b = cbq_ckt::Network::builder("badinit");
+        let s = b.add_latch(true);
+        b.set_next(s, s.lit());
+        let net = b.build(s.lit());
+        let run = Ic3::default().check(&net, &Budget::unlimited());
+        match run.verdict {
+            Verdict::Unsafe { trace } => {
+                assert_eq!(trace.len(), 1);
+                assert!(trace.validates(&net));
+            }
+            other => panic!("expected unsafe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn generalization_ablation_agrees() {
+        // Core-only generalization must reach the same verdicts; the
+        // literal-dropping pass only shrinks clauses.
+        for net in [
+            generators::bounded_counter_gap(4, 6, 12),
+            generators::token_ring(5),
+            generators::counter_bug(4, 6),
+        ] {
+            let full = Ic3::default().check(&net, &Budget::unlimited());
+            let core_only = Ic3 {
+                drop_literals: false,
+                ..Ic3::default()
+            }
+            .check(&net, &Budget::unlimited());
+            assert_eq!(
+                full.verdict.is_safe(),
+                core_only.verdict.is_safe(),
+                "{}: ablation changed the verdict",
+                net.name()
+            );
+            if let Verdict::Unsafe { trace } = &core_only.verdict {
+                assert!(
+                    trace.validates(&net),
+                    "{}: ablation trace bogus",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let run = Ic3::default().check(&generators::token_ring(5), &Budget::unlimited());
+        assert!(run.verdict.is_safe());
+        assert!(run.stats.sat_checks > 0);
+        assert!(run.stats.peak_nodes > 0);
+        let detail = run.detail::<Ic3Stats>().expect("ic3 stats");
+        assert!(detail.frames >= 1);
+        assert_eq!(detail.frames, run.stats.iterations);
+        assert!(detail.obligations > 0 || detail.clauses == 0);
+        assert_eq!(detail.cnf.checks, run.stats.sat_checks);
+    }
+
+    #[test]
+    fn frame_bound_yields_unknown() {
+        let net = generators::bounded_counter_gap(4, 6, 12);
+        let run = Ic3 {
+            max_frames: 1,
+            drop_literals: true,
+        }
+        .check(&net, &Budget::unlimited());
+        assert!(
+            matches!(run.verdict, Verdict::Unknown { .. }) || run.verdict.is_safe(),
+            "got {}",
+            run.verdict
+        );
+    }
+}

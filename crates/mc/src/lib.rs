@@ -17,6 +17,12 @@
 //! * [`Bmc`] — bounded model checking (Biere et al. [1]);
 //! * [`KInduction`] — inductive unbounded verification with simple-path
 //!   strengthening (Sheeran et al. [5]);
+//! * [`Ic3`] — property-directed reachability (Bradley; Eén, Mishchenko,
+//!   Brayton): clause frames over latches, proof-obligation blocking with
+//!   unsat-core generalization, and forward clause propagation, all on
+//!   one persistent activation-literal clause database — the portfolio's
+//!   convergence-based prover for properties BMC cannot close and plain
+//!   induction cannot reach;
 //! * [`ganai`] — all-solutions SAT pre-image with *circuit cofactoring*
 //!   (Ganai, Gupta, Ashar [2]), usable standalone or as the
 //!   residual-variable fallback of partial circuit quantification — the
@@ -80,6 +86,7 @@ mod bmc;
 mod circuit_umc;
 mod engine;
 mod forward_umc;
+mod ic3;
 mod induction;
 mod portfolio;
 #[cfg(test)]
@@ -100,6 +107,7 @@ pub use crate::engine::{
     EngineTuning, Meter,
 };
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
+pub use crate::ic3::{Ic3, Ic3Stats};
 pub use crate::induction::{KInduction, KInductionStats};
 pub use crate::portfolio::{Portfolio, PortfolioStats};
 pub use crate::stateset::{PartitionConfig, PartitionCount, PartitionStats, SplitPolicy, StateSet};

@@ -10,8 +10,9 @@
 //! starve the rest), and the node limit — a peak, not a sum, since each
 //! member builds and drops its own manager — passes through whole. The
 //! standard lineup — BMC for quick refutation, k-induction for quick
-//! proofs, then the circuit and BDD traversals — settles easy instances
-//! in the cheap engines and only pays for a full traversal when it must.
+//! proofs, IC3 for convergence on deep non-inductive properties, then
+//! the circuit and BDD traversals — settles easy instances in the cheap
+//! engines and only pays for a full traversal when it must.
 
 use cbq_ckt::Network;
 
@@ -19,6 +20,7 @@ use crate::bdd_umc::BddUmc;
 use crate::bmc::Bmc;
 use crate::circuit_umc::CircuitUmc;
 use crate::engine::{Budget, Engine, Meter};
+use crate::ic3::Ic3;
 use crate::induction::KInduction;
 use crate::verdict::{McRun, McStats, Resource, Verdict};
 
@@ -44,8 +46,12 @@ impl Portfolio {
         Portfolio { members }
     }
 
-    /// The standard lineup: `bmc`, `kind`, `circuit`, `bdd`, with member
-    /// depth caps tightened so the refutation-only stages finish fast.
+    /// The standard lineup: `bmc`, `kind`, `ic3`, `circuit`, `bdd`, with
+    /// member depth caps tightened so the refutation-only stages finish
+    /// fast. IC3 sits between the inductive prover and the full
+    /// traversals: it converges on deep non-inductive properties that
+    /// k-induction's depth cap misses, without paying for a state-set
+    /// fixpoint.
     pub fn standard() -> Portfolio {
         Portfolio::new(vec![
             Box::new(Bmc { max_depth: 32 }),
@@ -53,6 +59,7 @@ impl Portfolio {
                 max_k: 40,
                 simple_path: true,
             }),
+            Box::new(Ic3::default()),
             Box::new(CircuitUmc::default()),
             Box::new(BddUmc::default()),
         ])

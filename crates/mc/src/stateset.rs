@@ -175,6 +175,11 @@ pub struct PartitionStats {
     pub prunes: usize,
     /// Splits performed (initial and watermark-triggered).
     pub splits: usize,
+    /// Indices of partitions whose [`StateSet::par_map`] worker panicked.
+    /// The panic is caught — the engine reports a clean
+    /// [`crate::Verdict::Unknown`] instead of aborting the process — and
+    /// the partition ids land here for diagnosis.
+    pub worker_panics: Vec<usize>,
 }
 
 /// One disjunct of a [`StateSet`]: a self-contained share of the
@@ -595,37 +600,54 @@ impl StateSet {
     /// past the core count). Results are returned in partition index
     /// order regardless of thread completion order (the determinism
     /// guard).
-    pub fn par_map<R, F>(&mut self, f: F) -> Vec<R>
+    ///
+    /// A panicking worker does **not** abort the process: its slot comes
+    /// back as `None` and the partition index is recorded in
+    /// [`PartitionStats::worker_panics`], so the engine can surface a
+    /// clean [`crate::Verdict::Unknown`] instead of crashing the whole
+    /// traversal (the panicked partition's state is no longer trusted).
+    pub fn par_map<R, F>(&mut self, f: F) -> Vec<Option<R>>
     where
         R: Send,
         F: Fn(usize, &mut Partition) -> R + Sync,
     {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        if self.parts.len() <= 1 || cores <= 1 {
-            return self
-                .parts
+        let results: Vec<Option<R>> = if self.parts.len() <= 1 || cores <= 1 {
+            self.parts
                 .iter_mut()
                 .enumerate()
-                .map(|(i, p)| f(i, p))
-                .collect();
-        }
-        let f = &f;
-        let mut results = Vec::with_capacity(self.parts.len());
-        let mut base = 0;
-        for chunk in self.parts.chunks_mut(cores) {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunk
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(off, p)| scope.spawn(move || f(base + off, p)))
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("partition worker panicked"));
-                }
-            });
-            base += cores;
+                // AssertUnwindSafe: on panic the partition is recorded as
+                // poisoned and the traversal stops using it.
+                .map(|(i, p)| catch_unwind(AssertUnwindSafe(|| f(i, p))).ok())
+                .collect()
+        } else {
+            let f = &f;
+            let mut results = Vec::with_capacity(self.parts.len());
+            let mut base = 0;
+            for chunk in self.parts.chunks_mut(cores) {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(off, p)| scope.spawn(move || f(base + off, p)))
+                        .collect();
+                    for h in handles {
+                        // Err = the worker panicked; the payload is
+                        // dropped and the slot reported as None.
+                        results.push(h.join().ok());
+                    }
+                });
+                base += cores;
+            }
+            results
+        };
+        for (i, r) in results.iter().enumerate() {
+            if r.is_none() {
+                self.stats.worker_panics.push(i);
+            }
         }
         results
     }
@@ -1011,6 +1033,43 @@ mod tests {
             }
         }
         assert_eq!(ss.stats.splits, 3);
+    }
+
+    #[test]
+    fn par_map_catches_worker_panics() {
+        // A panicking partition worker must not abort the process: its
+        // slot returns None, every healthy partition's result survives,
+        // and the panicked index is recorded for the engine's verdict.
+        let net = generators::token_ring(4);
+        let mut ss = StateSet::new_backward(
+            &net,
+            PartitionConfig::with_count(PartitionCount::Fixed(2)),
+            None,
+            None,
+            None,
+        );
+        let p = &mut ss.parts[0];
+        let bad = p.bad;
+        p.frontier = bad;
+        p.frontier_parts = vec![bad];
+        p.frontiers.push(bad);
+        p.reached = bad;
+        ss.split_to_target();
+        assert!(ss.parts.len() >= 2);
+        let results = ss.par_map(|i, _| {
+            if i == 1 {
+                panic!("injected worker failure");
+            }
+            i * 10
+        });
+        assert_eq!(results[0], Some(0));
+        assert_eq!(results[1], None);
+        assert_eq!(ss.stats.worker_panics, vec![1]);
+        // The next sweep over the same set still works (and records a
+        // second panic independently).
+        let results = ss.par_map(|i, _| i);
+        assert!(results.iter().all(Option::is_some));
+        assert_eq!(ss.stats.worker_panics, vec![1]);
     }
 
     #[test]

@@ -41,6 +41,21 @@ pub enum Verdict {
         iterations: usize,
     },
     /// A concrete counterexample trace was found.
+    ///
+    /// # Counterexample-length invariant
+    ///
+    /// Every engine normalises its witness to the same shape:
+    /// `trace.len() == depth + 1`, where `depth` is the 0-based index of
+    /// the step at which `bad` fires. The trace carries exactly one
+    /// primary-input vector per step, starting from the initial state,
+    /// and its **last** vector is the one that fires `bad` — so a
+    /// violation in the initial state is a 1-step trace whose single
+    /// input vector fires `bad` without advancing, a BMC hit at
+    /// unrolling depth `k` is a `k + 1`-step trace, and `cbq check
+    /// --json` reports `cex_depth = trace.len() - 1`. Engines with a
+    /// minimality guarantee ([`crate::EngineSpec::minimal_cex`]) report
+    /// the smallest such `depth`; the others (IC3) still honour the
+    /// shape, just not minimality.
     Unsafe {
         /// The witness trace (replayable on the network).
         trace: Trace,

@@ -22,8 +22,8 @@ use cbq::ckt::io::{read_network, write_network};
 use cbq::ckt::{generators, Network};
 use cbq::cnf::AigCnfStats;
 use cbq::mc::{
-    by_name_tuned, engine_names, registry, supports_tuning, CircuitUmcStats, EngineTuning,
-    ForwardCircuitUmcStats, McRun, PartitionCount, PartitionStats, SplitPolicy,
+    by_name_tuned, engine_names, registry, CircuitUmcStats, EngineTuning, ForwardCircuitUmcStats,
+    Ic3Stats, McRun, PartitionCount, PartitionStats, SplitPolicy,
 };
 use cbq::prelude::*;
 use cbq::quant::{exists_bdd, exists_many, VarOrder};
@@ -244,6 +244,7 @@ fn check_help() -> String {
     format!(
         "usage: cbq check <file.aag> [--engine E] [--sweep on|off]
                  [--quant-order O] [--partitions N|auto] [--split P]
+                 [--ic3-frames N] [--ic3-gen on|off]
                  [--steps N] [--nodes N] [--sat-checks N]
                  [--timeout-ms N] [--json]
 
@@ -260,6 +261,9 @@ Model-checks the circuit's bad-state property.
                      default: 1 = monolithic)
   --split P          partition split policy: latch | origin
                      (default: latch = window cofactor by balance score)
+  --ic3-frames N     IC3 frame-count safety net (ic3 engine; default 10000)
+  --ic3-gen on|off   IC3 literal-dropping generalization beyond the
+                     unsat core (ic3 engine; default: on)
   --steps N          budget: at most N engine iterations / depth frames
   --nodes N          budget: at most N representation nodes
   --sat-checks N     budget: at most N SAT checks
@@ -285,6 +289,8 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "quant-order",
             "partitions",
             "split",
+            "ic3-frames",
+            "ic3-gen",
             "steps",
             "nodes",
             "sat-checks",
@@ -350,6 +356,25 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "ic3-frames" => match parse_count(flag, value) {
+                Ok(n) if n >= 1 => tuning.ic3_frames = Some(n as usize),
+                Ok(_) => {
+                    eprintln!("flag `--ic3-frames` needs a positive number");
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "ic3-gen" => match value {
+                "on" => tuning.ic3_gen = Some(true),
+                "off" => tuning.ic3_gen = Some(false),
+                other => {
+                    eprintln!("flag `--ic3-gen` expects `on` or `off`, got `{other}`");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 let n = match parse_count(other, value) {
                     Ok(n) => n,
@@ -369,11 +394,22 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
         }
     }
-    if !tuning.is_default() && !supports_tuning(engine_name) {
+    // Warn per flag *family*: an engine with a tune hook still ignores
+    // the other family's flags (circuit ignores --ic3-*, ic3 ignores the
+    // state-set flags), so `supports_tuning` alone is not enough.
+    let state_flags = tuning.sweep.is_some()
+        || tuning.quant_order.is_some()
+        || tuning.partitions.is_some()
+        || tuning.split.is_some();
+    let ic3_flags = tuning.ic3_frames.is_some() || tuning.ic3_gen.is_some();
+    if state_flags && !matches!(engine_name, "circuit" | "forward") {
         eprintln!(
             "note: engine `{engine_name}` ignores --sweep/--quant-order/--partitions/--split \
              (only circuit and forward honour them)"
         );
+    }
+    if ic3_flags && engine_name != "ic3" {
+        eprintln!("note: engine `{engine_name}` ignores --ic3-frames/--ic3-gen");
     }
     if tuning.split.is_some() && tuning.partitions.is_none() {
         eprintln!(
@@ -454,12 +490,14 @@ fn json_usize_list(xs: &[usize]) -> String {
 
 fn partition_json(p: &PartitionStats) -> String {
     format!(
-        "{{\"trajectory\":{},\"final\":{},\"max_cone\":{},\"prunes\":{},\"splits\":{}}}",
+        "{{\"trajectory\":{},\"final\":{},\"max_cone\":{},\"prunes\":{},\"splits\":{},\
+         \"worker_panics\":{}}}",
         json_usize_list(&p.trajectory),
         p.trajectory.last().copied().unwrap_or(1),
         p.max_cone,
         p.prunes,
-        p.splits
+        p.splits,
+        json_usize_list(&p.worker_panics)
     )
 }
 
@@ -506,6 +544,18 @@ fn run_to_json(run: &McRun) -> String {
             d.ganai_cofactors,
             d.sweep.runs,
             partition_json(&d.partitions),
+            solver_json(&d.solver),
+            cnf_json(&d.cnf)
+        );
+    } else if let Some(d) = run.detail::<Ic3Stats>() {
+        detail = format!(
+            ",\"frames\":{},\"obligations\":{},\"clauses\":{},\"pushed\":{},\
+             \"gen_drops\":{},\"solver\":{},\"cnf\":{}",
+            d.frames,
+            d.obligations,
+            d.clauses,
+            d.pushed,
+            d.gen_drops,
             solver_json(&d.solver),
             cnf_json(&d.cnf)
         );

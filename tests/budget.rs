@@ -123,6 +123,61 @@ fn tight_timeouts_cancel_cooperatively_and_promptly() {
 }
 
 #[test]
+fn ic3_returns_cleanly_under_tiny_budgets() {
+    // Per-call budgets on the new engine: every axis must come back as a
+    // clean Bounded (or at worst Unknown) — promptly, with sane stats,
+    // never a hang or a bogus conclusive verdict. The deep gap circuit
+    // needs many frames, so small step budgets genuinely interrupt it.
+    use cbq::mc::{Ic3, Ic3Stats};
+    let net = generators::bounded_counter_gap(4, 6, 12);
+    for budget in [
+        Budget::unlimited().with_steps(0),
+        Budget::unlimited().with_steps(2),
+        Budget::unlimited().with_nodes(1),
+        Budget::unlimited().with_sat_checks(3),
+        Budget::unlimited().with_timeout(Duration::ZERO),
+    ] {
+        let start = Instant::now();
+        let run = Ic3::default().check(&net, &budget);
+        assert!(
+            run.verdict.is_bounded() || matches!(run.verdict, Verdict::Unknown { .. }),
+            "budget {budget:?}: expected bounded/unknown, got {}",
+            run.verdict
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "budget {budget:?}: took {:?}",
+            start.elapsed()
+        );
+    }
+    // A short-but-nonzero deadline either interrupts the run (Bounded)
+    // or lets the engine finish correctly — never a wrong conclusion.
+    let run = Ic3::default().check(
+        &net,
+        &Budget::unlimited().with_timeout(Duration::from_millis(1)),
+    );
+    assert!(
+        !run.verdict.is_unsafe(),
+        "bogus cex under a deadline: {}",
+        run.verdict
+    );
+    // A step budget of n permits frames F1..F_{n+1}: the run's frame
+    // count must respect it.
+    let run = Ic3::default().check(&net, &Budget::unlimited().with_steps(2));
+    let detail = run.detail::<Ic3Stats>().expect("ic3 stats");
+    assert!(
+        detail.frames <= 3,
+        "step budget ignored: {} frames",
+        detail.frames
+    );
+    // And a generous budget still settles both polarities.
+    let generous = Budget::unlimited().with_timeout(Duration::from_secs(60));
+    assert!(Ic3::default().check(&net, &generous).verdict.is_safe());
+    let buggy = generators::counter_bug(4, 6);
+    assert!(Ic3::default().check(&buggy, &generous).verdict.is_unsafe());
+}
+
+#[test]
 fn sat_conflict_budget_applies_per_solve_call() {
     // Regression: `set_conflict_budget` is documented as a *per-call*
     // limit. A leaking implementation (budget measured against the

@@ -250,6 +250,90 @@ fn activation_reuse_and_rebuild_lifetimes_match_oracle() {
 }
 
 #[test]
+fn ic3_agrees_with_circuit_engines_on_e6_family() {
+    // The convergence-based prover against the state-set traversals and
+    // BMC on the E6 model families (test-sized instances): identical
+    // safe/unsafe classifications everywhere — IC3 closes the safe
+    // models BMC can never prove — and every IC3 counterexample replays
+    // both through Network::step and on the bit-parallel simulator.
+    // Depths are NOT compared: IC3 traces are genuine but need not be
+    // minimal (EngineSpec::minimal_cex is false).
+    use cbq::mc::{Bmc, ForwardCircuitUmc, Ic3, Ic3Stats};
+    let e6_family = vec![
+        generators::token_ring(5),
+        generators::bounded_counter_gap(4, 6, 12),
+        generators::gray_counter(4),
+        generators::arbiter(4),
+        generators::mutex(),
+        generators::lfsr(5, &[0, 2]),
+        generators::fifo_ctrl(2),
+        generators::token_ring_bug(5),
+        generators::mutex_bug(),
+        generators::shift_ones(4),
+        generators::counter_bug(4, 6),
+    ];
+    let mut safe_proofs = 0;
+    for net in e6_family {
+        let ic3 = Ic3::default().check(&net, &Budget::unlimited());
+        let circuit = CircuitUmc::default().check(&net, &Budget::unlimited());
+        let forward = ForwardCircuitUmc::default().check(&net, &Budget::unlimited());
+        assert_eq!(
+            ic3.verdict.is_safe(),
+            circuit.verdict.is_safe(),
+            "{}: ic3 says {}, circuit says {}",
+            net.name(),
+            ic3.verdict,
+            circuit.verdict
+        );
+        assert_eq!(
+            ic3.verdict.is_safe(),
+            forward.verdict.is_safe(),
+            "{}: ic3 says {}, forward says {}",
+            net.name(),
+            ic3.verdict,
+            forward.verdict
+        );
+        let bmc = Bmc::default().check(&net, &Budget::unlimited());
+        match &ic3.verdict {
+            Verdict::Safe { .. } => {
+                safe_proofs += 1;
+                // BMC alone can never close a safe model.
+                assert!(
+                    !bmc.verdict.is_conclusive(),
+                    "{}: bmc cannot prove safety but says {}",
+                    net.name(),
+                    bmc.verdict
+                );
+            }
+            Verdict::Unsafe { trace } => {
+                assert!(
+                    trace.validates(&net),
+                    "{}: ic3 trace does not replay",
+                    net.name()
+                );
+                assert!(
+                    replays_on_sim(&net, trace),
+                    "{}: ic3 trace rejected by the simulator",
+                    net.name()
+                );
+                assert!(
+                    bmc.verdict.is_unsafe(),
+                    "{}: bmc misses the bug",
+                    net.name()
+                );
+            }
+            other => panic!("{}: ic3 inconclusive: {other}", net.name()),
+        }
+        let detail = ic3.detail::<Ic3Stats>().expect("ic3 stats");
+        assert!(detail.frames >= 1, "{}: no frame opened", net.name());
+    }
+    assert!(
+        safe_proofs >= 3,
+        "the E6 family should contain several safe models (got {safe_proofs})"
+    );
+}
+
+#[test]
 fn naive_quantification_engine_matches_oracle() {
     // Ablation: even with merge and optimisation disabled, the traversal
     // must stay sound and complete.
