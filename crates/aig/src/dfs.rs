@@ -1,6 +1,6 @@
 //! Cone traversal, support computation, statistics and compaction.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::aig::Aig;
 use crate::lit::{Lit, Var};
@@ -125,6 +125,76 @@ impl Aig {
             }
         }
         count
+    }
+
+    /// A structural hash of the cone of `root` — see
+    /// [`Aig::cone_hash_many`].
+    pub fn cone_hash(&self, root: Lit) -> u64 {
+        self.cone_hash_many(&[root])
+    }
+
+    /// A structural hash of the union cone of `roots`, canonical across
+    /// managers: nodes are numbered by first visit of a deterministic
+    /// depth-first traversal (fanin 0 before fanin 1, roots in list
+    /// order), inputs contribute their **ordinal** (which clones, splits,
+    /// and GC compactions preserve), and AND gates contribute their
+    /// fanins' canonical numbers and complement bits. Two root lists hash
+    /// equal iff the traversals see the same shapes — independent of
+    /// variable indices, node creation order, or dead nodes elsewhere in
+    /// the manager. This is the content-addressing primitive for
+    /// structural result caches over the ordinal-stable cone export.
+    pub fn cone_hash_many(&self, roots: &[Lit]) -> u64 {
+        // FNV-1a, 64-bit.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        // Canonical id per variable, assigned in post-order (fanins
+        // numbered before their gate, so ids reference earlier ids only).
+        let mut id_of: HashMap<Var, u64> = HashMap::new();
+        let mut next_id = 0u64;
+        for &root in roots {
+            // Iterative post-order: (var, fanins_expanded).
+            let mut stack: Vec<(Var, bool)> = vec![(root.var(), false)];
+            while let Some((v, expanded)) = stack.pop() {
+                if id_of.contains_key(&v) {
+                    continue;
+                }
+                match self.node(v) {
+                    Node::Const => {
+                        id_of.insert(v, next_id);
+                        mix(0);
+                        next_id += 1;
+                    }
+                    Node::Input { index } => {
+                        id_of.insert(v, next_id);
+                        mix(1);
+                        mix(u64::from(index));
+                        next_id += 1;
+                    }
+                    Node::And { f0, f1 } => {
+                        if expanded {
+                            id_of.insert(v, next_id);
+                            mix(2);
+                            mix(id_of[&f0.var()] * 2 + u64::from(f0.is_complemented()));
+                            mix(id_of[&f1.var()] * 2 + u64::from(f1.is_complemented()));
+                            next_id += 1;
+                        } else {
+                            stack.push((v, true));
+                            stack.push((f1.var(), false));
+                            stack.push((f0.var(), false));
+                        }
+                    }
+                }
+            }
+            mix(3);
+            mix(id_of[&root.var()] * 2 + u64::from(root.is_complemented()));
+        }
+        h
     }
 
     /// Aggregate statistics over the union cone of `roots`.
@@ -316,5 +386,52 @@ mod tests {
         assert_eq!(s.ands, 3);
         assert_eq!(s.inputs, 2);
         assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn cone_hash_is_manager_independent() {
+        // Same structure built in two managers, one of which carries
+        // extra dead nodes that shift every variable index.
+        let mut m1 = Aig::new();
+        let a1 = m1.add_input().lit();
+        let b1 = m1.add_input().lit();
+        let f1 = m1.xor(a1, b1);
+
+        let mut m2 = Aig::new();
+        let a2 = m2.add_input().lit();
+        let b2 = m2.add_input().lit();
+        let _dead = m2.and(a2, b2); // shared with xor but also changes history
+        let c2 = m2.add_input().lit();
+        let _dead2 = m2.and(b2, c2);
+        let f2 = m2.xor(a2, b2);
+
+        assert_eq!(m1.cone_hash(f1), m2.cone_hash(f2));
+        assert_eq!(m1.cone_hash(!f1), m2.cone_hash(!f2));
+    }
+
+    #[test]
+    fn cone_hash_discriminates() {
+        let mut aig = Aig::new();
+        let a = aig.add_input().lit();
+        let b = aig.add_input().lit();
+        let and = aig.and(a, b);
+        let or = !aig.and(!a, !b);
+        let xor = aig.xor(a, b);
+        let hashes = [
+            aig.cone_hash(and),
+            aig.cone_hash(!and),
+            aig.cone_hash(or),
+            aig.cone_hash(xor),
+            aig.cone_hash(a),
+            aig.cone_hash(b), // differs from `a` via input ordinal
+            aig.cone_hash(Lit::TRUE),
+            aig.cone_hash_many(&[and, xor]),
+            aig.cone_hash_many(&[xor, and]), // root order matters
+        ];
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "hash collision {i} vs {j}");
+            }
+        }
     }
 }

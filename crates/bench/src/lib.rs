@@ -890,6 +890,96 @@ pub fn e6pdr_table() -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E6c — the serve cache: whole-run replay and IC3 warm starts
+// ---------------------------------------------------------------------
+
+/// E6c kernel: one `check` request through the service core against a
+/// shared cache. Returns (verdict, tier, obligations if IC3, ms).
+pub fn cache_run(
+    cache: &std::sync::Mutex<cbq_serve::StructuralCache>,
+    net: &Network,
+    id: u64,
+    use_cache: bool,
+) -> (Verdict, cbq_serve::CacheTier, u64, f64) {
+    let request = cbq_serve::CheckRequest {
+        id,
+        model: cbq_ckt::io::write_network(net),
+        engine: "ic3".to_string(),
+        budget: e6_budget(),
+        use_cache,
+    };
+    let start = Instant::now();
+    let outcome = cbq_serve::process_check(&request, cache, &cbq_serve::ServerCaps::default());
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let run = outcome.run.expect("model serializes round-trip");
+    let obls = run
+        .detail::<Ic3Stats>()
+        .map(|d| d.obligations)
+        .unwrap_or_default();
+    (run.verdict.clone(), outcome.tier, obls, elapsed)
+}
+
+/// E6c: the structural cache across the E6 suite. Three requests per
+/// model — cold, identical (tier-1 whole-run replay), and a structurally
+/// perturbed but semantically equal property (`bad ∨ (bad ∧ l₀)`, which
+/// defeats tiers 1/2 and exercises the tier-3 IC3 warm start). The
+/// claims: the replay is orders of magnitude faster than the cold run,
+/// the warm start discharges no more obligations than cold, and all
+/// three verdicts agree (a `!=` marker prints otherwise).
+pub fn e6c_table() -> Table {
+    let mut t = Table::new(
+        "E6c — serve cache: cold vs tier-1 replay vs tier-3 warm start (ic3, E6 suite)",
+        &[
+            "circuit",
+            "verdict",
+            "ms cold",
+            "ms replay",
+            "obls cold",
+            "obls warm",
+            "tier warm",
+            "ms warm",
+        ],
+    );
+    for net in umc_suite() {
+        let cache = std::sync::Mutex::new(cbq_serve::StructuralCache::new());
+        let (v_cold, _, obls_cold, ms_cold) = cache_run(&cache, &net, 1, true);
+        let (v_replay, tier_replay, _, ms_replay) = cache_run(&cache, &net, 2, true);
+
+        let mut variant = net.clone();
+        let perturbed = {
+            let bad = variant.bad();
+            let l0 = variant.latches()[0].var.lit();
+            let aig = variant.aig_mut();
+            let both = aig.and(bad, l0);
+            aig.or(bad, both)
+        };
+        variant.set_bad(perturbed);
+        let (v_warm, tier_warm, obls_warm, ms_warm) = cache_run(&cache, &variant, 3, true);
+
+        let agree = verdict_cell(&v_cold) == verdict_cell(&v_replay)
+            && v_cold.is_safe() == v_warm.is_safe()
+            && v_cold.is_unsafe() == v_warm.is_unsafe()
+            && tier_replay == cbq_serve::CacheTier::WholeRun;
+        let verdict = if agree {
+            verdict_cell(&v_cold)
+        } else {
+            format!("{} != {}", verdict_cell(&v_cold), verdict_cell(&v_warm))
+        };
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            format!("{ms_cold:.1}"),
+            format!("{ms_replay:.3}"),
+            obls_cold.to_string(),
+            obls_warm.to_string(),
+            format!("{}", tier_warm.number()),
+            format!("{ms_warm:.1}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Smoke — one tiny model per engine (the CI fail-fast run)
 // ---------------------------------------------------------------------
 
@@ -1055,6 +1145,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e6p" => Some(e6p_table()),
         "e6a" => Some(e6a_table()),
         "e6pdr" => Some(e6pdr_table()),
+        "e6c" => Some(e6c_table()),
         "e7" => Some(e7_table()),
         "e8" => Some(e8_table()),
         "smoke" => Some(smoke_table()),
@@ -1063,8 +1154,8 @@ pub fn run_experiment(id: &str) -> Option<Table> {
 }
 
 /// All experiment ids in report order (`smoke` is CI-only and excluded).
-pub const EXPERIMENTS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e7", "e8",
+pub const EXPERIMENTS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6c", "e7", "e8",
 ];
 
 #[cfg(test)]

@@ -78,6 +78,14 @@ impl Network {
         self.bad
     }
 
+    /// Replaces the bad-state literal — the way to derive property
+    /// variants of a network (strengthenings, monitor conjunctions)
+    /// whose transition structure is untouched: build the new literal
+    /// into [`Network::aig_mut`], then point the property at it.
+    pub fn set_bad(&mut self, bad: Lit) {
+        self.bad = bad;
+    }
+
     /// Number of latches.
     pub fn num_latches(&self) -> usize {
         self.latches.len()

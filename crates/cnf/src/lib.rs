@@ -146,6 +146,13 @@ pub struct AigCnf {
     act: Option<SatLit>,
     /// Guarded clauses added in the current generation.
     gen_clauses: u64,
+    /// Guards retired via [`AigCnf::retire_guard`] whose variables are
+    /// awaiting reclamation by [`AigCnf::reclaim_guards`].
+    retired_guards: Vec<SatLit>,
+    /// Guards issued by [`AigCnf::new_guard`] and not yet retired. While
+    /// any exist, retirement must keep map variables alive (the guarded
+    /// groups may reference them).
+    live_guards: usize,
 }
 
 impl AigCnf {
@@ -219,12 +226,26 @@ impl AigCnf {
                     // Dead-generation variables must never be branched on
                     // again (their clauses are satisfied, so any value
                     // works — but walking them costs every later solve).
-                    for sl in self.map.iter().flatten() {
-                        self.solver.set_decision(sl.var(), false);
+                    // With live caller-managed guard groups outstanding
+                    // they are *not* recycled — those groups may
+                    // reference them — merely released from branching.
+                    // With none outstanding, every clause naming a map
+                    // variable carries `!act` (Tseitin and learnt alike:
+                    // `act` occurs positively in no clause, so resolution
+                    // preserves the `!act` tag), so after the purge their
+                    // slots can be recycled together with the activator.
+                    if self.live_guards == 0 {
+                        let mut dead: Vec<SatLit> = self.map.iter().flatten().copied().collect();
+                        dead.sort_unstable_by_key(|sl| sl.var().index());
+                        dead.dedup_by_key(|sl| sl.var().index());
+                        self.retired_guards.extend(dead);
+                    } else {
+                        for sl in self.map.iter().flatten() {
+                            self.solver.set_decision(sl.var(), false);
+                        }
                     }
-                    self.solver.set_decision(act.var(), false);
-                    // Reclaim the satisfied clauses (arena compaction).
-                    self.solver.purge_satisfied();
+                    self.retired_guards.push(act);
+                    self.reclaim_guards();
                 }
             }
             CnfLifetime::Rebuild => {
@@ -235,6 +256,9 @@ impl AigCnf {
                 self.retired_solver.absorb(&snap);
                 self.solver = Solver::new();
                 self.act = None;
+                // Guard bookkeeping named the discarded solver's vars.
+                self.retired_guards.clear();
+                self.live_guards = 0;
             }
         }
         self.map.clear();
@@ -424,6 +448,7 @@ impl AigCnf {
     pub fn new_guard(&mut self) -> SatLit {
         let g = self.solver.new_var().pos();
         self.solver.set_decision(g.var(), false);
+        self.live_guards += 1;
         g
     }
 
@@ -440,10 +465,29 @@ impl AigCnf {
     }
 
     /// Permanently retires a guard from [`AigCnf::new_guard`]: its
-    /// clauses become satisfied at level 0 and are reclaimed by the next
-    /// [`cbq_sat::Solver::purge_satisfied`] arena compaction.
+    /// clauses become satisfied at level 0 and are reclaimed — clauses
+    /// *and* the guard variable itself — by the next
+    /// [`AigCnf::reclaim_guards`].
     pub fn retire_guard(&mut self, guard: SatLit) {
         self.solver.add_clause(&[!guard]);
+        self.retired_guards.push(guard);
+        self.live_guards = self.live_guards.saturating_sub(1);
+    }
+
+    /// Reclaims every guard retired since the last call: purges their
+    /// now-satisfied clauses from the arena and recycles the guard
+    /// variables onto the solver's free list, so a workload that churns
+    /// through guarded clause groups (IC3's per-query guards) keeps both
+    /// its clause arena *and* its variable table bounded. Call at a
+    /// natural quiescent point; each call compacts the arena, so batching
+    /// retirements between calls is what makes reclamation cheap.
+    pub fn reclaim_guards(&mut self) {
+        if self.retired_guards.is_empty() || !self.solver.is_ok() {
+            return;
+        }
+        self.solver.purge_satisfied();
+        let dead: Vec<_> = self.retired_guards.drain(..).map(|g| g.var()).collect();
+        self.solver.recycle_vars(&dead);
     }
 
     /// Like [`AigCnf::solve_under`], with raw SAT-literal assumptions
@@ -752,7 +796,9 @@ mod tests {
         assert!(cnf.stats().clauses_retired > 0);
         let s = cnf.solver().stats();
         assert!(s.purged > 0, "no satisfied clause was purged: {s:?}");
-        assert!(s.released_vars > 0, "dead variables still branchable");
+        // With no caller-managed guards outstanding the dead generation's
+        // variables are recycled outright (not merely released).
+        assert!(s.recycled_vars > 0, "dead variables were not reclaimed");
         assert_eq!(s.conflicts, conflicts_before, "retirement must not search");
 
         // The same checks on a fresh manager re-encode and still prove.
@@ -882,5 +928,75 @@ mod tests {
         let r = cnf.prove_equiv(&aig, parity, !parity_rev, Some(1));
         // Either it finds a cex within one conflict or gives up; never Equiv.
         assert!(matches!(r, EquivResult::Unknown | EquivResult::NotEquiv(_)));
+    }
+
+    #[test]
+    fn guard_churn_keeps_var_count_bounded() {
+        // The IC3 workload shape: allocate a guard, add guarded clauses,
+        // query, retire, repeat. With reclamation the solver's variable
+        // table must stay flat instead of growing one var per cycle.
+        let (mut aig, ins) = setup();
+        let f = aig.and(ins[0], ins[1]);
+        let mut cnf = AigCnf::new();
+        let fs = cnf.ensure(&aig, f);
+        let baseline = {
+            // One warm-up cycle so lazily created vars are on the books.
+            let g = cnf.new_guard();
+            cnf.add_guarded_by(g, &[!fs]);
+            cnf.retire_guard(g);
+            cnf.reclaim_guards();
+            cnf.solver().num_vars()
+        };
+        for round in 0..1000 {
+            let g = cnf.new_guard();
+            cnf.add_guarded_by(g, &[!fs]);
+            assert_eq!(
+                cnf.solve_under_assuming(&aig, &[f], &[g]),
+                SatResult::Unsat,
+                "round {round}"
+            );
+            assert_eq!(cnf.solve_under_assuming(&aig, &[f], &[]), SatResult::Sat);
+            cnf.retire_guard(g);
+            if round % 64 == 63 {
+                cnf.reclaim_guards();
+            }
+        }
+        cnf.reclaim_guards();
+        // The table may carry up to one reclamation batch of slack (slots
+        // are reused, never shrunk) but must not scale with cycle count.
+        assert!(
+            cnf.solver().num_vars() <= baseline + 64,
+            "guard churn grew the variable table: {} vs baseline {}",
+            cnf.solver().num_vars(),
+            baseline
+        );
+        assert!(cnf.solver_stats().recycled_vars >= 1000);
+        // Queries still behave after heavy recycling.
+        assert_eq!(cnf.solve_under(&aig, &[f]), SatResult::Sat);
+        assert_eq!(cnf.solve_under(&aig, &[f, !ins[0]]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn cone_retire_readd_cycles_keep_var_count_bounded() {
+        // Full cone retire/re-encode cycles with no live caller guards:
+        // map variables and the activator are all reclaimed, so repeated
+        // generations reuse the same slots.
+        let (mut aig, ins) = setup();
+        let f = aig.and(ins[0], ins[1]);
+        let g = aig.xor(ins[2], ins[3]);
+        let mut cnf = AigCnf::new();
+        let mut high_water = 0;
+        for round in 0..100 {
+            assert_eq!(cnf.solve_under(&aig, &[f, g]), SatResult::Sat, "{round}");
+            assert_eq!(cnf.solve_under(&aig, &[f, !ins[1]]), SatResult::Unsat);
+            let n = cnf.solver().num_vars();
+            if round == 0 {
+                high_water = n;
+            } else {
+                assert_eq!(n, high_water, "round {round}: var table grew");
+            }
+            cnf.retire_cones();
+        }
+        assert!(cnf.solver_stats().recycled_vars > 0);
     }
 }

@@ -56,6 +56,19 @@ pub struct Ic3 {
     /// `down`-less MIC step). Off = core shrinking only, kept as the
     /// `e6pdr` ablation baseline.
     pub drop_literals: bool,
+    /// In-frame clause subsumption: recording a blocked cube drops every
+    /// recorded cube it subsumes (fewer literals at an equal-or-higher
+    /// frame), so the propagation phase never re-pushes clauses a
+    /// stronger lemma already implies.
+    pub subsume: bool,
+    /// Warm-start lemmas: candidate blocked cubes (as `(latch ordinal,
+    /// value)` pairs) from a previous run on the same transition
+    /// structure, e.g. the [`Ic3Stats::lemmas`] of a cached run. Each is
+    /// re-validated by a relative-induction query at frame 0 before
+    /// being admitted into `F₁` — an unsound candidate is simply
+    /// rejected — so seeding can never change a verdict, only skip
+    /// obligations.
+    pub seed: Vec<Vec<(usize, bool)>>,
 }
 
 impl Default for Ic3 {
@@ -63,6 +76,8 @@ impl Default for Ic3 {
         Ic3 {
             max_frames: 10_000,
             drop_literals: true,
+            subsume: true,
+            seed: Vec::new(),
         }
     }
 }
@@ -81,6 +96,17 @@ pub struct Ic3Stats {
     /// Cube literals dropped by generalization (unsat core + literal
     /// dropping), total.
     pub gen_drops: u64,
+    /// Recorded cubes dropped because a newly blocked cube subsumed them.
+    pub subsumed: u64,
+    /// Warm-start lemmas admitted into `F₁` after re-validation.
+    pub seeded: u64,
+    /// Warm-start lemmas rejected (malformed or no longer inductive
+    /// relative to this model's initial states / transition structure).
+    pub seed_rejected: u64,
+    /// The run's surviving frame clauses as cubes (every recorded cube
+    /// at frames `≥ 1`) — inductive lemmas of the transition structure,
+    /// replayable as [`Ic3::seed`] on a structurally matching model.
+    pub lemmas: Vec<Vec<(usize, bool)>>,
     /// SAT-bridge counters (encodings, checks).
     pub cnf: AigCnfStats,
     /// Solver-core counters (conflicts, restarts, arena bytes, …).
@@ -118,6 +144,28 @@ enum Rel {
     Blocked(Vec<bool>),
     /// The solver gave up (defensive; IC3 sets no conflict budget).
     Unknown,
+}
+
+/// Whether `small` subsumes `big`: every literal of `small` occurs in
+/// `big` (both ordinal-sorted), so the clause `¬small` implies `¬big`.
+fn cube_subsumes(small: &[(usize, bool)], big: &[(usize, bool)]) -> bool {
+    if small.len() > big.len() {
+        return false;
+    }
+    let mut big_iter = big.iter();
+    'literals: for &lit in small {
+        for &cand in big_iter.by_ref() {
+            if cand == lit {
+                continue 'literals;
+            }
+            if cand.0 >= lit.0 {
+                // Passed the ordinal (or found it with the other value).
+                return false;
+            }
+        }
+        return false;
+    }
+    true
 }
 
 /// What the obligation queue produced.
@@ -168,6 +216,15 @@ impl Engine for Ic3 {
         let verdict = run.solve(&meter);
         run.stats.cnf = run.cnf.stats();
         run.stats.solver = run.cnf.solver_stats();
+        // Export the surviving frame clauses: sound warm-start candidates
+        // for any later run on the same transition structure (each is
+        // re-validated on import, so this is safe for every verdict).
+        run.stats.lemmas = run
+            .frames
+            .iter()
+            .skip(1)
+            .flat_map(|f| f.cubes.iter().cloned())
+            .collect();
         let peak = run.aig.num_nodes();
         finish(verdict, run.stats, peak, &meter)
     }
@@ -272,14 +329,13 @@ impl<'a> Ic3Run<'a> {
     /// each `c(δ)` conjunct is its own assumption so an UNSAT core names
     /// the cube literals that matter.
     ///
-    /// Guard variables are append-only: retirement reclaims the guarded
-    /// clause (arena purge) but the solver never frees variable slots,
-    /// so a run grows one released, never-branched variable per query —
-    /// a few machine words each. A reusable-guard pool is unsound here
-    /// (re-arming a retired guard would resurrect the previous query's
-    /// `¬c` clause), so true reclamation needs solver-side variable
-    /// recycling — on the ROADMAP, not worth the complexity at current
-    /// query volumes (thousands per run).
+    /// A reusable-guard pool would be unsound here (re-arming a retired
+    /// guard would resurrect the previous query's `¬c` clause), so
+    /// retired guards go through the solver's variable recycling instead:
+    /// every 512 retirements [`cbq_cnf::AigCnf::reclaim_guards`] purges
+    /// the dead guarded clauses *and* returns the guard variables to the
+    /// free list, keeping both the arena and the variable table bounded
+    /// across the thousands of queries a run issues.
     fn rel_query(&mut self, cube: &[(usize, bool)], lvl: usize) -> Rel {
         let actq = self.cnf.new_guard();
         let neg_cube: Vec<SatLit> = cube
@@ -317,8 +373,8 @@ impl<'a> Ic3Run<'a> {
         self.cnf.retire_guard(actq);
         self.retired_queries += 1;
         if self.retired_queries.is_multiple_of(512) {
-            // Reclaim the retired per-query clauses from the arena.
-            self.cnf.solver_mut().purge_satisfied();
+            // Reclaim the retired per-query clauses and guard variables.
+            self.cnf.reclaim_guards();
         }
         out
     }
@@ -365,8 +421,27 @@ impl<'a> Ic3Run<'a> {
 
     /// Records `cube` as blocked at frame `lvl`: one guarded clause `¬c`
     /// under the frame's activation literal, plus the delta-encoding
-    /// bookkeeping entry.
+    /// bookkeeping entry. With [`Ic3::subsume`] on, every recorded cube
+    /// the new one subsumes (a superset cube at an equal-or-lower level —
+    /// its clause is implied by the new, stronger clause) is dropped from
+    /// the bookkeeping first, so propagation never re-pushes it. The
+    /// subsumed solver clauses stay behind their frame guards (redundant
+    /// but sound); only the delta-encoding entries shrink, which keeps
+    /// the frame-emptiness fixpoint test exact: dropping an implied
+    /// clause changes no frame's semantics.
     fn add_blocked(&mut self, cube: Cube, lvl: usize) {
+        if self.cfg.subsume {
+            let stats = &mut self.stats;
+            for j in 1..=lvl {
+                self.frames[j].cubes.retain(|old| {
+                    let dead = cube_subsumes(&cube, old);
+                    if dead {
+                        stats.subsumed += 1;
+                    }
+                    !dead
+                });
+            }
+        }
         let clause: Vec<SatLit> = cube
             .iter()
             .map(|&(ord, val)| !self.cnf.ensure(&self.aig, self.latch_lit(ord, val)))
@@ -514,6 +589,36 @@ impl<'a> Ic3Run<'a> {
                 }
             }
             SatResult::Unsat => {}
+        }
+        // Warm start: replay candidate lemmas from a prior run on this
+        // transition structure. Each candidate is independently
+        // re-validated — well-formed, excludes the initial state, and
+        // inductive relative to F₀ (`rel_query` at level 0) — before its
+        // clause enters F₁, so a stale or even adversarial seed degrades
+        // to wasted queries, never to a wrong verdict.
+        if !self.cfg.seed.is_empty() {
+            for cand in self.cfg.seed.clone() {
+                if let Some(bounded) = self.budget_verdict(meter) {
+                    return bounded;
+                }
+                let mut cube = cand;
+                cube.sort_unstable_by_key(|&(ord, _)| ord);
+                cube.dedup();
+                let well_formed = !cube.is_empty()
+                    && cube.windows(2).all(|w| w[0].0 != w[1].0)
+                    && cube.iter().all(|&(ord, _)| ord < self.latches.len());
+                if !well_formed || !self.excludes_init(&cube) {
+                    self.stats.seed_rejected += 1;
+                    continue;
+                }
+                match self.rel_query(&cube, 0) {
+                    Rel::Blocked(_) => {
+                        self.add_blocked(cube, 1);
+                        self.stats.seeded += 1;
+                    }
+                    _ => self.stats.seed_rejected += 1,
+                }
+            }
         }
         loop {
             // Blocking phase: clear every bad state out of F_k.
@@ -673,11 +778,98 @@ mod tests {
     }
 
     #[test]
+    fn cube_subsumption_order() {
+        let small = vec![(1, true), (3, false)];
+        let big = vec![(0, true), (1, true), (3, false), (5, true)];
+        assert!(cube_subsumes(&small, &big));
+        assert!(cube_subsumes(&small, &small));
+        assert!(!cube_subsumes(&big, &small));
+        assert!(!cube_subsumes(&[(1, false)], &big), "value must match");
+        assert!(!cube_subsumes(&[(7, true)], &big), "ordinal past the end");
+    }
+
+    #[test]
+    fn subsumption_shrinks_frames_with_identical_verdicts() {
+        // E6 gap model: deep safe convergence generates enough clauses
+        // for stronger lemmas to subsume earlier, weaker ones. The
+        // ablation must agree on the verdict and iteration count while
+        // the subsuming run keeps strictly fewer recorded cubes.
+        let net = generators::bounded_counter_gap(4, 6, 12);
+        let on = Ic3::default().check(&net, &Budget::unlimited());
+        let off = Ic3 {
+            subsume: false,
+            ..Ic3::default()
+        }
+        .check(&net, &Budget::unlimited());
+        assert!(on.verdict.is_safe(), "got {}", on.verdict);
+        assert_eq!(on.verdict, off.verdict);
+        let s_on = on.detail::<Ic3Stats>().expect("stats");
+        let s_off = off.detail::<Ic3Stats>().expect("stats");
+        assert!(s_on.subsumed > 0, "nothing was subsumed");
+        assert_eq!(s_off.subsumed, 0, "ablation must not subsume");
+        assert!(
+            s_on.lemmas.len() < s_off.lemmas.len(),
+            "frames did not shrink: {} vs {}",
+            s_on.lemmas.len(),
+            s_off.lemmas.len()
+        );
+    }
+
+    #[test]
+    fn warm_start_seed_skips_obligations() {
+        // Harvest a cold run's lemmas, then re-run seeded: the verdict
+        // and fixpoint frame must match, with fewer obligations.
+        let net = generators::bounded_counter_gap(4, 6, 12);
+        let cold = Ic3::default().check(&net, &Budget::unlimited());
+        let lemmas = cold.detail::<Ic3Stats>().expect("stats").lemmas.clone();
+        assert!(!lemmas.is_empty());
+        let warm = Ic3 {
+            seed: lemmas,
+            ..Ic3::default()
+        }
+        .check(&net, &Budget::unlimited());
+        assert_eq!(cold.verdict, warm.verdict);
+        let s_cold = cold.detail::<Ic3Stats>().expect("stats");
+        let s_warm = warm.detail::<Ic3Stats>().expect("stats");
+        assert!(s_warm.seeded > 0, "no lemma was admitted");
+        assert!(
+            s_warm.obligations < s_cold.obligations,
+            "warm start did not skip obligations: {} vs {}",
+            s_warm.obligations,
+            s_cold.obligations
+        );
+    }
+
+    #[test]
+    fn garbage_seed_is_rejected_not_believed() {
+        // Malformed and non-inductive candidates must be filtered out
+        // without changing the verdict — on safe and unsafe models.
+        let junk: Vec<Vec<(usize, bool)>> = vec![
+            vec![],                       // empty
+            vec![(0, true), (0, false)],  // contradictory ordinal
+            vec![(99, true)],             // out of range
+            vec![(0, false), (1, false)], // may agree with reset
+            vec![(0, true), (99, false)], // partially out of range
+        ];
+        for net in [generators::token_ring(5), generators::token_ring_bug(5)] {
+            let plain = Ic3::default().check(&net, &Budget::unlimited());
+            let seeded = Ic3 {
+                seed: junk.clone(),
+                ..Ic3::default()
+            }
+            .check(&net, &Budget::unlimited());
+            assert_eq!(plain.verdict.is_safe(), seeded.verdict.is_safe());
+            let s = seeded.detail::<Ic3Stats>().expect("stats");
+            assert!(s.seed_rejected > 0, "junk seeds were not rejected");
+        }
+    }
+
+    #[test]
     fn frame_bound_yields_unknown() {
         let net = generators::bounded_counter_gap(4, 6, 12);
         let run = Ic3 {
             max_frames: 1,
-            drop_literals: true,
+            ..Ic3::default()
         }
         .check(&net, &Budget::unlimited());
         assert!(

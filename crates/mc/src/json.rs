@@ -1,0 +1,212 @@
+//! Hand-rolled JSON rendering of [`McRun`] records and engine detail
+//! statistics — the single wire format shared by `cbq check --json`,
+//! `cbq sat --json`, and the `cbq serve` result stream (the bench
+//! tooling's machine interface). No serialization dependency exists in
+//! the workspace; these emitters are the counterpart of the service
+//! crate's small recursive-descent parser.
+
+use cbq_cnf::AigCnfStats;
+use cbq_sat::SolverStats;
+
+use crate::circuit_umc::CircuitUmcStats;
+use crate::forward_umc::ForwardCircuitUmcStats;
+use crate::ic3::Ic3Stats;
+use crate::stateset::PartitionStats;
+use crate::verdict::{McRun, Verdict};
+
+/// Minimal JSON string escaping (engine names, human-readable reasons,
+/// and serialized models; the full control-character range is escaped).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A `usize` slice as a JSON array.
+pub fn json_usize_list(xs: &[usize]) -> String {
+    let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// A `u64` slice as a JSON array.
+pub fn json_u64_list(xs: &[u64]) -> String {
+    let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// The partitioned-traversal counters as a JSON object.
+pub fn partition_json(p: &PartitionStats) -> String {
+    format!(
+        "{{\"trajectory\":{},\"final\":{},\"max_cone\":{},\"prunes\":{},\"splits\":{},\
+         \"worker_panics\":{}}}",
+        json_usize_list(&p.trajectory),
+        p.trajectory.last().copied().unwrap_or(1),
+        p.max_cone,
+        p.prunes,
+        p.splits,
+        json_usize_list(&p.worker_panics)
+    )
+}
+
+/// The solver-core counters as a JSON object (shared by `cbq sat --json`
+/// and the `check --json` engine detail).
+pub fn solver_json(s: &SolverStats) -> String {
+    format!(
+        "{{\"solves\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
+         \"restarts\":{},\"learnts\":{},\"deleted\":{},\"reduces\":{},\
+         \"recycled_vars\":{},\"arena_bytes\":{},\"lbd_hist\":{}}}",
+        s.solves,
+        s.decisions,
+        s.propagations,
+        s.conflicts,
+        s.restarts,
+        s.learnts,
+        s.deleted,
+        s.reduces,
+        s.recycled_vars,
+        s.arena_bytes(),
+        json_u64_list(&s.lbd_hist)
+    )
+}
+
+/// The SAT-bridge counters as a JSON object (`check --json` detail).
+pub fn cnf_json(s: &AigCnfStats) -> String {
+    format!(
+        "{{\"encoded_ands\":{},\"checks\":{},\"migrations\":{},\"retirements\":{},\
+         \"clauses_retired\":{},\"learnts_retained\":{}}}",
+        s.encoded_ands,
+        s.checks,
+        s.migrations,
+        s.retirements,
+        s.clauses_retired,
+        s.learnts_retained
+    )
+}
+
+/// The fields of [`run_to_json`] *without* the enclosing braces, so
+/// callers (the serve result stream) can append fields of their own —
+/// cache tier, queue timing — to the same flat object.
+pub fn run_to_json_fields(run: &McRun) -> String {
+    let verdict = match &run.verdict {
+        Verdict::Safe { iterations } => {
+            format!("\"verdict\":\"safe\",\"proved_at\":{iterations}")
+        }
+        Verdict::Unsafe { trace } => {
+            format!("\"verdict\":\"unsafe\",\"cex_depth\":{}", trace.len() - 1)
+        }
+        Verdict::Bounded { resource, limit } => format!(
+            "\"verdict\":\"bounded\",\"resource\":{},\"limit\":{limit}",
+            json_str(&resource.to_string())
+        ),
+        Verdict::Unknown { reason } => {
+            format!("\"verdict\":\"unknown\",\"reason\":{}", json_str(reason))
+        }
+    };
+    let job = if run.job != 0 {
+        format!("\"job\":{},", run.job)
+    } else {
+        String::new()
+    };
+    let mut detail = String::new();
+    if let Some(d) = run.detail::<CircuitUmcStats>() {
+        detail = format!(
+            ",\"frontier_sizes\":{},\"reached_size\":{},\"quant_aborts\":{},\
+             \"ganai_cofactors\":{},\"sweep_runs\":{},\"partitions\":{},\
+             \"solver\":{},\"cnf\":{}",
+            json_usize_list(&d.frontier_sizes),
+            d.reached_size,
+            d.quant_aborts,
+            d.ganai_cofactors,
+            d.sweep.runs,
+            partition_json(&d.partitions),
+            solver_json(&d.solver),
+            cnf_json(&d.cnf)
+        );
+    } else if let Some(d) = run.detail::<ForwardCircuitUmcStats>() {
+        detail = format!(
+            ",\"frontier_sizes\":{},\"quant_aborts\":{},\"ganai_cofactors\":{},\
+             \"sweep_runs\":{},\"partitions\":{},\"solver\":{},\"cnf\":{}",
+            json_usize_list(&d.frontier_sizes),
+            d.quant_aborts,
+            d.ganai_cofactors,
+            d.sweep.runs,
+            partition_json(&d.partitions),
+            solver_json(&d.solver),
+            cnf_json(&d.cnf)
+        );
+    } else if let Some(d) = run.detail::<Ic3Stats>() {
+        detail = format!(
+            ",\"frames\":{},\"obligations\":{},\"clauses\":{},\"pushed\":{},\
+             \"gen_drops\":{},\"subsumed\":{},\"seeded\":{},\"seed_rejected\":{},\
+             \"lemma_count\":{},\"solver\":{},\"cnf\":{}",
+            d.frames,
+            d.obligations,
+            d.clauses,
+            d.pushed,
+            d.gen_drops,
+            d.subsumed,
+            d.seeded,
+            d.seed_rejected,
+            d.lemmas.len(),
+            solver_json(&d.solver),
+            cnf_json(&d.cnf)
+        );
+    }
+    format!(
+        "{job}{verdict},\"engine\":{},\"iterations\":{},\"peak_nodes\":{},\
+         \"sat_checks\":{},\"elapsed_ms\":{:.3}{detail}",
+        json_str(run.stats.engine),
+        run.stats.iterations,
+        run.stats.peak_nodes,
+        run.stats.sat_checks,
+        run.stats.elapsed.as_secs_f64() * 1e3
+    )
+}
+
+/// The `McRun` common stats record — plus the engine-specific detail
+/// when the type is known — as one flat JSON object.
+pub fn run_to_json(run: &McRun) -> String {
+    format!("{{{}}}", run_to_json_fields(run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Budget, Engine};
+    use crate::ic3::Ic3;
+    use cbq_ckt::generators;
+
+    #[test]
+    fn escapes_and_shapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_usize_list(&[1, 2]), "[1,2]");
+        assert_eq!(json_u64_list(&[]), "[]");
+    }
+
+    #[test]
+    fn run_json_carries_job_and_detail() {
+        let run = Ic3::default()
+            .check(&generators::token_ring(4), &Budget::unlimited())
+            .with_job(42);
+        let json = run_to_json(&run);
+        assert!(json.starts_with("{\"job\":42,"), "got {json}");
+        assert!(json.contains("\"verdict\":\"safe\""));
+        assert!(json.contains("\"engine\":\"ic3\""));
+        assert!(json.contains("\"subsumed\":"));
+        assert!(json.contains("\"recycled_vars\":"));
+        assert!(json.ends_with('}'));
+        // Field form drops the braces but keeps the content.
+        assert_eq!(format!("{{{}}}", run_to_json_fields(&run)), json);
+    }
+}

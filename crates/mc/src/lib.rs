@@ -95,6 +95,7 @@ mod verdict;
 
 pub mod explicit;
 pub mod ganai;
+pub mod json;
 pub mod preimage;
 pub mod stateset;
 pub mod sweep;

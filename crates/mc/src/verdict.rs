@@ -147,6 +147,10 @@ pub struct McRun {
     pub verdict: Verdict,
     /// The common statistics record.
     pub stats: McStats,
+    /// Caller-assigned job identifier (0 outside a job context). Set by
+    /// schedulers — e.g. `cbq serve` — so streamed run records stay
+    /// attributable to the request that produced them.
+    pub job: u64,
     /// Engine-specific statistics, downcastable via [`McRun::detail`].
     detail: Option<Arc<dyn Any + Send + Sync>>,
 }
@@ -157,6 +161,7 @@ impl McRun {
         McRun {
             verdict,
             stats,
+            job: 0,
             detail: None,
         }
     }
@@ -164,6 +169,12 @@ impl McRun {
     /// Attaches an engine-specific statistics record.
     pub fn with_detail<T: Any + Send + Sync>(mut self, detail: T) -> McRun {
         self.detail = Some(Arc::new(detail));
+        self
+    }
+
+    /// Tags the run with a caller-assigned job identifier.
+    pub fn with_job(mut self, job: u64) -> McRun {
+        self.job = job;
         self
     }
 

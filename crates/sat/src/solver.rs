@@ -57,6 +57,9 @@ pub struct SolverStats {
     pub purged: u64,
     /// Variables released from branching ([`Solver::set_decision`]).
     pub released_vars: u64,
+    /// Variables returned to the free list ([`Solver::recycle_vars`]) for
+    /// reuse by later [`Solver::new_var`] calls.
+    pub recycled_vars: u64,
     /// Current clause-arena size in `u32` words (headers + literals).
     pub arena_words: u64,
     /// Learn-time LBD histogram: bucket `i` counts clauses learnt with
@@ -84,6 +87,7 @@ impl SolverStats {
         self.reduces += other.reduces;
         self.purged += other.purged;
         self.released_vars += other.released_vars;
+        self.recycled_vars += other.recycled_vars;
         self.arena_words += other.arena_words;
         for (slot, n) in self.lbd_hist.iter_mut().zip(other.lbd_hist.iter()) {
             *slot += n;
@@ -120,6 +124,7 @@ pub struct Solver {
     activity: Vec<f64>,
     heap: Vec<u32>,
     heap_pos: Vec<i32>,
+    free: Vec<u32>,
     var_inc: f64,
     trail: Vec<SatLit>,
     trail_lim: Vec<usize>,
@@ -161,6 +166,7 @@ impl Solver {
             activity: Vec::new(),
             heap: Vec::new(),
             heap_pos: Vec::new(),
+            free: Vec::new(),
             var_inc: 1.0,
             trail: Vec::new(),
             trail_lim: Vec::new(),
@@ -178,8 +184,15 @@ impl Solver {
         }
     }
 
-    /// Adds a fresh variable.
+    /// Adds a fresh variable, reusing a recycled slot when one is
+    /// available (see [`Solver::recycle_vars`]).
     pub fn new_var(&mut self) -> SatVar {
+        if let Some(i) = self.free.pop() {
+            let v = SatVar::from_index(i as usize);
+            self.decision[i as usize] = true;
+            self.heap_insert(i);
+            return v;
+        }
         let v = SatVar::from_index(self.assigns.len());
         self.assigns.push(Lbool::Undef);
         self.phase.push(false);
@@ -593,6 +606,59 @@ impl Solver {
         // `pick_branch_var`.
     }
 
+    /// Returns retired variables to a free list so later
+    /// [`Solver::new_var`] calls reuse their slots instead of growing
+    /// every per-variable array — the reclamation counterpart to
+    /// [`Solver::purge_satisfied`] for activation/guard variables, whose
+    /// footprint is otherwise append-only across cone generations.
+    ///
+    /// The caller must guarantee that **no live clause references any
+    /// recycled variable**. A retired guard generation satisfies this
+    /// after a purge: the guard appears positively in no clause, so every
+    /// clause mentioning it contains its negation, is satisfied once the
+    /// unit `!g` is asserted, and is removed by the purge. Any level-0
+    /// assignment of a recycled variable is scrubbed from the trail and
+    /// all its per-variable state reset to fresh-variable defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-search, or if a recycled variable still has
+    /// watched clauses (the caller guarantee was violated).
+    pub fn recycle_vars(&mut self, vars: &[SatVar]) {
+        assert_eq!(self.decision_level(), 0, "recycle only at level 0");
+        if vars.is_empty() {
+            return;
+        }
+        let mut mark = vec![false; self.num_vars()];
+        for &v in vars {
+            let i = v.index();
+            assert!(
+                self.watches[2 * i].is_empty() && self.watches[2 * i + 1].is_empty(),
+                "recycled variable {i} still has watched clauses"
+            );
+            debug_assert!(
+                !mark[i] && !self.free.contains(&(i as u32)),
+                "double recycle"
+            );
+            mark[i] = true;
+            self.assigns[i] = Lbool::Undef;
+            self.phase[i] = false;
+            self.target_phase[i] = false;
+            self.reason[i] = None;
+            self.level[i] = 0;
+            self.activity[i] = 0.0;
+            self.seen[i] = false;
+            // Keep the slot out of branching until it is re-issued.
+            self.decision[i] = false;
+            self.heap_remove(i as u32);
+            self.free.push(i as u32);
+            self.stats.recycled_vars += 1;
+        }
+        // Scrub the recycled variables' level-0 assignments.
+        self.trail.retain(|l| !mark[l.var().index()]);
+        self.qhead = self.trail.len();
+    }
+
     /// Deletes every clause satisfied at level 0 (problem and learnt) and
     /// compacts the arena — the memory-reclamation half of retiring a
     /// cone generation: once its activation literal is asserted false,
@@ -962,6 +1028,24 @@ impl Solver {
         Some(top)
     }
 
+    /// Removes `v` from the heap if present (swap with the tail, then
+    /// restore the heap property in both directions).
+    fn heap_remove(&mut self, v: u32) {
+        let pos = self.heap_pos[v as usize];
+        if pos < 0 {
+            return;
+        }
+        let pos = pos as usize;
+        self.heap_pos[v as usize] = -1;
+        let last = self.heap.pop().expect("non-empty: v is in the heap");
+        if pos < self.heap.len() {
+            self.heap[pos] = last;
+            self.heap_pos[last as usize] = pos as i32;
+            self.heap_down(pos);
+            self.heap_up(self.heap_pos[last as usize] as usize);
+        }
+    }
+
     fn heap_up(&mut self, mut i: usize) {
         let v = self.heap[i];
         while i > 0 {
@@ -1260,6 +1344,78 @@ mod tests {
         assert_eq!(a.arena_words, 15);
         assert_eq!(a.lbd_hist[0], 3);
         assert_eq!(a.lbd_hist[7], 6);
+    }
+
+    #[test]
+    fn recycled_vars_are_reused_and_sound() {
+        // Guard-style lifecycle: a guard g protects clauses (each contains
+        // !g), is asserted false, its clauses purged, and its slot
+        // recycled. The reissued variable must behave like a fresh one.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        let before = s.num_vars();
+        for round in 0..50 {
+            let g = s.new_var();
+            // Guarded constraint: g -> (v0 xor v1).
+            s.add_clause(&[g.neg(), v[0].pos(), v[1].pos()]);
+            s.add_clause(&[g.neg(), v[0].neg(), v[1].neg()]);
+            assert_eq!(s.solve_with(&[g.pos()]), SatResult::Sat);
+            assert_ne!(s.value(v[0]), s.value(v[1]), "round {round}");
+            s.add_clause(&[g.neg()]); // retire the generation
+            s.purge_satisfied();
+            s.recycle_vars(&[g]);
+            s.check_watches_dbg("recycle round");
+        }
+        assert_eq!(s.num_vars(), before + 1, "var table must not grow");
+        assert_eq!(s.stats().recycled_vars, 50);
+        // The recycled slot is unconstrained again: both phases solvable.
+        let g = s.new_var();
+        assert_eq!(s.solve_with(&[g.pos()]), SatResult::Sat);
+        assert_eq!(s.solve_with(&[g.neg()]), SatResult::Sat);
+    }
+
+    #[test]
+    fn recycle_scrubs_level0_assignment() {
+        // A retired guard's unit assignment must not leak into the slot's
+        // next life: assert !g, purge, recycle, then constrain the reissued
+        // variable to TRUE — satisfiable only if the trail was scrubbed.
+        let mut s = Solver::new();
+        let keep = vars(&mut s, 1);
+        s.add_clause(&[keep[0].pos()]);
+        let g = s.new_var();
+        s.add_clause(&[g.neg(), keep[0].pos()]);
+        s.add_clause(&[g.neg()]);
+        s.purge_satisfied();
+        s.recycle_vars(&[g]);
+        let g2 = s.new_var();
+        assert_eq!(g2, g, "slot must be reused");
+        assert!(s.add_clause(&[g2.pos()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(g2), Some(true));
+        assert_eq!(s.value(keep[0]), Some(true));
+    }
+
+    #[test]
+    fn recycle_interleaves_with_hard_instances() {
+        // Recycling in the middle of real search state (learnt clauses,
+        // bumped activities) must not corrupt the heap or verdicts.
+        let mut s = Solver::new();
+        let holes = pigeonhole(&mut s, 5, 4);
+        let g = s.new_var();
+        s.add_clause(&[g.neg(), holes[0][0].pos()]);
+        assert_eq!(s.solve(), SatResult::Unsat); // PHP(5,4) is UNSAT
+        assert!(!s.is_ok());
+        // Database is globally unsat; recycling is still well-defined.
+        let mut s = Solver::new();
+        let holes = pigeonhole(&mut s, 4, 4); // satisfiable
+        let g = s.new_var();
+        s.add_clause(&[g.neg(), holes[0][0].neg()]);
+        assert_eq!(s.solve_with(&[g.pos()]), SatResult::Sat);
+        s.add_clause(&[g.neg()]);
+        s.purge_satisfied();
+        s.recycle_vars(&[g]);
+        s.check_watches_dbg("after hard recycle");
+        assert_eq!(s.solve(), SatResult::Sat);
     }
 }
 

@@ -1,0 +1,392 @@
+//! Request parsing and the socket-free job-processing core.
+//!
+//! [`process_check`] is the whole service pipeline minus the transport:
+//! parse the model, consult the [`StructuralCache`], run (cold or
+//! warm-started), record, and render the result line. The TCP layer in
+//! [`crate::server`] is a thin shell around it, and the differential
+//! test-suite drives it directly so cache correctness is checked without
+//! sockets in the loop.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use cbq_ckt::io::read_network;
+use cbq_mc::json::run_to_json_fields;
+use cbq_mc::{by_name, engine_names, Budget, Engine, Ic3, McRun};
+
+use crate::cache::{CacheTier, ModelKey, StructuralCache};
+use crate::json::Json;
+
+/// Server-side resource ceilings. Every job budget is clamped against
+/// these, so a request can tighten but never widen what the operator
+/// allows — the cooperative-cancellation point for runaway jobs.
+#[derive(Clone, Debug, Default)]
+pub struct ServerCaps {
+    /// Iteration/depth ceiling.
+    pub max_steps: Option<usize>,
+    /// Representation-node ceiling.
+    pub max_nodes: Option<usize>,
+    /// SAT-check ceiling.
+    pub max_sat_checks: Option<u64>,
+    /// Wall-clock ceiling per job.
+    pub timeout: Option<Duration>,
+}
+
+fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+impl ServerCaps {
+    /// The effective budget for a request: field-wise minimum of what
+    /// the request asked for and what the server permits.
+    pub fn clamp(&self, requested: &Budget) -> Budget {
+        Budget {
+            max_steps: tighter(requested.max_steps, self.max_steps),
+            max_nodes: tighter(requested.max_nodes, self.max_nodes),
+            max_sat_checks: tighter(requested.max_sat_checks, self.max_sat_checks),
+            timeout: tighter(requested.timeout, self.timeout),
+        }
+    }
+}
+
+/// A parsed `check` request, transport-independent.
+#[derive(Clone, Debug)]
+pub struct CheckRequest {
+    /// Job identifier (client-chosen `id`, or server-assigned).
+    pub id: u64,
+    /// The model as sequential ASCII AIGER text.
+    pub model: String,
+    /// Registry engine name.
+    pub engine: String,
+    /// Requested budget (pre-clamp).
+    pub budget: Budget,
+    /// Whether the structural cache may serve and learn from this job.
+    pub use_cache: bool,
+}
+
+impl CheckRequest {
+    /// Extracts a `check` request from a parsed protocol message.
+    /// `fallback_id` names the job when the client sent no `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for an `error` event when required
+    /// fields are missing or the engine name is unknown.
+    pub fn from_json(msg: &Json, fallback_id: u64) -> Result<CheckRequest, String> {
+        let model = msg
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `model`")?
+            .to_string();
+        let engine = msg
+            .get("engine")
+            .and_then(Json::as_str)
+            .unwrap_or("portfolio")
+            .to_string();
+        if !engine_names().contains(&engine.as_str()) {
+            return Err(format!(
+                "unknown engine `{engine}` (expected one of: {})",
+                engine_names().join(", ")
+            ));
+        }
+        let field = |name: &str| -> Result<Option<u64>, String> {
+            match msg.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or(format!("field `{name}` must be a non-negative integer")),
+            }
+        };
+        let mut budget = Budget::unlimited();
+        budget.max_steps = field("steps")?.map(|n| n as usize);
+        budget.max_nodes = field("nodes")?.map(|n| n as usize);
+        budget.max_sat_checks = field("sat_checks")?;
+        budget.timeout = field("timeout_ms")?.map(Duration::from_millis);
+        Ok(CheckRequest {
+            // 0 means "server assigns" (JSON job tags start at 1).
+            id: field("id")?.filter(|&n| n != 0).unwrap_or(fallback_id),
+            model,
+            engine,
+            budget,
+            use_cache: msg.get("cache").and_then(Json::as_bool).unwrap_or(true),
+        })
+    }
+
+    /// Renders this request as one protocol line (the client side of
+    /// [`CheckRequest::from_json`]).
+    pub fn to_json_line(&self) -> String {
+        use cbq_mc::json::json_str;
+        let mut line = String::from("{\"cmd\":\"check\"");
+        if self.id != 0 {
+            line.push_str(&format!(",\"id\":{}", self.id));
+        }
+        line.push_str(&format!(
+            ",\"model\":{},\"engine\":{}",
+            json_str(&self.model),
+            json_str(&self.engine),
+        ));
+        if let Some(n) = self.budget.max_steps {
+            line.push_str(&format!(",\"steps\":{n}"));
+        }
+        if let Some(n) = self.budget.max_nodes {
+            line.push_str(&format!(",\"nodes\":{n}"));
+        }
+        if let Some(n) = self.budget.max_sat_checks {
+            line.push_str(&format!(",\"sat_checks\":{n}"));
+        }
+        if let Some(t) = self.budget.timeout {
+            line.push_str(&format!(",\"timeout_ms\":{}", t.as_millis()));
+        }
+        if !self.use_cache {
+            line.push_str(",\"cache\":false");
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Renders an `error` event line.
+pub fn error_line(job: u64, message: &str) -> String {
+    format!(
+        "{{\"event\":\"error\",\"job\":{job},\"message\":{}}}",
+        cbq_mc::json::json_str(message)
+    )
+}
+
+/// The outcome of one processed job: the wire line plus the run it
+/// carries (when the model parsed), for callers that inspect results
+/// in-process.
+pub struct JobOutcome {
+    /// The `result`/`error` line to stream back.
+    pub line: String,
+    /// The finished (or replayed) run; `None` on a request error.
+    pub run: Option<McRun>,
+    /// Which cache tier answered.
+    pub tier: CacheTier,
+}
+
+/// Runs one `check` request against the shared cache: tier-1/2 replay
+/// when possible, otherwise a cold or tier-3 warm-started engine run,
+/// recorded back into the cache.
+pub fn process_check(
+    req: &CheckRequest,
+    cache: &Mutex<StructuralCache>,
+    caps: &ServerCaps,
+) -> JobOutcome {
+    let net = match read_network(&req.model, format!("job-{}", req.id)) {
+        Ok(net) => net,
+        Err(e) => {
+            return JobOutcome {
+                line: error_line(req.id, &format!("bad model: {e}")),
+                run: None,
+                tier: CacheTier::Miss,
+            }
+        }
+    };
+    let key = ModelKey::of(&net);
+
+    // Replay tiers first; the lock is held only for the lookup.
+    let mut seed = None;
+    if req.use_cache {
+        let mut cache = cache.lock().expect("cache lock");
+        if let Some((run, tier)) = cache.lookup_run(&key, &req.engine) {
+            let run = run.with_job(req.id);
+            let line = result_line(&run, tier, &cache.stats.to_json());
+            return JobOutcome {
+                line,
+                run: Some(run),
+                tier,
+            };
+        }
+        seed = cache.seed_for(&key, &req.engine);
+    }
+
+    let tier = if seed.is_some() {
+        CacheTier::WarmStart
+    } else {
+        CacheTier::Miss
+    };
+    let budget = caps.clamp(&req.budget);
+    let run = match seed {
+        Some(seed) => Ic3 {
+            seed,
+            ..Ic3::default()
+        }
+        .check(&net, &budget),
+        None => by_name(&req.engine)
+            .expect("engine validated at parse")
+            .check(&net, &budget),
+    }
+    .with_job(req.id);
+
+    let stats_json = if req.use_cache {
+        let mut cache = cache.lock().expect("cache lock");
+        cache.record(&key, &req.engine, &run);
+        cache.stats.to_json()
+    } else {
+        cache.lock().expect("cache lock").stats.to_json()
+    };
+    JobOutcome {
+        line: result_line(&run, tier, &stats_json),
+        run: Some(run),
+        tier,
+    }
+}
+
+fn result_line(run: &McRun, tier: CacheTier, stats_json: &str) -> String {
+    format!(
+        "{{\"event\":\"result\",{},\"cache\":{{\"tier\":{},\"hit\":{}}},\"cache_stats\":{}}}",
+        run_to_json_fields(run),
+        tier.number(),
+        tier != CacheTier::Miss,
+        stats_json,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_ckt::generators;
+    use cbq_ckt::io::write_network;
+
+    fn check_req(net: &cbq_ckt::Network, engine: &str, id: u64) -> CheckRequest {
+        CheckRequest {
+            id,
+            model: write_network(net),
+            engine: engine.to_string(),
+            budget: Budget::unlimited(),
+            use_cache: true,
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_the_wire_format() {
+        let mut req = check_req(&generators::mutex(), "ic3", 7);
+        req.budget = Budget::unlimited()
+            .with_steps(10)
+            .with_sat_checks(500)
+            .with_timeout(Duration::from_millis(250));
+        req.use_cache = false;
+        let line = req.to_json_line();
+        let msg = Json::parse(&line).unwrap();
+        assert_eq!(msg.get("cmd").and_then(Json::as_str), Some("check"));
+        let back = CheckRequest::from_json(&msg, 999).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.engine, "ic3");
+        assert_eq!(back.model, req.model);
+        assert_eq!(back.budget, req.budget);
+        assert!(!back.use_cache);
+    }
+
+    #[test]
+    fn parse_rejects_bad_requests() {
+        let no_model = Json::parse(r#"{"cmd":"check","id":1}"#).unwrap();
+        assert!(CheckRequest::from_json(&no_model, 1)
+            .unwrap_err()
+            .contains("model"));
+        let bad_engine = Json::parse(r#"{"cmd":"check","model":"x","engine":"zchaff"}"#).unwrap();
+        assert!(CheckRequest::from_json(&bad_engine, 1)
+            .unwrap_err()
+            .contains("unknown engine"));
+        let bad_budget =
+            Json::parse(r#"{"cmd":"check","model":"x","engine":"bmc","steps":-3}"#).unwrap();
+        assert!(CheckRequest::from_json(&bad_budget, 1)
+            .unwrap_err()
+            .contains("steps"));
+    }
+
+    #[test]
+    fn caps_clamp_fieldwise() {
+        let caps = ServerCaps {
+            max_steps: Some(10),
+            max_sat_checks: Some(1000),
+            ..ServerCaps::default()
+        };
+        let got = caps.clamp(&Budget::unlimited().with_steps(50).with_nodes(7));
+        assert_eq!(got.max_steps, Some(10), "cap tightens");
+        assert_eq!(got.max_nodes, Some(7), "request tightens");
+        assert_eq!(got.max_sat_checks, Some(1000), "cap fills unset field");
+        assert_eq!(got.timeout, None, "both unlimited");
+    }
+
+    #[test]
+    fn second_identical_job_is_a_tier1_hit() {
+        let cache = Mutex::new(StructuralCache::new());
+        let caps = ServerCaps::default();
+        let net = generators::token_ring(4);
+
+        let cold = process_check(&check_req(&net, "ic3", 1), &cache, &caps);
+        assert_eq!(cold.tier, CacheTier::Miss);
+        let cold_run = cold.run.expect("ran");
+        assert!(cold_run.verdict.is_safe());
+        assert!(cold.line.contains("\"event\":\"result\""), "{}", cold.line);
+        assert!(cold.line.contains("\"job\":1,"), "{}", cold.line);
+        assert!(cold.line.contains("\"tier\":0"), "{}", cold.line);
+
+        let hit = process_check(&check_req(&net, "ic3", 2), &cache, &caps);
+        assert_eq!(hit.tier, CacheTier::WholeRun);
+        let hit_run = hit.run.expect("replayed");
+        assert_eq!(hit_run.verdict, cold_run.verdict);
+        assert_eq!(hit_run.job, 2, "replay re-tagged with the new job id");
+        assert!(hit.line.contains("\"tier\":1"), "{}", hit.line);
+        assert!(hit.line.contains("\"tier1_hits\":1"), "{}", hit.line);
+    }
+
+    #[test]
+    fn cache_opt_out_always_runs_cold() {
+        let cache = Mutex::new(StructuralCache::new());
+        let caps = ServerCaps::default();
+        let net = generators::token_ring(4);
+        let mut req = check_req(&net, "ic3", 1);
+        let _ = process_check(&req, &cache, &caps);
+        req.use_cache = false;
+        req.id = 2;
+        let again = process_check(&req, &cache, &caps);
+        assert_eq!(again.tier, CacheTier::Miss);
+        assert_eq!(cache.lock().unwrap().stats.lookups, 1, "no second lookup");
+    }
+
+    #[test]
+    fn malformed_model_yields_an_error_event() {
+        let cache = Mutex::new(StructuralCache::new());
+        let out = process_check(
+            &CheckRequest {
+                id: 3,
+                model: "not an aag".to_string(),
+                engine: "bmc".to_string(),
+                budget: Budget::unlimited(),
+                use_cache: true,
+            },
+            &cache,
+            &ServerCaps::default(),
+        );
+        assert!(out.run.is_none());
+        assert!(out.line.contains("\"event\":\"error\""), "{}", out.line);
+        assert!(out.line.contains("\"job\":3"), "{}", out.line);
+    }
+
+    #[test]
+    fn server_caps_bound_the_job_budget() {
+        let cache = Mutex::new(StructuralCache::new());
+        let caps = ServerCaps {
+            max_sat_checks: Some(1),
+            ..ServerCaps::default()
+        };
+        let out = process_check(
+            &check_req(&generators::token_ring(6), "ic3", 1),
+            &cache,
+            &caps,
+        );
+        let run = out.run.expect("ran");
+        assert!(
+            !run.verdict.is_conclusive(),
+            "one SAT check cannot settle token_ring(6), got {}",
+            run.verdict
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Differential cache-correctness suite: every answer the structural
+//! cache produces must be indistinguishable (verdict, counterexample
+//! depth, iteration count) from what a cold run of the same engine on
+//! the same model would report. Runs through the transport-free
+//! [`cbq_serve::process_check`] core so the socket layer stays out of
+//! the loop.
+
+use std::sync::Mutex;
+
+use cbq_ckt::generators;
+use cbq_ckt::io::write_network;
+use cbq_ckt::Network;
+use cbq_mc::{engine_names, Budget, Ic3Stats};
+use cbq_serve::{process_check, CacheTier, CheckRequest, JobOutcome, ServerCaps, StructuralCache};
+
+fn request(net: &Network, engine: &str, id: u64, budget: Budget, use_cache: bool) -> CheckRequest {
+    CheckRequest {
+        id,
+        model: write_network(net),
+        engine: engine.to_string(),
+        budget,
+        use_cache,
+    }
+}
+
+fn run_job(cache: &Mutex<StructuralCache>, req: &CheckRequest) -> JobOutcome {
+    process_check(req, cache, &ServerCaps::default())
+}
+
+fn cex_depth(run: &cbq_mc::McRun) -> Option<usize> {
+    run.verdict.trace().map(|t| t.len() - 1)
+}
+
+/// The E6 family slice the suite sweeps: safe and unsafe members, with
+/// depth-0, shallow, and convergence-shaped counterexamples/proofs.
+fn models() -> Vec<Network> {
+    vec![
+        generators::token_ring(4),
+        generators::token_ring_bug(4),
+        generators::bounded_counter(4, 9),
+        generators::counter_bug(4, 9),
+        generators::mutex(),
+        generators::mutex_bug(),
+    ]
+}
+
+#[test]
+fn cached_runs_are_identical_to_cold_across_engines_and_models() {
+    // Deterministic budget only (steps, not wall-clock), so inconclusive
+    // outcomes replay bit-identically too. BMC never concludes on safe
+    // models without it.
+    let budget = Budget::unlimited().with_steps(40);
+    let mut id = 0;
+    for net in models() {
+        for engine in engine_names() {
+            let cache = Mutex::new(StructuralCache::new());
+            id += 1;
+            let cold = run_job(&cache, &request(&net, engine, id, budget.clone(), true));
+            id += 1;
+            let warm = run_job(&cache, &request(&net, engine, id, budget.clone(), true));
+            let ctx = format!("{} / {engine}", net.name());
+            let cold_run = cold.run.expect(&ctx);
+            let warm_run = warm.run.expect(&ctx);
+            assert_eq!(cold.tier, CacheTier::Miss, "{ctx}: first run must miss");
+            if cold_run.verdict.is_conclusive() {
+                assert_eq!(warm.tier, CacheTier::WholeRun, "{ctx}: second run");
+            } else {
+                // Inconclusive runs are never cached; the re-run is cold
+                // (ic3 may still warm-start from the first run's lemmas).
+                assert_ne!(warm.tier, CacheTier::WholeRun, "{ctx}");
+            }
+            assert_eq!(cold_run.verdict, warm_run.verdict, "{ctx}: verdict");
+            assert_eq!(cex_depth(&cold_run), cex_depth(&warm_run), "{ctx}: depth");
+            if warm.tier == CacheTier::WholeRun {
+                assert_eq!(
+                    cold_run.stats.iterations, warm_run.stats.iterations,
+                    "{ctx}: iterations"
+                );
+                assert_eq!(warm_run.job, id, "{ctx}: replay re-tagged");
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_model_entries_never_leak() {
+    // One shared cache over every (model, engine) pair: each warm answer
+    // must still match that pair's own cold baseline, proving key
+    // discrimination (no collision can survive this sweep undetected).
+    let budget = Budget::unlimited().with_steps(40);
+    let shared = Mutex::new(StructuralCache::new());
+    let mut baselines = Vec::new();
+    let mut id = 0;
+    for net in models() {
+        for engine in engine_names() {
+            id += 1;
+            let cold = run_job(&shared, &request(&net, engine, id, budget.clone(), true));
+            baselines.push((net.clone(), engine, cold.run.expect("cold")));
+        }
+    }
+    for (net, engine, cold_run) in baselines {
+        id += 1;
+        let warm = run_job(&shared, &request(&net, engine, id, budget.clone(), true));
+        let warm_run = warm.run.expect("warm");
+        let ctx = format!("{} / {engine}", net.name());
+        assert_eq!(cold_run.verdict, warm_run.verdict, "{ctx}: verdict");
+        assert_eq!(cex_depth(&cold_run), cex_depth(&warm_run), "{ctx}: depth");
+    }
+}
+
+/// A structural perturbation that keeps the property's semantics: `bad'
+/// = bad ∨ (bad ∧ l₀)` builds new AIG nodes (so every hash moves) while
+/// denoting the same predicate.
+fn perturb_bad(net: &mut Network) {
+    let bad = net.bad();
+    let l0 = net.latches()[0].var.lit();
+    let redundant = {
+        let aig = net.aig_mut();
+        let both = aig.and(bad, l0);
+        aig.or(bad, both)
+    };
+    assert_ne!(redundant, bad, "perturbation must be structural");
+    net.set_bad(redundant);
+}
+
+#[test]
+fn warm_start_matches_cold_with_fewer_obligations() {
+    let net = generators::bounded_counter_gap(4, 6, 12);
+    let cache = Mutex::new(StructuralCache::new());
+    let seed_run = run_job(&cache, &request(&net, "ic3", 1, Budget::unlimited(), true));
+    assert!(seed_run.run.expect("seed run").verdict.is_safe());
+
+    let mut variant = generators::bounded_counter_gap(4, 6, 12);
+    perturb_bad(&mut variant);
+
+    // Cold baseline on the perturbed model, bypassing the cache.
+    let cold = run_job(
+        &cache,
+        &request(&variant, "ic3", 2, Budget::unlimited(), false),
+    );
+    let cold_run = cold.run.expect("cold");
+    assert_eq!(cold.tier, CacheTier::Miss);
+
+    // Cached path: tier 1/2 must miss (the bad cone moved), tier 3 must
+    // serve the first run's lemmas.
+    let warm = run_job(
+        &cache,
+        &request(&variant, "ic3", 3, Budget::unlimited(), true),
+    );
+    let warm_run = warm.run.expect("warm");
+    assert_eq!(warm.tier, CacheTier::WarmStart, "expected a tier-3 hit");
+    assert_eq!(cold_run.verdict, warm_run.verdict, "warm start is sound");
+
+    let s_cold = cold_run.detail::<Ic3Stats>().expect("stats");
+    let s_warm = warm_run.detail::<Ic3Stats>().expect("stats");
+    assert!(s_warm.seeded > 0, "no lemma was admitted");
+    assert!(
+        s_warm.obligations < s_cold.obligations,
+        "warm start should discharge fewer obligations ({} vs {})",
+        s_warm.obligations,
+        s_cold.obligations
+    );
+
+    let stats = &cache.lock().unwrap().stats;
+    assert_eq!(stats.tier3_hits, 1);
+    assert!(warm.line.contains("\"tier\":3"), "{}", warm.line);
+}
+
+#[test]
+fn warm_start_never_contaminates_unsafe_verdicts() {
+    // Cache lemmas from a safe net, then check a variant whose property
+    // actually fails: seeds must be rejected or harmless, never capable
+    // of masking the counterexample.
+    let net = generators::bounded_counter_gap(4, 6, 12);
+    let cache = Mutex::new(StructuralCache::new());
+    let _ = run_job(&cache, &request(&net, "ic3", 1, Budget::unlimited(), true));
+
+    // Same transition structure, failing property: bad' fires once the
+    // counter leaves its reset value (reachable in one step).
+    let mut bad_variant = generators::bounded_counter_gap(4, 6, 12);
+    let failing = {
+        let l0 = bad_variant.latches()[0].var.lit();
+        let old = bad_variant.bad();
+        bad_variant.aig_mut().or(old, l0)
+    };
+    bad_variant.set_bad(failing);
+
+    let cold = run_job(
+        &cache,
+        &request(&bad_variant, "ic3", 2, Budget::unlimited(), false),
+    );
+    let cold_run = cold.run.expect("cold");
+    assert!(cold_run.verdict.is_unsafe(), "variant must fail");
+
+    let warm = run_job(
+        &cache,
+        &request(&bad_variant, "ic3", 3, Budget::unlimited(), true),
+    );
+    let warm_run = warm.run.expect("warm");
+    assert_eq!(warm.tier, CacheTier::WarmStart, "same δ structure");
+    assert_eq!(cold_run.verdict, warm_run.verdict, "cex survives seeding");
+    assert_eq!(cex_depth(&cold_run), cex_depth(&warm_run));
+}
+
+#[test]
+fn depth0_replay_matches_every_engine() {
+    // A one-latch model failing at reset, and a rewired variant with the
+    // same bad cone over different transition logic. The tier-2 replay
+    // must match what each engine reports cold on the *variant*.
+    fn depth0(hold: bool) -> Network {
+        let mut b = Network::builder(if hold { "hold" } else { "toggle" });
+        let s = b.add_latch(true);
+        let next = if hold { s.lit() } else { !s.lit() };
+        b.set_next(s, next);
+        b.build(s.lit())
+    }
+    let budget = Budget::unlimited().with_steps(40);
+    for engine in engine_names() {
+        let cache = Mutex::new(StructuralCache::new());
+        let first = run_job(
+            &cache,
+            &request(&depth0(true), engine, 1, budget.clone(), true),
+        );
+        let first_run = first.run.expect("first");
+        let Some(0) = cex_depth(&first_run) else {
+            panic!(
+                "{engine}: expected a depth-0 refutation, got {:?}",
+                first_run.verdict
+            );
+        };
+
+        let variant = depth0(false);
+        let cold = run_job(&cache, &request(&variant, engine, 2, budget.clone(), false));
+        let cold_run = cold.run.expect("cold");
+        let replay = run_job(&cache, &request(&variant, engine, 3, budget.clone(), true));
+        let replay_run = replay.run.expect("replay");
+        assert_eq!(replay.tier, CacheTier::Depth0, "{engine}: tier-2 hit");
+        assert_eq!(cold_run.verdict, replay_run.verdict, "{engine}: verdict");
+        assert_eq!(cex_depth(&cold_run), cex_depth(&replay_run), "{engine}");
+        assert_eq!(
+            cold_run.stats.iterations, replay_run.stats.iterations,
+            "{engine}: depth-0 paths are δ-independent"
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //! cbq quantify <file.aag> [--mode M]  eliminate all inputs of output 0
 //! cbq sat <file.cnf> [--backend B]    solve a DIMACS file, print SolverStats
 //! cbq dot <file.aag>                  emit Graphviz for the bad-state cone
+//! cbq serve [--listen ADDR]           run the model-checking service
+//! cbq submit <file.aag> [--to ADDR]   send a job to a running service
 //! ```
 //!
 //! Every subcommand accepts `--help`/`-h`. Unknown flags, engines, or
@@ -20,15 +22,13 @@ use std::time::Duration;
 
 use cbq::ckt::io::{read_network, write_network};
 use cbq::ckt::{generators, Network};
-use cbq::cnf::AigCnfStats;
-use cbq::mc::{
-    by_name_tuned, engine_names, registry, CircuitUmcStats, EngineTuning, ForwardCircuitUmcStats,
-    Ic3Stats, McRun, PartitionCount, PartitionStats, SplitPolicy,
-};
+use cbq::mc::json::{json_str, json_u64_list, run_to_json, solver_json};
+use cbq::mc::{by_name_tuned, engine_names, registry, EngineTuning, PartitionCount, SplitPolicy};
 use cbq::prelude::*;
 use cbq::quant::{exists_bdd, exists_many, VarOrder};
 use cbq::sat::reference::ReferenceSolver;
-use cbq::sat::{dimacs, SatBackend, SolverStats};
+use cbq::sat::{dimacs, SatBackend};
+use cbq::serve::{client, CheckRequest, Json, ServeConfig, Server};
 
 const USAGE: &str = "cbq — circuit-based quantification (DATE 2005 reproduction)
 
@@ -42,6 +42,8 @@ commands:
   quantify <file.aag> [..] quantify inputs out of a formula
   sat <file.cnf> [...]     solve a DIMACS CNF file (see `cbq sat --help`)
   dot <file.aag>           emit Graphviz for the bad-state cone
+  serve [--listen ADDR]    run the model-checking service (see `cbq serve --help`)
+  submit <file.aag> [...]  send a job to a running service (see `cbq submit --help`)
 
 run `cbq <command> --help` for per-command options";
 
@@ -55,6 +57,8 @@ fn main() -> ExitCode {
         Some("quantify") => cmd_quantify(&args[1..]),
         Some("sat") => cmd_sat(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -465,112 +469,6 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
-/// Minimal JSON string escaping (engine names and human-readable
-/// reasons; no exotic content).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_usize_list(xs: &[usize]) -> String {
-    let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
-    format!("[{}]", cells.join(","))
-}
-
-fn partition_json(p: &PartitionStats) -> String {
-    format!(
-        "{{\"trajectory\":{},\"final\":{},\"max_cone\":{},\"prunes\":{},\"splits\":{},\
-         \"worker_panics\":{}}}",
-        json_usize_list(&p.trajectory),
-        p.trajectory.last().copied().unwrap_or(1),
-        p.max_cone,
-        p.prunes,
-        p.splits,
-        json_usize_list(&p.worker_panics)
-    )
-}
-
-/// The `McRun` common stats record — plus the circuit engines'
-/// per-partition detail when present — as one JSON object on stdout
-/// (`cbq check --json`, the bench-tooling interface).
-fn run_to_json(run: &McRun) -> String {
-    let verdict = match &run.verdict {
-        Verdict::Safe { iterations } => {
-            format!("\"verdict\":\"safe\",\"proved_at\":{iterations}")
-        }
-        Verdict::Unsafe { trace } => {
-            format!("\"verdict\":\"unsafe\",\"cex_depth\":{}", trace.len() - 1)
-        }
-        Verdict::Bounded { resource, limit } => format!(
-            "\"verdict\":\"bounded\",\"resource\":{},\"limit\":{limit}",
-            json_str(&resource.to_string())
-        ),
-        Verdict::Unknown { reason } => {
-            format!("\"verdict\":\"unknown\",\"reason\":{}", json_str(reason))
-        }
-    };
-    let mut detail = String::new();
-    if let Some(d) = run.detail::<CircuitUmcStats>() {
-        detail = format!(
-            ",\"frontier_sizes\":{},\"reached_size\":{},\"quant_aborts\":{},\
-             \"ganai_cofactors\":{},\"sweep_runs\":{},\"partitions\":{},\
-             \"solver\":{},\"cnf\":{}",
-            json_usize_list(&d.frontier_sizes),
-            d.reached_size,
-            d.quant_aborts,
-            d.ganai_cofactors,
-            d.sweep.runs,
-            partition_json(&d.partitions),
-            solver_json(&d.solver),
-            cnf_json(&d.cnf)
-        );
-    } else if let Some(d) = run.detail::<ForwardCircuitUmcStats>() {
-        detail = format!(
-            ",\"frontier_sizes\":{},\"quant_aborts\":{},\"ganai_cofactors\":{},\
-             \"sweep_runs\":{},\"partitions\":{},\"solver\":{},\"cnf\":{}",
-            json_usize_list(&d.frontier_sizes),
-            d.quant_aborts,
-            d.ganai_cofactors,
-            d.sweep.runs,
-            partition_json(&d.partitions),
-            solver_json(&d.solver),
-            cnf_json(&d.cnf)
-        );
-    } else if let Some(d) = run.detail::<Ic3Stats>() {
-        detail = format!(
-            ",\"frames\":{},\"obligations\":{},\"clauses\":{},\"pushed\":{},\
-             \"gen_drops\":{},\"solver\":{},\"cnf\":{}",
-            d.frames,
-            d.obligations,
-            d.clauses,
-            d.pushed,
-            d.gen_drops,
-            solver_json(&d.solver),
-            cnf_json(&d.cnf)
-        );
-    }
-    format!(
-        "{{{verdict},\"engine\":{},\"iterations\":{},\"peak_nodes\":{},\
-         \"sat_checks\":{},\"elapsed_ms\":{:.3}{detail}}}",
-        json_str(run.stats.engine),
-        run.stats.iterations,
-        run.stats.peak_nodes,
-        run.stats.sat_checks,
-        run.stats.elapsed.as_secs_f64() * 1e3
-    )
-}
-
 const QUANTIFY_HELP: &str = "usage: cbq quantify <file.aag> [--mode M] [--order O]
 
 Eliminates all inputs of output 0 (combinational file) or the primary
@@ -708,45 +606,6 @@ Solves a DIMACS CNF file and prints the verdict plus solver statistics.
 
 exit code: 10 satisfiable, 20 unsatisfiable, 3 unknown,
            2 usage/input error";
-
-fn json_u64_list(xs: &[u64]) -> String {
-    let cells: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
-    format!("[{}]", cells.join(","))
-}
-
-/// The solver-core counters as a JSON object (shared by `cbq sat --json`
-/// and the `check --json` engine detail).
-fn solver_json(s: &SolverStats) -> String {
-    format!(
-        "{{\"solves\":{},\"decisions\":{},\"propagations\":{},\"conflicts\":{},\
-         \"restarts\":{},\"learnts\":{},\"deleted\":{},\"reduces\":{},\
-         \"arena_bytes\":{},\"lbd_hist\":{}}}",
-        s.solves,
-        s.decisions,
-        s.propagations,
-        s.conflicts,
-        s.restarts,
-        s.learnts,
-        s.deleted,
-        s.reduces,
-        s.arena_bytes(),
-        json_u64_list(&s.lbd_hist)
-    )
-}
-
-/// The SAT-bridge counters as a JSON object (`check --json` detail).
-fn cnf_json(s: &AigCnfStats) -> String {
-    format!(
-        "{{\"encoded_ands\":{},\"checks\":{},\"migrations\":{},\"retirements\":{},\
-         \"clauses_retired\":{},\"learnts_retained\":{}}}",
-        s.encoded_ands,
-        s.checks,
-        s.migrations,
-        s.retirements,
-        s.clauses_retired,
-        s.learnts_retained
-    )
-}
 
 fn cmd_sat(args: &[String]) -> ExitCode {
     if wants_help(args) {
@@ -893,5 +752,258 @@ fn cmd_dot(args: &[String]) -> ExitCode {
             print!("{}", cbq::aig::io::write_dot(net.aig(), &[net.bad()]));
             ExitCode::SUCCESS
         }
+    }
+}
+
+const SERVE_HELP: &str = "usage: cbq serve [--listen ADDR] [--workers N]
+                 [--steps N] [--nodes N] [--sat-checks N] [--timeout-ms N]
+
+Runs the model-checking service: line-delimited JSON over TCP, a bounded
+worker pool, and a structural result cache (whole-run replay, depth-0
+sub-query replay, IC3 warm starts). Blocks until a `shutdown` command
+arrives; see README.md for the wire protocol.
+
+  --listen ADDR      bind address (default 127.0.0.1:7297; port 0 picks
+                     a free port, reported in the `serving` line)
+  --workers N        worker threads (default 2)
+  --steps N          per-job cap: at most N engine iterations
+  --nodes N          per-job cap: at most N representation nodes
+  --sat-checks N     per-job cap: at most N SAT checks
+  --timeout-ms N     per-job cap: wall-clock milliseconds
+
+The caps are ceilings: a job's own budget is clamped against them, so a
+request can tighten but never widen what the operator allows.";
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{SERVE_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = parse_flags(
+        args,
+        &[
+            "listen",
+            "workers",
+            "steps",
+            "nodes",
+            "sat-checks",
+            "timeout-ms",
+        ],
+        &[],
+    );
+    let flags = match parsed {
+        Ok((positional, flags, _)) if positional.is_empty() => flags,
+        Ok((positional, ..)) => {
+            eprintln!("unexpected argument `{}`\n\n{SERVE_HELP}", positional[0]);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{SERVE_HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = ServeConfig::default();
+    for (flag, value) in flags {
+        if flag == "listen" {
+            cfg.listen = value.to_string();
+            continue;
+        }
+        let n = match parse_count(flag, value) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match flag {
+            "workers" => cfg.workers = n.max(1) as usize,
+            "steps" => cfg.caps.max_steps = Some(n as usize),
+            "nodes" => cfg.caps.max_nodes = Some(n as usize),
+            "sat-checks" => cfg.caps.max_sat_checks = Some(n),
+            "timeout-ms" => cfg.caps.timeout = Some(Duration::from_millis(n)),
+            _ => unreachable!("parse_flags rejects unknown flags"),
+        }
+    }
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!(
+            "{{\"event\":\"serving\",\"addr\":{}}}",
+            json_str(&addr.to_string())
+        ),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const SUBMIT_HELP: &str = "usage: cbq submit <file.aag> [--to ADDR] [--engine E] [--id N]
+                 [--steps N] [--nodes N] [--sat-checks N] [--timeout-ms N]
+                 [--no-cache] [--json]
+       cbq submit --stats [--to ADDR]
+       cbq submit --shutdown [--to ADDR]
+
+Sends one model-checking job to a running `cbq serve` instance and
+blocks for the result.
+
+  --to ADDR          server address (default 127.0.0.1:7297)
+  --engine E         registry engine to request (default: portfolio)
+  --id N             client-chosen job id (default: server assigns)
+  --steps/--nodes/--sat-checks/--timeout-ms
+                     requested budget (clamped by the server's caps)
+  --no-cache         bypass the structural cache for this job
+  --json             print the raw result record instead of a summary
+  --stats            fetch the server's cache/queue statistics and exit
+  --shutdown         stop the server and exit
+
+exit code: 0 safe, 1 unsafe, 2 usage/connection error, 3 unknown,
+           4 budget exhausted";
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{SUBMIT_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = parse_flags(
+        args,
+        &[
+            "to",
+            "engine",
+            "id",
+            "steps",
+            "nodes",
+            "sat-checks",
+            "timeout-ms",
+        ],
+        &["no-cache", "json", "stats", "shutdown"],
+    );
+    let (positional, flags, switches) = match parsed {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{SUBMIT_HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut addr = "127.0.0.1:7297".to_string();
+    let mut request = CheckRequest {
+        id: 0,
+        model: String::new(),
+        engine: "portfolio".to_string(),
+        budget: Budget::unlimited(),
+        use_cache: !switches.contains(&"no-cache"),
+    };
+    for (flag, value) in flags {
+        match flag {
+            "to" => addr = value.to_string(),
+            "engine" => request.engine = value.to_string(),
+            _ => {
+                let n = match parse_count(flag, value) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match flag {
+                    "id" => request.id = n,
+                    "steps" => request.budget = request.budget.with_steps(n as usize),
+                    "nodes" => request.budget = request.budget.with_nodes(n as usize),
+                    "sat-checks" => request.budget = request.budget.with_sat_checks(n),
+                    "timeout-ms" => {
+                        request.budget = request.budget.with_timeout(Duration::from_millis(n));
+                    }
+                    _ => unreachable!("parse_flags rejects unknown flags"),
+                }
+            }
+        }
+    }
+    if switches.contains(&"stats") {
+        return match client::server_stats(&addr) {
+            Ok(stats) => {
+                println!("{stats}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if switches.contains(&"shutdown") {
+        return match client::shutdown(&addr) {
+            Ok(()) => {
+                println!("server at {addr} shut down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let [path] = positional[..] else {
+        eprintln!(
+            "expected exactly one <file.aag>, got {}\n\n{SUBMIT_HELP}",
+            positional.len()
+        );
+        return ExitCode::from(2);
+    };
+    request.model = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match client::submit_one(&addr, &request) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let field_str = |name: &str| result.get(name).and_then(Json::as_str).unwrap_or("?");
+    let field_num = |name: &str| result.get(name).and_then(Json::as_u64);
+    if switches.contains(&"json") {
+        println!("{result}");
+    } else {
+        let tier = result
+            .get("cache")
+            .and_then(|c| c.get("tier"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let cache_note = match tier {
+            1 => ", cache: whole-run hit",
+            2 => ", cache: depth-0 hit",
+            3 => ", cache: warm start",
+            _ => "",
+        };
+        println!(
+            "job {}: {}   [{}, {} iterations{}]",
+            field_num("job").unwrap_or(0),
+            field_str("verdict"),
+            field_str("engine"),
+            field_num("iterations").unwrap_or(0),
+            cache_note,
+        );
+    }
+    match field_str("verdict") {
+        "safe" => ExitCode::SUCCESS,
+        "unsafe" => ExitCode::from(1),
+        "bounded" => ExitCode::from(4),
+        _ => ExitCode::from(3),
     }
 }

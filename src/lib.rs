@@ -18,6 +18,7 @@
 //! | [`quant`] | `cbq-core` | **circuit-based quantifier elimination** |
 //! | [`ckt`] | `cbq-ckt` | sequential networks + benchmark generators |
 //! | [`mc`] | `cbq-mc` | UMC engines behind the unified `Engine`/`Budget` API |
+//! | [`serve`] | `cbq-serve` | job service with a structural result cache |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use cbq_cnf as cnf;
 pub use cbq_core as quant;
 pub use cbq_mc as mc;
 pub use cbq_sat as sat;
+pub use cbq_serve as serve;
 pub use cbq_synth as synth;
 
 /// The most commonly used items, for glob import.
