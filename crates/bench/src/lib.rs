@@ -24,7 +24,7 @@ use cbq_mc::preimage::preimage_formula;
 use cbq_mc::sweep::SweepConfig as StateSweepConfig;
 use cbq_mc::{
     registry, Bmc, Budget, CircuitUmc, CircuitUmcStats, Engine, Ic3, Ic3Stats, PartitionConfig,
-    PartitionCount, PartitionStats, Verdict,
+    PartitionCount, PartitionStats, Portfolio, PortfolioBusStats, PortfolioStats, Verdict,
 };
 use cbq_synth::OptConfig;
 
@@ -980,6 +980,101 @@ pub fn e6c_table() -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E6pp — the parallel portfolio: sequential vs parallel vs parallel+bus
+// ---------------------------------------------------------------------
+
+/// E6pp kernel: one portfolio run in the requested mode. Returns the
+/// verdict, wall-clock ms, and — for bus runs — the publication and
+/// admission counters.
+pub fn portfolio_run(
+    net: &Network,
+    parallel: bool,
+    bus: bool,
+    budget: &Budget,
+) -> (Verdict, f64, Option<PortfolioBusStats>) {
+    let engine = if parallel {
+        Portfolio::standard_parallel(bus)
+    } else {
+        Portfolio::standard()
+    };
+    let start = Instant::now();
+    let run = engine.check(net, budget);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let bus_stats = run
+        .detail::<PortfolioStats>()
+        .and_then(|d| d.bus.as_ref().copied());
+    (run.verdict, elapsed, bus_stats)
+}
+
+/// E6pp: the portfolio ablation on the E6 suite — the sequential
+/// budget-sliced cascade against the concurrent scoped-thread race,
+/// without and with the cross-engine lemma bus. The claims: all three
+/// modes return the same verdict everywhere (parallel determinism — the
+/// winner is the smallest-index conclusive member), and on wall clock
+/// the parallel modes win wherever the sequential cascade burns its
+/// early slices on members that cannot answer (a `!=` marker prints on
+/// any verdict divergence).
+pub fn e6pp_table() -> Table {
+    let mut t = Table::new(
+        "E6pp — portfolio: sequential vs parallel vs parallel+bus (E6 suite)",
+        &[
+            "circuit",
+            "verdict",
+            "ms seq",
+            "ms par",
+            "ms par+bus",
+            "cubes",
+            "admitted",
+            "merges",
+        ],
+    );
+    let budget = e6_budget();
+    // The E6 suite plus a showcase model where the lemma bus has real
+    // work to save: a gap counter padded with 256 bits of shadow state
+    // outside the property's cone. k-induction alone burns all 40
+    // simple-path frames over the full state vector; IC3's cone-directed
+    // clauses never touch the shadows and converge fast. The sequential
+    // cascade pays both in series, while on the bus k-induction admits
+    // IC3's published invariant mid-run and concludes early.
+    let mut models = umc_suite();
+    models.push(generators::shadowed_counter_gap(7, 50, 100, 256));
+    for net in models {
+        let (v_seq, ms_seq, _) = portfolio_run(&net, false, false, &budget);
+        let (v_par, ms_par, _) = portfolio_run(&net, true, false, &budget);
+        let (v_bus, ms_bus, bus) = portfolio_run(&net, true, true, &budget);
+        let agree = v_seq.is_safe() == v_par.is_safe()
+            && v_seq.is_unsafe() == v_par.is_unsafe()
+            && v_seq.is_safe() == v_bus.is_safe()
+            && v_seq.is_unsafe() == v_bus.is_unsafe();
+        let verdict = if agree {
+            verdict_cell(&v_seq)
+        } else {
+            format!("{} != {}", verdict_cell(&v_seq), verdict_cell(&v_bus))
+        };
+        let (cubes, admitted, merges) = bus
+            .map(|b| {
+                (
+                    b.published.cubes,
+                    b.clients.lemmas_admitted,
+                    b.published.merges,
+                )
+            })
+            .unwrap_or_default();
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            format!("{ms_seq:.1}"),
+            format!("{ms_par:.1}"),
+            format!("{ms_bus:.1}"),
+            cubes.to_string(),
+            admitted.to_string(),
+            merges.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Smoke — one tiny model per engine (the CI fail-fast run)
 // ---------------------------------------------------------------------
 
@@ -1146,6 +1241,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e6a" => Some(e6a_table()),
         "e6pdr" => Some(e6pdr_table()),
         "e6c" => Some(e6c_table()),
+        "e6pp" => Some(e6pp_table()),
         "e7" => Some(e7_table()),
         "e8" => Some(e8_table()),
         "smoke" => Some(smoke_table()),
@@ -1154,8 +1250,8 @@ pub fn run_experiment(id: &str) -> Option<Table> {
 }
 
 /// All experiment ids in report order (`smoke` is CI-only and excluded).
-pub const EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6c", "e7", "e8",
+pub const EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6c", "e6pp", "e7", "e8",
 ];
 
 #[cfg(test)]

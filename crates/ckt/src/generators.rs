@@ -130,6 +130,48 @@ pub fn bounded_counter_gap(n: usize, bound: u64, bad_value: u64) -> Network {
     b.build(bad)
 }
 
+/// A gap counter (see [`bounded_counter_gap`]) padded with `shadow`
+/// latches of input-driven scrambler state that the property never
+/// observes. This models the classic cone-of-influence-heavy industrial
+/// design: most of the state is irrelevant to the property, but methods
+/// that reason over the *full* state vector — k-induction's simple-path
+/// distinctness constraints, BDD reachability — pay for every shadow
+/// bit at every frame, while cone-directed methods (IC3's lazy clause
+/// encoding) never touch them.
+///
+/// The shadow block is a shift register with XOR feedback scrambled by
+/// a free input, so it has no short cycles to collapse the simple-path
+/// search and no constant bits for the AIG to simplify away.
+///
+/// # Panics
+///
+/// Panics unless `1 <= bound <= bad_value < 2^n` and `shadow >= 2`.
+pub fn shadowed_counter_gap(n: usize, bound: u64, bad_value: u64, shadow: usize) -> Network {
+    assert!(n < 63 && bound >= 1 && bound <= bad_value && bad_value < (1 << n));
+    assert!(shadow >= 2, "shadow block needs at least 2 bits");
+    let mut b = Network::builder(format!("shctr{n}_{bound}_{bad_value}_s{shadow}"));
+    let s = b.add_latch_word(n, 0);
+    let sh = b.add_latch_word(shadow, 0);
+    let x = b.add_input();
+    let aig = b.aig_mut();
+    let cur = lits(&s);
+    let inc = word_inc(aig, &cur);
+    let wrap = word_eq_const(aig, &cur, bound - 1);
+    let zeros = vec![Lit::FALSE; n];
+    let next = word_mux(aig, wrap, &zeros, &inc);
+    let bad = word_eq_const(aig, &cur, bad_value);
+    let shl = lits(&sh);
+    let fb = parity(aig, &[shl[0], shl[shadow / 2], shl[shadow - 1], x.lit()]);
+    for (v, nx) in s.iter().zip(next) {
+        b.set_next(*v, nx);
+    }
+    for i in 0..shadow - 1 {
+        b.set_next(sh[i], shl[i + 1]);
+    }
+    b.set_next(sh[shadow - 1], fb);
+    b.build(bad)
+}
+
 /// An unsafe free-running counter with an enable input: `bad` when the
 /// count reaches `k`. The shortest counterexample has exactly `k` steps
 /// (the enable must be held high).

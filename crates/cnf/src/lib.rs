@@ -464,6 +464,36 @@ impl AigCnf {
         self.solver.add_clause(&guarded)
     }
 
+    /// Adds a guarded clause given as *AIG* literals: each literal is
+    /// encoded on demand ([`AigCnf::ensure`]) and the disjunction is
+    /// added under `guard` via [`AigCnf::add_guarded_by`]. Constants are
+    /// folded first — a `true` literal makes the clause vacuous (nothing
+    /// is added), `false` literals are dropped. A clause with no
+    /// literals left is **not** added (that would be the unit `¬guard`,
+    /// silencing the whole group); the `false` return lets the caller
+    /// decide what an identically-false clause means.
+    ///
+    /// This is the entry point for externally supplied lemmas (the
+    /// portfolio's lemma bus): consumers instantiate a validated latch
+    /// clause over their own frame literals as one guarded group they
+    /// assume on every solve.
+    pub fn add_guarded_clause_lits(&mut self, aig: &Aig, guard: SatLit, lits: &[Lit]) -> bool {
+        let mut clause = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if l == Lit::TRUE {
+                return true;
+            }
+            if l == Lit::FALSE {
+                continue;
+            }
+            clause.push(self.ensure(aig, l));
+        }
+        if clause.is_empty() {
+            return false;
+        }
+        self.add_guarded_by(guard, &clause)
+    }
+
     /// Permanently retires a guard from [`AigCnf::new_guard`]: its
     /// clauses become satisfied at level 0 and are reclaimed — clauses
     /// *and* the guard variable itself — by the next

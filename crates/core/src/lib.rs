@@ -55,6 +55,8 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cbq_aig::{Aig, Lit, Var};
@@ -137,6 +139,11 @@ pub struct QuantConfig {
     /// holds more than this many nodes, remaining variables are aborted
     /// (per-partition node budgets of the partitioned traversals).
     pub node_limit: Option<usize>,
+    /// Cooperative cancellation by a shared flag: once another thread
+    /// raises it, the elimination loop stops exactly as if the deadline
+    /// had passed. Parallel portfolio members share one flag per member
+    /// so a first conclusive answer cancels the losers' hot loops.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for QuantConfig {
@@ -159,6 +166,7 @@ impl QuantConfig {
             resweep_growth: None,
             deadline: None,
             node_limit: None,
+            cancel: None,
         }
     }
 
@@ -213,15 +221,27 @@ impl QuantConfig {
         self
     }
 
+    /// Cooperative cancellation by a shared flag (raised by another
+    /// thread, e.g. a parallel portfolio sibling that already concluded).
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> QuantConfig {
+        self.cancel = cancel;
+        self
+    }
+
     /// Whether a cooperative cancellation limit has been crossed — the
-    /// *exact* check: the node limit is compared and, when a deadline is
-    /// set, the clock is read on every call. Engines use it at coarse
-    /// boundaries (once per image, once per traversal iteration); hot
-    /// loops poll through a [`DeadlineGate`] instead, which amortises the
-    /// clock reads.
+    /// *exact* check: the node limit and the cancel flag are compared
+    /// and, when a deadline is set, the clock is read on every call.
+    /// Engines use it at coarse boundaries (once per image, once per
+    /// traversal iteration); hot loops poll through a [`DeadlineGate`]
+    /// instead, which amortises the clock reads.
     pub fn out_of_budget(&self, aig: &Aig) -> bool {
         if let Some(limit) = self.node_limit {
             if aig.num_nodes() > limit {
+                return true;
+            }
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
                 return true;
             }
         }
@@ -269,18 +289,21 @@ const NODE_GRAIN: usize = 512;
 pub struct DeadlineGate {
     deadline: Option<Instant>,
     node_limit: Option<usize>,
+    cancel: Option<Arc<AtomicBool>>,
     credit: u32,
     last_nodes: usize,
     expired: bool,
 }
 
 impl DeadlineGate {
-    /// A gate over `cfg`'s deadline and node limit. The first poll always
-    /// reads the clock (an already-expired deadline trips immediately).
+    /// A gate over `cfg`'s deadline, node limit, and cancel flag. The
+    /// first poll always reads the clock (an already-expired deadline
+    /// trips immediately).
     pub fn new(cfg: &QuantConfig) -> DeadlineGate {
         DeadlineGate {
             deadline: cfg.deadline,
             node_limit: cfg.node_limit,
+            cancel: cfg.cancel.clone(),
             credit: DEADLINE_STRIDE,
             last_nodes: 0,
             expired: false,
@@ -288,11 +311,19 @@ impl DeadlineGate {
     }
 
     /// Whether a cooperative cancellation limit has been crossed, with
-    /// the clock read amortised as described on [`DeadlineGate`].
+    /// the clock read amortised as described on [`DeadlineGate`]. The
+    /// node limit and the cancel flag — both a single cheap load — are
+    /// still checked on every poll, so a raised flag is noticed within
+    /// one poll regardless of the clock stride.
     pub fn out_of_budget(&mut self, aig: &Aig) -> bool {
         let nodes = aig.num_nodes();
         if let Some(limit) = self.node_limit {
             if nodes > limit {
+                return true;
+            }
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
                 return true;
             }
         }

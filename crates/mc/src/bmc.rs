@@ -7,11 +7,14 @@
 //! analogue of in-lining. Each depth is one assumption-based SAT call on
 //! the shared clause database.
 
+use std::sync::Arc;
+
 use cbq_aig::{Aig, Lit, Var};
 use cbq_ckt::{Network, Trace};
 use cbq_cnf::AigCnf;
-use cbq_sat::SatResult;
+use cbq_sat::{SatLit, SatResult};
 
+use crate::bus::{assume_cube_at, BusClientStats, BusCursor, LatchCube, LemmaBus, LemmaValidator};
 use crate::engine::{Budget, Engine, Meter};
 use crate::verdict::{McRun, McStats, Verdict};
 
@@ -24,6 +27,11 @@ pub(crate) struct Unroller {
     /// Current-frame state functions (over initial constants and input
     /// frames created so far).
     state: Vec<Lit>,
+    /// State functions of *every* frame unrolled so far (`states[t]` is
+    /// the state entering frame `t`; `states[0]` is the init constants).
+    /// Kept so bus lemmas can be instantiated at frames that already
+    /// exist by the time they are admitted.
+    pub states: Vec<Vec<Lit>>,
     /// Fresh input variables per frame.
     frame_inputs: Vec<Vec<Var>>,
     /// `bad` literal per unrolled frame.
@@ -33,7 +41,7 @@ pub(crate) struct Unroller {
 impl Unroller {
     pub fn new(net: &Network) -> Unroller {
         let aig = net.aig().clone();
-        let state = net
+        let state: Vec<Lit> = net
             .latches()
             .iter()
             .map(|l| if l.init { Lit::TRUE } else { Lit::FALSE })
@@ -41,6 +49,7 @@ impl Unroller {
         Unroller {
             aig,
             cnf: AigCnf::new(),
+            states: vec![state.clone()],
             state,
             frame_inputs: Vec::new(),
             bads: Vec::new(),
@@ -77,16 +86,23 @@ impl Unroller {
                 .collect();
             self.bads.push(bad_t);
             self.frame_inputs.push(fresh);
+            self.states.push(next_state.clone());
             self.state = next_state;
             let _ = t;
         }
         self.bads[depth]
     }
 
-    /// Solves `bad` at exactly `depth`.
-    pub fn check_depth(&mut self, net: &Network, depth: usize) -> SatResult {
+    /// Solves `bad` at exactly `depth` under `extra` assumptions (the
+    /// lemma guard of the bus consumer; empty when no bus is attached).
+    pub fn check_depth_assuming(
+        &mut self,
+        net: &Network,
+        depth: usize,
+        extra: &[SatLit],
+    ) -> SatResult {
         let bad = self.bad_at(net, depth);
-        self.cnf.solve_under(&self.aig, &[bad])
+        self.cnf.solve_under_assuming(&self.aig, &[bad], extra)
     }
 
     /// Extracts the trace for a satisfiable `depth` query (model must be
@@ -115,11 +131,22 @@ impl Unroller {
 pub struct Bmc {
     /// Maximum unrolling depth (inclusive).
     pub max_depth: usize,
+    /// The parallel portfolio's [`LemmaBus`]. When set, BMC re-validates
+    /// every published IC3 cube with its own [`LemmaValidator`] and
+    /// instantiates the admitted clauses at every unrolled frame under
+    /// one guard. In a functional unrolling from the concrete initial
+    /// state every frame valuation is a reachable state, so admitted
+    /// lemmas are *implied* — they can only prune the solver's search,
+    /// never add or remove a counterexample.
+    pub bus: Option<Arc<LemmaBus>>,
 }
 
 impl Default for Bmc {
     fn default() -> Bmc {
-        Bmc { max_depth: 64 }
+        Bmc {
+            max_depth: 64,
+            bus: None,
+        }
     }
 }
 
@@ -130,8 +157,10 @@ pub struct BmcStats {
     pub depth_reached: usize,
     /// Total nodes in the unrolled AIG.
     pub unrolled_nodes: usize,
-    /// SAT checks issued (one per depth).
+    /// SAT checks issued (one per depth, plus lemma validation).
     pub sat_checks: u64,
+    /// Lemma-bus traffic (cubes admitted/rejected after re-validation).
+    pub bus: BusClientStats,
 }
 
 /// Bundles the typed stats into the uniform run record.
@@ -156,36 +185,68 @@ impl Engine for Bmc {
         let meter = Meter::start(budget);
         let mut u = Unroller::new(net);
         let mut stats = BmcStats::default();
+        // Bus consumer state: a zero-trust validator, one guard carrying
+        // every instantiated lemma clause, the read cursor, and the
+        // admitted cubes (re-instantiated at each new frame).
+        let mut validator = self.bus.as_ref().map(|_| LemmaValidator::new(net));
+        let lemma_guard = validator.as_ref().map(|_| u.cnf.new_guard());
+        let extra: Vec<SatLit> = lemma_guard.iter().copied().collect();
+        let mut cursor = BusCursor::default();
+        let mut admitted: Vec<LatchCube> = Vec::new();
+        let mut pending: Vec<LatchCube> = Vec::new();
+        let mut verdict = Verdict::Unknown {
+            reason: format!("no counterexample up to depth {}", self.max_depth),
+        };
         for d in 0..=self.max_depth {
             if let Some(bounded) = meter.exceeded(d, u.aig.num_nodes(), u.cnf.stats().checks) {
-                stats.unrolled_nodes = u.aig.num_nodes();
-                stats.sat_checks = u.cnf.stats().checks;
-                return finish(bounded, stats, &meter);
+                verdict = bounded;
+                break;
             }
             stats.depth_reached = d;
-            match u.check_depth(net, d) {
+            u.bad_at(net, d);
+            if let (Some(bus), Some(v), Some(guard)) =
+                (self.bus.as_deref(), validator.as_mut(), lemma_guard)
+            {
+                // Previously admitted lemmas reach the newly opened frame
+                // first, then fresh publications cover frames 1..=d (the
+                // frame-0 instantiation is a constant-true clause — skip).
+                if d >= 1 {
+                    for cube in &admitted {
+                        assume_cube_at(&mut u.cnf, &u.aig, guard, &u.states[d], cube);
+                    }
+                }
+                let fresh = bus.cubes_since(&mut cursor);
+                if !fresh.is_empty() {
+                    pending.extend(fresh);
+                    let batch = v.admit_batch(&pending);
+                    pending.retain(|c| !batch.contains(c));
+                    stats.bus.lemmas_admitted += batch.len() as u64;
+                    stats.bus.lemmas_rejected = pending.len() as u64;
+                    for norm in batch {
+                        for t in 1..=d {
+                            assume_cube_at(&mut u.cnf, &u.aig, guard, &u.states[t], &norm);
+                        }
+                        admitted.push(norm);
+                    }
+                }
+            }
+            match u.check_depth_assuming(net, d, &extra) {
                 SatResult::Sat => {
                     let trace = u.extract_trace(net, d);
-                    stats.unrolled_nodes = u.aig.num_nodes();
-                    stats.sat_checks = u.cnf.stats().checks;
-                    return finish(Verdict::Unsafe { trace }, stats, &meter);
+                    verdict = Verdict::Unsafe { trace };
+                    break;
                 }
                 SatResult::Unsat => {}
                 SatResult::Unknown => {
-                    stats.unrolled_nodes = u.aig.num_nodes();
-                    stats.sat_checks = u.cnf.stats().checks;
-                    let verdict = Verdict::Unknown {
+                    verdict = Verdict::Unknown {
                         reason: format!("solver budget at depth {d}"),
                     };
-                    return finish(verdict, stats, &meter);
+                    break;
                 }
             }
         }
         stats.unrolled_nodes = u.aig.num_nodes();
-        stats.sat_checks = u.cnf.stats().checks;
-        let verdict = Verdict::Unknown {
-            reason: format!("no counterexample up to depth {}", self.max_depth),
-        };
+        stats.sat_checks = u.cnf.stats().checks + validator.as_ref().map_or(0, |v| v.checks());
         finish(verdict, stats, &meter)
     }
 }
@@ -216,7 +277,11 @@ mod tests {
 
     #[test]
     fn safe_circuit_is_unknown() {
-        let run = Bmc { max_depth: 20 }.check(&generators::token_ring(4), &Budget::unlimited());
+        let run = Bmc {
+            max_depth: 20,
+            ..Bmc::default()
+        }
+        .check(&generators::token_ring(4), &Budget::unlimited());
         assert!(matches!(run.verdict, Verdict::Unknown { .. }));
         assert_eq!(run.detail::<BmcStats>().unwrap().depth_reached, 20);
         assert_eq!(run.stats.iterations, 20);
@@ -235,7 +300,11 @@ mod tests {
 
     #[test]
     fn bound_below_bug_depth_misses_it() {
-        let run = Bmc { max_depth: 5 }.check(&generators::counter_bug(5, 7), &Budget::unlimited());
+        let run = Bmc {
+            max_depth: 5,
+            ..Bmc::default()
+        }
+        .check(&generators::counter_bug(5, 7), &Budget::unlimited());
         assert!(matches!(run.verdict, Verdict::Unknown { .. }));
     }
 

@@ -18,6 +18,8 @@
 //! the CLI, the benchmark harness, and the cross-engine tests dispatch
 //! through.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cbq_ckt::Network;
@@ -39,7 +41,7 @@ use crate::verdict::{McRun, Resource, Verdict};
 /// All limits are optional; [`Budget::unlimited`] (also `Default`)
 /// imposes none. A limit of zero is legal and forces an immediate
 /// [`Verdict::Bounded`] — engines must never hang on a tiny budget.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Budget {
     /// Maximum engine steps: fixpoint iterations, BMC depth frames, or
     /// induction depths, depending on the engine.
@@ -50,7 +52,27 @@ pub struct Budget {
     pub max_sat_checks: Option<u64>,
     /// Wall-clock deadline, relative to the start of the call.
     pub timeout: Option<Duration>,
+    /// Cooperative cancellation flag, shared with whoever may decide the
+    /// run's result is no longer needed (the parallel [`crate::Portfolio`]
+    /// raises a loser's flag the moment a sibling concludes). Checked by
+    /// [`Meter::exceeded`] alongside the limits; a cancelled run returns
+    /// [`Verdict::Unknown`], never a conclusive answer.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
+
+/// Budget equality compares the four limits only: the cancel flag is a
+/// runtime channel, not a limit, and two budgets that differ only in
+/// their flag describe the same resource envelope.
+impl PartialEq for Budget {
+    fn eq(&self, other: &Budget) -> bool {
+        self.max_steps == other.max_steps
+            && self.max_nodes == other.max_nodes
+            && self.max_sat_checks == other.max_sat_checks
+            && self.timeout == other.timeout
+    }
+}
+
+impl Eq for Budget {}
 
 impl Budget {
     /// No limits at all.
@@ -79,6 +101,12 @@ impl Budget {
     /// Sets a wall-clock deadline.
     pub fn with_timeout(mut self, timeout: Duration) -> Budget {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a shared cooperative-cancellation flag.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Budget {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -118,10 +146,33 @@ impl Meter {
         self.budget.max_nodes
     }
 
+    /// The budget's cooperative-cancellation flag, if any — engines hand
+    /// it to the quantification/sweep kernels alongside the deadline.
+    pub fn cancel_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.budget.cancel.clone()
+    }
+
+    /// Whether the budget's cancel flag has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.budget
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
     /// Checks the spend against every limit; `Some(Bounded)` as soon as
-    /// one is exhausted. `steps` counts *completed* units, so a limit of
-    /// `k` permits exactly `k` units and trips before the `k+1`-th.
+    /// one is exhausted — or `Some(Unknown)` if the budget's shared
+    /// cancel flag has been raised, which outranks the limits: the run's
+    /// answer is no longer wanted, so it must not spend more work and
+    /// must not pretend a resource ran out. `steps` counts *completed*
+    /// units, so a limit of `k` permits exactly `k` units and trips
+    /// before the `k+1`-th.
     pub fn exceeded(&self, steps: usize, nodes: usize, sat_checks: u64) -> Option<Verdict> {
+        if self.cancelled() {
+            return Some(Verdict::Unknown {
+                reason: "cancelled by a concurrent winner".to_string(),
+            });
+        }
         let trip = |resource, limit| Some(Verdict::Bounded { resource, limit });
         match self.budget.max_steps {
             Some(limit) if steps >= limit => return trip(Resource::Steps, limit as u64),
@@ -149,8 +200,10 @@ impl Meter {
 ///
 /// Implementations must honour `budget` at every iteration boundary:
 /// a zero budget returns [`Verdict::Bounded`] without doing unbounded
-/// work, never hangs.
-pub trait Engine {
+/// work, never hangs. Engines are `Send + Sync` — a check borrows the
+/// engine and the network immutably, so the parallel portfolio can run
+/// members from scoped worker threads.
+pub trait Engine: Send + Sync {
     /// The engine's registry name (`"circuit"`, `"bmc"`, …).
     fn name(&self) -> &'static str;
 
@@ -274,14 +327,25 @@ pub fn registry() -> &'static [EngineSpec] {
         },
         EngineSpec {
             name: "portfolio",
-            summary: "budget-sliced sequence: bmc, kind, ic3, circuit, bdd",
+            summary: "bmc, kind, ic3, circuit, bdd — sequential slices, or parallel \
+                      with a lemma bus (--portfolio-par)",
             complete: true,
             // The BMC member finds minimal traces up to its depth cap,
             // but deeper counterexamples can fall through to the IC3
             // member, which guarantees validity, not minimality.
             minimal_cex: false,
             build: || Box::new(Portfolio::standard()),
-            tune: None,
+            tune: Some(|tuning| {
+                if tuning.portfolio_parallel.unwrap_or(false) {
+                    // The lemma bus rides on the parallel mode; it is on
+                    // by default and can be ablated away.
+                    Box::new(Portfolio::standard_parallel(
+                        tuning.portfolio_bus.unwrap_or(true),
+                    ))
+                } else {
+                    Box::new(Portfolio::standard())
+                }
+            }),
         },
     ];
     REGISTRY
@@ -319,6 +383,15 @@ pub struct EngineTuning {
     /// on|off`); `None` keeps the engine default (on). Off leaves only
     /// the unsat-core shrink — the `e6pdr` ablation baseline.
     pub ic3_gen: Option<bool>,
+    /// Run the portfolio members as concurrent workers with
+    /// first-conclusive-answer cancellation (`cbq check
+    /// --portfolio-par`); `None`/`Some(false)` keeps the sequential
+    /// budget-sliced default.
+    pub portfolio_parallel: Option<bool>,
+    /// Cross-engine lemma bus of the parallel portfolio (`cbq check
+    /// --portfolio-bus on|off`); `None` keeps the default (on whenever
+    /// the portfolio runs parallel). Ignored in sequential mode.
+    pub portfolio_bus: Option<bool>,
 }
 
 impl EngineTuning {
@@ -419,8 +492,7 @@ mod tests {
             quant_order: Some(VarOrder::StaticCost),
             partitions: Some(PartitionCount::Fixed(2)),
             split: Some(SplitPolicy::LatchCofactor),
-            ic3_frames: None,
-            ic3_gen: None,
+            ..EngineTuning::default()
         };
         for name in ["circuit", "forward"] {
             assert!(supports_tuning(name));
@@ -472,5 +544,22 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn meter_honours_the_cancel_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let m = Meter::start(&Budget::unlimited().with_cancel(flag.clone()));
+        assert!(m.exceeded(0, 0, 0).is_none());
+        assert!(!m.cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(m.cancelled());
+        // Cancellation outranks the limits and is Unknown, not Bounded —
+        // a cancelled member's verdict must never look conclusive or
+        // resource-bound.
+        let m = Meter::start(&Budget::unlimited().with_steps(0).with_cancel(flag));
+        assert!(matches!(m.exceeded(0, 0, 0), Some(Verdict::Unknown { .. })));
+        // The flag is excluded from budget equality: same envelope.
+        assert_eq!(m.budget, Budget::unlimited().with_steps(0));
     }
 }

@@ -38,14 +38,21 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use cbq_aig::{Aig, Lit, Var};
 use cbq_ckt::{Network, Trace};
 use cbq_cnf::{AigCnf, AigCnfStats};
 use cbq_sat::{SatLit, SatResult, SolverStats};
 
+use crate::bus::{BusClientStats, BusCursor, LemmaBus};
 use crate::engine::{Budget, Engine, Meter};
 use crate::verdict::{McRun, McStats, Verdict};
+
+/// Conflict budget for re-proving one bus merge. The scout already
+/// proved the pair equivalent, so the consumer's re-proof usually closes
+/// instantly; the cap only bounds the damage of a poisoned publication.
+const MERGE_PROOF_CONFLICTS: u64 = 2_000;
 
 /// The IC3/PDR engine.
 #[derive(Clone, Debug)]
@@ -69,6 +76,13 @@ pub struct Ic3 {
     /// rejected — so seeding can never change a verdict, only skip
     /// obligations.
     pub seed: Vec<Vec<(usize, bool)>>,
+    /// The parallel portfolio's [`LemmaBus`]. When set, IC3 *publishes*
+    /// every pushed frame clause (cubes blocked at frames `≥ 2`) for the
+    /// unrolling engines to assume, and *absorbs* sweep-proven node
+    /// merges at each frame extension — after re-proving each merge in
+    /// its own SAT database under a small conflict budget, so a poisoned
+    /// publication costs queries, never the verdict.
+    pub bus: Option<Arc<LemmaBus>>,
 }
 
 impl Default for Ic3 {
@@ -78,6 +92,7 @@ impl Default for Ic3 {
             drop_literals: true,
             subsume: true,
             seed: Vec::new(),
+            bus: None,
         }
     }
 }
@@ -107,6 +122,10 @@ pub struct Ic3Stats {
     /// at frames `≥ 1`) — inductive lemmas of the transition structure,
     /// replayable as [`Ic3::seed`] on a structurally matching model.
     pub lemmas: Vec<Vec<(usize, bool)>>,
+    /// Frame clauses published to the lemma bus (parallel portfolio).
+    pub published: u64,
+    /// Bus traffic absorbed from siblings (merges re-proved/rejected).
+    pub bus: BusClientStats,
     /// SAT-bridge counters (encodings, checks).
     pub cnf: AigCnfStats,
     /// Solver-core counters (conflicts, restarts, arena bytes, …).
@@ -189,6 +208,7 @@ struct Ic3Run<'a> {
     stats: Ic3Stats,
     seq: u64,
     retired_queries: u32,
+    bus_cursor: BusCursor,
 }
 
 /// Bundles the typed stats into the uniform run record.
@@ -259,6 +279,7 @@ impl<'a> Ic3Run<'a> {
             stats: Ic3Stats::default(),
             seq: 0,
             retired_queries: 0,
+            bus_cursor: BusCursor::default(),
         }
     }
 
@@ -447,7 +468,46 @@ impl<'a> Ic3Run<'a> {
             .map(|&(ord, val)| !self.cnf.ensure(&self.aig, self.latch_lit(ord, val)))
             .collect();
         self.cnf.add_guarded_by(self.frames[lvl].act, &clause);
+        // Pushed frame clauses (level ≥ 2 — they survived at least one
+        // propagation) go out on the lemma bus for the unrolling engines.
+        // Consumers re-validate, so no inductiveness claim is made here.
+        if lvl >= 2 {
+            if let Some(bus) = &self.cfg.bus {
+                if bus.publish_cube(cube.clone()) {
+                    self.stats.published += 1;
+                }
+            }
+        }
         self.frames[lvl].cubes.push(cube);
+    }
+
+    /// Absorbs sweep-proven node merges off the bus: each is re-proved
+    /// combinationally in this run's own SAT database (bounded conflicts)
+    /// before [`cbq_cnf::AigCnf::learn_equiv`] records it, so the learned
+    /// clauses are sound regardless of who published the pair. IC3's
+    /// queries range over the *original* next-state/bad cones, which is
+    /// exactly the coordinate space the sweep scout publishes in.
+    fn absorb_merges(&mut self) {
+        let Some(bus) = self.cfg.bus.clone() else {
+            return;
+        };
+        for (a, b) in bus.merges_since(&mut self.bus_cursor) {
+            let in_range =
+                a.var().index() < self.aig.num_nodes() && b.var().index() < self.aig.num_nodes();
+            if in_range
+                && self
+                    .cnf
+                    .prove_equiv(&self.aig, a, b, Some(MERGE_PROOF_CONFLICTS))
+                    .is_equiv()
+            {
+                let sa = self.cnf.ensure(&self.aig, a);
+                let sb = self.cnf.ensure(&self.aig, b);
+                self.cnf.learn_equiv(sa, sb);
+                self.stats.bus.merges_learned += 1;
+            } else {
+                self.stats.bus.merges_rejected += 1;
+            }
+        }
     }
 
     /// Pushes a freshly blocked cube as far forward as relative induction
@@ -662,6 +722,7 @@ impl<'a> Ic3Run<'a> {
                 cubes: Vec::new(),
             });
             self.stats.frames = self.top();
+            self.absorb_merges();
             match self.propagate(meter) {
                 Ok(Some(fix)) => return Verdict::Safe { iterations: fix },
                 Ok(None) => {}

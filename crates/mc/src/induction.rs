@@ -13,12 +13,15 @@
 //! holds. Simple-path constraints (pairwise state disequality) make the
 //! method complete: `k` need never exceed the recurrence diameter.
 
+use std::sync::Arc;
+
 use cbq_aig::{Aig, Lit, Var};
 use cbq_ckt::Network;
 use cbq_cnf::AigCnf;
-use cbq_sat::SatResult;
+use cbq_sat::{SatLit, SatResult};
 
 use crate::bmc::Unroller;
+use crate::bus::{assume_cube_at, BusClientStats, BusCursor, LatchCube, LemmaBus, LemmaValidator};
 use crate::engine::{Budget, Engine, Meter};
 use crate::verdict::{McRun, McStats, Verdict};
 
@@ -30,6 +33,12 @@ pub struct KInduction {
     /// Add pairwise state-disequality (simple path) constraints — needed
     /// for completeness, occasionally disabled for benchmarking.
     pub simple_path: bool,
+    /// The parallel portfolio's [`LemmaBus`]. Admitted IC3 cubes (each
+    /// re-validated by a private [`LemmaValidator`]) strengthen both
+    /// unrollings: redundant-but-pruning clauses in the base case, and
+    /// genuine invariant strengthening at every frame of the step case —
+    /// the classical way k-induction benefits from reachability lemmas.
+    pub bus: Option<Arc<LemmaBus>>,
 }
 
 impl Default for KInduction {
@@ -37,6 +46,7 @@ impl Default for KInduction {
         KInduction {
             max_k: 64,
             simple_path: true,
+            bus: None,
         }
     }
 }
@@ -48,10 +58,12 @@ pub struct KInductionStats {
     pub k: usize,
     /// SAT checks in the base databases.
     pub base_checks: u64,
-    /// SAT checks in the step database.
+    /// SAT checks in the step database (plus bus-lemma validation).
     pub step_checks: u64,
     /// Total AIG nodes across both unrollings.
     pub unrolled_nodes: usize,
+    /// Lemma-bus traffic (cubes admitted/rejected after re-validation).
+    pub bus: BusClientStats,
 }
 
 /// The step-case unrolling: frames from a free symbolic initial state.
@@ -149,24 +161,83 @@ impl Engine for KInduction {
         let mut base = Unroller::new(net);
         let mut step = StepUnroller::new(net);
         let mut step_pairs_done = 0usize;
+        // Bus consumer state: one validator feeds both unrollings, each
+        // holding its instantiated lemma clauses under its own guard.
+        let mut validator = self.bus.as_ref().map(|_| LemmaValidator::new(net));
+        let base_guard = validator.as_ref().map(|_| base.cnf.new_guard());
+        let step_guard = validator.as_ref().map(|_| step.cnf.new_guard());
+        let base_extra: Vec<SatLit> = base_guard.iter().copied().collect();
+        let step_extra: Vec<SatLit> = step_guard.iter().copied().collect();
+        let mut cursor = BusCursor::default();
+        let mut admitted: Vec<LatchCube> = Vec::new();
+        let mut pending: Vec<LatchCube> = Vec::new();
         for k in 1..=self.max_k {
             let nodes = base.aig.num_nodes() + step.aig.num_nodes();
             let checks = base.cnf.stats().checks + step.cnf.stats().checks;
             if let Some(bounded) = meter.exceeded(k - 1, nodes, checks) {
-                return self.conclude(bounded, stats, &base, &step, &meter);
+                return self.conclude(bounded, stats, &base, &step, &validator, &meter);
             }
             stats.k = k;
+            if let (Some(bus), Some(v), Some(bg), Some(sg)) = (
+                self.bus.as_deref(),
+                validator.as_mut(),
+                base_guard,
+                step_guard,
+            ) {
+                base.bad_at(net, k - 1);
+                step.bad_at(net, k);
+                // Previously admitted lemmas reach this iteration's new
+                // frames (base frame k-1, step frame k); the base's
+                // frame 0 is constants, the step's frame 0 is the free
+                // state covered at admission time.
+                for cube in &admitted {
+                    if k >= 2 {
+                        assume_cube_at(&mut base.cnf, &base.aig, bg, &base.states[k - 1], cube);
+                    }
+                    assume_cube_at(&mut step.cnf, &step.aig, sg, &step.states[k], cube);
+                }
+                // Fresh publications cover every existing frame. Batch
+                // admission finds the maximal inductive subset — IC3's
+                // frame clauses usually hold only by mutual induction —
+                // and earlier rejects are retried alongside each fresh
+                // batch, since a set that failed mid-convergence can
+                // become inductive once its missing siblings arrive.
+                let fresh = bus.cubes_since(&mut cursor);
+                if !fresh.is_empty() {
+                    pending.extend(fresh);
+                    let batch = v.admit_batch(&pending);
+                    pending.retain(|c| !batch.contains(c));
+                    stats.bus.lemmas_admitted += batch.len() as u64;
+                    stats.bus.lemmas_rejected = pending.len() as u64;
+                    for norm in batch {
+                        for t in 1..k {
+                            assume_cube_at(&mut base.cnf, &base.aig, bg, &base.states[t], &norm);
+                        }
+                        for t in 0..=k {
+                            assume_cube_at(&mut step.cnf, &step.aig, sg, &step.states[t], &norm);
+                        }
+                        admitted.push(norm);
+                    }
+                }
+            }
             // Base: any counterexample at depth k-1?
-            match base.check_depth(net, k - 1) {
+            match base.check_depth_assuming(net, k - 1, &base_extra) {
                 SatResult::Sat => {
                     let trace = base.extract_trace(net, k - 1);
-                    return self.conclude(Verdict::Unsafe { trace }, stats, &base, &step, &meter);
+                    return self.conclude(
+                        Verdict::Unsafe { trace },
+                        stats,
+                        &base,
+                        &step,
+                        &validator,
+                        &meter,
+                    );
                 }
                 SatResult::Unknown => {
                     let verdict = Verdict::Unknown {
                         reason: format!("base budget at k={k}"),
                     };
-                    return self.conclude(verdict, stats, &base, &step, &meter);
+                    return self.conclude(verdict, stats, &base, &step, &validator, &meter);
                 }
                 SatResult::Unsat => {}
             }
@@ -181,16 +252,19 @@ impl Engine for KInduction {
             }
             let mut assumptions: Vec<Lit> = (0..k).map(|t| !step.bads[t]).collect();
             assumptions.push(bad_k);
-            match step.cnf.solve_under(&step.aig, &assumptions) {
+            match step
+                .cnf
+                .solve_under_assuming(&step.aig, &assumptions, &step_extra)
+            {
                 SatResult::Unsat => {
                     let verdict = Verdict::Safe { iterations: k };
-                    return self.conclude(verdict, stats, &base, &step, &meter);
+                    return self.conclude(verdict, stats, &base, &step, &validator, &meter);
                 }
                 SatResult::Unknown => {
                     let verdict = Verdict::Unknown {
                         reason: format!("step budget at k={k}"),
                     };
-                    return self.conclude(verdict, stats, &base, &step, &meter);
+                    return self.conclude(verdict, stats, &base, &step, &validator, &meter);
                 }
                 SatResult::Sat => {}
             }
@@ -199,7 +273,7 @@ impl Engine for KInduction {
         let verdict = Verdict::Unknown {
             reason: format!("no proof or counterexample up to k={}", self.max_k),
         };
-        self.conclude(verdict, stats, &base, &step, &meter)
+        self.conclude(verdict, stats, &base, &step, &validator, &meter)
     }
 }
 
@@ -211,10 +285,11 @@ impl KInduction {
         mut stats: KInductionStats,
         base: &Unroller,
         step: &StepUnroller,
+        validator: &Option<LemmaValidator>,
         meter: &Meter,
     ) -> McRun {
         stats.base_checks = base.cnf.stats().checks;
-        stats.step_checks = step.cnf.stats().checks;
+        stats.step_checks = step.cnf.stats().checks + validator.as_ref().map_or(0, |v| v.checks());
         stats.unrolled_nodes = base.aig.num_nodes() + step.aig.num_nodes();
         finish(verdict, stats, meter)
     }
@@ -246,6 +321,7 @@ mod tests {
         let run = KInduction {
             max_k: 24,
             simple_path: true,
+            ..KInduction::default()
         }
         .check(&generators::bounded_counter(4, 9), &Budget::unlimited());
         assert!(run.verdict.is_safe(), "got {}", run.verdict);
@@ -303,6 +379,7 @@ mod tests {
         let run = KInduction {
             max_k: 3,
             simple_path: false,
+            ..KInduction::default()
         }
         .check(&deep_unreachable(), &Budget::unlimited());
         assert!(
@@ -315,6 +392,7 @@ mod tests {
         let run2 = KInduction {
             max_k: 10,
             simple_path: false,
+            ..KInduction::default()
         }
         .check(&deep_unreachable(), &Budget::unlimited());
         assert!(run2.verdict.is_safe(), "got {}", run2.verdict);
@@ -333,5 +411,32 @@ mod tests {
             ind.verdict.trace().map(cbq_ckt::Trace::len),
             bmc.verdict.trace().map(cbq_ckt::Trace::len)
         );
+    }
+
+    #[test]
+    fn consumes_prepublished_bus_lemmas() {
+        // A genuine invariant on the ring (the all-zero token-loss state
+        // is unreachable and individually inductive) published before
+        // the run: k-induction must admit it and still prove safety; a
+        // junk cube on the same bus must be rejected without touching
+        // the verdict.
+        let bus = Arc::new(LemmaBus::new());
+        bus.publish_cube(vec![
+            (0, false),
+            (1, false),
+            (2, false),
+            (3, false),
+            (4, false),
+        ]);
+        bus.publish_cube(vec![(0, true), (1, true)]); // unreachable but not inductive
+        let run = KInduction {
+            bus: Some(bus),
+            ..KInduction::default()
+        }
+        .check(&generators::token_ring(5), &Budget::unlimited());
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
+        let d = run.detail::<KInductionStats>().expect("stats");
+        assert_eq!(d.bus.lemmas_admitted, 1, "stats: {d:?}");
+        assert_eq!(d.bus.lemmas_rejected, 1, "stats: {d:?}");
     }
 }

@@ -8,9 +8,11 @@
 use cbq_cnf::AigCnfStats;
 use cbq_sat::SolverStats;
 
+use crate::bus::BusClientStats;
 use crate::circuit_umc::CircuitUmcStats;
 use crate::forward_umc::ForwardCircuitUmcStats;
 use crate::ic3::Ic3Stats;
+use crate::portfolio::PortfolioStats;
 use crate::stateset::PartitionStats;
 use crate::verdict::{McRun, Verdict};
 
@@ -93,6 +95,16 @@ pub fn cnf_json(s: &AigCnfStats) -> String {
     )
 }
 
+/// The lemma-bus consumer counters as a JSON object (`check --json`
+/// detail for bus-wired engines and the portfolio aggregate).
+pub fn bus_client_json(s: &BusClientStats) -> String {
+    format!(
+        "{{\"lemmas_admitted\":{},\"lemmas_rejected\":{},\"merges_learned\":{},\
+         \"merges_rejected\":{}}}",
+        s.lemmas_admitted, s.lemmas_rejected, s.merges_learned, s.merges_rejected
+    )
+}
+
 /// The fields of [`run_to_json`] *without* the enclosing braces, so
 /// callers (the serve result stream) can append fields of their own —
 /// cache tier, queue timing — to the same flat object.
@@ -148,7 +160,7 @@ pub fn run_to_json_fields(run: &McRun) -> String {
         detail = format!(
             ",\"frames\":{},\"obligations\":{},\"clauses\":{},\"pushed\":{},\
              \"gen_drops\":{},\"subsumed\":{},\"seeded\":{},\"seed_rejected\":{},\
-             \"lemma_count\":{},\"solver\":{},\"cnf\":{}",
+             \"lemma_count\":{},\"published\":{},\"bus\":{},\"solver\":{},\"cnf\":{}",
             d.frames,
             d.obligations,
             d.clauses,
@@ -158,8 +170,38 @@ pub fn run_to_json_fields(run: &McRun) -> String {
             d.seeded,
             d.seed_rejected,
             d.lemmas.len(),
+            d.published,
+            bus_client_json(&d.bus),
             solver_json(&d.solver),
             cnf_json(&d.cnf)
+        );
+    } else if let Some(d) = run.detail::<PortfolioStats>() {
+        let members: Vec<String> = d
+            .runs
+            .iter()
+            .map(|(name, r)| {
+                format!(
+                    "{{\"engine\":{},\"verdict\":{},\"elapsed_ms\":{:.3}}}",
+                    json_str(name),
+                    json_str(&r.verdict.to_string()),
+                    r.stats.elapsed.as_secs_f64() * 1e3
+                )
+            })
+            .collect();
+        let bus = match &d.bus {
+            Some(b) => format!(
+                ",\"bus\":{{\"published_cubes\":{},\"published_merges\":{},\
+                 \"clients\":{}}}",
+                b.published.cubes,
+                b.published.merges,
+                bus_client_json(&b.clients)
+            ),
+            None => String::new(),
+        };
+        detail = format!(
+            ",\"parallel\":{},\"members\":[{}]{bus}",
+            d.parallel,
+            members.join(",")
         );
     }
     format!(
@@ -208,5 +250,23 @@ mod tests {
         assert!(json.ends_with('}'));
         // Field form drops the braces but keeps the content.
         assert_eq!(format!("{{{}}}", run_to_json_fields(&run)), json);
+    }
+
+    #[test]
+    fn portfolio_json_reports_mode_members_and_bus() {
+        use crate::portfolio::Portfolio;
+        let run = Portfolio::standard_parallel(true)
+            .check(&generators::mutex_bug(), &Budget::unlimited());
+        let json = run_to_json(&run);
+        assert!(json.contains("\"verdict\":\"unsafe\""), "got {json}");
+        assert!(json.contains("\"parallel\":true"), "got {json}");
+        assert!(json.contains("\"members\":[{\"engine\":"), "got {json}");
+        assert!(json.contains("\"published_cubes\":"), "got {json}");
+        assert!(json.contains("\"lemmas_admitted\":"), "got {json}");
+        // Sequential runs carry the same branch, without bus stats.
+        let run = Portfolio::standard().check(&generators::mutex_bug(), &Budget::unlimited());
+        let json = run_to_json(&run);
+        assert!(json.contains("\"parallel\":false"), "got {json}");
+        assert!(!json.contains("\"published_cubes\""), "got {json}");
     }
 }

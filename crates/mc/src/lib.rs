@@ -55,7 +55,9 @@
 //! Engines are also constructible by name through the registry —
 //! [`by_name`] / [`registry`] — which is how the CLI, benches, and
 //! cross-engine tests dispatch. [`Portfolio`] composes registered
-//! engines into a budget-sliced sequence.
+//! engines into a budget-sliced sequence, or — in parallel mode — into
+//! concurrent scoped-thread workers with first-conclusive-answer
+//! cancellation and a cross-engine [`LemmaBus`].
 //!
 //! ## Example
 //!
@@ -83,6 +85,7 @@
 
 mod bdd_umc;
 mod bmc;
+mod bus;
 mod circuit_umc;
 mod engine;
 mod forward_umc;
@@ -102,6 +105,7 @@ pub mod sweep;
 
 pub use crate::bdd_umc::{BddDirection, BddUmc, BddUmcStats};
 pub use crate::bmc::{Bmc, BmcStats};
+pub use crate::bus::{BusClientStats, BusCounts, BusCursor, LatchCube, LemmaBus, LemmaValidator};
 pub use crate::circuit_umc::{CircuitUmc, CircuitUmcStats, ResidualPolicy};
 pub use crate::engine::{
     by_name, by_name_tuned, engine_names, registry, supports_tuning, Budget, Engine, EngineSpec,
@@ -110,6 +114,6 @@ pub use crate::engine::{
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
 pub use crate::ic3::{Ic3, Ic3Stats};
 pub use crate::induction::{KInduction, KInductionStats};
-pub use crate::portfolio::{Portfolio, PortfolioStats};
+pub use crate::portfolio::{Portfolio, PortfolioBusStats, PortfolioStats};
 pub use crate::stateset::{PartitionConfig, PartitionCount, PartitionStats, SplitPolicy, StateSet};
 pub use crate::verdict::{McRun, McStats, Resource, Verdict};

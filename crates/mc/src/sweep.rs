@@ -33,11 +33,15 @@
 //! behaviour is available as [`cbq_cnf::CnfLifetime::Rebuild`] via
 //! [`SweepConfig::lifetime`], kept for the ablation experiments.)
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use cbq_aig::sim::BitSim;
 use cbq_aig::{Aig, Lit, Var};
 use cbq_cec::{sweep as fraig, SweepConfig as FraigConfig};
 use cbq_cnf::{AigCnf, CnfLifetime};
+
+use crate::bus::LemmaBus;
 
 /// Configuration of the between-iterations state-set sweep.
 #[derive(Clone, Debug)]
@@ -282,6 +286,59 @@ impl StateSetSweeper {
         self.stats.live_after += aig.cone_size_many(&new_roots);
         self.watermark = Some(aig.num_nodes());
     }
+}
+
+/// The parallel portfolio's merge **scout**: proves node equivalences
+/// over the *original* network's next-state/bad cones — simulation
+/// signatures group the candidates, budgeted SAT confirms them — and
+/// publishes every proven pair on the lemma bus in original-network
+/// coordinates, where IC3's queries (which range over exactly those
+/// cones) can absorb them. Consumers re-prove each pair in their own
+/// database, so the scout's work is advisory, never trusted.
+///
+/// Cooperatively cancelled: the candidate loop stops as soon as `cancel`
+/// is raised (a sibling found a conclusive answer). Returns the number
+/// of merges published.
+pub fn merge_scout(net: &cbq_ckt::Network, bus: &LemmaBus, cancel: &AtomicBool) -> usize {
+    const SIM_WORDS: usize = 8;
+    const SIM_SEED: u64 = 0x5EED;
+    const PROOF_CONFLICTS: u64 = 20_000;
+    let aig = net.aig();
+    let mut roots: Vec<Lit> = net.latches().iter().map(|l| l.next).collect();
+    roots.push(net.bad());
+    let sim = BitSim::random(aig, SIM_WORDS, SIM_SEED);
+    let mut groups: std::collections::HashMap<Vec<u64>, Vec<Lit>> = Default::default();
+    for v in aig.collect_cone(&roots) {
+        if v == Var::CONST {
+            continue;
+        }
+        let (sig, flip) = sim.normalized_signature(v.lit());
+        groups.entry(sig).or_default().push(v.lit().xor_sign(flip));
+    }
+    let mut pairs = Vec::new();
+    for (_, mut members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+        let repr = members[0];
+        for m in &members[1..] {
+            pairs.push((repr, *m));
+        }
+    }
+    pairs.sort_unstable();
+    let mut cnf = AigCnf::new();
+    let mut published = 0;
+    for (a, b) in pairs {
+        if cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        if cnf.prove_equiv(aig, a, b, Some(PROOF_CONFLICTS)).is_equiv() {
+            bus.publish_merge(a, b);
+            published += 1;
+        }
+    }
+    published
 }
 
 #[cfg(test)]

@@ -101,7 +101,7 @@ proptest! {
         let verdicts: Vec<(&str, Verdict)> = vec![
             ("circuit", CircuitUmc::default().check(&net, &Budget::unlimited()).verdict),
             ("bdd", BddUmc::default().check(&net, &Budget::unlimited()).verdict),
-            ("kind", KInduction { max_k: 20, simple_path: true }.check(&net, &Budget::unlimited()).verdict),
+            ("kind", KInduction { max_k: 20, simple_path: true, bus: None }.check(&net, &Budget::unlimited()).verdict),
         ];
         for (name, v) in &verdicts {
             match (oracle, v) {
@@ -118,7 +118,7 @@ proptest! {
             }
         }
         if let Some(d) = oracle {
-            let bmc = Bmc { max_depth: d + 1 }.check(&net, &Budget::unlimited());
+            let bmc = Bmc { max_depth: d + 1, bus: None }.check(&net, &Budget::unlimited());
             prop_assert!(bmc.verdict.is_unsafe());
         }
     }

@@ -7,7 +7,8 @@
 //! test-suite drives it directly so cache correctness is checked without
 //! sockets in the loop.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 use cbq_ckt::io::read_network;
@@ -49,6 +50,7 @@ impl ServerCaps {
             max_nodes: tighter(requested.max_nodes, self.max_nodes),
             max_sat_checks: tighter(requested.max_sat_checks, self.max_sat_checks),
             timeout: tighter(requested.timeout, self.timeout),
+            cancel: requested.cancel.clone(),
         }
     }
 }
@@ -150,6 +152,39 @@ impl CheckRequest {
     }
 }
 
+/// Locks a mutex, recovering from poisoning: a job that panicked while
+/// holding the lock must not take every later job down with it. The
+/// guarded state (cache, queue, streams) is written transactionally
+/// enough that recovery is safe — at worst a panicked job's own record
+/// is missing.
+pub fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs one job inside a panic firewall: a panicking job yields an
+/// `error` record for its id instead of unwinding through the worker
+/// loop (where it would poison the shared queue/cache/stream mutexes and
+/// kill every subsequent worker).
+pub fn run_job_guarded<F>(job_id: u64, job: F) -> JobOutcome
+where
+    F: FnOnce() -> JobOutcome,
+{
+    catch_unwind(AssertUnwindSafe(job)).unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        JobOutcome {
+            line: error_line(job_id, &format!("job panicked: {msg}")),
+            run: None,
+            tier: CacheTier::Miss,
+        }
+    })
+}
+
 /// Renders an `error` event line.
 pub fn error_line(job: u64, message: &str) -> String {
     format!(
@@ -193,7 +228,7 @@ pub fn process_check(
     // Replay tiers first; the lock is held only for the lookup.
     let mut seed = None;
     if req.use_cache {
-        let mut cache = cache.lock().expect("cache lock");
+        let mut cache = lock_recovering(cache);
         if let Some((run, tier)) = cache.lookup_run(&key, &req.engine) {
             let run = run.with_job(req.id);
             let line = result_line(&run, tier, &cache.stats.to_json());
@@ -225,11 +260,11 @@ pub fn process_check(
     .with_job(req.id);
 
     let stats_json = if req.use_cache {
-        let mut cache = cache.lock().expect("cache lock");
+        let mut cache = lock_recovering(cache);
         cache.record(&key, &req.engine, &run);
         cache.stats.to_json()
     } else {
-        cache.lock().expect("cache lock").stats.to_json()
+        lock_recovering(cache).stats.to_json()
     };
     JobOutcome {
         line: result_line(&run, tier, &stats_json),
@@ -368,6 +403,35 @@ mod tests {
         assert!(out.run.is_none());
         assert!(out.line.contains("\"event\":\"error\""), "{}", out.line);
         assert!(out.line.contains("\"job\":3"), "{}", out.line);
+    }
+
+    #[test]
+    fn panicking_job_yields_an_error_event_not_an_unwind() {
+        let out = run_job_guarded(42, || panic!("model ate the stack"));
+        assert!(out.run.is_none());
+        assert!(out.line.contains("\"event\":\"error\""), "{}", out.line);
+        assert!(out.line.contains("\"job\":42"), "{}", out.line);
+        assert!(out.line.contains("model ate the stack"), "{}", out.line);
+    }
+
+    #[test]
+    fn cache_survives_a_job_that_panicked_holding_the_lock() {
+        let cache = Mutex::new(StructuralCache::new());
+        let caps = ServerCaps::default();
+        let net = generators::token_ring(4);
+        // Warm the cache, then poison its mutex the way a panicking job
+        // would: mid-critical-section.
+        let _ = process_check(&check_req(&net, "ic3", 1), &cache, &caps);
+        let poison = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.lock().unwrap();
+            panic!("job died holding the cache lock");
+        }));
+        assert!(poison.is_err());
+        assert!(cache.is_poisoned(), "the panic must have poisoned the lock");
+        // Later jobs recover the lock and still hit the cache.
+        let hit = process_check(&check_req(&net, "ic3", 2), &cache, &caps);
+        assert_eq!(hit.tier, CacheTier::WholeRun);
+        assert!(hit.run.expect("replayed").verdict.is_safe());
     }
 
     #[test]

@@ -17,7 +17,9 @@ use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use crate::cache::StructuralCache;
-use crate::job::{error_line, process_check, CheckRequest, ServerCaps};
+use crate::job::{
+    error_line, lock_recovering, process_check, run_job_guarded, CheckRequest, ServerCaps,
+};
 use crate::json::Json;
 
 /// Server construction knobs.
@@ -121,7 +123,7 @@ impl Server {
     fn worker(&self) {
         loop {
             let job = {
-                let mut queue = self.queue.lock().expect("queue lock");
+                let mut queue = lock_recovering(&self.queue);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break job;
@@ -129,10 +131,20 @@ impl Server {
                     if self.stop.load(Ordering::SeqCst) {
                         return;
                     }
-                    queue = self.ready.wait(queue).expect("queue lock");
+                    queue = self
+                        .ready
+                        .wait(queue)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
             };
-            let outcome = process_check(&job.request, &self.cache, &self.cfg.caps);
+            // The firewall keeps a panicking job from unwinding through
+            // this loop (which would poison the queue/cache/stream locks
+            // and silently kill this worker for all later jobs): the
+            // client gets an `error` record and the worker lives on.
+            let id = job.request.id;
+            let outcome = run_job_guarded(id, || {
+                process_check(&job.request, &self.cache, &self.cfg.caps)
+            });
             self.jobs_done.fetch_add(1, Ordering::SeqCst);
             send_line(&job.out, &outcome.line);
         }
@@ -193,9 +205,9 @@ impl Server {
                                 cbq_mc::json::json_str(&request.engine)
                             ),
                         );
-                        match out.lock().expect("stream lock").try_clone() {
+                        match lock_recovering(out).try_clone() {
                             Ok(clone) => {
-                                let mut queue = self.queue.lock().expect("queue lock");
+                                let mut queue = lock_recovering(&self.queue);
                                 queue.push_back(Job {
                                     request,
                                     out: Mutex::new(clone),
@@ -211,12 +223,12 @@ impl Server {
                 true
             }
             Some("stats") => {
-                let cache = self.cache.lock().expect("cache lock");
+                let cache = lock_recovering(&self.cache);
                 let line = format!(
                     "{{\"event\":\"stats\",\"jobs_done\":{},\"queued\":{},\"workers\":{},\
                      \"cache_entries\":{},\"cache_stats\":{}}}",
                     self.jobs_done.load(Ordering::SeqCst),
-                    self.queue.lock().expect("queue lock").len(),
+                    lock_recovering(&self.queue).len(),
                     self.cfg.workers.max(1),
                     cache.len(),
                     cache.stats.to_json(),
@@ -247,7 +259,7 @@ impl Server {
 /// Writes one response line; errors (client gone) are ignored — the job
 /// still ran and its cache entries persist.
 fn send_line(out: &Mutex<TcpStream>, line: &str) {
-    let mut stream = out.lock().expect("stream lock");
+    let mut stream = lock_recovering(out);
     let _ = stream.write_all(line.as_bytes());
     let _ = stream.write_all(b"\n");
     let _ = stream.flush();

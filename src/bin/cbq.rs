@@ -249,6 +249,7 @@ fn check_help() -> String {
         "usage: cbq check <file.aag> [--engine E] [--sweep on|off]
                  [--quant-order O] [--partitions N|auto] [--split P]
                  [--ic3-frames N] [--ic3-gen on|off]
+                 [--portfolio-par] [--portfolio-bus on|off]
                  [--steps N] [--nodes N] [--sat-checks N]
                  [--timeout-ms N] [--json]
 
@@ -268,6 +269,13 @@ Model-checks the circuit's bad-state property.
   --ic3-frames N     IC3 frame-count safety net (ic3 engine; default 10000)
   --ic3-gen on|off   IC3 literal-dropping generalization beyond the
                      unsat core (ic3 engine; default: on)
+  --portfolio-par    run the portfolio members concurrently (scoped
+                     threads, first conclusive answer wins; portfolio
+                     engine only — the sequential cascade is the default)
+  --portfolio-bus on|off
+                     cross-engine lemma bus in parallel mode: IC3 frame
+                     clauses and sweep-proven merges are shared and
+                     re-validated by each consumer (default: on)
   --steps N          budget: at most N engine iterations / depth frames
   --nodes N          budget: at most N representation nodes
   --sat-checks N     budget: at most N SAT checks
@@ -295,13 +303,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "split",
             "ic3-frames",
             "ic3-gen",
+            "portfolio-bus",
             "steps",
             "nodes",
             "sat-checks",
             "timeout-ms",
             "max",
         ],
-        &["json"],
+        &["json", "portfolio-par"],
     ) {
         Ok((positional, flags, switches)) if positional.len() == 1 => {
             (positional[0].to_string(), flags, switches)
@@ -379,6 +388,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "portfolio-bus" => match value {
+                "on" => tuning.portfolio_bus = Some(true),
+                "off" => tuning.portfolio_bus = Some(false),
+                other => {
+                    eprintln!("flag `--portfolio-bus` expects `on` or `off`, got `{other}`");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 let n = match parse_count(other, value) {
                     Ok(n) => n,
@@ -414,6 +431,19 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     if ic3_flags && engine_name != "ic3" {
         eprintln!("note: engine `{engine_name}` ignores --ic3-frames/--ic3-gen");
+    }
+    if switches.contains(&"portfolio-par") {
+        tuning.portfolio_parallel = Some(true);
+    }
+    let portfolio_flags = tuning.portfolio_parallel.is_some() || tuning.portfolio_bus.is_some();
+    if portfolio_flags && engine_name != "portfolio" {
+        eprintln!("note: engine `{engine_name}` ignores --portfolio-par/--portfolio-bus");
+    }
+    if tuning.portfolio_bus.is_some() && tuning.portfolio_parallel.is_none() {
+        eprintln!(
+            "note: --portfolio-bus has no effect without --portfolio-par \
+             (the sequential cascade shares no lemmas)"
+        );
     }
     if tuning.split.is_some() && tuning.partitions.is_none() {
         eprintln!(

@@ -334,6 +334,70 @@ fn ic3_agrees_with_circuit_engines_on_e6_family() {
 }
 
 #[test]
+fn parallel_portfolio_matches_sequential_on_e6_family() {
+    // The parallel-determinism contract of the portfolio rewrite: the
+    // concurrent scoped-thread race (with and without the lemma bus)
+    // must return *exactly* the sequential cascade's answer on every E6
+    // model — same safe/unsafe classification and, on unsafe models,
+    // the same minimal counterexample depth, because the winner is the
+    // smallest-index conclusive member and earlier members are never
+    // cancelled by later winners.
+    use cbq::mc::{Portfolio, PortfolioStats};
+    let e6_family = vec![
+        generators::token_ring(5),
+        generators::bounded_counter_gap(4, 6, 12),
+        generators::gray_counter(4),
+        generators::arbiter(4),
+        generators::mutex(),
+        generators::lfsr(5, &[0, 2]),
+        generators::fifo_ctrl(2),
+        generators::token_ring_bug(5),
+        generators::mutex_bug(),
+        generators::shift_ones(4),
+        generators::counter_bug(4, 6),
+    ];
+    for net in &e6_family {
+        let seq = Portfolio::standard().check(net, &Budget::unlimited());
+        for bus in [false, true] {
+            let par = Portfolio::standard_parallel(bus).check(net, &Budget::unlimited());
+            match (&seq.verdict, &par.verdict) {
+                (Verdict::Safe { .. }, Verdict::Safe { .. }) => {}
+                (Verdict::Unsafe { trace: s }, Verdict::Unsafe { trace: p }) => {
+                    assert!(
+                        p.validates(net),
+                        "{} (bus={bus}): parallel trace does not replay",
+                        net.name()
+                    );
+                    assert!(
+                        replays_on_sim(net, p),
+                        "{} (bus={bus}): parallel trace rejected by the simulator",
+                        net.name()
+                    );
+                    assert_eq!(
+                        s.len(),
+                        p.len(),
+                        "{} (bus={bus}): parallel cex depth diverged",
+                        net.name()
+                    );
+                }
+                (s, p) => panic!(
+                    "{} (bus={bus}): sequential says {s}, parallel says {p}",
+                    net.name()
+                ),
+            }
+            let detail = par.detail::<PortfolioStats>().expect("portfolio stats");
+            assert!(detail.parallel, "{}: run not marked parallel", net.name());
+            assert_eq!(
+                detail.bus.is_some(),
+                bus,
+                "{}: bus stats presence must track the bus switch",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn naive_quantification_engine_matches_oracle() {
     // Ablation: even with merge and optimisation disabled, the traversal
     // must stay sound and complete.
