@@ -1,10 +1,14 @@
-//! 64-way parallel bit-vector simulation.
+//! 64-way parallel bit-vector simulation — two-valued ([`BitSim`]) and
+//! ternary ([`TernSim`]).
 //!
 //! Because the manager is append-only, node indices are a topological
 //! order: whole-graph simulation is a single linear pass. Sweeping engines
 //! use the resulting per-node *signatures* to seed candidate equivalence
 //! classes, and feed SAT counterexamples back in as fresh patterns to
-//! refine them.
+//! refine them. The ternary simulator adds an X value for "unknown": IC3
+//! uses it to widen a concrete predecessor state into a cube by checking
+//! which latches can go to X while the bad/next-state cone stays at a
+//! definite value — structural reasoning that replaces SAT queries.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -181,6 +185,209 @@ impl BitSim {
     }
 }
 
+/// A ternary (0/1/X) bit-parallel simulator holding `words * 64`
+/// three-valued patterns for every node.
+///
+/// The encoding is two planes per node: `ones` (bits where the node is
+/// *definitely 1*) and `zeros` (*definitely 0*); a bit clear in both
+/// planes is X. The planes make X-propagation two word operations per
+/// gate — `AND`: `ones = a.ones & b.ones`, `zeros = a.zeros | b.zeros`
+/// — and `NOT` a plane swap at the edge read, mirroring [`BitSim`]'s
+/// complement handling. Ternary evaluation is *monotone in definedness*:
+/// turning more inputs to X can only turn more outputs to X, never flip
+/// a definite value — which is what makes a definite output a sound fact
+/// about every concretization of the X inputs.
+///
+/// ```
+/// use cbq_aig::{Aig, sim::TernSim};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and(a.lit(), b.lit());
+/// let mut sim = TernSim::new(&aig, 1);
+/// sim.set_var(a, 0, Some(false));
+/// sim.set_var(b, 0, None); // X
+/// sim.run(&aig);
+/// // 0 AND X is definitely 0; the X never reaches f.
+/// assert_eq!(sim.lit_value(f, 0), Some(false));
+/// sim.set_var(a, 0, Some(true));
+/// sim.run(&aig);
+/// // 1 AND X stays X.
+/// assert_eq!(sim.lit_value(f, 0), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TernSim {
+    words: usize,
+    /// Definitely-1 plane, indexed `node * words + w`.
+    ones: Vec<u64>,
+    /// Definitely-0 plane, same indexing.
+    zeros: Vec<u64>,
+}
+
+impl TernSim {
+    /// Creates a simulator with `words` 64-bit pattern words per node.
+    /// Every variable starts at X; the constant node is definitely 0.
+    pub fn new(aig: &Aig, words: usize) -> TernSim {
+        assert!(words > 0, "need at least one simulation word");
+        let mut sim = TernSim {
+            words,
+            ones: vec![0; aig.num_nodes() * words],
+            zeros: vec![0; aig.num_nodes() * words],
+        };
+        for w in 0..words {
+            sim.zeros[w] = !0;
+        }
+        sim
+    }
+
+    /// Number of 64-bit words per node.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Total number of patterns (`words * 64`).
+    pub fn num_patterns(&self) -> usize {
+        self.words * 64
+    }
+
+    /// Sets variable `v` in pattern `bit` to a definite value or to X
+    /// (`None`). Meaningful for input variables; an AND node's planes are
+    /// recomputed by the next run.
+    pub fn set_var(&mut self, v: Var, bit: usize, val: Option<bool>) {
+        assert!(bit < self.num_patterns());
+        let idx = v.index() * self.words + bit / 64;
+        let mask = 1u64 << (bit % 64);
+        self.ones[idx] &= !mask;
+        self.zeros[idx] &= !mask;
+        match val {
+            Some(true) => self.ones[idx] |= mask,
+            Some(false) => self.zeros[idx] |= mask,
+            None => {}
+        }
+    }
+
+    /// Sets variable `v` to the same value (or X) in every pattern.
+    pub fn broadcast_var(&mut self, v: Var, val: Option<bool>) {
+        let base = v.index() * self.words;
+        let (ones, zeros) = match val {
+            Some(true) => (!0u64, 0),
+            Some(false) => (0, !0u64),
+            None => (0, 0),
+        };
+        for w in 0..self.words {
+            self.ones[base + w] = ones;
+            self.zeros[base + w] = zeros;
+        }
+    }
+
+    /// Re-evaluates every AND gate from the current input planes.
+    ///
+    /// Grows internal storage (new nodes start at X) if the AIG gained
+    /// nodes since construction.
+    pub fn run(&mut self, aig: &Aig) {
+        self.ones.resize(aig.num_nodes() * self.words, 0);
+        self.zeros.resize(aig.num_nodes() * self.words, 0);
+        for (idx, node) in aig.nodes().iter().enumerate() {
+            if let Node::And { f0, f1 } = *node {
+                self.eval_and(idx, f0, f1);
+            }
+        }
+    }
+
+    /// The AND-gate cone of `roots`: every AND node some root depends
+    /// on, as ascending node indices — a valid evaluation order for
+    /// [`TernSim::run_cone`] (append-only node indices are topological).
+    pub fn cone_of(aig: &Aig, roots: &[Lit]) -> Vec<usize> {
+        let mut seen = vec![false; aig.num_nodes()];
+        let mut stack: Vec<usize> = Vec::new();
+        for root in roots {
+            let idx = root.var().index();
+            if !seen[idx] {
+                seen[idx] = true;
+                stack.push(idx);
+            }
+        }
+        let mut cone = Vec::new();
+        while let Some(idx) = stack.pop() {
+            if let Node::And { f0, f1 } = aig.nodes()[idx] {
+                cone.push(idx);
+                for edge in [f0, f1] {
+                    let child = edge.var().index();
+                    if !seen[child] {
+                        seen[child] = true;
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        cone.sort_unstable();
+        cone
+    }
+
+    /// Cone-restricted re-evaluation: recomputes exactly the AND nodes
+    /// in `cone` (ascending indices, as produced by
+    /// [`TernSim::cone_of`]), leaving every other node untouched. This
+    /// is what makes repeated widening probes cheap — the cost is the
+    /// target cone, not the whole netlist.
+    pub fn run_cone(&mut self, aig: &Aig, cone: &[usize]) {
+        debug_assert!(cone.windows(2).all(|w| w[0] < w[1]), "cone not ascending");
+        for &idx in cone {
+            if let Node::And { f0, f1 } = aig.nodes()[idx] {
+                self.eval_and(idx, f0, f1);
+            }
+        }
+    }
+
+    fn eval_and(&mut self, idx: usize, f0: Lit, f1: Lit) {
+        for w in 0..self.words {
+            let (a1, a0) = self.edge_planes(f0, w);
+            let (b1, b0) = self.edge_planes(f1, w);
+            self.ones[idx * self.words + w] = a1 & b1;
+            self.zeros[idx * self.words + w] = a0 | b0;
+        }
+    }
+
+    /// The `(ones, zeros)` planes of literal `l` at word `w` (complement
+    /// = plane swap).
+    fn edge_planes(&self, l: Lit, w: usize) -> (u64, u64) {
+        let idx = l.var().index() * self.words + w;
+        if l.is_complemented() {
+            (self.zeros[idx], self.ones[idx])
+        } else {
+            (self.ones[idx], self.zeros[idx])
+        }
+    }
+
+    /// The definitely-1 word of literal `l` (complement applied).
+    pub fn lit_ones(&self, l: Lit, w: usize) -> u64 {
+        self.edge_planes(l, w).0
+    }
+
+    /// The definitely-0 word of literal `l` (complement applied).
+    pub fn lit_zeros(&self, l: Lit, w: usize) -> u64 {
+        self.edge_planes(l, w).1
+    }
+
+    /// The bits of word `w` where literal `l` has a definite value.
+    pub fn lit_defined(&self, l: Lit, w: usize) -> u64 {
+        let (ones, zeros) = self.edge_planes(l, w);
+        ones | zeros
+    }
+
+    /// Three-valued value of literal `l` in pattern `bit` (`None` = X).
+    pub fn lit_value(&self, l: Lit, bit: usize) -> Option<bool> {
+        let (ones, zeros) = self.edge_planes(l, bit / 64);
+        let mask = 1u64 << (bit % 64);
+        if ones & mask != 0 {
+            Some(true)
+        } else if zeros & mask != 0 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +458,126 @@ mod tests {
         let f = aig.and(a, b);
         sim.run(&aig);
         assert_eq!(sim.lit_word(f, 0), sim.lit_word(a, 0) & sim.lit_word(b, 0));
+    }
+
+    #[test]
+    fn ternary_constants_and_x_propagation() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a.lit(), b.lit());
+        let g = aig.or(a.lit(), b.lit());
+        let mut sim = TernSim::new(&aig, 1);
+        assert_eq!(sim.lit_value(Lit::FALSE, 0), Some(false));
+        assert_eq!(sim.lit_value(Lit::TRUE, 0), Some(true));
+        // Unset inputs are X and X propagates through both phases.
+        sim.run(&aig);
+        assert_eq!(sim.lit_value(f, 0), None);
+        assert_eq!(sim.lit_value(!f, 0), None);
+        // A controlling value absorbs an X; a non-controlling one keeps it.
+        sim.set_var(a, 0, Some(false));
+        sim.run(&aig);
+        assert_eq!(sim.lit_value(f, 0), Some(false));
+        assert_eq!(sim.lit_value(g, 0), None);
+        sim.set_var(a, 0, Some(true));
+        sim.run(&aig);
+        assert_eq!(sim.lit_value(f, 0), None);
+        assert_eq!(sim.lit_value(g, 0), Some(true));
+        sim.set_var(b, 0, Some(true));
+        sim.run(&aig);
+        assert_eq!(sim.lit_value(f, 0), Some(true));
+        assert_eq!(sim.lit_defined(f, 0) & 1, 1);
+    }
+
+    #[test]
+    fn ternary_agrees_with_bitsim_on_definite_patterns() {
+        let mut aig = Aig::new();
+        let ins: Vec<Var> = (0..4).map(|_| aig.add_input()).collect();
+        let f = {
+            let x = aig.xor(ins[0].lit(), ins[1].lit());
+            let y = aig.and(ins[2].lit(), ins[3].lit());
+            aig.or(x, y)
+        };
+        let bits = BitSim::random(&aig, 2, 11);
+        let mut tern = TernSim::new(&aig, 2);
+        for (i, v) in ins.iter().enumerate() {
+            for bit in 0..bits.num_patterns() {
+                let val = bits.pattern_assignment(&aig, bit)[i];
+                tern.set_var(*v, bit, Some(val));
+            }
+        }
+        tern.run(&aig);
+        for bit in 0..bits.num_patterns() {
+            let expect = (bits.lit_word(f, bit / 64) >> (bit % 64)) & 1 != 0;
+            assert_eq!(tern.lit_value(f, bit), Some(expect), "pattern {bit}");
+        }
+    }
+
+    #[test]
+    fn cone_restricted_reeval_matches_full_run() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = aig.and(a.lit(), b.lit());
+        let g = aig.xor(f, c.lit());
+        let unrelated = aig.and(c.lit(), a.lit());
+        let cone = TernSim::cone_of(&aig, &[g]);
+        assert!(cone.contains(&f.var().index()));
+        assert!(!cone.contains(&unrelated.var().index()));
+        let mut sim = TernSim::new(&aig, 1);
+        for v in [a, b, c] {
+            sim.broadcast_var(v, Some(true));
+        }
+        sim.run(&aig);
+        assert_eq!(sim.lit_value(g, 0), Some(false));
+        // Flip one input and re-evaluate only g's cone: g updates, the
+        // unrelated gate keeps its stale value.
+        sim.broadcast_var(c, Some(false));
+        sim.run_cone(&aig, &cone);
+        assert_eq!(sim.lit_value(g, 0), Some(true));
+        assert_eq!(sim.lit_value(unrelated, 0), Some(true), "outside cone");
+        let mut full = TernSim::new(&aig, 1);
+        for (v, val) in [(a, true), (b, true), (c, false)] {
+            full.broadcast_var(v, Some(val));
+        }
+        full.run(&aig);
+        assert_eq!(full.lit_value(g, 0), sim.lit_value(g, 0));
+    }
+
+    #[test]
+    fn ternary_definite_outputs_hold_for_all_concretizations() {
+        // One X input, all four assignments of the others: whenever the
+        // ternary value is definite, both concretizations of the X agree.
+        let mut aig = Aig::new();
+        let ins: Vec<Var> = (0..3).map(|_| aig.add_input()).collect();
+        let f = {
+            let x = aig.ite(ins[0].lit(), ins[1].lit(), ins[2].lit());
+            aig.xor(x, ins[1].lit())
+        };
+        for x_at in 0..3 {
+            for mask in 0..4u32 {
+                let mut sim = TernSim::new(&aig, 1);
+                let mut concrete = vec![false; 3];
+                let mut m = 0;
+                for (i, v) in ins.iter().enumerate() {
+                    if i == x_at {
+                        sim.set_var(*v, 0, None);
+                    } else {
+                        let val = (mask >> m) & 1 != 0;
+                        m += 1;
+                        concrete[i] = val;
+                        sim.set_var(*v, 0, Some(val));
+                    }
+                }
+                sim.run(&aig);
+                if let Some(v) = sim.lit_value(f, 0) {
+                    for x_val in [false, true] {
+                        concrete[x_at] = x_val;
+                        assert_eq!(aig.eval(f, &concrete), v, "x at {x_at}, mask {mask}");
+                    }
+                }
+            }
+        }
     }
 }

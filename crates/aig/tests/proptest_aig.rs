@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use cbq_aig::io::{parse_aag, write_aag};
-use cbq_aig::sim::BitSim;
+use cbq_aig::sim::{BitSim, TernSim};
 use cbq_aig::{Aig, Lit, Var};
 
 /// A recipe for building a random circuit: a list of gate descriptors
@@ -160,6 +160,67 @@ proptest! {
         for mask in 0..1u32 << N {
             let asg: Vec<bool> = (0..N).map(|i| (mask >> i) & 1 != 0).collect();
             prop_assert_eq!(aig.eval(root, &asg), aig2.eval(outs[0], &asg));
+        }
+    }
+
+    /// Differential: on X-free inputs the ternary simulator agrees with
+    /// the two-valued one *exactly*, at every node of the circuit.
+    #[test]
+    fn ternary_matches_bitsim_when_definite(ops in ops_strategy(24), mask in 0..1usize << N) {
+        let (aig, root) = build(N, &ops);
+        let asg: Vec<bool> = (0..N).map(|i| (mask >> i) & 1 != 0).collect();
+        let mut tern = TernSim::new(&aig, 1);
+        let mut bit = BitSim::new(&aig, 1);
+        bit.set_pattern(&aig, 0, &asg);
+        for (i, &v) in asg.iter().enumerate() {
+            tern.set_var(aig.input_var(i), 0, Some(v));
+        }
+        bit.run(&aig);
+        tern.run(&aig);
+        for idx in 0..aig.num_nodes() {
+            let l = Var::from_index(idx).lit();
+            prop_assert_eq!(
+                tern.lit_value(l, 0),
+                Some(bit.lit_word(l, 0) & 1 != 0),
+                "node {} diverges", idx
+            );
+        }
+        prop_assert_eq!(tern.lit_value(root, 0), Some(aig.eval(root, &asg)));
+    }
+
+    /// Differential: X inputs are a sound over-approximation — wherever
+    /// the ternary simulator reports a *definite* value, every
+    /// concretization of the X inputs agrees with it (checked against
+    /// BitSim over all assignments of the X-ed variables).
+    #[test]
+    fn ternary_definite_values_are_sound(ops in ops_strategy(24), xmask in 0..1usize << N, base in 0..1usize << N) {
+        let (aig, root) = build(N, &ops);
+        let mut tern = TernSim::new(&aig, 1);
+        for i in 0..N {
+            let val = if (xmask >> i) & 1 != 0 { None } else { Some((base >> i) & 1 != 0) };
+            tern.set_var(aig.input_var(i), 0, val);
+        }
+        tern.run(&aig);
+        let xs: Vec<usize> = (0..N).filter(|i| (xmask >> *i) & 1 != 0).collect();
+        let mut bit = BitSim::new(&aig, 1);
+        for choice in 0..1u32 << xs.len() {
+            let mut asg: Vec<bool> = (0..N).map(|i| (base >> i) & 1 != 0).collect();
+            for (j, &i) in xs.iter().enumerate() {
+                asg[i] = (choice >> j) & 1 != 0;
+            }
+            bit.set_pattern(&aig, 0, &asg);
+            bit.run(&aig);
+            for idx in 0..aig.num_nodes() {
+                let l = Var::from_index(idx).lit();
+                if let Some(def) = tern.lit_value(l, 0) {
+                    prop_assert_eq!(
+                        def,
+                        bit.lit_word(l, 0) & 1 != 0,
+                        "definite node {} contradicted by concretization {}", idx, choice
+                    );
+                }
+            }
+            let _ = root;
         }
     }
 

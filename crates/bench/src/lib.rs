@@ -23,8 +23,9 @@ use cbq_mc::ganai::all_solutions_exists;
 use cbq_mc::preimage::preimage_formula;
 use cbq_mc::sweep::SweepConfig as StateSweepConfig;
 use cbq_mc::{
-    registry, Bmc, Budget, CircuitUmc, CircuitUmcStats, Engine, Ic3, Ic3Stats, PartitionConfig,
-    PartitionCount, PartitionStats, Portfolio, PortfolioBusStats, PortfolioStats, Verdict,
+    registry, Bmc, Budget, CircuitUmc, CircuitUmcStats, Engine, GenMode, Ic3, Ic3Stats,
+    PartitionConfig, PartitionCount, PartitionStats, Portfolio, PortfolioBusStats, PortfolioStats,
+    Verdict,
 };
 use cbq_synth::OptConfig;
 
@@ -797,15 +798,16 @@ pub fn e6p_table() -> Table {
 // E6pdr — IC3/PDR vs the bounded and traversal engines
 // ---------------------------------------------------------------------
 
-/// E6pdr kernel: one IC3 run. Returns (verdict, frames, obligations,
-/// clauses learned, clauses pushed, generalization drops, ms).
+/// E6pdr kernel: one IC3 run at generalization mode `gen`. Returns
+/// (verdict, frames, obligations, clauses learned, clauses pushed,
+/// generalization drops, ms).
 pub fn ic3_run(
     net: &Network,
-    drop_literals: bool,
+    gen: GenMode,
     budget: &Budget,
 ) -> (Verdict, usize, u64, u64, u64, u64, f64) {
     let engine = Ic3 {
-        drop_literals,
+        gen,
         ..Ic3::default()
     };
     let start = Instant::now();
@@ -853,8 +855,9 @@ pub fn e6pdr_table() -> Table {
         let circuit = CircuitUmc::default().check(&net, &budget);
         let ms_circuit = start.elapsed().as_secs_f64() * 1e3;
         let bmc = Bmc::default().check(&net, &budget);
-        let (v_ic3, frames, obls, clauses, pushed, drops, ms_ic3) = ic3_run(&net, true, &budget);
-        let (v_nodrop, _, _, _, _, _, ms_nodrop) = ic3_run(&net, false, &budget);
+        let (v_ic3, frames, obls, clauses, pushed, drops, ms_ic3) =
+            ic3_run(&net, GenMode::default(), &budget);
+        let (v_nodrop, _, _, _, _, _, ms_nodrop) = ic3_run(&net, GenMode::Core, &budget);
         // Agreement on the classification (safe/unsafe), not the depth:
         // IC3 counterexamples are genuine but need not be minimal. The
         // ablation run must agree too — a generalization regression that
@@ -884,6 +887,98 @@ pub fn e6pdr_table() -> Table {
             format!("{ms_circuit:.1}"),
             format!("{ms_ic3:.1}"),
             format!("{ms_nodrop:.1}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6g — IC3 generalization ablation (the GenMode ladder)
+// ---------------------------------------------------------------------
+
+/// E6g kernel: one IC3 run at `gen`, surfacing the query-stream
+/// counters. Returns (verdict, SAT checks, obligations, ternary drops,
+/// CTGs blocked, F_∞ clauses, ms).
+pub fn ic3_gen_run(
+    net: &Network,
+    gen: GenMode,
+    budget: &Budget,
+) -> (Verdict, u64, u64, u64, u64, u64, f64) {
+    let engine = Ic3 {
+        gen,
+        ..Ic3::default()
+    };
+    let start = Instant::now();
+    let run = engine.check(net, budget);
+    let d = run.detail::<Ic3Stats>().expect("ic3 stats");
+    (
+        run.verdict.clone(),
+        d.cnf.checks,
+        d.obligations,
+        d.tern_drops,
+        d.ctg_blocked,
+        d.inf_clauses,
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// The E6g suite: the engine-comparison models plus three don't-care
+/// rich safe circuits — a deeper FIFO controller, a wider arbiter and a
+/// wide shadowed counter — where ternary widening has latches to X out.
+pub fn e6g_suite() -> Vec<Network> {
+    let mut suite = umc_suite();
+    suite.push(generators::fifo_ctrl(6));
+    suite.push(generators::arbiter(9));
+    suite.push(generators::shadowed_counter_gap(7, 50, 100, 256));
+    suite
+}
+
+/// E6g: the generalization-effort ladder, one IC3 run per
+/// [`GenMode`] per model. The claims: every rung reaches the same
+/// verdict (a `!=` marker prints otherwise), and the structural rungs —
+/// ternary widening, CTG blocking, F_∞ promotion — cut the SAT query
+/// stream (`chk`) and the obligation count (`obl`) that the paper's
+/// thesis says dominate the wall clock.
+pub fn e6g_table() -> Table {
+    let mut t = Table::new(
+        "E6g — IC3 generalization ablation (core < drop < ternary < ctg)",
+        &[
+            "circuit", "verdict", "chk core", "chk drop", "chk tern", "chk ctg", "obl drop",
+            "obl tern", "obl ctg", "tdrops", "ctg blk", "inf", "ms ctg",
+        ],
+    );
+    let budget = e6_budget();
+    for net in e6g_suite() {
+        let runs: Vec<(Verdict, u64, u64, u64, u64, u64, f64)> = GenMode::ALL
+            .iter()
+            .map(|&gen| ic3_gen_run(&net, gen, &budget))
+            .collect();
+        let agree = runs.iter().all(|(v, ..)| {
+            v.is_safe() == runs[0].0.is_safe() && v.is_unsafe() == runs[0].0.is_unsafe()
+        });
+        let verdict = if agree {
+            verdict_cell(&runs[3].0)
+        } else {
+            format!(
+                "{} != {}",
+                verdict_cell(&runs[0].0),
+                verdict_cell(&runs[3].0)
+            )
+        };
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            runs[0].1.to_string(),
+            runs[1].1.to_string(),
+            runs[2].1.to_string(),
+            runs[3].1.to_string(),
+            runs[1].2.to_string(),
+            runs[2].2.to_string(),
+            runs[3].2.to_string(),
+            runs[3].3.to_string(),
+            runs[3].4.to_string(),
+            runs[3].5.to_string(),
+            format!("{:.1}", runs[3].6),
         ]);
     }
     t
@@ -1240,6 +1335,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e6p" => Some(e6p_table()),
         "e6a" => Some(e6a_table()),
         "e6pdr" => Some(e6pdr_table()),
+        "e6g" => Some(e6g_table()),
         "e6c" => Some(e6c_table()),
         "e6pp" => Some(e6pp_table()),
         "e7" => Some(e7_table()),
@@ -1250,8 +1346,9 @@ pub fn run_experiment(id: &str) -> Option<Table> {
 }
 
 /// All experiment ids in report order (`smoke` is CI-only and excluded).
-pub const EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6c", "e6pp", "e7", "e8",
+pub const EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6g", "e6c", "e6pp", "e7",
+    "e8",
 ];
 
 #[cfg(test)]
@@ -1331,12 +1428,28 @@ mod tests {
     #[test]
     fn ic3_kernel_proves_and_refutes_tiny_models() {
         let budget = Budget::unlimited().with_steps(100);
-        let (v, frames, _, clauses, _, _, _) = ic3_run(&generators::mutex(), true, &budget);
+        let (v, frames, _, clauses, _, _, _) =
+            ic3_run(&generators::mutex(), GenMode::default(), &budget);
         assert!(v.is_safe(), "mutex should be safe, got {v:?}");
         assert!(frames >= 1);
         let _ = clauses;
-        let (v, ..) = ic3_run(&generators::mutex_bug(), false, &budget);
+        let (v, ..) = ic3_run(&generators::mutex_bug(), GenMode::Core, &budget);
         assert!(v.is_unsafe(), "mutex_bug should be unsafe, got {v:?}");
+    }
+
+    #[test]
+    fn ic3_gen_kernel_agrees_across_the_ladder() {
+        let budget = Budget::unlimited().with_steps(100);
+        for net in [generators::mutex(), generators::mutex_bug()] {
+            let runs: Vec<(Verdict, u64, u64, u64, u64, u64, f64)> = GenMode::ALL
+                .iter()
+                .map(|&gen| ic3_gen_run(&net, gen, &budget))
+                .collect();
+            for (v, checks, ..) in &runs {
+                assert_eq!(v.is_safe(), runs[0].0.is_safe(), "{}", net.name());
+                assert!(*checks > 0);
+            }
+        }
     }
 
     #[test]

@@ -194,6 +194,7 @@ impl Engine for Bmc {
         let mut cursor = BusCursor::default();
         let mut admitted: Vec<LatchCube> = Vec::new();
         let mut pending: Vec<LatchCube> = Vec::new();
+        let mut tagged_rejected: u64 = 0;
         let mut verdict = Verdict::Unknown {
             reason: format!("no counterexample up to depth {}", self.max_depth),
         };
@@ -217,11 +218,27 @@ impl Engine for Bmc {
                 }
                 let fresh = bus.cubes_since(&mut cursor);
                 if !fresh.is_empty() {
-                    pending.extend(fresh);
-                    let batch = v.admit_batch(&pending);
-                    pending.retain(|c| !batch.contains(c));
+                    // Tagged (already inductive) publications take the
+                    // sequential fast path; untagged ones join the
+                    // mutual-induction batch pool. A fast-path rejection
+                    // is final; pool cubes stay pending for later rounds.
+                    let mut tagged: Vec<LatchCube> = Vec::new();
+                    for (cube, inductive) in fresh {
+                        if inductive {
+                            tagged.push(cube);
+                        } else {
+                            pending.push(cube);
+                        }
+                    }
+                    let mut batch = v.admit_inductive(&tagged);
+                    tagged_rejected += (tagged.len() - batch.len()) as u64;
+                    if !pending.is_empty() {
+                        let from_pool = v.admit_batch(&pending);
+                        pending.retain(|c| !from_pool.contains(c));
+                        batch.extend(from_pool);
+                    }
                     stats.bus.lemmas_admitted += batch.len() as u64;
-                    stats.bus.lemmas_rejected = pending.len() as u64;
+                    stats.bus.lemmas_rejected = tagged_rejected + pending.len() as u64;
                     for norm in batch {
                         for t in 1..=d {
                             assume_cube_at(&mut u.cnf, &u.aig, guard, &u.states[t], &norm);

@@ -41,10 +41,14 @@ pub type LatchCube = Vec<(usize, bool)>;
 
 /// Append-only cube store with exact-duplicate suppression (IC3 pushes
 /// the same cube through several frames; siblings only want it once).
+/// Each entry carries an *already inductive* tag: `F_∞` clauses — proved
+/// inductive outright by the publisher — may be re-published tagged even
+/// after an untagged copy went out, so consumers get the upgrade.
 #[derive(Debug, Default)]
 struct CubeStore {
-    list: Vec<LatchCube>,
+    list: Vec<(LatchCube, bool)>,
     seen: HashSet<LatchCube>,
+    seen_inductive: HashSet<LatchCube>,
 }
 
 /// The shared lemma channel of one parallel portfolio run.
@@ -95,7 +99,26 @@ impl LemmaBus {
         if !store.seen.insert(cube.clone()) {
             return false;
         }
-        store.list.push(cube);
+        store.list.push((cube, false));
+        drop(store);
+        self.cube_gen.fetch_add(1, Ordering::Release);
+        true
+    }
+
+    /// Publishes an `F_∞` clause with the *already inductive* tag: the
+    /// publisher proved `¬c` inductive outright, so consumers may
+    /// fast-path admission ([`LemmaValidator::admit_inductive`]) instead
+    /// of waiting for a mutual-induction batch. A cube previously
+    /// published *untagged* is re-published tagged (the upgrade is
+    /// news); a tagged duplicate is dropped. Returns whether the tagged
+    /// entry was new.
+    pub fn publish_inductive(&self, cube: LatchCube) -> bool {
+        let mut store = self.cubes.lock().unwrap_or_else(|p| p.into_inner());
+        if !store.seen_inductive.insert(cube.clone()) {
+            return false;
+        }
+        store.seen.insert(cube.clone());
+        store.list.push((cube, true));
         drop(store);
         self.cube_gen.fetch_add(1, Ordering::Release);
         true
@@ -118,10 +141,10 @@ impl LemmaBus {
             || self.merge_gen.load(Ordering::Acquire) != cursor.merge_gen
     }
 
-    /// The cubes published since `cursor` last read them (advances the
-    /// cursor). Cheap when nothing new was published: one atomic load,
-    /// no lock.
-    pub fn cubes_since(&self, cursor: &mut BusCursor) -> Vec<LatchCube> {
+    /// The cubes published since `cursor` last read them, each with its
+    /// *already inductive* tag (advances the cursor). Cheap when nothing
+    /// new was published: one atomic load, no lock.
+    pub fn cubes_since(&self, cursor: &mut BusCursor) -> Vec<(LatchCube, bool)> {
         let gen = self.cube_gen.load(Ordering::Acquire);
         if gen == cursor.cube_gen {
             return Vec::new();
@@ -327,6 +350,19 @@ impl LemmaValidator {
         candidates
     }
 
+    /// Fast-path admission for cubes published with the *already
+    /// inductive* tag ([`LemmaBus::publish_inductive`]): sequential
+    /// [`LemmaValidator::admit`] in publication order. The publisher
+    /// proved each clause inductive relative to the tagged clauses
+    /// before it, so in-order single queries succeed without the
+    /// quadratic peeling of [`LemmaValidator::admit_batch`] — while the
+    /// zero-trust discipline is fully retained: a mistagged or poisoned
+    /// publication still fails its own consecution query and is
+    /// rejected. Returns the normalized admitted cubes.
+    pub fn admit_inductive(&mut self, cubes: &[LatchCube]) -> Vec<LatchCube> {
+        cubes.iter().filter_map(|cube| self.admit(cube)).collect()
+    }
+
     /// SAT checks issued so far (consumers fold this into their stats).
     pub fn checks(&self) -> u64 {
         self.cnf.stats().checks
@@ -411,6 +447,46 @@ mod tests {
         let mut fresh = BusCursor::default();
         assert_eq!(bus.cubes_since(&mut fresh).len(), 2);
         assert_eq!(bus.merges_since(&mut fresh).len(), 1);
+    }
+
+    #[test]
+    fn inductive_tag_rides_the_cube_stream() {
+        let bus = LemmaBus::new();
+        let mut cursor = BusCursor::default();
+        assert!(bus.publish_cube(vec![(0, true)]));
+        assert!(bus.publish_inductive(vec![(1, false)]));
+        assert_eq!(
+            bus.cubes_since(&mut cursor),
+            vec![(vec![(0, true)], false), (vec![(1, false)], true)]
+        );
+        // An untagged cube upgrades to a tagged re-publication; the
+        // reverse (and a tagged duplicate) is suppressed.
+        assert!(bus.publish_inductive(vec![(0, true)]));
+        assert!(!bus.publish_inductive(vec![(0, true)]), "tagged dup");
+        assert!(!bus.publish_cube(vec![(1, false)]), "downgrade is not news");
+        assert_eq!(bus.cubes_since(&mut cursor), vec![(vec![(0, true)], true)]);
+    }
+
+    #[test]
+    fn inductive_fast_path_admits_in_order_and_stays_zero_trust() {
+        // a' = a (init 0), b' = a (init 0): {b} is inductive only
+        // relative to {a} — in publication order the fast path admits
+        // both with one query each, while a mistagged junk cube and a
+        // genuinely non-inductive cube are still rejected.
+        let mut b = cbq_ckt::Network::builder("ford");
+        let a = b.add_latch(false);
+        let bv = b.add_latch(false);
+        b.set_next(a, a.lit());
+        b.set_next(bv, a.lit());
+        let net = b.build(cbq_aig::Lit::FALSE);
+        let mut v = LemmaValidator::new(&net);
+        let admitted = v.admit_inductive(&[
+            vec![(0, true)],
+            vec![(1, true)],              // needs {a} admitted first — it is
+            vec![(99, true)],             // mistagged junk
+            vec![(0, false), (1, false)], // intersects init
+        ]);
+        assert_eq!(admitted, vec![vec![(0, true)], vec![(1, true)]]);
     }
 
     #[test]

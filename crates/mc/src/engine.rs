@@ -29,7 +29,7 @@ use crate::bdd_umc::{BddDirection, BddUmc};
 use crate::bmc::Bmc;
 use crate::circuit_umc::CircuitUmc;
 use crate::forward_umc::ForwardCircuitUmc;
-use crate::ic3::Ic3;
+use crate::ic3::{GenMode, Ic3};
 use crate::induction::KInduction;
 use crate::portfolio::Portfolio;
 use crate::stateset::{PartitionConfig, PartitionCount, SplitPolicy};
@@ -320,7 +320,7 @@ pub fn registry() -> &'static [EngineSpec] {
                     engine.max_frames = frames;
                 }
                 if let Some(gen) = tuning.ic3_gen {
-                    engine.drop_literals = gen;
+                    engine.gen = gen;
                 }
                 Box::new(engine)
             }),
@@ -379,10 +379,11 @@ pub struct EngineTuning {
     /// IC3 frame-count safety net (`cbq check --ic3-frames N`); `None`
     /// keeps the engine default.
     pub ic3_frames: Option<usize>,
-    /// IC3 literal-dropping generalization (`cbq check --ic3-gen
-    /// on|off`); `None` keeps the engine default (on). Off leaves only
-    /// the unsat-core shrink — the `e6pdr` ablation baseline.
-    pub ic3_gen: Option<bool>,
+    /// IC3 generalization effort (`cbq check --ic3-gen
+    /// core|drop|ternary|ctg`); `None` keeps the engine default
+    /// ([`GenMode::Ctg`] — the full ladder). `core` leaves only the
+    /// unsat-core shrink — the `e6pdr`/`e6g` ablation baseline.
+    pub ic3_gen: Option<GenMode>,
     /// Run the portfolio members as concurrent workers with
     /// first-conclusive-answer cancellation (`cbq check
     /// --portfolio-par`); `None`/`Some(false)` keeps the sequential
@@ -504,7 +505,7 @@ mod tests {
         // IC3 honours its own tuning fields through the same hook.
         let ic3_tuning = EngineTuning {
             ic3_frames: Some(3),
-            ic3_gen: Some(false),
+            ic3_gen: Some(GenMode::Core),
             ..EngineTuning::default()
         };
         assert!(supports_tuning("ic3"));

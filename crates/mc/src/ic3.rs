@@ -35,11 +35,24 @@
 //! "the successor lies in cube `c`" is the conjunction of the next-state
 //! functions `δ` signed by `c`'s values, so no next-state variables or
 //! transition-relation clauses exist at all.
+//!
+//! Generalization is a four-level effort ladder ([`GenMode`]): the unsat
+//! core alone, plus literal dropping, plus **ternary-simulation
+//! predecessor widening** (every SAT model is widened into a cube by
+//! [`cbq_aig::sim::TernSim`] — latches whose X keeps the bad/next cone
+//! definite are dropped *before* any SAT query runs), plus **CTG-aware
+//! dropping** (a counterexample-to-generalization is blocked at the
+//! prior frame under a bounded retry budget instead of ending the drop).
+//! On top of the finite frames sits **`F_∞`**: clauses that propagate to
+//! the top frame and are inductive outright land in an infinity guard
+//! generation that every future query assumes for free, and go out on
+//! the lemma bus tagged as already inductive.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use cbq_aig::sim::TernSim;
 use cbq_aig::{Aig, Lit, Var};
 use cbq_ckt::{Network, Trace};
 use cbq_cnf::{AigCnf, AigCnfStats};
@@ -54,15 +67,65 @@ use crate::verdict::{McRun, McStats, Verdict};
 /// instantly; the cap only bounds the damage of a poisoned publication.
 const MERGE_PROOF_CONFLICTS: u64 = 2_000;
 
+/// Cube-generalization effort, a cumulative ladder: each mode includes
+/// everything below it. `Core` is the `e6pdr`/`e6g` ablation baseline;
+/// [`GenMode::Ctg`] is the default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GenMode {
+    /// Unsat-core shrinking only.
+    Core,
+    /// Plus literal dropping (the `down`-less MIC step).
+    Drop,
+    /// Plus ternary-simulation predecessor widening: every SAT model is
+    /// widened into a cube by X-valued re-simulation before the SAT
+    /// path runs.
+    Ternary,
+    /// Plus CTG handling: a failed literal drop tries to block the
+    /// counterexample-to-generalization at the prior frame, bounded by
+    /// [`Ic3::ctg_retries`].
+    #[default]
+    Ctg,
+}
+
+impl GenMode {
+    /// All modes, ablation order.
+    pub const ALL: [GenMode; 4] = [GenMode::Core, GenMode::Drop, GenMode::Ternary, GenMode::Ctg];
+
+    /// The CLI-facing name (`--ic3-gen <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GenMode::Core => "core",
+            GenMode::Drop => "drop",
+            GenMode::Ternary => "ternary",
+            GenMode::Ctg => "ctg",
+        }
+    }
+
+    /// Parses a CLI-facing name.
+    pub fn parse(s: &str) -> Option<GenMode> {
+        GenMode::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for GenMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The IC3/PDR engine.
 #[derive(Clone, Debug)]
 pub struct Ic3 {
     /// Frame-count safety net; reaching it yields [`Verdict::Unknown`].
     pub max_frames: usize,
-    /// Literal-dropping generalization after the unsat-core shrink (the
-    /// `down`-less MIC step). Off = core shrinking only, kept as the
-    /// `e6pdr` ablation baseline.
-    pub drop_literals: bool,
+    /// Generalization effort ([`GenMode`] ladder; default
+    /// [`GenMode::Ctg`] = everything on).
+    pub gen: GenMode,
+    /// CTG retry budget: how many counterexamples-to-generalization one
+    /// literal drop may block before giving up on that literal. Floored
+    /// to 1 in [`GenMode::Ctg`] so a zero configuration cannot turn the
+    /// retry loop into an unbounded one.
+    pub ctg_retries: u32,
     /// In-frame clause subsumption: recording a blocked cube drops every
     /// recorded cube it subsumes (fewer literals at an equal-or-higher
     /// frame), so the propagation phase never re-pushes clauses a
@@ -89,7 +152,8 @@ impl Default for Ic3 {
     fn default() -> Ic3 {
         Ic3 {
             max_frames: 10_000,
-            drop_literals: true,
+            gen: GenMode::default(),
+            ctg_retries: 3,
             subsume: true,
             seed: Vec::new(),
             bus: None,
@@ -111,6 +175,15 @@ pub struct Ic3Stats {
     /// Cube literals dropped by generalization (unsat core + literal
     /// dropping), total.
     pub gen_drops: u64,
+    /// Latch literals dropped by ternary-simulation widening *before*
+    /// the SAT path ([`GenMode::Ternary`] and up).
+    pub tern_drops: u64,
+    /// Counterexamples-to-generalization blocked at a prior frame during
+    /// literal dropping ([`GenMode::Ctg`]).
+    pub ctg_blocked: u64,
+    /// Clauses promoted to the `F_∞` frame (inductive outright; assumed
+    /// by every future query).
+    pub inf_clauses: u64,
     /// Recorded cubes dropped because a newly blocked cube subsumed them.
     pub subsumed: u64,
     /// Warm-start lemmas admitted into `F₁` after re-validation.
@@ -144,11 +217,13 @@ struct Frame {
     cubes: Vec<Cube>,
 }
 
-/// A proof obligation: a concrete state to block, the inputs that step
-/// it into its parent obligation's state (or fire `bad` for the root),
-/// and the parent link for counterexample reconstruction.
+/// A proof obligation: a cube of states to block (a single concrete
+/// state below [`GenMode::Ternary`]; a ternary-widened cube above, every
+/// member of which the recorded inputs step into the parent obligation's
+/// cube — or through `bad` for the root), and the parent link for
+/// counterexample reconstruction.
 struct Obligation {
-    state: Vec<bool>,
+    cube: Cube,
     inputs: Vec<bool>,
     parent: Option<usize>,
 }
@@ -205,11 +280,32 @@ struct Ic3Run<'a> {
     init_lit: Lit,
     bad: Lit,
     frames: Vec<Frame>,
+    /// The `F_∞` guard: a generation that is *never* retired and that
+    /// every query assumes, so clauses proved inductive outright
+    /// strengthen all frames for free.
+    inf_act: SatLit,
+    /// Cubes whose clauses live in `F_∞` (for lemma export; their solver
+    /// clauses are under `inf_act`, not any frame guard).
+    inf_cubes: Vec<Cube>,
+    /// Ternary simulator for predecessor widening (64 patterns — one
+    /// concrete lane plus up to 63 prefix-X probe lanes per round).
+    sim: TernSim,
     stats: Ic3Stats,
     seq: u64,
     retired_queries: u32,
+    /// Consecutive failed CTG block attempts. Each failure costs one
+    /// wasted query; once the count hits [`CTG_STRIKE_CAP`] the run stops
+    /// attempting CTG blocks (a success resets it), so models where CTGs
+    /// are never inductive pay a small bounded overhead instead of one
+    /// extra query per failed literal drop.
+    ctg_strikes: u32,
     bus_cursor: BusCursor,
 }
+
+/// Consecutive CTG failures tolerated before the run gives up on CTG
+/// blocking. Small: a model whose counterexamples-to-generalization are
+/// inductive shows it immediately and keeps resetting the counter.
+const CTG_STRIKE_CAP: u32 = 4;
 
 /// Bundles the typed stats into the uniform run record.
 fn finish(verdict: Verdict, stats: Ic3Stats, peak_nodes: usize, meter: &Meter) -> McRun {
@@ -236,14 +332,16 @@ impl Engine for Ic3 {
         let verdict = run.solve(&meter);
         run.stats.cnf = run.cnf.stats();
         run.stats.solver = run.cnf.solver_stats();
-        // Export the surviving frame clauses: sound warm-start candidates
-        // for any later run on the same transition structure (each is
-        // re-validated on import, so this is safe for every verdict).
+        // Export the surviving frame clauses plus the F_∞ clauses: sound
+        // warm-start candidates for any later run on the same transition
+        // structure (each is re-validated on import, so this is safe for
+        // every verdict).
         run.stats.lemmas = run
             .frames
             .iter()
             .skip(1)
             .flat_map(|f| f.cubes.iter().cloned())
+            .chain(run.inf_cubes.iter().cloned())
             .collect();
         let peak = run.aig.num_nodes();
         finish(verdict, run.stats, peak, &meter)
@@ -265,6 +363,10 @@ impl<'a> Ic3Run<'a> {
             act: cnf.new_guard(),
             cubes: Vec::new(),
         };
+        let inf_act = cnf.new_guard();
+        // Built after `init_lit` so the simulator covers the full AIG
+        // (nothing grows the node table past this point).
+        let sim = TernSim::new(&aig, 1);
         Ic3Run {
             cfg,
             aig,
@@ -276,9 +378,13 @@ impl<'a> Ic3Run<'a> {
             init_lit,
             bad: net.bad(),
             frames: vec![f0, f1],
+            inf_act,
+            inf_cubes: Vec::new(),
+            sim,
             stats: Ic3Stats::default(),
             seq: 0,
             retired_queries: 0,
+            ctg_strikes: 0,
             bus_cursor: BusCursor::default(),
         }
     }
@@ -358,20 +464,39 @@ impl<'a> Ic3Run<'a> {
     /// free list, keeping both the arena and the variable table bounded
     /// across the thousands of queries a run issues.
     fn rel_query(&mut self, cube: &[(usize, bool)], lvl: usize) -> Rel {
+        self.raw_query(cube, Some(lvl))
+    }
+
+    /// The `F_∞` promotion query `SAT? [F_∞ ∧ ¬c ∧ c(δ)]`: no frame
+    /// guard at all — an UNSAT answer makes `¬c` inductive outright
+    /// (relative only to the already-promoted clauses), so `c` can join
+    /// the infinity generation.
+    fn inf_query(&mut self, cube: &[(usize, bool)]) -> Rel {
+        self.raw_query(cube, None)
+    }
+
+    /// Shared body of [`Ic3Run::rel_query`] / [`Ic3Run::inf_query`].
+    /// Every query assumes `inf_act` — the `F_∞` clauses are facts about
+    /// all reachable states, so they strengthen each frame for free.
+    fn raw_query(&mut self, cube: &[(usize, bool)], lvl: Option<usize>) -> Rel {
         let actq = self.cnf.new_guard();
         let neg_cube: Vec<SatLit> = cube
             .iter()
             .map(|&(ord, val)| !self.cnf.ensure(&self.aig, self.latch_lit(ord, val)))
             .collect();
         self.cnf.add_guarded_by(actq, &neg_cube);
-        let mut extra = vec![actq];
-        if lvl == 0 {
-            let init = self.cnf.ensure(&self.aig, self.init_lit);
-            extra.push(init);
-        } else {
-            for j in lvl..self.frames.len() {
-                extra.push(self.frames[j].act);
+        let mut extra = vec![actq, self.inf_act];
+        match lvl {
+            Some(0) => {
+                let init = self.cnf.ensure(&self.aig, self.init_lit);
+                extra.push(init);
             }
+            Some(lvl) => {
+                for j in lvl..self.frames.len() {
+                    extra.push(self.frames[j].act);
+                }
+            }
+            None => {}
         }
         let delta_sls: Vec<SatLit> = cube
             .iter()
@@ -400,18 +525,36 @@ impl<'a> Ic3Run<'a> {
         out
     }
 
-    /// Shrinks a blocked cube: keep the unsat-core literals, restore
-    /// init-exclusion, then (optionally) try dropping each remaining
-    /// literal with a fresh relative-induction query at `lvl`.
-    fn generalize(&mut self, cube: &[(usize, bool)], keep: &[bool], lvl: usize) -> Cube {
+    /// Filters `cube` down to its unsat-core literals and *immediately*
+    /// repairs init-exclusion against `fallback` (a superset cube known
+    /// to exclude the initial state). Used after every core answer —
+    /// including each accepted drop inside [`Ic3Run::generalize`]'s loop
+    /// — so a core that momentarily agrees with the reset state is fixed
+    /// on the spot instead of forcing a full-cube fallback later.
+    fn shrink(
+        &mut self,
+        cube: &[(usize, bool)],
+        keep: &[bool],
+        fallback: &[(usize, bool)],
+    ) -> Cube {
         let mut cur: Cube = cube
             .iter()
             .zip(keep)
             .filter(|(_, k)| **k)
             .map(|(c, _)| *c)
             .collect();
-        self.fix_init_exclusion(&mut cur, cube);
-        if self.cfg.drop_literals {
+        self.fix_init_exclusion(&mut cur, fallback);
+        cur
+    }
+
+    /// Shrinks a blocked cube: keep the unsat-core literals (with
+    /// init-exclusion repaired after each core answer), then — from
+    /// [`GenMode::Drop`] up — try dropping each remaining literal with a
+    /// fresh relative-induction query at `lvl` ([`Ic3Run::try_drop`]
+    /// layers the CTG handling on top).
+    fn generalize(&mut self, cube: &[(usize, bool)], keep: &[bool], lvl: usize) -> Cube {
+        let mut cur = self.shrink(cube, keep, cube);
+        if self.cfg.gen >= GenMode::Drop {
             let mut i = 0;
             while i < cur.len() && cur.len() > 1 {
                 let mut cand = cur.clone();
@@ -420,24 +563,166 @@ impl<'a> Ic3Run<'a> {
                     i += 1;
                     continue;
                 }
-                match self.rel_query(&cand, lvl) {
-                    Rel::Blocked(keep2) => {
-                        let mut next: Cube = cand
-                            .iter()
-                            .zip(&keep2)
-                            .filter(|(_, k)| **k)
-                            .map(|(c, _)| *c)
-                            .collect();
-                        self.fix_init_exclusion(&mut next, &cand);
-                        cur = next;
+                match self.try_drop(&cand, lvl) {
+                    Some(keep2) => {
+                        cur = self.shrink(&cand, &keep2, &cand);
                         i = 0;
                     }
-                    _ => i += 1,
+                    None => i += 1,
                 }
             }
         }
         self.stats.gen_drops += (cube.len() - cur.len()) as u64;
         cur
+    }
+
+    /// Attempts one literal drop: is `cand` still blocked at `lvl`? In
+    /// [`GenMode::Ctg`] a SAT answer — a **counterexample to
+    /// generalization**, an `F_lvl` state that steps into `cand` — is
+    /// itself blocked at the prior frame and the drop retried, under a
+    /// retry budget floored to 1 (so a zero configuration cannot loop)
+    /// and the [`CTG_STRIKE_CAP`] failure gate. Returns the unsat core
+    /// on success.
+    fn try_drop(&mut self, cand: &[(usize, bool)], lvl: usize) -> Option<Vec<bool>> {
+        let ctg_on = self.cfg.gen >= GenMode::Ctg && lvl >= 1 && self.ctg_strikes < CTG_STRIKE_CAP;
+        let mut retries = if ctg_on {
+            self.cfg.ctg_retries.max(1)
+        } else {
+            0
+        };
+        loop {
+            match self.rel_query(cand, lvl) {
+                Rel::Blocked(keep) => return Some(keep),
+                Rel::Pred(ctg, _) if retries > 0 => {
+                    retries -= 1;
+                    if ctg == self.init_state || !self.block_ctg(&ctg, lvl) {
+                        self.ctg_strikes += 1;
+                        return None;
+                    }
+                    self.ctg_strikes = 0;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Blocks one counterexample-to-generalization: if the CTG state is
+    /// itself blocked relative to the *prior* frame, its core-shrunk cube
+    /// is recorded at `lvl` — strengthening `F_lvl` so the failed drop
+    /// can succeed on retry. Deliberately minimal effort: no recursive
+    /// drop loop and no eager push-forward (the propagation phase moves
+    /// the clause up one query per frame later, amortized), so a blocked
+    /// CTG costs exactly one query plus the retry.
+    fn block_ctg(&mut self, ctg: &[bool], lvl: usize) -> bool {
+        let cube: Cube = ctg.iter().enumerate().map(|(ord, v)| (ord, *v)).collect();
+        match self.rel_query(&cube, lvl - 1) {
+            Rel::Blocked(keep) => {
+                let shrunk = self.shrink(&cube, &keep, &cube);
+                self.add_blocked(shrunk, lvl);
+                self.stats.clauses += 1;
+                self.stats.ctg_blocked += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The obligation cube for a freshly found predecessor state: the
+    /// full state below [`GenMode::Ternary`], the ternary-widened cube
+    /// above. `targets` are the literals (with required values) that the
+    /// widening must keep definite — the parent cube's next-state
+    /// functions, or `bad` for a root obligation.
+    fn pred_cube(&mut self, state: &[bool], inputs: &[bool], targets: &[(Lit, bool)]) -> Cube {
+        if self.cfg.gen >= GenMode::Ternary {
+            self.tern_widen(state, inputs, targets)
+        } else {
+            state.iter().enumerate().map(|(ord, v)| (ord, *v)).collect()
+        }
+    }
+
+    /// Ternary-simulation predecessor widening: starting from the
+    /// concrete SAT model (`state`, `inputs`), turn latches to X and keep
+    /// every drop under which all `targets` still evaluate to their
+    /// required *definite* values. Ternary evaluation is monotone in
+    /// definedness, so a definite target value holds for **every**
+    /// concretization of the X latches: each state of the widened cube
+    /// provably steps into the parent cube (or fires `bad`) under the
+    /// recorded inputs — which is exactly what keeps counterexample
+    /// traces replayable and lets the whole cube be blocked at once.
+    ///
+    /// The probing is bit-parallel: lane 0 stays concrete, lane `j`
+    /// additionally X-es the first `j` pending candidates. More X in can
+    /// only mean more X out, so lane acceptability is prefix-closed and
+    /// one cone evaluation finds the longest acceptable run of drops; the
+    /// first refused candidate is kept for good and the rest re-queued.
+    /// The first latch disagreeing with the reset state is never a
+    /// candidate, so the widened cube always excludes the initial state.
+    fn tern_widen(&mut self, state: &[bool], inputs: &[bool], targets: &[(Lit, bool)]) -> Cube {
+        let anchor = state.iter().zip(&self.init_state).position(|(s, i)| s != i);
+        for (i, v) in self.pis.iter().enumerate() {
+            self.sim.broadcast_var(*v, Some(inputs[i]));
+        }
+        for (ord, v) in self.latches.iter().enumerate() {
+            self.sim.broadcast_var(*v, Some(state[ord]));
+        }
+        // One full pass settles every node (and resizes the planes if the
+        // AIG grew); the probe loop then re-evaluates only the target
+        // cone.
+        self.sim.run(&self.aig);
+        let roots: Vec<Lit> = targets.iter().map(|&(l, _)| l).collect();
+        let cone = TernSim::cone_of(&self.aig, &roots);
+        debug_assert!(
+            targets
+                .iter()
+                .all(|&(l, want)| self.sim.lit_value(l, 0) == Some(want)),
+            "concrete SAT model does not satisfy the widening targets"
+        );
+        let mut keep = vec![true; state.len()];
+        let mut pending: Vec<usize> = (0..state.len())
+            .filter(|&ord| Some(ord) != anchor)
+            .collect();
+        let lanes = self.sim.num_patterns() - 1;
+        while !pending.is_empty() {
+            let round: Vec<usize> = pending.drain(..pending.len().min(lanes)).collect();
+            // Lane j (1-based) X-es candidates round[0..j]: candidate
+            // round[t] is X in lanes t+1 and up.
+            for (t, &ord) in round.iter().enumerate() {
+                for lane in (t + 1)..=round.len() {
+                    self.sim.set_var(self.latches[ord], lane, None);
+                }
+            }
+            self.sim.run_cone(&self.aig, &cone);
+            let mut ok = 0;
+            while ok < round.len()
+                && targets
+                    .iter()
+                    .all(|&(l, want)| self.sim.lit_value(l, ok + 1) == Some(want))
+            {
+                ok += 1;
+            }
+            for (t, &ord) in round.iter().enumerate() {
+                if t < ok {
+                    // Dropped: X in every lane from here on.
+                    keep[ord] = false;
+                    self.sim.broadcast_var(self.latches[ord], None);
+                } else {
+                    // Back to concrete; the first refused candidate (t ==
+                    // ok) is kept permanently, the rest get another try.
+                    self.sim.broadcast_var(self.latches[ord], Some(state[ord]));
+                    if t > ok {
+                        pending.push(ord);
+                    }
+                }
+            }
+        }
+        let cube: Cube = state
+            .iter()
+            .enumerate()
+            .filter(|&(ord, _)| keep[ord])
+            .map(|(ord, v)| (ord, *v))
+            .collect();
+        self.stats.tern_drops += (state.len() - cube.len()) as u64;
+        cube
     }
 
     /// Records `cube` as blocked at frame `lvl`: one guarded clause `¬c`
@@ -523,11 +808,12 @@ impl<'a> Ic3Run<'a> {
         j
     }
 
-    /// Blocks one bad state at the top frame through the proof-obligation
-    /// priority queue (lowest frame first, FIFO within a frame).
-    fn block_state(&mut self, state: Vec<bool>, inputs: Vec<bool>, meter: &Meter) -> BlockOutcome {
+    /// Blocks one bad-state cube at the top frame through the
+    /// proof-obligation priority queue (lowest frame first, FIFO within a
+    /// frame).
+    fn block_state(&mut self, cube: Cube, inputs: Vec<bool>, meter: &Meter) -> BlockOutcome {
         let mut arena = vec![Obligation {
-            state,
+            cube,
             inputs,
             parent: None,
         }];
@@ -539,12 +825,7 @@ impl<'a> Ic3Run<'a> {
                 return BlockOutcome::Stopped(bounded);
             }
             self.stats.obligations += 1;
-            let cube: Cube = arena[idx]
-                .state
-                .iter()
-                .enumerate()
-                .map(|(ord, v)| (ord, *v))
-                .collect();
+            let cube = arena[idx].cube.clone();
             match self.rel_query(&cube, lvl - 1) {
                 Rel::Pred(pred, pred_inputs) => {
                     if pred == self.init_state {
@@ -553,8 +834,16 @@ impl<'a> Ic3Run<'a> {
                     // A level-1 query assumes the init cube, so its model
                     // is always the initial state and was handled above.
                     debug_assert!(lvl >= 2, "non-initial predecessor below frame 1");
+                    // Widen the concrete predecessor against the parent
+                    // cube's next-state functions: every state of the
+                    // widened cube steps into `cube` under `pred_inputs`.
+                    let targets: Vec<(Lit, bool)> = cube
+                        .iter()
+                        .map(|&(ord, val)| (self.deltas[ord], val))
+                        .collect();
+                    let pcube = self.pred_cube(&pred, &pred_inputs, &targets);
                     arena.push(Obligation {
-                        state: pred,
+                        cube: pcube,
                         inputs: pred_inputs,
                         parent: Some(idx),
                     });
@@ -582,9 +871,11 @@ impl<'a> Ic3Run<'a> {
     }
 
     /// Reconstructs the counterexample trace from an obligation chain:
-    /// `init_inputs` steps the initial state into `arena[idx].state`, each
-    /// obligation's inputs step its state into its parent's, and the root
-    /// obligation's inputs fire `bad`.
+    /// `init_inputs` steps the initial state into `arena[idx].cube`, each
+    /// obligation's inputs step *every* state of its cube into its
+    /// parent's cube (the ternary-widening invariant), and the root
+    /// obligation's inputs fire `bad` from every state of its cube — so
+    /// the inputs-only replay is valid wherever it lands in each cube.
     fn trace_from(&self, arena: &[Obligation], start: usize, init_inputs: Vec<bool>) -> Trace {
         let mut inputs = vec![init_inputs];
         let mut idx = start;
@@ -600,7 +891,10 @@ impl<'a> Ic3Run<'a> {
 
     /// The propagation phase: after opening a new top frame, try to move
     /// every recorded cube one frame forward. An emptied frame is the
-    /// fixpoint `F_i = F_{i+1}` — the property is proved.
+    /// fixpoint `F_i = F_{i+1}` — the property is proved. A cube that
+    /// would land at the (fresh, empty) top frame gets one extra
+    /// [`Ic3Run::inf_query`]: if its clause is inductive outright it
+    /// joins `F_∞` instead, leaving the finite bookkeeping entirely.
     fn propagate(&mut self, meter: &Meter) -> Result<Option<usize>, Verdict> {
         for i in 1..self.top() {
             let mut cubes = std::mem::take(&mut self.frames[i].cubes);
@@ -615,8 +909,12 @@ impl<'a> Ic3Run<'a> {
                 }
                 match self.rel_query(&cube, i) {
                     Rel::Blocked(_) => {
-                        self.add_blocked(cube, i + 1);
                         self.stats.pushed += 1;
+                        if i + 1 == self.top() && matches!(self.inf_query(&cube), Rel::Blocked(_)) {
+                            self.add_infinity(cube);
+                        } else {
+                            self.add_blocked(cube, i + 1);
+                        }
                     }
                     _ => kept.push(cube),
                 }
@@ -627,6 +925,40 @@ impl<'a> Ic3Run<'a> {
             }
         }
         Ok(None)
+    }
+
+    /// Records `cube`'s clause in `F_∞`: one guarded clause under the
+    /// never-retired `inf_act` generation that every query assumes, a bus
+    /// publication tagged *already inductive* (consumers may fast-path
+    /// admission), and a subsumption sweep over every finite frame — the
+    /// infinity clause implies any finite copy, so dropping subsumed
+    /// bookkeeping entries changes no frame's semantics and keeps the
+    /// frame-emptiness fixpoint test exact.
+    fn add_infinity(&mut self, cube: Cube) {
+        let clause: Vec<SatLit> = cube
+            .iter()
+            .map(|&(ord, val)| !self.cnf.ensure(&self.aig, self.latch_lit(ord, val)))
+            .collect();
+        self.cnf.add_guarded_by(self.inf_act, &clause);
+        self.stats.inf_clauses += 1;
+        if let Some(bus) = &self.cfg.bus {
+            if bus.publish_inductive(cube.clone()) {
+                self.stats.published += 1;
+            }
+        }
+        if self.cfg.subsume {
+            let stats = &mut self.stats;
+            for frame in &mut self.frames {
+                frame.cubes.retain(|old| {
+                    let dead = cube_subsumes(&cube, old);
+                    if dead {
+                        stats.subsumed += 1;
+                    }
+                    !dead
+                });
+            }
+        }
+        self.inf_cubes.push(cube);
     }
 
     fn solve(&mut self, meter: &Meter) -> Verdict {
@@ -687,10 +1019,11 @@ impl<'a> Ic3Run<'a> {
                     return bounded;
                 }
                 let top_act = self.frames[self.top()].act;
-                match self
-                    .cnf
-                    .solve_under_assuming(&self.aig, &[self.bad], &[top_act])
-                {
+                match self.cnf.solve_under_assuming(
+                    &self.aig,
+                    &[self.bad],
+                    &[top_act, self.inf_act],
+                ) {
                     SatResult::Unsat => break,
                     SatResult::Unknown => {
                         return Verdict::Unknown {
@@ -702,7 +1035,10 @@ impl<'a> Ic3Run<'a> {
                         let inputs = self.read(&self.pis);
                         // `init ∧ bad` was refuted at depth 0.
                         debug_assert_ne!(state, self.init_state);
-                        match self.block_state(state, inputs, meter) {
+                        // Widen the root against `bad` itself: every
+                        // state of the cube fires `bad` under `inputs`.
+                        let cube = self.pred_cube(&state, &inputs, &[(self.bad, true)]);
+                        match self.block_state(cube, inputs, meter) {
                             BlockOutcome::Blocked => {}
                             BlockOutcome::Cex(trace) => return Verdict::Unsafe { trace },
                             BlockOutcome::Stopped(verdict) => return verdict,
@@ -796,32 +1132,107 @@ mod tests {
 
     #[test]
     fn generalization_ablation_agrees() {
-        // Core-only generalization must reach the same verdicts; the
-        // literal-dropping pass only shrinks clauses.
+        // Every rung of the GenMode ladder must reach the same verdicts;
+        // the generalization machinery only shrinks cubes and queries.
         for net in [
             generators::bounded_counter_gap(4, 6, 12),
             generators::token_ring(5),
             generators::counter_bug(4, 6),
         ] {
             let full = Ic3::default().check(&net, &Budget::unlimited());
-            let core_only = Ic3 {
-                drop_literals: false,
+            for mode in GenMode::ALL {
+                let run = Ic3 {
+                    gen: mode,
+                    ..Ic3::default()
+                }
+                .check(&net, &Budget::unlimited());
+                assert_eq!(
+                    full.verdict.is_safe(),
+                    run.verdict.is_safe(),
+                    "{}: gen mode {mode} changed the verdict",
+                    net.name()
+                );
+                if let Verdict::Unsafe { trace } = &run.verdict {
+                    assert!(
+                        trace.validates(&net),
+                        "{}: gen mode {mode} trace bogus",
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gen_mode_names_round_trip() {
+        for mode in GenMode::ALL {
+            assert_eq!(GenMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(GenMode::parse("bogus"), None);
+        assert_eq!(GenMode::default(), GenMode::Ctg);
+        assert!(GenMode::Core < GenMode::Drop && GenMode::Ternary < GenMode::Ctg);
+    }
+
+    #[test]
+    fn ternary_widening_drops_shadow_latches() {
+        // The shadow register never feeds the property cone, so ternary
+        // widening must X it out of every obligation — and the widened
+        // runs must agree with the unwidened verdict.
+        let net = generators::shadowed_counter_gap(4, 6, 12, 4);
+        let plain = Ic3 {
+            gen: GenMode::Drop,
+            ..Ic3::default()
+        }
+        .check(&net, &Budget::unlimited());
+        let widened = Ic3 {
+            gen: GenMode::Ternary,
+            ..Ic3::default()
+        }
+        .check(&net, &Budget::unlimited());
+        assert_eq!(plain.verdict.is_safe(), widened.verdict.is_safe());
+        let s_plain = plain.detail::<Ic3Stats>().expect("stats");
+        let s_wide = widened.detail::<Ic3Stats>().expect("stats");
+        assert_eq!(s_plain.tern_drops, 0, "Drop mode must not widen");
+        assert!(s_wide.tern_drops > 0, "no literal was ternary-dropped");
+    }
+
+    #[test]
+    fn inf_frame_promotes_inductive_clauses() {
+        // A self-looping latch: `{a = 1}` is inductive outright, so its
+        // clause must be promoted to F_∞ and still be exported as a
+        // warm-start lemma.
+        let mut b = cbq_ckt::Network::builder("selfloop");
+        let a = b.add_latch(false);
+        b.set_next(a, a.lit());
+        let net = b.build(a.lit());
+        let run = Ic3::default().check(&net, &Budget::unlimited());
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
+        let detail = run.detail::<Ic3Stats>().expect("stats");
+        assert!(detail.inf_clauses >= 1, "no clause reached F_∞");
+        assert!(
+            detail.lemmas.contains(&vec![(0, true)]),
+            "F_∞ clause missing from the lemma export: {:?}",
+            detail.lemmas
+        );
+    }
+
+    #[test]
+    fn ctg_retry_budget_is_floored() {
+        // A zero retry budget must behave like a budget of one — the
+        // floor keeps the CTG loop bounded without disabling it — and
+        // verdicts must be unaffected.
+        for net in [
+            generators::bounded_counter_gap(4, 6, 12),
+            generators::counter_bug(4, 6),
+        ] {
+            let run = Ic3 {
+                gen: GenMode::Ctg,
+                ctg_retries: 0,
                 ..Ic3::default()
             }
             .check(&net, &Budget::unlimited());
-            assert_eq!(
-                full.verdict.is_safe(),
-                core_only.verdict.is_safe(),
-                "{}: ablation changed the verdict",
-                net.name()
-            );
-            if let Verdict::Unsafe { trace } = &core_only.verdict {
-                assert!(
-                    trace.validates(&net),
-                    "{}: ablation trace bogus",
-                    net.name()
-                );
-            }
+            let base = Ic3::default().check(&net, &Budget::unlimited());
+            assert_eq!(run.verdict.is_safe(), base.verdict.is_safe());
         }
     }
 

@@ -171,6 +171,7 @@ impl Engine for KInduction {
         let mut cursor = BusCursor::default();
         let mut admitted: Vec<LatchCube> = Vec::new();
         let mut pending: Vec<LatchCube> = Vec::new();
+        let mut tagged_rejected: u64 = 0;
         for k in 1..=self.max_k {
             let nodes = base.aig.num_nodes() + step.aig.num_nodes();
             let checks = base.cnf.stats().checks + step.cnf.stats().checks;
@@ -204,11 +205,26 @@ impl Engine for KInduction {
                 // become inductive once its missing siblings arrive.
                 let fresh = bus.cubes_since(&mut cursor);
                 if !fresh.is_empty() {
-                    pending.extend(fresh);
-                    let batch = v.admit_batch(&pending);
-                    pending.retain(|c| !batch.contains(c));
+                    // Tagged (already inductive) publications take the
+                    // sequential fast path; a fast-path rejection is
+                    // final, while pool cubes stay pending for retries.
+                    let mut tagged: Vec<LatchCube> = Vec::new();
+                    for (cube, inductive) in fresh {
+                        if inductive {
+                            tagged.push(cube);
+                        } else {
+                            pending.push(cube);
+                        }
+                    }
+                    let mut batch = v.admit_inductive(&tagged);
+                    tagged_rejected += (tagged.len() - batch.len()) as u64;
+                    if !pending.is_empty() {
+                        let from_pool = v.admit_batch(&pending);
+                        pending.retain(|c| !from_pool.contains(c));
+                        batch.extend(from_pool);
+                    }
                     stats.bus.lemmas_admitted += batch.len() as u64;
-                    stats.bus.lemmas_rejected = pending.len() as u64;
+                    stats.bus.lemmas_rejected = tagged_rejected + pending.len() as u64;
                     for norm in batch {
                         for t in 1..k {
                             assume_cube_at(&mut base.cnf, &base.aig, bg, &base.states[t], &norm);

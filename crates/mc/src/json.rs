@@ -159,13 +159,17 @@ pub fn run_to_json_fields(run: &McRun) -> String {
     } else if let Some(d) = run.detail::<Ic3Stats>() {
         detail = format!(
             ",\"frames\":{},\"obligations\":{},\"clauses\":{},\"pushed\":{},\
-             \"gen_drops\":{},\"subsumed\":{},\"seeded\":{},\"seed_rejected\":{},\
+             \"gen_drops\":{},\"tern_drops\":{},\"ctg_blocked\":{},\
+             \"inf_clauses\":{},\"subsumed\":{},\"seeded\":{},\"seed_rejected\":{},\
              \"lemma_count\":{},\"published\":{},\"bus\":{},\"solver\":{},\"cnf\":{}",
             d.frames,
             d.obligations,
             d.clauses,
             d.pushed,
             d.gen_drops,
+            d.tern_drops,
+            d.ctg_blocked,
+            d.inf_clauses,
             d.subsumed,
             d.seeded,
             d.seed_rejected,
@@ -246,6 +250,9 @@ mod tests {
         assert!(json.contains("\"verdict\":\"safe\""));
         assert!(json.contains("\"engine\":\"ic3\""));
         assert!(json.contains("\"subsumed\":"));
+        assert!(json.contains("\"tern_drops\":"));
+        assert!(json.contains("\"ctg_blocked\":"));
+        assert!(json.contains("\"inf_clauses\":"));
         assert!(json.contains("\"recycled_vars\":"));
         assert!(json.ends_with('}'));
         // Field form drops the braces but keeps the content.

@@ -112,7 +112,7 @@ pub use crate::engine::{
     EngineTuning, Meter,
 };
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
-pub use crate::ic3::{Ic3, Ic3Stats};
+pub use crate::ic3::{GenMode, Ic3, Ic3Stats};
 pub use crate::induction::{KInduction, KInductionStats};
 pub use crate::portfolio::{Portfolio, PortfolioBusStats, PortfolioStats};
 pub use crate::stateset::{PartitionConfig, PartitionCount, PartitionStats, SplitPolicy, StateSet};

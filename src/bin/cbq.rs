@@ -248,7 +248,7 @@ fn check_help() -> String {
     format!(
         "usage: cbq check <file.aag> [--engine E] [--sweep on|off]
                  [--quant-order O] [--partitions N|auto] [--split P]
-                 [--ic3-frames N] [--ic3-gen on|off]
+                 [--ic3-frames N] [--ic3-gen core|drop|ternary|ctg]
                  [--portfolio-par] [--portfolio-bus on|off]
                  [--steps N] [--nodes N] [--sat-checks N]
                  [--timeout-ms N] [--json]
@@ -267,8 +267,11 @@ Model-checks the circuit's bad-state property.
   --split P          partition split policy: latch | origin
                      (default: latch = window cofactor by balance score)
   --ic3-frames N     IC3 frame-count safety net (ic3 engine; default 10000)
-  --ic3-gen on|off   IC3 literal-dropping generalization beyond the
-                     unsat core (ic3 engine; default: on)
+  --ic3-gen M        IC3 generalization effort, a cumulative ladder:
+                     core (unsat-core shrink only) | drop (+ literal
+                     dropping) | ternary (+ ternary-simulation
+                     predecessor widening) | ctg (+ counterexample-to-
+                     generalization blocking; ic3 engine; default: ctg)
   --portfolio-par    run the portfolio members concurrently (scoped
                      threads, first conclusive answer wins; portfolio
                      engine only — the sequential cascade is the default)
@@ -380,11 +383,13 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
-            "ic3-gen" => match value {
-                "on" => tuning.ic3_gen = Some(true),
-                "off" => tuning.ic3_gen = Some(false),
-                other => {
-                    eprintln!("flag `--ic3-gen` expects `on` or `off`, got `{other}`");
+            "ic3-gen" => match cbq::mc::GenMode::parse(value) {
+                Some(mode) => tuning.ic3_gen = Some(mode),
+                None => {
+                    eprintln!(
+                        "flag `--ic3-gen` expects `core`, `drop`, `ternary` or `ctg`, \
+                         got `{value}`"
+                    );
                     return ExitCode::from(2);
                 }
             },

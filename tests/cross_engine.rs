@@ -334,6 +334,76 @@ fn ic3_agrees_with_circuit_engines_on_e6_family() {
 }
 
 #[test]
+fn ic3_gen_modes_agree_on_e6_family() {
+    // The generalization ladder (core < drop < ternary < ctg) only
+    // changes how cubes shrink and how many queries run — never the
+    // answer. Every mode must match the circuit engine's classification
+    // on every E6 model, and every counterexample must replay both
+    // through Network::step and on the bit-parallel simulator.
+    use cbq::mc::{GenMode, Ic3, Ic3Stats};
+    let e6_family = vec![
+        generators::token_ring(5),
+        generators::bounded_counter_gap(4, 6, 12),
+        generators::gray_counter(4),
+        generators::arbiter(4),
+        generators::mutex(),
+        generators::lfsr(5, &[0, 2]),
+        generators::fifo_ctrl(2),
+        generators::token_ring_bug(5),
+        generators::mutex_bug(),
+        generators::shift_ones(4),
+        generators::counter_bug(4, 6),
+    ];
+    for net in e6_family {
+        let circuit = CircuitUmc::default().check(&net, &Budget::unlimited());
+        for mode in GenMode::ALL {
+            let run = Ic3 {
+                gen: mode,
+                ..Ic3::default()
+            }
+            .check(&net, &Budget::unlimited());
+            assert_eq!(
+                run.verdict.is_safe(),
+                circuit.verdict.is_safe(),
+                "{} ({mode}): ic3 says {}, circuit says {}",
+                net.name(),
+                run.verdict,
+                circuit.verdict
+            );
+            if let Verdict::Unsafe { trace } = &run.verdict {
+                assert!(
+                    trace.validates(&net),
+                    "{} ({mode}): trace does not replay",
+                    net.name()
+                );
+                assert!(
+                    replays_on_sim(&net, trace),
+                    "{} ({mode}): trace rejected by the simulator",
+                    net.name()
+                );
+            }
+            let detail = run.detail::<Ic3Stats>().expect("ic3 stats");
+            if mode < GenMode::Ternary {
+                assert_eq!(
+                    detail.tern_drops,
+                    0,
+                    "{} ({mode}): widening ran below Ternary",
+                    net.name()
+                );
+            }
+            if mode < GenMode::Ctg {
+                assert_eq!(
+                    detail.ctg_blocked,
+                    0,
+                    "{} ({mode}): CTG blocking ran below Ctg",
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_portfolio_matches_sequential_on_e6_family() {
     // The parallel-determinism contract of the portfolio rewrite: the
     // concurrent scoped-thread race (with and without the lemma bus)
