@@ -2,9 +2,421 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::lit::{Lit, Var};
 use crate::node::Node;
+
+/// Hot-path implementation selection for the manager.
+///
+/// The default ([`AigTuning::full`]) is the fast configuration: an
+/// open-addressing strash, the generation-stamped dense compose/cofactor
+/// scratchpad, support-limited cofactoring, and the cofactor cache. Each
+/// feature can be disabled independently, falling back to a plain
+/// reference implementation (per-call `HashMap`s, full-cone rebuilds).
+/// The reference rungs exist for two reasons: the `e6q` bench ablates
+/// each feature against them, and the property tests pin the fast paths
+/// *bit-identical* to the reference paths on random circuits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AigTuning {
+    /// Open-addressing strash (off: reference `HashMap` strash).
+    pub open_strash: bool,
+    /// Generation-stamped dense compose/cofactor memo (off: reference
+    /// per-call `HashMap` memo).
+    pub dense_scratch: bool,
+    /// Support-limited cofactoring: nodes outside the substituted
+    /// variables' dependent sub-cone are copied through unchanged instead
+    /// of being re-issued through [`Aig::and`].
+    pub support_limited: bool,
+    /// The direct-mapped (root, var, phase) cofactor cache.
+    pub cofactor_cache: bool,
+}
+
+impl AigTuning {
+    /// Every fast path enabled (the default).
+    pub const fn full() -> AigTuning {
+        AigTuning {
+            open_strash: true,
+            dense_scratch: true,
+            support_limited: true,
+            cofactor_cache: true,
+        }
+    }
+
+    /// Every fast path disabled: the straightforward `HashMap`-based
+    /// implementation, kept as the differential-testing oracle and the
+    /// baseline rung of the `e6q` ablation.
+    pub const fn reference() -> AigTuning {
+        AigTuning {
+            open_strash: false,
+            dense_scratch: false,
+            support_limited: false,
+            cofactor_cache: false,
+        }
+    }
+
+    fn to_bits(self) -> u8 {
+        (!self.open_strash as u8)
+            | (!self.dense_scratch as u8) << 1
+            | (!self.support_limited as u8) << 2
+            | (!self.cofactor_cache as u8) << 3
+    }
+
+    fn from_bits(bits: u8) -> AigTuning {
+        AigTuning {
+            open_strash: bits & 1 == 0,
+            dense_scratch: bits & 2 == 0,
+            support_limited: bits & 4 == 0,
+            cofactor_cache: bits & 8 == 0,
+        }
+    }
+
+    /// Sets the tuning that [`Aig::new`] gives to freshly created managers,
+    /// process-wide. This exists so a bench harness can ablate one feature
+    /// across a whole engine run (which creates managers internally, e.g.
+    /// one per state-set partition) without threading a knob through every
+    /// layer; production code never calls it.
+    pub fn set_process_default(tuning: AigTuning) {
+        DEFAULT_TUNING.store(tuning.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The tuning [`Aig::new`] currently hands to new managers.
+    pub fn process_default() -> AigTuning {
+        AigTuning::from_bits(DEFAULT_TUNING.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for AigTuning {
+    fn default() -> AigTuning {
+        AigTuning::full()
+    }
+}
+
+/// `AigTuning::full()` encodes to 0, so the static default is all-fast.
+static DEFAULT_TUNING: AtomicU8 = AtomicU8::new(0);
+
+/// Snapshot of the manager's hot-path work counters. Counters only ever
+/// grow within one manager (compaction builds a fresh manager and resets
+/// them); take two snapshots and subtract ([`AigPerfCounters::since`]) to
+/// attribute work to a phase.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AigPerfCounters {
+    /// Strash slots inspected by [`Aig::and`] lookups (one per lookup in
+    /// the reference `HashMap` mode).
+    pub strash_probes: u64,
+    /// Nodes visited by substitution cone walks (compose / cofactor),
+    /// counted on the dense scratchpad path and the reference `HashMap`
+    /// path alike — the rung-to-rung drop is what support limiting and
+    /// multi-root walk sharing save.
+    pub scratch_walk_nodes: u64,
+    /// Cofactor-cache hits.
+    pub cofactor_cache_hits: u64,
+}
+
+impl AigPerfCounters {
+    /// Counter deltas accumulated since an `earlier` snapshot of the same
+    /// manager (saturating, so a snapshot from before a compaction — which
+    /// resets the counters — cannot underflow).
+    pub fn since(self, earlier: AigPerfCounters) -> AigPerfCounters {
+        AigPerfCounters {
+            strash_probes: self.strash_probes.saturating_sub(earlier.strash_probes),
+            scratch_walk_nodes: self
+                .scratch_walk_nodes
+                .saturating_sub(earlier.scratch_walk_nodes),
+            cofactor_cache_hits: self
+                .cofactor_cache_hits
+                .saturating_sub(earlier.cofactor_cache_hits),
+        }
+    }
+
+    /// Accumulates another snapshot's (or delta's) counters into this one
+    /// — for totalling per-phase deltas across managers or partitions.
+    pub fn add(&mut self, other: AigPerfCounters) {
+        self.strash_probes += other.strash_probes;
+        self.scratch_walk_nodes += other.scratch_walk_nodes;
+        self.cofactor_cache_hits += other.cofactor_cache_hits;
+    }
+}
+
+/// Open-addressing structural-hash table mapping normalised fanin pairs
+/// to node variables. Keys are the raw literal codes; stored fanins are
+/// never constants (the one-level rules return before the table is
+/// consulted), so the all-zero key doubles as the empty marker.
+/// Fibonacci multiplicative hashing, linear probing, power-of-two
+/// capacity, no deletion — the manager is append-only.
+#[derive(Clone)]
+struct OpenStrash {
+    keys: Vec<(u32, u32)>,
+    vals: Vec<u32>,
+    len: usize,
+}
+
+const STRASH_EMPTY: (u32, u32) = (0, 0);
+
+fn strash_hash(key: (u32, u32)) -> usize {
+    let x = (u64::from(key.0) << 32) | u64::from(key.1);
+    let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // The high product bits are the well-mixed ones; fold them down
+    // before the caller masks to the table size.
+    (h ^ (h >> 32)) as usize
+}
+
+impl OpenStrash {
+    fn with_capacity(ands: usize) -> OpenStrash {
+        let cap = (ands.max(16) * 2).next_power_of_two();
+        OpenStrash {
+            keys: vec![STRASH_EMPTY; cap],
+            vals: vec![0; cap],
+            len: 0,
+        }
+    }
+
+    fn get(&self, key: (u32, u32), probes: &mut u64) -> Option<Var> {
+        let mask = self.keys.len() - 1;
+        let mut i = strash_hash(key) & mask;
+        loop {
+            *probes += 1;
+            let k = self.keys[i];
+            if k == key {
+                return Some(Var(self.vals[i]));
+            }
+            if k == STRASH_EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: (u32, u32), var: Var) {
+        if (self.len + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = strash_hash(key) & mask;
+        while self.keys[i] != STRASH_EMPTY {
+            debug_assert_ne!(self.keys[i], key, "duplicate strash insert");
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.vals[i] = var.0;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = OpenStrash::with_capacity(self.keys.len());
+        for (k, &v) in self.keys.iter().zip(&self.vals) {
+            if *k != STRASH_EMPTY {
+                bigger.insert(*k, Var(v));
+            }
+        }
+        *self = bigger;
+    }
+}
+
+/// The strash behind [`Aig::and`]: open addressing by default, with the
+/// `HashMap` original kept as the [`AigTuning`] reference rung.
+#[derive(Clone)]
+enum StrashTable {
+    Open(OpenStrash),
+    Reference(HashMap<(Lit, Lit), Var>),
+}
+
+impl StrashTable {
+    fn new(open: bool, ands: usize) -> StrashTable {
+        if open {
+            StrashTable::Open(OpenStrash::with_capacity(ands))
+        } else {
+            StrashTable::Reference(HashMap::with_capacity(ands))
+        }
+    }
+
+    fn get(&self, f0: Lit, f1: Lit, probes: &mut u64) -> Option<Var> {
+        match self {
+            StrashTable::Open(t) => t.get((f0.code(), f1.code()), probes),
+            StrashTable::Reference(m) => {
+                *probes += 1;
+                m.get(&(f0, f1)).copied()
+            }
+        }
+    }
+
+    fn insert(&mut self, f0: Lit, f1: Lit, var: Var) {
+        match self {
+            StrashTable::Open(t) => t.insert((f0.code(), f1.code()), var),
+            StrashTable::Reference(m) => {
+                m.insert((f0, f1), var);
+            }
+        }
+    }
+}
+
+/// Generation-stamped dense scratchpad for compose/cofactor cone walks.
+///
+/// "Clearing" is a generation bump, not a memset: an entry is live iff its
+/// stamp equals the current generation, so back-to-back compose calls pay
+/// zero reset cost and no per-call allocation once the buffers have grown
+/// to the manager's size. Only nodes that exist when a walk begins are
+/// ever stamped; nodes the walk itself creates have larger indices and
+/// are never queried, so the buffers need no mid-walk growth.
+#[derive(Clone, Default)]
+struct Scratch {
+    /// Memo: `memo[i]` is live iff `stamp[i] == gen`.
+    gen: u32,
+    stamp: Vec<u32>,
+    memo: Vec<Lit>,
+    /// Traversal marks, independent of the memo (the memo is pre-seeded
+    /// with substitution targets before the walk starts).
+    visit_gen: u32,
+    visit: Vec<u32>,
+    /// Reusable traversal buffers (old-node indices).
+    order: Vec<u32>,
+    stack: Vec<u32>,
+    /// Total nodes visited by substitution walks, dense or reference
+    /// (perf counter).
+    walk_nodes: u64,
+}
+
+impl Scratch {
+    fn begin(&mut self, num_nodes: usize) {
+        if self.stamp.len() < num_nodes {
+            self.stamp.resize(num_nodes, 0);
+            self.memo.resize(num_nodes, Lit::FALSE);
+            self.visit.resize(num_nodes, 0);
+        }
+        if self.gen == u32::MAX {
+            self.gen = 0;
+            self.stamp.fill(0);
+        }
+        self.gen += 1;
+        if self.visit_gen == u32::MAX {
+            self.visit_gen = 0;
+            self.visit.fill(0);
+        }
+        self.visit_gen += 1;
+        self.order.clear();
+        self.stack.clear();
+    }
+
+    fn set(&mut self, v: Var, l: Lit) {
+        let i = v.index();
+        self.stamp[i] = self.gen;
+        self.memo[i] = l;
+    }
+
+    fn get(&self, v: Var) -> Option<Lit> {
+        let i = v.index();
+        if i < self.stamp.len() && self.stamp[i] == self.gen {
+            Some(self.memo[i])
+        } else {
+            None
+        }
+    }
+
+    /// The image of edge `l` under the memo; unstamped nodes map to
+    /// themselves (they lie outside the walked, dependent region).
+    fn resolve(&self, l: Lit) -> Lit {
+        match self.get(l.var()) {
+            Some(m) => m.xor_sign(l.is_complemented()),
+            None => l,
+        }
+    }
+
+    /// Marks `v` visited; returns whether it already was.
+    fn visited(&mut self, v: Var) -> bool {
+        let i = v.index();
+        if self.visit[i] == self.visit_gen {
+            true
+        } else {
+            self.visit[i] = self.visit_gen;
+            false
+        }
+    }
+}
+
+/// Direct-mapped cofactor cache keyed by (root, var, phase).
+///
+/// Exact without any invalidation: the manager is append-only and
+/// [`Aig::and`] is a deterministic function of immutable existing
+/// structure, so a cofactor, once computed, can never change —
+/// recomputing it later necessarily returns the same literal. Compaction
+/// builds a fresh manager (and thus a fresh, empty cache), which is the
+/// only generation boundary that exists. Storage is allocated lazily on
+/// the first cofactor call so managers that never cofactor pay nothing.
+#[derive(Clone, Default)]
+struct CofactorCache {
+    /// `(key, result)`; `u64::MAX` marks an empty slot (a real key would
+    /// need a node index beyond any allocatable manager).
+    slots: Vec<(u64, Lit)>,
+    hits: u64,
+}
+
+const COF_CACHE_SLOTS: usize = 4096;
+
+impl CofactorCache {
+    fn key(f: Lit, v: Var, value: bool) -> u64 {
+        (u64::from(f.code()) << 32) | u64::from(v.0 << 1 | value as u32)
+    }
+
+    fn slot(key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize & (COF_CACHE_SLOTS - 1)
+    }
+
+    fn get(&mut self, f: Lit, v: Var, value: bool) -> Option<Lit> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let key = CofactorCache::key(f, v, value);
+        let (k, res) = self.slots[CofactorCache::slot(key)];
+        if k == key {
+            self.hits += 1;
+            Some(res)
+        } else {
+            None
+        }
+    }
+
+    fn put(&mut self, f: Lit, v: Var, value: bool, result: Lit) {
+        if self.slots.is_empty() {
+            self.slots = vec![(u64::MAX, Lit::FALSE); COF_CACHE_SLOTS];
+        }
+        let key = CofactorCache::key(f, v, value);
+        self.slots[CofactorCache::slot(key)] = (key, result);
+    }
+}
+
+/// Direct-mapped cone-size cache keyed by the root literal. Like the
+/// cofactor cache it is exact forever: nodes are never mutated, so the
+/// cone of an existing literal cannot change.
+#[derive(Clone, Default)]
+struct ConeSizeCache {
+    /// `(root code, size)`; `u32::MAX` marks an empty slot.
+    slots: Vec<(u32, u32)>,
+}
+
+const CONE_CACHE_SLOTS: usize = 1024;
+
+impl ConeSizeCache {
+    fn slot(code: u32) -> usize {
+        (u64::from(code).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54) as usize
+            & (CONE_CACHE_SLOTS - 1)
+    }
+
+    fn get(&self, root: Lit) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let (code, size) = self.slots[ConeSizeCache::slot(root.code())];
+        (code == root.code()).then_some(size as usize)
+    }
+
+    fn put(&mut self, root: Lit, size: usize) {
+        if self.slots.is_empty() {
+            self.slots = vec![(u32::MAX, 0); CONE_CACHE_SLOTS];
+        }
+        let size = u32::try_from(size).unwrap_or(u32::MAX - 1);
+        self.slots[ConeSizeCache::slot(root.code())] = (root.code(), size);
+    }
+}
 
 /// An And-Inverter Graph manager.
 ///
@@ -25,12 +437,27 @@ use crate::node::Node;
 /// assert_eq!(f, g);
 /// assert_eq!(aig.and(a, !a), Lit::FALSE);
 /// ```
+///
+/// ## Hot-path machinery
+///
+/// The quantification inner loop (`cofactor` → `compose` → `and`) runs on
+/// dense, allocation-free structures: an open-addressing strash, a
+/// generation-stamped scratchpad for cone walks, support-limited
+/// cofactoring (the sub-cone that does not depend on the substituted
+/// variable is copied through unchanged), and a direct-mapped cofactor
+/// cache. See [`AigTuning`] for the knobs and [`Aig::perf_counters`] for
+/// the work counters.
 #[derive(Clone)]
 pub struct Aig {
     nodes: Vec<Node>,
-    strash: HashMap<(Lit, Lit), Var>,
+    strash: StrashTable,
     inputs: Vec<Var>,
     level: Vec<u32>,
+    tuning: AigTuning,
+    scratch: Scratch,
+    cof_cache: CofactorCache,
+    cone_cache: ConeSizeCache,
+    strash_probes: u64,
 }
 
 impl Default for Aig {
@@ -40,13 +467,24 @@ impl Default for Aig {
 }
 
 impl Aig {
-    /// Creates an empty manager containing only the constant node.
+    /// Creates an empty manager containing only the constant node, with
+    /// the process-default [`AigTuning`].
     pub fn new() -> Aig {
+        Aig::with_tuning(AigTuning::process_default())
+    }
+
+    /// Creates an empty manager with an explicit hot-path tuning.
+    pub fn with_tuning(tuning: AigTuning) -> Aig {
         Aig {
             nodes: vec![Node::Const],
-            strash: HashMap::new(),
+            strash: StrashTable::new(tuning.open_strash, 16),
             inputs: Vec::new(),
             level: vec![0],
+            tuning,
+            scratch: Scratch::default(),
+            cof_cache: CofactorCache::default(),
+            cone_cache: ConeSizeCache::default(),
+            strash_probes: 0,
         }
     }
 
@@ -63,6 +501,50 @@ impl Aig {
             aig.add_input();
         }
         aig
+    }
+
+    /// The active hot-path tuning.
+    pub fn tuning(&self) -> AigTuning {
+        self.tuning
+    }
+
+    /// Switches the hot-path tuning. Swapping the strash implementation
+    /// rebuilds the table from the (immutable) node list; results are
+    /// never affected, only the machinery computing them.
+    pub fn set_tuning(&mut self, tuning: AigTuning) {
+        if tuning.open_strash != self.tuning.open_strash {
+            let mut table = StrashTable::new(tuning.open_strash, self.num_ands());
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Node::And { f0, f1 } = n {
+                    table.insert(*f0, *f1, Var::from_index(i));
+                }
+            }
+            self.strash = table;
+        }
+        if !tuning.cofactor_cache {
+            self.cof_cache = CofactorCache::default();
+        }
+        self.tuning = tuning;
+    }
+
+    /// Pre-sizes the strash for about `ands` AND gates (used when a
+    /// compaction knows the incoming cone size up front).
+    pub(crate) fn reserve_ands(&mut self, ands: usize) {
+        if let StrashTable::Open(t) = &self.strash {
+            if t.len == 0 && t.keys.len() < ands * 2 {
+                self.strash = StrashTable::new(true, ands);
+            }
+        }
+    }
+
+    /// Snapshot of the hot-path work counters (monotone within one
+    /// manager; reset by compaction, which builds a fresh manager).
+    pub fn perf_counters(&self) -> AigPerfCounters {
+        AigPerfCounters {
+            strash_probes: self.strash_probes,
+            scratch_walk_nodes: self.scratch.walk_nodes,
+            cofactor_cache_hits: self.cof_cache.hits,
+        }
     }
 
     /// Adds a fresh primary input and returns its variable.
@@ -207,14 +689,14 @@ impl Aig {
         }
         // Normalise fanin order for semi-canonicity: f0 >= f1.
         let (f0, f1) = if a.code() >= b.code() { (a, b) } else { (b, a) };
-        if let Some(&var) = self.strash.get(&(f0, f1)) {
+        if let Some(var) = self.strash.get(f0, f1, &mut self.strash_probes) {
             return var.lit();
         }
         let var = Var::from_index(self.nodes.len());
         self.nodes.push(Node::And { f0, f1 });
         let lvl = 1 + self.level[f0.var().index()].max(self.level[f1.var().index()]);
         self.level.push(lvl);
-        self.strash.insert((f0, f1), var);
+        self.strash.insert(f0, f1, var);
         var.lit()
     }
 
@@ -301,21 +783,21 @@ impl Aig {
             assignment.len(),
             self.num_inputs()
         );
+        // Every cone index is at most the root's (fanins precede gates).
         let cone = self.collect_cone(&[root]);
-        let mut val: HashMap<Var, bool> = HashMap::with_capacity(cone.len());
+        let mut val = vec![false; root.var().index() + 1];
         for var in cone {
-            let v = match self.nodes[var.index()] {
+            val[var.index()] = match self.nodes[var.index()] {
                 Node::Const => false,
                 Node::Input { index } => assignment[index as usize],
                 Node::And { f0, f1 } => {
-                    let a = val[&f0.var()] ^ f0.is_complemented();
-                    let b = val[&f1.var()] ^ f1.is_complemented();
+                    let a = val[f0.var().index()] ^ f0.is_complemented();
+                    let b = val[f1.var().index()] ^ f1.is_complemented();
                     a && b
                 }
             };
-            val.insert(var, v);
         }
-        val[&root.var()] ^ root.is_complemented()
+        val[root.var().index()] ^ root.is_complemented()
     }
 
     /// Simultaneously substitutes variables by literals in the cone of `f`.
@@ -338,8 +820,42 @@ impl Aig {
         if map.is_empty() {
             return f;
         }
+        if !self.tuning.dense_scratch {
+            return self.compose_reference(f, map);
+        }
+        self.map_cone_scratch(&[f], map);
+        self.scratch.resolve(f)
+    }
+
+    /// [`Aig::compose`] applied to several roots under one substitution,
+    /// sharing a single cone walk (the BMC unroller composes `bad` and
+    /// every latch next-state function against the same frame
+    /// substitution; walking their heavily shared cone once is much
+    /// cheaper than once per root).
+    pub fn compose_many(&mut self, roots: &[Lit], map: &[(Var, Lit)]) -> Vec<Lit> {
+        if map.is_empty() {
+            return roots.to_vec();
+        }
+        if !self.tuning.dense_scratch {
+            return roots
+                .iter()
+                .map(|r| self.compose_reference(*r, map))
+                .collect();
+        }
+        self.map_cone_scratch(roots, map);
+        roots.iter().map(|r| self.scratch.resolve(*r)).collect()
+    }
+
+    /// The original `HashMap`-memo compose, kept as the reference rung
+    /// (differential oracle) behind [`AigTuning::dense_scratch`].
+    fn compose_reference(&mut self, f: Lit, map: &[(Var, Lit)]) -> Lit {
         let subst: HashMap<Var, Lit> = map.iter().copied().collect();
         let cone = self.collect_cone(&[f]);
+        // Count the visited region like the dense walk does, so the e6q
+        // ablation can compare nodes visited per rung: the reference walk
+        // always covers the whole cone (no support limiting, no sharing
+        // across `compose_many` roots).
+        self.scratch.walk_nodes += cone.len() as u64;
         let mut memo: HashMap<Var, Lit> = HashMap::with_capacity(cone.len());
         for var in cone {
             let new = match self.nodes[var.index()] {
@@ -359,7 +875,80 @@ impl Aig {
         memo[&f.var()].xor_sign(f.is_complemented())
     }
 
+    /// The dense-scratch substitution walk. On return, every root image is
+    /// readable via `self.scratch.resolve(root)`.
+    ///
+    /// Support limiting comes from two facts about the append-only index
+    /// order. (1) Fanins precede gates, so no node below the smallest
+    /// substituted index can depend on any substituted variable — the walk
+    /// never descends past it. (2) A visited gate whose resolved fanins
+    /// are unchanged maps to itself without touching the strash (and a
+    /// rebuilt gate with those exact fanins would strash back to the same
+    /// node, so the shortcut is bit-identical to the reference rebuild).
+    fn map_cone_scratch(&mut self, roots: &[Lit], map: &[(Var, Lit)]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.begin(self.nodes.len());
+        // Pre-seed substitution targets: stamped-before-the-walk is what
+        // gives them precedence over the rebuild, inputs and gates alike.
+        let mut min_idx = usize::MAX;
+        for &(v, l) in map {
+            scratch.set(v, l);
+            min_idx = min_idx.min(v.index());
+        }
+        if !self.tuning.support_limited {
+            min_idx = 0;
+        }
+        for r in roots {
+            let v = r.var();
+            if v.index() >= min_idx && !scratch.visited(v) {
+                scratch.stack.push(v.0);
+                scratch.order.push(v.0);
+            }
+        }
+        while let Some(i) = scratch.stack.pop() {
+            if let Node::And { f0, f1 } = self.nodes[i as usize] {
+                for l in [f0, f1] {
+                    let w = l.var();
+                    if w.index() >= min_idx && !scratch.visited(w) {
+                        scratch.stack.push(w.0);
+                        scratch.order.push(w.0);
+                    }
+                }
+            }
+        }
+        // Ascending index is a topological order of the visited region.
+        scratch.order.sort_unstable();
+        scratch.walk_nodes += scratch.order.len() as u64;
+        for k in 0..scratch.order.len() {
+            let v = Var(scratch.order[k]);
+            if scratch.get(v).is_some() {
+                continue; // substitution target: its image is already set
+            }
+            let new = match self.nodes[v.index()] {
+                Node::Const => Lit::FALSE,
+                Node::Input { .. } => v.lit(),
+                Node::And { f0, f1 } => {
+                    let a = scratch.resolve(f0);
+                    let b = scratch.resolve(f1);
+                    if a == f0 && b == f1 && self.tuning.support_limited {
+                        v.lit()
+                    } else {
+                        self.and(a, b)
+                    }
+                }
+            };
+            scratch.set(v, new);
+        }
+        self.scratch = scratch;
+    }
+
     /// The positive or negative cofactor of `f` with respect to `v`.
+    ///
+    /// Support-limited: only the sub-cone of `f` that depends on `v` is
+    /// rebuilt; everything outside it is copied through unchanged. Results
+    /// are served from the cofactor cache when the same (root, var, phase)
+    /// was computed before — `exists_many`'s cost re-estimation and
+    /// aborted-variable retries ask for the same cofactors repeatedly.
     ///
     /// ```
     /// use cbq_aig::{Aig, Lit};
@@ -372,12 +961,31 @@ impl Aig {
     /// ```
     pub fn cofactor(&mut self, f: Lit, v: Var, value: bool) -> Lit {
         let constant = if value { Lit::TRUE } else { Lit::FALSE };
-        self.compose(f, &[(v, constant)])
+        if !self.tuning.cofactor_cache {
+            return self.compose(f, &[(v, constant)]);
+        }
+        if let Some(hit) = self.cof_cache.get(f, v, value) {
+            return hit;
+        }
+        let res = self.compose(f, &[(v, constant)]);
+        self.cof_cache.put(f, v, value, res);
+        res
     }
 
     /// Both cofactors `(f|v=1, f|v=0)` of `f` with respect to `v`.
     pub fn cofactors(&mut self, f: Lit, v: Var) -> (Lit, Lit) {
         (self.cofactor(f, v, true), self.cofactor(f, v, false))
+    }
+
+    /// Cached [`Aig::cone_size`](crate::Aig::cone_size). Exact: the cone
+    /// of an existing literal can never change in an append-only manager.
+    pub fn cone_size_cached(&mut self, root: Lit) -> usize {
+        if let Some(size) = self.cone_cache.get(root) {
+            return size;
+        }
+        let size = self.cone_size(root);
+        self.cone_cache.put(root, size);
+        size
     }
 }
 
@@ -533,6 +1141,22 @@ mod tests {
     }
 
     #[test]
+    fn compose_many_matches_individual_composes() {
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let y = aig.add_input();
+        let z = aig.add_input();
+        let f = aig.xor(x.lit(), y.lit());
+        let g = aig.and(f, z.lit());
+        let map = [(x, z.lit()), (y, Lit::TRUE)];
+        let joint = aig.compose_many(&[f, g, !f], &map);
+        let f1 = aig.compose(f, &map);
+        let g1 = aig.compose(g, &map);
+        assert_eq!(joint, vec![f1, g1, !f1]);
+        assert_eq!(aig.compose_many(&[f, g], &[]), vec![f, g]);
+    }
+
+    #[test]
     fn levels_track_depth() {
         let (mut aig, a, b) = two_inputs();
         let ab = aig.and(a, b);
@@ -541,5 +1165,90 @@ mod tests {
         assert_eq!(aig.node_level(a.var()), 0);
         assert_eq!(aig.node_level(ab.var()), 1);
         assert_eq!(aig.node_level(abc.var()), 2);
+    }
+
+    /// One circuit, four tunings: every rung must build byte-identical
+    /// node lists and return identical literals for every operation.
+    #[test]
+    fn tunings_are_bit_identical() {
+        let tunings = [
+            AigTuning::full(),
+            AigTuning::reference(),
+            AigTuning {
+                open_strash: false,
+                ..AigTuning::full()
+            },
+            AigTuning {
+                support_limited: false,
+                cofactor_cache: false,
+                ..AigTuning::full()
+            },
+        ];
+        let mut results: Vec<Vec<Lit>> = Vec::new();
+        let mut node_counts = Vec::new();
+        for t in tunings {
+            let mut aig = Aig::with_tuning(t);
+            let mut log = Vec::new();
+            let ins: Vec<Lit> = (0..4).map(|_| aig.add_input().lit()).collect();
+            let f = {
+                let p = aig.and(ins[0], ins[1]);
+                let q = aig.xor(ins[2], ins[3]);
+                aig.or(p, q)
+            };
+            log.push(f);
+            for vi in 0..4 {
+                let v = ins[vi].var();
+                let (hi, lo) = aig.cofactors(f, v);
+                log.push(hi);
+                log.push(lo);
+                // Repeat: cache rung must return the identical literal.
+                log.push(aig.cofactor(f, v, true));
+            }
+            log.push(aig.compose(f, &[(ins[0].var(), ins[3]), (ins[2].var(), Lit::TRUE)]));
+            results.push(log);
+            node_counts.push(aig.num_nodes());
+        }
+        for i in 1..results.len() {
+            assert_eq!(results[0], results[i], "tuning {i} diverged");
+            assert_eq!(node_counts[0], node_counts[i], "tuning {i} node count");
+        }
+    }
+
+    #[test]
+    fn set_tuning_rebuilds_strash() {
+        let (mut aig, a, b) = two_inputs();
+        let f = aig.and(a, b);
+        aig.set_tuning(AigTuning::reference());
+        // The rebuilt HashMap strash still finds the existing node.
+        assert_eq!(aig.and(b, a), f);
+        aig.set_tuning(AigTuning::full());
+        assert_eq!(aig.and(a, b), f);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn perf_counters_move() {
+        let (mut aig, a, b) = two_inputs();
+        let f = aig.and(a, b);
+        let before = aig.perf_counters();
+        let c1 = aig.cofactor(f, a.var(), true);
+        let c2 = aig.cofactor(f, a.var(), true); // cache hit
+        assert_eq!(c1, c2);
+        let delta = aig.perf_counters().since(before);
+        assert_eq!(delta.cofactor_cache_hits, 1);
+        assert!(delta.scratch_walk_nodes > 0);
+        let g = aig.and(b, a); // strash lookup
+        assert_eq!(g, f);
+        assert!(aig.perf_counters().since(before).strash_probes > 0);
+    }
+
+    #[test]
+    fn cone_size_cached_matches_uncached() {
+        let (mut aig, a, b) = two_inputs();
+        let f = aig.xor(a, b);
+        assert_eq!(aig.cone_size_cached(f), aig.cone_size(f));
+        assert_eq!(aig.cone_size_cached(f), 3); // served from cache
+        let g = aig.and(f, a);
+        assert_eq!(aig.cone_size_cached(g), aig.cone_size(g));
     }
 }

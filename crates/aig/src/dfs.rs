@@ -1,6 +1,9 @@
 //! Cone traversal, support computation, statistics and compaction.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! All traversals here are *dense*: visited sets are `Vec`s indexed by
+//! [`Var::index`], sized by the largest root index (fanins always precede
+//! their gates in an append-only manager, so no cone node can exceed its
+//! root's index). No hashing happens on any walk.
 
 use crate::aig::Aig;
 use crate::lit::{Lit, Var};
@@ -22,23 +25,32 @@ impl Aig {
     /// (including the roots, inputs and constant, if reached) in
     /// topological order (ascending index).
     pub fn collect_cone(&self, roots: &[Lit]) -> Vec<Var> {
-        let mut seen: HashSet<Var> = HashSet::new();
+        let Some(max) = roots.iter().map(|r| r.var().index()).max() else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; max + 1];
         let mut stack: Vec<Var> = Vec::new();
+        let mut cone: Vec<Var> = Vec::new();
         for r in roots {
-            if seen.insert(r.var()) {
-                stack.push(r.var());
+            let v = r.var();
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+                cone.push(v);
             }
         }
         while let Some(v) = stack.pop() {
             if let Node::And { f0, f1 } = self.node(v) {
                 for f in [f0, f1] {
-                    if seen.insert(f.var()) {
-                        stack.push(f.var());
+                    let w = f.var();
+                    if !seen[w.index()] {
+                        seen[w.index()] = true;
+                        stack.push(w);
+                        cone.push(w);
                     }
                 }
             }
         }
-        let mut cone: Vec<Var> = seen.into_iter().collect();
         cone.sort_unstable();
         cone
     }
@@ -83,20 +95,27 @@ impl Aig {
     /// Early-exits on first hit, so cheaper than [`Aig::support`] when the
     /// answer is yes.
     pub fn support_contains(&self, root: Lit, v: Var) -> bool {
-        let mut seen: HashSet<Var> = HashSet::new();
+        if root.var() == v {
+            return true;
+        }
+        // Fanins precede gates: nothing below v's index can reach v, so
+        // the walk only descends through the region above it.
+        if root.var().index() < v.index() {
+            return false;
+        }
+        let mut seen = vec![false; root.var().index() + 1];
         let mut stack = vec![root.var()];
-        seen.insert(root.var());
+        seen[root.var().index()] = true;
         while let Some(n) = stack.pop() {
-            if n == v {
-                return true;
-            }
             if let Node::And { f0, f1 } = self.node(n) {
                 for f in [f0, f1] {
-                    if f.var() == v {
+                    let w = f.var();
+                    if w == v {
                         return true;
                     }
-                    if seen.insert(f.var()) {
-                        stack.push(f.var());
+                    if w.index() > v.index() && !seen[w.index()] {
+                        seen[w.index()] = true;
+                        stack.push(w);
                     }
                 }
             }
@@ -107,24 +126,99 @@ impl Aig {
     /// Counts how many AND gates in the cone of `roots` have `v` in their
     /// fanin support — a cheap cost estimate for quantification scheduling.
     pub fn occurrence_count(&self, roots: &[Lit], v: Var) -> usize {
-        let cone = self.collect_cone(roots);
-        let mut depends: HashSet<Var> = HashSet::new();
-        let mut count = 0;
-        for n in cone {
-            match self.node(n) {
-                Node::Input { .. } if n == v => {
-                    depends.insert(n);
-                }
-                Node::And { f0, f1 }
-                    if depends.contains(&f0.var()) || depends.contains(&f1.var()) =>
-                {
-                    depends.insert(n);
-                    count += 1;
-                }
-                _ => {}
+        self.occurrence_counts(roots, &[v])[0]
+    }
+
+    /// [`Aig::occurrence_count`] for many variables in **one** cone walk:
+    /// `result[i]` is the number of AND gates in the cone depending on
+    /// `vars[i]`. Dependence masks are k-bit sets propagated bottom-up, so
+    /// scheduling a whole quantification pass costs one walk instead of
+    /// one per candidate variable (which made cost estimation quadratic).
+    ///
+    /// The walk is support-limited: it never descends below the smallest
+    /// tracked variable index, since nothing there can depend on any of
+    /// them. If `vars` contains duplicates, only the last copy is counted.
+    pub fn occurrence_counts(&self, roots: &[Lit], vars: &[Var]) -> Vec<usize> {
+        let k = vars.len();
+        let mut counts = vec![0usize; k];
+        if k == 0 || roots.is_empty() {
+            return counts;
+        }
+        let min_idx = vars.iter().map(|v| v.index()).min().expect("non-empty");
+        let max = roots.iter().map(|r| r.var().index()).max().expect("non-empty");
+        if max < min_idx {
+            return counts; // no gate above any tracked variable
+        }
+        // Collect the pruned cone (indices >= min_idx only). Every cone
+        // node above the cut is reachable without passing below it: a
+        // path through a lower-index node only leads to even lower ones.
+        let mut seen = vec![false; max + 1 - min_idx];
+        let mut stack: Vec<Var> = Vec::new();
+        let mut cone: Vec<Var> = Vec::new();
+        for r in roots {
+            let v = r.var();
+            if v.index() >= min_idx && !seen[v.index() - min_idx] {
+                seen[v.index() - min_idx] = true;
+                stack.push(v);
+                cone.push(v);
             }
         }
-        count
+        while let Some(v) = stack.pop() {
+            if let Node::And { f0, f1 } = self.node(v) {
+                for f in [f0, f1] {
+                    let w = f.var();
+                    if w.index() >= min_idx && !seen[w.index() - min_idx] {
+                        seen[w.index() - min_idx] = true;
+                        stack.push(w);
+                        cone.push(w);
+                    }
+                }
+            }
+        }
+        cone.sort_unstable();
+        // Bit position of each tracked variable, dense by node index.
+        let blocks = k.div_ceil(64);
+        let mut pos = vec![u32::MAX; max + 1 - min_idx];
+        for (j, v) in vars.iter().enumerate() {
+            if v.index() <= max {
+                pos[v.index() - min_idx] = j as u32;
+            }
+        }
+        let mut mask = vec![0u64; (max + 1 - min_idx) * blocks];
+        for &v in &cone {
+            let off = (v.index() - min_idx) * blocks;
+            match self.node(v) {
+                Node::Const => {}
+                Node::Input { .. } => {
+                    let p = pos[v.index() - min_idx];
+                    if p != u32::MAX {
+                        mask[off + p as usize / 64] |= 1u64 << (p % 64);
+                    }
+                }
+                Node::And { f0, f1 } => {
+                    for b in 0..blocks {
+                        let fetch = |l: Lit| {
+                            let i = l.var().index();
+                            if i >= min_idx {
+                                mask[(i - min_idx) * blocks + b]
+                            } else {
+                                0
+                            }
+                        };
+                        let m = fetch(f0) | fetch(f1);
+                        if m != 0 {
+                            mask[off + b] = m;
+                            let mut mm = m;
+                            while mm != 0 {
+                                counts[b * 64 + mm.trailing_zeros() as usize] += 1;
+                                mm &= mm - 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        counts
     }
 
     /// A structural hash of the cone of `root` — see
@@ -155,33 +249,35 @@ impl Aig {
         };
         // Canonical id per variable, assigned in post-order (fanins
         // numbered before their gate, so ids reference earlier ids only).
-        let mut id_of: HashMap<Var, u64> = HashMap::new();
+        // Dense plane: no cone index exceeds the largest root index.
+        let top = roots.iter().map(|r| r.var().index()).max().unwrap_or(0);
+        let mut id_of = vec![u64::MAX; top + 1];
         let mut next_id = 0u64;
         for &root in roots {
             // Iterative post-order: (var, fanins_expanded).
             let mut stack: Vec<(Var, bool)> = vec![(root.var(), false)];
             while let Some((v, expanded)) = stack.pop() {
-                if id_of.contains_key(&v) {
+                if id_of[v.index()] != u64::MAX {
                     continue;
                 }
                 match self.node(v) {
                     Node::Const => {
-                        id_of.insert(v, next_id);
+                        id_of[v.index()] = next_id;
                         mix(0);
                         next_id += 1;
                     }
                     Node::Input { index } => {
-                        id_of.insert(v, next_id);
+                        id_of[v.index()] = next_id;
                         mix(1);
                         mix(u64::from(index));
                         next_id += 1;
                     }
                     Node::And { f0, f1 } => {
                         if expanded {
-                            id_of.insert(v, next_id);
+                            id_of[v.index()] = next_id;
                             mix(2);
-                            mix(id_of[&f0.var()] * 2 + u64::from(f0.is_complemented()));
-                            mix(id_of[&f1.var()] * 2 + u64::from(f1.is_complemented()));
+                            mix(id_of[f0.var().index()] * 2 + u64::from(f0.is_complemented()));
+                            mix(id_of[f1.var().index()] * 2 + u64::from(f1.is_complemented()));
                             next_id += 1;
                         } else {
                             stack.push((v, true));
@@ -192,7 +288,7 @@ impl Aig {
                 }
             }
             mix(3);
-            mix(id_of[&root.var()] * 2 + u64::from(root.is_complemented()));
+            mix(id_of[root.var().index()] * 2 + u64::from(root.is_complemented()));
         }
         h
     }
@@ -261,7 +357,12 @@ impl Aig {
     /// node↔variable map — and therefore its whole learnt-clause
     /// database — across a garbage collection instead of re-encoding.
     pub fn compact_with_map(&self, roots: &[Lit]) -> (Aig, Vec<Lit>, Vec<Option<Lit>>) {
-        let mut out = Aig::new();
+        // The compacted manager inherits the tuning (so the open strash
+        // persists across GC) and pre-sizes its table to the incoming
+        // cone, avoiding the rehash ladder while it refills.
+        let mut out = Aig::with_tuning(self.tuning());
+        let cone = self.collect_cone(roots);
+        out.reserve_ands(cone.len());
         let mut map: Vec<Option<Lit>> = vec![None; self.num_nodes()];
         map[Var::CONST.index()] = Some(Lit::FALSE);
         // Recreate every input so ordinals are preserved.
@@ -270,7 +371,7 @@ impl Aig {
             let nv = out.add_input();
             map[v.index()] = Some(nv.lit());
         }
-        for v in self.collect_cone(roots) {
+        for v in cone {
             if let Node::And { f0, f1 } = self.node(v) {
                 let a = map[f0.var().index()]
                     .expect("fanin mapped")
@@ -327,6 +428,31 @@ mod tests {
         assert!(!aig.support_contains(ab, c));
         assert_eq!(aig.occurrence_count(&[f], a), 2); // ab and the or-gate
         assert_eq!(aig.occurrence_count(&[f], c), 1);
+    }
+
+    #[test]
+    fn occurrence_counts_match_single_variable_walks() {
+        let mut aig = Aig::new();
+        let vars: Vec<_> = (0..70).map(|_| aig.add_input()).collect();
+        // A chain mixing most variables, leaving some unused (count 0).
+        let mut f = vars[0].lit();
+        for v in vars.iter().skip(1).step_by(2) {
+            f = aig.xor(f, v.lit());
+        }
+        let g = aig.and(f, vars[2].lit());
+        // More than 64 tracked vars forces the multi-block mask path.
+        let batched = aig.occurrence_counts(&[g, !f], &vars);
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                aig.occurrence_count(&[g, !f], *v),
+                "var {i} diverges"
+            );
+        }
+        // An And variable is never an occurrence seed.
+        assert_eq!(aig.occurrence_counts(&[g], &[g.var()]), vec![0]);
+        assert_eq!(aig.occurrence_counts(&[], &vars), vec![0; vars.len()]);
+        assert_eq!(aig.occurrence_counts(&[g], &[]), Vec::<usize>::new());
     }
 
     #[test]

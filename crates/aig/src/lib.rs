@@ -52,12 +52,14 @@ mod cube;
 mod dfs;
 mod lit;
 mod node;
+mod table;
 
 pub mod io;
 pub mod sim;
 
-pub use crate::aig::Aig;
+pub use crate::aig::{Aig, AigPerfCounters, AigTuning};
 pub use crate::cube::{Assignment, Cube};
 pub use crate::dfs::ConeStats;
 pub use crate::lit::{Lit, Var};
 pub use crate::node::Node;
+pub use crate::table::SigClasses;

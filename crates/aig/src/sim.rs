@@ -222,6 +222,15 @@ pub struct TernSim {
     ones: Vec<u64>,
     /// Definitely-0 plane, same indexing.
     zeros: Vec<u64>,
+    /// Generation-stamped visit plane for cone walks (the manager's
+    /// compose-scratchpad scheme): a node is marked iff its stamp equals
+    /// the current generation, so "clearing" between walks is a counter
+    /// bump and repeated [`TernSim::cone_of_reused`] calls allocate
+    /// nothing.
+    visit: Vec<u32>,
+    visit_gen: u32,
+    /// Reusable DFS stack for the same walks.
+    walk_stack: Vec<u32>,
 }
 
 impl TernSim {
@@ -233,6 +242,9 @@ impl TernSim {
             words,
             ones: vec![0; aig.num_nodes() * words],
             zeros: vec![0; aig.num_nodes() * words],
+            visit: Vec::new(),
+            visit_gen: 0,
+            walk_stack: Vec::new(),
         };
         for w in 0..words {
             sim.zeros[w] = !0;
@@ -322,6 +334,47 @@ impl TernSim {
         }
         cone.sort_unstable();
         cone
+    }
+
+    /// [`TernSim::cone_of`] into a caller-owned buffer, visiting through
+    /// the simulator's generation-stamped plane: no allocation at all
+    /// once the buffers have grown. The IC3 widening loop computes one
+    /// cone per blocked predecessor, so the per-call `seen` vector of the
+    /// associated-function form was pure churn there.
+    pub fn cone_of_reused(&mut self, aig: &Aig, roots: &[Lit], out: &mut Vec<usize>) {
+        out.clear();
+        if self.visit.len() < aig.num_nodes() {
+            self.visit.resize(aig.num_nodes(), 0);
+        }
+        if self.visit_gen == u32::MAX {
+            self.visit_gen = 0;
+            self.visit.fill(0);
+        }
+        self.visit_gen += 1;
+        let gen = self.visit_gen;
+        let mut stack = std::mem::take(&mut self.walk_stack);
+        stack.clear();
+        for root in roots {
+            let idx = root.var().index();
+            if self.visit[idx] != gen {
+                self.visit[idx] = gen;
+                stack.push(idx as u32);
+            }
+        }
+        while let Some(idx) = stack.pop() {
+            if let Node::And { f0, f1 } = aig.nodes()[idx as usize] {
+                out.push(idx as usize);
+                for edge in [f0, f1] {
+                    let child = edge.var().index();
+                    if self.visit[child] != gen {
+                        self.visit[child] = gen;
+                        stack.push(child as u32);
+                    }
+                }
+            }
+        }
+        self.walk_stack = stack;
+        out.sort_unstable();
     }
 
     /// Cone-restricted re-evaluation: recomputes exactly the AND nodes
@@ -526,6 +579,15 @@ mod tests {
         assert!(cone.contains(&f.var().index()));
         assert!(!cone.contains(&unrelated.var().index()));
         let mut sim = TernSim::new(&aig, 1);
+        // The buffered, generation-stamped walk sees the same cone, and
+        // keeps seeing it when the plane is reused back-to-back.
+        let mut buf = Vec::new();
+        sim.cone_of_reused(&aig, &[g], &mut buf);
+        assert_eq!(buf, cone);
+        sim.cone_of_reused(&aig, &[unrelated], &mut buf);
+        assert_eq!(buf, TernSim::cone_of(&aig, &[unrelated]));
+        sim.cone_of_reused(&aig, &[g], &mut buf);
+        assert_eq!(buf, cone);
         for v in [a, b, c] {
             sim.broadcast_var(v, Some(true));
         }

@@ -1,0 +1,202 @@
+//! Open-addressing signature-class table for sweeping.
+//!
+//! Simulation-guided sweeping (CEC candidate classes, don't-care
+//! simplification, the portfolio merge scout) groups literals by their
+//! simulation signature. The obvious `HashMap<Vec<u64>, Vec<Lit>>` pays a
+//! SipHash pass per insertion and iterates in random order; this table
+//! hashes with FNV-1a, probes linearly in a power-of-two slot array, and
+//! keeps classes in **first-insertion order**, so class enumeration is
+//! deterministic without an extra sort.
+
+use crate::lit::Lit;
+
+/// Groups literals by equal simulation signature (`Vec<u64>` key).
+///
+/// ```
+/// use cbq_aig::{Lit, SigClasses};
+/// let mut classes = SigClasses::new();
+/// classes.insert(&[0b1010], Lit::from_code(4));
+/// classes.insert(&[0b0101], Lit::from_code(6));
+/// classes.insert(&[0b1010], Lit::from_code(8));
+/// let classes = classes.into_entries();
+/// assert_eq!(classes.len(), 2);
+/// assert_eq!(classes[0].1.len(), 2); // the two 0b1010 literals
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SigClasses {
+    /// Entry index per slot; `u32::MAX` marks an empty slot.
+    slots: Vec<u32>,
+    /// Cached hash per slot (valid where `slots` is occupied), so probing
+    /// compares one `u64` before touching the full signature.
+    hashes: Vec<u64>,
+    entries: Vec<(Vec<u64>, Vec<Lit>)>,
+}
+
+fn sig_hash(sig: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for &w in sig {
+        // FNV-1a, word-at-a-time (we only ever hash whole u64 planes).
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl SigClasses {
+    /// An empty table.
+    pub fn new() -> SigClasses {
+        SigClasses::default()
+    }
+
+    /// An empty table pre-sized for about `n` distinct signatures.
+    pub fn with_capacity(n: usize) -> SigClasses {
+        let cap = (n.max(8) * 2).next_power_of_two();
+        SigClasses {
+            slots: vec![u32::MAX; cap],
+            hashes: vec![0; cap],
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of distinct signatures seen.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no literal has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `lit` to the class of `sig`, creating the class if new.
+    pub fn insert(&mut self, sig: &[u64], lit: Lit) {
+        self.class_mut(sig).push(lit);
+    }
+
+    /// The (possibly fresh) member list of the class of `sig`.
+    pub fn class_mut(&mut self, sig: &[u64]) -> &mut Vec<Lit> {
+        if (self.entries.len() + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let h = sig_hash(sig);
+        let mut i = (h as usize) & mask;
+        loop {
+            let e = self.slots[i];
+            if e == u32::MAX {
+                let idx = self.entries.len();
+                self.slots[i] = u32::try_from(idx).expect("class count fits u32");
+                self.hashes[i] = h;
+                self.entries.push((sig.to_vec(), Vec::new()));
+                return &mut self.entries[idx].1;
+            }
+            if self.hashes[i] == h && self.entries[e as usize].0 == sig {
+                return &mut self.entries[e as usize].1;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The member list of the class of `sig`, if any literal was inserted
+    /// under it.
+    pub fn class(&self, sig: &[u64]) -> Option<&[Lit]> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let h = sig_hash(sig);
+        let mut i = (h as usize) & mask;
+        loop {
+            let e = self.slots[i];
+            if e == u32::MAX {
+                return None;
+            }
+            if self.hashes[i] == h && self.entries[e as usize].0 == sig {
+                return Some(&self.entries[e as usize].1);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// All classes, in first-insertion order.
+    pub fn entries(&self) -> &[(Vec<u64>, Vec<Lit>)] {
+        &self.entries
+    }
+
+    /// Consumes the table into `(signature, members)` pairs in
+    /// first-insertion order.
+    pub fn into_entries(self) -> Vec<(Vec<u64>, Vec<Lit>)> {
+        self.entries
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len().max(8) * 2).next_power_of_two();
+        self.slots = vec![u32::MAX; cap];
+        self.hashes = vec![0; cap];
+        let mask = cap - 1;
+        for (idx, (sig, _)) in self.entries.iter().enumerate() {
+            let h = sig_hash(sig);
+            let mut i = (h as usize) & mask;
+            while self.slots[i] != u32::MAX {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32;
+            self.hashes[i] = h;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_signature_in_insertion_order() {
+        let mut t = SigClasses::new();
+        t.insert(&[1, 2], Lit::from_code(10));
+        t.insert(&[3, 4], Lit::from_code(12));
+        t.insert(&[1, 2], Lit::from_code(14));
+        t.insert(&[5, 6], Lit::from_code(16));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.class(&[1, 2]), Some(&[Lit::from_code(10), Lit::from_code(14)][..]));
+        assert_eq!(t.class(&[9, 9]), None);
+        let entries = t.into_entries();
+        assert_eq!(entries[0].0, vec![1, 2]);
+        assert_eq!(entries[1].0, vec![3, 4]);
+        assert_eq!(entries[2].0, vec![5, 6]);
+    }
+
+    /// Differential against `HashMap` grouping across growth boundaries.
+    #[test]
+    fn matches_hashmap_grouping() {
+        use std::collections::HashMap;
+        let mut t = SigClasses::new();
+        let mut reference: HashMap<Vec<u64>, Vec<Lit>> = HashMap::new();
+        // A deterministic pseudo-random stream with plenty of repeats.
+        let mut x = 0x1234_5678_u64;
+        for n in 0..4000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let sig = vec![x % 97, x % 13];
+            let lit = Lit::from_code(n * 2);
+            t.insert(&sig, lit);
+            reference.entry(sig).or_default().push(lit);
+        }
+        assert_eq!(t.len(), reference.len());
+        for (sig, members) in t.entries() {
+            assert_eq!(Some(members), reference.get(sig), "class {sig:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_presized_tables_behave() {
+        let t = SigClasses::new();
+        assert!(t.is_empty());
+        assert_eq!(t.class(&[0]), None);
+        let mut t = SigClasses::with_capacity(100);
+        t.insert(&[], Lit::TRUE);
+        t.insert(&[], Lit::FALSE);
+        assert_eq!(t.class(&[]), Some(&[Lit::TRUE, Lit::FALSE][..]));
+        assert_eq!(t.len(), 1);
+    }
+}

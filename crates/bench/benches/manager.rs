@@ -1,0 +1,75 @@
+//! E6q companion — AIG-manager primitive microbenches.
+//!
+//! Times the three hot-path primitives the e6q ablation table measures
+//! end-to-end — `and` (strash lookups), `compose` (scratchpad cone
+//! walks), and `cofactor` (support-limited rebuild + cache) — under the
+//! full tuning and the `HashMap` reference rung.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cbq_aig::{Aig, AigTuning, Lit, Var};
+use cbq_bench::preimage_workload;
+use cbq_ckt::generators;
+
+/// Builds the arbiter pre-image workload under the given manager tuning
+/// (the workload constructor uses the process default, exactly like the
+/// engines the e6q table runs), restoring the full tuning afterwards.
+fn workload(tuning: AigTuning) -> (Aig, Lit, Vec<Var>) {
+    AigTuning::set_process_default(tuning);
+    let net = generators::arbiter(6);
+    let (aig, pre, pis) = preimage_workload(&net, 1);
+    AigTuning::set_process_default(AigTuning::full());
+    (aig, pre, pis)
+}
+
+fn bench_manager(c: &mut Criterion) {
+    for (label, tuning) in [
+        ("full", AigTuning::full()),
+        ("reference", AigTuning::reference()),
+    ] {
+        let (aig0, pre, pis) = workload(tuning);
+        let mut g = c.benchmark_group(format!("e6q-manager-{label}"));
+        g.sample_size(20);
+        g.bench_function("and", |b| {
+            // Rebuild conjunctions over existing cone nodes: every call
+            // is a strash probe, most of them hits.
+            b.iter(|| {
+                let mut aig = aig0.clone();
+                let mut acc = pre;
+                for v in &pis {
+                    acc = aig.and(acc, v.lit());
+                }
+                acc
+            })
+        });
+        g.bench_function("compose", |b| {
+            // Permute the quantified inputs: a full cone walk with a
+            // non-trivial substitution at every leaf.
+            b.iter(|| {
+                let mut aig = aig0.clone();
+                let map: Vec<(Var, Lit)> = pis
+                    .iter()
+                    .zip(pis.iter().rev())
+                    .map(|(a, b)| (*a, b.lit()))
+                    .collect();
+                aig.compose(pre, &map)
+            })
+        });
+        g.bench_function("cofactor", |b| {
+            // Chained positive cofactors: exercises support-limited
+            // pruning and (second time around each root) the cache.
+            b.iter(|| {
+                let mut aig = aig0.clone();
+                let mut acc = pre;
+                for v in &pis {
+                    acc = aig.cofactor(acc, *v, true);
+                }
+                acc
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_manager);
+criterion_main!(benches);

@@ -248,18 +248,20 @@ impl<'a> Sweeper<'a> {
     /// with [`Lit::FALSE`].
     fn candidate_classes(&self) -> Vec<Vec<Lit>> {
         let cone = self.aig.collect_cone(&self.roots);
-        let mut groups: HashMap<Vec<u64>, Vec<Lit>> = HashMap::new();
+        let mut groups = cbq_aig::SigClasses::with_capacity(cone.len());
         // Seed the constant class so constant nodes merge to the constant.
-        groups.insert(vec![0; self.sim.words()], vec![Lit::FALSE]);
+        groups.insert(&vec![0; self.sim.words()], Lit::FALSE);
         for v in cone {
             if v == Var::CONST {
                 continue;
             }
             let (sig, flip) = self.sim.normalized_signature(v.lit());
-            groups.entry(sig).or_default().push(v.lit().xor_sign(flip));
+            groups.insert(&sig, v.lit().xor_sign(flip));
         }
         let mut classes: Vec<Vec<Lit>> = groups
-            .into_values()
+            .into_entries()
+            .into_iter()
+            .map(|(_, members)| members)
             .filter(|members| members.len() > 1)
             .collect();
         for c in &mut classes {
@@ -471,7 +473,8 @@ pub fn apply_merges(aig: &mut Aig, roots: &[Lit], merges: &HashMap<Var, Lit>) ->
         return roots.to_vec();
     }
     let cone = aig.collect_cone(roots);
-    let mut memo: HashMap<Var, Lit> = HashMap::new();
+    let top = cone.last().map_or(0, |v| v.index());
+    let mut memo: Vec<Option<Lit>> = vec![None; top + 1];
     for v in cone {
         let rebuilt = match aig.node(v) {
             Node::Const => Lit::FALSE,
@@ -482,20 +485,20 @@ pub fn apply_merges(aig: &mut Aig, roots: &[Lit], merges: &HashMap<Var, Lit>) ->
                 aig.and(a, b)
             }
         };
-        memo.insert(v, rebuilt);
+        memo[v.index()] = Some(rebuilt);
     }
     roots.iter().map(|r| resolve(&memo, merges, *r)).collect()
 }
 
 /// Resolves an edge through merges (on original variables) and then the
 /// rebuild memo, preserving phase.
-fn resolve(memo: &HashMap<Var, Lit>, merges: &HashMap<Var, Lit>, l: Lit) -> Lit {
+fn resolve(memo: &[Option<Lit>], merges: &HashMap<Var, Lit>, l: Lit) -> Lit {
     let mut cur = l;
     while let Some(&next) = merges.get(&cur.var()) {
         cur = next.xor_sign(cur.is_complemented());
     }
-    match memo.get(&cur.var()) {
-        Some(&m) => m.xor_sign(cur.is_complemented()),
+    match memo.get(cur.var().index()).copied().flatten() {
+        Some(m) => m.xor_sign(cur.is_complemented()),
         None => cur,
     }
 }

@@ -381,6 +381,12 @@ pub struct QuantStats {
     pub opt: OptStats,
     /// Whole-cone sweeps triggered by [`QuantConfig::resweep_growth`].
     pub interleaved_sweeps: usize,
+    /// AIG-manager cofactor-cache hits during this run.
+    pub cofactor_cache_hits: u64,
+    /// Nodes visited by dense scratchpad cone walks during this run.
+    pub scratch_walk_nodes: u64,
+    /// Structural-hash slot probes during this run.
+    pub strash_probes: u64,
     /// One record per attempted variable, in elimination order.
     pub per_var: Vec<VarQuantRecord>,
 }
@@ -421,7 +427,7 @@ pub fn exists_one_full(
     cnf: &mut AigCnf,
     cfg: &QuantConfig,
 ) -> (Option<Lit>, VarQuantRecord, SweepStats, OptStats) {
-    let size_before = aig.cone_size(f);
+    let size_before = aig.cone_size_cached(f);
     let mut sweep_stats = SweepStats::default();
     let mut opt_stats = OptStats::default();
     let mut record = VarQuantRecord {
@@ -437,7 +443,7 @@ pub fn exists_one_full(
     }
     let (f1, f0) = aig.cofactors(f, v);
     let naive = aig.or(f1, f0);
-    record.size_naive = aig.cone_size(naive);
+    record.size_naive = aig.cone_size_cached(naive);
     if naive.is_const() || f1 == f0 {
         record.size_merged = record.size_naive;
         record.size_opt = record.size_naive;
@@ -452,7 +458,7 @@ pub fn exists_one_full(
         (f1, f0)
     };
     let merged = aig.or(m1, m0);
-    record.size_merged = aig.cone_size(merged);
+    record.size_merged = aig.cone_size_cached(merged);
 
     let result = if cfg.use_opt {
         let (o1, o0, stats) = optimize_disjunction(aig, m1, m0, cnf, &cfg.opt);
@@ -462,7 +468,7 @@ pub fn exists_one_full(
         merged
     };
     let result = restrash(aig, &[result])[0];
-    record.size_opt = aig.cone_size(result);
+    record.size_opt = aig.cone_size_cached(result);
 
     if let Some(factor) = cfg.growth_budget {
         let cap = (size_before as f64 * factor).ceil() as usize;
@@ -515,8 +521,9 @@ pub fn exists_many(
     cnf: &mut AigCnf,
     cfg: &QuantConfig,
 ) -> QuantResult {
+    let perf_start = aig.perf_counters();
     let mut stats = QuantStats {
-        nodes_before: aig.cone_size(f),
+        nodes_before: aig.cone_size_cached(f),
         ..QuantStats::default()
     };
     let mut current = f;
@@ -529,11 +536,11 @@ pub fn exists_many(
     while !pending.is_empty() && passes < 2 {
         passes += 1;
         if cfg.order == VarOrder::StaticCost {
-            // One cost probe per variable per pass; stale-but-cheap.
-            let mut costed: Vec<(usize, Var)> = pending
-                .iter()
-                .map(|v| (aig.occurrence_count(&[current], *v), *v))
-                .collect();
+            // One cost probe per variable per pass; stale-but-cheap. A
+            // single batched cone walk prices every variable at once.
+            let costs = aig.occurrence_counts(&[current], &pending);
+            let mut costed: Vec<(usize, Var)> =
+                costs.into_iter().zip(pending.iter().copied()).collect();
             costed.sort_unstable_by_key(|(cost, _)| *cost);
             pending = costed.into_iter().map(|(_, v)| v).collect();
         }
@@ -547,7 +554,8 @@ pub fn exists_many(
                 next_round.append(&mut pending);
                 remaining = next_round;
                 stats.aborted = remaining.len();
-                stats.nodes_after = aig.cone_size(current);
+                stats.nodes_after = aig.cone_size_cached(current);
+                record_perf_delta(&mut stats, aig.perf_counters().since(perf_start));
                 return QuantResult {
                     lit: current,
                     remaining,
@@ -557,10 +565,13 @@ pub fn exists_many(
             let idx = match cfg.order {
                 VarOrder::AsGiven | VarOrder::StaticCost => 0,
                 VarOrder::CheapestFirst => {
+                    // One cone walk prices every pending variable; the
+                    // old per-variable probe made re-estimation quadratic
+                    // in the cone for every single elimination.
+                    let costs = aig.occurrence_counts(&[current], &pending);
                     let mut best = 0;
                     let mut best_cost = usize::MAX;
-                    for (i, v) in pending.iter().enumerate() {
-                        let cost = aig.occurrence_count(&[current], *v);
+                    for (i, &cost) in costs.iter().enumerate() {
                         if cost < best_cost {
                             best_cost = cost;
                             best = i;
@@ -582,13 +593,13 @@ pub fn exists_many(
                 None => next_round.push(v),
             }
             if let Some(factor) = cfg.resweep_growth {
-                let size = aig.cone_size(current);
+                let size = aig.cone_size_cached(current);
                 if size as f64 > sweep_base as f64 * factor {
                     let swept = sweep(aig, &[current], cnf, &cfg.sweep);
                     accumulate_sweep(&mut stats.sweep, swept.stats);
                     current = swept.roots[0];
                     stats.interleaved_sweeps += 1;
-                    sweep_base = aig.cone_size(current).max(1);
+                    sweep_base = aig.cone_size_cached(current).max(1);
                 }
             }
         }
@@ -599,12 +610,20 @@ pub fn exists_many(
         pending = next_round;
     }
     stats.aborted = remaining.len();
-    stats.nodes_after = aig.cone_size(current);
+    stats.nodes_after = aig.cone_size_cached(current);
+    record_perf_delta(&mut stats, aig.perf_counters().since(perf_start));
     QuantResult {
         lit: current,
         remaining,
         stats,
     }
+}
+
+/// Folds the manager's hot-path counter delta for this run into `stats`.
+fn record_perf_delta(stats: &mut QuantStats, d: cbq_aig::AigPerfCounters) {
+    stats.cofactor_cache_hits += d.cofactor_cache_hits;
+    stats.scratch_walk_nodes += d.scratch_walk_nodes;
+    stats.strash_probes += d.strash_probes;
 }
 
 /// Quantification by substitution (in-lining, Section 3):

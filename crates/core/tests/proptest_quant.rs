@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use cbq_aig::{Aig, Lit, Var};
+use cbq_aig::{Aig, AigTuning, Lit, Var};
 use cbq_cnf::AigCnf;
 use cbq_core::{exists_bdd, exists_many, QuantConfig};
 
@@ -30,6 +30,26 @@ fn ops_strategy(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
 
 fn build(ops: &[Op]) -> (Aig, Lit) {
     let mut aig = Aig::new();
+    let mut pool: Vec<Lit> = (0..N).map(|_| aig.add_input().lit()).collect();
+    for op in ops {
+        let pick = |i: usize| pool[i % pool.len()];
+        let l = match *op {
+            Op::And(a, pa, b, pb) => {
+                let (x, y) = (pick(a).xor_sign(pa), pick(b).xor_sign(pb));
+                aig.and(x, y)
+            }
+            Op::Xor(a, pa, b, pb) => {
+                let (x, y) = (pick(a).xor_sign(pa), pick(b).xor_sign(pb));
+                aig.xor(x, y)
+            }
+        };
+        pool.push(l);
+    }
+    (aig, *pool.last().expect("non-empty"))
+}
+
+fn build_with(ops: &[Op], tuning: AigTuning) -> (Aig, Lit) {
+    let mut aig = Aig::with_tuning(tuning);
     let mut pool: Vec<Lit> = (0..N).map(|_| aig.add_input().lit()).collect();
     for op in ops {
         let pick = |i: usize| pool[i % pool.len()];
@@ -117,6 +137,35 @@ proptest! {
         let vars: Vec<Var> = (0..nvars).map(|i| aig.input_var(i)).collect();
         let (blit, _) = exists_bdd(&mut aig, f, &vars, usize::MAX).expect("no cap");
         check_result(&aig, f, &vars, blit)?;
+    }
+
+    /// Differential: the manager tuning never changes what `exists_many`
+    /// computes. The reference `HashMap` rung, the cache-ablated rung,
+    /// and the full dense/cached hot path each yield an exact `∃vars.F`,
+    /// and toggling only the cofactor cache is *bit-identical* (same
+    /// result literal, same node count) — the cache may only memoise
+    /// what the uncached path would recompute identically.
+    #[test]
+    fn tuning_rungs_compute_the_same_exists(ops in ops_strategy(20), nvars in 1..3usize) {
+        let rungs = [
+            AigTuning::full(),
+            AigTuning { cofactor_cache: false, ..AigTuning::full() },
+            AigTuning::reference(),
+        ];
+        let mut lits = Vec::new();
+        let mut counts = Vec::new();
+        for tuning in rungs {
+            let (mut aig, f) = build_with(&ops, tuning);
+            let vars: Vec<Var> = (0..nvars).map(|i| aig.input_var(i)).collect();
+            let mut cnf = AigCnf::new();
+            let res = exists_many(&mut aig, f, &vars, &mut cnf, &QuantConfig::full());
+            prop_assert!(res.remaining.is_empty());
+            check_result(&aig, f, &vars, res.lit)?;
+            lits.push(res.lit);
+            counts.push(aig.num_nodes());
+        }
+        prop_assert_eq!(lits[0], lits[1], "cofactor cache changed the result");
+        prop_assert_eq!(counts[0], counts[1], "cofactor cache changed the manager");
     }
 
     /// Partial quantification is sound: finishing the residuals yields

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use cbq_aig::sim::TernSim;
 use cbq_aig::{Aig, Lit, Var};
 use cbq_ckt::{Network, Trace};
 use cbq_cnf::AigCnf;
@@ -17,6 +18,93 @@ use cbq_sat::{SatLit, SatResult};
 use crate::bus::{assume_cube_at, BusClientStats, BusCursor, LatchCube, LemmaBus, LemmaValidator};
 use crate::engine::{Budget, Engine, Meter};
 use crate::verdict::{McRun, McStats, Verdict};
+
+/// Pre-unrolling reduction derived from ternary X-propagation: latches
+/// proved stuck-at-constant unroll as constants, and latches that cannot
+/// influence `bad` through the remaining transition functions are never
+/// composed at all.
+///
+/// Stuck-at facts hold in *every reachable state*, and a functional
+/// unrolling only ever valuates reachable states, so the reduced
+/// unrolling has exactly the same counterexamples at every depth. The
+/// k-induction step case ranges over arbitrary states, so it must not
+/// use this reduction.
+#[derive(Debug)]
+struct CoiReduction {
+    /// `Some(b)` when ternary X-propagation proved the latch holds `b`
+    /// in every reachable state.
+    stuck: Vec<Option<bool>>,
+    /// Whether the latch's transition function must be unrolled (it can
+    /// reach `bad` through non-stuck dependencies).
+    active: Vec<bool>,
+}
+
+impl CoiReduction {
+    /// Runs the widening fixpoint (all primary inputs X; a latch that can
+    /// leave its current definite value widens to X) and then closes
+    /// `bad`'s latch support over the non-stuck transition functions.
+    fn analyse(net: &Network) -> CoiReduction {
+        let aig = net.aig();
+        let latches = net.latches();
+        let mut sim = TernSim::new(aig, 1);
+        for pi in net.primary_inputs() {
+            sim.broadcast_var(*pi, None);
+        }
+        // Monotone: entries only ever go definite -> X, so the loop runs
+        // at most |latches| + 1 iterations.
+        let mut stuck: Vec<Option<bool>> = latches.iter().map(|l| Some(l.init)).collect();
+        loop {
+            for (l, v) in latches.iter().zip(&stuck) {
+                sim.broadcast_var(l.var, *v);
+            }
+            sim.run(aig);
+            let mut changed = false;
+            for (i, l) in latches.iter().enumerate() {
+                if stuck[i].is_some() && sim.lit_value(l.next, 0) != stuck[i] {
+                    stuck[i] = None;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Latch ordinal by AIG variable, for reading latch supports.
+        let top = latches.iter().map(|l| l.var.index()).max().map_or(0, |i| i + 1);
+        let mut ord_of = vec![usize::MAX; top];
+        for (i, l) in latches.iter().enumerate() {
+            ord_of[l.var.index()] = i;
+        }
+        let latch_support = |root: Lit, out: &mut Vec<usize>| {
+            for v in aig.collect_cone(&[root]) {
+                if let Some(&o) = ord_of.get(v.index()) {
+                    if o != usize::MAX {
+                        out.push(o);
+                    }
+                }
+            }
+        };
+        // Stuck latches read as constants, so they propagate no
+        // dependencies; the closure runs over the others only.
+        let mut active = vec![false; latches.len()];
+        let mut support = Vec::new();
+        let mut work: Vec<usize> = Vec::new();
+        latch_support(net.bad(), &mut support);
+        loop {
+            for o in support.drain(..) {
+                if stuck[o].is_none() && !active[o] {
+                    active[o] = true;
+                    work.push(o);
+                }
+            }
+            match work.pop() {
+                None => break,
+                Some(i) => latch_support(latches[i].next, &mut support),
+            }
+        }
+        CoiReduction { stuck, active }
+    }
+}
 
 /// Incremental functional unroller, shared by BMC and the base case of
 /// k-induction.
@@ -36,10 +124,26 @@ pub(crate) struct Unroller {
     frame_inputs: Vec<Vec<Var>>,
     /// `bad` literal per unrolled frame.
     bads: Vec<Lit>,
+    /// When set, stuck latches stay constants and pruned latches keep a
+    /// frozen placeholder that no composed root — and no instantiated
+    /// lemma — is allowed to read.
+    coi: Option<CoiReduction>,
 }
 
 impl Unroller {
     pub fn new(net: &Network) -> Unroller {
+        Unroller::build(net, None)
+    }
+
+    /// Like [`Unroller::new`] with the ternary X-propagation COI
+    /// reduction enabled. Sound for exact-depth reachability queries
+    /// only (see [`CoiReduction`]); k-induction keeps the plain
+    /// constructor.
+    pub fn with_coi_reduction(net: &Network) -> Unroller {
+        Unroller::build(net, Some(CoiReduction::analyse(net)))
+    }
+
+    fn build(net: &Network, coi: Option<CoiReduction>) -> Unroller {
         let aig = net.aig().clone();
         let state: Vec<Lit> = net
             .latches()
@@ -53,42 +157,93 @@ impl Unroller {
             state,
             frame_inputs: Vec::new(),
             bads: Vec::new(),
+            coi,
+        }
+    }
+
+    /// Latch-count summary of the reduction: `(stuck, pruned)`. Both 0
+    /// when the reduction is off.
+    pub fn coi_summary(&self) -> (usize, usize) {
+        match &self.coi {
+            None => (0, 0),
+            Some(c) => {
+                let stuck = c.stuck.iter().filter(|s| s.is_some()).count();
+                let pruned = c
+                    .active
+                    .iter()
+                    .zip(&c.stuck)
+                    .filter(|(a, s)| !**a && s.is_none())
+                    .count();
+                (stuck, pruned)
+            }
+        }
+    }
+
+    /// Whether a bus cube may be instantiated on this unrolling: every
+    /// literal must touch a latch whose per-frame value is actually
+    /// computed (live or stuck-at-constant). Pruned latches keep a
+    /// frozen placeholder that must never reach the solver.
+    pub fn cube_instantiable(&self, cube: &[(usize, bool)]) -> bool {
+        match &self.coi {
+            None => true,
+            Some(c) => cube
+                .iter()
+                .all(|&(ord, _)| c.active[ord] || c.stuck[ord].is_some()),
         }
     }
 
     /// Ensures frames `0..=depth` exist and returns `bad` at `depth`.
     pub fn bad_at(&mut self, net: &Network, depth: usize) -> Lit {
         while self.bads.len() <= depth {
-            let t = self.bads.len();
-            // Fresh inputs for frame t.
+            // Fresh inputs for this frame (all primary inputs get one,
+            // even under COI reduction, so trace extraction is uniform).
             let fresh: Vec<Var> = net
                 .primary_inputs()
                 .iter()
                 .map(|_| self.aig.add_input())
                 .collect();
-            let mut subst: Vec<(Var, Lit)> = net
-                .latches()
-                .iter()
-                .zip(&self.state)
-                .map(|(l, s)| (l.var, *s))
-                .collect();
+            let latches = net.latches();
+            let mut subst: Vec<(Var, Lit)> =
+                Vec::with_capacity(latches.len() + fresh.len());
+            for (i, (l, s)) in latches.iter().zip(&self.state).enumerate() {
+                // Pruned latches are unread by every composed root; their
+                // (frozen) placeholder must not enter the substitution.
+                let pruned = self
+                    .coi
+                    .as_ref()
+                    .is_some_and(|c| !c.active[i] && c.stuck[i].is_none());
+                if !pruned {
+                    subst.push((l.var, *s));
+                }
+            }
             subst.extend(
                 net.primary_inputs()
                     .iter()
                     .zip(&fresh)
                     .map(|(pi, f)| (*pi, f.lit())),
             );
-            let bad_t = self.aig.compose(net.bad(), &subst);
-            let next_state: Vec<Lit> = net
-                .latches()
-                .iter()
-                .map(|l| self.aig.compose(l.next, &subst))
-                .collect();
-            self.bads.push(bad_t);
+            // One shared cone walk composes bad and every live
+            // next-state function.
+            let mut roots: Vec<Lit> = Vec::with_capacity(1 + latches.len());
+            roots.push(net.bad());
+            let mut live: Vec<usize> = Vec::with_capacity(latches.len());
+            for (i, l) in latches.iter().enumerate() {
+                // Stuck latches keep their constant; pruned ones their
+                // placeholder.
+                if self.coi.as_ref().is_none_or(|c| c.active[i]) {
+                    live.push(i);
+                    roots.push(l.next);
+                }
+            }
+            let composed = self.aig.compose_many(&roots, &subst);
+            let mut next_state = self.state.clone();
+            for (k, &i) in live.iter().enumerate() {
+                next_state[i] = composed[k + 1];
+            }
+            self.bads.push(composed[0]);
             self.frame_inputs.push(fresh);
             self.states.push(next_state.clone());
             self.state = next_state;
-            let _ = t;
         }
         self.bads[depth]
     }
@@ -139,6 +294,13 @@ pub struct Bmc {
     /// lemmas are *implied* — they can only prune the solver's search,
     /// never add or remove a counterexample.
     pub bus: Option<Arc<LemmaBus>>,
+    /// Ternary X-propagation COI reduction before unrolling (on by
+    /// default): stuck-at-constant latches unroll as constants, and
+    /// latches that cannot influence `bad` are never composed. Verdicts
+    /// and minimal counterexample depths are unchanged — stuck values
+    /// hold in every reachable state, and a functional unrolling only
+    /// valuates reachable states.
+    pub coi_reduction: bool,
 }
 
 impl Default for Bmc {
@@ -146,6 +308,7 @@ impl Default for Bmc {
         Bmc {
             max_depth: 64,
             bus: None,
+            coi_reduction: true,
         }
     }
 }
@@ -159,6 +322,14 @@ pub struct BmcStats {
     pub unrolled_nodes: usize,
     /// SAT checks issued (one per depth, plus lemma validation).
     pub sat_checks: u64,
+    /// Latches in the model.
+    pub latches_total: usize,
+    /// Latches proved stuck-at-constant by ternary X-propagation.
+    pub latches_stuck: usize,
+    /// Non-stuck latches pruned as outside the reduced COI of `bad`.
+    pub latches_pruned: usize,
+    /// Validated bus cubes dropped because they touch a pruned latch.
+    pub coi_lemmas_skipped: u64,
     /// Lemma-bus traffic (cubes admitted/rejected after re-validation).
     pub bus: BusClientStats,
 }
@@ -183,8 +354,18 @@ impl Engine for Bmc {
     /// Runs BMC on `net` within `budget` (`max_steps` caps the depth).
     fn check(&self, net: &Network, budget: &Budget) -> McRun {
         let meter = Meter::start(budget);
-        let mut u = Unroller::new(net);
-        let mut stats = BmcStats::default();
+        let mut u = if self.coi_reduction {
+            Unroller::with_coi_reduction(net)
+        } else {
+            Unroller::new(net)
+        };
+        let (latches_stuck, latches_pruned) = u.coi_summary();
+        let mut stats = BmcStats {
+            latches_total: net.latches().len(),
+            latches_stuck,
+            latches_pruned,
+            ..BmcStats::default()
+        };
         // Bus consumer state: a zero-trust validator, one guard carrying
         // every instantiated lemma clause, the read cursor, and the
         // admitted cubes (re-instantiated at each new frame).
@@ -240,6 +421,13 @@ impl Engine for Bmc {
                     stats.bus.lemmas_admitted += batch.len() as u64;
                     stats.bus.lemmas_rejected = tagged_rejected + pending.len() as u64;
                     for norm in batch {
+                        // A cube over a pruned latch has no per-frame
+                        // value to bind against — dropping it only loses
+                        // pruning power, never soundness.
+                        if !u.cube_instantiable(&norm) {
+                            stats.coi_lemmas_skipped += 1;
+                            continue;
+                        }
                         for t in 1..=d {
                             assume_cube_at(&mut u.cnf, &u.aig, guard, &u.states[t], &norm);
                         }
@@ -323,6 +511,52 @@ mod tests {
         }
         .check(&generators::counter_bug(5, 7), &Budget::unlimited());
         assert!(matches!(run.verdict, Verdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn coi_reduction_prunes_and_preserves_counterexamples() {
+        // Four latches: `stuck` never leaves its init, `dead` toggles
+        // forever but feeds nothing, and a two-stage pipeline carries a
+        // 1 into `bad` (gated on the stuck latch staying 0) at depth 2.
+        let mut b = cbq_ckt::Network::builder("coi");
+        let stuck = b.add_latch(false);
+        b.set_next(stuck, stuck.lit());
+        let dead = b.add_latch(false);
+        b.set_next(dead, !dead.lit());
+        let p0 = b.add_latch(false);
+        b.set_next(p0, Lit::TRUE);
+        let p1 = b.add_latch(false);
+        b.set_next(p1, p0.lit());
+        let bad = b.aig_mut().and(p1.lit(), !stuck.lit());
+        let net = b.build(bad);
+
+        let reduced = Bmc::default().check(&net, &Budget::unlimited());
+        let full = Bmc {
+            coi_reduction: false,
+            ..Bmc::default()
+        }
+        .check(&net, &Budget::unlimited());
+        for run in [&reduced, &full] {
+            match &run.verdict {
+                Verdict::Unsafe { trace } => {
+                    assert_eq!(trace.len(), 3);
+                    assert!(trace.validates(&net));
+                }
+                other => panic!("expected unsafe, got {other}"),
+            }
+        }
+        let rs = reduced.detail::<BmcStats>().unwrap();
+        assert_eq!(rs.latches_total, 4);
+        assert_eq!(rs.latches_stuck, 1, "stuck latch not detected");
+        assert_eq!(rs.latches_pruned, 1, "dead latch not pruned");
+        let fs = full.detail::<BmcStats>().unwrap();
+        assert_eq!((fs.latches_stuck, fs.latches_pruned), (0, 0));
+        assert!(
+            rs.unrolled_nodes <= fs.unrolled_nodes,
+            "reduction grew the unrolling: {} > {}",
+            rs.unrolled_nodes,
+            fs.unrolled_nodes
+        );
     }
 
     #[test]

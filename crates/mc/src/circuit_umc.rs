@@ -2,7 +2,7 @@
 //! sets and circuit-based quantification (Section 3), generalised to the
 //! partitioned state-set representation of [`crate::stateset`].
 
-use cbq_aig::{Lit, Var};
+use cbq_aig::{AigPerfCounters, Lit, Var};
 use cbq_ckt::{Network, Trace};
 use cbq_cnf::AigCnfStats;
 use cbq_core::{exists_many, QuantConfig};
@@ -97,6 +97,10 @@ pub struct CircuitUmcStats {
     pub sat_checks: u64,
     /// Input variables aborted by partial quantification, total.
     pub quant_aborts: usize,
+    /// AIG-manager hot-path counters accumulated over every
+    /// quantification (all partitions): strash probes, scratchpad walk
+    /// nodes, cofactor-cache hits.
+    pub quant_perf: AigPerfCounters,
     /// Cofactors enumerated by the residual policy, total.
     pub ganai_cofactors: usize,
     /// State-set sweeping counters (all partitions).
@@ -122,6 +126,19 @@ pub(crate) struct PartQuant {
     pub aborts: usize,
     pub cofactors: usize,
     pub complete: bool,
+    /// Hot-path counter deltas of this quantification's `exists_many`
+    /// calls (residual passes included).
+    pub perf: AigPerfCounters,
+}
+
+/// The manager hot-path counters an [`exists_many`] run charged to its
+/// quantification.
+fn quant_perf(s: &cbq_core::QuantStats) -> AigPerfCounters {
+    AigPerfCounters {
+        strash_probes: s.strash_probes,
+        scratch_walk_nodes: s.scratch_walk_nodes,
+        cofactor_cache_hits: s.cofactor_cache_hits,
+    }
 }
 
 /// Quantifies `vars` out of `f` inside partition `p`, honouring the
@@ -149,6 +166,7 @@ pub(crate) fn quantify_in_partition(
         aborts: 0,
         cofactors: 0,
         complete: true,
+        perf: quant_perf(&q.stats),
     };
     if q.remaining.is_empty() {
         return out;
@@ -164,6 +182,7 @@ pub(crate) fn quantify_in_partition(
     match residual {
         ResidualPolicy::Naive => {
             let q2 = exists_many(&mut p.aig, q.lit, &q.remaining, &mut p.cnf, &naive());
+            out.perf.add(quant_perf(&q2.stats));
             out.lit = q2.lit;
             out.complete = q2.remaining.is_empty();
         }
@@ -175,6 +194,7 @@ pub(crate) fn quantify_in_partition(
                 }
                 None => {
                     let q2 = exists_many(&mut p.aig, q.lit, &q.remaining, &mut p.cnf, &naive());
+                    out.perf.add(quant_perf(&q2.stats));
                     out.lit = q2.lit;
                     out.complete = q2.remaining.is_empty();
                 }
@@ -190,6 +210,7 @@ struct PartStep {
     bounded: Option<Verdict>,
     aborts: usize,
     cofactors: usize,
+    perf: AigPerfCounters,
 }
 
 impl PartStep {
@@ -199,6 +220,7 @@ impl PartStep {
             bounded: None,
             aborts: 0,
             cofactors: 0,
+            perf: AigPerfCounters::default(),
         }
     }
 }
@@ -252,6 +274,7 @@ impl CircuitUmc {
             let q = quantify_in_partition(p, bad, &pis, &self.quant, self.residual);
             stats.quant_aborts += q.aborts;
             stats.ganai_cofactors += q.cofactors;
+            stats.quant_perf.add(q.perf);
             if !q.complete {
                 let bounded = meter
                     .exceeded(0, ss.total_nodes(), ss.total_sat_checks())
@@ -307,6 +330,7 @@ impl CircuitUmc {
             for step in &steps {
                 stats.quant_aborts += step.aborts;
                 stats.ganai_cofactors += step.cofactors;
+                stats.quant_perf.add(step.perf);
             }
             if let Some(bounded) = steps.iter().find_map(|s| s.bounded.clone()) {
                 return self.seal(bounded, stats, &ss);
@@ -359,6 +383,7 @@ impl CircuitUmc {
                 bounded: Some(bounded),
                 aborts: q.aborts,
                 cofactors: q.cofactors,
+                perf: q.perf,
                 ..PartStep::empty()
             };
         }
@@ -369,6 +394,7 @@ impl CircuitUmc {
             bounded: None,
             aborts: q.aborts,
             cofactors: q.cofactors,
+            perf: q.perf,
         }
     }
 

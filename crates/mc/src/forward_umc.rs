@@ -14,7 +14,7 @@
 //! temporary nodes per step. Partitioning pays off accordingly: each
 //! partition images its own window in its own manager, in parallel.
 
-use cbq_aig::Lit;
+use cbq_aig::{AigPerfCounters, Lit};
 use cbq_ckt::{Network, Trace};
 use cbq_cnf::AigCnfStats;
 use cbq_core::QuantConfig;
@@ -66,6 +66,10 @@ pub struct ForwardCircuitUmcStats {
     pub peak_nodes: usize,
     /// Input/state variables aborted by partial quantification, total.
     pub quant_aborts: usize,
+    /// AIG-manager hot-path counters accumulated over every
+    /// quantification (all partitions): strash probes, scratchpad walk
+    /// nodes, cofactor-cache hits.
+    pub quant_perf: AigPerfCounters,
     /// Cofactors enumerated by the residual policy, total.
     pub ganai_cofactors: usize,
     /// State-set sweeping counters (all partitions).
@@ -87,6 +91,7 @@ struct FwdStep {
     bounded: Option<Verdict>,
     aborts: usize,
     cofactors: usize,
+    perf: AigPerfCounters,
 }
 
 impl FwdStep {
@@ -97,6 +102,7 @@ impl FwdStep {
             bounded: None,
             aborts: 0,
             cofactors: 0,
+            perf: AigPerfCounters::default(),
         }
     }
 }
@@ -179,6 +185,7 @@ impl ForwardCircuitUmc {
             for step in &steps {
                 stats.quant_aborts += step.aborts;
                 stats.ganai_cofactors += step.cofactors;
+                stats.quant_perf.add(step.perf);
             }
             if let Some(bounded) = steps.iter().find_map(|s| s.bounded.clone()) {
                 let checks = self.seal(stats, &ss);
@@ -246,6 +253,7 @@ impl ForwardCircuitUmc {
                 bounded: Some(bounded),
                 aborts: q.aborts,
                 cofactors: q.cofactors,
+                perf: q.perf,
                 ..FwdStep::empty()
             };
         }
@@ -259,6 +267,7 @@ impl ForwardCircuitUmc {
             bounded: None,
             aborts: q.aborts,
             cofactors: q.cofactors,
+            perf: q.perf,
         }
     }
 

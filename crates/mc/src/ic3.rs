@@ -290,6 +290,10 @@ struct Ic3Run<'a> {
     /// Ternary simulator for predecessor widening (64 patterns — one
     /// concrete lane plus up to 63 prefix-X probe lanes per round).
     sim: TernSim,
+    /// Reusable buffer for the widening target cone (filled by
+    /// `TernSim::cone_of_reused`, so widening allocates nothing steady
+    /// state).
+    cone_buf: Vec<usize>,
     stats: Ic3Stats,
     seq: u64,
     retired_queries: u32,
@@ -381,6 +385,7 @@ impl<'a> Ic3Run<'a> {
             inf_act,
             inf_cubes: Vec::new(),
             sim,
+            cone_buf: Vec::new(),
             stats: Ic3Stats::default(),
             seq: 0,
             retired_queries: 0,
@@ -670,7 +675,8 @@ impl<'a> Ic3Run<'a> {
         // cone.
         self.sim.run(&self.aig);
         let roots: Vec<Lit> = targets.iter().map(|&(l, _)| l).collect();
-        let cone = TernSim::cone_of(&self.aig, &roots);
+        let mut cone = std::mem::take(&mut self.cone_buf);
+        self.sim.cone_of_reused(&self.aig, &roots, &mut cone);
         debug_assert!(
             targets
                 .iter()
@@ -715,6 +721,7 @@ impl<'a> Ic3Run<'a> {
                 }
             }
         }
+        self.cone_buf = cone;
         let cube: Cube = state
             .iter()
             .enumerate()

@@ -5,9 +5,11 @@
 //! the workspace; these emitters are the counterpart of the service
 //! crate's small recursive-descent parser.
 
+use cbq_aig::AigPerfCounters;
 use cbq_cnf::AigCnfStats;
 use cbq_sat::SolverStats;
 
+use crate::bmc::BmcStats;
 use crate::bus::BusClientStats;
 use crate::circuit_umc::CircuitUmcStats;
 use crate::forward_umc::ForwardCircuitUmcStats;
@@ -95,6 +97,15 @@ pub fn cnf_json(s: &AigCnfStats) -> String {
     )
 }
 
+/// The AIG-manager hot-path counters as a JSON object (`check --json`
+/// detail for the quantification engines and the serve stats stream).
+pub fn quant_perf_json(p: &AigPerfCounters) -> String {
+    format!(
+        "{{\"strash_probes\":{},\"scratch_walk_nodes\":{},\"cofactor_cache_hits\":{}}}",
+        p.strash_probes, p.scratch_walk_nodes, p.cofactor_cache_hits
+    )
+}
+
 /// The lemma-bus consumer counters as a JSON object (`check --json`
 /// detail for bus-wired engines and the portfolio aggregate).
 pub fn bus_client_json(s: &BusClientStats) -> String {
@@ -133,12 +144,13 @@ pub fn run_to_json_fields(run: &McRun) -> String {
     if let Some(d) = run.detail::<CircuitUmcStats>() {
         detail = format!(
             ",\"frontier_sizes\":{},\"reached_size\":{},\"quant_aborts\":{},\
-             \"ganai_cofactors\":{},\"sweep_runs\":{},\"partitions\":{},\
-             \"solver\":{},\"cnf\":{}",
+             \"ganai_cofactors\":{},\"quant_perf\":{},\"sweep_runs\":{},\
+             \"partitions\":{},\"solver\":{},\"cnf\":{}",
             json_usize_list(&d.frontier_sizes),
             d.reached_size,
             d.quant_aborts,
             d.ganai_cofactors,
+            quant_perf_json(&d.quant_perf),
             d.sweep.runs,
             partition_json(&d.partitions),
             solver_json(&d.solver),
@@ -147,10 +159,12 @@ pub fn run_to_json_fields(run: &McRun) -> String {
     } else if let Some(d) = run.detail::<ForwardCircuitUmcStats>() {
         detail = format!(
             ",\"frontier_sizes\":{},\"quant_aborts\":{},\"ganai_cofactors\":{},\
-             \"sweep_runs\":{},\"partitions\":{},\"solver\":{},\"cnf\":{}",
+             \"quant_perf\":{},\"sweep_runs\":{},\"partitions\":{},\
+             \"solver\":{},\"cnf\":{}",
             json_usize_list(&d.frontier_sizes),
             d.quant_aborts,
             d.ganai_cofactors,
+            quant_perf_json(&d.quant_perf),
             d.sweep.runs,
             partition_json(&d.partitions),
             solver_json(&d.solver),
@@ -178,6 +192,19 @@ pub fn run_to_json_fields(run: &McRun) -> String {
             bus_client_json(&d.bus),
             solver_json(&d.solver),
             cnf_json(&d.cnf)
+        );
+    } else if let Some(d) = run.detail::<BmcStats>() {
+        detail = format!(
+            ",\"depth_reached\":{},\"unrolled_nodes\":{},\"latches_total\":{},\
+             \"latches_stuck\":{},\"latches_pruned\":{},\"coi_lemmas_skipped\":{},\
+             \"bus\":{}",
+            d.depth_reached,
+            d.unrolled_nodes,
+            d.latches_total,
+            d.latches_stuck,
+            d.latches_pruned,
+            d.coi_lemmas_skipped,
+            bus_client_json(&d.bus)
         );
     } else if let Some(d) = run.detail::<PortfolioStats>() {
         let members: Vec<String> = d
@@ -257,6 +284,24 @@ mod tests {
         assert!(json.ends_with('}'));
         // Field form drops the braces but keeps the content.
         assert_eq!(format!("{{{}}}", run_to_json_fields(&run)), json);
+    }
+
+    #[test]
+    fn circuit_and_bmc_json_carry_quant_and_coi_detail() {
+        use crate::bmc::Bmc;
+        use crate::circuit_umc::CircuitUmc;
+        let run = CircuitUmc::default().check(&generators::mutex_bug(), &Budget::unlimited());
+        let json = run_to_json(&run);
+        assert!(json.contains("\"quant_perf\":{\"strash_probes\":"), "got {json}");
+        assert!(json.contains("\"scratch_walk_nodes\":"), "got {json}");
+        assert!(json.contains("\"cofactor_cache_hits\":"), "got {json}");
+        let run = Bmc::default().check(&generators::mutex_bug(), &Budget::unlimited());
+        let json = run_to_json(&run);
+        assert!(json.contains("\"verdict\":\"unsafe\""), "got {json}");
+        assert!(json.contains("\"depth_reached\":2"), "got {json}");
+        assert!(json.contains("\"latches_stuck\":"), "got {json}");
+        assert!(json.contains("\"latches_pruned\":"), "got {json}");
+        assert!(json.contains("\"coi_lemmas_skipped\":"), "got {json}");
     }
 
     #[test]

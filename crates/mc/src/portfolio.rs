@@ -132,6 +132,7 @@ impl Portfolio {
             Box::new(Bmc {
                 max_depth: 32,
                 bus: bus.clone(),
+                ..Bmc::default()
             }),
             Box::new(KInduction {
                 max_k: 40,
@@ -561,7 +562,7 @@ mod tests {
             members: vec![
                 Box::new(Bmc {
                     max_depth: 32,
-                    bus: None,
+                    ..Bmc::default()
                 }),
                 Box::new(Quick),
             ],

@@ -912,7 +912,9 @@ enum ExportNode {
 /// Serialises the cone of `root` out of `aig`.
 pub fn export_cone(aig: &Aig, root: Lit) -> ConeExport {
     let cone = aig.collect_cone(&[root]);
-    let mut idx_of: HashMap<Var, usize> = HashMap::with_capacity(cone.len());
+    // Dense cone-position plane: fanins precede gates, so no cone index
+    // exceeds the root's.
+    let mut idx_of = vec![usize::MAX; root.var().index() + 1];
     let mut nodes = Vec::with_capacity(cone.len());
     for v in cone {
         let node = match aig.node(v) {
@@ -921,18 +923,18 @@ pub fn export_cone(aig: &Aig, root: Lit) -> ConeExport {
                 ExportNode::Input(aig.input_index(v).expect("input has an ordinal"))
             }
             Node::And { f0, f1 } => ExportNode::And(
-                idx_of[&f0.var()],
+                idx_of[f0.var().index()],
                 f0.is_complemented(),
-                idx_of[&f1.var()],
+                idx_of[f1.var().index()],
                 f1.is_complemented(),
             ),
         };
-        idx_of.insert(v, nodes.len());
+        idx_of[v.index()] = nodes.len();
         nodes.push(node);
     }
     ConeExport {
         nodes,
-        root_idx: idx_of[&root.var()],
+        root_idx: idx_of[root.var().index()],
         root_neg: root.is_complemented(),
     }
 }

@@ -307,16 +307,17 @@ pub fn merge_scout(net: &cbq_ckt::Network, bus: &LemmaBus, cancel: &AtomicBool) 
     let mut roots: Vec<Lit> = net.latches().iter().map(|l| l.next).collect();
     roots.push(net.bad());
     let sim = BitSim::random(aig, SIM_WORDS, SIM_SEED);
-    let mut groups: std::collections::HashMap<Vec<u64>, Vec<Lit>> = Default::default();
-    for v in aig.collect_cone(&roots) {
+    let cone = aig.collect_cone(&roots);
+    let mut groups = cbq_aig::SigClasses::with_capacity(cone.len());
+    for v in cone {
         if v == Var::CONST {
             continue;
         }
         let (sig, flip) = sim.normalized_signature(v.lit());
-        groups.entry(sig).or_default().push(v.lit().xor_sign(flip));
+        groups.insert(&sig, v.lit().xor_sign(flip));
     }
     let mut pairs = Vec::new();
-    for (_, mut members) in groups {
+    for (_, mut members) in groups.into_entries() {
         if members.len() < 2 {
             continue;
         }

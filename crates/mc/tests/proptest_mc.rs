@@ -118,7 +118,7 @@ proptest! {
             }
         }
         if let Some(d) = oracle {
-            let bmc = Bmc { max_depth: d + 1, bus: None }.check(&net, &Budget::unlimited());
+            let bmc = Bmc { max_depth: d + 1, ..Bmc::default() }.check(&net, &Budget::unlimited());
             prop_assert!(bmc.verdict.is_unsafe());
         }
     }

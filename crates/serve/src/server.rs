@@ -59,6 +59,12 @@ pub struct Server {
     stop: AtomicBool,
     next_job: AtomicU64,
     jobs_done: AtomicU64,
+    /// Aggregate AIG-manager hot-path counters over every completed
+    /// quantification-engine job (strash probes / scratchpad walk nodes /
+    /// cofactor-cache hits), surfaced by the `stats` command.
+    quant_strash_probes: AtomicU64,
+    quant_scratch_walk_nodes: AtomicU64,
+    quant_cofactor_cache_hits: AtomicU64,
 }
 
 impl Server {
@@ -78,6 +84,9 @@ impl Server {
             stop: AtomicBool::new(false),
             next_job: AtomicU64::new(1),
             jobs_done: AtomicU64::new(0),
+            quant_strash_probes: AtomicU64::new(0),
+            quant_scratch_walk_nodes: AtomicU64::new(0),
+            quant_cofactor_cache_hits: AtomicU64::new(0),
         })
     }
 
@@ -146,6 +155,20 @@ impl Server {
                 process_check(&job.request, &self.cache, &self.cfg.caps)
             });
             self.jobs_done.fetch_add(1, Ordering::SeqCst);
+            if let Some(run) = &outcome.run {
+                let perf = run
+                    .detail::<cbq_mc::CircuitUmcStats>()
+                    .map(|d| d.quant_perf)
+                    .or_else(|| run.detail::<cbq_mc::ForwardCircuitUmcStats>().map(|d| d.quant_perf));
+                if let Some(p) = perf {
+                    self.quant_strash_probes
+                        .fetch_add(p.strash_probes, Ordering::SeqCst);
+                    self.quant_scratch_walk_nodes
+                        .fetch_add(p.scratch_walk_nodes, Ordering::SeqCst);
+                    self.quant_cofactor_cache_hits
+                        .fetch_add(p.cofactor_cache_hits, Ordering::SeqCst);
+                }
+            }
             send_line(&job.out, &outcome.line);
         }
     }
@@ -224,14 +247,20 @@ impl Server {
             }
             Some("stats") => {
                 let cache = lock_recovering(&self.cache);
+                let quant_perf = cbq_aig::AigPerfCounters {
+                    strash_probes: self.quant_strash_probes.load(Ordering::SeqCst),
+                    scratch_walk_nodes: self.quant_scratch_walk_nodes.load(Ordering::SeqCst),
+                    cofactor_cache_hits: self.quant_cofactor_cache_hits.load(Ordering::SeqCst),
+                };
                 let line = format!(
                     "{{\"event\":\"stats\",\"jobs_done\":{},\"queued\":{},\"workers\":{},\
-                     \"cache_entries\":{},\"cache_stats\":{}}}",
+                     \"cache_entries\":{},\"cache_stats\":{},\"quant_perf\":{}}}",
                     self.jobs_done.load(Ordering::SeqCst),
                     lock_recovering(&self.queue).len(),
                     self.cfg.workers.max(1),
                     cache.len(),
                     cache.stats.to_json(),
+                    cbq_mc::json::quant_perf_json(&quant_perf),
                 );
                 drop(cache);
                 send_line(out, &line);

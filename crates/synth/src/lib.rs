@@ -114,22 +114,26 @@ pub struct OptStats {
 /// Cheap (no SAT) and always sound; returns the rebuilt roots.
 pub fn restrash(aig: &mut Aig, roots: &[Lit]) -> Vec<Lit> {
     let cone = aig.collect_cone(roots);
-    let mut memo: HashMap<Var, Lit> = HashMap::new();
+    // Dense memo (no cone index exceeds a root's). Every gate is
+    // deliberately re-issued through `Aig::and` — unlike compose's
+    // identity shortcut, the whole point here is letting remapped fanins
+    // re-trigger the two-level rules.
+    let top = roots.iter().map(|r| r.var().index()).max().unwrap_or(0);
+    let mut memo = vec![Lit::FALSE; top + 1];
     for v in cone {
-        let rebuilt = match aig.node(v) {
+        memo[v.index()] = match aig.node(v) {
             Node::Const => Lit::FALSE,
             Node::Input { .. } => v.lit(),
             Node::And { f0, f1 } => {
-                let a = memo[&f0.var()].xor_sign(f0.is_complemented());
-                let b = memo[&f1.var()].xor_sign(f1.is_complemented());
+                let a = memo[f0.var().index()].xor_sign(f0.is_complemented());
+                let b = memo[f1.var().index()].xor_sign(f1.is_complemented());
                 aig.and(a, b)
             }
         };
-        memo.insert(v, rebuilt);
     }
     roots
         .iter()
-        .map(|r| memo[&r.var()].xor_sign(r.is_complemented()))
+        .map(|r| memo[r.var().index()].xor_sign(r.is_complemented()))
         .collect()
 }
 
@@ -185,20 +189,23 @@ pub fn dc_simplify(
     };
 
     let cone = aig.collect_cone(&[target]);
-    let mut groups: HashMap<Vec<u64>, Vec<Lit>> = HashMap::new();
+    // Open-addressing class table; unlike a `HashMap`, classes come back
+    // in first-insertion (= ascending node) order, so the merge pass
+    // below is deterministic.
+    let mut groups = cbq_aig::SigClasses::with_capacity(cone.len());
     let (zero_sig, _) = masked(Lit::FALSE);
-    groups.insert(zero_sig, vec![Lit::FALSE]);
+    groups.insert(&zero_sig, Lit::FALSE);
     for v in &cone {
         if *v == Var::CONST {
             continue;
         }
         let (sig, flip) = masked(v.lit());
-        groups.entry(sig).or_default().push(v.lit().xor_sign(flip));
+        groups.insert(&sig, v.lit().xor_sign(flip));
     }
 
     let mut merges: HashMap<Var, Lit> = HashMap::new();
     let mut checks = 0usize;
-    for (_, mut members) in groups {
+    for (_, mut members) in groups.into_entries() {
         if members.len() < 2 {
             continue;
         }
@@ -425,7 +432,8 @@ fn combine(a: OptStats, b: OptStats) -> OptStats {
 /// ```
 pub fn balance(aig: &mut Aig, roots: &[Lit]) -> Vec<Lit> {
     let cone = aig.collect_cone(roots);
-    let mut memo: HashMap<Var, Lit> = HashMap::new();
+    let top = roots.iter().map(|r| r.var().index()).max().unwrap_or(0);
+    let mut memo: Vec<Option<Lit>> = vec![None; top + 1];
     for v in &cone {
         let rebuilt = match aig.node(*v) {
             Node::Const => Lit::FALSE,
@@ -442,7 +450,11 @@ pub fn balance(aig: &mut Aig, roots: &[Lit]) -> Vec<Lit> {
                             stack.push(f1);
                         }
                         _ => {
-                            let m = memo.get(&l.var()).copied().unwrap_or_else(|| l.abs());
+                            let m = memo
+                                .get(l.var().index())
+                                .copied()
+                                .flatten()
+                                .unwrap_or_else(|| l.abs());
                             leaves.push(m.xor_sign(l.is_complemented()));
                         }
                     }
@@ -464,11 +476,11 @@ pub fn balance(aig: &mut Aig, roots: &[Lit]) -> Vec<Lit> {
                 }
             }
         };
-        memo.insert(*v, rebuilt);
+        memo[v.index()] = Some(rebuilt);
     }
     roots
         .iter()
-        .map(|r| memo[&r.var()].xor_sign(r.is_complemented()))
+        .map(|r| memo[r.var().index()].expect("root rebuilt").xor_sign(r.is_complemented()))
         .collect()
 }
 
@@ -479,7 +491,7 @@ pub fn apply_subst(aig: &mut Aig, root: Lit, subst: &HashMap<Var, Lit>) -> Lit {
         return root;
     }
     let cone = aig.collect_cone(&[root]);
-    let mut memo: HashMap<Var, Lit> = HashMap::new();
+    let mut memo: Vec<Option<Lit>> = vec![None; root.var().index() + 1];
     for v in cone {
         let rebuilt = match aig.node(v) {
             Node::Const => Lit::FALSE,
@@ -490,12 +502,12 @@ pub fn apply_subst(aig: &mut Aig, root: Lit, subst: &HashMap<Var, Lit>) -> Lit {
                 aig.and(a, b)
             }
         };
-        memo.insert(v, rebuilt);
+        memo[v.index()] = Some(rebuilt);
     }
     resolve(&memo, subst, root)
 }
 
-fn resolve(memo: &HashMap<Var, Lit>, subst: &HashMap<Var, Lit>, l: Lit) -> Lit {
+fn resolve(memo: &[Option<Lit>], subst: &HashMap<Var, Lit>, l: Lit) -> Lit {
     let mut cur = l;
     let mut hops = 0;
     while let Some(&next) = subst.get(&cur.var()) {
@@ -503,8 +515,8 @@ fn resolve(memo: &HashMap<Var, Lit>, subst: &HashMap<Var, Lit>, l: Lit) -> Lit {
         hops += 1;
         debug_assert!(hops < 1_000_000, "substitution cycle");
     }
-    match memo.get(&cur.var()) {
-        Some(&m) => m.xor_sign(cur.is_complemented()),
+    match memo.get(cur.var().index()).copied().flatten() {
+        Some(m) => m.xor_sign(cur.is_complemented()),
         None => cur,
     }
 }
