@@ -1196,8 +1196,8 @@ mod tests {
                 aig.or(p, q)
             };
             log.push(f);
-            for vi in 0..4 {
-                let v = ins[vi].var();
+            for input in &ins {
+                let v = input.var();
                 let (hi, lo) = aig.cofactors(f, v);
                 log.push(hi);
                 log.push(lo);

@@ -145,7 +145,11 @@ impl Aig {
             return counts;
         }
         let min_idx = vars.iter().map(|v| v.index()).min().expect("non-empty");
-        let max = roots.iter().map(|r| r.var().index()).max().expect("non-empty");
+        let max = roots
+            .iter()
+            .map(|r| r.var().index())
+            .max()
+            .expect("non-empty");
         if max < min_idx {
             return counts; // no gate above any tracked variable
         }

@@ -159,7 +159,10 @@ mod tests {
         t.insert(&[1, 2], Lit::from_code(14));
         t.insert(&[5, 6], Lit::from_code(16));
         assert_eq!(t.len(), 3);
-        assert_eq!(t.class(&[1, 2]), Some(&[Lit::from_code(10), Lit::from_code(14)][..]));
+        assert_eq!(
+            t.class(&[1, 2]),
+            Some(&[Lit::from_code(10), Lit::from_code(14)][..])
+        );
         assert_eq!(t.class(&[9, 9]), None);
         let entries = t.into_entries();
         assert_eq!(entries[0].0, vec![1, 2]);
@@ -176,7 +179,9 @@ mod tests {
         // A deterministic pseudo-random stream with plenty of repeats.
         let mut x = 0x1234_5678_u64;
         for n in 0..4000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let sig = vec![x % 97, x % 13];
             let lit = Lit::from_code(n * 2);
             t.insert(&sig, lit);

@@ -17,15 +17,15 @@ use cbq_cec::{sweep, MergeOrder, SweepConfig};
 use cbq_ckt::generators;
 use cbq_ckt::random::similar_pair;
 use cbq_ckt::Network;
-use cbq_cnf::{AigCnf, CnfLifetime};
+use cbq_cnf::{AigCnf, CnfLifetime, ProofMode};
 use cbq_core::{exists_bdd, exists_many, QuantConfig};
 use cbq_mc::ganai::all_solutions_exists;
 use cbq_mc::preimage::preimage_formula;
 use cbq_mc::sweep::SweepConfig as StateSweepConfig;
 use cbq_mc::{
-    registry, Bmc, Budget, CircuitUmc, CircuitUmcStats, Engine, GenMode, Ic3, Ic3Stats,
-    PartitionConfig, PartitionCount, PartitionStats, Portfolio, PortfolioBusStats, PortfolioStats,
-    Verdict,
+    registry, Bmc, Budget, CircuitUmc, CircuitUmcStats, Engine, GenMode, Ic3, Ic3Stats, Itp,
+    ItpStats, PartitionConfig, PartitionCount, PartitionStats, Portfolio, PortfolioBusStats,
+    PortfolioStats, Verdict,
 };
 use cbq_synth::OptConfig;
 
@@ -896,14 +896,14 @@ pub fn e6pdr_table() -> Table {
 // E6g — IC3 generalization ablation (the GenMode ladder)
 // ---------------------------------------------------------------------
 
+/// One [`ic3_gen_run`] row: (verdict, SAT checks, obligations, ternary
+/// drops, CTGs blocked, deep CTGs blocked, F_∞ clauses, ms).
+pub type GenRunRow = (Verdict, u64, u64, u64, u64, u64, u64, f64);
+
 /// E6g kernel: one IC3 run at `gen`, surfacing the query-stream
 /// counters. Returns (verdict, SAT checks, obligations, ternary drops,
-/// CTGs blocked, F_∞ clauses, ms).
-pub fn ic3_gen_run(
-    net: &Network,
-    gen: GenMode,
-    budget: &Budget,
-) -> (Verdict, u64, u64, u64, u64, u64, f64) {
+/// CTGs blocked, deep CTGs blocked, F_∞ clauses, ms).
+pub fn ic3_gen_run(net: &Network, gen: GenMode, budget: &Budget) -> GenRunRow {
     let engine = Ic3 {
         gen,
         ..Ic3::default()
@@ -917,6 +917,7 @@ pub fn ic3_gen_run(
         d.obligations,
         d.tern_drops,
         d.ctg_blocked,
+        d.ctg_deep_blocked,
         d.inf_clauses,
         start.elapsed().as_secs_f64() * 1e3,
     )
@@ -941,15 +942,15 @@ pub fn e6g_suite() -> Vec<Network> {
 /// thesis says dominate the wall clock.
 pub fn e6g_table() -> Table {
     let mut t = Table::new(
-        "E6g — IC3 generalization ablation (core < drop < ternary < ctg)",
+        "E6g — IC3 generalization ablation (core < drop < ternary < ctg < ctg-deep)",
         &[
-            "circuit", "verdict", "chk core", "chk drop", "chk tern", "chk ctg", "obl drop",
-            "obl tern", "obl ctg", "tdrops", "ctg blk", "inf", "ms ctg",
+            "circuit", "verdict", "chk core", "chk drop", "chk tern", "chk ctg", "chk deep",
+            "obl drop", "obl tern", "obl ctg", "tdrops", "ctg blk", "deep blk", "inf", "ms deep",
         ],
     );
     let budget = e6_budget();
     for net in e6g_suite() {
-        let runs: Vec<(Verdict, u64, u64, u64, u64, u64, f64)> = GenMode::ALL
+        let runs: Vec<GenRunRow> = GenMode::ALL
             .iter()
             .map(|&gen| ic3_gen_run(&net, gen, &budget))
             .collect();
@@ -957,12 +958,12 @@ pub fn e6g_table() -> Table {
             v.is_safe() == runs[0].0.is_safe() && v.is_unsafe() == runs[0].0.is_unsafe()
         });
         let verdict = if agree {
-            verdict_cell(&runs[3].0)
+            verdict_cell(&runs[4].0)
         } else {
             format!(
                 "{} != {}",
                 verdict_cell(&runs[0].0),
-                verdict_cell(&runs[3].0)
+                verdict_cell(&runs[4].0)
             )
         };
         t.push(vec![
@@ -972,13 +973,139 @@ pub fn e6g_table() -> Table {
             runs[1].1.to_string(),
             runs[2].1.to_string(),
             runs[3].1.to_string(),
+            runs[4].1.to_string(),
             runs[1].2.to_string(),
             runs[2].2.to_string(),
             runs[3].2.to_string(),
-            runs[3].3.to_string(),
-            runs[3].4.to_string(),
-            runs[3].5.to_string(),
-            format!("{:.1}", runs[3].6),
+            runs[4].3.to_string(),
+            runs[4].4.to_string(),
+            runs[4].5.to_string(),
+            runs[4].6.to_string(),
+            format!("{:.1}", runs[4].7),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E6i — Craig interpolation vs IC3 and circuit traversal
+// ---------------------------------------------------------------------
+
+/// E6i kernel: one interpolation-engine run. Returns (verdict, frames,
+/// refinements, interpolants derived, final interpolant nodes, ms).
+pub fn itp_run(net: &Network, budget: &Budget) -> (Verdict, usize, u64, u64, usize, f64) {
+    let start = Instant::now();
+    let run = Itp::default().check(net, budget);
+    let d = run.detail::<ItpStats>().expect("itp stats");
+    (
+        run.verdict.clone(),
+        d.frames,
+        d.refinements,
+        d.interpolants,
+        d.itp_nodes,
+        start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// E6i kernel: the proof-plane overhead probe. Builds one monolithic
+/// "bad within `depth` steps" unrolling of the net (functional
+/// composition, fresh inputs per frame — the workload shape the
+/// interpolation engine's bounded queries take) and solves it through
+/// the arena solver twice: proof logging off, then full
+/// resolution-trace logging. Returns (ms off, ms traced); panics if the
+/// two solves disagree, since logging must never change an answer.
+pub fn proof_overhead_run(net: &Network, depth: usize) -> (f64, f64) {
+    let mut aig = net.aig().clone();
+    let latches: Vec<Var> = net.latches().iter().map(|l| l.var).collect();
+    let pis: Vec<Var> = net.primary_inputs().to_vec();
+    let mut roots: Vec<Lit> = net.latches().iter().map(|l| l.next).collect();
+    roots.push(net.bad());
+    let mut state: Vec<Lit> = net
+        .latches()
+        .iter()
+        .map(|l| if l.init { Lit::TRUE } else { Lit::FALSE })
+        .collect();
+    let mut any_bad = Lit::FALSE;
+    for _ in 0..=depth {
+        let mut sub: Vec<(Var, Lit)> = latches.iter().copied().zip(state.iter().copied()).collect();
+        for p in &pis {
+            sub.push((*p, aig.add_input().lit()));
+        }
+        let composed = aig.compose_many(&roots, &sub);
+        any_bad = aig.or(any_bad, composed[latches.len()]);
+        state = composed[..latches.len()].to_vec();
+    }
+    let mut times = [0.0f64; 2];
+    let mut results = Vec::new();
+    for (i, mode) in [ProofMode::Off, ProofMode::Trace].into_iter().enumerate() {
+        let mut cnf = AigCnf::with_lifetime(CnfLifetime::Rebuild);
+        cnf.set_proof_mode(mode);
+        let start = Instant::now();
+        cnf.assert_lit(&aig, any_bad);
+        results.push(cnf.solve_under(&aig, &[]));
+        times[i] = start.elapsed().as_secs_f64() * 1e3;
+    }
+    assert_eq!(results[0], results[1], "proof logging changed the verdict");
+    (times[0], times[1])
+}
+
+/// E6i: Craig interpolation across the E6 suite, against IC3 and the
+/// circuit traversal. The claims: the interpolation engine agrees with
+/// the circuit engine's classification on every model (a `!=` marker
+/// prints otherwise), it closes the safe models from bounded proofs
+/// alone — `frames` stays well under the models' diameters — and the
+/// proof plane that feeds it is cheap: `ms sat` vs `ms sat+pf` solve
+/// the *same* monolithic unrolling with logging off and on, so the gap
+/// is the whole tracing tax.
+pub fn e6i_table() -> Table {
+    let mut t = Table::new(
+        "E6i — Craig interpolation vs IC3 and circuit traversal (E6 suite)",
+        &[
+            "circuit",
+            "verdict",
+            "frames",
+            "refin",
+            "itps",
+            "i-nodes",
+            "ms itp",
+            "ms ic3",
+            "ms circuit",
+            "ms sat",
+            "ms sat+pf",
+        ],
+    );
+    let budget = e6_budget();
+    for net in umc_suite() {
+        let start = Instant::now();
+        let circuit = CircuitUmc::default().check(&net, &budget);
+        let ms_circuit = start.elapsed().as_secs_f64() * 1e3;
+        let (v_ic3, .., ms_ic3) = ic3_run(&net, GenMode::default(), &budget);
+        let (v_itp, frames, refin, itps, nodes, ms_itp) = itp_run(&net, &budget);
+        let agree = circuit.verdict.is_safe() == v_itp.is_safe()
+            && circuit.verdict.is_unsafe() == v_itp.is_unsafe()
+            && v_ic3.is_safe() == v_itp.is_safe();
+        let verdict = if agree {
+            verdict_cell(&v_itp)
+        } else {
+            format!(
+                "{} != {}",
+                verdict_cell(&circuit.verdict),
+                verdict_cell(&v_itp)
+            )
+        };
+        let (ms_off, ms_trace) = proof_overhead_run(&net, frames.max(4));
+        t.push(vec![
+            net.name().to_string(),
+            verdict,
+            frames.to_string(),
+            refin.to_string(),
+            itps.to_string(),
+            nodes.to_string(),
+            format!("{ms_itp:.1}"),
+            format!("{ms_ic3:.1}"),
+            format!("{ms_circuit:.1}"),
+            format!("{ms_off:.1}"),
+            format!("{ms_trace:.1}"),
         ]);
     }
     t
@@ -1043,7 +1170,12 @@ pub fn quant_tuning_run(
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
     AigTuning::set_process_default(AigTuning::full());
     let detail = run.detail::<CircuitUmcStats>().expect("circuit stats");
-    (run.verdict.clone(), detail.peak_nodes, detail.quant_perf, elapsed)
+    (
+        run.verdict.clone(),
+        detail.peak_nodes,
+        detail.quant_perf,
+        elapsed,
+    )
 }
 
 /// E6q: the manager hot-path ablation across the E6 suite. The claims:
@@ -1466,6 +1598,7 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e6a" => Some(e6a_table()),
         "e6pdr" => Some(e6pdr_table()),
         "e6g" => Some(e6g_table()),
+        "e6i" => Some(e6i_table()),
         "e6q" => Some(e6q_table()),
         "e6c" => Some(e6c_table()),
         "e6pp" => Some(e6pp_table()),
@@ -1477,9 +1610,9 @@ pub fn run_experiment(id: &str) -> Option<Table> {
 }
 
 /// All experiment ids in report order (`smoke` is CI-only and excluded).
-pub const EXPERIMENTS: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6g", "e6q", "e6c", "e6pp",
-    "e7", "e8",
+pub const EXPERIMENTS: [&str; 17] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e6s", "e6p", "e6a", "e6pdr", "e6g", "e6i", "e6q", "e6c",
+    "e6pp", "e7", "e8",
 ];
 
 #[cfg(test)]
@@ -1572,7 +1705,7 @@ mod tests {
     fn ic3_gen_kernel_agrees_across_the_ladder() {
         let budget = Budget::unlimited().with_steps(100);
         for net in [generators::mutex(), generators::mutex_bug()] {
-            let runs: Vec<(Verdict, u64, u64, u64, u64, u64, f64)> = GenMode::ALL
+            let runs: Vec<GenRunRow> = GenMode::ALL
                 .iter()
                 .map(|&gen| ic3_gen_run(&net, gen, &budget))
                 .collect();
@@ -1581,6 +1714,20 @@ mod tests {
                 assert!(*checks > 0);
             }
         }
+    }
+
+    #[test]
+    fn e6i_kernels_run_on_tiny_models() {
+        let budget = Budget::unlimited().with_steps(100);
+        let (v, frames, ..) = itp_run(&generators::mutex(), &budget);
+        assert!(v.is_safe(), "mutex should be safe, got {v:?}");
+        assert!(frames >= 1);
+        let (v, ..) = itp_run(&generators::mutex_bug(), &budget);
+        assert!(v.is_unsafe(), "mutex_bug should be unsafe, got {v:?}");
+        // The overhead probe must agree across modes on both a SAT and
+        // an UNSAT unrolling (it asserts internally).
+        let _ = proof_overhead_run(&generators::mutex(), 4);
+        let _ = proof_overhead_run(&generators::mutex_bug(), 4);
     }
 
     #[test]

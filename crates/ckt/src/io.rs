@@ -12,15 +12,20 @@ use crate::network::Network;
 pub fn write_network(net: &Network) -> String {
     let aig = net.aig();
     // Number: inputs first, then latches, then the needed AND gates.
-    let mut code: HashMap<Var, u32> = HashMap::new();
-    code.insert(Var::CONST, 0);
+    // Renumbering lives in a dense scratch indexed by `Var::index` — one
+    // vector load per fanin instead of a hash probe; `UNNUMBERED` marks
+    // vars outside the emitted cone (indexing one is a loud panic, where
+    // the old `HashMap` lookup would also have panicked).
+    const UNNUMBERED: u32 = u32::MAX;
+    let mut code = vec![UNNUMBERED; aig.num_nodes()];
+    code[Var::CONST.index()] = 0;
     let mut next_var = 1u32;
     for v in net.primary_inputs() {
-        code.insert(*v, 2 * next_var);
+        code[v.index()] = 2 * next_var;
         next_var += 1;
     }
     for l in net.latches() {
-        code.insert(l.var, 2 * next_var);
+        code[l.var.index()] = 2 * next_var;
         next_var += 1;
     }
     let mut roots: Vec<Lit> = net.latches().iter().map(|l| l.next).collect();
@@ -30,13 +35,14 @@ pub fn write_network(net: &Network) -> String {
         if let Node::And { f0, f1 } = aig.node(v) {
             let lhs = 2 * next_var;
             next_var += 1;
-            code.insert(v, lhs);
-            let c0 = code[&f0.var()] | f0.is_complemented() as u32;
-            let c1 = code[&f1.var()] | f1.is_complemented() as u32;
+            code[v.index()] = lhs;
+            let c0 = code[f0.var().index()] | f0.is_complemented() as u32;
+            let c1 = code[f1.var().index()] | f1.is_complemented() as u32;
+            debug_assert!(c0 != UNNUMBERED && c1 != UNNUMBERED, "fanin outside cone");
             and_lines.push(format!("{lhs} {c0} {c1}"));
         }
     }
-    let lit_code = |l: Lit| code[&l.var()] | l.is_complemented() as u32;
+    let lit_code = |l: Lit| code[l.var().index()] | l.is_complemented() as u32;
     let mut out = format!(
         "aag {} {} {} 1 {}\n",
         next_var - 1,
@@ -45,12 +51,12 @@ pub fn write_network(net: &Network) -> String {
         and_lines.len()
     );
     for v in net.primary_inputs() {
-        out.push_str(&format!("{}\n", code[v]));
+        out.push_str(&format!("{}\n", code[v.index()]));
     }
     for l in net.latches() {
         out.push_str(&format!(
             "{} {} {}\n",
-            code[&l.var],
+            code[l.var.index()],
             lit_code(l.next),
             u32::from(l.init)
         ));
@@ -138,6 +144,59 @@ mod tests {
                 let (n2, b2) = back.step(&s2, &inputs);
                 assert_eq!(b1, b2, "bad mismatch at step {t}");
                 assert_eq!(n1, n2, "state mismatch at step {t}");
+                s1 = n1;
+                s2 = n2;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_covers_e6_generators() {
+        // The dense-scratch renumbering must stay behaviour-preserving on
+        // the whole E6 family, and the header must keep claiming a
+        // contiguous variable range (maxvar = inputs + latches + ands):
+        // AIGER readers reject gaps, so a renumbering bug that skips a
+        // slot shows up here rather than in a downstream tool.
+        let mut family = generators::standard_suite();
+        family.extend([
+            generators::bounded_counter_gap(4, 6, 12),
+            generators::lfsr(5, &[0, 2]),
+            generators::fifo_ctrl(2),
+            generators::gray_counter(4),
+        ]);
+        for net in family {
+            let text = write_network(&net);
+            let header: Vec<usize> = text
+                .lines()
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .skip(1)
+                .map(|t| t.parse().unwrap())
+                .collect();
+            let [maxvar, inputs, latches, outputs, ands] = header[..] else {
+                panic!("{}: malformed header", net.name());
+            };
+            assert_eq!(outputs, 1, "{}", net.name());
+            assert_eq!(
+                maxvar,
+                inputs + latches + ands,
+                "{}: non-contiguous numbering",
+                net.name()
+            );
+            let back = read_network(&text, net.name()).unwrap();
+            assert_eq!(back.num_latches(), net.num_latches());
+            assert_eq!(back.num_inputs(), net.num_inputs());
+            let mut s1 = net.initial_state();
+            let mut s2 = back.initial_state();
+            for t in 0..24usize {
+                let inputs: Vec<bool> = (0..net.num_inputs())
+                    .map(|i| (t * 7 + i * 3) % 5 < 2)
+                    .collect();
+                let (n1, b1) = net.step(&s1, &inputs);
+                let (n2, b2) = back.step(&s2, &inputs);
+                assert_eq!(b1, b2, "{}: bad mismatch at step {t}", net.name());
+                assert_eq!(n1, n2, "{}: state mismatch at step {t}", net.name());
                 s1 = n1;
                 s2 = n2;
             }

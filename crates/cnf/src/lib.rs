@@ -53,6 +53,8 @@
 use cbq_aig::{Aig, Lit, Node, Var};
 use cbq_sat::{SatLit, SatResult, Solver, SolverStats};
 
+pub use cbq_sat::ProofMode;
+
 /// Outcome of an equivalence or implication proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EquivResult {
@@ -353,6 +355,22 @@ impl AigCnf {
     /// adding blocking clauses during all-solutions enumeration.
     pub fn solver_mut(&mut self) -> &mut Solver {
         &mut self.solver
+    }
+
+    /// Selects the solver's proof mode. Must be called before any clause
+    /// is encoded (the proof plane covers the whole database or nothing),
+    /// which in practice means right after construction — the
+    /// interpolation engine does this on its per-query `Rebuild` bridges.
+    pub fn set_proof_mode(&mut self, mode: ProofMode) {
+        self.solver.set_proof_mode(mode);
+    }
+
+    /// Sets the partition label stamped on every *subsequently* added
+    /// root clause in the proof log. Interpolation labels the A-side cone
+    /// (prefix), switches the label, then encodes the B-side cone — the
+    /// McMillan labelling pass keys on these root labels.
+    pub fn set_clause_label(&mut self, label: u32) {
+        self.solver.set_proof_label(label);
     }
 
     /// Bridge statistics.

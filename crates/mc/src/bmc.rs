@@ -70,7 +70,11 @@ impl CoiReduction {
             }
         }
         // Latch ordinal by AIG variable, for reading latch supports.
-        let top = latches.iter().map(|l| l.var.index()).max().map_or(0, |i| i + 1);
+        let top = latches
+            .iter()
+            .map(|l| l.var.index())
+            .max()
+            .map_or(0, |i| i + 1);
         let mut ord_of = vec![usize::MAX; top];
         for (i, l) in latches.iter().enumerate() {
             ord_of[l.var.index()] = i;
@@ -203,8 +207,7 @@ impl Unroller {
                 .map(|_| self.aig.add_input())
                 .collect();
             let latches = net.latches();
-            let mut subst: Vec<(Var, Lit)> =
-                Vec::with_capacity(latches.len() + fresh.len());
+            let mut subst: Vec<(Var, Lit)> = Vec::with_capacity(latches.len() + fresh.len());
             for (i, (l, s)) in latches.iter().zip(&self.state).enumerate() {
                 // Pruned latches are unread by every composed root; their
                 // (frozen) placeholder must not enter the substitution.

@@ -31,6 +31,7 @@ use crate::circuit_umc::CircuitUmc;
 use crate::forward_umc::ForwardCircuitUmc;
 use crate::ic3::{GenMode, Ic3};
 use crate::induction::KInduction;
+use crate::itp::Itp;
 use crate::portfolio::Portfolio;
 use crate::stateset::{PartitionConfig, PartitionCount, SplitPolicy};
 use crate::sweep::SweepConfig as StateSweepConfig;
@@ -326,8 +327,24 @@ pub fn registry() -> &'static [EngineSpec] {
             }),
         },
         EngineSpec {
+            name: "itp",
+            summary: "Craig-interpolation reachability on the proof-logging SAT core",
+            complete: true,
+            // Counterexamples are delegated to a depth-capped BMC run,
+            // which reports minimal traces.
+            minimal_cex: true,
+            build: || Box::new(Itp::default()),
+            tune: Some(|tuning| {
+                let mut engine = Itp::default();
+                if let Some(frames) = tuning.itp_frames {
+                    engine.max_frames = frames;
+                }
+                Box::new(engine)
+            }),
+        },
+        EngineSpec {
             name: "portfolio",
-            summary: "bmc, kind, ic3, circuit, bdd — sequential slices, or parallel \
+            summary: "bmc, kind, ic3, itp, circuit, bdd — sequential slices, or parallel \
                       with a lemma bus (--portfolio-par)",
             complete: true,
             // The BMC member finds minimal traces up to its depth cap,
@@ -384,6 +401,9 @@ pub struct EngineTuning {
     /// ([`GenMode::Ctg`] — the full ladder). `core` leaves only the
     /// unsat-core shrink — the `e6pdr`/`e6g` ablation baseline.
     pub ic3_gen: Option<GenMode>,
+    /// Interpolation unrolling-bound cap (`cbq check --itp-frames N`);
+    /// `None` keeps the engine default.
+    pub itp_frames: Option<usize>,
     /// Run the portfolio members as concurrent workers with
     /// first-conclusive-answer cancellation (`cbq check
     /// --portfolio-par`); `None`/`Some(false)` keeps the sequential
@@ -510,6 +530,15 @@ mod tests {
         };
         assert!(supports_tuning("ic3"));
         let engine = by_name_tuned("ic3", &ic3_tuning).expect("registered");
+        let run = engine.check(&generators::mutex(), &Budget::unlimited());
+        assert!(run.verdict.is_safe(), "got {}", run.verdict);
+        // Interpolation honours its frame cap through the same hook.
+        let itp_tuning = EngineTuning {
+            itp_frames: Some(8),
+            ..EngineTuning::default()
+        };
+        assert!(supports_tuning("itp"));
+        let engine = by_name_tuned("itp", &itp_tuning).expect("registered");
         let run = engine.check(&generators::mutex(), &Budget::unlimited());
         assert!(run.verdict.is_safe(), "got {}", run.verdict);
         // Non-tunable engines still build (tuning is a no-op for them).

@@ -14,6 +14,7 @@ use crate::bus::BusClientStats;
 use crate::circuit_umc::CircuitUmcStats;
 use crate::forward_umc::ForwardCircuitUmcStats;
 use crate::ic3::Ic3Stats;
+use crate::itp::ItpStats;
 use crate::portfolio::PortfolioStats;
 use crate::stateset::PartitionStats;
 use crate::verdict::{McRun, Verdict};
@@ -173,7 +174,7 @@ pub fn run_to_json_fields(run: &McRun) -> String {
     } else if let Some(d) = run.detail::<Ic3Stats>() {
         detail = format!(
             ",\"frames\":{},\"obligations\":{},\"clauses\":{},\"pushed\":{},\
-             \"gen_drops\":{},\"tern_drops\":{},\"ctg_blocked\":{},\
+             \"gen_drops\":{},\"tern_drops\":{},\"ctg_blocked\":{},\"ctg_deep_blocked\":{},\
              \"inf_clauses\":{},\"subsumed\":{},\"seeded\":{},\"seed_rejected\":{},\
              \"lemma_count\":{},\"published\":{},\"bus\":{},\"solver\":{},\"cnf\":{}",
             d.frames,
@@ -183,6 +184,7 @@ pub fn run_to_json_fields(run: &McRun) -> String {
             d.gen_drops,
             d.tern_drops,
             d.ctg_blocked,
+            d.ctg_deep_blocked,
             d.inf_clauses,
             d.subsumed,
             d.seeded,
@@ -192,6 +194,18 @@ pub fn run_to_json_fields(run: &McRun) -> String {
             bus_client_json(&d.bus),
             solver_json(&d.solver),
             cnf_json(&d.cnf)
+        );
+    } else if let Some(d) = run.detail::<ItpStats>() {
+        detail = format!(
+            ",\"frames\":{},\"refinements\":{},\"restarts\":{},\"interpolants\":{},\
+             \"trace_clauses\":{},\"itp_nodes\":{},\"published\":{}",
+            d.frames,
+            d.refinements,
+            d.restarts,
+            d.interpolants,
+            d.trace_clauses,
+            d.itp_nodes,
+            d.published
         );
     } else if let Some(d) = run.detail::<BmcStats>() {
         detail = format!(
@@ -292,7 +306,10 @@ mod tests {
         use crate::circuit_umc::CircuitUmc;
         let run = CircuitUmc::default().check(&generators::mutex_bug(), &Budget::unlimited());
         let json = run_to_json(&run);
-        assert!(json.contains("\"quant_perf\":{\"strash_probes\":"), "got {json}");
+        assert!(
+            json.contains("\"quant_perf\":{\"strash_probes\":"),
+            "got {json}"
+        );
         assert!(json.contains("\"scratch_walk_nodes\":"), "got {json}");
         assert!(json.contains("\"cofactor_cache_hits\":"), "got {json}");
         let run = Bmc::default().check(&generators::mutex_bug(), &Budget::unlimited());
@@ -302,6 +319,18 @@ mod tests {
         assert!(json.contains("\"latches_stuck\":"), "got {json}");
         assert!(json.contains("\"latches_pruned\":"), "got {json}");
         assert!(json.contains("\"coi_lemmas_skipped\":"), "got {json}");
+    }
+
+    #[test]
+    fn itp_json_carries_interpolation_detail() {
+        use crate::itp::Itp;
+        let run = Itp::default().check(&generators::token_ring(4), &Budget::unlimited());
+        let json = run_to_json(&run);
+        assert!(json.contains("\"verdict\":\"safe\""), "got {json}");
+        assert!(json.contains("\"engine\":\"itp\""), "got {json}");
+        assert!(json.contains("\"interpolants\":"), "got {json}");
+        assert!(json.contains("\"trace_clauses\":"), "got {json}");
+        assert!(json.contains("\"refinements\":"), "got {json}");
     }
 
     #[test]

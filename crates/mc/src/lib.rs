@@ -91,6 +91,7 @@ mod engine;
 mod forward_umc;
 mod ic3;
 mod induction;
+mod itp;
 mod portfolio;
 #[cfg(test)]
 mod testsupport;
@@ -114,6 +115,7 @@ pub use crate::engine::{
 pub use crate::forward_umc::{ForwardCircuitUmc, ForwardCircuitUmcStats};
 pub use crate::ic3::{GenMode, Ic3, Ic3Stats};
 pub use crate::induction::{KInduction, KInductionStats};
+pub use crate::itp::{Itp, ItpStats};
 pub use crate::portfolio::{Portfolio, PortfolioBusStats, PortfolioStats};
 pub use crate::stateset::{PartitionConfig, PartitionCount, PartitionStats, SplitPolicy, StateSet};
 pub use crate::verdict::{McRun, McStats, Resource, Verdict};

@@ -45,6 +45,7 @@ use crate::circuit_umc::CircuitUmc;
 use crate::engine::{Budget, Engine, Meter};
 use crate::ic3::{Ic3, Ic3Stats};
 use crate::induction::{KInduction, KInductionStats};
+use crate::itp::Itp;
 use crate::sweep::merge_scout;
 use crate::verdict::{McRun, McStats, Resource, Verdict};
 
@@ -103,7 +104,7 @@ impl Portfolio {
         }
     }
 
-    /// The standard lineup: `bmc`, `kind`, `ic3`, `circuit`, `bdd`, with
+    /// The standard lineup: `bmc`, `kind`, `ic3`, `itp`, `circuit`, `bdd`, with
     /// member depth caps tightened so the refutation-only stages finish
     /// fast. IC3 sits between the inductive prover and the full
     /// traversals: it converges on deep non-inductive properties that
@@ -126,7 +127,8 @@ impl Portfolio {
 
     /// The standard members, with the bus handle wired into the engines
     /// that speak it (BMC and k-induction consume cubes, IC3 publishes
-    /// cubes and absorbs merges).
+    /// cubes and absorbs merges, interpolation publishes singleton
+    /// invariants on safe conclusions).
     fn standard_members(bus: Option<Arc<LemmaBus>>) -> Vec<Box<dyn Engine>> {
         vec![
             Box::new(Bmc {
@@ -140,8 +142,12 @@ impl Portfolio {
                 bus: bus.clone(),
             }),
             Box::new(Ic3 {
-                bus,
+                bus: bus.clone(),
                 ..Ic3::default()
+            }),
+            Box::new(Itp {
+                bus,
+                ..Itp::default()
             }),
             Box::new(CircuitUmc::default()),
             Box::new(BddUmc::default()),
@@ -480,7 +486,7 @@ mod tests {
                 let detail = par.detail::<PortfolioStats>().expect("stats");
                 assert!(detail.parallel);
                 assert_eq!(detail.bus.is_some(), bus);
-                assert_eq!(detail.runs.len(), 5, "every member reports");
+                assert_eq!(detail.runs.len(), 6, "every member reports");
             }
         }
     }

@@ -8,6 +8,7 @@
 //!   kept as a differential oracle for tests and for cross-checking small
 //!   instances (`cbq sat --backend reference`).
 
+use crate::proof::{ProofLog, ProofMode};
 use crate::reference::ReferenceSolver;
 use crate::solver::Solver;
 use crate::types::{SatLit, SatResult, SatVar};
@@ -52,6 +53,25 @@ pub trait SatBackend {
     /// Sets (or clears) the per-call conflict budget; backends without a
     /// notion of conflicts may ignore it.
     fn set_conflict_budget(&mut self, budget: Option<u64>);
+
+    /// Selects how much resolution provenance the backend records.
+    /// Backends default to no proof support; see
+    /// [`crate::Solver::set_proof_mode`] for the caveats (must be called
+    /// before any clause is added).
+    fn set_proof_mode(&mut self, mode: ProofMode) {
+        let _ = mode;
+    }
+
+    /// The recorded proof log, when a mode other than `Off` is active.
+    fn proof(&self) -> Option<&ProofLog> {
+        None
+    }
+
+    /// Serialises the logged derivation as a DRAT proof; `Some` only
+    /// after an assumption-free [`SatResult::Unsat`] answer.
+    fn drat_proof(&self) -> Option<String> {
+        self.proof().and_then(|p| p.to_drat())
+    }
 }
 
 impl SatBackend for Solver {
@@ -77,6 +97,14 @@ impl SatBackend for Solver {
 
     fn set_conflict_budget(&mut self, budget: Option<u64>) {
         Solver::set_conflict_budget(self, budget)
+    }
+
+    fn set_proof_mode(&mut self, mode: ProofMode) {
+        Solver::set_proof_mode(self, mode)
+    }
+
+    fn proof(&self) -> Option<&ProofLog> {
+        Solver::proof(self)
     }
 }
 
@@ -104,6 +132,14 @@ impl SatBackend for ReferenceSolver {
     fn set_conflict_budget(&mut self, _budget: Option<u64>) {
         // Enumeration has no conflicts to bound; the variable-count cap
         // already keeps every call finite.
+    }
+
+    fn set_proof_mode(&mut self, mode: ProofMode) {
+        ReferenceSolver::set_proof_mode(self, mode)
+    }
+
+    fn proof(&self) -> Option<&ProofLog> {
+        ReferenceSolver::proof(self)
     }
 }
 

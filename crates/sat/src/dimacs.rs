@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::proof::ProofMode;
 use crate::solver::Solver;
 use crate::types::{SatLit, SatVar};
 
@@ -18,7 +19,14 @@ pub struct Cnf {
 impl Cnf {
     /// Loads this CNF into a fresh solver.
     pub fn to_solver(&self) -> Solver {
+        self.to_solver_with_proof(ProofMode::Off)
+    }
+
+    /// Loads this CNF into a fresh solver with the given proof mode
+    /// (selected before any clause, as the proof plane requires).
+    pub fn to_solver_with_proof(&self, mode: ProofMode) -> Solver {
         let mut s = Solver::new();
+        s.set_proof_mode(mode);
         for _ in 0..self.num_vars {
             s.new_var();
         }

@@ -1,0 +1,202 @@
+//! A small built-in DRAT proof checker (RUP replay plus deletions).
+//!
+//! Quality bar: test-grade, not competition-grade — naive unit
+//! propagation to a fixpoint per proof step, no watched literals, no RAT
+//! checks (the solver only emits RUP-derivable clauses). It exists so the
+//! proofs emitted by [`crate::proof::ProofLog::to_drat`] can be verified
+//! end to end without any external binary.
+
+use std::collections::HashMap;
+
+use crate::dimacs::Cnf;
+use crate::types::{Lbool, SatLit, SatVar};
+
+/// Outcome counters of a successful check.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DratStats {
+    /// Addition steps verified as RUP (including the final empty clause).
+    pub added: usize,
+    /// Deletion steps applied.
+    pub deleted: usize,
+}
+
+/// Checks a DRAT proof against the CNF it was produced for.
+///
+/// Every addition must be RUP with respect to the current database
+/// (original clauses plus verified additions minus deletions); deletions
+/// must name a clause currently in the database (set-equal after
+/// canonicalisation). The check succeeds when a verified addition is the
+/// empty clause.
+///
+/// # Errors
+///
+/// Reports the first failing step: a non-RUP addition, a deletion of an
+/// absent clause, a malformed token, or a proof that ends without
+/// deriving the empty clause.
+pub fn check_drat(cnf: &Cnf, proof: &str) -> Result<DratStats, String> {
+    let mut db: HashMap<Vec<SatLit>, usize> = HashMap::new();
+    for c in &cnf.clauses {
+        *db.entry(canonical(c)).or_insert(0) += 1;
+    }
+    let mut num_vars = cnf.num_vars;
+    let mut stats = DratStats::default();
+    let mut current: Vec<SatLit> = Vec::new();
+    let mut deleting = false;
+    let mut step = 0usize;
+    for tok in proof.split_whitespace() {
+        if tok == "d" {
+            if !current.is_empty() {
+                return Err(format!("step {step}: `d` inside a clause"));
+            }
+            deleting = true;
+            continue;
+        }
+        let n: i64 = tok
+            .parse()
+            .map_err(|_| format!("step {step}: bad token `{tok}`"))?;
+        if n != 0 {
+            let v = n.unsigned_abs() as usize;
+            num_vars = num_vars.max(v);
+            current.push(SatVar::from_index(v - 1).lit(n > 0));
+            continue;
+        }
+        step += 1;
+        let clause = canonical(&std::mem::take(&mut current));
+        if deleting {
+            deleting = false;
+            match db.get_mut(&clause) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => return Err(format!("step {step}: deletion of absent clause {clause:?}")),
+            }
+            stats.deleted += 1;
+        } else {
+            if !rup_conflict(&db, num_vars, &clause) {
+                return Err(format!("step {step}: clause {clause:?} is not RUP"));
+            }
+            stats.added += 1;
+            if clause.is_empty() {
+                return Ok(stats);
+            }
+            *db.entry(clause).or_insert(0) += 1;
+        }
+    }
+    Err("proof ends without deriving the empty clause".into())
+}
+
+fn canonical(lits: &[SatLit]) -> Vec<SatLit> {
+    let mut c = lits.to_vec();
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+/// Whether asserting the negation of `clause` and propagating the live
+/// database to a fixpoint yields a conflict (i.e. the clause is RUP).
+fn rup_conflict(db: &HashMap<Vec<SatLit>, usize>, num_vars: usize, clause: &[SatLit]) -> bool {
+    let mut val = vec![Lbool::Undef; num_vars];
+    let assign = |val: &mut Vec<Lbool>, l: SatLit| -> bool {
+        let want = Lbool::from_bool(!l.is_negative());
+        match val[l.var().index()] {
+            Lbool::Undef => {
+                val[l.var().index()] = want;
+                false
+            }
+            v => v != want,
+        }
+    };
+    for &l in clause {
+        if assign(&mut val, !l) {
+            return true; // the clause is a tautology: trivially implied
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (c, &count) in db.iter() {
+            if count == 0 {
+                continue;
+            }
+            let mut unassigned: Option<SatLit> = None;
+            let mut open = 0usize;
+            let mut satisfied = false;
+            for &l in c {
+                let want = Lbool::from_bool(!l.is_negative());
+                match val[l.var().index()] {
+                    Lbool::Undef => {
+                        open += 1;
+                        unassigned = Some(l);
+                    }
+                    v if v == want => {
+                        satisfied = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match open {
+                0 => return true, // conflict
+                1 => {
+                    if assign(&mut val, unassigned.unwrap()) {
+                        return true;
+                    }
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimacs::parse_dimacs;
+    use crate::proof::ProofMode;
+    use crate::types::SatResult;
+
+    #[test]
+    fn accepts_a_hand_written_proof() {
+        // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ b) ∧ (¬a ∨ ¬b)
+        let cnf = parse_dimacs("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
+        let stats = check_drat(&cnf, "1 0\n2 0\n0\n").unwrap();
+        assert_eq!(stats.added, 3);
+    }
+
+    #[test]
+    fn rejects_a_non_rup_step() {
+        let cnf = parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        assert!(check_drat(&cnf, "1 0\n0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_deleting_an_absent_clause() {
+        let cnf = parse_dimacs("p cnf 1 1\n1 0\n").unwrap();
+        assert!(check_drat(&cnf, "d -1 0\n0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_a_proof_without_empty_clause() {
+        let cnf = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(check_drat(&cnf, "").is_err());
+    }
+
+    #[test]
+    fn solver_emitted_proof_checks() {
+        let cnf = parse_dimacs(concat!(
+            "p cnf 6 9\n",
+            "1 2 0\n3 4 0\n5 6 0\n",
+            "-1 -3 0\n-1 -5 0\n-3 -5 0\n",
+            "-2 -4 0\n-2 -6 0\n-4 -6 0\n",
+        ))
+        .unwrap();
+        let mut s = cnf.to_solver_with_proof(ProofMode::Drat);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        let proof = s.drat_proof().expect("UNSAT without assumptions certifies");
+        check_drat(&cnf, &proof).expect("emitted proof must check");
+    }
+}

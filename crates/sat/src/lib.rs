@@ -54,8 +54,11 @@ mod types;
 
 pub mod arena;
 pub mod dimacs;
+pub mod drat;
+pub mod proof;
 pub mod reference;
 
 pub use crate::backend::SatBackend;
+pub use crate::proof::{ClauseId, ProofEvent, ProofLog, ProofMode};
 pub use crate::solver::{Solver, SolverStats, LBD_BUCKETS};
 pub use crate::types::{Lbool, SatLit, SatResult, SatVar};

@@ -7,6 +7,8 @@
 //! (see [`crate::SatBackend`]), so differential tests and the
 //! `cbq sat --backend reference` tool can drive either interchangeably.
 
+use crate::proof::{ProofLog, ProofMode};
+use crate::solver::Solver;
 use crate::types::{SatLit, SatResult, SatVar};
 
 /// Variable-count ceiling of the exhaustive oracle (2²⁴ assignments).
@@ -21,6 +23,8 @@ pub struct ReferenceSolver {
     num_vars: usize,
     clauses: Vec<Vec<SatLit>>,
     model: Option<Vec<bool>>,
+    proof_mode: ProofMode,
+    proof: Option<Box<ProofLog>>,
 }
 
 impl ReferenceSolver {
@@ -53,9 +57,26 @@ impl ReferenceSolver {
         !lits.is_empty()
     }
 
+    /// Selects the proof mode. The oracle itself derives nothing; on an
+    /// assumption-free UNSAT answer it replays the stored clauses through
+    /// a proof-logging [`Solver`] and keeps that solver's log, so the
+    /// differential suite can demand a checkable certificate from either
+    /// backend.
+    pub fn set_proof_mode(&mut self, mode: ProofMode) {
+        self.proof_mode = mode;
+        self.proof = None;
+    }
+
+    /// The proof log of the last assumption-free UNSAT answer, when a
+    /// mode other than `Off` is active.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
+    }
+
     /// Decides the stored clause set under `assumptions` by enumeration.
     pub fn solve_with(&mut self, assumptions: &[SatLit]) -> SatResult {
         self.model = None;
+        self.proof = None;
         if self.num_vars > MAX_ORACLE_VARS {
             return SatResult::Unknown;
         }
@@ -66,7 +87,22 @@ impl ReferenceSolver {
                 self.model = Some(model);
                 SatResult::Sat
             }
-            None => SatResult::Unsat,
+            None => {
+                if assumptions.is_empty() && self.proof_mode != ProofMode::Off {
+                    let mut s = Solver::new();
+                    s.set_proof_mode(self.proof_mode);
+                    for _ in 0..self.num_vars {
+                        s.new_var();
+                    }
+                    for c in &self.clauses {
+                        s.add_clause(c);
+                    }
+                    let replayed = s.solve();
+                    debug_assert_eq!(replayed, SatResult::Unsat, "oracle/CDCL disagree");
+                    self.proof = s.take_proof();
+                }
+                SatResult::Unsat
+            }
         }
     }
 

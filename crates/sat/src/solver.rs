@@ -22,6 +22,7 @@
 //!   the full budget, nothing leaks from earlier calls.
 
 use crate::arena::{CRef, ClauseArena};
+use crate::proof::{ClauseId, ProofLog, ProofMode};
 use crate::types::{Lbool, SatLit, SatResult, SatVar};
 
 #[derive(Copy, Clone, Debug)]
@@ -139,6 +140,9 @@ pub struct Solver {
     failed: Vec<SatLit>,
     model: Vec<Lbool>,
     stats: SolverStats,
+    /// Resolution provenance, allocated only when a [`ProofMode`] other
+    /// than `Off` is selected — the hot path pays one `is_some` branch.
+    proof: Option<Box<ProofLog>>,
 }
 
 impl Default for Solver {
@@ -181,7 +185,63 @@ impl Solver {
             failed: Vec::new(),
             model: Vec::new(),
             stats: SolverStats::default(),
+            proof: None,
         }
+    }
+
+    /// Selects the proof mode. Must be called on a pristine solver (no
+    /// clauses added, nothing on the trail): provenance cannot be
+    /// reconstructed for clauses that predate the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any clause has already been added.
+    pub fn set_proof_mode(&mut self, mode: ProofMode) {
+        assert!(
+            self.ca.is_empty() && self.clauses.is_empty() && self.trail.is_empty(),
+            "proof mode must be selected before any clause is added"
+        );
+        self.proof = match mode {
+            ProofMode::Off => None,
+            m => Some(Box::new(ProofLog::new(m))),
+        };
+    }
+
+    /// The currently selected proof mode.
+    pub fn proof_mode(&self) -> ProofMode {
+        self.proof.as_ref().map_or(ProofMode::Off, |p| p.mode())
+    }
+
+    /// The proof log, when a mode other than `Off` is active.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
+    }
+
+    /// Serialises the logged derivation as a DRAT proof. `Some` only
+    /// after an assumption-free [`SatResult::Unsat`] answer (UNSAT under
+    /// assumptions derives no empty clause and certifies nothing).
+    pub fn drat_proof(&self) -> Option<String> {
+        self.proof.as_ref().and_then(|p| p.to_drat())
+    }
+
+    /// Sets the partition label stamped on subsequently added clauses
+    /// (interpolation tags the A/B sides of a query this way). A no-op
+    /// with proofs off.
+    pub fn set_proof_label(&mut self, label: u32) {
+        if let Some(p) = self.proof.as_mut() {
+            p.set_label(label);
+        }
+    }
+
+    /// Takes the proof log out of the solver (leaving proofs off), so a
+    /// caller can keep the trace without cloning it.
+    pub fn take_proof(&mut self) -> Option<Box<ProofLog>> {
+        self.proof.take()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_reduce_db_for_tests(&mut self) {
+        self.max_learnts = 8.0;
     }
 
     /// Adds a fresh variable, reusing a recycled slot when one is
@@ -271,34 +331,91 @@ impl Solver {
         c.dedup();
         // Tautology / level-0 simplification.
         let mut simplified = Vec::with_capacity(c.len());
+        let mut dropped: Vec<SatLit> = Vec::new();
         for (i, &l) in c.iter().enumerate() {
             assert!(l.var().index() < self.num_vars(), "unknown variable {l:?}");
             if i + 1 < c.len() && c[i + 1] == !l {
                 return true; // tautology
             }
             match self.lit_value(l) {
-                Lbool::True => return true, // already satisfied
-                Lbool::False => {}          // drop falsified literal
+                Lbool::True => return true,      // already satisfied
+                Lbool::False => dropped.push(l), // drop falsified literal
                 Lbool::Undef => simplified.push(l),
             }
         }
+        // Register the clause as given; if level-0 units dropped literals,
+        // the stored clause is a derivation resolving them away.
+        let proof_id = self.proof.as_mut().map(|p| {
+            let root = p.register_root(&c);
+            if dropped.is_empty() {
+                root
+            } else {
+                let steps: Vec<(SatVar, ClauseId)> = dropped
+                    .iter()
+                    .map(|&l| (l.var(), p.unit_id(l.var())))
+                    .collect();
+                p.register_derived(&simplified, root, steps)
+            }
+        });
         match simplified.len() {
             0 => {
+                if let (Some(p), Some(id)) = (self.proof.as_mut(), proof_id) {
+                    p.set_empty(id);
+                }
                 self.ok = false;
                 false
             }
             1 => {
+                if let (Some(p), Some(id)) = (self.proof.as_mut(), proof_id) {
+                    p.set_unit(simplified[0].var(), id);
+                }
                 self.unchecked_enqueue(simplified[0], None);
-                if self.propagate().is_some() {
+                if let Some(confl) = self.propagate() {
+                    self.proof_empty_from_conflict(confl);
                     self.ok = false;
                 }
                 self.ok
             }
             _ => {
-                self.attach_clause(&simplified, false, 0);
+                let cref = self.attach_clause(&simplified, false, 0);
+                if let (Some(p), Some(id)) = (self.proof.as_mut(), proof_id) {
+                    p.map_cref(cref, id);
+                }
                 true
             }
         }
+    }
+
+    /// Derives the empty clause from a level-0 conflict: every literal of
+    /// the conflicting clause is falsified by a recorded level-0 unit.
+    fn proof_empty_from_conflict(&mut self, confl: CRef) {
+        if self.proof.is_none() {
+            return;
+        }
+        let lits = self.ca.lits_vec(confl);
+        let p = self.proof.as_mut().unwrap();
+        let base = p.cref_id(confl);
+        let steps: Vec<(SatVar, ClauseId)> =
+            lits.iter().map(|q| (q.var(), p.unit_id(q.var()))).collect();
+        let id = p.register_derived(&[], base, steps);
+        p.set_empty(id);
+    }
+
+    /// Records the derivation of a level-0 propagated unit `l` from
+    /// clause `c`: every other literal of `c` resolves against its own
+    /// recorded level-0 unit. Recorded eagerly because level-0 reasons
+    /// are nulled by the purges before they could be consulted.
+    fn proof_level0_unit(&mut self, l: SatLit, c: CRef) {
+        let lits = self.ca.lits_vec(c);
+        let p = self.proof.as_mut().expect("checked by caller");
+        let base = p.cref_id(c);
+        let steps: Vec<(SatVar, ClauseId)> = lits
+            .iter()
+            .filter(|q| q.var() != l.var())
+            .map(|q| (q.var(), p.unit_id(q.var())))
+            .collect();
+        let id = p.register_derived(&[l], base, steps);
+        p.set_unit(l.var(), id);
     }
 
     fn attach_clause(&mut self, lits: &[SatLit], learnt: bool, lbd: u32) -> CRef {
@@ -387,6 +504,9 @@ impl Solver {
                     self.qhead = self.trail.len();
                     return Some(w.cref);
                 }
+                if self.proof.is_some() && self.trail_lim.is_empty() {
+                    self.proof_level0_unit(first, w.cref);
+                }
                 self.unchecked_enqueue(first, Some(w.cref));
                 i += 1;
             }
@@ -428,6 +548,12 @@ impl Solver {
         let mut learnt: Vec<SatLit> = vec![SatLit::from_code(0)]; // placeholder
         let mut counter = 0usize;
         let mut p: Option<SatLit> = None;
+        let proof_on = self.proof.is_some();
+        let base = confl;
+        // Resolution steps as (pivot, antecedent CRef), plus the level-0
+        // variables whose units close the chain at the end.
+        let mut steps: Vec<(SatVar, CRef)> = Vec::new();
+        let mut zeros: Vec<SatVar> = Vec::new();
         let mut confl = confl;
         let mut index = self.trail.len();
         loop {
@@ -452,6 +578,8 @@ impl Solver {
                     } else {
                         learnt.push(q);
                     }
+                } else if proof_on && self.level[v] == 0 {
+                    zeros.push(q.var());
                 }
             }
             // Select next literal to expand.
@@ -469,11 +597,15 @@ impl Solver {
                 break;
             }
             confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+            if proof_on {
+                steps.push((pl.var(), confl));
+            }
         }
         learnt[0] = !p.unwrap();
 
         // Cheap clause minimisation: drop literals implied by the rest.
         let mut minimized = vec![learnt[0]];
+        let mut min_dropped: Vec<SatLit> = Vec::new();
         for &q in &learnt[1..] {
             let keep = match self.reason[q.var().index()] {
                 None => true,
@@ -487,6 +619,8 @@ impl Solver {
             };
             if keep {
                 minimized.push(q);
+            } else if proof_on {
+                min_dropped.push(q);
             }
         }
         // Clear the seen flags of the kept tail.
@@ -494,6 +628,31 @@ impl Solver {
             self.seen[q.var().index()] = false;
         }
         let mut learnt = minimized;
+
+        // Resolve the minimised literals away, deepest trail position
+        // first: a reason only mentions shallower literals, so nothing
+        // already resolved out is reintroduced. Level-0 side literals
+        // join `zeros` for the trailing unit resolutions.
+        if proof_on && !min_dropped.is_empty() {
+            let mut pos = vec![0u32; self.num_vars()];
+            for (i, &l) in self.trail.iter().enumerate() {
+                pos[l.var().index()] = i as u32;
+            }
+            min_dropped.sort_unstable_by_key(|l| std::cmp::Reverse(pos[l.var().index()]));
+            for &q in &min_dropped {
+                let r = self.reason[q.var().index()].expect("dropped literal has a reason");
+                for i in 1..self.ca.len(r) {
+                    let l = self.ca.lit(r, i);
+                    if self.level[l.var().index()] == 0 {
+                        zeros.push(l.var());
+                    }
+                }
+                steps.push((q.var(), r));
+            }
+        }
+        if proof_on {
+            self.proof_stash_chain(base, steps, zeros);
+        }
 
         // Backtrack level: highest level among learnt[1..], whose literal
         // must sit at position 1 (second watch).
@@ -510,6 +669,28 @@ impl Solver {
             self.level[learnt[1].var().index()] as usize
         };
         (learnt, bt)
+    }
+
+    /// Converts the analysis chain to proof clause ids and stashes it;
+    /// `search` consumes the stash when it attaches the learnt clause.
+    fn proof_stash_chain(
+        &mut self,
+        base: CRef,
+        steps: Vec<(SatVar, CRef)>,
+        mut zeros: Vec<SatVar>,
+    ) {
+        let p = self.proof.as_mut().expect("checked by caller");
+        zeros.sort_unstable();
+        zeros.dedup();
+        let base = p.cref_id(base);
+        let mut chain: Vec<(SatVar, ClauseId)> = Vec::with_capacity(steps.len() + zeros.len());
+        for (v, c) in steps {
+            chain.push((v, p.cref_id(c)));
+        }
+        for v in zeros {
+            chain.push((v, p.unit_id(v)));
+        }
+        p.stash(base, chain);
     }
 
     /// Computes the subset of assumptions responsible for falsifying the
@@ -653,6 +834,9 @@ impl Solver {
             self.heap_remove(i as u32);
             self.free.push(i as u32);
             self.stats.recycled_vars += 1;
+            if let Some(p) = self.proof.as_mut() {
+                p.clear_unit(v);
+            }
         }
         // Scrub the recycled variables' level-0 assignments.
         self.trail.retain(|l| !mark[l.var().index()]);
@@ -672,26 +856,48 @@ impl Solver {
         if !self.ok {
             return;
         }
-        let purge_list =
-            |ca: &mut ClauseArena, list: &mut Vec<CRef>, assigns: &[Lbool], purged: &mut u64| {
-                list.retain(|&c| {
-                    let satisfied = (0..ca.len(c)).any(|i| {
-                        let l = ca.lit(c, i);
-                        let a = assigns[l.var().index()];
-                        (if l.is_negative() { a.negate() } else { a }) == Lbool::True
-                    });
-                    if satisfied {
-                        ca.mark_dead(c);
-                        *purged += 1;
-                    }
-                    !satisfied
+        let purge_list = |ca: &mut ClauseArena,
+                          list: &mut Vec<CRef>,
+                          assigns: &[Lbool],
+                          purged: &mut u64,
+                          dead: &mut Vec<CRef>| {
+            list.retain(|&c| {
+                let satisfied = (0..ca.len(c)).any(|i| {
+                    let l = ca.lit(c, i);
+                    let a = assigns[l.var().index()];
+                    (if l.is_negative() { a.negate() } else { a }) == Lbool::True
                 });
-            };
+                if satisfied {
+                    ca.mark_dead(c);
+                    *purged += 1;
+                    dead.push(c);
+                }
+                !satisfied
+            });
+        };
         let mut purged = 0u64;
-        purge_list(&mut self.ca, &mut self.clauses, &self.assigns, &mut purged);
-        purge_list(&mut self.ca, &mut self.learnts, &self.assigns, &mut purged);
+        let mut dead: Vec<CRef> = Vec::new();
+        purge_list(
+            &mut self.ca,
+            &mut self.clauses,
+            &self.assigns,
+            &mut purged,
+            &mut dead,
+        );
+        purge_list(
+            &mut self.ca,
+            &mut self.learnts,
+            &self.assigns,
+            &mut purged,
+            &mut dead,
+        );
         if purged == 0 {
             return;
+        }
+        if let Some(p) = self.proof.as_mut() {
+            for &c in &dead {
+                p.delete_cref(c);
+            }
         }
         self.stats.purged += purged;
         // Level-0 reasons may point at purged clauses; they are never
@@ -721,25 +927,33 @@ impl Solver {
         if !self.ok {
             return;
         }
-        let purge_list = |ca: &mut ClauseArena, list: &mut Vec<CRef>, purged: &mut u64| {
-            list.retain(|&c| {
-                let orphaned = (0..ca.len(c)).any(|i| {
-                    dead.get(ca.lit(c, i).var().index())
-                        .copied()
-                        .unwrap_or(false)
+        let purge_list =
+            |ca: &mut ClauseArena, list: &mut Vec<CRef>, purged: &mut u64, gone: &mut Vec<CRef>| {
+                list.retain(|&c| {
+                    let orphaned = (0..ca.len(c)).any(|i| {
+                        dead.get(ca.lit(c, i).var().index())
+                            .copied()
+                            .unwrap_or(false)
+                    });
+                    if orphaned {
+                        ca.mark_dead(c);
+                        *purged += 1;
+                        gone.push(c);
+                    }
+                    !orphaned
                 });
-                if orphaned {
-                    ca.mark_dead(c);
-                    *purged += 1;
-                }
-                !orphaned
-            });
-        };
+            };
         let mut purged = 0u64;
-        purge_list(&mut self.ca, &mut self.clauses, &mut purged);
-        purge_list(&mut self.ca, &mut self.learnts, &mut purged);
+        let mut gone: Vec<CRef> = Vec::new();
+        purge_list(&mut self.ca, &mut self.clauses, &mut purged, &mut gone);
+        purge_list(&mut self.ca, &mut self.learnts, &mut purged, &mut gone);
         if purged == 0 {
             return;
+        }
+        if let Some(p) = self.proof.as_mut() {
+            for &c in &gone {
+                p.delete_cref(c);
+            }
         }
         self.stats.purged += purged;
         // Level-0 reasons may point at purged clauses; they are never
@@ -757,6 +971,9 @@ impl Solver {
     /// Every dead clause must already be out of the lists and reasons.
     fn compact_arena(&mut self) {
         let remap = self.ca.compact();
+        if let Some(p) = self.proof.as_mut() {
+            p.remap(&remap);
+        }
         for c in &mut self.clauses {
             *c = remap.forward(*c);
         }
@@ -838,6 +1055,9 @@ impl Solver {
         candidates.sort_unstable_by_key(|&c| (std::cmp::Reverse(self.ca.lbd(c)), c));
         for &c in &candidates[..candidates.len() / 2] {
             self.ca.mark_dead(c);
+            if let Some(p) = self.proof.as_mut() {
+                p.delete_cref(c);
+            }
             self.stats.deleted += 1;
         }
         if self.ca.wasted() == 0 {
@@ -868,7 +1088,8 @@ impl Solver {
             return SatResult::Unsat;
         }
         debug_assert_eq!(self.decision_level(), 0);
-        if self.propagate().is_some() {
+        if let Some(confl) = self.propagate() {
+            self.proof_empty_from_conflict(confl);
             self.ok = false;
             return SatResult::Unsat;
         }
@@ -898,6 +1119,7 @@ impl Solver {
                 self.call_conflicts += 1;
                 local_conflicts += 1;
                 if self.decision_level() == 0 {
+                    self.proof_empty_from_conflict(confl);
                     self.ok = false;
                     return Some(SatResult::Unsat);
                 }
@@ -906,10 +1128,18 @@ impl Solver {
                 #[cfg(test)]
                 self.check_watches_dbg("after-analyze-backtrack");
                 if learnt.len() == 1 {
+                    if let Some(p) = self.proof.as_mut() {
+                        let id = p.take_stash_as(&learnt);
+                        p.set_unit(learnt[0].var(), id);
+                    }
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let lbd = self.compute_lbd(&learnt);
                     let cref = self.attach_clause(&learnt, true, lbd);
+                    if let Some(p) = self.proof.as_mut() {
+                        let id = p.take_stash_as(&learnt);
+                        p.map_cref(cref, id);
+                    }
                     self.unchecked_enqueue(learnt[0], Some(cref));
                 }
                 #[cfg(test)]

@@ -3,8 +3,10 @@
 
 use proptest::prelude::*;
 
+use cbq_sat::dimacs::Cnf;
+use cbq_sat::drat::check_drat;
 use cbq_sat::reference::{brute_force_count, brute_force_sat, ReferenceSolver};
-use cbq_sat::{SatBackend, SatLit, SatResult, SatVar, Solver};
+use cbq_sat::{ProofMode, SatBackend, SatLit, SatResult, SatVar, Solver};
 
 /// A random clause over `nvars` variables with 1..=4 literals.
 fn clause_strategy(nvars: usize) -> impl Strategy<Value = Vec<SatLit>> {
@@ -148,6 +150,71 @@ proptest! {
                 prop_assert_eq!(s.solve_with(&[a]).is_sat(), expect);
             }
         }
+    }
+
+    /// Every assumption-free UNSAT answer must come with a DRAT proof
+    /// that the built-in RUP checker accepts — from either backend.
+    #[test]
+    fn unsat_proofs_check(clauses in cnf_strategy(7, 36)) {
+        let nvars = 7;
+        let cnf = Cnf { num_vars: nvars, clauses: clauses.clone() };
+        let backends: Vec<Box<dyn SatBackend>> =
+            vec![Box::new(Solver::new()), Box::new(ReferenceSolver::new())];
+        for mut b in backends {
+            b.set_proof_mode(ProofMode::Drat);
+            for _ in 0..nvars {
+                b.new_var();
+            }
+            for c in &clauses {
+                b.add_clause(c);
+            }
+            if b.solve() == SatResult::Unsat {
+                let proof = b.drat_proof();
+                prop_assert!(proof.is_some(), "UNSAT without a certificate");
+                let stats = check_drat(&cnf, &proof.unwrap());
+                prop_assert!(stats.is_ok(), "proof rejected: {:?}", stats.err());
+            } else {
+                prop_assert_eq!(b.drat_proof(), None);
+            }
+        }
+    }
+
+    /// The in-memory resolution trace replays: every derived clause's
+    /// chain resolves to its stored literals, across incremental solves.
+    #[test]
+    fn resolution_traces_replay(batches in prop::collection::vec(cnf_strategy(7, 14), 1..=3)) {
+        let mut s = Solver::new();
+        s.set_proof_mode(ProofMode::Trace);
+        for _ in 0..7 {
+            s.new_var();
+        }
+        for batch in &batches {
+            for c in batch {
+                s.add_clause(c);
+            }
+            let _ = s.solve();
+            let verdict = s.proof().unwrap().verify();
+            prop_assert!(verdict.is_ok(), "trace broken: {:?}", verdict.err());
+        }
+    }
+
+    /// Proof logging is pure observation: decisions and conflicts are
+    /// identical with proofs off and on.
+    #[test]
+    fn proof_logging_is_behaviourally_invisible(clauses in cnf_strategy(8, 40)) {
+        let run = |mode: ProofMode| {
+            let mut s = Solver::new();
+            s.set_proof_mode(mode);
+            for _ in 0..8 {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            let r = s.solve();
+            (r, s.stats().decisions, s.stats().conflicts, s.stats().propagations)
+        };
+        prop_assert_eq!(run(ProofMode::Off), run(ProofMode::Drat));
     }
 
     /// `failed_assumptions` is a genuine core: re-solving with just the

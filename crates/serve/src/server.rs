@@ -159,7 +159,10 @@ impl Server {
                 let perf = run
                     .detail::<cbq_mc::CircuitUmcStats>()
                     .map(|d| d.quant_perf)
-                    .or_else(|| run.detail::<cbq_mc::ForwardCircuitUmcStats>().map(|d| d.quant_perf));
+                    .or_else(|| {
+                        run.detail::<cbq_mc::ForwardCircuitUmcStats>()
+                            .map(|d| d.quant_perf)
+                    });
                 if let Some(p) = perf {
                     self.quant_strash_probes
                         .fetch_add(p.strash_probes, Ordering::SeqCst);

@@ -480,7 +480,11 @@ pub fn balance(aig: &mut Aig, roots: &[Lit]) -> Vec<Lit> {
     }
     roots
         .iter()
-        .map(|r| memo[r.var().index()].expect("root rebuilt").xor_sign(r.is_complemented()))
+        .map(|r| {
+            memo[r.var().index()]
+                .expect("root rebuilt")
+                .xor_sign(r.is_complemented())
+        })
         .collect()
 }
 

@@ -27,7 +27,7 @@ use cbq::mc::{by_name_tuned, engine_names, registry, EngineTuning, PartitionCoun
 use cbq::prelude::*;
 use cbq::quant::{exists_bdd, exists_many, VarOrder};
 use cbq::sat::reference::ReferenceSolver;
-use cbq::sat::{dimacs, SatBackend};
+use cbq::sat::{dimacs, drat, ProofMode, SatBackend};
 use cbq::serve::{client, CheckRequest, Json, ServeConfig, Server};
 
 const USAGE: &str = "cbq — circuit-based quantification (DATE 2005 reproduction)
@@ -248,7 +248,8 @@ fn check_help() -> String {
     format!(
         "usage: cbq check <file.aag> [--engine E] [--sweep on|off]
                  [--quant-order O] [--partitions N|auto] [--split P]
-                 [--ic3-frames N] [--ic3-gen core|drop|ternary|ctg]
+                 [--ic3-frames N] [--ic3-gen core|drop|ternary|ctg|ctg-deep]
+                 [--itp-frames N]
                  [--portfolio-par] [--portfolio-bus on|off]
                  [--steps N] [--nodes N] [--sat-checks N]
                  [--timeout-ms N] [--json]
@@ -271,7 +272,11 @@ Model-checks the circuit's bad-state property.
                      core (unsat-core shrink only) | drop (+ literal
                      dropping) | ternary (+ ternary-simulation
                      predecessor widening) | ctg (+ counterexample-to-
-                     generalization blocking; ic3 engine; default: ctg)
+                     generalization blocking) | ctg-deep (+ recursive
+                     CTG descent with its own strike budget;
+                     ic3 engine; default: ctg)
+  --itp-frames N     interpolation unrolling-depth safety net
+                     (itp engine; default 64)
   --portfolio-par    run the portfolio members concurrently (scoped
                      threads, first conclusive answer wins; portfolio
                      engine only — the sequential cascade is the default)
@@ -306,6 +311,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
             "split",
             "ic3-frames",
             "ic3-gen",
+            "itp-frames",
             "portfolio-bus",
             "steps",
             "nodes",
@@ -387,9 +393,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 Some(mode) => tuning.ic3_gen = Some(mode),
                 None => {
                     eprintln!(
-                        "flag `--ic3-gen` expects `core`, `drop`, `ternary` or `ctg`, \
-                         got `{value}`"
+                        "flag `--ic3-gen` expects `core`, `drop`, `ternary`, `ctg` or \
+                         `ctg-deep`, got `{value}`"
                     );
+                    return ExitCode::from(2);
+                }
+            },
+            "itp-frames" => match parse_count(flag, value) {
+                Ok(n) if n >= 1 => tuning.itp_frames = Some(n as usize),
+                Ok(_) => {
+                    eprintln!("flag `--itp-frames` needs a positive number");
+                    return ExitCode::from(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
                     return ExitCode::from(2);
                 }
             },
@@ -436,6 +453,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     if ic3_flags && engine_name != "ic3" {
         eprintln!("note: engine `{engine_name}` ignores --ic3-frames/--ic3-gen");
+    }
+    if tuning.itp_frames.is_some() && engine_name != "itp" {
+        eprintln!("note: engine `{engine_name}` ignores --itp-frames");
     }
     if switches.contains(&"portfolio-par") {
         tuning.portfolio_parallel = Some(true);
@@ -627,7 +647,8 @@ fn cmd_quantify(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-const SAT_HELP: &str = "usage: cbq sat <file.cnf> [--backend B] [--conflicts N] [--json]
+const SAT_HELP: &str = "usage: cbq sat <file.cnf> [--backend B] [--conflicts N]
+               [--proof FILE] [--verify-proof] [--json]
 
 Solves a DIMACS CNF file and prints the verdict plus solver statistics.
 
@@ -637,6 +658,12 @@ Solves a DIMACS CNF file and prints the verdict plus solver statistics.
                   oracle (UNKNOWN above 24 variables)
   --conflicts N   per-call conflict budget (arena backend only; an
                   exhausted budget prints UNKNOWN)
+  --proof FILE    log the solve in DRAT; on UNSATISFIABLE, write the
+                  refutation proof to FILE (on any other verdict no
+                  file is written)
+  --verify-proof  replay the emitted proof through the built-in DRAT
+                  checker before writing it (requires --proof; a proof
+                  that fails the check is an internal error, exit 2)
   --json          emit the verdict and SolverStats as one JSON object
 
 exit code: 10 satisfiable, 20 unsatisfiable, 3 unknown,
@@ -647,7 +674,11 @@ fn cmd_sat(args: &[String]) -> ExitCode {
         println!("{SAT_HELP}");
         return ExitCode::SUCCESS;
     }
-    let (path, flags, switches) = match parse_flags(args, &["backend", "conflicts"], &["json"]) {
+    let (path, flags, switches) = match parse_flags(
+        args,
+        &["backend", "conflicts", "proof"],
+        &["json", "verify-proof"],
+    ) {
         Ok((positional, flags, switches)) if positional.len() == 1 => {
             (positional[0].to_string(), flags, switches)
         }
@@ -664,8 +695,10 @@ fn cmd_sat(args: &[String]) -> ExitCode {
         }
     };
     let json = switches.contains(&"json");
+    let verify_proof = switches.contains(&"verify-proof");
     let mut backend = "arena";
     let mut conflicts: Option<u64> = None;
+    let mut proof_path: Option<String> = None;
     for (flag, value) in flags {
         match flag {
             "backend" => match value {
@@ -682,8 +715,13 @@ fn cmd_sat(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "proof" => proof_path = Some(value.to_string()),
             _ => unreachable!("parse_flags rejects unknown flags"),
         }
+    }
+    if verify_proof && proof_path.is_none() {
+        eprintln!("error: --verify-proof requires --proof FILE\n\n{SAT_HELP}");
+        return ExitCode::from(2);
     }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -699,23 +737,33 @@ fn cmd_sat(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let proof_mode = if proof_path.is_some() {
+        ProofMode::Drat
+    } else {
+        ProofMode::Off
+    };
     let start = std::time::Instant::now();
-    let (result, stats) = match backend {
+    let (result, stats, proof) = match backend {
         "arena" => {
-            let mut solver = cnf.to_solver();
+            let mut solver = cnf.to_solver_with_proof(proof_mode);
             solver.set_conflict_budget(conflicts);
             let r = SatBackend::solve(&mut solver);
-            (r, Some(solver.stats()))
+            let proof = SatBackend::drat_proof(&solver);
+            (r, Some(solver.stats()), proof)
         }
         _ => {
             let mut solver = ReferenceSolver::new();
+            // Proof mode must be set while the solver is still empty.
+            SatBackend::set_proof_mode(&mut solver, proof_mode);
             for _ in 0..cnf.num_vars {
                 solver.new_var();
             }
             for c in &cnf.clauses {
                 solver.add_clause(c);
             }
-            (SatBackend::solve(&mut solver), None)
+            let r = SatBackend::solve(&mut solver);
+            let proof = SatBackend::drat_proof(&solver);
+            (r, None, proof)
         }
     };
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -724,14 +772,47 @@ fn cmd_sat(args: &[String]) -> ExitCode {
         SatResult::Unsat => "unsatisfiable",
         SatResult::Unknown => "unknown",
     };
+    let mut proof_steps: Option<usize> = None;
+    if let Some(out) = &proof_path {
+        if result == SatResult::Unsat {
+            let Some(text) = proof else {
+                eprintln!("error: UNSAT but no DRAT proof was produced");
+                return ExitCode::from(2);
+            };
+            if verify_proof {
+                match drat::check_drat(&cnf, &text) {
+                    Ok(st) => proof_steps = Some(st.added),
+                    Err(e) => {
+                        eprintln!("error: emitted proof fails the DRAT check: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(out, &text) {
+                eprintln!("error: {out}: {e}");
+                return ExitCode::from(2);
+            }
+        } else {
+            eprintln!("note: no proof written to `{out}` (verdict is {verdict}, not UNSAT)");
+        }
+    }
     if json {
         let solver_field = stats
             .as_ref()
             .map(|s| format!(",\"solver\":{}", solver_json(s)))
             .unwrap_or_default();
+        let proof_field = match (&proof_path, result) {
+            (Some(out), SatResult::Unsat) => {
+                let verified = proof_steps
+                    .map(|n| format!(",\"proof_steps\":{n}"))
+                    .unwrap_or_default();
+                format!(",\"proof\":{}{verified}", json_str(out))
+            }
+            _ => String::new(),
+        };
         println!(
             "{{\"verdict\":{},\"backend\":{},\"vars\":{},\"clauses\":{},\
-             \"elapsed_ms\":{elapsed_ms:.3}{solver_field}}}",
+             \"elapsed_ms\":{elapsed_ms:.3}{solver_field}{proof_field}}}",
             json_str(verdict),
             json_str(backend),
             cnf.num_vars,
@@ -756,6 +837,12 @@ fn cmd_sat(args: &[String]) -> ExitCode {
                 s.arena_bytes()
             );
             println!("lbd hist : {}", json_u64_list(&s.lbd_hist));
+        }
+        if let (Some(out), SatResult::Unsat) = (&proof_path, result) {
+            match proof_steps {
+                Some(n) => println!("proof    : {out} ({n} steps, DRAT-checked)"),
+                None => println!("proof    : {out}"),
+            }
         }
     }
     match result {

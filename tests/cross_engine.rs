@@ -334,8 +334,82 @@ fn ic3_agrees_with_circuit_engines_on_e6_family() {
 }
 
 #[test]
+fn itp_agrees_with_circuit_engines_on_e6_family() {
+    // The interpolation engine against the state-set traversal on the E6
+    // model families: identical safe/unsafe classifications everywhere.
+    // Unlike IC3, itp registers minimal_cex — its counterexamples come
+    // from a depth-capped BMC re-run — so on unsafe models the trace
+    // depth must equal the circuit engine's, and every trace must replay
+    // both through Network::step and on the bit-parallel simulator. On
+    // safe models the final interpolant fixpoint is a genuine proof, so
+    // the run must report at least one derived interpolant.
+    use cbq::mc::{Itp, ItpStats};
+    let e6_family = vec![
+        generators::token_ring(5),
+        generators::bounded_counter_gap(4, 6, 12),
+        generators::gray_counter(4),
+        generators::arbiter(4),
+        generators::mutex(),
+        generators::lfsr(5, &[0, 2]),
+        generators::fifo_ctrl(2),
+        generators::token_ring_bug(5),
+        generators::mutex_bug(),
+        generators::shift_ones(4),
+        generators::counter_bug(4, 6),
+    ];
+    let mut interpolants_total = 0;
+    for net in e6_family {
+        let itp = Itp::default().check(&net, &Budget::unlimited());
+        let circuit = CircuitUmc::default().check(&net, &Budget::unlimited());
+        assert_eq!(
+            itp.verdict.is_safe(),
+            circuit.verdict.is_safe(),
+            "{}: itp says {}, circuit says {}",
+            net.name(),
+            itp.verdict,
+            circuit.verdict
+        );
+        match (&itp.verdict, &circuit.verdict) {
+            (Verdict::Safe { .. }, _) => {
+                let detail = itp.detail::<ItpStats>().expect("itp stats");
+                assert!(
+                    detail.interpolants >= 1 || detail.frames == 0,
+                    "{}: safe without deriving an interpolant",
+                    net.name()
+                );
+                interpolants_total += detail.interpolants;
+            }
+            (Verdict::Unsafe { trace }, Verdict::Unsafe { trace: oracle }) => {
+                assert_eq!(
+                    trace.len(),
+                    oracle.len(),
+                    "{}: itp counterexample is not minimal",
+                    net.name()
+                );
+                assert!(
+                    trace.validates(&net),
+                    "{}: itp trace does not replay",
+                    net.name()
+                );
+                assert!(
+                    replays_on_sim(&net, trace),
+                    "{}: itp trace rejected by the simulator",
+                    net.name()
+                );
+            }
+            (other, _) => panic!("{}: itp inconclusive: {other}", net.name()),
+        }
+    }
+    assert!(
+        interpolants_total > 0,
+        "no safe model exercised the interpolation path"
+    );
+}
+
+#[test]
 fn ic3_gen_modes_agree_on_e6_family() {
-    // The generalization ladder (core < drop < ternary < ctg) only
+    // The generalization ladder (core < drop < ternary < ctg < ctg-deep)
+    // only
     // changes how cubes shrink and how many queries run — never the
     // answer. Every mode must match the circuit engine's classification
     // on every E6 model, and every counterexample must replay both
@@ -396,6 +470,14 @@ fn ic3_gen_modes_agree_on_e6_family() {
                     detail.ctg_blocked,
                     0,
                     "{} ({mode}): CTG blocking ran below Ctg",
+                    net.name()
+                );
+            }
+            if mode < GenMode::CtgDeep {
+                assert_eq!(
+                    detail.ctg_deep_blocked,
+                    0,
+                    "{} ({mode}): recursive CTG blocking ran below CtgDeep",
                     net.name()
                 );
             }
